@@ -1,0 +1,275 @@
+//! BlueConnect (Cho et al., IBM JRD '19) and Themis (Rashidi et al., ISCA
+//! '22) — manually designed topology-aware All-Reduce algorithms for
+//! multi-dimensional networks (paper §V-A, §VI-B.3).
+//!
+//! **BlueConnect** decomposes All-Reduce into a Reduce-Scatter sweep across
+//! dimensions 0, 1, …, D-1 followed by an All-Gather sweep back, running a
+//! ring within every dimension group. The payload may be split into chunk
+//! groups that pipeline through the phases.
+//!
+//! **Themis** additionally load-balances by letting each chunk group
+//! traverse the dimensions in a rotated order. Crucially (and this is the
+//! weakness the paper exploits in Fig. 16), both algorithms fix each
+//! chunk's *path* per dimension to the in-dimension ring — on asymmetric
+//! fabrics like the 3D grid, the missing wraparound links force routed
+//! detours and contention that the algorithms cannot avoid.
+
+use tacos_collective::algorithm::{
+    AlgorithmBuilder, CollectiveAlgorithm, TransferId, TransferKind,
+};
+use tacos_collective::{ChunkId, Collective, CollectivePattern};
+use tacos_topology::{NpuId, Topology};
+
+use crate::error::BaselineError;
+
+/// Generates the BlueConnect All-Reduce with `chunks` pipelined chunk
+/// groups (the paper evaluates 4).
+///
+/// # Errors
+/// * [`BaselineError::DimensionsRequired`] if the topology carries no
+///   hierarchical dimension metadata.
+/// * [`BaselineError::UnsupportedPattern`] for anything but All-Reduce.
+pub fn blueconnect(
+    topo: &Topology,
+    collective: &Collective,
+    chunks: usize,
+) -> Result<CollectiveAlgorithm, BaselineError> {
+    multi_dim_all_reduce(topo, collective, chunks, false)
+}
+
+/// Generates the Themis All-Reduce with `chunks` load-balanced chunk
+/// groups (the paper evaluates 4 and 64).
+///
+/// # Errors
+/// Same as [`blueconnect`].
+pub fn themis(
+    topo: &Topology,
+    collective: &Collective,
+    chunks: usize,
+) -> Result<CollectiveAlgorithm, BaselineError> {
+    multi_dim_all_reduce(topo, collective, chunks, true)
+}
+
+fn multi_dim_all_reduce(
+    topo: &Topology,
+    collective: &Collective,
+    chunks: usize,
+    rotate_dims: bool,
+) -> Result<CollectiveAlgorithm, BaselineError> {
+    let name = if rotate_dims { "themis" } else { "blueconnect" };
+    if topo.num_npus() != collective.num_npus() {
+        return Err(BaselineError::NpuCountMismatch {
+            topology: topo.num_npus(),
+            collective: collective.num_npus(),
+        });
+    }
+    if collective.pattern() != CollectivePattern::AllReduce {
+        return Err(BaselineError::UnsupportedPattern {
+            baseline: name,
+            pattern: collective.pattern().short_name(),
+        });
+    }
+    if topo.dims().is_empty() {
+        return Err(BaselineError::DimensionsRequired { baseline: name });
+    }
+    let n = topo.num_npus();
+    let num_dims = topo.dims().len();
+    let dim_sizes: Vec<usize> = topo.dims().iter().map(|d| d.size()).collect();
+    let chunks = chunks.max(1);
+
+    // Base chunk: the smallest unit any phase moves.
+    let base_chunks = (chunks * n) as u64;
+    let chunk_size = collective.total_size().split(base_chunks);
+    let mut b = AlgorithmBuilder::new(name, n, chunk_size, collective.total_size());
+
+    let groups_per_dim: Vec<Vec<Vec<NpuId>>> =
+        (0..num_dims).map(|d| dim_groups(topo, d)).collect();
+
+    for g in 0..chunks {
+        // Themis rotates the dimension order per chunk group; BlueConnect
+        // keeps 0..D for all groups.
+        let order: Vec<usize> = if rotate_dims {
+            (0..num_dims).map(|j| (j + g) % num_dims).collect()
+        } else {
+            (0..num_dims).collect()
+        };
+        // entry[npu]: receives gating the NPU's next-phase sends.
+        let mut entry: Vec<Vec<TransferId>> = vec![Vec::new(); n];
+        let chunk = ChunkId::new(g as u32);
+
+        // Reduce-Scatter sweep.
+        let mut shrink = 1u64; // product of dimension sizes processed so far
+        for &dim in &order {
+            shrink *= dim_sizes[dim] as u64;
+            let count = (n as u64 / shrink).max(1) as u32;
+            for members in &groups_per_dim[dim] {
+                ring_phase(&mut b, members, chunk, count, TransferKind::Reduce, &mut entry);
+            }
+        }
+        // All-Gather sweep, reversed order, message sizes growing back.
+        for &dim in order.iter().rev() {
+            let count = (n as u64 / shrink).max(1) as u32;
+            shrink /= dim_sizes[dim] as u64;
+            for members in &groups_per_dim[dim] {
+                ring_phase(&mut b, members, chunk, count, TransferKind::Copy, &mut entry);
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// All dimension-`d` groups: sets of NPUs that differ only in coordinate
+/// `d`, ordered by that coordinate.
+pub(crate) fn dim_groups(topo: &Topology, d: usize) -> Vec<Vec<NpuId>> {
+    let n = topo.num_npus();
+    let size = topo.dims()[d].size();
+    let mut groups: Vec<Vec<NpuId>> = Vec::with_capacity(n / size);
+    for npu in topo.npus() {
+        if topo.coords(npu)[d] == 0 {
+            let mut coords = topo.coords(npu);
+            let members = (0..size)
+                .map(|c| {
+                    coords[d] = c;
+                    topo.npu_at(&coords)
+                })
+                .collect();
+            groups.push(members);
+        }
+    }
+    groups
+}
+
+/// One unidirectional ring pass (d-1 steps) among `members`, each message
+/// carrying `count` base chunks. `entry[npu]` gates each member's first
+/// send and is replaced by this phase's receives.
+fn ring_phase(
+    b: &mut AlgorithmBuilder,
+    members: &[NpuId],
+    chunk: ChunkId,
+    count: u32,
+    kind: TransferKind,
+    entry: &mut [Vec<TransferId>],
+) {
+    let d = members.len();
+    if d < 2 {
+        return;
+    }
+    let mut prev_recv: Vec<Vec<TransferId>> =
+        members.iter().map(|m| entry[m.index()].clone()).collect();
+    let mut phase_recv: Vec<Vec<TransferId>> = vec![Vec::new(); d];
+    for _step in 0..d - 1 {
+        let mut this_recv: Vec<Vec<TransferId>> = vec![Vec::new(); d];
+        for (m, &src) in members.iter().enumerate() {
+            let dst = members[(m + 1) % d];
+            let id = b.push_counted(chunk, count, src, dst, kind, prev_recv[m].clone());
+            this_recv[(m + 1) % d] = vec![id];
+            phase_recv[(m + 1) % d].push(id);
+        }
+        prev_recv = this_recv;
+    }
+    for (m, member) in members.iter().enumerate() {
+        entry[member.index()] = phase_recv[m].clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacos_sim::Simulator;
+    use tacos_topology::{Bandwidth, ByteSize, LinkSpec, Time};
+
+    fn torus() -> Topology {
+        let spec = LinkSpec::new(Time::from_micros(0.7), Bandwidth::gbps(25.0));
+        Topology::torus_3d(4, 4, 4, spec).unwrap()
+    }
+
+    #[test]
+    fn dim_groups_partition() {
+        let t = torus();
+        for d in 0..3 {
+            let groups = dim_groups(&t, d);
+            assert_eq!(groups.len(), 16);
+            let mut seen = std::collections::HashSet::new();
+            for g in &groups {
+                assert_eq!(g.len(), 4);
+                for m in g {
+                    assert!(seen.insert(*m));
+                }
+            }
+            assert_eq!(seen.len(), 64);
+        }
+    }
+
+    #[test]
+    fn blueconnect_completes_on_torus() {
+        let t = torus();
+        let coll = Collective::all_reduce(64, ByteSize::mb(64)).unwrap();
+        let algo = blueconnect(&t, &coll, 4).unwrap();
+        let report = Simulator::new().simulate(&t, &algo).unwrap();
+        assert!(report.collective_time() > Time::ZERO);
+        // The unidirectional per-dimension rings use exactly half of the
+        // bidirectional torus links.
+        let used = report.link_bytes().iter().filter(|&&bytes| bytes > 0).count();
+        assert_eq!(used, t.num_links() / 2);
+    }
+
+    #[test]
+    fn themis_beats_blueconnect_with_chunking() {
+        // Rotated dimension orders spread load across dimensions at any
+        // instant, so Themis should not be slower.
+        let t = torus();
+        let coll = Collective::all_reduce(64, ByteSize::mb(64)).unwrap();
+        let bc = Simulator::new()
+            .simulate(&t, &blueconnect(&t, &coll, 4).unwrap())
+            .unwrap()
+            .collective_time();
+        let th = Simulator::new()
+            .simulate(&t, &themis(&t, &coll, 4).unwrap())
+            .unwrap()
+            .collective_time();
+        assert!(th <= bc, "themis {th} should not lose to blueconnect {bc}");
+    }
+
+    #[test]
+    fn themis_struggles_on_asymmetric_grid() {
+        // Paper Fig. 16: on the 3D grid (no wraparound) the per-dimension
+        // rings force routed detours; utilization collapses vs. the torus.
+        let spec = LinkSpec::new(Time::from_micros(0.7), Bandwidth::gbps(25.0));
+        let grid = Topology::hypercube_3d(4, 4, 4, spec).unwrap();
+        let torus = torus();
+        let coll = Collective::all_reduce(64, ByteSize::mb(64)).unwrap();
+        let on_torus = Simulator::new()
+            .simulate(&torus, &themis(&torus, &coll, 4).unwrap())
+            .unwrap()
+            .collective_time();
+        let on_grid = Simulator::new()
+            .simulate(&grid, &themis(&grid, &coll, 4).unwrap())
+            .unwrap()
+            .collective_time();
+        assert!(
+            on_grid > on_torus,
+            "grid {on_grid} should be slower than torus {on_torus}"
+        );
+    }
+
+    #[test]
+    fn requires_dimensions() {
+        let spec = LinkSpec::new(Time::from_micros(0.7), Bandwidth::gbps(25.0));
+        let fc = Topology::fully_connected(8, spec).unwrap();
+        let coll = Collective::all_reduce(8, ByteSize::mb(8)).unwrap();
+        assert!(matches!(
+            blueconnect(&fc, &coll, 4),
+            Err(BaselineError::DimensionsRequired { .. })
+        ));
+    }
+
+    #[test]
+    fn requires_all_reduce() {
+        let t = torus();
+        let coll = Collective::all_gather(64, ByteSize::mb(64)).unwrap();
+        assert!(matches!(
+            themis(&t, &coll, 4),
+            Err(BaselineError::UnsupportedPattern { .. })
+        ));
+    }
+}

@@ -1,0 +1,216 @@
+//! C-Cube-like All-Reduce on DGX-1 (Cho, Son, Kim, HPCA '23; paper
+//! §VI-B.5, Fig. 17b).
+//!
+//! C-Cube manually lays two contention-free binary-tree routes over the
+//! DGX-1 hybrid cube-mesh and runs two tree All-Reduces in parallel, each
+//! carrying half the payload. Because the trees must be edge-disjoint,
+//! some NVLinks stay disabled and the remaining ones idle whenever a tree
+//! level has nothing to forward — the structural reason the paper measures
+//! only ~33% of ideal efficiency for C-Cube while TACOS reaches ~93%.
+
+use tacos_collective::algorithm::{
+    AlgorithmBuilder, CollectiveAlgorithm, TransferId, TransferKind,
+};
+use tacos_collective::{ChunkId, Collective, CollectivePattern};
+use tacos_topology::{LinkId, NpuId, Topology};
+
+use crate::error::BaselineError;
+
+/// The two manually designed, edge-disjoint spanning trees over the 8
+/// DGX-1 GPUs, as `(parent, child)` edges. Tree A roots at GPU 0, tree B
+/// at GPU 7; doubled NVLinks (0–3, 0–4, 3–7, 4–7) let both trees cross the
+/// cube without sharing a physical link.
+const TREE_A: (usize, &[(usize, usize)]) =
+    (0, &[(0, 1), (0, 2), (0, 3), (0, 4), (4, 5), (4, 6), (4, 7)]);
+const TREE_B: (usize, &[(usize, usize)]) =
+    (7, &[(7, 5), (7, 6), (7, 3), (7, 4), (3, 0), (3, 1), (3, 2)]);
+
+/// Generates the C-Cube-like All-Reduce with `pipeline` sub-chunks per
+/// tree.
+///
+/// # Errors
+/// * [`BaselineError::WrongTopology`] unless the topology is the 8-GPU
+///   DGX-1 ([`Topology::dgx1`]).
+/// * [`BaselineError::UnsupportedPattern`] for anything but All-Reduce.
+pub fn ccube(
+    topo: &Topology,
+    collective: &Collective,
+    pipeline: usize,
+) -> Result<CollectiveAlgorithm, BaselineError> {
+    if topo.num_npus() != 8 || topo.num_links() != 48 {
+        return Err(BaselineError::WrongTopology {
+            baseline: "ccube",
+            expected: "DGX-1",
+        });
+    }
+    if topo.num_npus() != collective.num_npus() {
+        return Err(BaselineError::NpuCountMismatch {
+            topology: topo.num_npus(),
+            collective: collective.num_npus(),
+        });
+    }
+    if collective.pattern() != CollectivePattern::AllReduce {
+        return Err(BaselineError::UnsupportedPattern {
+            baseline: "ccube",
+            pattern: collective.pattern().short_name(),
+        });
+    }
+    let pipeline = pipeline.max(1);
+    let chunk_size = collective.total_size().split(2 * pipeline as u64);
+    let mut b = AlgorithmBuilder::new("ccube", 8, chunk_size, collective.total_size());
+
+    // Pin each tree edge (both directions) to a dedicated physical link so
+    // the two trees never contend.
+    let mut used = vec![false; topo.num_links()];
+    let mut pick_link = |src: usize, dst: usize| -> LinkId {
+        let src = NpuId::new(src as u32);
+        for &lid in topo.out_links(src) {
+            if topo.link(lid).dst() == NpuId::new(dst as u32) && !used[lid.index()] {
+                used[lid.index()] = true;
+                return lid;
+            }
+        }
+        unreachable!("tree edge {src} -> NPU{dst} has no free physical link")
+    };
+
+    for (t, (root, edges)) in [TREE_A, TREE_B].into_iter().enumerate() {
+        // Resolve pinned links once per direction.
+        let down: Vec<(usize, usize, LinkId)> = edges
+            .iter()
+            .map(|&(p, c)| (p, c, pick_link(p, c)))
+            .collect();
+        let up: Vec<(usize, usize, LinkId)> = edges
+            .iter()
+            .map(|&(p, c)| (c, p, pick_link(c, p)))
+            .collect();
+        let children_of = |v: usize| -> Vec<usize> {
+            edges.iter().filter(|&&(p, _)| p == v).map(|&(_, c)| c).collect()
+        };
+        for sub in 0..pipeline {
+            let chunk = ChunkId::new((t * pipeline + sub) as u32);
+            // Reduce up (leaves toward root): child sends after its own
+            // subtree delivered.
+            let mut into: Vec<Vec<TransferId>> = vec![Vec::new(); 8];
+            // Process edges deepest-first: repeatedly emit edges whose
+            // child subtree is complete.
+            let mut remaining: Vec<(usize, usize, LinkId)> = up.clone();
+            let pending_children: Vec<usize> =
+                (0..8).map(|v| children_of(v).len()).collect();
+            while !remaining.is_empty() {
+                let mut progressed = false;
+                remaining.retain(|&(child, parent, link)| {
+                    if pending_children[child] == into[child].len() {
+                        let id = b.push_on_link(
+                            chunk,
+                            1,
+                            NpuId::new(child as u32),
+                            NpuId::new(parent as u32),
+                            TransferKind::Reduce,
+                            link,
+                            into[child].clone(),
+                        );
+                        into[parent].push(id);
+                        progressed = true;
+                        false
+                    } else {
+                        true
+                    }
+                });
+                assert!(progressed, "tree reduce did not make progress");
+            }
+            // Broadcast down, gated on the root's reduction.
+            let mut recv: Vec<Vec<TransferId>> = vec![Vec::new(); 8];
+            recv[root] = into[root].clone();
+            // Emit parents before children.
+            let mut order = vec![root];
+            let mut i = 0;
+            while i < order.len() {
+                let v = order[i];
+                i += 1;
+                for c in children_of(v) {
+                    order.push(c);
+                }
+            }
+            for v in order {
+                for &(p, c, link) in &down {
+                    if p == v {
+                        let id = b.push_on_link(
+                            chunk,
+                            1,
+                            NpuId::new(p as u32),
+                            NpuId::new(c as u32),
+                            TransferKind::Copy,
+                            link,
+                            recv[p].clone(),
+                        );
+                        recv[c] = vec![id];
+                    }
+                }
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacos_sim::Simulator;
+    use tacos_topology::{Bandwidth, ByteSize, LinkSpec, Time};
+
+    fn dgx1() -> Topology {
+        Topology::dgx1(LinkSpec::new(Time::from_micros(0.7), Bandwidth::gbps(25.0))).unwrap()
+    }
+
+    #[test]
+    fn trees_are_edge_disjoint_and_spanning() {
+        let topo = dgx1();
+        let coll = Collective::all_reduce(8, ByteSize::mb(8)).unwrap();
+        // Construction panics (unreachable!) if a physical link is missing.
+        let algo = ccube(&topo, &coll, 1).unwrap();
+        // 2 trees x (7 reduce + 7 copy).
+        assert_eq!(algo.len(), 28);
+        // Every transfer has a pinned link and no two transfers of
+        // different trees share one.
+        let links: Vec<_> = algo.transfers().iter().map(|t| t.link().unwrap()).collect();
+        assert_eq!(links.len(), 28);
+    }
+
+    #[test]
+    fn ccube_completes_and_underutilizes() {
+        let topo = dgx1();
+        let coll = Collective::all_reduce(8, ByteSize::gb(1)).unwrap();
+        let algo = ccube(&topo, &coll, 4).unwrap();
+        let report = Simulator::new().simulate(&topo, &algo).unwrap();
+        assert!(report.collective_time() > Time::ZERO);
+        // The paper's point: many NVLinks stay idle under C-Cube.
+        let idle = report.link_bytes().iter().filter(|&&bytes| bytes == 0).count();
+        assert!(idle >= 16, "only {idle} idle links");
+    }
+
+    #[test]
+    fn pipelining_improves_ccube() {
+        let topo = dgx1();
+        let coll = Collective::all_reduce(8, ByteSize::gb(1)).unwrap();
+        let t1 = Simulator::new()
+            .simulate(&topo, &ccube(&topo, &coll, 1).unwrap())
+            .unwrap()
+            .collective_time();
+        let t8 = Simulator::new()
+            .simulate(&topo, &ccube(&topo, &coll, 8).unwrap())
+            .unwrap()
+            .collective_time();
+        assert!(t8 < t1);
+    }
+
+    #[test]
+    fn wrong_topology_rejected() {
+        let spec = LinkSpec::new(Time::from_micros(0.7), Bandwidth::gbps(25.0));
+        let fc = Topology::fully_connected(8, spec).unwrap();
+        let coll = Collective::all_reduce(8, ByteSize::mb(8)).unwrap();
+        assert!(matches!(
+            ccube(&fc, &coll, 4),
+            Err(BaselineError::WrongTopology { .. })
+        ));
+    }
+}

@@ -1,0 +1,261 @@
+//! Double Binary Tree All-Reduce (NCCL 2.4; paper §V-A).
+//!
+//! Two complementary binary trees each carry half the payload: partials
+//! reduce up each tree to its root, then the result broadcasts back down.
+//! Pipelining comes from splitting each half into sub-chunks that flow
+//! through the tree concurrently. Tree 2 is tree 1 shifted by one rank, so
+//! (for even `n`) tree 1's leaves are tree 2's internal nodes and each
+//! NPU's links are used in both directions.
+
+use tacos_collective::algorithm::{
+    AlgorithmBuilder, CollectiveAlgorithm, TransferId, TransferKind,
+};
+use tacos_collective::{ChunkId, Collective, CollectivePattern};
+use tacos_topology::{NpuId, Topology};
+
+use crate::error::BaselineError;
+
+/// A rooted tree over ranks: `parent[r]` (`None` for the root) plus child
+/// lists.
+#[derive(Debug, Clone)]
+pub(crate) struct Tree {
+    pub root: usize,
+    pub parent: Vec<Option<usize>>,
+    pub children: Vec<Vec<usize>>,
+}
+
+impl Tree {
+    /// Balanced in-order binary tree over `0..n`: the root is the middle
+    /// rank, recursively.
+    pub(crate) fn balanced(n: usize) -> Tree {
+        let mut parent = vec![None; n];
+        let mut children = vec![Vec::new(); n];
+        let root = build(0, n - 1, &mut parent, &mut children);
+        Tree { root, parent, children }
+    }
+
+    /// This tree with every rank shifted by `delta` (mod n).
+    pub(crate) fn shifted(&self, delta: usize) -> Tree {
+        let n = self.parent.len();
+        let map = |r: usize| (r + delta) % n;
+        let mut parent = vec![None; n];
+        let mut children = vec![Vec::new(); n];
+        for r in 0..n {
+            if let Some(p) = self.parent[r] {
+                parent[map(r)] = Some(map(p));
+            }
+            children[map(r)] = self.children[r].iter().map(|&c| map(c)).collect();
+        }
+        Tree { root: map(self.root), parent, children }
+    }
+}
+
+fn build(
+    lo: usize,
+    hi: usize,
+    parent: &mut [Option<usize>],
+    children: &mut [Vec<usize>],
+) -> usize {
+    let mid = (lo + hi) / 2;
+    if mid > lo {
+        let left = build(lo, mid - 1, parent, children);
+        parent[left] = Some(mid);
+        children[mid].push(left);
+    }
+    if mid < hi {
+        let right = build(mid + 1, hi, parent, children);
+        parent[right] = Some(mid);
+        children[mid].push(right);
+    }
+    mid
+}
+
+/// Generates the Double Binary Tree All-Reduce with `pipeline` sub-chunks
+/// per tree.
+///
+/// # Errors
+/// [`BaselineError::UnsupportedPattern`] for anything but All-Reduce.
+pub fn dbt(
+    topo: &Topology,
+    collective: &Collective,
+    pipeline: usize,
+) -> Result<CollectiveAlgorithm, BaselineError> {
+    if topo.num_npus() != collective.num_npus() {
+        return Err(BaselineError::NpuCountMismatch {
+            topology: topo.num_npus(),
+            collective: collective.num_npus(),
+        });
+    }
+    if collective.pattern() != CollectivePattern::AllReduce {
+        return Err(BaselineError::UnsupportedPattern {
+            baseline: "dbt",
+            pattern: collective.pattern().short_name(),
+        });
+    }
+    let n = collective.num_npus();
+    let pipeline = pipeline.max(1);
+    // Each tree carries half the payload, split into `pipeline` sub-chunks.
+    let num_chunks = 2 * pipeline as u64;
+    let chunk_size = collective.total_size().split(num_chunks);
+    let mut b = AlgorithmBuilder::new("dbt", n, chunk_size, collective.total_size());
+
+    let tree1 = Tree::balanced(n);
+    let tree2 = tree1.shifted(1);
+    for (t, tree) in [tree1, tree2].iter().enumerate() {
+        for c in 0..pipeline {
+            let chunk = ChunkId::new((t * pipeline + c) as u32);
+            tree_all_reduce(&mut b, tree, chunk);
+        }
+    }
+    Ok(b.build())
+}
+
+/// Reduce `chunk` up `tree` then broadcast it back down.
+pub(crate) fn tree_all_reduce(b: &mut AlgorithmBuilder, tree: &Tree, chunk: ChunkId) {
+    let n = tree.parent.len();
+    // Post-order reduce-up: each node sends to its parent after all its
+    // children delivered. `up_recv[v]` collects the reduce transfers into v.
+    let mut up_recv: Vec<Vec<TransferId>> = vec![Vec::new(); n];
+    for v in post_order(tree) {
+        if let Some(p) = tree.parent[v] {
+            let deps = up_recv[v].clone();
+            let id = b.push(
+                chunk,
+                NpuId::new(v as u32),
+                NpuId::new(p as u32),
+                TransferKind::Reduce,
+                deps,
+            );
+            up_recv[p].push(id);
+        }
+    }
+    // Pre-order broadcast-down: each node forwards after receiving (the
+    // root after its reduction completes).
+    let mut down_recv: Vec<Vec<TransferId>> = vec![Vec::new(); n];
+    down_recv[tree.root] = up_recv[tree.root].clone();
+    for v in pre_order(tree) {
+        for &c in &tree.children[v] {
+            let deps = down_recv[v].clone();
+            let id = b.push(
+                chunk,
+                NpuId::new(v as u32),
+                NpuId::new(c as u32),
+                TransferKind::Copy,
+                deps,
+            );
+            down_recv[c] = vec![id];
+        }
+    }
+}
+
+fn post_order(tree: &Tree) -> Vec<usize> {
+    let mut out = Vec::with_capacity(tree.parent.len());
+    let mut stack = vec![(tree.root, false)];
+    while let Some((v, expanded)) = stack.pop() {
+        if expanded {
+            out.push(v);
+        } else {
+            stack.push((v, true));
+            for &c in &tree.children[v] {
+                stack.push((c, false));
+            }
+        }
+    }
+    out
+}
+
+fn pre_order(tree: &Tree) -> Vec<usize> {
+    let mut out = Vec::with_capacity(tree.parent.len());
+    let mut stack = vec![tree.root];
+    while let Some(v) = stack.pop() {
+        out.push(v);
+        for &c in &tree.children[v] {
+            stack.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacos_sim::Simulator;
+    use tacos_topology::{Bandwidth, ByteSize, LinkSpec, RingOrientation, Time};
+
+    fn spec() -> LinkSpec {
+        LinkSpec::new(Time::from_micros(0.5), Bandwidth::gbps(50.0))
+    }
+
+    #[test]
+    fn balanced_tree_shape() {
+        let t = Tree::balanced(7);
+        assert_eq!(t.root, 3);
+        assert_eq!(t.children[3], vec![1, 5]);
+        assert_eq!(t.children[1], vec![0, 2]);
+        assert_eq!(t.parent[0], Some(1));
+        // Leaves are the even ranks.
+        for leaf in [0, 2, 4, 6] {
+            assert!(t.children[leaf].is_empty());
+        }
+    }
+
+    #[test]
+    fn shifted_tree_complements_leaves() {
+        let t1 = Tree::balanced(8);
+        let t2 = t1.shifted(1);
+        // A rank that is a leaf in t1 should be internal in t2 (mostly).
+        let internal_in_t2 = (0..8)
+            .filter(|&r| t1.children[r].is_empty() && !t2.children[r].is_empty())
+            .count();
+        assert!(internal_in_t2 >= 3, "only {internal_in_t2} leaves promoted");
+    }
+
+    #[test]
+    fn dbt_all_reduce_completes() {
+        let topo = Topology::fully_connected(8, spec()).unwrap();
+        let coll = Collective::all_reduce(8, ByteSize::mb(8)).unwrap();
+        let algo = dbt(&topo, &coll, 4).unwrap();
+        // Per tree per sub-chunk: (n-1) reduces + (n-1) copies.
+        assert_eq!(algo.len(), 2 * 4 * 14);
+        let report = Simulator::new().simulate(&topo, &algo).unwrap();
+        assert!(report.collective_time() > Time::ZERO);
+    }
+
+    #[test]
+    fn pipelining_helps_on_trees() {
+        let topo = Topology::fully_connected(8, spec()).unwrap();
+        let coll = Collective::all_reduce(8, ByteSize::mb(64)).unwrap();
+        let t1 = Simulator::new()
+            .simulate(&topo, &dbt(&topo, &coll, 1).unwrap())
+            .unwrap()
+            .collective_time();
+        let t8 = Simulator::new()
+            .simulate(&topo, &dbt(&topo, &coll, 8).unwrap())
+            .unwrap()
+            .collective_time();
+        assert!(t8 < t1, "pipelined {t8} should beat unpipelined {t1}");
+    }
+
+    #[test]
+    fn dbt_on_ring_contends() {
+        let topo = Topology::ring(8, spec(), RingOrientation::Bidirectional).unwrap();
+        let coll = Collective::all_reduce(8, ByteSize::mb(8)).unwrap();
+        let d = Simulator::new()
+            .simulate(&topo, &dbt(&topo, &coll, 4).unwrap())
+            .unwrap();
+        let r = Simulator::new()
+            .simulate(&topo, &crate::ring::ring_bidirectional(&topo, &coll).unwrap())
+            .unwrap();
+        assert!(d.collective_time() > r.collective_time());
+    }
+
+    #[test]
+    fn wrong_pattern_rejected() {
+        let topo = Topology::fully_connected(4, spec()).unwrap();
+        let coll = Collective::all_gather(4, ByteSize::mb(4)).unwrap();
+        assert!(matches!(
+            dbt(&topo, &coll, 4),
+            Err(BaselineError::UnsupportedPattern { .. })
+        ));
+    }
+}

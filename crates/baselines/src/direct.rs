@@ -1,0 +1,182 @@
+//! The Direct collective algorithm (paper Fig. 5b): every NPU exchanges
+//! directly with every other NPU in a single conceptual step.
+//!
+//! Optimal on FullyConnected fabrics (and for latency-bound tiny
+//! collectives); on sparse topologies the all-to-all traffic is routed over
+//! multi-hop shortest paths and collapses under contention — the paper's
+//! Fig. 2a shows Ring beating Direct by 16.7× on a physical ring.
+
+use tacos_collective::algorithm::{
+    AlgorithmBuilder, CollectiveAlgorithm, TransferId, TransferKind,
+};
+use tacos_collective::{ChunkId, Collective, CollectivePattern};
+use tacos_topology::{NpuId, Topology};
+
+use crate::error::BaselineError;
+
+/// Generates the Direct algorithm for All-Gather, Reduce-Scatter, or
+/// All-Reduce.
+///
+/// * All-Gather: NPU `i` sends its shard straight to every peer.
+/// * Reduce-Scatter: NPU `i` sends segment `j` of its buffer straight to
+///   NPU `j`.
+/// * All-Reduce: Reduce-Scatter then All-Gather, with each NPU's gather
+///   sends gated on its reduction completing.
+///
+/// # Errors
+/// [`BaselineError::UnsupportedPattern`] for rooted patterns.
+pub fn direct(
+    topo: &Topology,
+    collective: &Collective,
+) -> Result<CollectiveAlgorithm, BaselineError> {
+    if topo.num_npus() != collective.num_npus() {
+        return Err(BaselineError::NpuCountMismatch {
+            topology: topo.num_npus(),
+            collective: collective.num_npus(),
+        });
+    }
+    let n = collective.num_npus();
+    let chunk_size = match collective.pattern() {
+        // All-to-All shards are per-(src,dst) and may be sub-chunked.
+        CollectivePattern::AllToAll => collective.chunk_size(),
+        _ => collective.total_size().split(n as u64),
+    };
+    let mut b = AlgorithmBuilder::new("direct", n, chunk_size, collective.total_size());
+    match collective.pattern() {
+        CollectivePattern::AllGather => {
+            scatter_phase(&mut b, n, TransferKind::Copy, true, &[]);
+        }
+        CollectivePattern::ReduceScatter => {
+            scatter_phase(&mut b, n, TransferKind::Reduce, false, &[]);
+        }
+        CollectivePattern::AllReduce => {
+            let recvs = scatter_phase(&mut b, n, TransferKind::Reduce, false, &[]);
+            scatter_phase(&mut b, n, TransferKind::Copy, true, &recvs);
+        }
+        CollectivePattern::AllToAll => {
+            // One direct message per ordered pair carrying that pair's
+            // shard (chunk id (i·n + j)·k encoded with count k).
+            let k = collective.chunks_per_npu() as u32;
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j {
+                        b.push_counted(
+                            ChunkId::new(((i * n + j) as u32) * k),
+                            k,
+                            NpuId::new(i as u32),
+                            NpuId::new(j as u32),
+                            TransferKind::Copy,
+                            vec![],
+                        );
+                    }
+                }
+            }
+        }
+        CollectivePattern::Broadcast { .. }
+        | CollectivePattern::Reduce { .. }
+        | CollectivePattern::Gather { .. }
+        | CollectivePattern::Scatter { .. } => {
+            return Err(BaselineError::UnsupportedPattern {
+                baseline: "direct",
+                pattern: collective.pattern().short_name(),
+            });
+        }
+    }
+    Ok(b.build())
+}
+
+/// One direct phase. If `own_segment` is true each NPU distributes its own
+/// segment (All-Gather style); otherwise NPU `i` sends segment `j` to NPU
+/// `j` (Reduce-Scatter style). `entry_deps[i]` gates NPU `i`'s sends.
+/// Returns, per NPU, the transfers received (for the next phase's gates).
+fn scatter_phase(
+    b: &mut AlgorithmBuilder,
+    n: usize,
+    kind: TransferKind,
+    own_segment: bool,
+    entry_deps: &[Vec<TransferId>],
+) -> Vec<Vec<TransferId>> {
+    let mut received: Vec<Vec<TransferId>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let seg = if own_segment { i } else { j };
+            let deps = entry_deps.get(i).cloned().unwrap_or_default();
+            let id = b.push(
+                ChunkId::new(seg as u32),
+                NpuId::new(i as u32),
+                NpuId::new(j as u32),
+                kind,
+                deps,
+            );
+            received[j].push(id);
+        }
+    }
+    received
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacos_sim::Simulator;
+    use tacos_topology::{Bandwidth, ByteSize, LinkSpec, RingOrientation, Time};
+
+    fn spec() -> LinkSpec {
+        LinkSpec::new(Time::from_micros(0.5), Bandwidth::gbps(50.0))
+    }
+
+    #[test]
+    fn all_gather_on_fully_connected_is_one_step() {
+        let topo = Topology::fully_connected(8, spec()).unwrap();
+        let coll = Collective::all_gather(8, ByteSize::mb(8)).unwrap();
+        let algo = direct(&topo, &coll).unwrap();
+        assert_eq!(algo.len(), 56);
+        let report = Simulator::new().simulate(&topo, &algo).unwrap();
+        assert_eq!(report.collective_time(), spec().cost(ByteSize::mb(1)));
+    }
+
+    #[test]
+    fn all_reduce_on_fully_connected_is_two_steps() {
+        let topo = Topology::fully_connected(8, spec()).unwrap();
+        let coll = Collective::all_reduce(8, ByteSize::mb(8)).unwrap();
+        let algo = direct(&topo, &coll).unwrap();
+        let report = Simulator::new().simulate(&topo, &algo).unwrap();
+        assert_eq!(report.collective_time(), spec().cost(ByteSize::mb(1)) * 2);
+        // Perfectly balanced: every link carries exactly 2 MB.
+        let bytes = report.link_bytes();
+        assert!(bytes.iter().all(|&b| b == 2_000_000));
+    }
+
+    #[test]
+    fn direct_on_ring_oversubscribes() {
+        // Paper Fig. 2a: Direct on a Ring is ~16x worse than Ring (at 64
+        // NPUs; the gap grows with the average hop distance, so 16 NPUs
+        // already shows several x).
+        let topo = Topology::ring(16, spec(), RingOrientation::Bidirectional).unwrap();
+        let coll = Collective::all_reduce(16, ByteSize::mb(16)).unwrap();
+        let d = Simulator::new()
+            .simulate(&topo, &direct(&topo, &coll).unwrap())
+            .unwrap();
+        let r = Simulator::new()
+            .simulate(&topo, &crate::ring::ring_bidirectional(&topo, &coll).unwrap())
+            .unwrap();
+        assert!(
+            d.collective_time() > r.collective_time() * 3,
+            "direct {} should be much slower than ring {}",
+            d.collective_time(),
+            r.collective_time()
+        );
+    }
+
+    #[test]
+    fn rooted_patterns_unsupported() {
+        let topo = Topology::fully_connected(4, spec()).unwrap();
+        let coll = Collective::reduce(4, NpuId::new(0), ByteSize::mb(1)).unwrap();
+        assert!(matches!(
+            direct(&topo, &coll),
+            Err(BaselineError::UnsupportedPattern { .. })
+        ));
+    }
+}

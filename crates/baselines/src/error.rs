@@ -1,0 +1,106 @@
+//! Error type for baseline-algorithm generation.
+
+use std::error::Error;
+use std::fmt;
+
+use tacos_collective::CollectiveError;
+
+/// Errors produced while generating a baseline collective algorithm.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BaselineError {
+    /// This baseline does not implement the requested collective pattern.
+    UnsupportedPattern {
+        /// The baseline's name.
+        baseline: &'static str,
+        /// The requested pattern's name.
+        pattern: &'static str,
+    },
+    /// The baseline requires a power-of-two NPU count (RHD, paper §V-A).
+    PowerOfTwoRequired {
+        /// The offending NPU count.
+        num_npus: usize,
+    },
+    /// The baseline requires hierarchical dimension metadata on the
+    /// topology (BlueConnect, Themis).
+    DimensionsRequired {
+        /// The baseline's name.
+        baseline: &'static str,
+    },
+    /// The baseline is specific to one topology (C-Cube needs DGX-1).
+    WrongTopology {
+        /// The baseline's name.
+        baseline: &'static str,
+        /// What it expected.
+        expected: &'static str,
+    },
+    /// The collective's participant count differs from the topology's.
+    NpuCountMismatch {
+        /// NPUs in the topology.
+        topology: usize,
+        /// Participants in the collective.
+        collective: usize,
+    },
+    /// An underlying collective-description error.
+    Collective(CollectiveError),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::UnsupportedPattern { baseline, pattern } => {
+                write!(f, "baseline '{baseline}' does not implement {pattern}")
+            }
+            BaselineError::PowerOfTwoRequired { num_npus } => {
+                write!(f, "RHD requires a power-of-two NPU count, got {num_npus}")
+            }
+            BaselineError::DimensionsRequired { baseline } => {
+                write!(f, "baseline '{baseline}' requires a multi-dimensional topology")
+            }
+            BaselineError::WrongTopology { baseline, expected } => {
+                write!(f, "baseline '{baseline}' requires a {expected} topology")
+            }
+            BaselineError::NpuCountMismatch { topology, collective } => write!(
+                f,
+                "topology has {topology} NPUs but the collective expects {collective}"
+            ),
+            BaselineError::Collective(e) => write!(f, "collective error: {e}"),
+        }
+    }
+}
+
+impl Error for BaselineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BaselineError::Collective(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CollectiveError> for BaselineError {
+    fn from(e: CollectiveError) -> Self {
+        BaselineError::Collective(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(BaselineError::UnsupportedPattern { baseline: "rhd", pattern: "All-Gather" }
+            .to_string()
+            .contains("does not implement"));
+        assert!(BaselineError::PowerOfTwoRequired { num_npus: 6 }
+            .to_string()
+            .contains("power-of-two"));
+        assert!(BaselineError::DimensionsRequired { baseline: "blueconnect" }
+            .to_string()
+            .contains("multi-dimensional"));
+        assert!(BaselineError::WrongTopology { baseline: "ccube", expected: "DGX-1" }
+            .to_string()
+            .contains("DGX-1"));
+    }
+}

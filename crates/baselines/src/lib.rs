@@ -1,0 +1,211 @@
+//! # tacos-baselines
+//!
+//! Every baseline collective algorithm the TACOS paper evaluates against
+//! (§V-A), all emitting the shared
+//! [`CollectiveAlgorithm`] IR so the congestion-aware simulator treats
+//! them identically:
+//!
+//! [`CollectiveAlgorithm`]: tacos_collective::algorithm::CollectiveAlgorithm
+//!
+//! | Baseline | Module | Paper role |
+//! |---|---|---|
+//! | Ring (uni/bidirectional) | [`ring`] | default CCL algorithm, Figs. 1–2, 15–18, 20–21 |
+//! | Direct | [`direct`] | FullyConnected specialist, Figs. 1–2, 15, Table V |
+//! | Recursive Halving-Doubling | [`rhd`] | power-of-two specialist, Fig. 2, Table V |
+//! | Double Binary Tree | [`dbt`] | NCCL 2.4 trees, Fig. 2 |
+//! | BlueConnect | [`blueconnect`] | multi-dimensional hierarchies, Fig. 16 |
+//! | Themis | [`blueconnect`] | chunk-balanced BlueConnect, Figs. 16, 20–21 |
+//! | MultiTree | [`multitree`] | spanning-tree synthesizer, Fig. 17a |
+//! | C-Cube | [`ccube`] | manual DGX-1 trees, Fig. 17b |
+//! | TACCL-like | [`taccl`] | ILP-style bounded search, Fig. 15/19, Table V |
+//! | Ideal bound | [`IdealBound`] | theoretical upper bound, every figure |
+//!
+//! [`BaselineAlgorithm`] is the uniform dispatcher used by the experiment
+//! harness.
+
+#![warn(missing_docs)]
+
+pub mod blueconnect;
+pub mod ccube;
+pub mod dbt;
+pub mod direct;
+mod error;
+mod ideal;
+pub mod multitree;
+pub mod rhd;
+pub mod ring;
+pub mod taccl;
+
+use tacos_collective::algorithm::CollectiveAlgorithm;
+use tacos_collective::Collective;
+use tacos_topology::Topology;
+
+pub use error::BaselineError;
+pub use ideal::IdealBound;
+pub use taccl::{TacclConfig, TacclResult};
+
+/// Selects one of the baseline collective algorithms.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BaselineKind {
+    /// Unidirectional Ring.
+    RingUnidirectional,
+    /// Bidirectional Ring (the paper's default baseline, footnote 3),
+    /// naively mapped over NPU-id order.
+    Ring,
+    /// NCCL-style Ring over searched embeddings: up to `max_rings`
+    /// edge-disjoint Hamiltonian cycles share the payload (used for the
+    /// DGX-1 comparison of Fig. 17b).
+    RingEmbedded {
+        /// Maximum parallel rings to extract.
+        max_rings: usize,
+    },
+    /// Direct all-to-all.
+    Direct,
+    /// Recursive Halving-Doubling (power-of-two NPU counts).
+    Rhd,
+    /// Double Binary Tree with the given pipeline depth.
+    Dbt {
+        /// Sub-chunks per tree for pipelining.
+        pipeline: usize,
+    },
+    /// BlueConnect with the given number of pipelined chunk groups.
+    BlueConnect {
+        /// Chunk groups (the paper uses 4).
+        chunks: usize,
+    },
+    /// Themis with the given number of load-balanced chunk groups.
+    Themis {
+        /// Chunk groups (the paper uses 4 and 64).
+        chunks: usize,
+    },
+    /// MultiTree spanning-tree synthesis.
+    MultiTree,
+    /// C-Cube dual trees on DGX-1 with the given pipeline depth.
+    CCube {
+        /// Sub-chunks per tree for pipelining.
+        pipeline: usize,
+    },
+    /// TACCL-like bounded-optimal search.
+    TacclLike(TacclConfig),
+}
+
+impl BaselineKind {
+    /// Short display name matching the paper's figure legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BaselineKind::RingUnidirectional => "ring-uni",
+            BaselineKind::Ring => "ring",
+            BaselineKind::RingEmbedded { .. } => "ring-embedded",
+            BaselineKind::Direct => "direct",
+            BaselineKind::Rhd => "rhd",
+            BaselineKind::Dbt { .. } => "dbt",
+            BaselineKind::BlueConnect { .. } => "blueconnect",
+            BaselineKind::Themis { .. } => "themis",
+            BaselineKind::MultiTree => "multitree",
+            BaselineKind::CCube { .. } => "ccube",
+            BaselineKind::TacclLike(_) => "taccl",
+        }
+    }
+}
+
+/// Uniform generator over all baselines.
+///
+/// ```
+/// use tacos_baselines::{BaselineAlgorithm, BaselineKind};
+/// use tacos_collective::Collective;
+/// use tacos_topology::{Bandwidth, ByteSize, LinkSpec, RingOrientation, Time, Topology};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let spec = LinkSpec::new(Time::from_micros(0.5), Bandwidth::gbps(50.0));
+/// let ring = Topology::ring(8, spec, RingOrientation::Bidirectional)?;
+/// let coll = Collective::all_reduce(8, ByteSize::gb(1))?;
+/// let algo = BaselineAlgorithm::new(BaselineKind::Ring).generate(&ring, &coll)?;
+/// assert_eq!(algo.name(), "ring-bi");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BaselineAlgorithm {
+    kind: BaselineKind,
+}
+
+impl BaselineAlgorithm {
+    /// Wraps a baseline selection.
+    pub fn new(kind: BaselineKind) -> Self {
+        BaselineAlgorithm { kind }
+    }
+
+    /// The wrapped selection.
+    pub fn kind(&self) -> &BaselineKind {
+        &self.kind
+    }
+
+    /// Generates the baseline's algorithm for `collective` on `topo`.
+    ///
+    /// # Errors
+    /// Propagates each baseline's requirements (pattern support,
+    /// power-of-two, dimension metadata, DGX-1) — see [`BaselineError`].
+    pub fn generate(
+        &self,
+        topo: &Topology,
+        collective: &Collective,
+    ) -> Result<CollectiveAlgorithm, BaselineError> {
+        match &self.kind {
+            BaselineKind::RingUnidirectional => ring::ring_unidirectional(topo, collective),
+            BaselineKind::Ring => ring::ring_bidirectional(topo, collective),
+            BaselineKind::RingEmbedded { max_rings } => {
+                ring::ring_embedded(topo, collective, *max_rings)
+            }
+            BaselineKind::Direct => direct::direct(topo, collective),
+            BaselineKind::Rhd => rhd::rhd(topo, collective),
+            BaselineKind::Dbt { pipeline } => dbt::dbt(topo, collective, *pipeline),
+            BaselineKind::BlueConnect { chunks } => {
+                blueconnect::blueconnect(topo, collective, *chunks)
+            }
+            BaselineKind::Themis { chunks } => blueconnect::themis(topo, collective, *chunks),
+            BaselineKind::MultiTree => multitree::multitree(topo, collective),
+            BaselineKind::CCube { pipeline } => ccube::ccube(topo, collective, *pipeline),
+            BaselineKind::TacclLike(config) => {
+                taccl::taccl_like(topo, collective, config).map(|r| r.algorithm)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacos_sim::Simulator;
+    use tacos_topology::{Bandwidth, ByteSize, LinkSpec, RingOrientation, Time};
+
+    #[test]
+    fn dispatcher_covers_every_kind() {
+        let spec = LinkSpec::new(Time::from_micros(0.5), Bandwidth::gbps(50.0));
+        let ring = Topology::ring(8, spec, RingOrientation::Bidirectional).unwrap();
+        let coll = Collective::all_reduce(8, ByteSize::mb(8)).unwrap();
+        let kinds = [
+            BaselineKind::RingUnidirectional,
+            BaselineKind::Ring,
+            BaselineKind::Direct,
+            BaselineKind::Rhd,
+            BaselineKind::Dbt { pipeline: 2 },
+            BaselineKind::MultiTree,
+            BaselineKind::TacclLike(TacclConfig::default()),
+        ];
+        for kind in kinds {
+            let name = kind.name();
+            let algo = BaselineAlgorithm::new(kind).generate(&ring, &coll).unwrap();
+            let report = Simulator::new().simulate(&ring, &algo).unwrap();
+            assert!(report.collective_time() > Time::ZERO, "{name}");
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(BaselineKind::Ring.name(), "ring");
+        assert_eq!(BaselineKind::Direct.name(), "direct");
+        assert_eq!(BaselineKind::Themis { chunks: 4 }.name(), "themis");
+        assert_eq!(BaselineKind::TacclLike(TacclConfig::default()).name(), "taccl");
+    }
+}

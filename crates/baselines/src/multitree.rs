@@ -1,0 +1,256 @@
+//! MultiTree-like collective synthesis (Huang et al., ISCA '21; paper
+//! §V-A, §VI-B.4).
+//!
+//! MultiTree builds a height-balanced spanning tree rooted at **every**
+//! NPU (BFS with link-load balancing) and broadcasts each root's shard
+//! down its tree (All-Gather); Reduce-Scatter reduces up the reversed
+//! trees; All-Reduce chains both. Its key limitation — the reason TACOS
+//! outpaces it for large collectives (paper Fig. 17a) — is that it moves
+//! each NPU's shard as a **single chunk**, so multiple chunks never
+//! overlap on a link and bandwidth saturates beyond ~1 MB.
+
+use tacos_collective::algorithm::{
+    AlgorithmBuilder, CollectiveAlgorithm, TransferId, TransferKind,
+};
+use tacos_collective::{ChunkId, Collective, CollectivePattern};
+use tacos_topology::{NpuId, Topology};
+
+use crate::error::BaselineError;
+
+/// A spanning tree as parent pointers plus BFS order.
+#[derive(Debug, Clone)]
+struct SpanningTree {
+    root: usize,
+    parent: Vec<Option<usize>>,
+    bfs_order: Vec<usize>,
+}
+
+/// Builds height-balanced BFS spanning trees from every root, greedily
+/// preferring links with the lowest accumulated load so the tree set
+/// spreads over the physical network.
+fn build_trees(topo: &Topology) -> Vec<SpanningTree> {
+    let n = topo.num_npus();
+    let mut link_load = vec![0u32; topo.num_links()];
+    let mut trees = Vec::with_capacity(n);
+    for root in 0..n {
+        let mut parent = vec![None; n];
+        let mut depth = vec![usize::MAX; n];
+        depth[root] = 0;
+        let mut frontier = vec![root];
+        let mut bfs_order = vec![root];
+        while !frontier.is_empty() {
+            // Collect candidate expansion links from the frontier, sorted
+            // by accumulated load for balance.
+            let mut candidates: Vec<(u32, usize, usize, usize)> = Vec::new();
+            for &v in &frontier {
+                for &lid in topo.out_links(NpuId::new(v as u32)) {
+                    let link = topo.link(lid);
+                    let w = link.dst().index();
+                    if depth[w] == usize::MAX {
+                        candidates.push((link_load[lid.index()], lid.index(), v, w));
+                    }
+                }
+            }
+            candidates.sort_unstable();
+            let mut next_frontier = Vec::new();
+            for (_, lid, v, w) in candidates {
+                if depth[w] != usize::MAX {
+                    continue;
+                }
+                depth[w] = depth[v] + 1;
+                parent[w] = Some(v);
+                link_load[lid] += 1;
+                next_frontier.push(w);
+                bfs_order.push(w);
+            }
+            frontier = next_frontier;
+        }
+        trees.push(SpanningTree { root, parent, bfs_order });
+    }
+    trees
+}
+
+/// Generates the MultiTree-like algorithm for All-Gather, Reduce-Scatter,
+/// or All-Reduce.
+///
+/// # Errors
+/// [`BaselineError::UnsupportedPattern`] for rooted patterns.
+pub fn multitree(
+    topo: &Topology,
+    collective: &Collective,
+) -> Result<CollectiveAlgorithm, BaselineError> {
+    if topo.num_npus() != collective.num_npus() {
+        return Err(BaselineError::NpuCountMismatch {
+            topology: topo.num_npus(),
+            collective: collective.num_npus(),
+        });
+    }
+    let n = collective.num_npus();
+    let chunk_size = collective.total_size().split(n as u64);
+    let mut b = AlgorithmBuilder::new("multitree", n, chunk_size, collective.total_size());
+    let trees = build_trees(topo);
+    match collective.pattern() {
+        CollectivePattern::AllGather => {
+            for tree in &trees {
+                broadcast_down(&mut b, tree, &[]);
+            }
+        }
+        CollectivePattern::ReduceScatter => {
+            for tree in &trees {
+                reduce_up(&mut b, tree);
+            }
+        }
+        CollectivePattern::AllReduce => {
+            let gates: Vec<Vec<TransferId>> =
+                trees.iter().map(|tree| reduce_up(&mut b, tree)).collect();
+            for (tree, gate) in trees.iter().zip(&gates) {
+                broadcast_down(&mut b, tree, gate);
+            }
+        }
+        CollectivePattern::Broadcast { .. }
+        | CollectivePattern::Reduce { .. }
+        | CollectivePattern::AllToAll
+        | CollectivePattern::Gather { .. }
+        | CollectivePattern::Scatter { .. } => {
+            return Err(BaselineError::UnsupportedPattern {
+                baseline: "multitree",
+                pattern: collective.pattern().short_name(),
+            });
+        }
+    }
+    Ok(b.build())
+}
+
+/// Reduces the root's chunk up its tree; returns the transfers into the
+/// root (the All-Gather phase's gate).
+fn reduce_up(b: &mut AlgorithmBuilder, tree: &SpanningTree) -> Vec<TransferId> {
+    let n = tree.parent.len();
+    let chunk = ChunkId::new(tree.root as u32);
+    // Children deliver before parents forward: walk BFS order backwards.
+    let mut into: Vec<Vec<TransferId>> = vec![Vec::new(); n];
+    for &v in tree.bfs_order.iter().rev() {
+        if let Some(p) = tree.parent[v] {
+            let deps = into[v].clone();
+            let id = b.push(
+                chunk,
+                NpuId::new(v as u32),
+                NpuId::new(p as u32),
+                TransferKind::Reduce,
+                deps,
+            );
+            into[p].push(id);
+        }
+    }
+    into[tree.root].clone()
+}
+
+/// Broadcasts the root's chunk down its tree, gated on `entry` at the root.
+fn broadcast_down(b: &mut AlgorithmBuilder, tree: &SpanningTree, entry: &[TransferId]) {
+    let n = tree.parent.len();
+    let chunk = ChunkId::new(tree.root as u32);
+    let mut recv: Vec<Vec<TransferId>> = vec![Vec::new(); n];
+    recv[tree.root] = entry.to_vec();
+    for &v in &tree.bfs_order {
+        if let Some(p) = tree.parent[v] {
+            let deps = recv[p].clone();
+            let id = b.push(
+                chunk,
+                NpuId::new(p as u32),
+                NpuId::new(v as u32),
+                TransferKind::Copy,
+                deps,
+            );
+            recv[v] = vec![id];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacos_sim::Simulator;
+    use tacos_topology::{Bandwidth, ByteSize, LinkSpec, Time};
+
+    fn mesh() -> Topology {
+        let spec = LinkSpec::new(Time::from_micros(0.15), Bandwidth::gbps(16.0));
+        Topology::mesh_2d(4, 4, spec).unwrap()
+    }
+
+    #[test]
+    fn trees_span_all_npus() {
+        let t = mesh();
+        let trees = build_trees(&t);
+        assert_eq!(trees.len(), 16);
+        for tree in &trees {
+            assert_eq!(tree.bfs_order.len(), 16);
+            let orphans = (0..16)
+                .filter(|&v| v != tree.root && tree.parent[v].is_none())
+                .count();
+            assert_eq!(orphans, 0);
+        }
+    }
+
+    #[test]
+    fn trees_are_height_balanced() {
+        // BFS trees have minimal depth: on a 4x4 mesh no deeper than the
+        // eccentricity of the root (max 6).
+        let t = mesh();
+        for tree in build_trees(&t) {
+            for v in 0..16 {
+                let mut depth = 0;
+                let mut cur = v;
+                while let Some(p) = tree.parent[cur] {
+                    cur = p;
+                    depth += 1;
+                    assert!(depth <= 6, "tree rooted at {} too deep", tree.root);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_gather_delivers_everything() {
+        let t = mesh();
+        let coll = Collective::all_gather(16, ByteSize::mb(16)).unwrap();
+        let algo = multitree(&t, &coll).unwrap();
+        // 16 trees x 15 edges.
+        assert_eq!(algo.len(), 240);
+        let report = Simulator::new().simulate(&t, &algo).unwrap();
+        assert!(report.collective_time() > Time::ZERO);
+    }
+
+    #[test]
+    fn all_reduce_composes() {
+        let t = mesh();
+        let coll = Collective::all_reduce(16, ByteSize::mb(16)).unwrap();
+        let algo = multitree(&t, &coll).unwrap();
+        assert_eq!(algo.len(), 480);
+        let reduces = algo
+            .transfers()
+            .iter()
+            .filter(|t| t.kind() == TransferKind::Reduce)
+            .count();
+        assert_eq!(reduces, 240);
+        assert!(Simulator::new().simulate(&t, &algo).is_ok());
+    }
+
+    /// The paper's Fig. 17a claim: MultiTree saturates for large
+    /// collectives because chunks cannot overlap, while chunk-overlapping
+    /// approaches keep scaling.
+    #[test]
+    fn multitree_saturates_at_large_sizes() {
+        let t = mesh();
+        let small = Collective::all_reduce(16, ByteSize::mb(1)).unwrap();
+        let large = Collective::all_reduce(16, ByteSize::mb(32)).unwrap();
+        let bw_small = Simulator::new()
+            .simulate(&t, &multitree(&t, &small).unwrap())
+            .unwrap()
+            .bandwidth_gbps();
+        let bw_large = Simulator::new()
+            .simulate(&t, &multitree(&t, &large).unwrap())
+            .unwrap()
+            .bandwidth_gbps();
+        // Bandwidth barely improves with 32x the payload.
+        assert!(bw_large < bw_small * 2.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Recursive Halving-Doubling All-Reduce (Thakur et al.; paper Fig. 5c).
+//!
+//! Requires a power-of-two NPU count (paper §V-A). The reduce-scatter
+//! phase exchanges with partners at doubling distances (`i ⊕ 2^k`), halving
+//! the active window each step; the all-gather phase mirrors it back.
+//! Message sizes vary per step, so transfers aggregate `count` base chunks.
+//!
+//! Note: the set of segments exchanged at step `k` is strided (`seg ≡
+//! partner (mod 2^(k+1))`), not contiguous; the IR records the first
+//! segment id plus the count — byte-accurate for simulation, approximate
+//! for per-chunk identity.
+
+use tacos_collective::algorithm::{
+    AlgorithmBuilder, CollectiveAlgorithm, TransferId, TransferKind,
+};
+use tacos_collective::{ChunkId, Collective, CollectivePattern};
+use tacos_topology::{NpuId, Topology};
+
+use crate::error::BaselineError;
+
+/// Generates the RHD All-Reduce.
+///
+/// # Errors
+/// * [`BaselineError::PowerOfTwoRequired`] unless `n` is a power of two.
+/// * [`BaselineError::UnsupportedPattern`] for anything but All-Reduce.
+pub fn rhd(
+    topo: &Topology,
+    collective: &Collective,
+) -> Result<CollectiveAlgorithm, BaselineError> {
+    if topo.num_npus() != collective.num_npus() {
+        return Err(BaselineError::NpuCountMismatch {
+            topology: topo.num_npus(),
+            collective: collective.num_npus(),
+        });
+    }
+    if collective.pattern() != CollectivePattern::AllReduce {
+        return Err(BaselineError::UnsupportedPattern {
+            baseline: "rhd",
+            pattern: collective.pattern().short_name(),
+        });
+    }
+    let n = collective.num_npus();
+    if !n.is_power_of_two() || n < 2 {
+        return Err(BaselineError::PowerOfTwoRequired { num_npus: n });
+    }
+    let log_n = n.trailing_zeros();
+    let chunk_size = collective.total_size().split(n as u64);
+    let mut b = AlgorithmBuilder::new("rhd", n, chunk_size, collective.total_size());
+
+    // last[i]: the most recent receive at NPU i (gates its next send).
+    let mut last: Vec<Option<TransferId>> = vec![None; n];
+
+    // Reduce-scatter: step k exchanges n / 2^(k+1) segments with partner
+    // i ^ 2^k.
+    for k in 0..log_n {
+        exchange_step(&mut b, n, k, n >> (k + 1), TransferKind::Reduce, &mut last);
+    }
+    // All-gather: mirror the steps back, doubling data.
+    for k in (0..log_n).rev() {
+        exchange_step(&mut b, n, k, n >> (k + 1), TransferKind::Copy, &mut last);
+    }
+    Ok(b.build())
+}
+
+/// One pairwise-exchange step: every NPU swaps `count` segments with its
+/// partner `i ^ 2^k`, gated on its previous receive.
+fn exchange_step(
+    b: &mut AlgorithmBuilder,
+    n: usize,
+    k: u32,
+    count: usize,
+    kind: TransferKind,
+    last: &mut [Option<TransferId>],
+) {
+    let mut this_recv: Vec<Option<TransferId>> = vec![None; n];
+    for i in 0..n {
+        let p = i ^ (1 << k);
+        // Representative first segment: the partner's residue class.
+        let seg = (p % (1 << (k + 1))) as u32;
+        let deps: Vec<TransferId> = last[i].into_iter().collect();
+        let id = b.push_counted(
+            ChunkId::new(seg),
+            count as u32,
+            NpuId::new(i as u32),
+            NpuId::new(p as u32),
+            kind,
+            deps,
+        );
+        this_recv[p] = Some(id);
+    }
+    last.copy_from_slice(&this_recv);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacos_sim::Simulator;
+    use tacos_topology::{Bandwidth, ByteSize, LinkSpec, RingOrientation, Time};
+
+    fn spec() -> LinkSpec {
+        LinkSpec::new(Time::from_micros(0.5), Bandwidth::gbps(50.0))
+    }
+
+    #[test]
+    fn rhd_on_fully_connected_matches_formula() {
+        // On FC, RHD All-Reduce: sum over steps of (alpha + beta*S*count/n),
+        // each phase moving S/2 + S/4 + ... = S(n-1)/n total.
+        let topo = Topology::fully_connected(8, spec()).unwrap();
+        let coll = Collective::all_reduce(8, ByteSize::mb(8)).unwrap();
+        let algo = rhd(&topo, &coll).unwrap();
+        // 2 * log2(8) * 8 transfers.
+        assert_eq!(algo.len(), 48);
+        let report = Simulator::new().simulate(&topo, &algo).unwrap();
+        let alpha = Time::from_micros(0.5);
+        let beta_total = Bandwidth::gbps(50.0)
+            .serialization_delay(ByteSize::mb(4)) // S/2
+            + Bandwidth::gbps(50.0).serialization_delay(ByteSize::mb(2))
+            + Bandwidth::gbps(50.0).serialization_delay(ByteSize::mb(1));
+        let expected = (alpha * 3 + beta_total) * 2;
+        assert_eq!(report.collective_time(), expected);
+    }
+
+    #[test]
+    fn rhd_on_binary_hypercube_is_contention_free() {
+        // The binary hypercube is RHD's preferred topology: every exchange
+        // uses a dedicated dimension link.
+        let topo = Topology::binary_hypercube(3, spec()).unwrap();
+        let coll = Collective::all_reduce(8, ByteSize::mb(8)).unwrap();
+        let algo = rhd(&topo, &coll).unwrap();
+        let report = Simulator::new().simulate(&topo, &algo).unwrap();
+        // Same time as on FC: no multi-hop routing needed.
+        let fc = Topology::fully_connected(8, spec()).unwrap();
+        let fc_report = Simulator::new()
+            .simulate(&fc, &rhd(&fc, &coll).unwrap())
+            .unwrap();
+        assert_eq!(report.collective_time(), fc_report.collective_time());
+    }
+
+    #[test]
+    fn rhd_on_ring_pays_for_distance() {
+        // Partners at distance 4 on a ring cost multi-hop routing.
+        let topo = Topology::ring(8, spec(), RingOrientation::Bidirectional).unwrap();
+        let coll = Collective::all_reduce(8, ByteSize::mb(8)).unwrap();
+        let report = Simulator::new()
+            .simulate(&topo, &rhd(&topo, &coll).unwrap())
+            .unwrap();
+        let ring_report = Simulator::new()
+            .simulate(&topo, &crate::ring::ring_bidirectional(&topo, &coll).unwrap())
+            .unwrap();
+        assert!(report.collective_time() > ring_report.collective_time());
+    }
+
+    #[test]
+    fn non_power_of_two_rejected() {
+        let topo = Topology::fully_connected(6, spec()).unwrap();
+        let coll = Collective::all_reduce(6, ByteSize::mb(6)).unwrap();
+        assert!(matches!(
+            rhd(&topo, &coll),
+            Err(BaselineError::PowerOfTwoRequired { num_npus: 6 })
+        ));
+    }
+
+    #[test]
+    fn non_all_reduce_rejected() {
+        let topo = Topology::fully_connected(8, spec()).unwrap();
+        let coll = Collective::all_gather(8, ByteSize::mb(8)).unwrap();
+        assert!(matches!(
+            rhd(&topo, &coll),
+            Err(BaselineError::UnsupportedPattern { .. })
+        ));
+    }
+}

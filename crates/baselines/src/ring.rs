@@ -1,0 +1,528 @@
+//! The Ring collective algorithm (paper Fig. 5a) — the default algorithm of
+//! production CCLs and the paper's primary baseline (footnote 3: the
+//! bidirectional variant is used throughout the evaluation).
+//!
+//! Like NCCL, the generator *searches* for ring embeddings: it extracts up
+//! to [`MAX_PARALLEL_RINGS`] edge-disjoint Hamiltonian cycles from the
+//! physical topology (paper footnote 4: "either one logical ring is mapped
+//! over the physical topology, or multiple parallel rings") and splits the
+//! payload across them. Where no Hamiltonian cycle exists (or the search
+//! budget runs out) the logical ring falls back to NPU-id order and the
+//! simulator routes each hop over shortest paths — exposing the
+//! over/undersubscription of paper Figs. 1–2.
+
+use std::collections::HashMap;
+
+use tacos_collective::algorithm::{
+    AlgorithmBuilder, CollectiveAlgorithm, TransferId, TransferKind,
+};
+use tacos_collective::{ChunkId, Collective, CollectivePattern};
+use tacos_topology::{LinkId, NpuId, Topology};
+
+use crate::error::BaselineError;
+
+/// Direction of one logical ring pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    /// NPU `i` sends to `(i+1) mod n`.
+    Forward,
+    /// NPU `i` sends to `(i-1) mod n`.
+    Backward,
+}
+
+impl Direction {
+    fn next(self, i: usize, n: usize) -> usize {
+        match self {
+            Direction::Forward => (i + 1) % n,
+            Direction::Backward => (i + n - 1) % n,
+        }
+    }
+}
+
+/// Generates the unidirectional Ring algorithm.
+///
+/// Supports All-Reduce (reduce-scatter pass + all-gather pass, `2(n-1)`
+/// steps), All-Gather, and Reduce-Scatter (`n-1` steps each).
+///
+/// # Errors
+/// [`BaselineError::UnsupportedPattern`] for rooted patterns.
+pub fn ring_unidirectional(
+    topo: &Topology,
+    collective: &Collective,
+) -> Result<CollectiveAlgorithm, BaselineError> {
+    check_npus(topo, collective)?;
+    let n = collective.num_npus();
+    let num_chunks = n as u32;
+    let chunk_size = collective.total_size().split(num_chunks as u64);
+    let mut b = AlgorithmBuilder::new(
+        "ring",
+        n,
+        chunk_size,
+        collective.total_size(),
+    );
+    generate_pattern(&mut b, collective.pattern(), n, Direction::Forward, 0)?;
+    Ok(b.build())
+}
+
+/// Generates the bidirectional Ring algorithm (the paper's baseline): the
+/// payload splits in half, each half running an independent unidirectional
+/// ring in opposite directions.
+///
+/// # Errors
+/// [`BaselineError::UnsupportedPattern`] for rooted patterns.
+pub fn ring_bidirectional(
+    topo: &Topology,
+    collective: &Collective,
+) -> Result<CollectiveAlgorithm, BaselineError> {
+    check_npus(topo, collective)?;
+    let n = collective.num_npus();
+    let num_chunks = 2 * n as u32;
+    let chunk_size = collective.total_size().split(num_chunks as u64);
+    let mut b = AlgorithmBuilder::new("ring-bi", n, chunk_size, collective.total_size());
+    generate_pattern(&mut b, collective.pattern(), n, Direction::Forward, 0)?;
+    generate_pattern(&mut b, collective.pattern(), n, Direction::Backward, n as u32)?;
+    Ok(b.build())
+}
+
+/// Maximum number of parallel rings [`ring_embedded`] extracts.
+pub const MAX_PARALLEL_RINGS: usize = 4;
+
+/// Generates a Ring algorithm over **searched ring embeddings** (NCCL
+/// style): extracts up to `max_rings` edge-disjoint Hamiltonian cycles
+/// from the physical topology and splits the payload across them, each
+/// running bidirectionally. Falls back to the naive id-order ring when no
+/// Hamiltonian cycle exists.
+///
+/// This is the right "Ring" for NVLink boxes like DGX-1 (paper Fig. 17b,
+/// where Ring reaches ~99% of ideal); [`ring_bidirectional`] remains the
+/// naive mapping that motivates Figs. 1–2.
+///
+/// # Errors
+/// [`BaselineError::UnsupportedPattern`] for rooted patterns.
+pub fn ring_embedded(
+    topo: &Topology,
+    collective: &Collective,
+    max_rings: usize,
+) -> Result<CollectiveAlgorithm, BaselineError> {
+    check_npus(topo, collective)?;
+    let n = collective.num_npus();
+    let rings = find_parallel_rings(topo, max_rings.clamp(1, MAX_PARALLEL_RINGS));
+    if rings.is_empty() {
+        return ring_bidirectional(topo, collective);
+    }
+    let num_chunks = (2 * rings.len() * n) as u64;
+    let chunk_size = collective.total_size().split(num_chunks);
+    let mut b = AlgorithmBuilder::new("ring-embedded", n, chunk_size, collective.total_size());
+    // Pin every hop of every ring to a distinct physical link so parallel
+    // rings over doubled links (DGX-1) never contend.
+    let mut pool: HashMap<(u32, u32), Vec<LinkId>> = HashMap::new();
+    for link in topo.links() {
+        pool.entry((link.src().raw(), link.dst().raw()))
+            .or_default()
+            .push(link.id());
+    }
+    for (r, order) in rings.iter().enumerate() {
+        let take = |pool: &mut HashMap<(u32, u32), Vec<LinkId>>, a: NpuId, bnpu: NpuId| {
+            pool.get_mut(&(a.raw(), bnpu.raw()))
+                .and_then(Vec::pop)
+                .expect("ring extraction guarantees link capacity")
+        };
+        let fwd: Vec<LinkId> = (0..n)
+            .map(|i| take(&mut pool, order[i], order[(i + 1) % n]))
+            .collect();
+        let bwd: Vec<LinkId> = (0..n)
+            .map(|i| take(&mut pool, order[i], order[(i + n - 1) % n]))
+            .collect();
+        let base = (2 * r * n) as u32;
+        generate_pattern_over(
+            &mut b,
+            collective.pattern(),
+            order,
+            Direction::Forward,
+            base,
+            Some(&fwd),
+        )?;
+        generate_pattern_over(
+            &mut b,
+            collective.pattern(),
+            order,
+            Direction::Backward,
+            base + n as u32,
+            Some(&bwd),
+        )?;
+    }
+    Ok(b.build())
+}
+
+/// Greedily extracts up to `max_rings` edge-disjoint Hamiltonian cycles
+/// (bidirectional capacity required for each hop), Warnsdorff-ordered DFS
+/// with a global step budget. Returns each cycle as an NPU order.
+pub fn find_parallel_rings(topo: &Topology, max_rings: usize) -> Vec<Vec<NpuId>> {
+    let n = topo.num_npus();
+    if n < 3 {
+        return Vec::new();
+    }
+    // Remaining undirected capacity per pair: min(fwd links, bwd links).
+    let mut capacity = std::collections::HashMap::<(u32, u32), u32>::new();
+    for link in topo.links() {
+        let key = (
+            link.src().raw().min(link.dst().raw()),
+            link.src().raw().max(link.dst().raw()),
+        );
+        *capacity.entry(key).or_insert(0) += 1;
+    }
+    // A pair's bidirectional capacity = floor(total directed links / 2).
+    for v in capacity.values_mut() {
+        *v /= 2;
+    }
+    let mut rings = Vec::new();
+    for _ in 0..max_rings {
+        let mut budget = 500_000usize;
+        let mut path = vec![0u32];
+        let mut visited = vec![false; n];
+        visited[0] = true;
+        if dfs_ring(topo, &mut capacity, &mut path, &mut visited, &mut budget) {
+            let ring: Vec<NpuId> = path.iter().map(|&v| NpuId::new(v)).collect();
+            for w in 0..ring.len() {
+                let a = ring[w].raw();
+                let bb = ring[(w + 1) % ring.len()].raw();
+                *capacity.get_mut(&(a.min(bb), a.max(bb))).expect("used edge") -= 1;
+            }
+            rings.push(ring);
+        } else {
+            break;
+        }
+    }
+    rings
+}
+
+fn dfs_ring(
+    topo: &Topology,
+    capacity: &mut std::collections::HashMap<(u32, u32), u32>,
+    path: &mut Vec<u32>,
+    visited: &mut [bool],
+    budget: &mut usize,
+) -> bool {
+    if *budget == 0 {
+        return false;
+    }
+    *budget -= 1;
+    let n = topo.num_npus();
+    let cur = *path.last().expect("non-empty path");
+    if path.len() == n {
+        // Close the cycle back to the start.
+        let key = (cur.min(path[0]), cur.max(path[0]));
+        return capacity.get(&key).copied().unwrap_or(0) > 0;
+    }
+    // Candidate next hops with remaining bidirectional capacity,
+    // Warnsdorff order (fewest onward options first).
+    let mut nexts: Vec<(usize, u32)> = Vec::new();
+    for &lid in topo.out_links(NpuId::new(cur)) {
+        let next = topo.link(lid).dst().raw();
+        if visited[next as usize] {
+            continue;
+        }
+        let key = (cur.min(next), cur.max(next));
+        if capacity.get(&key).copied().unwrap_or(0) == 0 {
+            continue;
+        }
+        if nexts.iter().any(|&(_, v)| v == next) {
+            continue;
+        }
+        let onward = topo
+            .out_links(NpuId::new(next))
+            .iter()
+            .filter(|&&l| {
+                let w = topo.link(l).dst().raw();
+                !visited[w as usize]
+                    && capacity.get(&(next.min(w), next.max(w))).copied().unwrap_or(0) > 0
+            })
+            .count();
+        nexts.push((onward, next));
+    }
+    nexts.sort_unstable();
+    for (_, next) in nexts {
+        path.push(next);
+        visited[next as usize] = true;
+        if dfs_ring(topo, capacity, path, visited, budget) {
+            return true;
+        }
+        path.pop();
+        visited[next as usize] = false;
+    }
+    false
+}
+
+fn check_npus(topo: &Topology, collective: &Collective) -> Result<(), BaselineError> {
+    if topo.num_npus() != collective.num_npus() {
+        return Err(BaselineError::NpuCountMismatch {
+            topology: topo.num_npus(),
+            collective: collective.num_npus(),
+        });
+    }
+    Ok(())
+}
+
+fn generate_pattern(
+    b: &mut AlgorithmBuilder,
+    pattern: CollectivePattern,
+    n: usize,
+    dir: Direction,
+    chunk_base: u32,
+) -> Result<(), BaselineError> {
+    let order: Vec<NpuId> = (0..n as u32).map(NpuId::new).collect();
+    generate_pattern_over(b, pattern, &order, dir, chunk_base, None)
+}
+
+fn generate_pattern_over(
+    b: &mut AlgorithmBuilder,
+    pattern: CollectivePattern,
+    order: &[NpuId],
+    dir: Direction,
+    chunk_base: u32,
+    links: Option<&[LinkId]>,
+) -> Result<(), BaselineError> {
+    let n = order.len();
+    match pattern {
+        CollectivePattern::AllGather => {
+            ring_pass(b, order, dir, chunk_base, 0, TransferKind::Copy, links, &mut vec![None; n]);
+            Ok(())
+        }
+        CollectivePattern::ReduceScatter => {
+            ring_pass(
+                b,
+                order,
+                dir,
+                chunk_base,
+                0,
+                TransferKind::Reduce,
+                links,
+                &mut vec![None; n],
+            );
+            Ok(())
+        }
+        CollectivePattern::AllReduce => {
+            // Reduce-scatter pass, then all-gather pass; the AG pass's first
+            // send at NPU i forwards the segment reduced into i — segment
+            // (i+1) mod n, hence the shift — so it depends on the last RS
+            // receive there.
+            let mut last_recv: Vec<Option<TransferId>> = vec![None; n];
+            ring_pass(b, order, dir, chunk_base, 0, TransferKind::Reduce, links, &mut last_recv);
+            ring_pass(b, order, dir, chunk_base, 1, TransferKind::Copy, links, &mut last_recv);
+            Ok(())
+        }
+        CollectivePattern::Broadcast { .. }
+        | CollectivePattern::Reduce { .. }
+        | CollectivePattern::AllToAll
+        | CollectivePattern::Gather { .. }
+        | CollectivePattern::Scatter { .. } => {
+            Err(BaselineError::UnsupportedPattern {
+                baseline: "ring",
+                pattern: pattern.short_name(),
+            })
+        }
+    }
+}
+
+/// One `n-1`-step ring pass. `last_recv[i]` carries the dependency for NPU
+/// `i`'s first send (its most recent receive from the previous pass) and is
+/// updated to the final receive of this pass.
+///
+/// At step `s`, NPU `i` sends segment `σ(i, s)` to its ring successor,
+/// where `σ(i, s) = (i + shift - s) mod n` for forward rings (and mirrored
+/// for backward). Each send of a segment depends on receiving that segment
+/// in the previous step. `shift = 1` models the all-gather pass of an
+/// All-Reduce, which starts from the segment reduced *into* each NPU.
+/// `links`, when given, maps ring position `i` to the pinned physical
+/// link from `order[i]` toward its successor in this pass's direction.
+#[allow(clippy::too_many_arguments)]
+fn ring_pass(
+    b: &mut AlgorithmBuilder,
+    order: &[NpuId],
+    dir: Direction,
+    chunk_base: u32,
+    shift: usize,
+    kind: TransferKind,
+    links: Option<&[LinkId]>,
+    last_recv: &mut [Option<TransferId>],
+) {
+    let n = order.len();
+    // segment index owned/forwarded by ring position i at step s
+    let segment = |i: usize, s: usize| -> u32 {
+        match dir {
+            Direction::Forward => ((i + shift + n - s % n) % n) as u32,
+            Direction::Backward => ((i + n - shift + s) % n) as u32,
+        }
+    };
+    // receive[i] = transfer that most recently delivered a segment to
+    // ring position i
+    let mut prev_recv: Vec<Option<TransferId>> = last_recv.to_vec();
+    for s in 0..n - 1 {
+        let mut this_recv: Vec<Option<TransferId>> = vec![None; n];
+        for i in 0..n {
+            let dst = dir.next(i, n);
+            let seg = segment(i, s);
+            let deps: Vec<TransferId> = prev_recv[i].into_iter().collect();
+            let id = match links {
+                Some(links) => b.push_on_link(
+                    ChunkId::new(chunk_base + seg),
+                    1,
+                    order[i],
+                    order[dst],
+                    kind,
+                    links[i],
+                    deps,
+                ),
+                None => b.push(
+                    ChunkId::new(chunk_base + seg),
+                    order[i],
+                    order[dst],
+                    kind,
+                    deps,
+                ),
+            };
+            this_recv[dst] = Some(id);
+        }
+        prev_recv = this_recv;
+    }
+    last_recv.copy_from_slice(&prev_recv);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacos_sim::Simulator;
+    use tacos_topology::{Bandwidth, ByteSize, LinkSpec, RingOrientation, Time};
+
+    fn spec() -> LinkSpec {
+        LinkSpec::new(Time::from_micros(0.5), Bandwidth::gbps(50.0))
+    }
+
+    #[test]
+    fn unidirectional_all_gather_matches_formula() {
+        // AG on its preferred topology: (n-1) * (alpha + beta*S/n).
+        let topo = Topology::ring(4, spec(), RingOrientation::Unidirectional).unwrap();
+        let coll = Collective::all_gather(4, ByteSize::mb(4)).unwrap();
+        let algo = ring_unidirectional(&topo, &coll).unwrap();
+        assert_eq!(algo.len(), 12);
+        let report = Simulator::new().simulate(&topo, &algo).unwrap();
+        let expected = spec().cost(ByteSize::mb(1)) * 3;
+        assert_eq!(report.collective_time(), expected);
+    }
+
+    #[test]
+    fn unidirectional_all_reduce_matches_formula() {
+        // AR on a ring: 2(n-1) * (alpha + beta*S/n).
+        let topo = Topology::ring(4, spec(), RingOrientation::Unidirectional).unwrap();
+        let coll = Collective::all_reduce(4, ByteSize::mb(4)).unwrap();
+        let algo = ring_unidirectional(&topo, &coll).unwrap();
+        assert_eq!(algo.len(), 24);
+        let report = Simulator::new().simulate(&topo, &algo).unwrap();
+        assert_eq!(report.collective_time(), spec().cost(ByteSize::mb(1)) * 6);
+    }
+
+    #[test]
+    fn bidirectional_all_reduce_uses_both_directions() {
+        let topo = Topology::ring(8, spec(), RingOrientation::Bidirectional).unwrap();
+        let coll = Collective::all_reduce(8, ByteSize::mb(8)).unwrap();
+        let algo = ring_bidirectional(&topo, &coll).unwrap();
+        let report = Simulator::new().simulate(&topo, &algo).unwrap();
+        // Two independent rings over halves: 2(n-1)*(alpha + beta*S/(2n)).
+        let expected = spec().cost(ByteSize::mb(8).split(16)) * 14;
+        assert_eq!(report.collective_time(), expected);
+        // Every link of the bidirectional ring carries traffic.
+        assert!(report.link_bytes().iter().all(|&b| b > 0));
+    }
+
+    #[test]
+    fn reduce_scatter_is_n_minus_one_steps() {
+        let topo = Topology::ring(4, spec(), RingOrientation::Unidirectional).unwrap();
+        let coll = Collective::reduce_scatter(4, ByteSize::mb(4)).unwrap();
+        let algo = ring_unidirectional(&topo, &coll).unwrap();
+        let report = Simulator::new().simulate(&topo, &algo).unwrap();
+        assert_eq!(report.collective_time(), spec().cost(ByteSize::mb(1)) * 3);
+        for t in algo.transfers() {
+            assert_eq!(t.kind(), TransferKind::Reduce);
+        }
+    }
+
+    #[test]
+    fn ring_on_fully_connected_underutilizes() {
+        // Paper Fig. 2a: Ring on FC leaves most links idle.
+        let topo = Topology::fully_connected(8, spec()).unwrap();
+        let coll = Collective::all_reduce(8, ByteSize::mb(8)).unwrap();
+        let algo = ring_bidirectional(&topo, &coll).unwrap();
+        let report = Simulator::new().simulate(&topo, &algo).unwrap();
+        let idle = report.link_bytes().iter().filter(|&&b| b == 0).count();
+        // Only the 16 "adjacent" links of 56 carry traffic.
+        assert_eq!(idle, 40);
+    }
+
+    #[test]
+    fn rooted_patterns_unsupported() {
+        let topo = Topology::ring(4, spec(), RingOrientation::Unidirectional).unwrap();
+        let coll = Collective::broadcast(4, NpuId::new(0), ByteSize::mb(1)).unwrap();
+        assert!(matches!(
+            ring_unidirectional(&topo, &coll),
+            Err(BaselineError::UnsupportedPattern { .. })
+        ));
+    }
+
+    #[test]
+    fn embedded_ring_on_dgx1_finds_parallel_rings() {
+        let topo = Topology::dgx1(LinkSpec::new(
+            Time::from_micros(0.7),
+            Bandwidth::gbps(25.0),
+        ))
+        .unwrap();
+        let rings = find_parallel_rings(&topo, 4);
+        // The hybrid cube-mesh supports at least two edge-disjoint
+        // bidirectional Hamiltonian rings.
+        assert!(rings.len() >= 2, "found {} rings", rings.len());
+        for ring in &rings {
+            assert_eq!(ring.len(), 8);
+            for w in 0..8 {
+                assert!(
+                    topo.has_link(ring[w], ring[(w + 1) % 8]),
+                    "missing physical link in ring"
+                );
+            }
+        }
+        // Parallel rings outperform the naive id-order ring on DGX-1.
+        let coll = Collective::all_reduce(8, ByteSize::gb(1)).unwrap();
+        let naive = Simulator::new()
+            .simulate(&topo, &ring_bidirectional(&topo, &coll).unwrap())
+            .unwrap()
+            .collective_time();
+        let embedded = Simulator::new()
+            .simulate(&topo, &ring_embedded(&topo, &coll, 4).unwrap())
+            .unwrap()
+            .collective_time();
+        assert!(embedded < naive, "embedded {embedded} vs naive {naive}");
+    }
+
+    #[test]
+    fn embedded_ring_falls_back_without_hamiltonian_cycle() {
+        // A star has no Hamiltonian cycle.
+        let mut b = tacos_topology::TopologyBuilder::new("star");
+        b.npus(4);
+        for leaf in 1..4u32 {
+            b.bidi_link(NpuId::new(0), NpuId::new(leaf), spec());
+        }
+        let topo = b.build().unwrap();
+        assert!(find_parallel_rings(&topo, 2).is_empty());
+        let coll = Collective::all_reduce(4, ByteSize::mb(4)).unwrap();
+        let algo = ring_embedded(&topo, &coll, 2).unwrap();
+        assert_eq!(algo.name(), "ring-bi"); // fallback
+    }
+
+    #[test]
+    fn npu_mismatch_rejected() {
+        let topo = Topology::ring(4, spec(), RingOrientation::Unidirectional).unwrap();
+        let coll = Collective::all_gather(8, ByteSize::mb(8)).unwrap();
+        assert!(matches!(
+            ring_unidirectional(&topo, &coll),
+            Err(BaselineError::NpuCountMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,30 @@
+//! Criterion microbenchmark: ChunkSet intersection picking — the word-wise
+//! AND scan at the heart of every link-chunk match (DESIGN.md §4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tacos_collective::{ChunkId, ChunkSet};
+
+fn bench_bitset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitset");
+    for bits in [256usize, 4096, 65536] {
+        let mut holds = ChunkSet::new(bits);
+        let mut needs = ChunkSet::new(bits);
+        for i in (0..bits).step_by(7) {
+            holds.insert(ChunkId::new(i as u32));
+        }
+        for i in (0..bits).step_by(11) {
+            needs.insert(ChunkId::new(i as u32));
+        }
+        group.bench_with_input(BenchmarkId::new("pick_intersection", bits), &bits, |b, _| {
+            let mut start = 0usize;
+            b.iter(|| {
+                start = start.wrapping_add(13);
+                holds.pick_intersection(&needs, start)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bitset);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion microbenchmark: the utilization-maximizing matching inner
+//! loop, isolated via single-round synthesis on FullyConnected (one
+//! matching round satisfies every postcondition there).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tacos_bench::experiments::default_spec;
+use tacos_collective::Collective;
+use tacos_core::{Synthesizer, SynthesizerConfig};
+use tacos_topology::{ByteSize, Topology};
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching");
+    group.sample_size(10);
+    for n in [8usize, 16, 32] {
+        let topo = Topology::fully_connected(n, default_spec()).unwrap();
+        let coll = Collective::all_gather(n, ByteSize::mb(n as u64)).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("single_round_fully_connected", n),
+            &n,
+            |b, _| {
+                let synth = Synthesizer::new(
+                    SynthesizerConfig::default().with_record_transfers(false),
+                );
+                b.iter(|| synth.synthesize(&topo, &coll).unwrap().num_transfers())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion microbenchmark: congestion-aware simulator event throughput
+//! on the Ring All-Reduce (2n(n-1) dependent messages).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tacos_baselines::{BaselineAlgorithm, BaselineKind};
+use tacos_bench::experiments::default_spec;
+use tacos_collective::Collective;
+use tacos_sim::Simulator;
+use tacos_topology::{ByteSize, RingOrientation, Topology};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    for n in [16usize, 64, 128] {
+        let topo = Topology::ring(n, default_spec(), RingOrientation::Bidirectional).unwrap();
+        let coll = Collective::all_reduce(n, ByteSize::gb(1)).unwrap();
+        let algo = BaselineAlgorithm::new(BaselineKind::Ring)
+            .generate(&topo, &coll)
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("ring_all_reduce", n), &n, |b, _| {
+            let sim = Simulator::new();
+            b.iter(|| sim.simulate(&topo, &algo).unwrap().collective_time())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

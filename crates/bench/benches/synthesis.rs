@@ -1,0 +1,39 @@
+//! Criterion microbenchmark: TACOS synthesis speed per topology family —
+//! the measurement behind the Fig. 19 scaling claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tacos_bench::experiments::default_spec;
+use tacos_collective::Collective;
+use tacos_core::{Synthesizer, SynthesizerConfig};
+use tacos_topology::{ByteSize, Topology};
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis");
+    group.sample_size(10);
+    for side in [4usize, 6, 8] {
+        let topo = Topology::mesh_2d(side, side, default_spec()).unwrap();
+        let n = topo.num_npus();
+        let coll = Collective::all_gather(n, ByteSize::mb(n as u64)).unwrap();
+        group.bench_with_input(BenchmarkId::new("mesh2d_all_gather", n), &n, |b, _| {
+            let synth = Synthesizer::new(
+                SynthesizerConfig::default().with_record_transfers(false),
+            );
+            b.iter(|| synth.synthesize(&topo, &coll).unwrap().collective_time())
+        });
+    }
+    for side in [2usize, 3, 4] {
+        let topo = Topology::hypercube_3d(side, side, side, default_spec()).unwrap();
+        let n = topo.num_npus();
+        let coll = Collective::all_gather(n, ByteSize::mb(n as u64)).unwrap();
+        group.bench_with_input(BenchmarkId::new("hypercube3d_all_gather", n), &n, |b, _| {
+            let synth = Synthesizer::new(
+                SynthesizerConfig::default().with_record_transfers(false),
+            );
+            b.iter(|| synth.synthesize(&topo, &coll).unwrap().collective_time())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! **Failure injection** (extension): kill one link of a torus and compare
+//! (a) the original Ring algorithm limping over the degraded fabric via
+//! rerouting, against (b) TACOS *re-synthesizing* for the degraded
+//! topology — the autonomy argument of paper §III-D taken one step
+//! further: a synthesizer adapts to faults for free.
+
+use tacos_baselines::BaselineKind;
+use tacos_bench::experiments::{
+    default_spec, gbps, run_baseline, write_results_csv,
+};
+use tacos_collective::Collective;
+use tacos_core::{Synthesizer, SynthesizerConfig};
+use tacos_report::{fmt_f64, Table};
+use tacos_topology::{LinkId, Topology};
+
+fn main() {
+    let healthy = Topology::torus_2d(4, 4, default_spec()).unwrap();
+    let size = tacos_topology::ByteSize::mb(256);
+    let coll = Collective::all_reduce(16, size).unwrap();
+
+    let mut table = Table::new(vec![
+        "failed links", "ring (GB/s)", "tacos resynth (GB/s)", "tacos/ring",
+    ]);
+    let mut csv = vec![vec![
+        "failed_links".to_string(),
+        "algorithm".into(),
+        "bandwidth_gbps".into(),
+    ]];
+    let mut topo = healthy.clone();
+    for failures in 0..4usize {
+        if failures > 0 {
+            // Kill a pseudo-random link; keep the fabric strongly connected.
+            let victim = LinkId::new(((failures * 13) % topo.num_links()) as u32);
+            let candidate = topo.without_link(victim);
+            if candidate.is_strongly_connected() {
+                topo = candidate;
+            }
+        }
+        let ring = run_baseline(&topo, &coll, BaselineKind::Ring);
+        let tacos = Synthesizer::new(SynthesizerConfig::default().with_attempts(8))
+            .synthesize(&topo, &coll)
+            .unwrap();
+        let tacos_bw = gbps(size, tacos.collective_time());
+        table.row(vec![
+            failures.to_string(),
+            fmt_f64(ring.bandwidth_gbps),
+            fmt_f64(tacos_bw),
+            format!("{:.2}x", tacos_bw / ring.bandwidth_gbps),
+        ]);
+        csv.push(vec![failures.to_string(), "ring".into(), format!("{}", ring.bandwidth_gbps)]);
+        csv.push(vec![failures.to_string(), "tacos".into(), format!("{tacos_bw}")]);
+    }
+    println!("=== Failure injection on Torus2D(4x4), 256 MB All-Reduce ===\n");
+    print!("{table}");
+    println!(
+        "\nThe Ring algorithm cannot adapt (its wrap hop reroutes and\n\
+         congests); TACOS re-synthesizes a contention-free schedule for\n\
+         whatever fabric remains."
+    );
+    write_results_csv("failure_injection.csv", &csv);
+}

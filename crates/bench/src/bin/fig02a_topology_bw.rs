@@ -1,0 +1,67 @@
+//! **Fig. 2(a)** — All-Reduce bandwidth of the basic algorithms (Ring,
+//! Direct, RHD, DBT) over Ring, FullyConnected, 2D Mesh, and 3D Hypercube
+//! topologies with 64 NPUs (α = 0.5 µs, 1/β = 50 GB/s), 1 GB collective,
+//! plus the TACOS-synthesized algorithm (the paper adds it for Mesh/HC;
+//! we run it everywhere).
+//!
+//! Expected shape: Ring wins on Ring (~16.7× over Direct there);
+//! Direct wins on FullyConnected (~62× over Ring); TACOS matches the best
+//! algorithm on every topology.
+
+use tacos_baselines::BaselineKind;
+use tacos_bench::experiments::{default_spec, run_baseline, run_tacos, write_results_csv};
+use tacos_collective::Collective;
+use tacos_report::{fmt_f64, Table};
+use tacos_topology::{ByteSize, RingOrientation, Topology};
+
+fn main() {
+    let size = ByteSize::gb(1);
+    let topologies = vec![
+        Topology::ring(64, default_spec(), RingOrientation::Bidirectional).unwrap(),
+        Topology::fully_connected(64, default_spec()).unwrap(),
+        Topology::mesh_2d(8, 8, default_spec()).unwrap(),
+        Topology::hypercube_3d(4, 4, 4, default_spec()).unwrap(),
+    ];
+
+    println!("=== Fig. 2(a): All-Reduce bandwidth by topology (64 NPUs, 1 GB) ===\n");
+    let mut table = Table::new(vec![
+        "topology", "RI (GB/s)", "DI (GB/s)", "RHD (GB/s)", "DBT (GB/s)", "TACOS (GB/s)",
+        "norm RI", "norm DI", "norm RHD", "norm DBT", "norm TACOS",
+    ]);
+    let mut csv = vec![vec![
+        "topology".to_string(),
+        "algorithm".to_string(),
+        "bandwidth_gbps".to_string(),
+        "normalized".to_string(),
+    ]];
+    for topo in &topologies {
+        let coll = Collective::all_reduce(64, size).unwrap();
+        let runs = vec![
+            run_baseline(topo, &coll, BaselineKind::Ring),
+            run_baseline(topo, &coll, BaselineKind::Direct),
+            run_baseline(topo, &coll, BaselineKind::Rhd),
+            run_baseline(topo, &coll, BaselineKind::Dbt { pipeline: 4 }),
+            run_tacos(topo, &coll, 8, 42),
+        ];
+        let min_bw = runs
+            .iter()
+            .map(|m| m.bandwidth_gbps)
+            .fold(f64::INFINITY, f64::min);
+        let mut row = vec![topo.name().to_string()];
+        for m in &runs {
+            row.push(fmt_f64(m.bandwidth_gbps));
+        }
+        for m in &runs {
+            row.push(fmt_f64(m.bandwidth_gbps / min_bw));
+            csv.push(vec![
+                topo.name().to_string(),
+                m.name.clone(),
+                format!("{}", m.bandwidth_gbps),
+                format!("{}", m.bandwidth_gbps / min_bw),
+            ]);
+        }
+        table.row(row);
+    }
+    print!("{table}");
+    write_results_csv("fig02a_topology_bw.csv", &csv);
+}

@@ -1,0 +1,63 @@
+//! **Fig. 2(b)** — All-Reduce bandwidth of Ring, Direct, RHD, and DBT on a
+//! 128-NPU physical Ring (α = 30 ns, 1/β = 150 GB/s) across collective
+//! sizes 1 KB … 1 GB.
+//!
+//! Expected shape: for 1 KB the latency-bound Direct algorithm beats Ring
+//! (short-distance algorithms win); for 1 GB the bandwidth-bound Ring wins
+//! by two orders of magnitude (paper reports 125.6× over the worst).
+
+use tacos_baselines::BaselineKind;
+use tacos_bench::experiments::{run_baseline, spec, write_results_csv};
+use tacos_collective::Collective;
+use tacos_report::{fmt_f64, Table};
+use tacos_topology::{ByteSize, RingOrientation, Topology};
+
+fn main() {
+    let topo = Topology::ring(128, spec(0.03, 150.0), RingOrientation::Bidirectional).unwrap();
+    let sizes = [
+        ("1KB", ByteSize::kb(1)),
+        ("512KB", ByteSize::kb(512)),
+        ("1MB", ByteSize::mb(1)),
+        ("1GB", ByteSize::gb(1)),
+    ];
+    println!("=== Fig. 2(b): AR bandwidth vs collective size (128-NPU Ring) ===\n");
+    let mut table = Table::new(vec![
+        "size", "RI (GB/s)", "DI (GB/s)", "RHD (GB/s)", "DBT (GB/s)",
+        "norm RI", "norm DI", "norm RHD", "norm DBT",
+    ]);
+    let mut csv = vec![vec![
+        "size".to_string(),
+        "algorithm".to_string(),
+        "bandwidth_gbps".to_string(),
+        "normalized".to_string(),
+    ]];
+    for (label, size) in sizes {
+        let coll = Collective::all_reduce(128, size).unwrap();
+        let runs = vec![
+            run_baseline(&topo, &coll, BaselineKind::Ring),
+            run_baseline(&topo, &coll, BaselineKind::Direct),
+            run_baseline(&topo, &coll, BaselineKind::Rhd),
+            run_baseline(&topo, &coll, BaselineKind::Dbt { pipeline: 4 }),
+        ];
+        let min_bw = runs
+            .iter()
+            .map(|m| m.bandwidth_gbps)
+            .fold(f64::INFINITY, f64::min);
+        let mut row = vec![label.to_string()];
+        for m in &runs {
+            row.push(fmt_f64(m.bandwidth_gbps));
+        }
+        for m in &runs {
+            row.push(fmt_f64(m.bandwidth_gbps / min_bw));
+            csv.push(vec![
+                label.to_string(),
+                m.name.clone(),
+                format!("{}", m.bandwidth_gbps),
+                format!("{}", m.bandwidth_gbps / min_bw),
+            ]);
+        }
+        table.row(row);
+    }
+    print!("{table}");
+    write_results_csv("fig02b_size_sweep.csv", &csv);
+}

@@ -1,0 +1,98 @@
+//! **Fig. 15** — All-Reduce bandwidth on the three heterogeneous systems
+//! of §VI-B.1 — DragonFly (4×5) [400, 200] GB/s, 2D Switch (8×4)
+//! [300, 25] GB/s, 3D-RFS (2×4×8) [200, 100, 50] GB/s — for Ring, Direct,
+//! TACCL-like, and TACOS, against the theoretical ideal; plus the average
+//! link-utilization comparison of Fig. 15(b).
+//!
+//! Expected shape: TACOS beats Ring/Direct (paper: 2.56× average) and
+//! TACCL, reaching >90% of ideal; the baselines oversubscribe some links
+//! and idle others.
+
+use tacos_baselines::{BaselineKind, TacclConfig};
+use tacos_bench::experiments::{
+    gbps, run_baseline, run_ideal, run_tacos, write_results_csv, Measurement,
+};
+use tacos_collective::Collective;
+use tacos_report::{fmt_f64, Table};
+use tacos_topology::{Bandwidth, ByteSize, LinkSpec, Time, Topology};
+
+fn main() {
+    let alpha = Time::from_micros(0.5);
+    let topologies = vec![
+        Topology::dragonfly(
+            5,
+            4,
+            LinkSpec::new(alpha, Bandwidth::gbps(400.0)),
+            LinkSpec::new(alpha, Bandwidth::gbps(200.0)),
+        )
+        .unwrap(),
+        Topology::switch_2d(8, 4, alpha, [300.0, 25.0]).unwrap(),
+        Topology::rfs_3d(2, 4, 8, alpha, [200.0, 100.0, 50.0]).unwrap(),
+    ];
+    let size = ByteSize::gb(1);
+
+    println!("=== Fig. 15: heterogeneous-topology All-Reduce (1 GB) ===\n");
+    let mut table = Table::new(vec![
+        "topology", "algorithm", "time", "bw (GB/s)", "vs ideal", "avg util",
+    ]);
+    let mut csv = vec![vec![
+        "topology".to_string(),
+        "algorithm".to_string(),
+        "time_ps".to_string(),
+        "bandwidth_gbps".to_string(),
+        "efficiency".to_string(),
+        "avg_utilization".to_string(),
+    ]];
+    for topo in &topologies {
+        let n = topo.num_npus();
+        let coll = Collective::all_reduce(n, size).unwrap();
+        // Chunking factor 1: on heterogeneous fabrics, greedy matching
+        // over many small chunks floods the slow links with redundant
+        // crossings (see EXPERIMENTS.md); the paper's chunked configs are
+        // all on homogeneous tori.
+        let chunked = tacos_bench::experiments::all_reduce_chunked(n, size, 1);
+        let ideal = run_ideal(topo, &coll);
+        let runs: Vec<Measurement> = vec![
+            run_baseline(topo, &coll, BaselineKind::Ring),
+            run_baseline(topo, &coll, BaselineKind::Direct),
+            run_baseline(
+                topo,
+                &coll,
+                BaselineKind::TacclLike(TacclConfig { node_budget: 5_000, ..Default::default() }),
+            ),
+            run_tacos(topo, &chunked, 8, 42),
+            ideal,
+        ];
+        for m in &runs {
+            let eff = gbps(size, m.time) / gbps(size, runs.last().unwrap().time);
+            let util = m
+                .report
+                .as_ref()
+                .map(|r| format!("{:.1}%", r.average_utilization() * 100.0))
+                .unwrap_or_else(|| "-".into());
+            table.row(vec![
+                topo.name().into(),
+                m.name.clone(),
+                format!("{}", m.time),
+                fmt_f64(m.bandwidth_gbps),
+                format!("{:.1}%", eff * 100.0),
+                util.clone(),
+            ]);
+            csv.push(vec![
+                topo.name().into(),
+                m.name.clone(),
+                m.time.as_ps().to_string(),
+                format!("{}", m.bandwidth_gbps),
+                format!("{eff}"),
+                util,
+            ]);
+        }
+    }
+    print!("{table}");
+    write_results_csv("fig15_hetero.csv", &csv);
+    println!(
+        "\nExpected shape (paper Fig. 15): TACOS > TACCL > Ring/Direct on every\n\
+         heterogeneous topology, with TACOS above 90% of the ideal bound on\n\
+         average and visibly higher link utilization."
+    );
+}

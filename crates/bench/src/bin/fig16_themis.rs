@@ -1,0 +1,90 @@
+//! **Fig. 16** — TACOS vs. BlueConnect and Themis on a symmetric 3D Torus
+//! and the asymmetric 3D Hypercube grid (α = 0.7 µs, 1/β = 25 GB/s),
+//! across collective sizes 64 MB – 2 GB, plus the link-utilization
+//! timeline during a 1 GB All-Reduce.
+//!
+//! Expected shape: on the torus all contenders are close (paper: TACOS
+//! 95.9% of ideal, Themis-64 similar for large sizes but poor for small);
+//! on the grid Themis collapses (~49% of ideal) because it cannot re-route
+//! around the missing wraparound links, while TACOS stays ~98%.
+
+use tacos_baselines::BaselineKind;
+use tacos_bench::experiments::{
+    run_baseline, run_ideal, run_tacos, spec, write_results_csv,
+};
+use tacos_collective::Collective;
+use tacos_report::{fmt_f64, sparkline, Table};
+use tacos_topology::{ByteSize, Topology};
+
+fn main() {
+    let link = spec(0.7, 25.0);
+    let torus = Topology::torus_3d(4, 4, 4, link).unwrap();
+    let grid = Topology::hypercube_3d(4, 4, 4, link).unwrap();
+    let sizes = [
+        ("64MB", ByteSize::mb(64)),
+        ("0.5GB", ByteSize::mb(500)),
+        ("1GB", ByteSize::gb(1)),
+        ("2GB", ByteSize::gb(2)),
+    ];
+
+    println!("=== Fig. 16(a): AR bandwidth vs BlueConnect/Themis (64 NPUs) ===\n");
+    let mut table = Table::new(vec![
+        "topology", "size", "BC-4 (GB/s)", "Themis-4", "Themis-64", "TACOS-4", "Ideal",
+    ]);
+    let mut csv = vec![vec![
+        "topology".into(),
+        "size".into(),
+        "algorithm".to_string(),
+        "bandwidth_gbps".into(),
+    ]];
+    for topo in [&torus, &grid] {
+        for (label, size) in sizes {
+            let coll = Collective::all_reduce(64, size).unwrap();
+            let chunked = tacos_bench::experiments::all_reduce_chunked(64, size, 4);
+            let runs = vec![
+                run_baseline(topo, &coll, BaselineKind::BlueConnect { chunks: 4 }),
+                run_baseline(topo, &coll, BaselineKind::Themis { chunks: 4 }),
+                run_baseline(topo, &coll, BaselineKind::Themis { chunks: 64 }),
+                run_tacos(topo, &chunked, 8, 42),
+                run_ideal(topo, &coll),
+            ];
+            table.row(vec![
+                topo.name().into(),
+                label.into(),
+                fmt_f64(runs[0].bandwidth_gbps),
+                fmt_f64(runs[1].bandwidth_gbps),
+                fmt_f64(runs[2].bandwidth_gbps),
+                fmt_f64(runs[3].bandwidth_gbps),
+                fmt_f64(runs[4].bandwidth_gbps),
+            ]);
+            for m in &runs {
+                csv.push(vec![
+                    topo.name().into(),
+                    label.into(),
+                    m.name.clone(),
+                    format!("{}", m.bandwidth_gbps),
+                ]);
+            }
+        }
+    }
+    print!("{table}");
+
+    println!("\n=== Fig. 16(b): link utilization over time (1 GB AR) ===\n");
+    for topo in [&torus, &grid] {
+        let coll = Collective::all_reduce(64, ByteSize::gb(1)).unwrap();
+        let chunked = tacos_bench::experiments::all_reduce_chunked(64, ByteSize::gb(1), 4);
+        let tacos = run_tacos(topo, &chunked, 8, 42);
+        let themis = run_baseline(topo, &coll, BaselineKind::Themis { chunks: 64 });
+        for m in [&tacos, &themis] {
+            let tl = m.report.as_ref().unwrap().utilization_timeline(60);
+            println!(
+                "{:<22} {:<8} |{}| avg {:.1}%",
+                topo.name(),
+                m.name,
+                sparkline(&tl),
+                m.report.as_ref().unwrap().average_utilization() * 100.0
+            );
+        }
+    }
+    write_results_csv("fig16_themis.csv", &csv);
+}

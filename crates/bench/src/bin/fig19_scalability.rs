@@ -1,0 +1,97 @@
+//! **Fig. 19** — TACOS synthesis-time scaling on homogeneous 2D Mesh and
+//! 3D Hypercube grids, with a quadratic O(n²) fit and R² (paper: R² ≈
+//! 0.996/0.994), plus the TACOS-vs-TACCL synthesis-time gap at small
+//! scale (paper: 10³–10⁵×).
+//!
+//! The default sweep reaches ~1K NPUs in seconds; `--large` pushes to
+//! several thousand (the paper runs to 40K NPUs in 2.52 h on 64 threads —
+//! see DESIGN.md §2 for the scale substitution).
+
+use std::time::Instant;
+
+use tacos_baselines::{taccl::taccl_like, TacclConfig};
+use tacos_bench::experiments::{default_spec, write_results_csv};
+use tacos_collective::Collective;
+use tacos_core::{Synthesizer, SynthesizerConfig};
+use tacos_report::{fit_power, Table};
+use tacos_topology::{ByteSize, Topology};
+
+fn synth_seconds(topo: &Topology) -> f64 {
+    let coll = Collective::all_gather(topo.num_npus(), ByteSize::mb(1024)).unwrap();
+    let config = SynthesizerConfig::default().with_record_transfers(false).with_seed(1);
+    let started = Instant::now();
+    Synthesizer::new(config).synthesize(topo, &coll).unwrap();
+    started.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let large = std::env::args().any(|a| a == "--large");
+    let mesh_sides: &[usize] = if large {
+        &[4, 8, 12, 16, 24, 32, 48, 64]
+    } else {
+        &[4, 8, 12, 16, 24, 32]
+    };
+    let cube_sides: &[usize] = if large { &[2, 3, 4, 6, 8, 10, 13, 16] } else { &[2, 3, 4, 6, 8, 10] };
+
+    println!("=== Fig. 19: synthesis-time scaling ===\n");
+    let mut csv = vec![vec![
+        "topology".to_string(),
+        "npus".into(),
+        "synthesis_seconds".into(),
+    ]];
+
+    for (family, sides) in [("Mesh2D", mesh_sides), ("Hypercube3D", cube_sides)] {
+        let mut ns = Vec::new();
+        let mut ts = Vec::new();
+        let mut table = Table::new(vec!["topology", "#NPUs", "synthesis (s)"]);
+        for &s in sides {
+            let topo = match family {
+                "Mesh2D" => Topology::mesh_2d(s, s, default_spec()).unwrap(),
+                _ => Topology::hypercube_3d(s, s, s, default_spec()).unwrap(),
+            };
+            let n = topo.num_npus();
+            let secs = synth_seconds(&topo);
+            table.row(vec![topo.name().into(), n.to_string(), format!("{secs:.4}")]);
+            csv.push(vec![family.into(), n.to_string(), format!("{secs}")]);
+            ns.push(n as f64);
+            ts.push(secs);
+        }
+        print!("{table}");
+        let fit = fit_power(&ns, &ts, 2.0);
+        println!(
+            "{family}: synthesis time ≈ {:.3e} · n²  (R² = {:.4})\n",
+            fit.coefficient, fit.r_squared
+        );
+    }
+
+    println!("--- TACOS vs TACCL-like synthesis time (2D Mesh, small scale) ---");
+    let mut table = Table::new(vec!["#NPUs", "TACOS (ms)", "TACCL (ms)", "gap"]);
+    for side in [2usize, 3, 4, 5, 6] {
+        let topo = Topology::mesh_2d(side, side, default_spec()).unwrap();
+        let n = topo.num_npus();
+        let coll = Collective::all_gather(n, ByteSize::mb(64)).unwrap();
+        let started = Instant::now();
+        Synthesizer::new(SynthesizerConfig::default())
+            .synthesize(&topo, &coll)
+            .unwrap();
+        let tacos_ms = started.elapsed().as_secs_f64() * 1e3;
+        // Budget grows with the search space, as an ILP's effort would.
+        let config = TacclConfig {
+            node_budget: 200u64 * (n as u64).pow(2),
+            width: 4,
+            ..Default::default()
+        };
+        let started = Instant::now();
+        taccl_like(&topo, &coll, &config).unwrap();
+        let taccl_ms = started.elapsed().as_secs_f64() * 1e3;
+        table.row(vec![
+            n.to_string(),
+            format!("{tacos_ms:.3}"),
+            format!("{taccl_ms:.3}"),
+            format!("{:.0}x", taccl_ms / tacos_ms.max(1e-6)),
+        ]);
+        csv.push(vec!["taccl-gap".into(), n.to_string(), format!("{taccl_ms}")]);
+    }
+    print!("{table}");
+    write_results_csv("fig19_scalability.csv", &csv);
+}

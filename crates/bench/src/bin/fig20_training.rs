@@ -1,0 +1,88 @@
+//! **Fig. 20** — End-to-end training time of GNMT (64-NPU 3D-RFS) and
+//! ResNet-50 / Turing-NLG (256-NPU 3D-RFS) under Ring, Direct, Themis,
+//! TACOS, and the ideal bound, normalized over TACOS.
+//!
+//! Expected shape: Ring/Direct inflate exposed communication (paper:
+//! TACOS 1.58× over Ring end-to-end, 1.21× over Themis, reaching ~94% of
+//! the ideal's end-to-end time).
+
+use tacos_baselines::BaselineKind;
+use tacos_bench::experiments::write_results_csv;
+use tacos_core::SynthesizerConfig;
+use tacos_report::Table;
+use tacos_topology::{Time, Topology};
+use tacos_workload::{CommMechanism, TrainingEvaluator, Workload};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let alpha = Time::from_micros(0.5);
+    let small = Topology::rfs_3d(2, 4, 8, alpha, [200.0, 100.0, 50.0]).unwrap();
+    // Paper: 32 nodes => 2 x 4 x 32 = 256 NPUs.
+    let large = if quick {
+        Topology::rfs_3d(2, 4, 16, alpha, [200.0, 100.0, 50.0]).unwrap()
+    } else {
+        Topology::rfs_3d(2, 4, 32, alpha, [200.0, 100.0, 50.0]).unwrap()
+    };
+
+    let cases: Vec<(&Topology, Workload)> = vec![
+        (&small, Workload::gnmt()),
+        (&large, Workload::resnet50()),
+        (&large, Workload::turing_nlg()),
+    ];
+    let mechanisms: Vec<CommMechanism> = vec![
+        CommMechanism::Baseline(BaselineKind::Ring),
+        CommMechanism::Baseline(BaselineKind::Direct),
+        CommMechanism::Baseline(BaselineKind::Themis { chunks: 4 }),
+        CommMechanism::Tacos(SynthesizerConfig::default().with_attempts(4)),
+        CommMechanism::Ideal,
+    ];
+
+    println!("=== Fig. 20: end-to-end training time (normalized over TACOS) ===\n");
+    let mut table = Table::new(vec![
+        "workload", "topology", "mechanism", "compute", "exposed comm", "total", "norm total",
+    ]);
+    let mut csv = vec![vec![
+        "workload".to_string(),
+        "mechanism".into(),
+        "compute_ps".into(),
+        "comm_ps".into(),
+        "total_ps".into(),
+        "normalized".into(),
+    ]];
+    for (topo, workload) in &cases {
+        let eval = TrainingEvaluator::new(topo);
+        let reports: Vec<_> = mechanisms
+            .iter()
+            .map(|m| (m.name(), eval.evaluate(workload, m).unwrap()))
+            .collect();
+        let tacos_total = reports
+            .iter()
+            .find(|(n, _)| *n == "tacos")
+            .unwrap()
+            .1
+            .total()
+            .as_secs_f64();
+        for (name, r) in &reports {
+            let norm = r.total().as_secs_f64() / tacos_total;
+            table.row(vec![
+                workload.name().into(),
+                topo.name().into(),
+                (*name).into(),
+                format!("{}", r.compute()),
+                format!("{}", r.comm()),
+                format!("{}", r.total()),
+                format!("{norm:.3}"),
+            ]);
+            csv.push(vec![
+                workload.name().into(),
+                (*name).into(),
+                r.compute().as_ps().to_string(),
+                r.comm().as_ps().to_string(),
+                r.total().as_ps().to_string(),
+                format!("{norm}"),
+            ]);
+        }
+    }
+    print!("{table}");
+    write_results_csv("fig20_training.csv", &csv);
+}

@@ -1,0 +1,77 @@
+//! **Fig. 21** — Training-time breakdown (forward compute, backward
+//! compute, exposed input-gradient and weight-gradient communication) for
+//! ResNet-50 and MSFT-1T on a 1,024-NPU 3D Torus, normalized over Ring.
+//!
+//! Expected shape: communication dominates Ring's bars; TACOS cuts the
+//! exposed communication to near the ideal (paper: 97.3% of ideal
+//! end-to-end).
+
+use tacos_baselines::BaselineKind;
+use tacos_bench::experiments::{default_spec, write_results_csv};
+use tacos_core::SynthesizerConfig;
+use tacos_report::Table;
+use tacos_topology::Topology;
+use tacos_workload::{CommMechanism, TrainingEvaluator, Workload};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // Paper: 1,024-NPU symmetric homogeneous 3D Torus.
+    let topo = if quick {
+        Topology::torus_3d(4, 4, 8, default_spec()).unwrap()
+    } else {
+        Topology::torus_3d(8, 8, 16, default_spec()).unwrap()
+    };
+    let mechanisms: Vec<CommMechanism> = vec![
+        CommMechanism::Baseline(BaselineKind::Ring),
+        CommMechanism::Baseline(BaselineKind::Themis { chunks: 4 }),
+        CommMechanism::Tacos(SynthesizerConfig::default()),
+        CommMechanism::Ideal,
+    ];
+    println!(
+        "=== Fig. 21: training-time breakdown on {} (normalized over Ring) ===\n",
+        topo.name()
+    );
+    let mut table = Table::new(vec![
+        "workload", "mechanism", "fwd", "bwd", "IG comm", "WG comm", "norm total",
+    ]);
+    let mut csv = vec![vec![
+        "workload".to_string(),
+        "mechanism".into(),
+        "fwd_ps".into(),
+        "bwd_ps".into(),
+        "ig_ps".into(),
+        "wg_ps".into(),
+        "normalized".into(),
+    ]];
+    for workload in [Workload::resnet50(), Workload::msft_1t()] {
+        let eval = TrainingEvaluator::new(&topo);
+        let reports: Vec<_> = mechanisms
+            .iter()
+            .map(|m| (m.name(), eval.evaluate(&workload, m).unwrap()))
+            .collect();
+        let ring_total = reports[0].1.total().as_secs_f64();
+        for (name, r) in &reports {
+            let norm = r.total().as_secs_f64() / ring_total;
+            table.row(vec![
+                workload.name().into(),
+                (*name).into(),
+                format!("{}", r.forward),
+                format!("{}", r.backward),
+                format!("{}", r.input_grad_comm),
+                format!("{}", r.weight_grad_comm),
+                format!("{norm:.3}"),
+            ]);
+            csv.push(vec![
+                workload.name().into(),
+                (*name).into(),
+                r.forward.as_ps().to_string(),
+                r.backward.as_ps().to_string(),
+                r.input_grad_comm.as_ps().to_string(),
+                r.weight_grad_comm.as_ps().to_string(),
+                format!("{norm}"),
+            ]);
+        }
+    }
+    print!("{table}");
+    write_results_csv("fig21_breakdown.csv", &csv);
+}

@@ -1,0 +1,159 @@
+//! Shared setup for the experiment binaries (one per paper table/figure).
+
+use std::time::Duration;
+
+use tacos_baselines::{BaselineAlgorithm, BaselineKind};
+use tacos_collective::{Collective, CollectivePattern};
+use tacos_core::{Synthesizer, SynthesizerConfig};
+use tacos_sim::{SimReport, Simulator};
+use tacos_topology::{Bandwidth, ByteSize, LinkSpec, Time, Topology};
+
+/// The paper's default link: α = 0.5 µs, 1/β = 50 GB/s (§V-B footnote 8).
+pub fn default_spec() -> LinkSpec {
+    spec(0.5, 50.0)
+}
+
+/// A link spec from α (µs) and bandwidth (GB/s).
+pub fn spec(alpha_us: f64, gbps: f64) -> LinkSpec {
+    LinkSpec::new(Time::from_micros(alpha_us), Bandwidth::gbps(gbps))
+}
+
+/// Outcome of running one algorithm on one topology.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Display name.
+    pub name: String,
+    /// Collective completion time.
+    pub time: Time,
+    /// Achieved bandwidth in GB/s (`size / time`).
+    pub bandwidth_gbps: f64,
+    /// Wall-clock synthesis/generation time.
+    pub synthesis: Duration,
+    /// Simulation report (None for the ideal bound).
+    pub report: Option<SimReport>,
+}
+
+/// Runs a baseline algorithm through the congestion-aware simulator.
+///
+/// # Panics
+/// Panics on generation or simulation errors (experiment configurations
+/// are fixed and known-good; failures indicate bugs worth crashing on).
+pub fn run_baseline(topo: &Topology, collective: &Collective, kind: BaselineKind) -> Measurement {
+    let name = kind.name().to_string();
+    let started = std::time::Instant::now();
+    let algo = BaselineAlgorithm::new(kind)
+        .generate(topo, collective)
+        .unwrap_or_else(|e| panic!("baseline {name} failed: {e}"));
+    let synthesis = started.elapsed();
+    let report = Simulator::new()
+        .simulate(topo, &algo)
+        .unwrap_or_else(|e| panic!("simulating {name} failed: {e}"));
+    let time = report.collective_time();
+    Measurement {
+        name,
+        time,
+        bandwidth_gbps: gbps(collective.total_size(), time),
+        synthesis,
+        report: Some(report),
+    }
+}
+
+/// Synthesizes with TACOS (best-of-`attempts`) and validates the schedule
+/// through the simulator.
+///
+/// # Panics
+/// Panics on synthesis or simulation errors.
+pub fn run_tacos(
+    topo: &Topology,
+    collective: &Collective,
+    attempts: usize,
+    seed: u64,
+) -> Measurement {
+    let config = SynthesizerConfig::default().with_seed(seed).with_attempts(attempts.max(1));
+    let started = std::time::Instant::now();
+    let result = Synthesizer::new(config)
+        .synthesize(topo, collective)
+        .unwrap_or_else(|e| panic!("tacos synthesis failed: {e}"));
+    let synthesis = started.elapsed();
+    let report = Simulator::new()
+        .simulate(topo, result.algorithm())
+        .unwrap_or_else(|e| panic!("simulating tacos failed: {e}"));
+    let time = report.collective_time();
+    Measurement {
+        name: "tacos".into(),
+        time,
+        bandwidth_gbps: gbps(collective.total_size(), time),
+        synthesis,
+        report: Some(report),
+    }
+}
+
+/// The theoretical ideal as a [`Measurement`].
+pub fn run_ideal(topo: &Topology, collective: &Collective) -> Measurement {
+    let ideal = tacos_baselines::IdealBound::new(topo);
+    let time = ideal.collective_time(collective.pattern(), collective.total_size());
+    Measurement {
+        name: "ideal".into(),
+        time,
+        bandwidth_gbps: gbps(collective.total_size(), time),
+        synthesis: Duration::ZERO,
+        report: None,
+    }
+}
+
+/// Bandwidth in GB/s for a payload and completion time.
+pub fn gbps(size: ByteSize, time: Time) -> f64 {
+    if time.is_zero() {
+        f64::INFINITY
+    } else {
+        size.as_u64() as f64 / time.as_secs_f64() / 1e9
+    }
+}
+
+/// An All-Reduce with the paper's default chunking factor for TACOS-style
+/// comparisons (4 chunks).
+///
+/// # Panics
+/// Panics if the collective description is invalid.
+pub fn all_reduce_chunked(n: usize, size: ByteSize, chunks: usize) -> Collective {
+    Collective::with_chunking(CollectivePattern::AllReduce, n, chunks, size)
+        .expect("valid collective")
+}
+
+/// Writes experiment CSV output under `results/` (best effort: failures
+/// only warn, experiments still print to stdout).
+pub fn write_results_csv(file: &str, rows: &[Vec<String>]) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(file);
+    if let Err(e) = std::fs::write(&path, tacos_report::to_csv(rows)) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        eprintln!("(csv written to {})", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_run_end_to_end() {
+        let topo = Topology::mesh_2d(2, 2, default_spec()).unwrap();
+        let coll = Collective::all_reduce(4, ByteSize::mb(4)).unwrap();
+        let ring = run_baseline(&topo, &coll, BaselineKind::Ring);
+        let tacos = run_tacos(&topo, &coll, 2, 1);
+        let ideal = run_ideal(&topo, &coll);
+        assert!(ideal.time <= tacos.time);
+        assert!(tacos.bandwidth_gbps > 0.0);
+        assert!(ring.report.is_some());
+    }
+
+    #[test]
+    fn gbps_math() {
+        assert!((gbps(ByteSize::gb(1), Time::from_millis(20.0)) - 50.0).abs() < 1e-9);
+        assert!(gbps(ByteSize::gb(1), Time::ZERO).is_infinite());
+    }
+}

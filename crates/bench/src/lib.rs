@@ -1,0 +1,9 @@
+//! # tacos-bench
+//!
+//! Experiment harness regenerating every table and figure of the TACOS
+//! paper's evaluation (see DESIGN.md §5 for the full index). Each
+//! experiment is a binary under `src/bin/`; shared setup lives here.
+
+#![warn(missing_docs)]
+
+pub mod experiments;

@@ -1,0 +1,420 @@
+//! `tacos` — command-line topology-aware collective algorithm synthesizer.
+//!
+//! Mirrors the paper's artifact: feed it a topology and a collective,
+//! get back a synthesized algorithm and its predicted performance.
+//!
+//! ```text
+//! tacos --topology mesh:3x3 --collective all-reduce --size 64MB
+//! tacos --topology dragonfly:5x4 --collective all-gather --size 1GB \
+//!       --algo ring --simulate --json
+//! ```
+
+use std::process::ExitCode;
+
+use tacos_baselines::{BaselineAlgorithm, BaselineKind, IdealBound, TacclConfig};
+use tacos_collective::{Collective, CollectivePattern};
+use tacos_core::{Synthesizer, SynthesizerConfig};
+use tacos_report::{fmt_f64, Json, Table};
+use tacos_sim::Simulator;
+use tacos_topology::{Bandwidth, ByteSize, LinkSpec, RingOrientation, Time, Topology};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: tacos [options]
+  --topology SPEC    ring:N | fc:N | mesh:RxC | torus:XxY[xZ] | hypercube:XxYxZ |
+                     switch:N[:dD] | rfs:RxFxS | dragonfly:GxP | dgx1
+  --collective P     all-gather | reduce-scatter | all-reduce (default) |
+                     all-to-all | gather[:ROOT] | scatter[:ROOT] | broadcast[:ROOT]
+  --size BYTES       e.g. 1GB, 64MB, 1KB (default 64MB)
+  --chunks K         chunking factor per NPU (default 1)
+  --algo A           tacos (default) | ring | ring-uni | direct | rhd | dbt |
+                     multitree | taccl
+  --alpha US         link latency in microseconds (default 0.5)
+  --bw GBPS          link bandwidth in GB/s (default 50)
+  --seed N           RNG seed (default 42)
+  --attempts N       best-of-N randomized synthesis (default 1)
+  --simulate         additionally run the congestion-aware simulator
+  --json             machine-readable output
+  --export-json F    write the full algorithm (transfers) as JSON to file F
+  --export-xml F     write the algorithm as MSCCL-style XML to file F";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut topology_spec = String::from("mesh:3x3");
+    let mut pattern = String::from("all-reduce");
+    let mut size = String::from("64MB");
+    let mut algo = String::from("tacos");
+    let mut alpha_us = 0.5f64;
+    let mut bw_gbps = 50.0f64;
+    let mut seed = 42u64;
+    let mut attempts = 1usize;
+    let mut chunks = 1usize;
+    let mut simulate = false;
+    let mut json = false;
+    let mut export_json: Option<String> = None;
+    let mut export_xml: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--topology" => topology_spec = take("--topology")?,
+            "--collective" => pattern = take("--collective")?,
+            "--size" => size = take("--size")?,
+            "--algo" => algo = take("--algo")?,
+            "--alpha" => {
+                alpha_us = take("--alpha")?.parse().map_err(|e| format!("bad --alpha: {e}"))?
+            }
+            "--bw" => bw_gbps = take("--bw")?.parse().map_err(|e| format!("bad --bw: {e}"))?,
+            "--seed" => seed = take("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+            "--attempts" => {
+                attempts =
+                    take("--attempts")?.parse().map_err(|e| format!("bad --attempts: {e}"))?
+            }
+            "--chunks" => {
+                chunks = take("--chunks")?.parse().map_err(|e| format!("bad --chunks: {e}"))?
+            }
+            "--simulate" => simulate = true,
+            "--json" => json = true,
+            "--export-json" => export_json = Some(take("--export-json")?),
+            "--export-xml" => export_xml = Some(take("--export-xml")?),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+
+    let spec = LinkSpec::new(Time::from_micros(alpha_us), Bandwidth::gbps(bw_gbps));
+    let topo = parse_topology(&topology_spec, spec)?;
+    let size = parse_size(&size)?;
+    let pattern = parse_pattern(&pattern, topo.num_npus())?;
+    let collective = Collective::with_chunking(pattern, topo.num_npus(), chunks.max(1), size)
+        .map_err(|e| e.to_string())?;
+
+    let started = std::time::Instant::now();
+    let algorithm = match algo.as_str() {
+        "tacos" => {
+            let config = SynthesizerConfig::default()
+                .with_seed(seed)
+                .with_attempts(attempts.max(1));
+            Synthesizer::new(config)
+                .synthesize(&topo, &collective)
+                .map_err(|e| e.to_string())?
+                .into_algorithm()
+        }
+        name => {
+            let kind = parse_baseline(name, seed)?;
+            BaselineAlgorithm::new(kind)
+                .generate(&topo, &collective)
+                .map_err(|e| e.to_string())?
+        }
+    };
+    let synth_time = started.elapsed();
+
+    let sim_report = if simulate || algorithm.planned_time().is_none() {
+        Some(Simulator::new().simulate(&topo, &algorithm).map_err(|e| e.to_string())?)
+    } else {
+        None
+    };
+    let collective_time = sim_report
+        .as_ref()
+        .map(|r| r.collective_time())
+        .unwrap_or_else(|| algorithm.collective_time());
+    let bandwidth_gbps = if collective_time.is_zero() {
+        f64::INFINITY
+    } else {
+        size.as_u64() as f64 / collective_time.as_secs_f64() / 1e9
+    };
+    let ideal = IdealBound::new(&topo);
+    let efficiency = ideal.efficiency(pattern, size, collective_time);
+
+    if let Some(path) = &export_json {
+        std::fs::write(path, tacos_collective::export::to_json(&algorithm))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("(algorithm JSON written to {path})");
+    }
+    if let Some(path) = &export_xml {
+        std::fs::write(path, tacos_collective::export::to_msccl_xml(&algorithm))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("(MSCCL-style XML written to {path})");
+    }
+    if json {
+        let out = Json::obj([
+            ("topology", Json::Str(topo.name().into())),
+            ("num_npus", (topo.num_npus() as u64).into()),
+            ("num_links", (topo.num_links() as u64).into()),
+            ("collective", Json::Str(pattern.short_name().into())),
+            ("size_bytes", size.as_u64().into()),
+            ("algorithm", Json::Str(algorithm.name().into())),
+            ("transfers", (algorithm.len() as u64).into()),
+            ("collective_time_ps", collective_time.as_ps().into()),
+            ("bandwidth_gbps", bandwidth_gbps.into()),
+            ("efficiency_vs_ideal", efficiency.into()),
+            ("synthesis_seconds", synth_time.as_secs_f64().into()),
+        ]);
+        println!("{}", out.to_string());
+    } else {
+        println!("topology   : {topo}");
+        println!("collective : {pattern} of {size} ({chunks} chunk(s)/NPU)");
+        println!("algorithm  : {} ({} transfers)", algorithm.name(), algorithm.len());
+        println!("synthesis  : {:.3}s", synth_time.as_secs_f64());
+        let mut t = Table::new(vec!["metric", "value"]);
+        t.row(vec!["collective time".into(), format!("{collective_time}")]);
+        t.row(vec!["bandwidth".into(), format!("{} GB/s", fmt_f64(bandwidth_gbps))]);
+        t.row(vec!["efficiency vs ideal".into(), format!("{:.1}%", efficiency * 100.0)]);
+        if let Some(r) = &sim_report {
+            t.row(vec![
+                "avg link utilization".into(),
+                format!("{:.1}%", r.average_utilization() * 100.0),
+            ]);
+            t.row(vec!["messages simulated".into(), r.messages().to_string()]);
+        }
+        print!("{t}");
+    }
+    Ok(())
+}
+
+fn parse_topology(spec: &str, link: LinkSpec) -> Result<Topology, String> {
+    let (kind, rest) = spec.split_once(':').unwrap_or((spec, ""));
+    let dims = |s: &str| -> Result<Vec<usize>, String> {
+        s.split('x')
+            .map(|d| d.parse::<usize>().map_err(|e| format!("bad dimension '{d}': {e}")))
+            .collect()
+    };
+    let topo = match kind {
+        "ring" => Topology::ring(
+            rest.parse().map_err(|e| format!("bad ring size: {e}"))?,
+            link,
+            RingOrientation::Bidirectional,
+        ),
+        "ring-uni" => Topology::ring(
+            rest.parse().map_err(|e| format!("bad ring size: {e}"))?,
+            link,
+            RingOrientation::Unidirectional,
+        ),
+        "fc" => Topology::fully_connected(
+            rest.parse().map_err(|e| format!("bad fc size: {e}"))?,
+            link,
+        ),
+        "mesh" => {
+            let d = dims(rest)?;
+            if d.len() != 2 {
+                return Err("mesh needs RxC".into());
+            }
+            Topology::mesh_2d(d[0], d[1], link)
+        }
+        "torus" => {
+            let d = dims(rest)?;
+            match d.len() {
+                2 => Topology::torus_2d(d[0], d[1], link),
+                3 => Topology::torus_3d(d[0], d[1], d[2], link),
+                _ => return Err("torus needs XxY or XxYxZ".into()),
+            }
+        }
+        "hypercube" => {
+            let d = dims(rest)?;
+            if d.len() != 3 {
+                return Err("hypercube needs XxYxZ".into());
+            }
+            Topology::hypercube_3d(d[0], d[1], d[2], link)
+        }
+        "switch" => {
+            let (n, degree) = match rest.split_once(":d") {
+                Some((n, d)) => (
+                    n.parse().map_err(|e| format!("bad switch size: {e}"))?,
+                    d.parse().map_err(|e| format!("bad degree: {e}"))?,
+                ),
+                None => (rest.parse().map_err(|e| format!("bad switch size: {e}"))?, 1),
+            };
+            Topology::switch(n, link, degree)
+        }
+        "rfs" => {
+            let d = dims(rest)?;
+            if d.len() != 3 {
+                return Err("rfs needs RxFxS".into());
+            }
+            Topology::rfs_3d(
+                d[0],
+                d[1],
+                d[2],
+                link.alpha(),
+                [
+                    link.bandwidth().as_gbps() * 4.0,
+                    link.bandwidth().as_gbps() * 2.0,
+                    link.bandwidth().as_gbps(),
+                ],
+            )
+        }
+        "dragonfly" => {
+            let d = dims(rest)?;
+            if d.len() != 2 {
+                return Err("dragonfly needs GROUPSxPER_GROUP".into());
+            }
+            let global = LinkSpec::new(
+                link.alpha(),
+                Bandwidth::gbps(link.bandwidth().as_gbps() / 2.0),
+            );
+            Topology::dragonfly(d[0], d[1], link, global)
+        }
+        "dgx1" => Topology::dgx1(link),
+        other => return Err(format!("unknown topology kind '{other}'")),
+    };
+    topo.map_err(|e| e.to_string())
+}
+
+fn parse_pattern(s: &str, num_npus: usize) -> Result<CollectivePattern, String> {
+    let (name, root) = match s.split_once(':') {
+        Some((name, root)) => {
+            let root: usize = root.parse().map_err(|e| format!("bad root '{root}': {e}"))?;
+            if root >= num_npus {
+                return Err(format!("root {root} out of range for {num_npus} NPUs"));
+            }
+            (name, tacos_topology::NpuId::new(root as u32))
+        }
+        None => (s, tacos_topology::NpuId::new(0)),
+    };
+    match name {
+        "all-gather" | "allgather" | "ag" => Ok(CollectivePattern::AllGather),
+        "reduce-scatter" | "reducescatter" | "rs" => Ok(CollectivePattern::ReduceScatter),
+        "all-reduce" | "allreduce" | "ar" => Ok(CollectivePattern::AllReduce),
+        "all-to-all" | "alltoall" | "a2a" => Ok(CollectivePattern::AllToAll),
+        "broadcast" | "bcast" => Ok(CollectivePattern::Broadcast { root }),
+        "reduce" => Ok(CollectivePattern::Reduce { root }),
+        "gather" => Ok(CollectivePattern::Gather { root }),
+        "scatter" => Ok(CollectivePattern::Scatter { root }),
+        other => Err(format!("unknown collective '{other}'")),
+    }
+}
+
+fn parse_baseline(s: &str, seed: u64) -> Result<BaselineKind, String> {
+    match s {
+        "ring" => Ok(BaselineKind::Ring),
+        "ring-uni" => Ok(BaselineKind::RingUnidirectional),
+        "direct" => Ok(BaselineKind::Direct),
+        "rhd" => Ok(BaselineKind::Rhd),
+        "dbt" => Ok(BaselineKind::Dbt { pipeline: 4 }),
+        "blueconnect" => Ok(BaselineKind::BlueConnect { chunks: 4 }),
+        "themis" => Ok(BaselineKind::Themis { chunks: 4 }),
+        "multitree" => Ok(BaselineKind::MultiTree),
+        "ccube" => Ok(BaselineKind::CCube { pipeline: 4 }),
+        "taccl" => Ok(BaselineKind::TacclLike(TacclConfig { seed, ..TacclConfig::default() })),
+        other => Err(format!("unknown algorithm '{other}'")),
+    }
+}
+
+fn parse_size(s: &str) -> Result<ByteSize, String> {
+    let s = s.trim();
+    let (num, unit) = s
+        .find(|c: char| c.is_ascii_alphabetic())
+        .map(|i| s.split_at(i))
+        .unwrap_or((s, "B"));
+    let value: u64 = num.parse().map_err(|e| format!("bad size '{s}': {e}"))?;
+    match unit.to_ascii_uppercase().as_str() {
+        "B" | "" => Ok(ByteSize::bytes(value)),
+        "KB" => Ok(ByteSize::kb(value)),
+        "MB" => Ok(ByteSize::mb(value)),
+        "GB" => Ok(ByteSize::gb(value)),
+        "KIB" => Ok(ByteSize::kib(value)),
+        "MIB" => Ok(ByteSize::mib(value)),
+        "GIB" => Ok(ByteSize::gib(value)),
+        other => Err(format!("unknown size unit '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_sizes() {
+        assert_eq!(parse_size("1GB").unwrap(), ByteSize::gb(1));
+        assert_eq!(parse_size("64MB").unwrap(), ByteSize::mb(64));
+        assert_eq!(parse_size("1KB").unwrap(), ByteSize::kb(1));
+        assert_eq!(parse_size("512").unwrap(), ByteSize::bytes(512));
+        assert_eq!(parse_size("2GiB").unwrap(), ByteSize::gib(2));
+        assert!(parse_size("abc").is_err());
+    }
+
+    #[test]
+    fn parse_topologies() {
+        let spec = LinkSpec::new(Time::from_micros(0.5), Bandwidth::gbps(50.0));
+        assert_eq!(parse_topology("ring:8", spec).unwrap().num_npus(), 8);
+        assert_eq!(parse_topology("mesh:3x3", spec).unwrap().num_npus(), 9);
+        assert_eq!(parse_topology("torus:2x2x2", spec).unwrap().num_npus(), 8);
+        assert_eq!(parse_topology("fc:4", spec).unwrap().num_npus(), 4);
+        assert_eq!(parse_topology("switch:4:d2", spec).unwrap().num_links(), 8);
+        assert_eq!(parse_topology("rfs:2x4x8", spec).unwrap().num_npus(), 64);
+        assert_eq!(parse_topology("dragonfly:5x4", spec).unwrap().num_npus(), 20);
+        assert_eq!(parse_topology("dgx1", spec).unwrap().num_npus(), 8);
+        assert!(parse_topology("blob:3", spec).is_err());
+        assert!(parse_topology("mesh:3", spec).is_err());
+    }
+
+    #[test]
+    fn parse_patterns_and_baselines() {
+        assert_eq!(parse_pattern("ar", 4).unwrap(), CollectivePattern::AllReduce);
+        assert_eq!(parse_pattern("all-gather", 4).unwrap(), CollectivePattern::AllGather);
+        assert_eq!(parse_pattern("a2a", 4).unwrap(), CollectivePattern::AllToAll);
+        assert_eq!(
+            parse_pattern("gather:2", 4).unwrap(),
+            CollectivePattern::Gather { root: tacos_topology::NpuId::new(2) }
+        );
+        assert_eq!(
+            parse_pattern("scatter", 4).unwrap(),
+            CollectivePattern::Scatter { root: tacos_topology::NpuId::new(0) }
+        );
+        assert!(parse_pattern("gather:9", 4).is_err());
+        assert!(parse_pattern("frobnicate", 4).is_err());
+        assert!(matches!(parse_baseline("ring", 0).unwrap(), BaselineKind::Ring));
+        assert!(matches!(
+            parse_baseline("taccl", 9).unwrap(),
+            BaselineKind::TacclLike(_)
+        ));
+        assert!(parse_baseline("magic", 0).is_err());
+    }
+
+    #[test]
+    fn end_to_end_tacos_run() {
+        run(&[
+            "--topology".into(),
+            "mesh:3x3".into(),
+            "--collective".into(),
+            "all-gather".into(),
+            "--size".into(),
+            "9MB".into(),
+            "--json".into(),
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn end_to_end_baseline_run_with_sim() {
+        run(&[
+            "--topology".into(),
+            "ring:8".into(),
+            "--algo".into(),
+            "ring".into(),
+            "--size".into(),
+            "8MB".into(),
+            "--simulate".into(),
+        ])
+        .unwrap();
+    }
+}

@@ -1,0 +1,720 @@
+//! The collective-algorithm intermediate representation (IR).
+//!
+//! A [`CollectiveAlgorithm`] is the common output format of the TACOS
+//! synthesizer and of every baseline generator, and the common input format
+//! of the congestion-aware simulator. It is a DAG of [`Transfer`]s:
+//!
+//! * **Scheduled** transfers (TACOS output) carry a `start`/`duration` and a
+//!   concrete physical [`LinkId`]; by construction they are contention-free
+//!   ([`CollectiveAlgorithm::validate_contention_free`]).
+//! * **Dependency-driven** transfers (baseline output) carry only `deps`;
+//!   the simulator resolves link contention (FCFS) and routes multi-hop
+//!   sends — that is how a topology-unaware algorithm exhibits the
+//!   over/undersubscription of paper Figs. 1–2.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use tacos_topology::{ByteSize, LinkId, NpuId, Time, Topology};
+
+use crate::chunk::ChunkId;
+
+/// Identifies a transfer within one [`CollectiveAlgorithm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TransferId(u32);
+
+impl TransferId {
+    /// Creates a transfer id from its dense index.
+    pub const fn new(index: u32) -> Self {
+        TransferId(index)
+    }
+
+    /// The dense index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TransferId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Whether a transfer copies data or combines it into the destination's
+/// accumulator (the red vs. blue arrows of paper Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransferKind {
+    /// Forwarding: the destination stores the chunk as-is.
+    Copy,
+    /// Reduction: the destination adds the incoming partial to its local
+    /// partial of the same chunk.
+    Reduce,
+}
+
+/// One message moving across one (logical) hop: `count` consecutive base
+/// chunks starting at `chunk`.
+///
+/// TACOS always moves single chunks (`count == 1`); baseline algorithms
+/// like RHD or BlueConnect aggregate many base chunks into one message per
+/// step, which the simulator costs as `α + β·(count · chunk_size)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transfer {
+    chunk: ChunkId,
+    count: u32,
+    src: NpuId,
+    dst: NpuId,
+    kind: TransferKind,
+    link: Option<LinkId>,
+    start: Option<Time>,
+    duration: Option<Time>,
+    deps: Vec<TransferId>,
+}
+
+impl Transfer {
+    /// The first base chunk of the message.
+    pub fn chunk(&self) -> ChunkId {
+        self.chunk
+    }
+
+    /// Number of base chunks aggregated into this message.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Message payload given the algorithm's base chunk size.
+    pub fn payload(&self, chunk_size: ByteSize) -> ByteSize {
+        chunk_size * u64::from(self.count)
+    }
+
+    /// Sending NPU.
+    pub fn src(&self) -> NpuId {
+        self.src
+    }
+
+    /// Receiving NPU.
+    pub fn dst(&self) -> NpuId {
+        self.dst
+    }
+
+    /// Copy or reduce.
+    pub fn kind(&self) -> TransferKind {
+        self.kind
+    }
+
+    /// The physical link this transfer was scheduled on, if the generator
+    /// chose one (TACOS always does; baselines leave routing to the
+    /// simulator).
+    pub fn link(&self) -> Option<LinkId> {
+        self.link
+    }
+
+    /// Scheduled start time, if any.
+    pub fn start(&self) -> Option<Time> {
+        self.start
+    }
+
+    /// Scheduled duration, if any.
+    pub fn duration(&self) -> Option<Time> {
+        self.duration
+    }
+
+    /// Scheduled completion time, if scheduled.
+    pub fn end(&self) -> Option<Time> {
+        match (self.start, self.duration) {
+            (Some(s), Some(d)) => Some(s + d),
+            _ => None,
+        }
+    }
+
+    /// Transfers that must complete before this one may begin.
+    pub fn deps(&self) -> &[TransferId] {
+        &self.deps
+    }
+}
+
+/// A synthesized or hand-written collective algorithm: the static path of
+/// each chunk (paper Fig. 3 output).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectiveAlgorithm {
+    name: String,
+    num_npus: usize,
+    chunk_size: ByteSize,
+    total_size: ByteSize,
+    transfers: Vec<Transfer>,
+    planned_time: Option<Time>,
+}
+
+impl CollectiveAlgorithm {
+    /// Algorithm name (e.g. `"tacos"`, `"ring"`, `"direct"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of participating NPUs.
+    pub fn num_npus(&self) -> usize {
+        self.num_npus
+    }
+
+    /// Size of each chunk moved by the transfers.
+    pub fn chunk_size(&self) -> ByteSize {
+        self.chunk_size
+    }
+
+    /// The collective's full per-NPU payload size.
+    pub fn total_size(&self) -> ByteSize {
+        self.total_size
+    }
+
+    /// All transfers, indexed by [`TransferId`].
+    pub fn transfers(&self) -> &[Transfer] {
+        &self.transfers
+    }
+
+    /// The transfer with the given id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn transfer(&self, id: TransferId) -> &Transfer {
+        &self.transfers[id.index()]
+    }
+
+    /// Number of transfers.
+    pub fn len(&self) -> usize {
+        self.transfers.len()
+    }
+
+    /// `true` if the algorithm contains no transfers.
+    pub fn is_empty(&self) -> bool {
+        self.transfers.is_empty()
+    }
+
+    /// Collective completion time the generator planned for, if any.
+    /// TACOS schedules always carry one; the simulator independently
+    /// confirms it.
+    pub fn planned_time(&self) -> Option<Time> {
+        self.planned_time
+    }
+
+    /// Planned completion time, falling back to the latest scheduled
+    /// transfer end.
+    pub fn collective_time(&self) -> Time {
+        self.planned_time
+            .or_else(|| self.transfers.iter().filter_map(Transfer::end).max())
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// `true` if every transfer carries a schedule (start, duration, link).
+    pub fn is_fully_scheduled(&self) -> bool {
+        self.transfers
+            .iter()
+            .all(|t| t.start.is_some() && t.duration.is_some() && t.link.is_some())
+    }
+
+    /// Groups scheduled transfers per physical link, ordered by start time.
+    ///
+    /// Unscheduled transfers are ignored.
+    pub fn per_link_schedule(&self) -> HashMap<LinkId, Vec<TransferId>> {
+        let mut map: HashMap<LinkId, Vec<TransferId>> = HashMap::new();
+        for (i, t) in self.transfers.iter().enumerate() {
+            if let (Some(link), Some(_)) = (t.link, t.start) {
+                map.entry(link).or_default().push(TransferId::new(i as u32));
+            }
+        }
+        for ids in map.values_mut() {
+            ids.sort_by_key(|id| self.transfers[id.index()].start);
+        }
+        map
+    }
+
+    /// Checks that no two scheduled transfers overlap in time on the same
+    /// physical link — the paper's congestion-freedom invariant (§IV-D:
+    /// "only one chunk can be matched over a link").
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the first violation.
+    pub fn validate_contention_free(&self) -> Result<(), String> {
+        for (link, ids) in self.per_link_schedule() {
+            let mut prev_end = Time::ZERO;
+            let mut prev_id = None;
+            for id in ids {
+                let t = &self.transfers[id.index()];
+                let start = t.start.expect("scheduled by construction");
+                if start < prev_end {
+                    return Err(format!(
+                        "link {link}: transfer {id} starts at {start} before {} ends at {prev_end}",
+                        prev_id.map(|p: TransferId| p.to_string()).unwrap_or_default(),
+                    ));
+                }
+                prev_end = t.end().expect("scheduled by construction");
+                prev_id = Some(id);
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks dependency causality for scheduled algorithms: every transfer
+    /// starts at or after all of its dependencies end.
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the first violation.
+    pub fn validate_causal(&self) -> Result<(), String> {
+        for (i, t) in self.transfers.iter().enumerate() {
+            let Some(start) = t.start else { continue };
+            for &dep in &t.deps {
+                let dep_end = self.transfers[dep.index()]
+                    .end()
+                    .ok_or_else(|| format!("T{i} depends on unscheduled {dep}"))?;
+                if dep_end > start {
+                    return Err(format!(
+                        "T{i} starts at {start} before its dependency {dep} ends at {dep_end}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The hop sequence of `chunk` as `(src, dst)` pairs in schedule order
+    /// (falling back to insertion order for unscheduled algorithms).
+    pub fn chunk_path(&self, chunk: ChunkId) -> Vec<(NpuId, NpuId)> {
+        let mut hops: Vec<&Transfer> =
+            self.transfers.iter().filter(|t| t.chunk == chunk).collect();
+        hops.sort_by_key(|t| t.start.unwrap_or(Time::ZERO));
+        hops.iter().map(|t| (t.src, t.dst)).collect()
+    }
+
+    /// Produces the **time-reversed** algorithm used for combining
+    /// collectives (paper Fig. 11): every transfer's direction flips, its
+    /// kind becomes [`TransferKind::Reduce`], its window `[s, e]` maps to
+    /// `[T - e, T - s]`, and dependency edges invert.
+    ///
+    /// The caller provides the matching reversed topology implicitly: link
+    /// ids are preserved because [`Topology::reversed`] keeps link order.
+    ///
+    /// # Panics
+    /// Panics if any transfer is unscheduled (reversal is only meaningful
+    /// for synthesized, scheduled algorithms).
+    pub fn time_reversed(&self, name: impl Into<String>) -> CollectiveAlgorithm {
+        let total = self.collective_time();
+        let n = self.transfers.len();
+        // New index = n - 1 - old index keeps "deps reference earlier ids".
+        let flip = |old: usize| TransferId::new((n - 1 - old) as u32);
+        let mut reversed: Vec<Transfer> = Vec::with_capacity(n);
+        for old in (0..n).rev() {
+            let t = &self.transfers[old];
+            let start = t.start.expect("time reversal requires a schedule");
+            let end = t.end().expect("time reversal requires a schedule");
+            reversed.push(Transfer {
+                chunk: t.chunk,
+                count: t.count,
+                src: t.dst,
+                dst: t.src,
+                kind: TransferKind::Reduce,
+                link: t.link,
+                start: Some(total - end),
+                duration: Some(end - start),
+                deps: Vec::new(),
+            });
+        }
+        // Invert dependency edges: old "b depends on a" becomes "a' depends
+        // on b'".
+        for (old_b, t) in self.transfers.iter().enumerate() {
+            for &dep_a in &t.deps {
+                let new_a = flip(dep_a.index());
+                let new_b = flip(old_b);
+                reversed[new_a.index()].deps.push(new_b);
+            }
+        }
+        CollectiveAlgorithm {
+            name: name.into(),
+            num_npus: self.num_npus,
+            chunk_size: self.chunk_size,
+            total_size: self.total_size,
+            transfers: reversed,
+            planned_time: Some(total),
+        }
+    }
+
+    /// Achieved collective bandwidth for a completion time: `total_size /
+    /// time` (the paper's "All-Reduce bandwidth" metric, §III-A).
+    pub fn bandwidth_for(total_size: ByteSize, time: Time) -> f64 {
+        if time.is_zero() {
+            f64::INFINITY
+        } else {
+            total_size.as_u64() as f64 / time.as_secs_f64()
+        }
+    }
+}
+
+impl fmt::Display for CollectiveAlgorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} NPUs, {} transfers, {})",
+            self.name,
+            self.num_npus,
+            self.transfers.len(),
+            self.collective_time()
+        )
+    }
+}
+
+/// Incremental builder for [`CollectiveAlgorithm`] (C-BUILDER).
+///
+/// Dependencies may only reference transfers that were already pushed, which
+/// makes the result acyclic by construction.
+#[derive(Debug, Clone)]
+pub struct AlgorithmBuilder {
+    name: String,
+    num_npus: usize,
+    chunk_size: ByteSize,
+    total_size: ByteSize,
+    transfers: Vec<Transfer>,
+    planned_time: Option<Time>,
+}
+
+impl AlgorithmBuilder {
+    /// Starts building an algorithm for `num_npus` NPUs moving chunks of
+    /// `chunk_size` out of a `total_size` payload.
+    pub fn new(
+        name: impl Into<String>,
+        num_npus: usize,
+        chunk_size: ByteSize,
+        total_size: ByteSize,
+    ) -> Self {
+        AlgorithmBuilder {
+            name: name.into(),
+            num_npus,
+            chunk_size,
+            total_size,
+            transfers: Vec::new(),
+            planned_time: None,
+        }
+    }
+
+    /// Number of transfers pushed so far.
+    pub fn len(&self) -> usize {
+        self.transfers.len()
+    }
+
+    /// `true` if nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.transfers.is_empty()
+    }
+
+    /// Pushes a dependency-driven transfer (no schedule; the simulator
+    /// resolves contention and routing).
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range, `src == dst`, or a dependency
+    /// references a not-yet-pushed transfer.
+    pub fn push(
+        &mut self,
+        chunk: ChunkId,
+        src: NpuId,
+        dst: NpuId,
+        kind: TransferKind,
+        deps: Vec<TransferId>,
+    ) -> TransferId {
+        self.push_transfer(chunk, 1, src, dst, kind, None, None, None, deps)
+    }
+
+    /// Pushes a dependency-driven *aggregated* message of `count`
+    /// consecutive base chunks (baseline algorithms with step-dependent
+    /// message sizes, e.g. RHD).
+    ///
+    /// # Panics
+    /// Same conditions as [`AlgorithmBuilder::push`], plus `count == 0`.
+    pub fn push_counted(
+        &mut self,
+        chunk: ChunkId,
+        count: u32,
+        src: NpuId,
+        dst: NpuId,
+        kind: TransferKind,
+        deps: Vec<TransferId>,
+    ) -> TransferId {
+        assert!(count > 0, "message must carry at least one chunk");
+        self.push_transfer(chunk, count, src, dst, kind, None, None, None, deps)
+    }
+
+    /// Pushes a dependency-driven message pinned to a specific physical
+    /// link (no schedule). Used by baselines that manually lay routes over
+    /// parallel links (e.g. C-Cube on DGX-1's doubled NVLinks).
+    ///
+    /// # Panics
+    /// Same conditions as [`AlgorithmBuilder::push`], plus `count == 0`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push_on_link(
+        &mut self,
+        chunk: ChunkId,
+        count: u32,
+        src: NpuId,
+        dst: NpuId,
+        kind: TransferKind,
+        link: LinkId,
+        deps: Vec<TransferId>,
+    ) -> TransferId {
+        assert!(count > 0, "message must carry at least one chunk");
+        self.push_transfer(chunk, count, src, dst, kind, Some(link), None, None, deps)
+    }
+
+    /// Pushes a fully scheduled transfer (TACOS output).
+    ///
+    /// # Panics
+    /// Same conditions as [`AlgorithmBuilder::push`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn push_scheduled(
+        &mut self,
+        chunk: ChunkId,
+        src: NpuId,
+        dst: NpuId,
+        kind: TransferKind,
+        link: LinkId,
+        start: Time,
+        duration: Time,
+        deps: Vec<TransferId>,
+    ) -> TransferId {
+        self.push_transfer(chunk, 1, src, dst, kind, Some(link), Some(start), Some(duration), deps)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_transfer(
+        &mut self,
+        chunk: ChunkId,
+        count: u32,
+        src: NpuId,
+        dst: NpuId,
+        kind: TransferKind,
+        link: Option<LinkId>,
+        start: Option<Time>,
+        duration: Option<Time>,
+        deps: Vec<TransferId>,
+    ) -> TransferId {
+        assert!(src.index() < self.num_npus, "src {src} out of range");
+        assert!(dst.index() < self.num_npus, "dst {dst} out of range");
+        assert_ne!(src, dst, "transfer endpoints must differ");
+        let id = TransferId::new(self.transfers.len() as u32);
+        for dep in &deps {
+            assert!(dep.index() < id.index(), "dependency {dep} not yet pushed");
+        }
+        self.transfers.push(Transfer {
+            chunk,
+            count,
+            src,
+            dst,
+            kind,
+            link,
+            start,
+            duration,
+            deps,
+        });
+        id
+    }
+
+    /// Records the completion time the generator planned for.
+    pub fn planned_time(&mut self, time: Time) -> &mut Self {
+        self.planned_time = Some(time);
+        self
+    }
+
+    /// Finalizes the algorithm.
+    pub fn build(self) -> CollectiveAlgorithm {
+        CollectiveAlgorithm {
+            name: self.name,
+            num_npus: self.num_npus,
+            chunk_size: self.chunk_size,
+            total_size: self.total_size,
+            transfers: self.transfers,
+            planned_time: self.planned_time,
+        }
+    }
+}
+
+/// Validates that a scheduled algorithm only uses links that exist in
+/// `topo` and whose endpoints match the transfer's.
+///
+/// # Errors
+/// Returns a description of the first mismatch.
+pub fn validate_links(algo: &CollectiveAlgorithm, topo: &Topology) -> Result<(), String> {
+    for (i, t) in algo.transfers().iter().enumerate() {
+        if let Some(link_id) = t.link() {
+            if link_id.index() >= topo.num_links() {
+                return Err(format!("T{i} uses nonexistent link {link_id}"));
+            }
+            let link = topo.link(link_id);
+            if link.src() != t.src() || link.dst() != t.dst() {
+                return Err(format!(
+                    "T{i} ({} -> {}) scheduled on mismatching link {link_id} ({} -> {})",
+                    t.src(),
+                    t.dst(),
+                    link.src(),
+                    link.dst()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scheduled_pair() -> CollectiveAlgorithm {
+        // Chunk 0: NPU0 -> NPU1 at [0, 10), then NPU1 -> NPU2 at [10, 20).
+        let mut b = AlgorithmBuilder::new("test", 3, ByteSize::mb(1), ByteSize::mb(3));
+        let first = b.push_scheduled(
+            ChunkId::new(0),
+            NpuId::new(0),
+            NpuId::new(1),
+            TransferKind::Copy,
+            LinkId::new(0),
+            Time::ZERO,
+            Time::from_ps(10),
+            vec![],
+        );
+        b.push_scheduled(
+            ChunkId::new(0),
+            NpuId::new(1),
+            NpuId::new(2),
+            TransferKind::Copy,
+            LinkId::new(1),
+            Time::from_ps(10),
+            Time::from_ps(10),
+            vec![first],
+        );
+        b.planned_time(Time::from_ps(20));
+        b.build()
+    }
+
+    #[test]
+    fn builder_and_accessors() {
+        let a = scheduled_pair();
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+        assert!(a.is_fully_scheduled());
+        assert_eq!(a.collective_time(), Time::from_ps(20));
+        assert_eq!(a.planned_time(), Some(Time::from_ps(20)));
+        let t = a.transfer(TransferId::new(1));
+        assert_eq!(t.src(), NpuId::new(1));
+        assert_eq!(t.end(), Some(Time::from_ps(20)));
+        assert_eq!(t.deps(), &[TransferId::new(0)]);
+        assert_eq!(
+            a.chunk_path(ChunkId::new(0)),
+            vec![
+                (NpuId::new(0), NpuId::new(1)),
+                (NpuId::new(1), NpuId::new(2))
+            ]
+        );
+        assert!(format!("{a}").contains("2 transfers"));
+    }
+
+    #[test]
+    fn contention_detection() {
+        let a = scheduled_pair();
+        assert!(a.validate_contention_free().is_ok());
+        assert!(a.validate_causal().is_ok());
+
+        // Two overlapping transfers on the same link.
+        let mut b = AlgorithmBuilder::new("bad", 2, ByteSize::mb(1), ByteSize::mb(2));
+        for chunk in 0..2u32 {
+            b.push_scheduled(
+                ChunkId::new(chunk),
+                NpuId::new(0),
+                NpuId::new(1),
+                TransferKind::Copy,
+                LinkId::new(0),
+                Time::from_ps(0),
+                Time::from_ps(10),
+                vec![],
+            );
+        }
+        let bad = b.build();
+        assert!(bad.validate_contention_free().is_err());
+    }
+
+    #[test]
+    fn causality_detection() {
+        let mut b = AlgorithmBuilder::new("bad", 3, ByteSize::mb(1), ByteSize::mb(3));
+        let first = b.push_scheduled(
+            ChunkId::new(0),
+            NpuId::new(0),
+            NpuId::new(1),
+            TransferKind::Copy,
+            LinkId::new(0),
+            Time::ZERO,
+            Time::from_ps(10),
+            vec![],
+        );
+        // Starts before its dependency finishes.
+        b.push_scheduled(
+            ChunkId::new(0),
+            NpuId::new(1),
+            NpuId::new(2),
+            TransferKind::Copy,
+            LinkId::new(1),
+            Time::from_ps(5),
+            Time::from_ps(10),
+            vec![first],
+        );
+        assert!(b.build().validate_causal().is_err());
+    }
+
+    #[test]
+    fn time_reversal_flips_everything() {
+        let a = scheduled_pair();
+        let r = a.time_reversed("reduce");
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.collective_time(), Time::from_ps(20));
+        // The last forward transfer becomes the first reversed transfer.
+        let t0 = r.transfer(TransferId::new(0));
+        assert_eq!(t0.src(), NpuId::new(2));
+        assert_eq!(t0.dst(), NpuId::new(1));
+        assert_eq!(t0.kind(), TransferKind::Reduce);
+        assert_eq!(t0.start(), Some(Time::ZERO));
+        let t1 = r.transfer(TransferId::new(1));
+        assert_eq!(t1.src(), NpuId::new(1));
+        assert_eq!(t1.dst(), NpuId::new(0));
+        assert_eq!(t1.start(), Some(Time::from_ps(10)));
+        // Dependency edge inverted: the second reversed transfer depends on
+        // the first.
+        assert_eq!(t1.deps(), &[TransferId::new(0)]);
+        assert!(r.validate_causal().is_ok());
+        assert!(r.validate_contention_free().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "not yet pushed")]
+    fn forward_dependency_rejected() {
+        let mut b = AlgorithmBuilder::new("bad", 2, ByteSize::mb(1), ByteSize::mb(2));
+        b.push(
+            ChunkId::new(0),
+            NpuId::new(0),
+            NpuId::new(1),
+            TransferKind::Copy,
+            vec![TransferId::new(5)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoints must differ")]
+    fn self_transfer_rejected() {
+        let mut b = AlgorithmBuilder::new("bad", 2, ByteSize::mb(1), ByteSize::mb(2));
+        b.push(
+            ChunkId::new(0),
+            NpuId::new(1),
+            NpuId::new(1),
+            TransferKind::Copy,
+            vec![],
+        );
+    }
+
+    #[test]
+    fn bandwidth_metric() {
+        let bw = CollectiveAlgorithm::bandwidth_for(ByteSize::gb(1), Time::from_millis(20.0));
+        assert!((bw - 50e9).abs() < 1.0);
+        assert!(CollectiveAlgorithm::bandwidth_for(ByteSize::gb(1), Time::ZERO).is_infinite());
+    }
+}

@@ -1,0 +1,360 @@
+//! Chunks — the atomic scheduling unit of a collective (paper §II-A) — and
+//! dense chunk sets.
+
+use std::fmt;
+
+/// Identifies one chunk of a collective's payload.
+///
+/// Chunk ids are dense (`0..num_chunks`). For the owner-based collectives
+/// (All-Gather, Reduce-Scatter, All-Reduce) with chunking factor `k`, chunk
+/// `c` *belongs to* NPU `c / k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ChunkId(u32);
+
+impl ChunkId {
+    /// Creates a chunk id from its dense index.
+    pub const fn new(index: u32) -> Self {
+        ChunkId(index)
+    }
+
+    /// The dense index, suitable for `Vec` indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for ChunkId {
+    fn from(v: u32) -> Self {
+        ChunkId(v)
+    }
+}
+
+impl fmt::Display for ChunkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// A dense set of chunks, stored as a bit vector.
+///
+/// `ChunkSet` is the workhorse of the synthesizer's matching inner loop: the
+/// question *"is there a chunk that source `s` holds and destination `d`
+/// still needs?"* is a word-wise AND scan
+/// ([`ChunkSet::pick_intersection`]).
+///
+/// ```
+/// use tacos_collective::{ChunkId, ChunkSet};
+/// let mut held = ChunkSet::new(128);
+/// held.insert(ChunkId::new(3));
+/// held.insert(ChunkId::new(100));
+/// let mut needed = ChunkSet::new(128);
+/// needed.insert(ChunkId::new(100));
+/// assert_eq!(held.pick_intersection(&needed, 0), Some(ChunkId::new(100)));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct ChunkSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl ChunkSet {
+    /// An empty set able to hold chunks `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        ChunkSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// A set containing every chunk in `0..capacity`.
+    pub fn full(capacity: usize) -> Self {
+        let mut set = ChunkSet::new(capacity);
+        for w in &mut set.words {
+            *w = u64::MAX;
+        }
+        set.trim();
+        set
+    }
+
+    fn trim(&mut self) {
+        let tail = self.capacity % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Maximum chunk index + 1 this set can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Adds `chunk`; returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    /// Panics if `chunk` is outside the capacity.
+    pub fn insert(&mut self, chunk: ChunkId) -> bool {
+        assert!(chunk.index() < self.capacity, "chunk {chunk} out of range");
+        let (w, b) = (chunk.index() / 64, chunk.index() % 64);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !was
+    }
+
+    /// Removes `chunk`; returns `true` if it was present.
+    pub fn remove(&mut self, chunk: ChunkId) -> bool {
+        if chunk.index() >= self.capacity {
+            return false;
+        }
+        let (w, b) = (chunk.index() / 64, chunk.index() % 64);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        was
+    }
+
+    /// Membership test.
+    pub fn contains(&self, chunk: ChunkId) -> bool {
+        chunk.index() < self.capacity
+            && self.words[chunk.index() / 64] & (1 << (chunk.index() % 64)) != 0
+    }
+
+    /// Number of chunks in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` if no chunk is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `self ∩ other ≠ ∅`, without allocating.
+    pub fn intersects(&self, other: &ChunkSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(&a, &b)| a & b != 0)
+    }
+
+    /// In-place union.
+    ///
+    /// # Panics
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &ChunkSet) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place difference (`self \ other`).
+    ///
+    /// # Panics
+    /// Panics if capacities differ.
+    pub fn subtract(&mut self, other: &ChunkSet) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// `true` if every chunk of `self` is also in `other`.
+    pub fn is_subset(&self, other: &ChunkSet) -> bool {
+        self.words.iter().zip(&other.words).all(|(&a, &b)| a & !b == 0)
+    }
+
+    /// Picks one chunk from `self ∩ other`, scanning circularly from word
+    /// `start_word` — cheap quasi-random selection when `start_word` is
+    /// randomized by the caller. Returns `None` if the intersection is
+    /// empty.
+    pub fn pick_intersection(&self, other: &ChunkSet, start_word: usize) -> Option<ChunkId> {
+        let n = self.words.len();
+        if n == 0 {
+            return None;
+        }
+        let start = start_word % n;
+        for i in 0..n {
+            let w = (start + i) % n;
+            let and = self.words[w] & other.words[w];
+            if and != 0 {
+                let bit = and.trailing_zeros() as usize;
+                return Some(ChunkId::new((w * 64 + bit) as u32));
+            }
+        }
+        None
+    }
+
+    /// Picks one chunk from `self \ minus` satisfying `pred`, scanning
+    /// circularly from word `start_word`. Used by relay matching, where a
+    /// candidate chunk must also move closer to its destination.
+    pub fn pick_excluding_where(
+        &self,
+        minus: &ChunkSet,
+        start_word: usize,
+        mut pred: impl FnMut(ChunkId) -> bool,
+    ) -> Option<ChunkId> {
+        let n = self.words.len();
+        if n == 0 {
+            return None;
+        }
+        let start = start_word % n;
+        for i in 0..n {
+            let w = (start + i) % n;
+            let mut bits = self.words[w] & !minus.words[w];
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let chunk = ChunkId::new((w * 64 + b) as u32);
+                if pred(chunk) {
+                    return Some(chunk);
+                }
+            }
+        }
+        None
+    }
+
+    /// Iterates over the chunks in the set in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = ChunkId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros();
+                    bits &= bits - 1;
+                    Some(ChunkId::new((wi * 64) as u32 + b))
+                }
+            })
+        })
+    }
+}
+
+impl fmt::Debug for ChunkSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Render chunk ids with their Display form ("C3") for brevity.
+        struct D(ChunkId);
+        impl fmt::Debug for D {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+        f.debug_set().entries(self.iter().map(D)).finish()
+    }
+}
+
+impl FromIterator<ChunkId> for ChunkSet {
+    /// Collects chunks into a set sized to the largest id + 1.
+    fn from_iter<I: IntoIterator<Item = ChunkId>>(iter: I) -> Self {
+        let chunks: Vec<ChunkId> = iter.into_iter().collect();
+        let capacity = chunks.iter().map(|c| c.index() + 1).max().unwrap_or(0);
+        let mut set = ChunkSet::new(capacity);
+        for c in chunks {
+            set.insert(c);
+        }
+        set
+    }
+}
+
+impl Extend<ChunkId> for ChunkSet {
+    fn extend<I: IntoIterator<Item = ChunkId>>(&mut self, iter: I) {
+        for c in iter {
+            self.insert(c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = ChunkSet::new(100);
+        assert!(s.is_empty());
+        assert!(s.insert(ChunkId::new(5)));
+        assert!(!s.insert(ChunkId::new(5)));
+        assert!(s.contains(ChunkId::new(5)));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(ChunkId::new(5)));
+        assert!(!s.remove(ChunkId::new(5)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn full_respects_capacity() {
+        let s = ChunkSet::full(70);
+        assert_eq!(s.len(), 70);
+        assert!(s.contains(ChunkId::new(69)));
+        assert!(!s.contains(ChunkId::new(70)));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let mut a = ChunkSet::new(128);
+        a.extend([ChunkId::new(1), ChunkId::new(64), ChunkId::new(127)]);
+        let mut b = ChunkSet::new(128);
+        b.extend([ChunkId::new(64)]);
+        assert!(a.intersects(&b));
+        assert!(b.is_subset(&a));
+        a.subtract(&b);
+        assert!(!a.contains(ChunkId::new(64)));
+        a.union_with(&b);
+        assert!(a.contains(ChunkId::new(64)));
+    }
+
+    #[test]
+    fn pick_intersection_scans_all_words() {
+        let mut a = ChunkSet::new(256);
+        a.insert(ChunkId::new(200));
+        let mut b = ChunkSet::new(256);
+        b.insert(ChunkId::new(200));
+        b.insert(ChunkId::new(10)); // not in a
+        for start in 0..8 {
+            assert_eq!(a.pick_intersection(&b, start), Some(ChunkId::new(200)));
+        }
+        let empty = ChunkSet::new(256);
+        assert_eq!(a.pick_intersection(&empty, 3), None);
+    }
+
+    #[test]
+    fn pick_intersection_start_word_rotates() {
+        let mut a = ChunkSet::new(256);
+        let mut b = ChunkSet::new(256);
+        for c in [ChunkId::new(0), ChunkId::new(100)] {
+            a.insert(c);
+            b.insert(c);
+        }
+        // Starting at word 1 should find the bit in word 1 (chunk 100) first.
+        assert_eq!(a.pick_intersection(&b, 1), Some(ChunkId::new(100)));
+        assert_eq!(a.pick_intersection(&b, 0), Some(ChunkId::new(0)));
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let s: ChunkSet = [3u32, 64, 65, 190]
+            .into_iter()
+            .map(ChunkId::new)
+            .collect();
+        let items: Vec<u32> = s.iter().map(|c| c.raw()).collect();
+        assert_eq!(items, vec![3, 64, 65, 190]);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let s = ChunkSet::new(8);
+        assert_eq!(format!("{s:?}"), "{}");
+        let s: ChunkSet = [ChunkId::new(2)].into_iter().collect();
+        assert_eq!(format!("{s:?}"), "{C2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        let mut s = ChunkSet::new(4);
+        s.insert(ChunkId::new(4));
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for collective construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while describing a collective communication.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CollectiveError {
+    /// Collectives need at least two participants.
+    TooFewNpus {
+        /// Number of NPUs requested.
+        num_npus: usize,
+    },
+    /// The chunking factor must be at least 1.
+    ZeroChunks,
+    /// A rooted collective referenced a root outside `0..num_npus`.
+    RootOutOfRange {
+        /// The offending root index.
+        root: usize,
+        /// Number of participating NPUs.
+        num_npus: usize,
+    },
+    /// The collective payload is too small to split into the requested
+    /// number of chunks.
+    SizeNotDivisible {
+        /// Total payload bytes.
+        size: u64,
+        /// Requested number of chunks.
+        chunks: u64,
+    },
+}
+
+impl fmt::Display for CollectiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectiveError::TooFewNpus { num_npus } => {
+                write!(f, "collective requires at least 2 NPUs, got {num_npus}")
+            }
+            CollectiveError::ZeroChunks => {
+                write!(f, "chunking factor must be at least 1")
+            }
+            CollectiveError::RootOutOfRange { root, num_npus } => {
+                write!(f, "root {root} out of range for {num_npus} NPUs")
+            }
+            CollectiveError::SizeNotDivisible { size, chunks } => {
+                write!(f, "payload of {size} bytes cannot be split into {chunks} chunks")
+            }
+        }
+    }
+}
+
+impl Error for CollectiveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CollectiveError::TooFewNpus { num_npus: 1 }
+            .to_string()
+            .contains("at least 2"));
+        assert!(CollectiveError::ZeroChunks.to_string().contains("chunking factor"));
+        assert!(CollectiveError::RootOutOfRange { root: 4, num_npus: 2 }
+            .to_string()
+            .contains("root 4"));
+        assert!(CollectiveError::SizeNotDivisible { size: 3, chunks: 7 }
+            .to_string()
+            .contains("cannot be split"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Model-based property tests: `ChunkSet` against `std::collections::HashSet`.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use tacos_collective::{ChunkId, ChunkSet};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u32),
+    Remove(u32),
+    Contains(u32),
+}
+
+fn arb_ops(capacity: u32) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..capacity).prop_map(Op::Insert),
+            (0..capacity).prop_map(Op::Remove),
+            (0..capacity).prop_map(Op::Contains),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    /// ChunkSet behaves exactly like a HashSet<u32> under random
+    /// insert/remove/contains sequences.
+    #[test]
+    fn chunkset_matches_hashset(capacity in 1u32..300, ops in arb_ops(300)) {
+        let mut set = ChunkSet::new(capacity as usize);
+        let mut model: HashSet<u32> = HashSet::new();
+        for op in ops {
+            match op {
+                Op::Insert(v) if v < capacity => {
+                    let fresh = set.insert(ChunkId::new(v));
+                    prop_assert_eq!(fresh, model.insert(v));
+                }
+                Op::Remove(v) if v < capacity => {
+                    let was = set.remove(ChunkId::new(v));
+                    prop_assert_eq!(was, model.remove(&v));
+                }
+                Op::Contains(v) if v < capacity => {
+                    prop_assert_eq!(set.contains(ChunkId::new(v)), model.contains(&v));
+                }
+                _ => {}
+            }
+            prop_assert_eq!(set.len(), model.len());
+            prop_assert_eq!(set.is_empty(), model.is_empty());
+        }
+        // Iteration yields exactly the model's elements, sorted.
+        let mut expected: Vec<u32> = model.into_iter().collect();
+        expected.sort_unstable();
+        let got: Vec<u32> = set.iter().map(|c| c.raw()).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Set algebra laws: union/subtract/is_subset against the model.
+    #[test]
+    fn set_algebra_laws(
+        a in prop::collection::hash_set(0u32..256, 0..64),
+        b in prop::collection::hash_set(0u32..256, 0..64),
+    ) {
+        let build = |m: &HashSet<u32>| {
+            let mut s = ChunkSet::new(256);
+            for &v in m {
+                s.insert(ChunkId::new(v));
+            }
+            s
+        };
+        let sa = build(&a);
+        let sb = build(&b);
+
+        let mut union = sa.clone();
+        union.union_with(&sb);
+        let model_union: HashSet<u32> = a.union(&b).copied().collect();
+        prop_assert_eq!(union.len(), model_union.len());
+
+        let mut diff = sa.clone();
+        diff.subtract(&sb);
+        let model_diff: HashSet<u32> = a.difference(&b).copied().collect();
+        prop_assert_eq!(diff.len(), model_diff.len());
+        for v in &model_diff {
+            prop_assert!(diff.contains(ChunkId::new(*v)));
+        }
+
+        prop_assert_eq!(sa.intersects(&sb), !a.is_disjoint(&b));
+        prop_assert_eq!(diff.is_subset(&sa), true);
+        prop_assert_eq!(sa.is_subset(&union), true);
+    }
+
+    /// pick_intersection returns an element of the intersection whenever
+    /// one exists, for every rotation offset.
+    #[test]
+    fn pick_intersection_complete(
+        a in prop::collection::hash_set(0u32..512, 0..64),
+        b in prop::collection::hash_set(0u32..512, 0..64),
+        start in 0usize..16,
+    ) {
+        let build = |m: &HashSet<u32>| {
+            let mut s = ChunkSet::new(512);
+            for &v in m {
+                s.insert(ChunkId::new(v));
+            }
+            s
+        };
+        let sa = build(&a);
+        let sb = build(&b);
+        let inter: HashSet<u32> = a.intersection(&b).copied().collect();
+        match sa.pick_intersection(&sb, start) {
+            Some(c) => prop_assert!(inter.contains(&c.raw())),
+            None => prop_assert!(inter.is_empty()),
+        }
+    }
+
+    /// pick_excluding_where honors both the exclusion set and the
+    /// predicate, and finds a qualifying chunk when one exists.
+    #[test]
+    fn pick_excluding_where_correct(
+        a in prop::collection::hash_set(0u32..512, 0..64),
+        minus in prop::collection::hash_set(0u32..512, 0..64),
+        start in 0usize..16,
+        threshold in 0u32..512,
+    ) {
+        let build = |m: &HashSet<u32>| {
+            let mut s = ChunkSet::new(512);
+            for &v in m {
+                s.insert(ChunkId::new(v));
+            }
+            s
+        };
+        let sa = build(&a);
+        let sm = build(&minus);
+        let qualify: Vec<u32> = a
+            .iter()
+            .filter(|v| !minus.contains(v) && **v >= threshold)
+            .copied()
+            .collect();
+        match sa.pick_excluding_where(&sm, start, |c| c.raw() >= threshold) {
+            Some(c) => {
+                prop_assert!(a.contains(&c.raw()));
+                prop_assert!(!minus.contains(&c.raw()));
+                prop_assert!(c.raw() >= threshold);
+            }
+            None => prop_assert!(qualify.is_empty()),
+        }
+    }
+}

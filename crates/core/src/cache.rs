@@ -1,0 +1,206 @@
+//! On-disk cache of synthesized algorithms.
+//!
+//! Synthesis is deterministic per (topology, collective, config, seed), so
+//! production deployments — like the CCLs the paper targets — synthesize
+//! once per fabric and reuse the schedule. [`AlgorithmCache`] keys the
+//! compact serialization (`collective::export::to_compact`) by a structural
+//! fingerprint of all three inputs.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use tacos_collective::algorithm::CollectiveAlgorithm;
+use tacos_collective::{export, Collective};
+use tacos_topology::Topology;
+
+use crate::error::SynthesisError;
+use crate::synthesis::Synthesizer;
+
+/// A directory of cached `.tacos` schedules.
+///
+/// ```no_run
+/// use tacos_core::{AlgorithmCache, Synthesizer, SynthesizerConfig};
+/// use tacos_collective::Collective;
+/// use tacos_topology::{Bandwidth, ByteSize, LinkSpec, Time, Topology};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let topo = Topology::mesh_2d(4, 4, LinkSpec::new(
+///     Time::from_micros(0.5), Bandwidth::gbps(50.0)))?;
+/// let coll = Collective::all_reduce(16, ByteSize::mb(64))?;
+/// let cache = AlgorithmCache::new(".tacos-cache")?;
+/// let synth = Synthesizer::new(SynthesizerConfig::default());
+/// // First call synthesizes and stores; later calls load from disk.
+/// let algo = cache.synthesize_cached(&synth, &topo, &coll)?;
+/// # let _ = algo;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AlgorithmCache {
+    dir: PathBuf,
+}
+
+impl AlgorithmCache {
+    /// Opens (creating if needed) a cache directory.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors from directory creation.
+    pub fn new(dir: impl AsRef<Path>) -> io::Result<Self> {
+        std::fs::create_dir_all(dir.as_ref())?;
+        Ok(AlgorithmCache { dir: dir.as_ref().to_path_buf() })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Structural fingerprint of (topology, collective, synthesizer
+    /// config): FNV-1a over every link's endpoints and α–β parameters,
+    /// the collective's shape, and the search settings.
+    pub fn key(synth: &Synthesizer, topo: &Topology, collective: &Collective) -> String {
+        let mut h = Fnv::new();
+        h.write_u64(topo.num_npus() as u64);
+        for link in topo.links() {
+            h.write_u64(u64::from(link.src().raw()) << 32 | u64::from(link.dst().raw()));
+            h.write_u64(link.spec().alpha().as_ps());
+            h.write_u64(link.spec().bandwidth().as_bytes_per_sec().to_bits());
+        }
+        h.write_bytes(collective.pattern().short_name().as_bytes());
+        if let Some(root) = collective.pattern().root() {
+            h.write_u64(u64::from(root.raw()));
+        }
+        h.write_u64(collective.num_npus() as u64);
+        h.write_u64(collective.chunks_per_npu() as u64);
+        h.write_u64(collective.total_size().as_u64());
+        let config = synth.config();
+        h.write_u64(config.seed());
+        h.write_u64(config.attempts() as u64);
+        h.write_u64(u64::from(config.prefer_cheap_links()));
+        format!("{}-{:016x}", collective.pattern().short_name(), h.finish())
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.tacos"))
+    }
+
+    /// Loads a cached algorithm by key, if present and parseable.
+    pub fn load(&self, key: &str) -> Option<CollectiveAlgorithm> {
+        let text = std::fs::read_to_string(self.path_for(key)).ok()?;
+        export::from_compact(&text).ok()
+    }
+
+    /// Stores an algorithm under the given key.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn store(&self, key: &str, algo: &CollectiveAlgorithm) -> io::Result<()> {
+        std::fs::write(self.path_for(key), export::to_compact(algo))
+    }
+
+    /// Synthesizes through the cache: returns the stored schedule when the
+    /// fingerprint matches, otherwise synthesizes, stores, and returns it.
+    ///
+    /// # Errors
+    /// Propagates synthesis errors; storage failures are swallowed (the
+    /// result is still returned).
+    pub fn synthesize_cached(
+        &self,
+        synth: &Synthesizer,
+        topo: &Topology,
+        collective: &Collective,
+    ) -> Result<CollectiveAlgorithm, SynthesisError> {
+        let key = Self::key(synth, topo, collective);
+        if let Some(algo) = self.load(&key) {
+            return Ok(algo);
+        }
+        let algo = synth.synthesize(topo, collective)?.into_algorithm();
+        let _ = self.store(&key, &algo);
+        Ok(algo)
+    }
+}
+
+/// Minimal FNV-1a, enough for cache fingerprints (not cryptographic).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf29ce484222325)
+    }
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SynthesizerConfig;
+    use tacos_topology::{Bandwidth, ByteSize, LinkSpec, Time};
+
+    fn setup() -> (Topology, Collective, Synthesizer) {
+        let spec = LinkSpec::new(Time::from_micros(0.5), Bandwidth::gbps(50.0));
+        let topo = Topology::mesh_2d(3, 3, spec).unwrap();
+        let coll = Collective::all_gather(9, ByteSize::mb(9)).unwrap();
+        let synth = Synthesizer::new(SynthesizerConfig::default().with_seed(4));
+        (topo, coll, synth)
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "tacos-cache-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn cache_round_trip() {
+        let (topo, coll, synth) = setup();
+        let dir = temp_dir("rt");
+        let cache = AlgorithmCache::new(&dir).unwrap();
+        let first = cache.synthesize_cached(&synth, &topo, &coll).unwrap();
+        // One .tacos file appeared.
+        let files: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert_eq!(files.len(), 1);
+        // Second call loads the identical algorithm from disk.
+        let second = cache.synthesize_cached(&synth, &topo, &coll).unwrap();
+        assert_eq!(first, second);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_is_sensitive_to_inputs() {
+        let (topo, coll, synth) = setup();
+        let base = AlgorithmCache::key(&synth, &topo, &coll);
+        // Different seed, different key.
+        let synth2 = Synthesizer::new(SynthesizerConfig::default().with_seed(5));
+        assert_ne!(base, AlgorithmCache::key(&synth2, &topo, &coll));
+        // Different size, different key.
+        let coll2 = Collective::all_gather(9, ByteSize::mb(18)).unwrap();
+        assert_ne!(base, AlgorithmCache::key(&synth, &topo, &coll2));
+        // Different topology (one link removed), different key.
+        let degraded = topo.without_link(tacos_topology::LinkId::new(0));
+        assert_ne!(base, AlgorithmCache::key(&synth, &degraded, &coll));
+        // Same inputs, same key (stable).
+        assert_eq!(base, AlgorithmCache::key(&synth, &topo, &coll));
+    }
+
+    #[test]
+    fn load_missing_is_none() {
+        let dir = temp_dir("miss");
+        let cache = AlgorithmCache::new(&dir).unwrap();
+        assert!(cache.load("nonexistent").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

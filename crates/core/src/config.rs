@@ -1,0 +1,123 @@
+//! Synthesizer configuration.
+
+/// Tunables of the TACOS synthesizer.
+///
+/// The defaults match the paper's setup: randomized matching with low-cost
+/// link prioritization on heterogeneous networks (§IV-F).
+///
+/// ```
+/// use tacos_core::SynthesizerConfig;
+/// let config = SynthesizerConfig::default().with_seed(7).with_attempts(16);
+/// assert_eq!(config.seed(), 7);
+/// assert_eq!(config.attempts(), 16);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynthesizerConfig {
+    seed: u64,
+    prefer_cheap_links: bool,
+    attempts: usize,
+    record_transfers: bool,
+}
+
+impl SynthesizerConfig {
+    /// RNG seed for the randomized matching. Synthesis is fully
+    /// deterministic for a given seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether lower-cost links are matched first on heterogeneous
+    /// networks (paper §IV-F, "Prioritizing Lower-cost Links").
+    pub fn prefer_cheap_links(&self) -> bool {
+        self.prefer_cheap_links
+    }
+
+    /// Number of independent randomized synthesis attempts to run when
+    /// searching for the best algorithm (the paper's 64-thread runs are
+    /// best-of-64 searches). `1` means a single attempt.
+    pub fn attempts(&self) -> usize {
+        self.attempts
+    }
+
+    /// Returns the config with a different seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns the config with low-cost-link prioritization toggled.
+    #[must_use]
+    pub fn with_prefer_cheap_links(mut self, on: bool) -> Self {
+        self.prefer_cheap_links = on;
+        self
+    }
+
+    /// Returns the config with a different best-of-N attempt count.
+    ///
+    /// # Panics
+    /// Panics if `attempts` is zero.
+    #[must_use]
+    pub fn with_attempts(mut self, attempts: usize) -> Self {
+        assert!(attempts > 0, "at least one synthesis attempt is required");
+        self.attempts = attempts;
+        self
+    }
+
+    /// Whether the synthesized transfers (and their dependency edges) are
+    /// materialized into the output algorithm.
+    ///
+    /// Scalability sweeps over tens of thousands of NPUs (paper Fig. 19)
+    /// measure synthesis *time*; the O(n²·k) transfer list would dominate
+    /// memory, so they disable recording. Everything else leaves this on.
+    pub fn record_transfers(&self) -> bool {
+        self.record_transfers
+    }
+
+    /// Returns the config with transfer recording toggled.
+    #[must_use]
+    pub fn with_record_transfers(mut self, on: bool) -> Self {
+        self.record_transfers = on;
+        self
+    }
+}
+
+impl Default for SynthesizerConfig {
+    fn default() -> Self {
+        SynthesizerConfig {
+            seed: 0x7AC05,
+            prefer_cheap_links: true,
+            attempts: 1,
+            record_transfers: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let c = SynthesizerConfig::default()
+            .with_seed(42)
+            .with_prefer_cheap_links(false)
+            .with_attempts(8);
+        assert_eq!(c.seed(), 42);
+        assert!(!c.prefer_cheap_links());
+        assert_eq!(c.attempts(), 8);
+    }
+
+    #[test]
+    fn default_is_single_attempt_with_prioritization() {
+        let c = SynthesizerConfig::default();
+        assert_eq!(c.attempts(), 1);
+        assert!(c.prefer_cheap_links());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_attempts_rejected() {
+        let _ = SynthesizerConfig::default().with_attempts(0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type for collective synthesis.
+
+use std::error::Error;
+use std::fmt;
+
+use tacos_collective::CollectiveError;
+use tacos_topology::TopologyError;
+
+/// Errors produced by the TACOS synthesizer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SynthesisError {
+    /// The collective's participant count differs from the topology's NPU
+    /// count.
+    NpuCountMismatch {
+        /// NPUs in the topology.
+        topology: usize,
+        /// Participants in the collective.
+        collective: usize,
+    },
+    /// Synthesis stalled: unsatisfied postconditions remain but no chunk is
+    /// in flight and no link–chunk match is possible. This happens exactly
+    /// when the topology is not strongly connected (some NPU can never
+    /// receive a required chunk).
+    Stuck {
+        /// Number of unsatisfied `(NPU, chunk)` postconditions remaining.
+        unsatisfied: usize,
+    },
+    /// An underlying topology error.
+    Topology(TopologyError),
+    /// An underlying collective-description error.
+    Collective(CollectiveError),
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::NpuCountMismatch { topology, collective } => write!(
+                f,
+                "topology has {topology} NPUs but the collective expects {collective}"
+            ),
+            SynthesisError::Stuck { unsatisfied } => write!(
+                f,
+                "synthesis stalled with {unsatisfied} unsatisfied postconditions \
+                 (topology not strongly connected?)"
+            ),
+            SynthesisError::Topology(e) => write!(f, "topology error: {e}"),
+            SynthesisError::Collective(e) => write!(f, "collective error: {e}"),
+        }
+    }
+}
+
+impl Error for SynthesisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SynthesisError::Topology(e) => Some(e),
+            SynthesisError::Collective(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TopologyError> for SynthesisError {
+    fn from(e: TopologyError) -> Self {
+        SynthesisError::Topology(e)
+    }
+}
+
+impl From<CollectiveError> for SynthesisError {
+    fn from(e: CollectiveError) -> Self {
+        SynthesisError::Collective(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SynthesisError::NpuCountMismatch { topology: 4, collective: 8 };
+        assert!(e.to_string().contains("4 NPUs"));
+        assert!(SynthesisError::Stuck { unsatisfied: 3 }
+            .to_string()
+            .contains("3 unsatisfied"));
+        let e: SynthesisError = TopologyError::Empty.into();
+        assert!(e.to_string().contains("topology error"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

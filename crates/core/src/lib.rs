@@ -1,0 +1,52 @@
+//! # tacos-core
+//!
+//! The paper's primary contribution: the **TACOS** topology-aware
+//! collective-algorithm synthesizer (MICRO 2024).
+//!
+//! Given an arbitrary — heterogeneous, asymmetric — network topology and a
+//! collective pattern, [`Synthesizer`] produces a static, contention-free
+//! chunk schedule by repeatedly running the *Network Utilization Maximizing
+//! Matching* algorithm (paper Alg. 1) over an expanding Time-expanded
+//! Network (paper Alg. 2):
+//!
+//! 1. evaluate pre/postconditions at the current TEN time column;
+//! 2. greedily and randomly match free links to chunks their source holds
+//!    and their destination still needs (low-cost links first on
+//!    heterogeneous fabrics, §IV-F);
+//! 3. advance to the next chunk-arrival event and repeat until every
+//!    postcondition holds.
+//!
+//! Combining collectives (Reduce-Scatter, Reduce) are synthesized as their
+//! non-combining duals on the reversed topology and then reversed in time
+//! (paper Fig. 11); All-Reduce composes a Reduce-Scatter phase with an
+//! All-Gather phase.
+//!
+//! ```
+//! use tacos_core::{Synthesizer, SynthesizerConfig};
+//! use tacos_collective::Collective;
+//! use tacos_topology::{Bandwidth, ByteSize, LinkSpec, Time, Topology};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = LinkSpec::new(Time::from_micros(0.5), Bandwidth::gbps(50.0));
+//! let topo = Topology::mesh_2d(3, 3, spec)?;
+//! let coll = Collective::all_reduce(9, ByteSize::mb(9))?;
+//! let synth = Synthesizer::new(SynthesizerConfig::default().with_attempts(4));
+//! let result = synth.synthesize(&topo, &coll)?;
+//! println!("All-Reduce in {}", result.collective_time());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod cache;
+mod config;
+mod error;
+mod matching;
+mod parallel;
+mod synthesis;
+
+pub use cache::AlgorithmCache;
+pub use config::SynthesizerConfig;
+pub use error::SynthesisError;
+pub use synthesis::{SynthesisResult, Synthesizer};

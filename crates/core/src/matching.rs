@@ -1,0 +1,356 @@
+//! The Network Utilization Maximizing Matching algorithm (paper Alg. 1,
+//! Fig. 8).
+//!
+//! Per time span, the paper iterates unsatisfied postconditions `(d, c)` in
+//! random order, backtracks `d`'s incoming TEN links, and randomly picks a
+//! source that already holds `c` (preferring lower-cost links on
+//! heterogeneous networks, §IV-F). This module implements the
+//! **link-centric equivalent**: iterate the free links in random
+//! (cost-prioritized) order and pick a random chunk from
+//! `holds(src) ∩ needs(dst)`. Both produce maximal matchings — within one
+//! time span `holds` never grows and each processed link either matches or
+//! can never match this span — but the link-centric form runs each probe as
+//! a word-wise bitset AND, which is what keeps end-to-end synthesis on the
+//! O(n²) trend of paper Fig. 19.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use tacos_collective::algorithm::{AlgorithmBuilder, TransferId, TransferKind};
+use tacos_collective::ChunkSet;
+use tacos_ten::{Arrival, ExpandingTen};
+use tacos_topology::{LinkId, NpuId, Topology};
+
+/// Sentinel for "chunk was initially held; no providing transfer".
+const NO_PROVIDER: u32 = u32::MAX;
+
+/// Relay routing support for collectives with **sparse postconditions**
+/// (All-to-All, Gather, Scatter) — an extension beyond the paper, whose
+/// matching only moves chunks toward NPUs that want them and therefore
+/// cannot route through disinterested intermediates. Relay matching lets a
+/// link carry a chunk to an intermediate whenever doing so strictly
+/// decreases the hop distance to the chunk's (unique) final destination,
+/// which guarantees progress and termination.
+pub(crate) struct RelayInfo {
+    /// `target[chunk]` = the final destination NPU.
+    target: Vec<u32>,
+    /// `dist[v][t]` = directed hop distance from `v` to `t` (`u16::MAX` if
+    /// unreachable), computed by reverse BFS from each distinct target.
+    dist: Vec<Vec<u16>>,
+}
+
+impl RelayInfo {
+    /// Builds relay metadata from per-chunk destinations.
+    pub(crate) fn new(topo: &Topology, target: Vec<u32>) -> Self {
+        let n = topo.num_npus();
+        // dist[v][t]: reverse BFS from every distinct target.
+        let mut dist = vec![vec![u16::MAX; n]; n];
+        let distinct: std::collections::BTreeSet<u32> = target.iter().copied().collect();
+        for &t in &distinct {
+            let row: Vec<u16> = {
+                let mut d = vec![u16::MAX; n];
+                d[t as usize] = 0;
+                let mut queue = std::collections::VecDeque::from([t as usize]);
+                while let Some(v) = queue.pop_front() {
+                    for &lid in topo.in_links(NpuId::new(v as u32)) {
+                        let u = topo.link(lid).src().index();
+                        if d[u] == u16::MAX {
+                            d[u] = d[v] + 1;
+                            queue.push_back(u);
+                        }
+                    }
+                }
+                d
+            };
+            for v in 0..n {
+                dist[v][t as usize] = row[v];
+            }
+        }
+        RelayInfo { target, dist }
+    }
+
+    fn moves_closer(&self, chunk: usize, src: NpuId, dst: NpuId) -> bool {
+        let t = self.target[chunk] as usize;
+        self.dist[dst.index()][t] < self.dist[src.index()][t]
+    }
+}
+
+/// Mutable matching state: who holds what, who still needs what, and which
+/// transfer delivered each held chunk (for dependency edges).
+pub(crate) struct MatchState {
+    num_chunks: usize,
+    /// Chunks that have physically arrived at each NPU.
+    holds: Vec<ChunkSet>,
+    /// Postcondition chunks not yet arrived *or in flight* toward each NPU.
+    needs: Vec<ChunkSet>,
+    /// `provider[npu * num_chunks + chunk]` = transfer that delivered the
+    /// chunk (dependency for onward forwards). Empty when dependency
+    /// tracking is disabled.
+    provider: Vec<u32>,
+    unsatisfied: usize,
+    /// Scratch: shuffled link order, reused across rounds.
+    link_order: Vec<LinkId>,
+    /// Relay routing for sparse-postcondition patterns, with per-NPU
+    /// "seen" sets (arrived or in-flight) for duplicate suppression.
+    relay: Option<(RelayInfo, Vec<ChunkSet>)>,
+}
+
+impl MatchState {
+    /// Builds the state from per-NPU pre/postconditions.
+    pub(crate) fn new(
+        preconditions: Vec<ChunkSet>,
+        postconditions: Vec<ChunkSet>,
+        num_links: usize,
+        track_deps: bool,
+    ) -> Self {
+        assert_eq!(preconditions.len(), postconditions.len());
+        let num_chunks = preconditions.first().map_or(0, ChunkSet::capacity);
+        let num_npus = preconditions.len();
+        let mut needs = postconditions;
+        let mut unsatisfied = 0;
+        for (need, pre) in needs.iter_mut().zip(&preconditions) {
+            need.subtract(pre);
+            unsatisfied += need.len();
+        }
+        MatchState {
+            num_chunks,
+            holds: preconditions,
+            needs,
+            provider: if track_deps {
+                vec![NO_PROVIDER; num_npus * num_chunks]
+            } else {
+                Vec::new()
+            },
+            unsatisfied,
+            link_order: (0..num_links as u32).map(LinkId::new).collect(),
+            relay: None,
+        }
+    }
+
+    /// Enables relay routing (sparse-postcondition patterns): initializes
+    /// per-NPU "seen" sets to the current holdings.
+    pub(crate) fn enable_relay(&mut self, relay: RelayInfo) {
+        let seen = self.holds.clone();
+        self.relay = Some((relay, seen));
+    }
+
+    /// Number of unsatisfied `(NPU, chunk)` postconditions (in-flight
+    /// chunks already count as satisfied, as in paper Alg. 1 which marks
+    /// the precondition at match time).
+    pub(crate) fn unsatisfied(&self) -> usize {
+        self.unsatisfied
+    }
+
+    /// The chunks that have arrived at `npu` so far.
+    #[cfg(test)]
+    pub(crate) fn held(&self, npu: NpuId) -> &ChunkSet {
+        &self.holds[npu.index()]
+    }
+
+    fn provider_of(&self, npu: NpuId, chunk: usize) -> Option<TransferId> {
+        if self.provider.is_empty() {
+            return None;
+        }
+        let raw = self.provider[npu.index() * self.num_chunks + chunk];
+        (raw != NO_PROVIDER).then(|| TransferId::new(raw))
+    }
+
+    fn set_provider(&mut self, npu: NpuId, chunk: usize, transfer: TransferId) {
+        if !self.provider.is_empty() {
+            self.provider[npu.index() * self.num_chunks + chunk] = transfer.index() as u32;
+        }
+    }
+
+    /// Registers a chunk arrival: the destination now *holds* the chunk and
+    /// may forward it in subsequent time spans.
+    pub(crate) fn apply_arrival(&mut self, arrival: &Arrival) {
+        self.holds[arrival.dst.index()].insert(arrival.chunk);
+    }
+
+    /// Runs one utilization-maximizing matching round at the TEN's current
+    /// time (paper Alg. 1). Returns the number of link–chunk matches made.
+    ///
+    /// When `builder` is `Some`, each match is recorded as a scheduled
+    /// transfer whose dependency is the transfer that delivered the chunk
+    /// to the source (empty for precondition chunks).
+    pub(crate) fn run_round(
+        &mut self,
+        topo: &Topology,
+        ten: &mut ExpandingTen,
+        rng: &mut StdRng,
+        prefer_cheap_links: bool,
+        mut builder: Option<&mut AlgorithmBuilder>,
+        transfers_out: &mut u64,
+    ) -> usize {
+        // Random order maximizes fairness across links (the paper's random
+        // postcondition selection); an optional stable sort by cost then
+        // prioritizes cheaper links while keeping ties random (§IV-F).
+        self.link_order.shuffle(rng);
+        if prefer_cheap_links {
+            self.link_order.sort_by_key(|&l| ten.link_cost(l));
+        }
+        let mut matches = 0;
+        for i in 0..self.link_order.len() {
+            let link = self.link_order[i];
+            if !ten.is_free(link) {
+                continue;
+            }
+            let l = topo.link(link);
+            let (src, dst) = (l.src(), l.dst());
+            // Direct match first: a chunk the destination itself needs.
+            let mut chunk = self.holds[src.index()]
+                .pick_intersection(&self.needs[dst.index()], rng.gen::<usize>());
+            if chunk.is_none() {
+                // Relay match: a chunk that strictly approaches its final
+                // destination through this link (extension, see RelayInfo).
+                if let Some((relay, seen)) = &self.relay {
+                    chunk = self.holds[src.index()].pick_excluding_where(
+                        &seen[dst.index()],
+                        rng.gen::<usize>(),
+                        |c| relay.moves_closer(c.index(), src, dst),
+                    );
+                }
+            }
+            let Some(chunk) = chunk else {
+                continue;
+            };
+            // Link–chunk match: mark the postcondition satisfied and put
+            // the chunk in flight (paper Fig. 8c).
+            if self.needs[dst.index()].remove(chunk) {
+                self.unsatisfied -= 1;
+            }
+            if let Some((_, seen)) = &mut self.relay {
+                seen[dst.index()].insert(chunk);
+            }
+            let start = ten.now();
+            let arrive = ten.occupy(link, chunk);
+            *transfers_out += 1;
+            if let Some(b) = builder.as_deref_mut() {
+                let deps: Vec<TransferId> = self
+                    .provider_of(src, chunk.index())
+                    .into_iter()
+                    .collect();
+                let id = b.push_scheduled(
+                    chunk,
+                    src,
+                    dst,
+                    TransferKind::Copy,
+                    link,
+                    start,
+                    arrive - start,
+                    deps,
+                );
+                self.set_provider(dst, chunk.index(), id);
+            }
+            matches += 1;
+        }
+        matches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tacos_collective::{ChunkId, Collective};
+    use tacos_topology::{Bandwidth, ByteSize, LinkSpec, RingOrientation, Time};
+
+    fn ring4() -> Topology {
+        let spec = LinkSpec::new(Time::from_micros(0.5), Bandwidth::gbps(50.0));
+        Topology::ring(4, spec, RingOrientation::Unidirectional).unwrap()
+    }
+
+    fn all_gather_state(topo: &Topology, track_deps: bool) -> MatchState {
+        let coll = Collective::all_gather(topo.num_npus(), ByteSize::mb(4)).unwrap();
+        let pre = topo.npus().map(|n| coll.precondition(n)).collect();
+        let post = topo.npus().map(|n| coll.postcondition(n)).collect();
+        MatchState::new(pre, post, topo.num_links(), track_deps)
+    }
+
+    #[test]
+    fn initial_unsatisfied_count() {
+        let topo = ring4();
+        let state = all_gather_state(&topo, true);
+        // Each of 4 NPUs needs the 3 chunks it does not own.
+        assert_eq!(state.unsatisfied(), 12);
+    }
+
+    #[test]
+    fn first_round_saturates_the_ring() {
+        let topo = ring4();
+        let mut state = all_gather_state(&topo, true);
+        let mut ten = ExpandingTen::new(&topo, ByteSize::mb(1));
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut count = 0u64;
+        let matches = state.run_round(&topo, &mut ten, &mut rng, true, None, &mut count);
+        // Every NPU has exactly one outgoing link whose destination needs
+        // its chunk: all 4 links match.
+        assert_eq!(matches, 4);
+        assert_eq!(count, 4);
+        assert_eq!(state.unsatisfied(), 8);
+        // Second round at the same time: all links busy, nothing matches.
+        let matches = state.run_round(&topo, &mut ten, &mut rng, true, None, &mut count);
+        assert_eq!(matches, 0);
+    }
+
+    #[test]
+    fn arrivals_enable_forwarding() {
+        let topo = ring4();
+        let mut state = all_gather_state(&topo, true);
+        let mut ten = ExpandingTen::new(&topo, ByteSize::mb(1));
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut count = 0u64;
+        state.run_round(&topo, &mut ten, &mut rng, true, None, &mut count);
+        for arrival in ten.advance() {
+            state.apply_arrival(&arrival);
+        }
+        // NPU1 now holds chunk 0 and can forward it to NPU2.
+        assert!(state.held(NpuId::new(1)).contains(ChunkId::new(0)));
+        let matches = state.run_round(&topo, &mut ten, &mut rng, true, None, &mut count);
+        assert_eq!(matches, 4);
+    }
+
+    #[test]
+    fn provider_tracking_builds_dependencies() {
+        let topo = ring4();
+        let coll = Collective::all_gather(4, ByteSize::mb(4)).unwrap();
+        let mut state = all_gather_state(&topo, true);
+        let mut ten = ExpandingTen::new(&topo, ByteSize::mb(1));
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut builder =
+            AlgorithmBuilder::new("t", 4, coll.chunk_size(), coll.total_size());
+        let mut count = 0u64;
+        loop {
+            state.run_round(&topo, &mut ten, &mut rng, true, Some(&mut builder), &mut count);
+            if state.unsatisfied() == 0 && ten.pending() == 0 {
+                break;
+            }
+            let events = ten.advance();
+            assert!(!events.is_empty(), "stuck");
+            for a in &events {
+                state.apply_arrival(a);
+            }
+        }
+        let algo = builder.build();
+        // 4 NPUs x 3 missing chunks = 12 transfers.
+        assert_eq!(algo.len(), 12);
+        // Forwarded chunks depend on the transfer that delivered them.
+        let with_deps = algo.transfers().iter().filter(|t| !t.deps().is_empty()).count();
+        assert_eq!(with_deps, 8); // rounds 2 and 3 forward delivered chunks
+        assert!(algo.validate_causal().is_ok());
+        assert!(algo.validate_contention_free().is_ok());
+    }
+
+    #[test]
+    fn dependency_tracking_can_be_disabled() {
+        let topo = ring4();
+        let mut state = all_gather_state(&topo, false);
+        assert!(state.provider.is_empty());
+        let mut ten = ExpandingTen::new(&topo, ByteSize::mb(1));
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut count = 0u64;
+        let matches = state.run_round(&topo, &mut ten, &mut rng, true, None, &mut count);
+        assert_eq!(matches, 4);
+    }
+}

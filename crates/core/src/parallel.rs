@@ -1,0 +1,133 @@
+//! Best-of-N parallel synthesis.
+//!
+//! The paper's large syntheses run with 64 parallel threads (§VI-C):
+//! because matching is randomized, independent seeds explore different
+//! algorithms, and the best (smallest collective time) is kept. Attempts
+//! are distributed over `std::thread::scope` workers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+use tacos_collective::Collective;
+use tacos_topology::Topology;
+
+use crate::error::SynthesisError;
+use crate::synthesis::{SynthesisResult, Synthesizer};
+
+/// Runs `synth.config().attempts()` independent seeded syntheses and
+/// returns the one with the smallest collective time.
+///
+/// Seeds are `seed, seed+1, …` so results are reproducible regardless of
+/// thread interleaving.
+///
+/// # Errors
+/// Returns the first synthesis error encountered (all seeds fail the same
+/// way: errors depend only on topology/collective shape).
+pub(crate) fn synthesize_best_of(
+    synth: &Synthesizer,
+    topo: &Topology,
+    collective: &Collective,
+) -> Result<SynthesisResult, SynthesisError> {
+    let attempts = synth.config().attempts();
+    let base_seed = synth.config().seed();
+    let workers = thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(attempts);
+    let next = AtomicUsize::new(0);
+    let best: Mutex<Option<SynthesisResult>> = Mutex::new(None);
+    let error: Mutex<Option<SynthesisError>> = Mutex::new(None);
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= attempts {
+                    break;
+                }
+                let seed = base_seed.wrapping_add(i as u64);
+                match synth.synthesize_seeded(topo, collective, seed) {
+                    Ok(result) => {
+                        let mut guard = best.lock().expect("no poisoned locks");
+                        let better = guard
+                            .as_ref()
+                            .map_or(true, |b| result.collective_time() < b.collective_time());
+                        if better {
+                            *guard = Some(result);
+                        }
+                    }
+                    Err(e) => {
+                        let mut guard = error.lock().expect("no poisoned locks");
+                        guard.get_or_insert(e);
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(e) = error.into_inner().expect("no poisoned locks") {
+        return Err(e);
+    }
+    Ok(best
+        .into_inner()
+        .expect("no poisoned locks")
+        .expect("at least one attempt ran"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SynthesizerConfig;
+    use tacos_topology::{Bandwidth, ByteSize, LinkSpec, Time};
+
+    fn mesh() -> Topology {
+        let spec = LinkSpec::new(Time::from_micros(0.5), Bandwidth::gbps(50.0));
+        Topology::mesh_2d(3, 3, spec).unwrap()
+    }
+
+    #[test]
+    fn best_of_is_no_worse_than_single() {
+        let topo = mesh();
+        let coll = Collective::all_gather(9, ByteSize::mb(9)).unwrap();
+        let single = Synthesizer::new(SynthesizerConfig::default().with_seed(100));
+        let multi = Synthesizer::new(
+            SynthesizerConfig::default().with_seed(100).with_attempts(8),
+        );
+        let t1 = single.synthesize(&topo, &coll).unwrap().collective_time();
+        let t8 = multi.synthesize(&topo, &coll).unwrap().collective_time();
+        assert!(t8 <= t1, "best-of-8 ({t8}) worse than single ({t1})");
+    }
+
+    #[test]
+    fn best_of_is_deterministic() {
+        let topo = mesh();
+        let coll = Collective::all_gather(9, ByteSize::mb(9)).unwrap();
+        let synth = Synthesizer::new(
+            SynthesizerConfig::default().with_seed(7).with_attempts(4),
+        );
+        let a = synth.synthesize(&topo, &coll).unwrap();
+        let b = synth.synthesize(&topo, &coll).unwrap();
+        assert_eq!(a.collective_time(), b.collective_time());
+        assert_eq!(a.seed(), b.seed());
+    }
+
+    #[test]
+    fn errors_propagate() {
+        // Not strongly connected: 3 NPUs, one unreachable.
+        let spec = LinkSpec::new(Time::from_micros(0.5), Bandwidth::gbps(50.0));
+        let mut b = tacos_topology::TopologyBuilder::new("disc");
+        b.npus(3);
+        b.bidi_link(tacos_topology::NpuId::new(0), tacos_topology::NpuId::new(1), spec);
+        let topo = b.build().unwrap();
+        let coll = Collective::all_gather(3, ByteSize::mb(3)).unwrap();
+        let synth = Synthesizer::new(
+            SynthesizerConfig::default().with_attempts(4),
+        );
+        assert!(matches!(
+            synth.synthesize(&topo, &coll),
+            Err(SynthesisError::Stuck { .. })
+        ));
+    }
+}

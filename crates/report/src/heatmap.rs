@@ -1,0 +1,119 @@
+//! ASCII heat maps — the textual analogue of paper Fig. 1's link-load
+//! matrices.
+
+use std::fmt::Write as _;
+
+/// Shade ramp from cold (light) to hot (dense).
+const RAMP: &[char] = &['.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+/// Renders an `n × n` matrix of optional values as an ASCII heat map.
+///
+/// `None` cells (no physical link) render as a blank; values are
+/// normalized to the matrix maximum, mirroring the per-topology
+/// normalization of paper Fig. 1. Zero-valued cells (idle links) render as
+/// `0`.
+///
+/// ```
+/// use tacos_report::heatmap;
+/// let m = vec![
+///     vec![None, Some(10.0)],
+///     vec![Some(5.0), None],
+/// ];
+/// let s = heatmap(&m);
+/// assert!(s.contains('@')); // the hottest cell
+/// ```
+pub fn heatmap(matrix: &[Vec<Option<f64>>]) -> String {
+    let max = matrix
+        .iter()
+        .flatten()
+        .flatten()
+        .fold(0.0f64, |a, &b| a.max(b));
+    let n = matrix.len();
+    let mut out = String::new();
+    // Column header.
+    let _ = write!(out, "     ");
+    for j in 0..n {
+        let _ = write!(out, "{:>3}", j % 100);
+    }
+    let _ = writeln!(out);
+    for (i, row) in matrix.iter().enumerate() {
+        let _ = write!(out, "{i:>4} ");
+        for cell in row {
+            match cell {
+                None => {
+                    let _ = write!(out, "   ");
+                }
+                Some(v) => {
+                    let c = shade(*v, max);
+                    let _ = write!(out, "  {c}");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(
+        out,
+        "scale: 0 {} max={max:.3}",
+        RAMP.iter().collect::<String>()
+    );
+    out
+}
+
+fn shade(v: f64, max: f64) -> char {
+    if v <= 0.0 || max <= 0.0 {
+        return '0';
+    }
+    let idx = ((v / max) * (RAMP.len() as f64 - 1.0)).round() as usize;
+    RAMP[idx.min(RAMP.len() - 1)]
+}
+
+/// Renders a sequence of `0..=1` values as a unicode sparkline — used for
+/// the utilization-over-time plots of paper Figs. 16b and 18.
+///
+/// ```
+/// use tacos_report::sparkline;
+/// assert_eq!(sparkline(&[0.0, 0.5, 1.0]).chars().count(), 3);
+/// ```
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: &[char] = &['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    values
+        .iter()
+        .map(|&v| {
+            let v = v.clamp(0.0, 1.0);
+            let idx = (v * (BARS.len() as f64 - 1.0)).round() as usize;
+            BARS[idx]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shades_scale() {
+        assert_eq!(shade(0.0, 10.0), '0');
+        assert_eq!(shade(10.0, 10.0), '@');
+        assert_eq!(shade(5.0, 10.0), '+');
+    }
+
+    #[test]
+    fn heatmap_marks_missing_links() {
+        let m = vec![
+            vec![None, Some(1.0), Some(0.0)],
+            vec![Some(1.0), None, Some(0.5)],
+            vec![Some(0.25), Some(0.75), None],
+        ];
+        let s = heatmap(&m);
+        assert!(s.contains('@'));
+        assert!(s.contains('0')); // idle link
+        assert!(s.contains("max=1.000"));
+    }
+
+    #[test]
+    fn sparkline_extremes() {
+        let s = sparkline(&[0.0, 1.0]);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+    }
+}

@@ -1,0 +1,185 @@
+//! Minimal CSV and JSON writers.
+//!
+//! `serde_json` is not part of the allowed offline crate set (DESIGN.md
+//! §2), so experiment binaries emit machine-readable output through these
+//! ~100-line encoders instead.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Writes rows as RFC-4180-ish CSV (quotes fields containing commas,
+/// quotes, or newlines).
+///
+/// ```
+/// use tacos_report::to_csv;
+/// let csv = to_csv(&[vec!["a".into(), "b,c".into()]]);
+/// assert_eq!(csv, "a,\"b,c\"\n");
+/// ```
+pub fn to_csv(rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        let mut first = true;
+        for field in row {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            if field.contains([',', '"', '\n']) {
+                out.push('"');
+                out.push_str(&field.replace('"', "\"\""));
+                out.push('"');
+            } else {
+                out.push_str(field);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A JSON value (minimal, output-only).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A finite number (non-finite values serialize as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with deterministically ordered keys.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Builds an object from key/value pairs.
+    pub fn obj<I: IntoIterator<Item = (&'static str, Json)>>(pairs: I) -> Json {
+        Json::Obj(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Serializes to a compact JSON string.
+    pub fn to_string(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s);
+        s
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::Num(v as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_quoting() {
+        let rows = vec![
+            vec!["plain".to_string(), "with,comma".to_string()],
+            vec!["with\"quote".to_string(), "with\nnewline".to_string()],
+        ];
+        let csv = to_csv(&rows);
+        assert_eq!(
+            csv,
+            "plain,\"with,comma\"\n\"with\"\"quote\",\"with\nnewline\"\n"
+        );
+    }
+
+    #[test]
+    fn json_escaping() {
+        let j = Json::Str("a\"b\\c\nd".into());
+        assert_eq!(j.to_string(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn json_structures() {
+        let j = Json::obj([
+            ("name", "tacos".into()),
+            ("bw", 49.5.into()),
+            ("links", Json::Arr(vec![1u64.into(), 2u64.into()])),
+            ("nan", Json::Num(f64::NAN)),
+        ]);
+        assert_eq!(
+            j.to_string(),
+            r#"{"bw":49.5,"links":[1,2],"name":"tacos","nan":null}"#
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for simulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the congestion-aware network simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The algorithm was generated for a different NPU count than the
+    /// topology provides.
+    NpuCountMismatch {
+        /// NPUs in the topology.
+        topology: usize,
+        /// NPUs the algorithm expects.
+        algorithm: usize,
+    },
+    /// A transfer's destination is unreachable from its source (the
+    /// topology is not strongly connected along the required direction).
+    Unroutable {
+        /// Sending NPU index.
+        src: usize,
+        /// Unreachable destination NPU index.
+        dst: usize,
+    },
+    /// A scheduled transfer references a link that does not exist or whose
+    /// endpoints do not match.
+    BadLink {
+        /// Index of the offending transfer.
+        transfer: usize,
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NpuCountMismatch { topology, algorithm } => write!(
+                f,
+                "topology has {topology} NPUs but the algorithm expects {algorithm}"
+            ),
+            SimError::Unroutable { src, dst } => {
+                write!(f, "no route from NPU {src} to NPU {dst}")
+            }
+            SimError::BadLink { transfer, reason } => {
+                write!(f, "transfer {transfer} has an invalid link: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SimError::NpuCountMismatch { topology: 4, algorithm: 8 }
+            .to_string()
+            .contains("4 NPUs"));
+        assert!(SimError::Unroutable { src: 0, dst: 3 }
+            .to_string()
+            .contains("no route"));
+        assert!(SimError::BadLink { transfer: 2, reason: "x".into() }
+            .to_string()
+            .contains("transfer 2"));
+    }
+}

@@ -1,0 +1,200 @@
+//! Simulation results: collective time, per-link traffic, utilization.
+
+use tacos_topology::{ByteSize, LinkId, Time, Topology};
+
+/// One contiguous busy period of a link (a message transmission).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusyInterval {
+    /// The link that was busy.
+    pub link: LinkId,
+    /// Transmission start.
+    pub start: Time,
+    /// Transmission duration.
+    pub duration: Time,
+}
+
+/// Everything the experiments need from one simulation run.
+///
+/// * [`SimReport::collective_time`] — when the last chunk arrived.
+/// * [`SimReport::link_bytes`] — total payload per link (the heat maps of
+///   paper Figs. 1 and 15b).
+/// * [`SimReport::utilization_timeline`] — fraction of links busy over
+///   normalized time (paper Figs. 16b and 18).
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    collective_time: Time,
+    link_bytes: Vec<u64>,
+    link_busy: Vec<Time>,
+    intervals: Vec<BusyInterval>,
+    messages: u64,
+    total_size: ByteSize,
+}
+
+impl SimReport {
+    pub(crate) fn new(
+        collective_time: Time,
+        link_bytes: Vec<u64>,
+        link_busy: Vec<Time>,
+        intervals: Vec<BusyInterval>,
+        messages: u64,
+        total_size: ByteSize,
+    ) -> Self {
+        SimReport {
+            collective_time,
+            link_bytes,
+            link_busy,
+            intervals,
+            messages,
+            total_size,
+        }
+    }
+
+    /// Simulated collective completion time.
+    pub fn collective_time(&self) -> Time {
+        self.collective_time
+    }
+
+    /// Achieved collective bandwidth: payload ÷ completion time (the
+    /// paper's evaluation metric).
+    pub fn bandwidth_bytes_per_sec(&self) -> f64 {
+        if self.collective_time.is_zero() {
+            f64::INFINITY
+        } else {
+            self.total_size.as_u64() as f64 / self.collective_time.as_secs_f64()
+        }
+    }
+
+    /// Same bandwidth in decimal GB/s.
+    pub fn bandwidth_gbps(&self) -> f64 {
+        self.bandwidth_bytes_per_sec() / 1e9
+    }
+
+    /// Total bytes carried by each link (indexed by [`LinkId`]).
+    pub fn link_bytes(&self) -> &[u64] {
+        &self.link_bytes
+    }
+
+    /// Total busy time of each link.
+    pub fn link_busy(&self) -> &[Time] {
+        &self.link_busy
+    }
+
+    /// Number of point-to-point messages simulated (multi-hop transfers
+    /// count once per hop).
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Utilization of one link: busy time ÷ collective time.
+    pub fn link_utilization(&self, link: LinkId) -> f64 {
+        if self.collective_time.is_zero() {
+            return 0.0;
+        }
+        self.link_busy[link.index()].as_secs_f64() / self.collective_time.as_secs_f64()
+    }
+
+    /// Mean utilization across all links (the per-topology bar of paper
+    /// Fig. 15b).
+    pub fn average_utilization(&self) -> f64 {
+        if self.link_busy.is_empty() || self.collective_time.is_zero() {
+            return 0.0;
+        }
+        let total: f64 = self.link_busy.iter().map(|t| t.as_secs_f64()).sum();
+        total / (self.link_busy.len() as f64 * self.collective_time.as_secs_f64())
+    }
+
+    /// Network utilization over time: `bins` equal slices of the collective
+    /// duration, each holding the fraction of link-time spent busy
+    /// (paper Figs. 16b and 18).
+    pub fn utilization_timeline(&self, bins: usize) -> Vec<f64> {
+        assert!(bins > 0, "at least one bin required");
+        let mut out = vec![0.0f64; bins];
+        let total_ps = self.collective_time.as_ps();
+        if total_ps == 0 || self.link_busy.is_empty() {
+            return out;
+        }
+        let bin_width = total_ps as f64 / bins as f64;
+        for iv in &self.intervals {
+            let s = iv.start.as_ps() as f64;
+            let e = (iv.start + iv.duration).as_ps() as f64;
+            let first = ((s / bin_width) as usize).min(bins - 1);
+            let last = ((e / bin_width) as usize).min(bins - 1);
+            for b in first..=last {
+                let b_start = b as f64 * bin_width;
+                let b_end = b_start + bin_width;
+                let overlap = (e.min(b_end) - s.max(b_start)).max(0.0);
+                out[b] += overlap;
+            }
+        }
+        let denom = bin_width * self.link_bytes.len() as f64;
+        for v in &mut out {
+            *v /= denom;
+        }
+        out
+    }
+
+    /// Aggregates per-link bytes into an `n × n` source/destination matrix
+    /// (parallel links summed) — the cells of paper Fig. 1. Cells without a
+    /// physical link are `None`.
+    pub fn bytes_matrix(&self, topo: &Topology) -> Vec<Vec<Option<u64>>> {
+        let n = topo.num_npus();
+        let mut m = vec![vec![None; n]; n];
+        for link in topo.links() {
+            let cell = &mut m[link.src().index()][link.dst().index()];
+            *cell = Some(cell.unwrap_or(0) + self.link_bytes[link.id().index()]);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        // Two links; link 0 busy [0,50) and [50,100); link 1 busy [0,25).
+        SimReport::new(
+            Time::from_ps(100),
+            vec![200, 50],
+            vec![Time::from_ps(100), Time::from_ps(25)],
+            vec![
+                BusyInterval { link: LinkId::new(0), start: Time::ZERO, duration: Time::from_ps(50) },
+                BusyInterval {
+                    link: LinkId::new(0),
+                    start: Time::from_ps(50),
+                    duration: Time::from_ps(50),
+                },
+                BusyInterval { link: LinkId::new(1), start: Time::ZERO, duration: Time::from_ps(25) },
+            ],
+            3,
+            ByteSize::bytes(250),
+        )
+    }
+
+    #[test]
+    fn utilization_metrics() {
+        let r = report();
+        assert_eq!(r.link_utilization(LinkId::new(0)), 1.0);
+        assert_eq!(r.link_utilization(LinkId::new(1)), 0.25);
+        assert!((r.average_utilization() - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timeline_bins() {
+        let r = report();
+        let tl = r.utilization_timeline(4);
+        // Bins of 25 ps: [0,25): both links busy => 1.0; others: only link 0.
+        assert!((tl[0] - 1.0).abs() < 1e-9);
+        assert!((tl[1] - 0.5).abs() < 1e-9);
+        assert!((tl[2] - 0.5).abs() < 1e-9);
+        assert!((tl[3] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth() {
+        let r = report();
+        // 250 bytes / 100 ps = 2.5e12 B/s.
+        assert!((r.bandwidth_bytes_per_sec() - 2.5e12).abs() < 1.0);
+        assert_eq!(r.messages(), 3);
+    }
+}

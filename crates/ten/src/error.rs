@@ -1,0 +1,66 @@
+//! Error type for TEN construction and occupancy.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or mutating a time-expanded network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TenError {
+    /// A TEN needs at least one physical link.
+    NoLinks,
+    /// The materialized uniform-step TEN requires homogeneous link costs;
+    /// heterogeneous topologies use the event-driven expanding TEN.
+    HeterogeneousTopology,
+    /// The TEN edge already carries a chunk (congestion-freedom: one chunk
+    /// per link per time span, paper §IV-D).
+    EdgeOccupied {
+        /// Time-span index.
+        step: usize,
+        /// Link index.
+        link: usize,
+    },
+    /// An algorithm without a full schedule cannot be projected onto a TEN.
+    UnscheduledAlgorithm,
+    /// A scheduled transfer does not align with the uniform TEN step grid.
+    MisalignedSchedule,
+}
+
+impl fmt::Display for TenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TenError::NoLinks => write!(f, "topology has no links to expand"),
+            TenError::HeterogeneousTopology => write!(
+                f,
+                "materialized TEN requires homogeneous link costs; use ExpandingTen"
+            ),
+            TenError::EdgeOccupied { step, link } => {
+                write!(f, "TEN edge (step {step}, link {link}) already carries a chunk")
+            }
+            TenError::UnscheduledAlgorithm => {
+                write!(f, "algorithm transfers lack schedules; cannot project onto TEN")
+            }
+            TenError::MisalignedSchedule => {
+                write!(f, "scheduled transfer does not align with the TEN step grid")
+            }
+        }
+    }
+}
+
+impl Error for TenError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(TenError::NoLinks.to_string().contains("no links"));
+        assert!(TenError::HeterogeneousTopology.to_string().contains("ExpandingTen"));
+        assert!(TenError::EdgeOccupied { step: 1, link: 2 }
+            .to_string()
+            .contains("step 1, link 2"));
+        assert!(TenError::UnscheduledAlgorithm.to_string().contains("lack schedules"));
+        assert!(TenError::MisalignedSchedule.to_string().contains("align"));
+    }
+}

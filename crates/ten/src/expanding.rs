@@ -1,0 +1,242 @@
+//! Event-driven expanding TEN for arbitrary (heterogeneous) topologies
+//! (paper §IV-F, Fig. 12).
+//!
+//! With heterogeneous α–β costs the TEN's time axis is no longer uniform:
+//! each link `l` carrying a chunk occupies `[t, t + cost(l))`, and new time
+//! "columns" appear at chunk-arrival instants. [`ExpandingTen`] maintains
+//! exactly the state the synthesizer's matching loop needs:
+//!
+//! * the current synthesis time `now`,
+//! * per-link `busy_until` (one chunk per link at a time — congestion
+//!   freedom),
+//! * a queue of pending arrival events.
+//!
+//! On a homogeneous topology the event times degenerate to the uniform
+//! steps of the materialized TEN, which is unit-tested below.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use tacos_collective::ChunkId;
+use tacos_topology::{ByteSize, LinkId, NpuId, Time, Topology};
+
+/// A chunk arriving at an NPU — the synthesizer processes these to update
+/// preconditions when advancing time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Arrival instant.
+    pub time: Time,
+    /// The delivered chunk.
+    pub chunk: ChunkId,
+    /// The link that carried it.
+    pub link: LinkId,
+    /// Sending NPU.
+    pub src: NpuId,
+    /// Receiving NPU (now holds `chunk`).
+    pub dst: NpuId,
+}
+
+/// Event-driven expanding time-expanded network.
+///
+/// ```
+/// use tacos_topology::{Bandwidth, ByteSize, LinkId, LinkSpec, RingOrientation, Time, Topology};
+/// use tacos_collective::ChunkId;
+/// use tacos_ten::ExpandingTen;
+/// let spec = LinkSpec::new(Time::from_micros(0.5), Bandwidth::gbps(50.0));
+/// let ring = Topology::ring(4, spec, RingOrientation::Unidirectional)?;
+/// let mut ten = ExpandingTen::new(&ring, ByteSize::mb(1));
+/// assert!(ten.is_free(LinkId::new(0)));
+/// let arrive = ten.occupy(LinkId::new(0), ChunkId::new(0));
+/// assert_eq!(arrive, spec.cost(ByteSize::mb(1)));
+/// let events = ten.advance();
+/// assert_eq!(events.len(), 1);
+/// assert_eq!(ten.now(), arrive);
+/// # Ok::<(), tacos_topology::TopologyError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExpandingTen {
+    link_cost: Vec<Time>,
+    link_src: Vec<NpuId>,
+    link_dst: Vec<NpuId>,
+    busy_until: Vec<Time>,
+    now: Time,
+    // Reverse-ordered min-heap of (time, link). Chunk/src/dst are looked up
+    // from `in_flight` on pop.
+    queue: BinaryHeap<Reverse<(Time, u32)>>,
+    in_flight: Vec<Option<ChunkId>>,
+}
+
+impl ExpandingTen {
+    /// Creates the TEN at `t = 0` with per-link costs `α + β·chunk_size`.
+    pub fn new(topo: &Topology, chunk_size: ByteSize) -> Self {
+        let links = topo.links();
+        ExpandingTen {
+            link_cost: links.iter().map(|l| l.cost(chunk_size)).collect(),
+            link_src: links.iter().map(|l| l.src()).collect(),
+            link_dst: links.iter().map(|l| l.dst()).collect(),
+            busy_until: vec![Time::ZERO; links.len()],
+            now: Time::ZERO,
+            queue: BinaryHeap::new(),
+            in_flight: vec![None; links.len()],
+        }
+    }
+
+    /// The current synthesis time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Transmission cost of one chunk over `link`.
+    pub fn link_cost(&self, link: LinkId) -> Time {
+        self.link_cost[link.index()]
+    }
+
+    /// `true` if `link` can accept a chunk at the current time.
+    pub fn is_free(&self, link: LinkId) -> bool {
+        self.busy_until[link.index()] <= self.now
+    }
+
+    /// Matches `chunk` onto `link` starting now; returns the arrival time.
+    ///
+    /// # Panics
+    /// Panics if the link is still busy (the caller must check
+    /// [`ExpandingTen::is_free`] — one chunk per link at a time).
+    pub fn occupy(&mut self, link: LinkId, chunk: ChunkId) -> Time {
+        let idx = link.index();
+        assert!(
+            self.busy_until[idx] <= self.now,
+            "link {link} is busy until {}",
+            self.busy_until[idx]
+        );
+        let arrive = self.now + self.link_cost[idx];
+        self.busy_until[idx] = arrive;
+        self.in_flight[idx] = Some(chunk);
+        self.queue.push(Reverse((arrive, link.raw())));
+        arrive
+    }
+
+    /// Number of chunks currently in flight.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Advances time to the next arrival instant and returns every arrival
+    /// happening exactly then (the next TEN "column"). Returns an empty
+    /// vector if nothing is in flight.
+    pub fn advance(&mut self) -> Vec<Arrival> {
+        let Some(&Reverse((t, _))) = self.queue.peek() else {
+            return Vec::new();
+        };
+        self.now = t;
+        let mut events = Vec::new();
+        while let Some(&Reverse((time, link_raw))) = self.queue.peek() {
+            if time > t {
+                break;
+            }
+            self.queue.pop();
+            let idx = link_raw as usize;
+            let chunk = self.in_flight[idx]
+                .take()
+                .expect("every queued arrival has an in-flight chunk");
+            events.push(Arrival {
+                time,
+                chunk,
+                link: LinkId::new(link_raw),
+                src: self.link_src[idx],
+                dst: self.link_dst[idx],
+            });
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacos_topology::{Bandwidth, LinkSpec, NpuId, TopologyBuilder};
+
+    fn hetero_pair() -> Topology {
+        // Paper Fig. 12(a)-style heterogeneous 3-NPU topology.
+        let fast = LinkSpec::new(Time::from_micros(0.5), Bandwidth::gbps(100.0));
+        let slow = LinkSpec::new(Time::from_micros(1.0), Bandwidth::gbps(70.0));
+        let mut b = TopologyBuilder::new("fig12");
+        b.npus(3);
+        b.link(NpuId::new(0), NpuId::new(1), fast);
+        b.link(NpuId::new(1), NpuId::new(0), fast);
+        b.link(NpuId::new(1), NpuId::new(2), slow);
+        b.link(NpuId::new(2), NpuId::new(1), slow);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn heterogeneous_event_times() {
+        let topo = hetero_pair();
+        let mut ten = ExpandingTen::new(&topo, ByteSize::mb(1));
+        // Fast link: 0.5 + 10 = 10.5 us. Slow: 1.0 + 14.2857.. us.
+        let fast_arrive = ten.occupy(LinkId::new(0), ChunkId::new(0));
+        let slow_arrive = ten.occupy(LinkId::new(2), ChunkId::new(1));
+        assert_eq!(fast_arrive, Time::from_micros(10.5));
+        assert!(slow_arrive > fast_arrive);
+        assert_eq!(ten.pending(), 2);
+
+        // First column: the fast arrival only.
+        let events = ten.advance();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].chunk, ChunkId::new(0));
+        assert_eq!(events[0].dst, NpuId::new(1));
+        assert_eq!(ten.now(), fast_arrive);
+        // The fast link is free again; the slow one still busy.
+        assert!(ten.is_free(LinkId::new(0)));
+        assert!(!ten.is_free(LinkId::new(2)));
+
+        // Second column: the slow arrival.
+        let events = ten.advance();
+        assert_eq!(events.len(), 1);
+        assert_eq!(ten.now(), slow_arrive);
+        assert_eq!(ten.pending(), 0);
+        assert!(ten.advance().is_empty());
+    }
+
+    #[test]
+    fn homogeneous_degenerates_to_uniform_steps() {
+        let spec = LinkSpec::new(Time::from_micros(0.5), Bandwidth::gbps(50.0));
+        let topo = Topology::ring(4, spec, tacos_topology::RingOrientation::Unidirectional)
+            .unwrap();
+        let mut ten = ExpandingTen::new(&topo, ByteSize::mb(1));
+        let step = spec.cost(ByteSize::mb(1));
+        // Occupy all four links; all arrive in the same column.
+        for l in 0..4 {
+            ten.occupy(LinkId::new(l), ChunkId::new(l));
+        }
+        let events = ten.advance();
+        assert_eq!(events.len(), 4);
+        assert_eq!(ten.now(), step);
+        // Next round lands exactly at 2*step: the uniform TEN grid.
+        ten.occupy(LinkId::new(0), ChunkId::new(9));
+        let events = ten.advance();
+        assert_eq!(events.len(), 1);
+        assert_eq!(ten.now(), step * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "is busy until")]
+    fn double_occupy_panics() {
+        let topo = hetero_pair();
+        let mut ten = ExpandingTen::new(&topo, ByteSize::mb(1));
+        ten.occupy(LinkId::new(0), ChunkId::new(0));
+        ten.occupy(LinkId::new(0), ChunkId::new(1));
+    }
+
+    #[test]
+    fn simultaneous_arrivals_batched() {
+        let topo = hetero_pair();
+        let mut ten = ExpandingTen::new(&topo, ByteSize::mb(1));
+        // Two fast links in opposite directions: same cost, same column.
+        ten.occupy(LinkId::new(0), ChunkId::new(0));
+        ten.occupy(LinkId::new(1), ChunkId::new(1));
+        let events = ten.advance();
+        assert_eq!(events.len(), 2);
+        let chunks: Vec<u32> = events.iter().map(|e| e.chunk.raw()).collect();
+        assert!(chunks.contains(&0) && chunks.contains(&1));
+    }
+}

@@ -1,0 +1,344 @@
+//! Materialized Time-expanded Network (paper §IV-A, Figs. 6–7).
+//!
+//! For a **homogeneous** topology every link transmission takes the same
+//! time, so the TEN unrolls into uniform time spans: NPUs form columns,
+//! every physical link becomes an edge from `(src, t)` to `(dst, t+1)`, and
+//! a collective algorithm is an assignment of chunks to TEN edges
+//! (*link–chunk matches*). This module materializes that graph — it is the
+//! reference representation used for visualization, for unit-testing the
+//! synthesizer against the paper's worked examples, and by the TACCL-like
+//! bounded-optimal baseline.
+//!
+//! Heterogeneous topologies use the event-driven [`ExpandingTen`] instead
+//! (paper Fig. 12 generalizes the time axis to event times).
+//!
+//! [`ExpandingTen`]: crate::ExpandingTen
+
+use std::fmt;
+
+use tacos_collective::algorithm::CollectiveAlgorithm;
+use tacos_collective::ChunkId;
+use tacos_topology::{ByteSize, LinkId, NpuId, Time, Topology};
+
+use crate::error::TenError;
+
+/// A vertex of the TEN: NPU `npu` at the start of time span `step`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TenVertex {
+    /// The NPU (the TEN column).
+    pub npu: NpuId,
+    /// The time-span index (the TEN row).
+    pub step: usize,
+}
+
+impl fmt::Display for TenVertex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, t={})", self.npu, self.step)
+    }
+}
+
+/// A materialized uniform-step TEN over a homogeneous topology, with
+/// link–chunk occupancy.
+///
+/// ```
+/// use tacos_topology::{Bandwidth, ByteSize, LinkSpec, RingOrientation, Time, Topology};
+/// use tacos_ten::TimeExpandedNetwork;
+/// let spec = LinkSpec::new(Time::from_micros(0.5), Bandwidth::gbps(50.0));
+/// let ring = Topology::ring(4, spec, RingOrientation::Unidirectional)?;
+/// let mut ten = TimeExpandedNetwork::new(&ring, ByteSize::mb(1))?;
+/// ten.expand(); // t=0 .. t=1
+/// assert_eq!(ten.steps(), 1);
+/// assert_eq!(ten.step_duration(), spec.cost(ByteSize::mb(1)));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimeExpandedNetwork {
+    num_npus: usize,
+    link_endpoints: Vec<(NpuId, NpuId)>,
+    step_duration: Time,
+    /// `occupancy[step][link]` = chunk matched on that TEN edge.
+    occupancy: Vec<Vec<Option<ChunkId>>>,
+}
+
+impl TimeExpandedNetwork {
+    /// Builds an empty (zero-step) TEN for `topo` with chunk transmissions
+    /// of `chunk_size`.
+    ///
+    /// # Errors
+    /// [`TenError::HeterogeneousTopology`] if link costs differ (use
+    /// [`ExpandingTen`](crate::ExpandingTen) instead).
+    pub fn new(topo: &Topology, chunk_size: ByteSize) -> Result<Self, TenError> {
+        let mut costs = topo.links().iter().map(|l| l.cost(chunk_size));
+        let step_duration = costs.next().ok_or(TenError::NoLinks)?;
+        if costs.any(|c| c != step_duration) {
+            return Err(TenError::HeterogeneousTopology);
+        }
+        Ok(TimeExpandedNetwork {
+            num_npus: topo.num_npus(),
+            link_endpoints: topo.links().iter().map(|l| (l.src(), l.dst())).collect(),
+            step_duration,
+            occupancy: Vec::new(),
+        })
+    }
+
+    /// Number of NPU columns.
+    pub fn num_npus(&self) -> usize {
+        self.num_npus
+    }
+
+    /// Number of physical links (TEN edges per time span).
+    pub fn num_links(&self) -> usize {
+        self.link_endpoints.len()
+    }
+
+    /// Number of expanded time spans.
+    pub fn steps(&self) -> usize {
+        self.occupancy.len()
+    }
+
+    /// Wall-clock duration of one time span (`α + β·chunk`).
+    pub fn step_duration(&self) -> Time {
+        self.step_duration
+    }
+
+    /// Wall-clock time at the *start* of time span `step`.
+    pub fn time_of_step(&self, step: usize) -> Time {
+        self.step_duration * step as u64
+    }
+
+    /// Appends one more time span (paper Alg. 2's "Expand `TEN[t]`"), with
+    /// all edges unoccupied. Returns its index.
+    pub fn expand(&mut self) -> usize {
+        self.occupancy.push(vec![None; self.link_endpoints.len()]);
+        self.occupancy.len() - 1
+    }
+
+    /// Source and destination of the TEN edge for `link` (same at every
+    /// step).
+    pub fn endpoints(&self, link: LinkId) -> (NpuId, NpuId) {
+        self.link_endpoints[link.index()]
+    }
+
+    /// The chunk occupying `link` during `step`, if any.
+    ///
+    /// # Panics
+    /// Panics if `step` or `link` is out of range.
+    pub fn occupant(&self, step: usize, link: LinkId) -> Option<ChunkId> {
+        self.occupancy[step][link.index()]
+    }
+
+    /// Matches `chunk` onto `link` during `step` (a *link–chunk match*).
+    ///
+    /// # Errors
+    /// [`TenError::EdgeOccupied`] if the edge already carries a chunk —
+    /// the congestion-freedom invariant of §IV-D.
+    pub fn occupy(&mut self, step: usize, link: LinkId, chunk: ChunkId) -> Result<(), TenError> {
+        let slot = &mut self.occupancy[step][link.index()];
+        if slot.is_some() {
+            return Err(TenError::EdgeOccupied {
+                step,
+                link: link.index(),
+            });
+        }
+        *slot = Some(chunk);
+        Ok(())
+    }
+
+    /// Total number of matched edges across all steps.
+    pub fn matched_edges(&self) -> usize {
+        self.occupancy
+            .iter()
+            .map(|step| step.iter().filter(|s| s.is_some()).count())
+            .sum()
+    }
+
+    /// Link utilization of `step`: matched edges / total edges.
+    pub fn step_utilization(&self, step: usize) -> f64 {
+        let total = self.link_endpoints.len();
+        if total == 0 {
+            return 0.0;
+        }
+        let used = self.occupancy[step].iter().filter(|s| s.is_some()).count();
+        used as f64 / total as f64
+    }
+
+    /// Projects a fully scheduled homogeneous algorithm onto a fresh TEN —
+    /// the representation of paper Fig. 7(b).
+    ///
+    /// # Errors
+    /// * [`TenError::UnscheduledAlgorithm`] if a transfer lacks a schedule.
+    /// * [`TenError::MisalignedSchedule`] if a transfer does not start on a
+    ///   step boundary or lasts a different amount than one step.
+    /// * [`TenError::EdgeOccupied`] if two transfers collide (the algorithm
+    ///   was not contention-free).
+    pub fn represent(
+        topo: &Topology,
+        algorithm: &CollectiveAlgorithm,
+    ) -> Result<Self, TenError> {
+        let mut ten = TimeExpandedNetwork::new(topo, algorithm.chunk_size())?;
+        for t in algorithm.transfers() {
+            let (start, duration, link) = match (t.start(), t.duration(), t.link()) {
+                (Some(s), Some(d), Some(l)) => (s, d, l),
+                _ => return Err(TenError::UnscheduledAlgorithm),
+            };
+            let step_ps = ten.step_duration.as_ps();
+            if duration != ten.step_duration || start.as_ps() % step_ps != 0 {
+                return Err(TenError::MisalignedSchedule);
+            }
+            let step = (start.as_ps() / step_ps) as usize;
+            while ten.steps() <= step {
+                ten.expand();
+            }
+            ten.occupy(step, link, t.chunk())?;
+        }
+        Ok(ten)
+    }
+}
+
+impl fmt::Display for TimeExpandedNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TEN({} NPUs x {} steps, {}/{} edges matched)",
+            self.num_npus,
+            self.steps(),
+            self.matched_edges(),
+            self.steps() * self.num_links()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacos_topology::{Bandwidth, LinkSpec, RingOrientation, TopologyBuilder};
+
+    fn spec() -> LinkSpec {
+        LinkSpec::new(Time::from_micros(0.5), Bandwidth::gbps(50.0))
+    }
+
+    fn fig6a() -> Topology {
+        let mut b = TopologyBuilder::new("fig6a");
+        b.npus(3);
+        b.link(NpuId::new(0), NpuId::new(1), spec());
+        b.link(NpuId::new(0), NpuId::new(2), spec());
+        b.link(NpuId::new(1), NpuId::new(2), spec());
+        b.link(NpuId::new(2), NpuId::new(0), spec());
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fig6_expansion() {
+        // Paper Fig. 6: 3-NPU asymmetric topology expanded to t=3.
+        let topo = fig6a();
+        let mut ten = TimeExpandedNetwork::new(&topo, ByteSize::mb(1)).unwrap();
+        for _ in 0..3 {
+            ten.expand();
+        }
+        assert_eq!(ten.steps(), 3);
+        assert_eq!(ten.num_links(), 4);
+        // Each time span replicates the 4 physical links.
+        assert_eq!(ten.endpoints(LinkId::new(3)), (NpuId::new(2), NpuId::new(0)));
+        assert_eq!(format!("{ten}"), "TEN(3 NPUs x 3 steps, 0/12 edges matched)");
+    }
+
+    #[test]
+    fn occupancy_and_contention() {
+        let topo = fig6a();
+        let mut ten = TimeExpandedNetwork::new(&topo, ByteSize::mb(1)).unwrap();
+        ten.expand();
+        ten.occupy(0, LinkId::new(0), ChunkId::new(7)).unwrap();
+        assert_eq!(ten.occupant(0, LinkId::new(0)), Some(ChunkId::new(7)));
+        // One chunk per TEN edge (congestion-freedom).
+        assert!(matches!(
+            ten.occupy(0, LinkId::new(0), ChunkId::new(8)),
+            Err(TenError::EdgeOccupied { step: 0, link: 0 })
+        ));
+        assert_eq!(ten.matched_edges(), 1);
+        assert_eq!(ten.step_utilization(0), 0.25);
+    }
+
+    #[test]
+    fn step_times() {
+        let topo = fig6a();
+        let ten = TimeExpandedNetwork::new(&topo, ByteSize::mb(1)).unwrap();
+        // 0.5 us + 1 MB / 50 GB/s = 0.5 + 20 = 20.5 us per step.
+        assert_eq!(ten.step_duration(), Time::from_micros(20.5));
+        assert_eq!(ten.time_of_step(2), Time::from_micros(41.0));
+    }
+
+    #[test]
+    fn heterogeneous_rejected() {
+        let mut b = TopologyBuilder::new("hetero");
+        b.npus(2);
+        b.link(NpuId::new(0), NpuId::new(1), spec());
+        b.link(
+            NpuId::new(1),
+            NpuId::new(0),
+            LinkSpec::new(Time::from_micros(1.0), Bandwidth::gbps(70.0)),
+        );
+        let topo = b.build().unwrap();
+        assert!(matches!(
+            TimeExpandedNetwork::new(&topo, ByteSize::mb(1)),
+            Err(TenError::HeterogeneousTopology)
+        ));
+    }
+
+    #[test]
+    fn fig7_ring_all_gather_representation() {
+        // Paper Fig. 7: unidirectional 4-ring All-Gather occupies every TEN
+        // edge over 3 steps. Build the algorithm by hand.
+        use tacos_collective::algorithm::{AlgorithmBuilder, TransferKind};
+        let ring = Topology::ring(4, spec(), RingOrientation::Unidirectional).unwrap();
+        let step = spec().cost(ByteSize::mb(1));
+        let mut b = AlgorithmBuilder::new("ring-ag", 4, ByteSize::mb(1), ByteSize::mb(4));
+        for s in 0..3u64 {
+            for npu in 0..4u32 {
+                // At step s, NPU i forwards chunk (i - s) mod 4 to i+1.
+                let chunk = ChunkId::new((npu + 4 - s as u32) % 4);
+                let src = NpuId::new(npu);
+                let dst = NpuId::new((npu + 1) % 4);
+                let link = ring
+                    .best_link_between(src, dst, ByteSize::mb(1))
+                    .unwrap()
+                    .id();
+                b.push_scheduled(
+                    chunk,
+                    src,
+                    dst,
+                    TransferKind::Copy,
+                    link,
+                    step * s,
+                    step,
+                    vec![],
+                );
+            }
+        }
+        let algo = b.build();
+        let ten = TimeExpandedNetwork::represent(&ring, &algo).unwrap();
+        assert_eq!(ten.steps(), 3);
+        // All 4 links matched at every step: maximal utilization.
+        assert_eq!(ten.matched_edges(), 12);
+        for s in 0..3 {
+            assert_eq!(ten.step_utilization(s), 1.0);
+        }
+    }
+
+    #[test]
+    fn represent_rejects_unscheduled() {
+        use tacos_collective::algorithm::{AlgorithmBuilder, TransferKind};
+        let ring = Topology::ring(4, spec(), RingOrientation::Unidirectional).unwrap();
+        let mut b = AlgorithmBuilder::new("dep", 4, ByteSize::mb(1), ByteSize::mb(4));
+        b.push(
+            ChunkId::new(0),
+            NpuId::new(0),
+            NpuId::new(1),
+            TransferKind::Copy,
+            vec![],
+        );
+        assert!(matches!(
+            TimeExpandedNetwork::represent(&ring, &b.build()),
+            Err(TenError::UnscheduledAlgorithm)
+        ));
+    }
+}

@@ -1,0 +1,104 @@
+//! The NVIDIA DGX-1 (V100) NVLink hybrid cube-mesh, used for the C-Cube
+//! comparison (paper §VI-B.5, Fig. 17b).
+//!
+//! Eight GPUs; each GPU has **six** NVLink ports (the constraint the C-Cube
+//! paper builds on). The hybrid cube-mesh wires two quads `{0,1,2,3}` and
+//! `{4,5,6,7}`: each quad is fully connected with one pair doubled, and the
+//! quads are joined by doubled cross links `0–4, 1–5, 2–6, 3–7`.
+
+use crate::error::TopologyError;
+use crate::ids::NpuId;
+use crate::link::LinkSpec;
+use crate::topology::{Topology, TopologyBuilder};
+
+/// Unordered GPU pairs of the DGX-1 hybrid cube-mesh with their NVLink
+/// multiplicity. Every GPU ends up with exactly 6 links.
+const DGX1_EDGES: &[(u32, u32, u32)] = &[
+    // quad A
+    (0, 1, 1),
+    (0, 2, 1),
+    (0, 3, 2),
+    (1, 2, 2),
+    (1, 3, 1),
+    (2, 3, 1),
+    // quad B
+    (4, 5, 1),
+    (4, 6, 1),
+    (4, 7, 2),
+    (5, 6, 2),
+    (5, 7, 1),
+    (6, 7, 1),
+    // cross links (hybrid cube), doubled so every GPU reaches 6 ports
+    (0, 4, 2),
+    (1, 5, 2),
+    (2, 6, 2),
+    (3, 7, 2),
+];
+
+impl Topology {
+    /// The 8-GPU DGX-1 hybrid cube-mesh with all NVLinks of identical
+    /// `spec` (the paper models α = 0.7 µs, 1/β = 25 GB/s links).
+    ///
+    /// Doubled NVLinks are modeled as parallel links (this topology is a
+    /// multigraph). Every GPU has exactly 6 outgoing and 6 incoming links.
+    ///
+    /// # Errors
+    /// This constructor is infallible in practice; the `Result` is kept for
+    /// signature consistency with the other canonical topologies.
+    pub fn dgx1(spec: LinkSpec) -> Result<Topology, TopologyError> {
+        let mut b = TopologyBuilder::new("DGX-1");
+        b.npus(8);
+        for &(u, v, mult) in DGX1_EDGES {
+            for _ in 0..mult {
+                b.bidi_link(NpuId::new(u), NpuId::new(v), spec);
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{Bandwidth, Time};
+
+    fn dgx1() -> Topology {
+        Topology::dgx1(LinkSpec::new(Time::from_micros(0.7), Bandwidth::gbps(25.0))).unwrap()
+    }
+
+    #[test]
+    fn every_gpu_has_six_nvlinks() {
+        let t = dgx1();
+        assert_eq!(t.num_npus(), 8);
+        for npu in t.npus() {
+            assert_eq!(t.out_links(npu).len(), 6, "{npu}");
+            assert_eq!(t.in_links(npu).len(), 6, "{npu}");
+        }
+        // 8 GPUs x 6 links = 48 unidirectional links.
+        assert_eq!(t.num_links(), 48);
+    }
+
+    #[test]
+    fn quads_and_cross_links() {
+        let t = dgx1();
+        assert!(t.is_strongly_connected());
+        assert!(t.has_link(NpuId::new(0), NpuId::new(3)));
+        assert!(t.has_link(NpuId::new(0), NpuId::new(4)));
+        // No direct link between opposite quads except the cube edges.
+        assert!(!t.has_link(NpuId::new(0), NpuId::new(5)));
+        assert!(!t.has_link(NpuId::new(3), NpuId::new(4)));
+    }
+
+    #[test]
+    fn doubled_links_are_parallel() {
+        let t = dgx1();
+        for dst in [3u32, 4u32] {
+            let count = t
+                .out_links(NpuId::new(0))
+                .iter()
+                .filter(|&&l| t.link(l).dst() == NpuId::new(dst))
+                .count();
+            assert_eq!(count, 2, "0 -> {dst}");
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! DragonFly topology (Kim et al., ISCA '08; paper Table IV & §VI-B.1).
+//!
+//! A DragonFly is both **asymmetric** and **heterogeneous**: NPUs inside a
+//! group are fully connected with fast *local* links, groups are joined by
+//! slower *global* links, and only one NPU per group terminates any given
+//! global link.
+
+use crate::error::TopologyError;
+use crate::ids::NpuId;
+use crate::link::LinkSpec;
+use crate::topology::{Topology, TopologyBuilder};
+
+impl Topology {
+    /// A DragonFly with `groups` groups of `per_group` NPUs.
+    ///
+    /// * Within a group: all-to-all `local` links.
+    /// * Between groups `i < j`: one bidirectional `global` connection,
+    ///   terminating at member `(j - 1) mod per_group` of group `i` and
+    ///   member `i mod per_group` of group `j` (the classic balanced
+    ///   assignment: with `per_group >= groups - 1` every member owns at
+    ///   most one global link).
+    ///
+    /// The paper's instance (§VI-B.1) is `dragonfly(5, 4)` — written "4×5"
+    /// there — with local 400 GB/s and global 200 GB/s.
+    ///
+    /// # Errors
+    /// [`TopologyError::UnsupportedShape`] if `groups < 2` or
+    /// `per_group < 2`.
+    pub fn dragonfly(
+        groups: usize,
+        per_group: usize,
+        local: LinkSpec,
+        global: LinkSpec,
+    ) -> Result<Topology, TopologyError> {
+        if groups < 2 || per_group < 2 {
+            return Err(TopologyError::UnsupportedShape {
+                reason: format!(
+                    "dragonfly requires >=2 groups of >=2 NPUs, got {groups}x{per_group}"
+                ),
+            });
+        }
+        let n = groups * per_group;
+        let mut b = TopologyBuilder::new(format!("DragonFly({per_group}x{groups})"));
+        b.npus(n);
+        let npu = |group: usize, member: usize| NpuId::new((group * per_group + member) as u32);
+        // Local links: full mesh inside each group.
+        for g in 0..groups {
+            for i in 0..per_group {
+                for j in 0..per_group {
+                    if i != j {
+                        b.link(npu(g, i), npu(g, j), local);
+                    }
+                }
+            }
+        }
+        // Global links: one bidirectional connection per group pair.
+        for i in 0..groups {
+            for j in (i + 1)..groups {
+                let a = npu(i, (j + per_group - 1) % per_group);
+                let c = npu(j, i % per_group);
+                b.bidi_link(a, c, global);
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{Bandwidth, ByteSize, Time};
+
+    fn paper_dragonfly() -> Topology {
+        let alpha = Time::from_micros(0.5);
+        Topology::dragonfly(
+            5,
+            4,
+            LinkSpec::new(alpha, Bandwidth::gbps(400.0)),
+            LinkSpec::new(alpha, Bandwidth::gbps(200.0)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_instance_shape() {
+        let t = paper_dragonfly();
+        assert_eq!(t.num_npus(), 20);
+        // Local: 5 groups x 4x3 = 60. Global: C(5,2) pairs x 2 dirs = 20.
+        assert_eq!(t.num_links(), 80);
+        assert!(t.is_strongly_connected());
+        assert!(!t.is_homogeneous());
+        // With per_group == groups - 1 the global-link assignment is
+        // perfectly balanced, so plain degree counting looks symmetric; the
+        // *bandwidth* asymmetry (local vs global) is what matters.
+        assert!(t.is_degree_symmetric());
+    }
+
+    #[test]
+    fn local_links_are_fast() {
+        let t = paper_dragonfly();
+        let l = t
+            .best_link_between(NpuId::new(0), NpuId::new(1), ByteSize::ZERO)
+            .unwrap();
+        assert_eq!(l.spec().bandwidth().as_gbps(), 400.0);
+    }
+
+    #[test]
+    fn global_links_are_balanced() {
+        let t = paper_dragonfly();
+        // Each group terminates groups-1 = 4 global links over 4 members:
+        // every member has exactly one global link (out-degree 3 local + 1).
+        for npu in t.npus() {
+            let degree = t.out_links(npu).len();
+            assert_eq!(degree, 4, "{npu} degree {degree}");
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate() {
+        let spec = LinkSpec::new(Time::from_micros(0.5), Bandwidth::gbps(400.0));
+        assert!(Topology::dragonfly(1, 4, spec, spec).is_err());
+        assert!(Topology::dragonfly(4, 1, spec, spec).is_err());
+    }
+}

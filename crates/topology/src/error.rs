@@ -1,0 +1,91 @@
+//! Error type for topology construction and queries.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or querying a [`Topology`].
+///
+/// [`Topology`]: crate::Topology
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// A topology must contain at least one NPU.
+    Empty,
+    /// An NPU id referenced a node outside `0..num_npus`.
+    NpuOutOfRange {
+        /// The offending NPU index.
+        npu: usize,
+        /// Number of NPUs in the topology.
+        num_npus: usize,
+    },
+    /// Self-loop links are not allowed.
+    SelfLoop {
+        /// The NPU that was both source and destination.
+        npu: usize,
+    },
+    /// A dimension size was invalid (zero, or sizes do not multiply to the
+    /// NPU count).
+    BadDimensions {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// The requested canonical topology requires a constraint the arguments
+    /// violate (e.g. RHD needs a power-of-two NPU count).
+    UnsupportedShape {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// The topology is not strongly connected, so a collective cannot
+    /// complete on it.
+    NotConnected,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::Empty => write!(f, "topology must contain at least one NPU"),
+            TopologyError::NpuOutOfRange { npu, num_npus } => {
+                write!(f, "NPU index {npu} out of range for {num_npus} NPUs")
+            }
+            TopologyError::SelfLoop { npu } => {
+                write!(f, "self-loop link on NPU {npu} is not allowed")
+            }
+            TopologyError::BadDimensions { reason } => {
+                write!(f, "invalid dimensions: {reason}")
+            }
+            TopologyError::UnsupportedShape { reason } => {
+                write!(f, "unsupported topology shape: {reason}")
+            }
+            TopologyError::NotConnected => {
+                write!(f, "topology is not strongly connected")
+            }
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            TopologyError::Empty.to_string(),
+            "topology must contain at least one NPU"
+        );
+        assert_eq!(
+            TopologyError::NpuOutOfRange { npu: 9, num_npus: 4 }.to_string(),
+            "NPU index 9 out of range for 4 NPUs"
+        );
+        assert!(TopologyError::SelfLoop { npu: 1 }.to_string().contains("self-loop"));
+        assert!(TopologyError::NotConnected.to_string().contains("strongly connected"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<TopologyError>();
+    }
+}

@@ -1,0 +1,127 @@
+//! Identifier newtypes for NPUs and links.
+
+use std::fmt;
+
+/// Identifies one Neural Processing Unit (endpoint) in a [`Topology`].
+///
+/// NPU ids are dense: a topology with `n` NPUs uses ids `0..n`, so they can
+/// index `Vec`s directly via [`NpuId::index`].
+///
+/// [`Topology`]: crate::Topology
+///
+/// ```
+/// use tacos_topology::NpuId;
+/// let npu = NpuId::new(3);
+/// assert_eq!(npu.index(), 3);
+/// assert_eq!(format!("{npu}"), "NPU3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NpuId(u32);
+
+impl NpuId {
+    /// Creates an NPU id from its dense index.
+    pub const fn new(index: u32) -> Self {
+        NpuId(index)
+    }
+
+    /// The dense index, suitable for `Vec` indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for NpuId {
+    fn from(v: u32) -> Self {
+        NpuId(v)
+    }
+}
+
+impl From<NpuId> for usize {
+    fn from(v: NpuId) -> usize {
+        v.index()
+    }
+}
+
+impl fmt::Display for NpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NPU{}", self.0)
+    }
+}
+
+/// Identifies one unidirectional physical link in a [`Topology`].
+///
+/// Topologies are directed multigraphs: a bidirectional connection is two
+/// links, and parallel links between the same NPU pair (as on DGX-1's doubled
+/// NVLinks) are distinct `LinkId`s.
+///
+/// [`Topology`]: crate::Topology
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LinkId(u32);
+
+impl LinkId {
+    /// Creates a link id from its dense index.
+    pub const fn new(index: u32) -> Self {
+        LinkId(index)
+    }
+
+    /// The dense index, suitable for `Vec` indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for LinkId {
+    fn from(v: u32) -> Self {
+        LinkId(v)
+    }
+}
+
+impl From<LinkId> for usize {
+    fn from(v: LinkId) -> usize {
+        v.index()
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn npu_id_roundtrip() {
+        let id = NpuId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(usize::from(id), 42);
+        assert_eq!(NpuId::from(42u32), id);
+    }
+
+    #[test]
+    fn link_id_roundtrip() {
+        let id = LinkId::new(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(LinkId::from(7u32), id);
+        assert_eq!(format!("{id}"), "L7");
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(NpuId::new(1) < NpuId::new(2));
+        assert!(LinkId::new(0) < LinkId::new(1));
+    }
+}

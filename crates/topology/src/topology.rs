@@ -1,0 +1,579 @@
+//! The directed-multigraph network model and its builder.
+
+use std::fmt;
+
+use crate::error::TopologyError;
+use crate::hierarchical::Dim;
+use crate::ids::{LinkId, NpuId};
+use crate::link::{Link, LinkSpec};
+use crate::units::{Bandwidth, ByteSize, Time};
+
+/// A network topology: NPUs at the endpoints, unidirectional links between
+/// them (paper §II, §IV).
+///
+/// * **Directed**: a bidirectional connection is two links.
+/// * **Multigraph**: parallel links between the same pair are allowed (DGX-1
+///   doubles some NVLinks).
+/// * **Heterogeneous**: every link carries its own [`LinkSpec`] (α–β cost).
+/// * **Asymmetric**: no structural assumptions; a 2D mesh border NPU simply
+///   has fewer links.
+///
+/// Construct canonical topologies through the associated functions
+/// ([`Topology::ring`], [`Topology::mesh_2d`], …) or arbitrary ones through
+/// [`TopologyBuilder`].
+///
+/// ```
+/// use tacos_topology::{LinkSpec, Time, Bandwidth, Topology};
+/// let spec = LinkSpec::new(Time::from_micros(0.5), Bandwidth::gbps(50.0));
+/// let ring = Topology::ring(4, spec, tacos_topology::RingOrientation::Bidirectional)?;
+/// assert_eq!(ring.num_npus(), 4);
+/// assert_eq!(ring.num_links(), 8);
+/// assert!(ring.is_strongly_connected());
+/// # Ok::<(), tacos_topology::TopologyError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Topology {
+    name: String,
+    num_npus: usize,
+    links: Vec<Link>,
+    out_links: Vec<Vec<LinkId>>,
+    in_links: Vec<Vec<LinkId>>,
+    dims: Vec<Dim>,
+}
+
+impl Topology {
+    /// Number of NPUs (endpoints).
+    pub fn num_npus(&self) -> usize {
+        self.num_npus
+    }
+
+    /// Number of unidirectional links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Human-readable topology name (e.g. `"Mesh2D(3x3)"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Iterates over all NPU ids, `0..num_npus`.
+    pub fn npus(&self) -> impl Iterator<Item = NpuId> + '_ {
+        (0..self.num_npus as u32).map(NpuId::new)
+    }
+
+    /// All links, indexed by [`LinkId`].
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// The link with the given id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// Ids of links leaving `npu`.
+    pub fn out_links(&self, npu: NpuId) -> &[LinkId] {
+        &self.out_links[npu.index()]
+    }
+
+    /// Ids of links entering `npu`.
+    pub fn in_links(&self, npu: NpuId) -> &[LinkId] {
+        &self.in_links[npu.index()]
+    }
+
+    /// `true` if at least one `src -> dst` link exists.
+    pub fn has_link(&self, src: NpuId, dst: NpuId) -> bool {
+        self.out_links[src.index()]
+            .iter()
+            .any(|&l| self.links[l.index()].dst() == dst)
+    }
+
+    /// The cheapest `src -> dst` link for messages of `size`, if any.
+    pub fn best_link_between(&self, src: NpuId, dst: NpuId, size: ByteSize) -> Option<&Link> {
+        self.out_links[src.index()]
+            .iter()
+            .map(|&l| &self.links[l.index()])
+            .filter(|l| l.dst() == dst)
+            .min_by_key(|l| l.cost(size))
+    }
+
+    /// Hierarchical dimension metadata, if this topology was built as a
+    /// multi-dimensional composition (empty otherwise).
+    ///
+    /// Dimension-aware baselines (BlueConnect, Themis) require this.
+    pub fn dims(&self) -> &[Dim] {
+        &self.dims
+    }
+
+    /// Mixed-radix coordinates of `npu` under [`Topology::dims`]
+    /// (dimension 0 varies fastest).
+    ///
+    /// # Panics
+    /// Panics if the topology has no dimension metadata.
+    pub fn coords(&self, npu: NpuId) -> Vec<usize> {
+        assert!(!self.dims.is_empty(), "topology has no dimension metadata");
+        let mut rest = npu.index();
+        let mut coords = Vec::with_capacity(self.dims.len());
+        for dim in &self.dims {
+            coords.push(rest % dim.size());
+            rest /= dim.size();
+        }
+        coords
+    }
+
+    /// Inverse of [`Topology::coords`].
+    ///
+    /// # Panics
+    /// Panics if the topology has no dimension metadata or `coords` has the
+    /// wrong arity or an out-of-range coordinate.
+    pub fn npu_at(&self, coords: &[usize]) -> NpuId {
+        assert_eq!(coords.len(), self.dims.len(), "coordinate arity mismatch");
+        let mut index = 0usize;
+        let mut stride = 1usize;
+        for (c, dim) in coords.iter().zip(&self.dims) {
+            assert!(*c < dim.size(), "coordinate {c} out of range");
+            index += c * stride;
+            stride *= dim.size();
+        }
+        NpuId::new(index as u32)
+    }
+
+    /// `true` iff every NPU can reach every other NPU over directed links.
+    pub fn is_strongly_connected(&self) -> bool {
+        if self.num_npus == 0 {
+            return false;
+        }
+        let fwd = self.reachable_from(NpuId::new(0), false);
+        let bwd = self.reachable_from(NpuId::new(0), true);
+        fwd.iter().all(|&r| r) && bwd.iter().all(|&r| r)
+    }
+
+    fn reachable_from(&self, start: NpuId, reverse: bool) -> Vec<bool> {
+        let mut seen = vec![false; self.num_npus];
+        let mut stack = vec![start];
+        seen[start.index()] = true;
+        while let Some(n) = stack.pop() {
+            let edges = if reverse {
+                &self.in_links[n.index()]
+            } else {
+                &self.out_links[n.index()]
+            };
+            for &l in edges {
+                let link = &self.links[l.index()];
+                let next = if reverse { link.src() } else { link.dst() };
+                if !seen[next.index()] {
+                    seen[next.index()] = true;
+                    stack.push(next);
+                }
+            }
+        }
+        seen
+    }
+
+    /// A copy of this topology with one link removed (failure injection:
+    /// synthesize around a dead link). Link ids are re-densified, so
+    /// schedules for the original topology do not carry over.
+    ///
+    /// # Panics
+    /// Panics if `failed` is out of range.
+    pub fn without_link(&self, failed: LinkId) -> Topology {
+        assert!(failed.index() < self.links.len(), "link {failed} out of range");
+        let mut builder = TopologyBuilder::new(format!("{}-minus-{failed}", self.name));
+        builder.npus(self.num_npus);
+        for link in &self.links {
+            if link.id() != failed {
+                builder.link(link.src(), link.dst(), *link.spec());
+            }
+        }
+        // Dimension metadata no longer describes the degraded fabric.
+        builder.build().expect("removing a link keeps the topology valid")
+    }
+
+    /// A copy of this topology with every link direction reversed.
+    ///
+    /// Used to synthesize combining collectives (Reduce, Reduce-Scatter) as
+    /// their non-combining duals (paper Fig. 11).
+    pub fn reversed(&self) -> Topology {
+        let mut builder = TopologyBuilder::new(format!("{}-reversed", self.name));
+        builder.npus(self.num_npus);
+        for link in &self.links {
+            builder.link(link.dst(), link.src(), *link.spec());
+        }
+        for dim in &self.dims {
+            builder.dim(dim.clone());
+        }
+        builder
+            .build()
+            .expect("reversing a valid topology cannot fail")
+    }
+
+    /// Total egress bandwidth of `npu` (sum over outgoing links).
+    pub fn injection_bandwidth(&self, npu: NpuId) -> Bandwidth {
+        self.sum_bandwidth(&self.out_links[npu.index()])
+    }
+
+    /// Total ingress bandwidth of `npu` (sum over incoming links).
+    pub fn ejection_bandwidth(&self, npu: NpuId) -> Bandwidth {
+        self.sum_bandwidth(&self.in_links[npu.index()])
+    }
+
+    fn sum_bandwidth(&self, links: &[LinkId]) -> Bandwidth {
+        let total: f64 = links
+            .iter()
+            .map(|&l| self.links[l.index()].spec().bandwidth().as_bytes_per_sec())
+            .sum();
+        Bandwidth::bytes_per_sec(total.max(f64::MIN_POSITIVE))
+    }
+
+    /// The bottleneck NPU bandwidth used by the paper's ideal bound (§V-A):
+    /// `min over NPUs of min(injection, ejection)`.
+    pub fn min_npu_bandwidth(&self) -> Bandwidth {
+        let mut min_bps = f64::INFINITY;
+        for npu in self.npus() {
+            let inj = self.injection_bandwidth(npu).as_bytes_per_sec();
+            let ej = self.ejection_bandwidth(npu).as_bytes_per_sec();
+            min_bps = min_bps.min(inj).min(ej);
+        }
+        Bandwidth::bytes_per_sec(min_bps)
+    }
+
+    /// Latency-only network diameter: the maximum over NPU pairs of the
+    /// α-weighted shortest-path cost (paper §V-A, the `Diameter` term of the
+    /// ideal bound).
+    ///
+    /// Returns [`Time::MAX`] if the topology is not strongly connected.
+    pub fn diameter_latency(&self) -> Time {
+        let mut diameter = Time::ZERO;
+        for src in self.npus() {
+            let dist = crate::routing::shortest_path_times(self, src, ByteSize::ZERO);
+            for d in dist {
+                if d == Time::MAX {
+                    return Time::MAX;
+                }
+                diameter = diameter.max(d);
+            }
+        }
+        diameter
+    }
+
+    /// Smallest and largest out-degree over all NPUs; `(0, 0)` for an empty
+    /// link set.
+    pub fn degree_range(&self) -> (usize, usize) {
+        let mut lo = usize::MAX;
+        let mut hi = 0;
+        for adj in &self.out_links {
+            lo = lo.min(adj.len());
+            hi = hi.max(adj.len());
+        }
+        if hi == 0 {
+            (0, 0)
+        } else {
+            (lo, hi)
+        }
+    }
+
+    /// `true` if every link in the topology has an identical [`LinkSpec`]
+    /// (the paper's definition of a *homogeneous* topology).
+    pub fn is_homogeneous(&self) -> bool {
+        match self.links.split_first() {
+            None => true,
+            Some((first, rest)) => rest.iter().all(|l| l.spec() == first.spec()),
+        }
+    }
+
+    /// `true` if every NPU has the same in-degree and out-degree (a first
+    /// order *symmetry* check: mesh borders and DragonFly gateways fail it).
+    pub fn is_degree_symmetric(&self) -> bool {
+        let out0 = self.out_links[0].len();
+        let in0 = self.in_links[0].len();
+        self.out_links.iter().all(|v| v.len() == out0)
+            && self.in_links.iter().all(|v| v.len() == in0)
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} NPUs, {} links)",
+            self.name, self.num_npus, self.links.len()
+        )
+    }
+}
+
+/// Incremental builder for arbitrary [`Topology`] values (C-BUILDER).
+///
+/// ```
+/// use tacos_topology::{Bandwidth, LinkSpec, NpuId, Time, TopologyBuilder};
+/// // Paper Fig. 6(a): homogeneous, asymmetric 3-NPU topology with 4 links.
+/// let spec = LinkSpec::new(Time::from_micros(0.5), Bandwidth::gbps(50.0));
+/// let mut b = TopologyBuilder::new("fig6a");
+/// b.npus(3);
+/// b.link(NpuId::new(0), NpuId::new(1), spec);
+/// b.link(NpuId::new(0), NpuId::new(2), spec);
+/// b.link(NpuId::new(1), NpuId::new(2), spec);
+/// b.link(NpuId::new(2), NpuId::new(0), spec);
+/// let topo = b.build()?;
+/// assert_eq!(topo.num_links(), 4);
+/// # Ok::<(), tacos_topology::TopologyError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopologyBuilder {
+    name: String,
+    num_npus: usize,
+    links: Vec<(NpuId, NpuId, LinkSpec)>,
+    dims: Vec<Dim>,
+}
+
+impl TopologyBuilder {
+    /// Starts a builder for a topology with the given display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TopologyBuilder {
+            name: name.into(),
+            num_npus: 0,
+            links: Vec::new(),
+            dims: Vec::new(),
+        }
+    }
+
+    /// Sets the NPU count (ids `0..n`).
+    pub fn npus(&mut self, n: usize) -> &mut Self {
+        self.num_npus = n;
+        self
+    }
+
+    /// Adds one unidirectional link `src -> dst`.
+    pub fn link(&mut self, src: NpuId, dst: NpuId, spec: LinkSpec) -> &mut Self {
+        self.links.push((src, dst, spec));
+        self
+    }
+
+    /// Adds a bidirectional connection (two links).
+    pub fn bidi_link(&mut self, a: NpuId, b: NpuId, spec: LinkSpec) -> &mut Self {
+        self.links.push((a, b, spec));
+        self.links.push((b, a, spec));
+        self
+    }
+
+    /// Appends hierarchical dimension metadata (used by canonical
+    /// multi-dimensional constructors).
+    pub fn dim(&mut self, dim: Dim) -> &mut Self {
+        self.dims.push(dim);
+        self
+    }
+
+    /// Validates and finalizes the topology.
+    ///
+    /// # Errors
+    /// * [`TopologyError::Empty`] if no NPUs were declared.
+    /// * [`TopologyError::NpuOutOfRange`] if a link references an unknown NPU.
+    /// * [`TopologyError::SelfLoop`] if a link has `src == dst`.
+    /// * [`TopologyError::BadDimensions`] if dimension metadata does not
+    ///   multiply to the NPU count.
+    pub fn build(&self) -> Result<Topology, TopologyError> {
+        if self.num_npus == 0 {
+            return Err(TopologyError::Empty);
+        }
+        if !self.dims.is_empty() {
+            let product: usize = self.dims.iter().map(|d| d.size()).product();
+            if product != self.num_npus {
+                return Err(TopologyError::BadDimensions {
+                    reason: format!(
+                        "dimension sizes multiply to {product}, but topology has {} NPUs",
+                        self.num_npus
+                    ),
+                });
+            }
+        }
+        let mut links = Vec::with_capacity(self.links.len());
+        let mut out_links = vec![Vec::new(); self.num_npus];
+        let mut in_links = vec![Vec::new(); self.num_npus];
+        for (i, &(src, dst, spec)) in self.links.iter().enumerate() {
+            for npu in [src, dst] {
+                if npu.index() >= self.num_npus {
+                    return Err(TopologyError::NpuOutOfRange {
+                        npu: npu.index(),
+                        num_npus: self.num_npus,
+                    });
+                }
+            }
+            if src == dst {
+                return Err(TopologyError::SelfLoop { npu: src.index() });
+            }
+            let id = LinkId::new(i as u32);
+            links.push(Link::new(id, src, dst, spec));
+            out_links[src.index()].push(id);
+            in_links[dst.index()].push(id);
+        }
+        Ok(Topology {
+            name: self.name.clone(),
+            num_npus: self.num_npus,
+            links,
+            out_links,
+            in_links,
+            dims: self.dims.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> LinkSpec {
+        LinkSpec::new(Time::from_micros(0.5), Bandwidth::gbps(50.0))
+    }
+
+    fn fig6a() -> Topology {
+        // Homogeneous asymmetric 3-NPU topology of paper Fig. 6(a).
+        let mut b = TopologyBuilder::new("fig6a");
+        b.npus(3);
+        b.link(NpuId::new(0), NpuId::new(1), spec());
+        b.link(NpuId::new(0), NpuId::new(2), spec());
+        b.link(NpuId::new(1), NpuId::new(2), spec());
+        b.link(NpuId::new(2), NpuId::new(0), spec());
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_constructs_adjacency() {
+        let t = fig6a();
+        assert_eq!(t.num_npus(), 3);
+        assert_eq!(t.num_links(), 4);
+        assert_eq!(t.out_links(NpuId::new(0)).len(), 2);
+        assert_eq!(t.in_links(NpuId::new(2)).len(), 2);
+        assert!(t.has_link(NpuId::new(2), NpuId::new(0)));
+        assert!(!t.has_link(NpuId::new(2), NpuId::new(1)));
+    }
+
+    #[test]
+    fn builder_rejects_bad_input() {
+        assert!(matches!(
+            TopologyBuilder::new("e").build(),
+            Err(TopologyError::Empty)
+        ));
+
+        let mut b = TopologyBuilder::new("oob");
+        b.npus(2);
+        b.link(NpuId::new(0), NpuId::new(5), spec());
+        assert!(matches!(
+            b.build(),
+            Err(TopologyError::NpuOutOfRange { npu: 5, num_npus: 2 })
+        ));
+
+        let mut b = TopologyBuilder::new("loop");
+        b.npus(2);
+        b.link(NpuId::new(1), NpuId::new(1), spec());
+        assert!(matches!(b.build(), Err(TopologyError::SelfLoop { npu: 1 })));
+    }
+
+    #[test]
+    fn strongly_connected_detection() {
+        assert!(fig6a().is_strongly_connected());
+
+        let mut b = TopologyBuilder::new("one-way");
+        b.npus(2);
+        b.link(NpuId::new(0), NpuId::new(1), spec());
+        assert!(!b.build().unwrap().is_strongly_connected());
+    }
+
+    #[test]
+    fn reversal_swaps_links() {
+        let t = fig6a();
+        let r = t.reversed();
+        assert_eq!(r.num_links(), 4);
+        assert!(r.has_link(NpuId::new(1), NpuId::new(0)));
+        assert!(r.has_link(NpuId::new(2), NpuId::new(0)));
+        assert!(r.has_link(NpuId::new(2), NpuId::new(1)));
+        assert!(r.has_link(NpuId::new(0), NpuId::new(2)));
+        assert!(!r.has_link(NpuId::new(0), NpuId::new(1)));
+    }
+
+    #[test]
+    fn bandwidth_metrics() {
+        let t = fig6a();
+        // NPU0 has two 50 GB/s outgoing links.
+        assert_eq!(t.injection_bandwidth(NpuId::new(0)).as_gbps(), 100.0);
+        // NPU0 has one incoming link.
+        assert_eq!(t.ejection_bandwidth(NpuId::new(0)).as_gbps(), 50.0);
+        // Bottleneck over all NPUs: each NPU has at least one 50 GB/s side.
+        assert_eq!(t.min_npu_bandwidth().as_gbps(), 50.0);
+    }
+
+    #[test]
+    fn diameter_is_latency_only() {
+        let t = fig6a();
+        // Longest α-shortest-path: 1 -> 2 -> 0 = 1.0 µs.
+        assert_eq!(t.diameter_latency(), Time::from_micros(1.0));
+    }
+
+    #[test]
+    fn degree_and_homogeneity() {
+        let t = fig6a();
+        assert_eq!(t.degree_range(), (1, 2));
+        assert!(t.is_homogeneous());
+        assert!(!t.is_degree_symmetric());
+    }
+
+    #[test]
+    fn multigraph_parallel_links() {
+        let mut b = TopologyBuilder::new("double");
+        b.npus(2);
+        b.link(NpuId::new(0), NpuId::new(1), spec());
+        b.link(NpuId::new(0), NpuId::new(1), spec());
+        b.link(NpuId::new(1), NpuId::new(0), spec());
+        let t = b.build().unwrap();
+        assert_eq!(t.out_links(NpuId::new(0)).len(), 2);
+        assert!(t
+            .best_link_between(NpuId::new(0), NpuId::new(1), ByteSize::mb(1))
+            .is_some());
+    }
+
+    #[test]
+    fn best_link_prefers_cheaper() {
+        let fast = LinkSpec::new(Time::from_micros(0.1), Bandwidth::gbps(100.0));
+        let mut b = TopologyBuilder::new("hetero");
+        b.npus(2);
+        b.link(NpuId::new(0), NpuId::new(1), spec());
+        b.link(NpuId::new(0), NpuId::new(1), fast);
+        b.link(NpuId::new(1), NpuId::new(0), spec());
+        let t = b.build().unwrap();
+        let best = t
+            .best_link_between(NpuId::new(0), NpuId::new(1), ByteSize::mb(1))
+            .unwrap();
+        assert_eq!(best.spec().bandwidth().as_gbps(), 100.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = fig6a();
+        assert_eq!(format!("{t}"), "fig6a (3 NPUs, 4 links)");
+    }
+}
+
+#[cfg(test)]
+mod failure_tests {
+    use super::*;
+    use crate::RingOrientation;
+
+    #[test]
+    fn without_link_removes_exactly_one() {
+        let spec = LinkSpec::new(
+            crate::Time::from_micros(0.5),
+            crate::Bandwidth::gbps(50.0),
+        );
+        let ring = Topology::ring(4, spec, RingOrientation::Bidirectional).unwrap();
+        let degraded = ring.without_link(LinkId::new(0));
+        assert_eq!(degraded.num_links(), ring.num_links() - 1);
+        // The bidirectional ring stays strongly connected with one dead
+        // link (the reverse direction still closes the cycle).
+        assert!(degraded.is_strongly_connected());
+        // A unidirectional ring does not survive any link failure.
+        let uni = Topology::ring(4, spec, RingOrientation::Unidirectional).unwrap();
+        assert!(!uni.without_link(LinkId::new(2)).is_strongly_connected());
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests on the topology substrate: unit arithmetic, routing
+//! optimality, and structural involutions.
+
+use proptest::prelude::*;
+use tacos_topology::routing::{route_path, shortest_path_times, RoutingTable};
+use tacos_topology::{
+    Bandwidth, ByteSize, LinkSpec, NpuId, RingOrientation, Time, Topology, TopologyBuilder,
+};
+
+fn arb_connected_topology() -> impl Strategy<Value = Topology> {
+    (3usize..12, any::<u64>()).prop_map(|(n, seed)| {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut b = TopologyBuilder::new(format!("rand({n})"));
+        b.npus(n);
+        for i in 0..n {
+            let spec = LinkSpec::new(
+                Time::from_nanos(50.0 + (next() % 1000) as f64),
+                Bandwidth::gbps(10.0 + (next() % 16) as f64 * 10.0),
+            );
+            b.link(NpuId::new(i as u32), NpuId::new(((i + 1) % n) as u32), spec);
+            b.link(NpuId::new(((i + 1) % n) as u32), NpuId::new(i as u32), spec);
+        }
+        for _ in 0..(next() % (n as u64 * 2)) {
+            let s = (next() % n as u64) as u32;
+            let mut d = (next() % n as u64) as u32;
+            if d == s {
+                d = (d + 1) % n as u32;
+            }
+            let spec = LinkSpec::new(
+                Time::from_nanos(50.0 + (next() % 1000) as f64),
+                Bandwidth::gbps(10.0 + (next() % 16) as f64 * 10.0),
+            );
+            b.link(NpuId::new(s), NpuId::new(d), spec);
+        }
+        b.build().unwrap()
+    })
+}
+
+proptest! {
+    /// Dijkstra distances satisfy the triangle inequality over links.
+    #[test]
+    fn routing_satisfies_triangle_inequality(topo in arb_connected_topology()) {
+        let size = ByteSize::kb(64);
+        for src in topo.npus() {
+            let dist = shortest_path_times(&topo, src, size);
+            for link in topo.links() {
+                let via = dist[link.src().index()];
+                prop_assert!(via != Time::MAX);
+                prop_assert!(
+                    dist[link.dst().index()] <= via + link.cost(size),
+                    "triangle inequality violated"
+                );
+            }
+        }
+    }
+
+    /// The routing table's path cost equals the sum of its hop costs and
+    /// matches the Dijkstra distance.
+    #[test]
+    fn route_paths_are_shortest(topo in arb_connected_topology()) {
+        let size = ByteSize::kb(64);
+        let table = RoutingTable::new(&topo, size);
+        for src in topo.npus() {
+            let dist = shortest_path_times(&topo, src, size);
+            for dst in topo.npus() {
+                let path = route_path(&topo, &table, src, dst).expect("connected");
+                let total: Time = path.iter().map(|&l| topo.link(l).cost(size)).sum();
+                prop_assert_eq!(total, dist[dst.index()]);
+                // Path is contiguous.
+                let mut cur = src;
+                for &l in &path {
+                    prop_assert_eq!(topo.link(l).src(), cur);
+                    cur = topo.link(l).dst();
+                }
+                prop_assert_eq!(cur, dst);
+            }
+        }
+    }
+
+    /// Reversal is an involution on the link multiset, and reversal
+    /// preserves strong connectivity and swaps in/out bandwidth.
+    #[test]
+    fn reversal_involution(topo in arb_connected_topology()) {
+        let rev = topo.reversed();
+        prop_assert_eq!(rev.num_links(), topo.num_links());
+        prop_assert!(rev.is_strongly_connected());
+        let back = rev.reversed();
+        for (a, b) in topo.links().iter().zip(back.links()) {
+            prop_assert_eq!(a.src(), b.src());
+            prop_assert_eq!(a.dst(), b.dst());
+        }
+        for v in topo.npus() {
+            prop_assert_eq!(
+                topo.injection_bandwidth(v).as_bytes_per_sec(),
+                rev.ejection_bandwidth(v).as_bytes_per_sec()
+            );
+        }
+    }
+
+    /// Removing any link keeps NPU count and drops exactly one link.
+    #[test]
+    fn without_link_shape(topo in arb_connected_topology(), pick in any::<u32>()) {
+        let victim = tacos_topology::LinkId::new(pick % topo.num_links() as u32);
+        let degraded = topo.without_link(victim);
+        prop_assert_eq!(degraded.num_npus(), topo.num_npus());
+        prop_assert_eq!(degraded.num_links(), topo.num_links() - 1);
+    }
+
+    /// Time arithmetic: associativity/commutativity of +, and display
+    /// round-trip consistency of constructors.
+    #[test]
+    fn time_arithmetic_laws(a in 0u64..1 << 40, b in 0u64..1 << 40, c in 0u64..1 << 40) {
+        let (ta, tb, tc) = (Time::from_ps(a), Time::from_ps(b), Time::from_ps(c));
+        prop_assert_eq!(ta + tb, tb + ta);
+        prop_assert_eq!((ta + tb) + tc, ta + (tb + tc));
+        prop_assert_eq!((ta + tb).saturating_sub(tb), ta);
+        prop_assert_eq!(ta.max(tb).min(ta), ta);
+        // Scaling distributes.
+        prop_assert_eq!((ta + tb) * 3, ta * 3 + tb * 3);
+    }
+
+    /// LinkSpec cost is monotone in size and exactly alpha at zero bytes.
+    #[test]
+    fn link_cost_monotone(
+        alpha_ns in 1.0f64..10_000.0,
+        gbps in 1.0f64..1_000.0,
+        s1 in 0u64..1 << 32,
+        s2 in 0u64..1 << 32,
+    ) {
+        let spec = LinkSpec::new(Time::from_nanos(alpha_ns), Bandwidth::gbps(gbps));
+        prop_assert_eq!(spec.cost(ByteSize::ZERO), spec.alpha());
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        prop_assert!(spec.cost(ByteSize::bytes(lo)) <= spec.cost(ByteSize::bytes(hi)));
+    }
+}
+
+/// Canonical topologies stay consistent under reversal: a bidirectional
+/// ring is isomorphic to its reverse.
+#[test]
+fn bidirectional_structures_self_reverse() {
+    let spec = LinkSpec::new(Time::from_micros(0.5), Bandwidth::gbps(50.0));
+    for topo in [
+        Topology::ring(6, spec, RingOrientation::Bidirectional).unwrap(),
+        Topology::mesh_2d(3, 3, spec).unwrap(),
+        Topology::torus_2d(3, 3, spec).unwrap(),
+    ] {
+        let rev = topo.reversed();
+        for v in topo.npus() {
+            assert_eq!(topo.out_links(v).len(), rev.out_links(v).len());
+        }
+        assert_eq!(topo.diameter_latency(), rev.diameter_latency());
+    }
+}

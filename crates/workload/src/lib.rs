@@ -1,0 +1,20 @@
+//! # tacos-workload
+//!
+//! End-to-end distributed training models for the paper's §VI-D
+//! evaluation: GNMT, ResNet-50, and Turing-NLG on 3D-RFS clusters
+//! (Fig. 20) and ResNet-50 / MSFT-1T on a 1,024-NPU 3D Torus (Fig. 21).
+//!
+//! A [`Workload`] carries per-iteration compute times and exposed gradient
+//! collective volumes; [`TrainingEvaluator`] runs the gradient All-Reduce
+//! under any [`CommMechanism`] (baseline algorithm, TACOS synthesis, or
+//! the ideal bound) and reports the iteration breakdown.
+
+#![warn(missing_docs)]
+
+mod error;
+mod models;
+mod training;
+
+pub use error::WorkloadError;
+pub use models::Workload;
+pub use training::{CommMechanism, TrainingEvaluator, TrainingReport};

@@ -1,0 +1,133 @@
+//! The training workloads evaluated end-to-end in the paper (§VI-D):
+//! GNMT, ResNet-50, Turing-NLG, and MSFT-1T.
+//!
+//! Per-iteration compute times and communication volumes are analytical
+//! (the paper's own evaluation is simulator-based): gradient sizes follow
+//! the published parameter counts at FP16, and compute times assume an
+//! A100-class NPU sustaining ~150 TFLOP/s on `6 · params · tokens` FLOPs
+//! per iteration (forward ≈ ⅓, backward ≈ ⅔). Absolute seconds do not
+//! matter for Figs. 20–21 — every result is normalized — but the
+//! compute-to-communication *ratio* per model shapes the bars, so the
+//! constants are documented here and in DESIGN.md.
+
+use tacos_topology::{ByteSize, Time};
+
+/// One distributed training workload: per-iteration compute and exposed
+/// communication volumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    name: &'static str,
+    /// Weight-gradient All-Reduce payload per NPU (data parallelism).
+    weight_grad: ByteSize,
+    /// Input-gradient (activation) All-Reduce payload per NPU, for hybrid
+    /// parallel models (MSFT-1T in Fig. 21); `None` for pure DP.
+    input_grad: Option<ByteSize>,
+    forward: Time,
+    backward: Time,
+}
+
+impl Workload {
+    /// GNMT (Wu et al. '16): ~278 M parameters. Paper Fig. 20 trains it on
+    /// a 64-NPU 3D-RFS.
+    pub fn gnmt() -> Workload {
+        Workload {
+            name: "GNMT",
+            // 278M params x 2 B (FP16 gradients).
+            weight_grad: ByteSize::mb(556),
+            input_grad: None,
+            forward: Time::from_millis(14.0),
+            backward: Time::from_millis(28.0),
+        }
+    }
+
+    /// ResNet-50 (He et al. '16): ~25.5 M parameters. Figs. 20 and 21.
+    pub fn resnet50() -> Workload {
+        Workload {
+            name: "ResNet-50",
+            weight_grad: ByteSize::mb(51),
+            input_grad: None,
+            forward: Time::from_millis(4.0),
+            backward: Time::from_millis(8.0),
+        }
+    }
+
+    /// Turing-NLG (Microsoft '20): 17.2 B parameters. Fig. 20 trains it on
+    /// a 256-NPU 3D-RFS; with model sharding each DP replica reduces a
+    /// per-NPU shard of the gradients.
+    pub fn turing_nlg() -> Workload {
+        Workload {
+            name: "Turing-NLG",
+            // 17.2B params / 32-way model shard x 2 B.
+            weight_grad: ByteSize::gb(1),
+            input_grad: None,
+            forward: Time::from_millis(90.0),
+            backward: Time::from_millis(180.0),
+        }
+    }
+
+    /// MSFT-1T (Rajbhandari et al. '20 scale target): 1 T parameters under
+    /// hybrid parallelism — both weight-gradient and input-gradient
+    /// collectives are exposed (paper Fig. 21's four-way breakdown).
+    pub fn msft_1t() -> Workload {
+        Workload {
+            name: "MSFT-1T",
+            // 1T params / 1024 NPUs x 2 B per-NPU shard.
+            weight_grad: ByteSize::gb(2),
+            input_grad: Some(ByteSize::mb(512)),
+            forward: Time::from_millis(120.0),
+            backward: Time::from_millis(240.0),
+        }
+    }
+
+    /// Model name as printed in the figures.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Weight-gradient All-Reduce payload per NPU.
+    pub fn weight_grad(&self) -> ByteSize {
+        self.weight_grad
+    }
+
+    /// Input-gradient All-Reduce payload per NPU, if the parallelization
+    /// exposes one.
+    pub fn input_grad(&self) -> Option<ByteSize> {
+        self.input_grad
+    }
+
+    /// Forward-pass compute time per iteration.
+    pub fn forward(&self) -> Time {
+        self.forward
+    }
+
+    /// Backward-pass compute time per iteration.
+    pub fn backward(&self) -> Time {
+        self.backward
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_constants() {
+        assert_eq!(Workload::gnmt().weight_grad(), ByteSize::mb(556));
+        assert_eq!(Workload::resnet50().weight_grad(), ByteSize::mb(51));
+        assert!(Workload::turing_nlg().forward() > Workload::resnet50().forward());
+        assert!(Workload::msft_1t().input_grad().is_some());
+        assert!(Workload::gnmt().input_grad().is_none());
+    }
+
+    #[test]
+    fn backward_is_heavier_than_forward() {
+        for w in [
+            Workload::gnmt(),
+            Workload::resnet50(),
+            Workload::turing_nlg(),
+            Workload::msft_1t(),
+        ] {
+            assert!(w.backward() > w.forward(), "{}", w.name());
+        }
+    }
+}

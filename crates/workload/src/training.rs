@@ -1,0 +1,258 @@
+//! End-to-end training-iteration evaluation (paper §VI-D, Figs. 20–21).
+//!
+//! For data-parallel models, gradient communication is exposed at the end
+//! of each iteration (paper: "communication becomes exposed at the end of
+//! each training iteration"), so
+//! `iteration = forward + backward + exposed collectives`, where each
+//! collective's time comes from the congestion-aware simulator running the
+//! chosen algorithm (or from the theoretical ideal bound).
+
+use std::fmt;
+
+use tacos_baselines::{BaselineAlgorithm, BaselineKind, IdealBound};
+use tacos_collective::{Collective, CollectivePattern};
+use tacos_core::{Synthesizer, SynthesizerConfig};
+use tacos_sim::Simulator;
+use tacos_topology::{ByteSize, Time, Topology};
+
+use crate::error::WorkloadError;
+use crate::models::Workload;
+
+/// How gradient collectives are executed.
+#[derive(Debug, Clone)]
+pub enum CommMechanism {
+    /// One of the baseline algorithms.
+    Baseline(BaselineKind),
+    /// A TACOS-synthesized algorithm.
+    Tacos(SynthesizerConfig),
+    /// The theoretical ideal bound (no algorithm; lower bound on time).
+    Ideal,
+}
+
+impl CommMechanism {
+    /// Display name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CommMechanism::Baseline(kind) => kind.name(),
+            CommMechanism::Tacos(_) => "tacos",
+            CommMechanism::Ideal => "ideal",
+        }
+    }
+}
+
+/// Per-iteration timing breakdown (the bars of paper Fig. 21).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrainingReport {
+    /// Forward-pass compute.
+    pub forward: Time,
+    /// Backward-pass compute.
+    pub backward: Time,
+    /// Exposed weight-gradient collective time.
+    pub weight_grad_comm: Time,
+    /// Exposed input-gradient collective time (zero for pure DP).
+    pub input_grad_comm: Time,
+}
+
+impl TrainingReport {
+    /// Total iteration time.
+    pub fn total(&self) -> Time {
+        self.forward + self.backward + self.weight_grad_comm + self.input_grad_comm
+    }
+
+    /// Total exposed communication.
+    pub fn comm(&self) -> Time {
+        self.weight_grad_comm + self.input_grad_comm
+    }
+
+    /// Total compute.
+    pub fn compute(&self) -> Time {
+        self.forward + self.backward
+    }
+}
+
+impl fmt::Display for TrainingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fwd {} + bwd {} + wg {} + ig {} = {}",
+            self.forward,
+            self.backward,
+            self.weight_grad_comm,
+            self.input_grad_comm,
+            self.total()
+        )
+    }
+}
+
+/// Evaluates training iterations of a [`Workload`] on a topology under a
+/// chosen communication mechanism.
+///
+/// ```no_run
+/// use tacos_workload::{CommMechanism, TrainingEvaluator, Workload};
+/// use tacos_baselines::BaselineKind;
+/// use tacos_topology::{Time, Topology};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let topo = Topology::rfs_3d(2, 4, 8, Time::from_micros(0.5), [200.0, 100.0, 50.0])?;
+/// let eval = TrainingEvaluator::new(&topo);
+/// let report = eval.evaluate(&Workload::gnmt(), &CommMechanism::Baseline(BaselineKind::Ring))?;
+/// println!("iteration: {}", report.total());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TrainingEvaluator<'a> {
+    topo: &'a Topology,
+    chunks: usize,
+}
+
+impl<'a> TrainingEvaluator<'a> {
+    /// Creates an evaluator for `topo` with the default chunking factor
+    /// (4, matching the paper's "TACOS (4 chunks)").
+    pub fn new(topo: &'a Topology) -> Self {
+        TrainingEvaluator { topo, chunks: 4 }
+    }
+
+    /// Overrides the chunking factor used for synthesized collectives.
+    #[must_use]
+    pub fn with_chunks(mut self, chunks: usize) -> Self {
+        self.chunks = chunks.max(1);
+        self
+    }
+
+    /// Time for one All-Reduce of `size` under `mechanism`.
+    ///
+    /// # Errors
+    /// Propagates synthesis / generation / simulation failures.
+    pub fn all_reduce_time(
+        &self,
+        size: ByteSize,
+        mechanism: &CommMechanism,
+    ) -> Result<Time, WorkloadError> {
+        let n = self.topo.num_npus();
+        match mechanism {
+            CommMechanism::Ideal => {
+                let ideal = IdealBound::new(self.topo);
+                Ok(ideal.collective_time(CollectivePattern::AllReduce, size))
+            }
+            CommMechanism::Baseline(kind) => {
+                let coll = Collective::all_reduce(n, size)?;
+                let algo = BaselineAlgorithm::new(kind.clone()).generate(self.topo, &coll)?;
+                let report = Simulator::new().simulate(self.topo, &algo)?;
+                Ok(report.collective_time())
+            }
+            CommMechanism::Tacos(config) => {
+                let coll = Collective::with_chunking(
+                    CollectivePattern::AllReduce,
+                    n,
+                    self.chunks,
+                    size,
+                )?;
+                let result = Synthesizer::new(config.clone()).synthesize(self.topo, &coll)?;
+                Ok(result.collective_time())
+            }
+        }
+    }
+
+    /// Evaluates one training iteration of `workload`.
+    ///
+    /// # Errors
+    /// Propagates synthesis / generation / simulation failures.
+    pub fn evaluate(
+        &self,
+        workload: &Workload,
+        mechanism: &CommMechanism,
+    ) -> Result<TrainingReport, WorkloadError> {
+        let weight_grad_comm = self.all_reduce_time(workload.weight_grad(), mechanism)?;
+        let input_grad_comm = match workload.input_grad() {
+            Some(size) => self.all_reduce_time(size, mechanism)?,
+            None => Time::ZERO,
+        };
+        Ok(TrainingReport {
+            forward: workload.forward(),
+            backward: workload.backward(),
+            weight_grad_comm,
+            input_grad_comm,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacos_topology::{Bandwidth, LinkSpec};
+
+    fn small_torus() -> Topology {
+        let spec = LinkSpec::new(Time::from_micros(0.7), Bandwidth::gbps(25.0));
+        Topology::torus_3d(2, 2, 2, spec).unwrap()
+    }
+
+    #[test]
+    fn ideal_is_fastest() {
+        let topo = small_torus();
+        let eval = TrainingEvaluator::new(&topo);
+        let w = Workload::resnet50();
+        let ideal = eval.evaluate(&w, &CommMechanism::Ideal).unwrap();
+        let ring = eval
+            .evaluate(&w, &CommMechanism::Baseline(BaselineKind::Ring))
+            .unwrap();
+        let tacos = eval
+            .evaluate(&w, &CommMechanism::Tacos(SynthesizerConfig::default()))
+            .unwrap();
+        assert!(ideal.comm() <= tacos.comm());
+        assert!(ideal.comm() <= ring.comm());
+        assert!(ideal.total() < ring.total());
+    }
+
+    #[test]
+    fn tacos_beats_ring_on_torus() {
+        let topo = small_torus();
+        let eval = TrainingEvaluator::new(&topo);
+        let w = Workload::resnet50();
+        let ring = eval
+            .evaluate(&w, &CommMechanism::Baseline(BaselineKind::Ring))
+            .unwrap();
+        let tacos = eval
+            .evaluate(
+                &w,
+                &CommMechanism::Tacos(SynthesizerConfig::default().with_attempts(4)),
+            )
+            .unwrap();
+        assert!(
+            tacos.comm() <= ring.comm(),
+            "tacos {} vs ring {}",
+            tacos.comm(),
+            ring.comm()
+        );
+        // Compute is mechanism-independent.
+        assert_eq!(tacos.compute(), ring.compute());
+    }
+
+    #[test]
+    fn breakdown_accounts_input_grads() {
+        let topo = small_torus();
+        let eval = TrainingEvaluator::new(&topo);
+        let msft = eval
+            .evaluate(&Workload::msft_1t(), &CommMechanism::Ideal)
+            .unwrap();
+        assert!(msft.input_grad_comm > Time::ZERO);
+        assert_eq!(
+            msft.total(),
+            msft.forward + msft.backward + msft.weight_grad_comm + msft.input_grad_comm
+        );
+        let resnet = eval
+            .evaluate(&Workload::resnet50(), &CommMechanism::Ideal)
+            .unwrap();
+        assert_eq!(resnet.input_grad_comm, Time::ZERO);
+    }
+
+    #[test]
+    fn mechanism_names() {
+        assert_eq!(CommMechanism::Ideal.name(), "ideal");
+        assert_eq!(CommMechanism::Baseline(BaselineKind::Ring).name(), "ring");
+        assert_eq!(
+            CommMechanism::Tacos(SynthesizerConfig::default()).name(),
+            "tacos"
+        );
+    }
+}

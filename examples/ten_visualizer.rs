@@ -1,0 +1,60 @@
+//! The Time-expanded Network representation itself, paper Figs. 6–7:
+//! builds the 3-NPU asymmetric topology of Fig. 6(a), expands its TEN,
+//! and prints the unidirectional-Ring All-Gather of Fig. 7 as link–chunk
+//! matches on TEN edges.
+//!
+//! ```sh
+//! cargo run --example ten_visualizer
+//! ```
+
+use tacos::prelude::*;
+use tacos_ten::TimeExpandedNetwork;
+use tacos_topology::{LinkId, TopologyBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = LinkSpec::new(Time::from_micros(0.5), Bandwidth::gbps(50.0));
+
+    // Paper Fig. 6(a): 3 NPUs, links 1->2, 1->3, 2->3, 3->1 (0-indexed here).
+    let mut b = TopologyBuilder::new("fig6a");
+    b.npus(3);
+    b.link(NpuId::new(0), NpuId::new(1), spec);
+    b.link(NpuId::new(0), NpuId::new(2), spec);
+    b.link(NpuId::new(1), NpuId::new(2), spec);
+    b.link(NpuId::new(2), NpuId::new(0), spec);
+    let topo = b.build()?;
+
+    let mut ten = TimeExpandedNetwork::new(&topo, ByteSize::mb(1))?;
+    for _ in 0..3 {
+        ten.expand();
+    }
+    println!("Fig. 6(b): TEN of the asymmetric 3-NPU topology, t=0..3");
+    println!("{ten}");
+    println!("each time span replicates the 4 physical links as edges:");
+    for l in 0..topo.num_links() {
+        let (src, dst) = ten.endpoints(LinkId::new(l as u32));
+        println!("  (NPU{}, t) -> (NPU{}, t+1)", src.raw(), dst.raw());
+    }
+
+    // Paper Fig. 7: the Ring All-Gather on a unidirectional 4-ring,
+    // synthesized by TACOS and projected onto the TEN.
+    let ring = Topology::ring(4, spec, tacos_topology::RingOrientation::Unidirectional)?;
+    let collective = Collective::all_gather(4, ByteSize::mb(4))?;
+    let result = Synthesizer::new(SynthesizerConfig::default()).synthesize(&ring, &collective)?;
+    let ten = TimeExpandedNetwork::represent(&ring, result.algorithm())?;
+    println!("\nFig. 7(b): Ring All-Gather over the TEN ({} steps):", ten.steps());
+    for step in 0..ten.steps() {
+        print!("  t={step}:");
+        for l in 0..ring.num_links() {
+            if let Some(chunk) = ten.occupant(step, LinkId::new(l as u32)) {
+                let (src, dst) = ten.endpoints(LinkId::new(l as u32));
+                print!("  {chunk}:{}->{}", src.raw(), dst.raw());
+            }
+        }
+        println!();
+    }
+    println!(
+        "\nall {} TEN edges matched — maximal utilization, zero contention.",
+        ten.matched_edges()
+    );
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Domain scenario: planning communication for a training job.
+//!
+//! Given a cluster (256-NPU 3D-RFS) and a model (Turing-NLG), evaluate
+//! every available communication mechanism end-to-end, pick the winner,
+//! and persist its synthesized schedule through the on-disk cache so the
+//! job's CCL can load it at startup — the full production loop the paper
+//! motivates (Fig. 3).
+//!
+//! ```sh
+//! cargo run --release --example training_planner
+//! ```
+
+use tacos::prelude::*;
+use tacos_baselines::BaselineKind;
+use tacos_core::AlgorithmCache;
+use tacos_report::Table;
+use tacos_workload::{CommMechanism, TrainingEvaluator, Workload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let topo = tacos_topology::Topology::rfs_3d(
+        2,
+        4,
+        16,
+        Time::from_micros(0.5),
+        [200.0, 100.0, 50.0],
+    )?;
+    let workload = Workload::turing_nlg();
+    println!(
+        "planning {} training on {} ({} gradient All-Reduce per step)\n",
+        workload.name(),
+        topo.name(),
+        workload.weight_grad()
+    );
+
+    let eval = TrainingEvaluator::new(&topo).with_chunks(1);
+    let mechanisms = vec![
+        CommMechanism::Baseline(BaselineKind::Ring),
+        CommMechanism::Baseline(BaselineKind::Direct),
+        CommMechanism::Baseline(BaselineKind::Themis { chunks: 4 }),
+        CommMechanism::Tacos(SynthesizerConfig::default().with_attempts(8)),
+        CommMechanism::Ideal,
+    ];
+    let mut table = Table::new(vec!["mechanism", "exposed comm", "iteration", "vs best"]);
+    let mut results = Vec::new();
+    for m in &mechanisms {
+        let report = eval.evaluate(&workload, m)?;
+        results.push((m.name(), report));
+    }
+    let best_real = results
+        .iter()
+        .filter(|(n, _)| *n != "ideal")
+        .min_by_key(|(_, r)| r.total())
+        .expect("nonempty")
+        .1
+        .total();
+    for (name, r) in &results {
+        table.row(vec![
+            (*name).into(),
+            format!("{}", r.comm()),
+            format!("{}", r.total()),
+            format!("{:.2}x", r.total().as_secs_f64() / best_real.as_secs_f64()),
+        ]);
+    }
+    print!("{table}");
+
+    // Persist the winning TACOS schedule for the job's CCL.
+    let coll = Collective::all_reduce(topo.num_npus(), workload.weight_grad())?;
+    let synth = Synthesizer::new(SynthesizerConfig::default().with_attempts(8));
+    let cache_dir = std::env::temp_dir().join("tacos-training-planner");
+    let cache = AlgorithmCache::new(&cache_dir)?;
+    let key = AlgorithmCache::key(&synth, &topo, &coll);
+    let algo = cache.synthesize_cached(&synth, &topo, &coll)?;
+    println!(
+        "\ncached winning schedule ({} transfers) under {}",
+        algo.len(),
+        cache_dir.join(format!("{key}.tacos")).display()
+    );
+    // A second lookup hits the cache (identical schedule, no synthesis).
+    let again = cache.synthesize_cached(&synth, &topo, &coll)?;
+    assert_eq!(algo, again);
+    println!("cache hit verified; the CCL can now load this at job start.");
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! # TACOS: Topology-Aware Collective Algorithm Synthesizer
+//!
+//! A full reproduction of *"TACOS: Topology-Aware Collective Algorithm
+//! Synthesizer for Distributed Machine Learning"* (MICRO 2024,
+//! arXiv:2304.05301). This facade crate re-exports every subsystem of the
+//! workspace under one roof:
+//!
+//! * [`topology`] — NPU/link network model with α–β link costs, every
+//!   topology evaluated in the paper (Ring, FullyConnected, Mesh, Torus,
+//!   Hypercube-style 3D mesh, Switch with unwinding, DragonFly, 3D-RFS,
+//!   DGX-1), and a builder for arbitrary heterogeneous/asymmetric networks.
+//! * [`collective`] — collective communication patterns (All-Gather,
+//!   Reduce-Scatter, All-Reduce, Broadcast, Reduce, …), the chunk model, and
+//!   the [`collective::algorithm::CollectiveAlgorithm`] IR shared by the
+//!   synthesizer, the baselines, and the simulator.
+//! * [`ten`] — the Time-expanded Network representation (paper §IV-A),
+//!   both as a materialized graph and as the event-driven expanding TEN
+//!   used during synthesis.
+//! * [`synthesizer`] — the paper's contribution: utilization-maximizing
+//!   link–chunk matching (Alg. 1) and end-to-end synthesis (Alg. 2).
+//! * [`sim`] — the congestion-aware analytical network simulator used to
+//!   evaluate synthesized and baseline algorithms (paper §V-C).
+//! * [`baselines`] — Ring, Direct, RHD, DBT, BlueConnect, Themis,
+//!   MultiTree, C-Cube, a TACCL-like bounded-optimal search, and the
+//!   theoretical ideal bound.
+//! * [`workload`] — end-to-end training models (GNMT, ResNet-50,
+//!   Turing-NLG, MSFT-1T) with exposed-communication accounting.
+//! * [`report`] — ASCII tables, heat maps, CSV/JSON writers and the
+//!   polynomial fits used by the scalability analysis.
+//!
+//! ## Quickstart
+//!
+//! Synthesize an All-Reduce for a 2D mesh and measure its bandwidth:
+//!
+//! ```
+//! use tacos::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 5x5 2D mesh, 0.5 us link latency, 50 GB/s links.
+//! let topo = Topology::mesh_2d(5, 5, LinkSpec::new(Time::from_micros(0.5), Bandwidth::gbps(50.0)))?;
+//! let collective = Collective::all_reduce(topo.num_npus(), ByteSize::mib(64))?;
+//! let synthesizer = Synthesizer::new(SynthesizerConfig::default().with_seed(42));
+//! let algorithm = synthesizer.synthesize(&topo, &collective)?;
+//! println!("All-Reduce finishes in {}", algorithm.collective_time());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use tacos_baselines as baselines;
+pub use tacos_collective as collective;
+pub use tacos_core as synthesizer;
+pub use tacos_report as report;
+pub use tacos_sim as sim;
+pub use tacos_ten as ten;
+pub use tacos_topology as topology;
+pub use tacos_workload as workload;
+
+/// Commonly used types, re-exported for `use tacos::prelude::*`.
+pub mod prelude {
+    pub use tacos_baselines::{BaselineAlgorithm, BaselineKind, IdealBound};
+    pub use tacos_collective::{
+        algorithm::CollectiveAlgorithm, Chunk, ChunkId, Collective, CollectivePattern,
+    };
+    pub use tacos_core::{SynthesisResult, Synthesizer, SynthesizerConfig};
+    pub use tacos_sim::{SimConfig, SimReport, Simulator};
+    pub use tacos_ten::TimeExpandedNetwork;
+    pub use tacos_topology::{
+        Bandwidth, ByteSize, LinkId, LinkSpec, NpuId, Time, Topology, TopologyBuilder,
+    };
+}

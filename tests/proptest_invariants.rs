@@ -1,0 +1,204 @@
+//! Property-based tests of the DESIGN.md §6 invariants over random
+//! strongly-connected heterogeneous topologies, random collective shapes,
+//! and random seeds.
+
+use proptest::prelude::*;
+
+use tacos::prelude::*;
+use tacos_collective::CollectivePattern;
+use tacos_topology::{Bandwidth, TopologyBuilder};
+
+/// A random strongly-connected topology: a random ring backbone (ensures
+/// strong connectivity) plus random extra links with random heterogeneous
+/// specs.
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    (3usize..10, any::<u64>()).prop_map(|(n, seed)| {
+        // Deterministic pseudo-random construction from the seed.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut b = TopologyBuilder::new(format!("random({n},{seed:x})"));
+        b.npus(n);
+        let spec_for = |r: u64| {
+            LinkSpec::new(
+                Time::from_nanos(100.0 + (r % 900) as f64),
+                Bandwidth::gbps(25.0 + (r % 8) as f64 * 25.0),
+            )
+        };
+        // Ring backbone over a random permutation.
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        for i in (1..n).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            perm.swap(i, j);
+        }
+        for i in 0..n {
+            b.link(
+                NpuId::new(perm[i]),
+                NpuId::new(perm[(i + 1) % n]),
+                spec_for(next()),
+            );
+        }
+        // Random extra links (possibly parallel).
+        let extras = (next() % (2 * n as u64)) as usize;
+        for _ in 0..extras {
+            let src = (next() % n as u64) as u32;
+            let mut dst = (next() % n as u64) as u32;
+            if dst == src {
+                dst = (dst + 1) % n as u32;
+            }
+            b.link(NpuId::new(src), NpuId::new(dst), spec_for(next()));
+        }
+        b.build().expect("valid random topology")
+    })
+}
+
+fn arb_pattern(n: usize) -> impl Strategy<Value = CollectivePattern> {
+    prop_oneof![
+        Just(CollectivePattern::AllGather),
+        Just(CollectivePattern::ReduceScatter),
+        Just(CollectivePattern::AllReduce),
+        (0..n as u32).prop_map(|r| CollectivePattern::Broadcast { root: NpuId::new(r) }),
+        (0..n as u32).prop_map(|r| CollectivePattern::Reduce { root: NpuId::new(r) }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Invariants 1–3 and 5: postconditions, contention-freedom,
+    /// causality, and exact simulator agreement, on arbitrary topologies.
+    #[test]
+    fn synthesis_invariants_hold(
+        (topo, pattern, k, seed) in arb_topology().prop_flat_map(|t| {
+            let n = t.num_npus();
+            (Just(t), arb_pattern(n), 1usize..4, any::<u64>())
+        })
+    ) {
+        let n = topo.num_npus();
+        let coll = Collective::with_chunking(pattern, n, k, ByteSize::mb(4 * n as u64))
+            .expect("valid collective");
+        let result = Synthesizer::new(SynthesizerConfig::default())
+            .synthesize_seeded(&topo, &coll, seed)
+            .expect("strongly connected topologies always synthesize");
+        let algo = result.algorithm();
+        prop_assert!(algo.validate_contention_free().is_ok());
+        prop_assert!(algo.validate_causal().is_ok());
+        prop_assert!(tacos_collective::algorithm::validate_links(algo, &topo).is_ok());
+
+        let report = Simulator::new().simulate(&topo, algo).expect("simulates");
+        prop_assert_eq!(report.collective_time(), result.collective_time());
+    }
+
+    /// Postcondition replay for All-Gather: every NPU ends holding every
+    /// chunk, and nothing is forwarded before it arrives.
+    #[test]
+    fn all_gather_delivers_everything(
+        (topo, seed) in arb_topology().prop_flat_map(|t| (Just(t), any::<u64>()))
+    ) {
+        let n = topo.num_npus();
+        let coll = Collective::all_gather(n, ByteSize::mb(n as u64)).unwrap();
+        let result = Synthesizer::new(SynthesizerConfig::default())
+            .synthesize_seeded(&topo, &coll, seed)
+            .unwrap();
+        let mut holds: Vec<std::collections::HashSet<u32>> =
+            (0..n).map(|i| std::collections::HashSet::from([i as u32])).collect();
+        let mut transfers: Vec<_> = result.algorithm().transfers().iter().collect();
+        transfers.sort_by_key(|t| t.start());
+        for t in transfers {
+            prop_assert!(holds[t.src().index()].contains(&t.chunk().raw()));
+            holds[t.dst().index()].insert(t.chunk().raw());
+        }
+        for h in &holds {
+            prop_assert_eq!(h.len(), n);
+        }
+        // Exactly n(n-1) deliveries: each NPU receives each foreign chunk
+        // exactly once (no redundant sends).
+        prop_assert_eq!(result.algorithm().len(), n * (n - 1));
+    }
+
+    /// Invariant 4: Reduce trees — every non-root NPU contributes exactly
+    /// one partial, the root none.
+    #[test]
+    fn reduce_forms_spanning_in_tree(
+        (topo, root, seed) in arb_topology().prop_flat_map(|t| {
+            let n = t.num_npus() as u32;
+            (Just(t), 0..n, any::<u64>())
+        })
+    ) {
+        let n = topo.num_npus();
+        let coll = Collective::reduce(n, NpuId::new(root), ByteSize::mb(1)).unwrap();
+        let result = Synthesizer::new(SynthesizerConfig::default())
+            .synthesize_seeded(&topo, &coll, seed)
+            .unwrap();
+        let senders: Vec<u32> =
+            result.algorithm().transfers().iter().map(|t| t.src().raw()).collect();
+        prop_assert_eq!(senders.len(), n - 1);
+        let unique: std::collections::HashSet<_> = senders.iter().copied().collect();
+        prop_assert_eq!(unique.len(), n - 1);
+        prop_assert!(!senders.contains(&root));
+    }
+
+    /// The synthesized time never beats the ideal bound and is
+    /// deterministic per seed.
+    #[test]
+    fn bounded_and_deterministic(
+        (topo, seed) in arb_topology().prop_flat_map(|t| (Just(t), any::<u64>()))
+    ) {
+        use tacos::baselines::IdealBound;
+        let n = topo.num_npus();
+        let size = ByteSize::mb(8 * n as u64);
+        let coll = Collective::all_gather(n, size).unwrap();
+        let synth = Synthesizer::new(SynthesizerConfig::default());
+        let a = synth.synthesize_seeded(&topo, &coll, seed).unwrap();
+        let b = synth.synthesize_seeded(&topo, &coll, seed).unwrap();
+        prop_assert_eq!(a.collective_time(), b.collective_time());
+        prop_assert_eq!(a.num_transfers(), b.num_transfers());
+        let bound = IdealBound::new(&topo)
+            .lower_bound(CollectivePattern::AllGather, size);
+        prop_assert!(a.collective_time() >= bound);
+    }
+
+    /// The simulator handles arbitrary dependency-free all-to-all loads
+    /// without deadlock, and conserves bytes.
+    #[test]
+    fn simulator_conserves_bytes(
+        (topo, seed) in arb_topology().prop_flat_map(|t| (Just(t), any::<u64>()))
+    ) {
+        use tacos_collective::algorithm::{AlgorithmBuilder, TransferKind};
+        let n = topo.num_npus();
+        let chunk = ByteSize::kb(64);
+        let mut builder = AlgorithmBuilder::new("a2a", n, chunk, ByteSize::kb(64 * n as u64));
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut logical = 0u64;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && next() % 2 == 0 {
+                    builder.push(
+                        ChunkId::new((next() % 16) as u32),
+                        NpuId::new(i as u32),
+                        NpuId::new(j as u32),
+                        TransferKind::Copy,
+                        vec![],
+                    );
+                    logical += 1;
+                }
+            }
+        }
+        let algo = builder.build();
+        let report = Simulator::new().simulate(&topo, &algo).unwrap();
+        // Total bytes on links >= logical payload (multi-hop may amplify).
+        let total: u64 = report.link_bytes().iter().sum();
+        prop_assert!(total >= logical * chunk.as_u64());
+        prop_assert!(report.messages() >= logical);
+    }
+}
