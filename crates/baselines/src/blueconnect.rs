@@ -82,8 +82,7 @@ fn multi_dim_all_reduce(
     let chunk_size = collective.total_size().split(base_chunks);
     let mut b = AlgorithmBuilder::new(name, n, chunk_size, collective.total_size());
 
-    let groups_per_dim: Vec<Vec<Vec<NpuId>>> =
-        (0..num_dims).map(|d| dim_groups(topo, d)).collect();
+    let groups_per_dim: Vec<Vec<Vec<NpuId>>> = (0..num_dims).map(|d| dim_groups(topo, d)).collect();
 
     for g in 0..chunks {
         // Themis rotates the dimension order per chunk group; BlueConnect
@@ -103,7 +102,14 @@ fn multi_dim_all_reduce(
             shrink *= dim_sizes[dim] as u64;
             let count = (n as u64 / shrink).max(1) as u32;
             for members in &groups_per_dim[dim] {
-                ring_phase(&mut b, members, chunk, count, TransferKind::Reduce, &mut entry);
+                ring_phase(
+                    &mut b,
+                    members,
+                    chunk,
+                    count,
+                    TransferKind::Reduce,
+                    &mut entry,
+                );
             }
         }
         // All-Gather sweep, reversed order, message sizes growing back.
@@ -111,7 +117,14 @@ fn multi_dim_all_reduce(
             let count = (n as u64 / shrink).max(1) as u32;
             shrink /= dim_sizes[dim] as u64;
             for members in &groups_per_dim[dim] {
-                ring_phase(&mut b, members, chunk, count, TransferKind::Copy, &mut entry);
+                ring_phase(
+                    &mut b,
+                    members,
+                    chunk,
+                    count,
+                    TransferKind::Copy,
+                    &mut entry,
+                );
             }
         }
     }
@@ -209,7 +222,11 @@ mod tests {
         assert!(report.collective_time() > Time::ZERO);
         // The unidirectional per-dimension rings use exactly half of the
         // bidirectional torus links.
-        let used = report.link_bytes().iter().filter(|&&bytes| bytes > 0).count();
+        let used = report
+            .link_bytes()
+            .iter()
+            .filter(|&&bytes| bytes > 0)
+            .count();
         assert_eq!(used, t.num_links() / 2);
     }
 

@@ -84,7 +84,11 @@ pub fn ccube(
             .map(|&(p, c)| (c, p, pick_link(c, p)))
             .collect();
         let children_of = |v: usize| -> Vec<usize> {
-            edges.iter().filter(|&&(p, _)| p == v).map(|&(_, c)| c).collect()
+            edges
+                .iter()
+                .filter(|&&(p, _)| p == v)
+                .map(|&(_, c)| c)
+                .collect()
         };
         for sub in 0..pipeline {
             let chunk = ChunkId::new((t * pipeline + sub) as u32);
@@ -94,8 +98,7 @@ pub fn ccube(
             // Process edges deepest-first: repeatedly emit edges whose
             // child subtree is complete.
             let mut remaining: Vec<(usize, usize, LinkId)> = up.clone();
-            let pending_children: Vec<usize> =
-                (0..8).map(|v| children_of(v).len()).collect();
+            let pending_children: Vec<usize> = (0..8).map(|v| children_of(v).len()).collect();
             while !remaining.is_empty() {
                 let mut progressed = false;
                 remaining.retain(|&(child, parent, link)| {
@@ -184,7 +187,11 @@ mod tests {
         let report = Simulator::new().simulate(&topo, &algo).unwrap();
         assert!(report.collective_time() > Time::ZERO);
         // The paper's point: many NVLinks stay idle under C-Cube.
-        let idle = report.link_bytes().iter().filter(|&&bytes| bytes == 0).count();
+        let idle = report
+            .link_bytes()
+            .iter()
+            .filter(|&&bytes| bytes == 0)
+            .count();
         assert!(idle >= 16, "only {idle} idle links");
     }
 

@@ -31,7 +31,11 @@ impl Tree {
         let mut parent = vec![None; n];
         let mut children = vec![Vec::new(); n];
         let root = build(0, n - 1, &mut parent, &mut children);
-        Tree { root, parent, children }
+        Tree {
+            root,
+            parent,
+            children,
+        }
     }
 
     /// This tree with every rank shifted by `delta` (mod n).
@@ -46,16 +50,15 @@ impl Tree {
             }
             children[map(r)] = self.children[r].iter().map(|&c| map(c)).collect();
         }
-        Tree { root: map(self.root), parent, children }
+        Tree {
+            root: map(self.root),
+            parent,
+            children,
+        }
     }
 }
 
-fn build(
-    lo: usize,
-    hi: usize,
-    parent: &mut [Option<usize>],
-    children: &mut [Vec<usize>],
-) -> usize {
+fn build(lo: usize, hi: usize, parent: &mut [Option<usize>], children: &mut [Vec<usize>]) -> usize {
     let mid = (lo + hi) / 2;
     if mid > lo {
         let left = build(lo, mid - 1, parent, children);
@@ -244,7 +247,10 @@ mod tests {
             .simulate(&topo, &dbt(&topo, &coll, 4).unwrap())
             .unwrap();
         let r = Simulator::new()
-            .simulate(&topo, &crate::ring::ring_bidirectional(&topo, &coll).unwrap())
+            .simulate(
+                &topo,
+                &crate::ring::ring_bidirectional(&topo, &coll).unwrap(),
+            )
             .unwrap();
         assert!(d.collective_time() > r.collective_time());
     }

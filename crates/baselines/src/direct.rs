@@ -98,7 +98,7 @@ fn scatter_phase(
 ) -> Vec<Vec<TransferId>> {
     let mut received: Vec<Vec<TransferId>> = vec![Vec::new(); n];
     for i in 0..n {
-        for j in 0..n {
+        for (j, recv) in received.iter_mut().enumerate() {
             if i == j {
                 continue;
             }
@@ -111,7 +111,7 @@ fn scatter_phase(
                 kind,
                 deps,
             );
-            received[j].push(id);
+            recv.push(id);
         }
     }
     received
@@ -160,7 +160,10 @@ mod tests {
             .simulate(&topo, &direct(&topo, &coll).unwrap())
             .unwrap();
         let r = Simulator::new()
-            .simulate(&topo, &crate::ring::ring_bidirectional(&topo, &coll).unwrap())
+            .simulate(
+                &topo,
+                &crate::ring::ring_bidirectional(&topo, &coll).unwrap(),
+            )
             .unwrap();
         assert!(
             d.collective_time() > r.collective_time() * 3,

@@ -55,12 +55,18 @@ impl fmt::Display for BaselineError {
                 write!(f, "RHD requires a power-of-two NPU count, got {num_npus}")
             }
             BaselineError::DimensionsRequired { baseline } => {
-                write!(f, "baseline '{baseline}' requires a multi-dimensional topology")
+                write!(
+                    f,
+                    "baseline '{baseline}' requires a multi-dimensional topology"
+                )
             }
             BaselineError::WrongTopology { baseline, expected } => {
                 write!(f, "baseline '{baseline}' requires a {expected} topology")
             }
-            BaselineError::NpuCountMismatch { topology, collective } => write!(
+            BaselineError::NpuCountMismatch {
+                topology,
+                collective,
+            } => write!(
                 f,
                 "topology has {topology} NPUs but the collective expects {collective}"
             ),
@@ -90,17 +96,25 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(BaselineError::UnsupportedPattern { baseline: "rhd", pattern: "All-Gather" }
-            .to_string()
-            .contains("does not implement"));
+        assert!(BaselineError::UnsupportedPattern {
+            baseline: "rhd",
+            pattern: "All-Gather"
+        }
+        .to_string()
+        .contains("does not implement"));
         assert!(BaselineError::PowerOfTwoRequired { num_npus: 6 }
             .to_string()
             .contains("power-of-two"));
-        assert!(BaselineError::DimensionsRequired { baseline: "blueconnect" }
-            .to_string()
-            .contains("multi-dimensional"));
-        assert!(BaselineError::WrongTopology { baseline: "ccube", expected: "DGX-1" }
-            .to_string()
-            .contains("DGX-1"));
+        assert!(BaselineError::DimensionsRequired {
+            baseline: "blueconnect"
+        }
+        .to_string()
+        .contains("multi-dimensional"));
+        assert!(BaselineError::WrongTopology {
+            baseline: "ccube",
+            expected: "DGX-1"
+        }
+        .to_string()
+        .contains("DGX-1"));
     }
 }

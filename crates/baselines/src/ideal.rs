@@ -140,12 +140,8 @@ impl IdealBound {
                     .fold(f64::INFINITY, f64::min);
                 frac / per_npu
             }
-            CollectivePattern::Broadcast { root } => {
-                s / min_excl(&self.in_bw, Some(root.index()))
-            }
-            CollectivePattern::Reduce { root } => {
-                s / min_excl(&self.out_bw, Some(root.index()))
-            }
+            CollectivePattern::Broadcast { root } => s / min_excl(&self.in_bw, Some(root.index())),
+            CollectivePattern::Reduce { root } => s / min_excl(&self.out_bw, Some(root.index())),
             // The root must eject (Gather) or inject (Scatter) the whole
             // payload minus its own shard.
             CollectivePattern::Gather { root } => frac / self.in_bw[root.index()],
@@ -173,12 +169,7 @@ impl IdealBound {
 
     /// Efficiency of a measured collective time against the bound
     /// (`ideal / measured`, so 1.0 is optimal).
-    pub fn efficiency(
-        &self,
-        pattern: CollectivePattern,
-        size: ByteSize,
-        measured: Time,
-    ) -> f64 {
+    pub fn efficiency(&self, pattern: CollectivePattern, size: ByteSize, measured: Time) -> f64 {
         if measured.is_zero() {
             return 1.0;
         }

@@ -107,6 +107,19 @@ impl BaselineKind {
             BaselineKind::TacclLike(_) => "taccl",
         }
     }
+
+    /// The RNG seed this generator consumes, if it is randomized.
+    ///
+    /// `None` means the algorithm is fully deterministic in (topology,
+    /// collective) — callers caching generated algorithms (the scenario
+    /// runner) key such baselines independently of any seed sweep. Keep
+    /// this in sync when adding a randomized baseline.
+    pub fn seed(&self) -> Option<u64> {
+        match self {
+            BaselineKind::TacclLike(config) => Some(config.seed),
+            _ => None,
+        }
+    }
 }
 
 /// Uniform generator over all baselines.
@@ -206,6 +219,9 @@ mod tests {
         assert_eq!(BaselineKind::Ring.name(), "ring");
         assert_eq!(BaselineKind::Direct.name(), "direct");
         assert_eq!(BaselineKind::Themis { chunks: 4 }.name(), "themis");
-        assert_eq!(BaselineKind::TacclLike(TacclConfig::default()).name(), "taccl");
+        assert_eq!(
+            BaselineKind::TacclLike(TacclConfig::default()).name(),
+            "taccl"
+        );
     }
 }

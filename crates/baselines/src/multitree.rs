@@ -65,7 +65,11 @@ fn build_trees(topo: &Topology) -> Vec<SpanningTree> {
             }
             frontier = next_frontier;
         }
-        trees.push(SpanningTree { root, parent, bfs_order });
+        trees.push(SpanningTree {
+            root,
+            parent,
+            bfs_order,
+        });
     }
     trees
 }

@@ -23,10 +23,7 @@ use crate::error::BaselineError;
 /// # Errors
 /// * [`BaselineError::PowerOfTwoRequired`] unless `n` is a power of two.
 /// * [`BaselineError::UnsupportedPattern`] for anything but All-Reduce.
-pub fn rhd(
-    topo: &Topology,
-    collective: &Collective,
-) -> Result<CollectiveAlgorithm, BaselineError> {
+pub fn rhd(topo: &Topology, collective: &Collective) -> Result<CollectiveAlgorithm, BaselineError> {
     if topo.num_npus() != collective.num_npus() {
         return Err(BaselineError::NpuCountMismatch {
             topology: topo.num_npus(),
@@ -73,11 +70,11 @@ fn exchange_step(
     last: &mut [Option<TransferId>],
 ) {
     let mut this_recv: Vec<Option<TransferId>> = vec![None; n];
-    for i in 0..n {
+    for (i, prev) in last.iter().enumerate() {
         let p = i ^ (1 << k);
         // Representative first segment: the partner's residue class.
         let seg = (p % (1 << (k + 1))) as u32;
-        let deps: Vec<TransferId> = last[i].into_iter().collect();
+        let deps: Vec<TransferId> = prev.iter().copied().collect();
         let id = b.push_counted(
             ChunkId::new(seg),
             count as u32,
@@ -145,7 +142,10 @@ mod tests {
             .simulate(&topo, &rhd(&topo, &coll).unwrap())
             .unwrap();
         let ring_report = Simulator::new()
-            .simulate(&topo, &crate::ring::ring_bidirectional(&topo, &coll).unwrap())
+            .simulate(
+                &topo,
+                &crate::ring::ring_bidirectional(&topo, &coll).unwrap(),
+            )
             .unwrap();
         assert!(report.collective_time() > ring_report.collective_time());
     }

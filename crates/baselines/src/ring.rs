@@ -54,12 +54,7 @@ pub fn ring_unidirectional(
     let n = collective.num_npus();
     let num_chunks = n as u32;
     let chunk_size = collective.total_size().split(num_chunks as u64);
-    let mut b = AlgorithmBuilder::new(
-        "ring",
-        n,
-        chunk_size,
-        collective.total_size(),
-    );
+    let mut b = AlgorithmBuilder::new("ring", n, chunk_size, collective.total_size());
     generate_pattern(&mut b, collective.pattern(), n, Direction::Forward, 0)?;
     Ok(b.build())
 }
@@ -80,7 +75,13 @@ pub fn ring_bidirectional(
     let chunk_size = collective.total_size().split(num_chunks as u64);
     let mut b = AlgorithmBuilder::new("ring-bi", n, chunk_size, collective.total_size());
     generate_pattern(&mut b, collective.pattern(), n, Direction::Forward, 0)?;
-    generate_pattern(&mut b, collective.pattern(), n, Direction::Backward, n as u32)?;
+    generate_pattern(
+        &mut b,
+        collective.pattern(),
+        n,
+        Direction::Backward,
+        n as u32,
+    )?;
     Ok(b.build())
 }
 
@@ -186,7 +187,9 @@ pub fn find_parallel_rings(topo: &Topology, max_rings: usize) -> Vec<Vec<NpuId>>
             for w in 0..ring.len() {
                 let a = ring[w].raw();
                 let bb = ring[(w + 1) % ring.len()].raw();
-                *capacity.get_mut(&(a.min(bb), a.max(bb))).expect("used edge") -= 1;
+                *capacity
+                    .get_mut(&(a.min(bb), a.max(bb)))
+                    .expect("used edge") -= 1;
             }
             rings.push(ring);
         } else {
@@ -235,7 +238,11 @@ fn dfs_ring(
             .filter(|&&l| {
                 let w = topo.link(l).dst().raw();
                 !visited[w as usize]
-                    && capacity.get(&(next.min(w), next.max(w))).copied().unwrap_or(0) > 0
+                    && capacity
+                        .get(&(next.min(w), next.max(w)))
+                        .copied()
+                        .unwrap_or(0)
+                        > 0
             })
             .count();
         nexts.push((onward, next));
@@ -285,7 +292,16 @@ fn generate_pattern_over(
     let n = order.len();
     match pattern {
         CollectivePattern::AllGather => {
-            ring_pass(b, order, dir, chunk_base, 0, TransferKind::Copy, links, &mut vec![None; n]);
+            ring_pass(
+                b,
+                order,
+                dir,
+                chunk_base,
+                0,
+                TransferKind::Copy,
+                links,
+                &mut vec![None; n],
+            );
             Ok(())
         }
         CollectivePattern::ReduceScatter => {
@@ -307,20 +323,36 @@ fn generate_pattern_over(
             // (i+1) mod n, hence the shift — so it depends on the last RS
             // receive there.
             let mut last_recv: Vec<Option<TransferId>> = vec![None; n];
-            ring_pass(b, order, dir, chunk_base, 0, TransferKind::Reduce, links, &mut last_recv);
-            ring_pass(b, order, dir, chunk_base, 1, TransferKind::Copy, links, &mut last_recv);
+            ring_pass(
+                b,
+                order,
+                dir,
+                chunk_base,
+                0,
+                TransferKind::Reduce,
+                links,
+                &mut last_recv,
+            );
+            ring_pass(
+                b,
+                order,
+                dir,
+                chunk_base,
+                1,
+                TransferKind::Copy,
+                links,
+                &mut last_recv,
+            );
             Ok(())
         }
         CollectivePattern::Broadcast { .. }
         | CollectivePattern::Reduce { .. }
         | CollectivePattern::AllToAll
         | CollectivePattern::Gather { .. }
-        | CollectivePattern::Scatter { .. } => {
-            Err(BaselineError::UnsupportedPattern {
-                baseline: "ring",
-                pattern: pattern.short_name(),
-            })
-        }
+        | CollectivePattern::Scatter { .. } => Err(BaselineError::UnsupportedPattern {
+            baseline: "ring",
+            pattern: pattern.short_name(),
+        }),
     }
 }
 
@@ -470,11 +502,8 @@ mod tests {
 
     #[test]
     fn embedded_ring_on_dgx1_finds_parallel_rings() {
-        let topo = Topology::dgx1(LinkSpec::new(
-            Time::from_micros(0.7),
-            Bandwidth::gbps(25.0),
-        ))
-        .unwrap();
+        let topo =
+            Topology::dgx1(LinkSpec::new(Time::from_micros(0.7), Bandwidth::gbps(25.0))).unwrap();
         let rings = find_parallel_rings(&topo, 4);
         // The hybrid cube-mesh supports at least two edge-disjoint
         // bidirectional Hamiltonian rings.

@@ -92,14 +92,22 @@ pub fn taccl_like(
         CollectivePattern::AllGather => {
             let (rounds, nodes) = search(topo, collective, config);
             let algorithm = emit_gather(topo, collective, &rounds, "taccl", false);
-            Ok(TacclResult { algorithm, rounds: rounds.len(), nodes_explored: nodes })
+            Ok(TacclResult {
+                algorithm,
+                rounds: rounds.len(),
+                nodes_explored: nodes,
+            })
         }
         CollectivePattern::ReduceScatter => {
             let reversed = topo.reversed();
             let dual = collective.dual().expect("reduce-scatter has a dual");
             let (rounds, nodes) = search(&reversed, &dual, config);
             let algorithm = emit_gather(&reversed, &dual, &rounds, "taccl", true);
-            Ok(TacclResult { algorithm, rounds: rounds.len(), nodes_explored: nodes })
+            Ok(TacclResult {
+                algorithm,
+                rounds: rounds.len(),
+                nodes_explored: nodes,
+            })
         }
         CollectivePattern::AllReduce => {
             let rs_coll = Collective::with_chunking(
@@ -129,12 +137,10 @@ pub fn taccl_like(
         | CollectivePattern::Reduce { .. }
         | CollectivePattern::AllToAll
         | CollectivePattern::Gather { .. }
-        | CollectivePattern::Scatter { .. } => {
-            Err(BaselineError::UnsupportedPattern {
-                baseline: "taccl",
-                pattern: collective.pattern().short_name(),
-            })
-        }
+        | CollectivePattern::Scatter { .. } => Err(BaselineError::UnsupportedPattern {
+            baseline: "taccl",
+            pattern: collective.pattern().short_name(),
+        }),
     }
 }
 
@@ -195,7 +201,11 @@ fn dfs(
             return;
         }
     }
-    let width = if *nodes >= config.node_budget { 1 } else { config.width };
+    let width = if *nodes >= config.node_budget {
+        1
+    } else {
+        config.width
+    };
     for _ in 0..width {
         *nodes += 1;
         let round = random_matching(topo, config, rng, &holds, &needs);
@@ -284,15 +294,7 @@ fn emit_gather(
                 let deps: Vec<TransferId> = provider[l.src().index() * num_chunks + chunk.index()]
                     .into_iter()
                     .collect();
-                let id = b.push_on_link(
-                    chunk,
-                    1,
-                    l.src(),
-                    l.dst(),
-                    TransferKind::Copy,
-                    link,
-                    deps,
-                );
+                let id = b.push_on_link(chunk, 1, l.src(), l.dst(), TransferKind::Copy, link, deps);
                 provider[l.dst().index() * num_chunks + chunk.index()] = Some(id);
             }
         }
@@ -312,15 +314,8 @@ fn emit_gather(
                 // in the original topology, which is link `link` of the
                 // original (Topology::reversed preserves link order).
                 let deps = into[l.dst().index() * num_chunks + chunk.index()].clone();
-                let id = b.push_on_link(
-                    chunk,
-                    1,
-                    l.dst(),
-                    l.src(),
-                    TransferKind::Reduce,
-                    link,
-                    deps,
-                );
+                let id =
+                    b.push_on_link(chunk, 1, l.dst(), l.src(), TransferKind::Reduce, link, deps);
                 into[l.src().index() * num_chunks + chunk.index()].push(id);
             }
         }
@@ -413,8 +408,9 @@ mod tests {
         let coll = Collective::all_gather(9, ByteSize::mb(9)).unwrap();
         let result = taccl_like(&topo, &coll, &TacclConfig::default()).unwrap();
         // Replay: every NPU ends with all 9 chunks.
-        let mut holds: Vec<std::collections::HashSet<u32>> =
-            (0..9).map(|i| std::collections::HashSet::from([i as u32])).collect();
+        let mut holds: Vec<std::collections::HashSet<u32>> = (0..9)
+            .map(|i| std::collections::HashSet::from([i as u32]))
+            .collect();
         for t in result.algorithm.transfers() {
             holds[t.dst().index()].insert(t.chunk().raw());
         }

@@ -15,13 +15,17 @@ fn bench_bitset(c: &mut Criterion) {
         for i in (0..bits).step_by(11) {
             needs.insert(ChunkId::new(i as u32));
         }
-        group.bench_with_input(BenchmarkId::new("pick_intersection", bits), &bits, |b, _| {
-            let mut start = 0usize;
-            b.iter(|| {
-                start = start.wrapping_add(13);
-                holds.pick_intersection(&needs, start)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("pick_intersection", bits),
+            &bits,
+            |b, _| {
+                let mut start = 0usize;
+                b.iter(|| {
+                    start = start.wrapping_add(13);
+                    holds.pick_intersection(&needs, start)
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -18,9 +18,8 @@ fn bench_matching(c: &mut Criterion) {
             BenchmarkId::new("single_round_fully_connected", n),
             &n,
             |b, _| {
-                let synth = Synthesizer::new(
-                    SynthesizerConfig::default().with_record_transfers(false),
-                );
+                let synth =
+                    Synthesizer::new(SynthesizerConfig::default().with_record_transfers(false));
                 b.iter(|| synth.synthesize(&topo, &coll).unwrap().num_transfers())
             },
         );

@@ -15,9 +15,7 @@ fn bench_synthesis(c: &mut Criterion) {
         let n = topo.num_npus();
         let coll = Collective::all_gather(n, ByteSize::mb(n as u64)).unwrap();
         group.bench_with_input(BenchmarkId::new("mesh2d_all_gather", n), &n, |b, _| {
-            let synth = Synthesizer::new(
-                SynthesizerConfig::default().with_record_transfers(false),
-            );
+            let synth = Synthesizer::new(SynthesizerConfig::default().with_record_transfers(false));
             b.iter(|| synth.synthesize(&topo, &coll).unwrap().collective_time())
         });
     }
@@ -26,9 +24,7 @@ fn bench_synthesis(c: &mut Criterion) {
         let n = topo.num_npus();
         let coll = Collective::all_gather(n, ByteSize::mb(n as u64)).unwrap();
         group.bench_with_input(BenchmarkId::new("hypercube3d_all_gather", n), &n, |b, _| {
-            let synth = Synthesizer::new(
-                SynthesizerConfig::default().with_record_transfers(false),
-            );
+            let synth = Synthesizer::new(SynthesizerConfig::default().with_record_transfers(false));
             b.iter(|| synth.synthesize(&topo, &coll).unwrap().collective_time())
         });
     }

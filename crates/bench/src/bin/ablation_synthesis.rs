@@ -29,7 +29,12 @@ fn main() {
     ]];
 
     println!("=== Ablation 1: low-cost link prioritization (§IV-F) ===\n");
-    let mut table = Table::new(vec!["topology", "prefer-cheap ON", "prefer-cheap OFF", "gain"]);
+    let mut table = Table::new(vec![
+        "topology",
+        "prefer-cheap ON",
+        "prefer-cheap OFF",
+        "gain",
+    ]);
     let hetero: Vec<Topology> = vec![
         Topology::rfs_3d(2, 4, 4, alpha, [200.0, 100.0, 50.0]).unwrap(),
         Topology::dragonfly(
@@ -42,7 +47,9 @@ fn main() {
     ];
     for topo in &hetero {
         let coll = Collective::all_reduce(topo.num_npus(), ByteSize::mb(512)).unwrap();
-        let base = SynthesizerConfig::default().with_attempts(8).with_record_transfers(false);
+        let base = SynthesizerConfig::default()
+            .with_attempts(8)
+            .with_record_transfers(false);
         let on = bw_with(topo, &coll, base.clone().with_prefer_cheap_links(true));
         let off = bw_with(topo, &coll, base.clone().with_prefer_cheap_links(false));
         table.row(vec![
@@ -51,8 +58,18 @@ fn main() {
             fmt_f64(off),
             format!("{:.2}x", on / off),
         ]);
-        csv.push(vec!["prefer_cheap".into(), "on".into(), topo.name().into(), format!("{on}")]);
-        csv.push(vec!["prefer_cheap".into(), "off".into(), topo.name().into(), format!("{off}")]);
+        csv.push(vec![
+            "prefer_cheap".into(),
+            "on".into(),
+            topo.name().into(),
+            format!("{on}"),
+        ]);
+        csv.push(vec![
+            "prefer_cheap".into(),
+            "off".into(),
+            topo.name().into(),
+            format!("{off}"),
+        ]);
     }
     print!("{table}");
 
@@ -64,7 +81,9 @@ fn main() {
         let bw = bw_with(
             &mesh,
             &coll,
-            SynthesizerConfig::default().with_attempts(attempts).with_record_transfers(false),
+            SynthesizerConfig::default()
+                .with_attempts(attempts)
+                .with_record_transfers(false),
         );
         table.row(vec![attempts.to_string(), fmt_f64(bw)]);
         csv.push(vec![
@@ -89,17 +108,15 @@ fn main() {
     ] {
         let mut row = vec![topo.name().to_string(), format!("{size}")];
         for k in [1usize, 4, 16] {
-            let coll = Collective::with_chunking(
-                CollectivePattern::AllReduce,
-                topo.num_npus(),
-                k,
-                size,
-            )
-            .unwrap();
+            let coll =
+                Collective::with_chunking(CollectivePattern::AllReduce, topo.num_npus(), k, size)
+                    .unwrap();
             let bw = bw_with(
                 topo,
                 &coll,
-                SynthesizerConfig::default().with_attempts(4).with_record_transfers(false),
+                SynthesizerConfig::default()
+                    .with_attempts(4)
+                    .with_record_transfers(false),
             );
             row.push(fmt_f64(bw));
             csv.push(vec![

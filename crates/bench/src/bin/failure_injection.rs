@@ -5,9 +5,7 @@
 //! further: a synthesizer adapts to faults for free.
 
 use tacos_baselines::BaselineKind;
-use tacos_bench::experiments::{
-    default_spec, gbps, run_baseline, write_results_csv,
-};
+use tacos_bench::experiments::{default_spec, gbps, run_baseline, write_results_csv};
 use tacos_collective::Collective;
 use tacos_core::{Synthesizer, SynthesizerConfig};
 use tacos_report::{fmt_f64, Table};
@@ -19,7 +17,10 @@ fn main() {
     let coll = Collective::all_reduce(16, size).unwrap();
 
     let mut table = Table::new(vec![
-        "failed links", "ring (GB/s)", "tacos resynth (GB/s)", "tacos/ring",
+        "failed links",
+        "ring (GB/s)",
+        "tacos resynth (GB/s)",
+        "tacos/ring",
     ]);
     let mut csv = vec![vec![
         "failed_links".to_string(),
@@ -47,8 +48,16 @@ fn main() {
             fmt_f64(tacos_bw),
             format!("{:.2}x", tacos_bw / ring.bandwidth_gbps),
         ]);
-        csv.push(vec![failures.to_string(), "ring".into(), format!("{}", ring.bandwidth_gbps)]);
-        csv.push(vec![failures.to_string(), "tacos".into(), format!("{tacos_bw}")]);
+        csv.push(vec![
+            failures.to_string(),
+            "ring".into(),
+            format!("{}", ring.bandwidth_gbps),
+        ]);
+        csv.push(vec![
+            failures.to_string(),
+            "tacos".into(),
+            format!("{tacos_bw}"),
+        ]);
     }
     println!("=== Failure injection on Torus2D(4x4), 256 MB All-Reduce ===\n");
     print!("{table}");

@@ -7,9 +7,7 @@
 //! (oversubscription) and blanks/zeros (undersubscription).
 
 use tacos_baselines::BaselineKind;
-use tacos_bench::experiments::{
-    default_spec, run_baseline, run_tacos, write_results_csv,
-};
+use tacos_bench::experiments::{default_spec, run_baseline, run_tacos, write_results_csv};
 use tacos_collective::Collective;
 use tacos_report::heatmap;
 use tacos_topology::{ByteSize, RingOrientation, Topology};

@@ -25,8 +25,17 @@ fn main() {
 
     println!("=== Fig. 2(a): All-Reduce bandwidth by topology (64 NPUs, 1 GB) ===\n");
     let mut table = Table::new(vec![
-        "topology", "RI (GB/s)", "DI (GB/s)", "RHD (GB/s)", "DBT (GB/s)", "TACOS (GB/s)",
-        "norm RI", "norm DI", "norm RHD", "norm DBT", "norm TACOS",
+        "topology",
+        "RI (GB/s)",
+        "DI (GB/s)",
+        "RHD (GB/s)",
+        "DBT (GB/s)",
+        "TACOS (GB/s)",
+        "norm RI",
+        "norm DI",
+        "norm RHD",
+        "norm DBT",
+        "norm TACOS",
     ]);
     let mut csv = vec![vec![
         "topology".to_string(),

@@ -22,8 +22,15 @@ fn main() {
     ];
     println!("=== Fig. 2(b): AR bandwidth vs collective size (128-NPU Ring) ===\n");
     let mut table = Table::new(vec![
-        "size", "RI (GB/s)", "DI (GB/s)", "RHD (GB/s)", "DBT (GB/s)",
-        "norm RI", "norm DI", "norm RHD", "norm DBT",
+        "size",
+        "RI (GB/s)",
+        "DI (GB/s)",
+        "RHD (GB/s)",
+        "DBT (GB/s)",
+        "norm RI",
+        "norm DI",
+        "norm RHD",
+        "norm DBT",
     ]);
     let mut csv = vec![vec![
         "size".to_string(),

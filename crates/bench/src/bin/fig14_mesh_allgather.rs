@@ -25,11 +25,15 @@ fn main() {
         result.rounds(),
         result.collective_time()
     );
-    algo.validate_contention_free().expect("contention-free by construction");
+    algo.validate_contention_free()
+        .expect("contention-free by construction");
 
     let ten = TimeExpandedNetwork::represent(&topo, algo).unwrap();
     for step in 0..ten.steps() {
-        println!("\n  time span t={step} (utilization {:.0}%):", ten.step_utilization(step) * 100.0);
+        println!(
+            "\n  time span t={step} (utilization {:.0}%):",
+            ten.step_utilization(step) * 100.0
+        );
         for l in 0..topo.num_links() {
             if let Some(chunk) = ten.occupant(step, LinkId::new(l as u32)) {
                 let (src, dst) = ten.endpoints(LinkId::new(l as u32));

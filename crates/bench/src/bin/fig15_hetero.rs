@@ -33,7 +33,12 @@ fn main() {
 
     println!("=== Fig. 15: heterogeneous-topology All-Reduce (1 GB) ===\n");
     let mut table = Table::new(vec![
-        "topology", "algorithm", "time", "bw (GB/s)", "vs ideal", "avg util",
+        "topology",
+        "algorithm",
+        "time",
+        "bw (GB/s)",
+        "vs ideal",
+        "avg util",
     ]);
     let mut csv = vec![vec![
         "topology".to_string(),
@@ -58,7 +63,10 @@ fn main() {
             run_baseline(
                 topo,
                 &coll,
-                BaselineKind::TacclLike(TacclConfig { node_budget: 5_000, ..Default::default() }),
+                BaselineKind::TacclLike(TacclConfig {
+                    node_budget: 5_000,
+                    ..Default::default()
+                }),
             ),
             run_tacos(topo, &chunked, 8, 42),
             ideal,

@@ -9,9 +9,7 @@
 //! around the missing wraparound links, while TACOS stays ~98%.
 
 use tacos_baselines::BaselineKind;
-use tacos_bench::experiments::{
-    run_baseline, run_ideal, run_tacos, spec, write_results_csv,
-};
+use tacos_bench::experiments::{run_baseline, run_ideal, run_tacos, spec, write_results_csv};
 use tacos_collective::Collective;
 use tacos_report::{fmt_f64, sparkline, Table};
 use tacos_topology::{ByteSize, Topology};
@@ -29,7 +27,13 @@ fn main() {
 
     println!("=== Fig. 16(a): AR bandwidth vs BlueConnect/Themis (64 NPUs) ===\n");
     let mut table = Table::new(vec![
-        "topology", "size", "BC-4 (GB/s)", "Themis-4", "Themis-64", "TACOS-4", "Ideal",
+        "topology",
+        "size",
+        "BC-4 (GB/s)",
+        "Themis-4",
+        "Themis-64",
+        "TACOS-4",
+        "Ideal",
     ]);
     let mut csv = vec![vec![
         "topology".into(),

@@ -8,9 +8,7 @@
 //! ideal on the torus and ~83% on the mesh).
 
 use tacos_baselines::BaselineKind;
-use tacos_bench::experiments::{
-    run_baseline, run_ideal, run_tacos, spec, write_results_csv,
-};
+use tacos_bench::experiments::{run_baseline, run_ideal, run_tacos, spec, write_results_csv};
 use tacos_collective::Collective;
 use tacos_report::{fmt_f64, Table};
 use tacos_topology::{ByteSize, Topology};
@@ -26,7 +24,12 @@ fn main() {
     ];
     println!("=== Fig. 17(a): TACOS vs MultiTree (16 NPUs) ===\n");
     let mut table = Table::new(vec![
-        "topology", "size", "MultiTree (GB/s)", "Themis-4", "TACOS-4", "Ideal",
+        "topology",
+        "size",
+        "MultiTree (GB/s)",
+        "Themis-4",
+        "TACOS-4",
+        "Ideal",
     ]);
     let mut csv = vec![vec![
         "topology".to_string(),

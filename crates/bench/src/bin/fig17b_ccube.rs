@@ -9,9 +9,7 @@
 //! 2.86× over C-Cube).
 
 use tacos_baselines::BaselineKind;
-use tacos_bench::experiments::{
-    run_baseline, run_ideal, run_tacos, spec, write_results_csv,
-};
+use tacos_bench::experiments::{run_baseline, run_ideal, run_tacos, spec, write_results_csv};
 use tacos_collective::Collective;
 use tacos_report::{fmt_f64, Table};
 use tacos_topology::{ByteSize, Topology};
@@ -25,7 +23,12 @@ fn main() {
     ];
     println!("=== Fig. 17(b): TACOS vs C-Cube on DGX-1 ===\n");
     let mut table = Table::new(vec![
-        "size", "C-Cube (GB/s)", "Ring", "TACOS-4", "Ideal", "C-Cube idle links",
+        "size",
+        "C-Cube (GB/s)",
+        "Ring",
+        "TACOS-4",
+        "Ideal",
+        "C-Cube idle links",
     ]);
     let mut csv = vec![vec![
         "size".to_string(),

@@ -18,7 +18,9 @@ use tacos_topology::{ByteSize, Topology};
 
 fn synth_seconds(topo: &Topology) -> f64 {
     let coll = Collective::all_gather(topo.num_npus(), ByteSize::mb(1024)).unwrap();
-    let config = SynthesizerConfig::default().with_record_transfers(false).with_seed(1);
+    let config = SynthesizerConfig::default()
+        .with_record_transfers(false)
+        .with_seed(1);
     let started = Instant::now();
     Synthesizer::new(config).synthesize(topo, &coll).unwrap();
     started.elapsed().as_secs_f64()
@@ -31,7 +33,11 @@ fn main() {
     } else {
         &[4, 8, 12, 16, 24, 32]
     };
-    let cube_sides: &[usize] = if large { &[2, 3, 4, 6, 8, 10, 13, 16] } else { &[2, 3, 4, 6, 8, 10] };
+    let cube_sides: &[usize] = if large {
+        &[2, 3, 4, 6, 8, 10, 13, 16]
+    } else {
+        &[2, 3, 4, 6, 8, 10]
+    };
 
     println!("=== Fig. 19: synthesis-time scaling ===\n");
     let mut csv = vec![vec![
@@ -51,7 +57,11 @@ fn main() {
             };
             let n = topo.num_npus();
             let secs = synth_seconds(&topo);
-            table.row(vec![topo.name().into(), n.to_string(), format!("{secs:.4}")]);
+            table.row(vec![
+                topo.name().into(),
+                n.to_string(),
+                format!("{secs:.4}"),
+            ]);
             csv.push(vec![family.into(), n.to_string(), format!("{secs}")]);
             ns.push(n as f64);
             ts.push(secs);
@@ -90,7 +100,11 @@ fn main() {
             format!("{taccl_ms:.3}"),
             format!("{:.0}x", taccl_ms / tacos_ms.max(1e-6)),
         ]);
-        csv.push(vec!["taccl-gap".into(), n.to_string(), format!("{taccl_ms}")]);
+        csv.push(vec![
+            "taccl-gap".into(),
+            n.to_string(),
+            format!("{taccl_ms}"),
+        ]);
     }
     print!("{table}");
     write_results_csv("fig19_scalability.csv", &csv);

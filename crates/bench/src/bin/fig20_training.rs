@@ -39,7 +39,13 @@ fn main() {
 
     println!("=== Fig. 20: end-to-end training time (normalized over TACOS) ===\n");
     let mut table = Table::new(vec![
-        "workload", "topology", "mechanism", "compute", "exposed comm", "total", "norm total",
+        "workload",
+        "topology",
+        "mechanism",
+        "compute",
+        "exposed comm",
+        "total",
+        "norm total",
     ]);
     let mut csv = vec![vec![
         "workload".to_string(),

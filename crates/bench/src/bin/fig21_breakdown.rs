@@ -32,7 +32,13 @@ fn main() {
         topo.name()
     );
     let mut table = Table::new(vec![
-        "workload", "mechanism", "fwd", "bwd", "IG comm", "WG comm", "norm total",
+        "workload",
+        "mechanism",
+        "fwd",
+        "bwd",
+        "IG comm",
+        "WG comm",
+        "norm total",
     ]);
     let mut csv = vec![vec![
         "workload".to_string(),

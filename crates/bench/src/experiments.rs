@@ -69,7 +69,9 @@ pub fn run_tacos(
     attempts: usize,
     seed: u64,
 ) -> Measurement {
-    let config = SynthesizerConfig::default().with_seed(seed).with_attempts(attempts.max(1));
+    let config = SynthesizerConfig::default()
+        .with_seed(seed)
+        .with_attempts(attempts.max(1));
     let started = std::time::Instant::now();
     let result = Synthesizer::new(config)
         .synthesize(topo, collective)

@@ -3,6 +3,16 @@
 //! Experiment harness regenerating every table and figure of the TACOS
 //! paper's evaluation (see DESIGN.md §5 for the full index). Each
 //! experiment is a binary under `src/bin/`; shared setup lives here.
+//!
+//! **Deprecation path:** new sweeps should be written as declarative
+//! scenario files (see `tacos-scenario` and the `scenarios/` directory)
+//! and run with `tacos scenario run`, not as new binaries here. Three
+//! binaries are already ported as parity references —
+//! `fig02b_size_sweep` → `scenarios/size_sweep.toml`,
+//! `fig14_mesh_allgather` → `scenarios/mesh_allgather.toml`,
+//! `fig19_scalability` → `scenarios/scalability.toml` — and the
+//! remaining ones will migrate as scenario-engine coverage grows
+//! (see ROADMAP.md).
 
 #![warn(missing_docs)]
 

@@ -1,22 +1,56 @@
 //! `tacos` — command-line topology-aware collective algorithm synthesizer.
 //!
 //! Mirrors the paper's artifact: feed it a topology and a collective,
-//! get back a synthesized algorithm and its predicted performance.
+//! get back a synthesized algorithm and its predicted performance. Whole
+//! evaluation campaigns run from declarative scenario files instead of
+//! flags:
 //!
 //! ```text
 //! tacos --topology mesh:3x3 --collective all-reduce --size 64MB
 //! tacos --topology dragonfly:5x4 --collective all-gather --size 1GB \
 //!       --algo ring --simulate --json
+//! tacos scenario expand scenarios/size_sweep.toml
+//! tacos scenario run scenarios/size_sweep.toml
 //! ```
 
 use std::process::ExitCode;
 
-use tacos_baselines::{BaselineAlgorithm, BaselineKind, IdealBound, TacclConfig};
-use tacos_collective::{Collective, CollectivePattern};
+use tacos_baselines::{BaselineAlgorithm, IdealBound};
+use tacos_collective::Collective;
 use tacos_core::{Synthesizer, SynthesizerConfig};
 use tacos_report::{fmt_f64, Json, Table};
+use tacos_scenario::{parse_baseline, parse_pattern, parse_size, parse_topology};
 use tacos_sim::Simulator;
-use tacos_topology::{Bandwidth, ByteSize, LinkSpec, RingOrientation, Time, Topology};
+use tacos_topology::{Bandwidth, LinkSpec, Time};
+
+/// How a failure should be presented: usage mistakes get the USAGE block
+/// appended; runtime failures (a bad scenario file, failed points) print
+/// only their message so it isn't buried under 35 lines of flag help.
+#[derive(Debug, PartialEq)]
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+impl CliError {
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Runtime(m) => m,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.message())
+    }
+}
+
+impl From<String> for CliError {
+    fn from(m: String) -> Self {
+        CliError::Usage(m)
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,8 +58,10 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!();
-            eprintln!("{USAGE}");
+            if matches!(e, CliError::Usage(_)) {
+                eprintln!();
+                eprintln!("{USAGE}");
+            }
             ExitCode::FAILURE
         }
     }
@@ -33,6 +69,10 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "\
 usage: tacos [options]
+       tacos scenario run <file.toml> [scenario options]
+       tacos scenario expand <file.toml>
+
+single-point options:
   --topology SPEC    ring:N | fc:N | mesh:RxC | torus:XxY[xZ] | hypercube:XxYxZ |
                      switch:N[:dD] | rfs:RxFxS | dragonfly:GxP | dgx1
   --collective P     all-gather | reduce-scatter | all-reduce (default) |
@@ -48,9 +88,188 @@ usage: tacos [options]
   --simulate         additionally run the congestion-aware simulator
   --json             machine-readable output
   --export-json F    write the full algorithm (transfers) as JSON to file F
-  --export-xml F     write the algorithm as MSCCL-style XML to file F";
+  --export-xml F     write the algorithm as MSCCL-style XML to file F
 
-fn run(args: &[String]) -> Result<(), String> {
+scenario options (override the file's [run] table):
+  --threads N        worker threads (0 = all cores)
+  --cache DIR        algorithm cache directory
+  --no-cache         disable the algorithm cache
+  --output STEM      write STEM.csv / STEM.json result artifacts
+  --quiet            suppress per-point progress on stderr";
+
+fn run(args: &[String]) -> Result<(), CliError> {
+    if args.first().map(String::as_str) == Some("scenario") {
+        return scenario_command(&args[1..]);
+    }
+    // Legacy single-point mode: most failures are flag mistakes, so they
+    // keep the usage text.
+    run_single_point(args).map_err(CliError::Usage)
+}
+
+/// `tacos scenario run|expand <file.toml> [options]`.
+fn scenario_command(args: &[String]) -> Result<(), CliError> {
+    let action = args
+        .first()
+        .ok_or_else(|| CliError::Usage("scenario needs a subcommand: run | expand".into()))?;
+    let file = args
+        .get(1)
+        .ok_or_else(|| CliError::Usage(format!("scenario {action} needs a <file.toml>")))?;
+    if !matches!(action.as_str(), "run" | "expand") {
+        return Err(CliError::Usage(format!(
+            "unknown scenario subcommand '{action}' (expected run | expand)"
+        )));
+    }
+    let mut spec = tacos_scenario::ScenarioSpec::from_file(file)
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+
+    let mut it = args.iter().skip(2);
+    let mut run_only_flags: Vec<&str> = Vec::new();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        run_only_flags.push(match arg.as_str() {
+            "--threads" => {
+                spec.run.threads = take("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+                "--threads"
+            }
+            "--cache" => {
+                spec.run.cache = Some(take("--cache")?);
+                "--cache"
+            }
+            "--no-cache" => {
+                spec.run.cache = None;
+                "--no-cache"
+            }
+            "--output" => {
+                spec.output = Some(take("--output")?);
+                "--output"
+            }
+            "--quiet" => {
+                spec.run.quiet = true;
+                "--quiet"
+            }
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown scenario argument '{other}'"
+                )))
+            }
+        });
+    }
+    if action == "expand" {
+        if let Some(flag) = run_only_flags.first() {
+            return Err(CliError::Usage(format!(
+                "{flag} only applies to 'scenario run'; 'scenario expand' is a dry run"
+            )));
+        }
+    }
+
+    match action.as_str() {
+        "expand" => {
+            let points =
+                tacos_scenario::expand(&spec).map_err(|e| CliError::Runtime(e.to_string()))?;
+            println!("scenario : {} ({} points)", spec.name, points.len());
+            if !spec.description.is_empty() {
+                println!("about    : {}", spec.description);
+            }
+            let mut t = Table::new(vec![
+                "#",
+                "topology",
+                "link",
+                "collective",
+                "size",
+                "chunks",
+                "algo",
+                "seed",
+                "attempts",
+            ]);
+            for p in &points {
+                t.row(vec![
+                    p.index.to_string(),
+                    p.topology.clone(),
+                    p.link.to_string(),
+                    p.collective.clone(),
+                    p.size_label.clone(),
+                    p.chunks.to_string(),
+                    p.algo.clone(),
+                    p.seed.to_string(),
+                    p.attempts.to_string(),
+                ]);
+            }
+            print!("{t}");
+            Ok(())
+        }
+        "run" => {
+            let summary =
+                tacos_scenario::run(&spec).map_err(|e| CliError::Runtime(e.to_string()))?;
+            let mut t = Table::new(vec![
+                "#",
+                "point",
+                "npus",
+                "time",
+                "GB/s",
+                "eff",
+                "transfers",
+                "cache",
+            ]);
+            for r in &summary.records {
+                match &r.result {
+                    Ok(m) => t.row(vec![
+                        r.point.index.to_string(),
+                        r.point.label(),
+                        m.num_npus.to_string(),
+                        format!("{}", m.collective_time),
+                        fmt_f64(m.bandwidth_gbps),
+                        format!("{:.1}%", m.efficiency * 100.0),
+                        m.transfers.to_string(),
+                        match m.cache {
+                            Some(tacos_core::CacheOutcome::Hit) => "hit".into(),
+                            Some(tacos_core::CacheOutcome::Miss) => "miss".into(),
+                            None => "off".into(),
+                        },
+                    ]),
+                    Err(e) => t.row(vec![
+                        r.point.index.to_string(),
+                        r.point.label(),
+                        "-".into(),
+                        format!("FAILED: {e}"),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                    ]),
+                };
+            }
+            print!("{t}");
+            println!(
+                "{} points: {} generated, {} cache hits, {} failed in {:.2}s",
+                summary.records.len(),
+                summary.generated,
+                summary.cache_hits,
+                summary.failed,
+                summary.elapsed.as_secs_f64()
+            );
+            if let Some(stem) = &spec.output {
+                eprintln!("(results written to {stem}.csv and {stem}.json)");
+            }
+            if summary.failed > 0 {
+                return Err(CliError::Runtime(format!(
+                    "{} of {} points failed",
+                    summary.failed,
+                    summary.records.len()
+                )));
+            }
+            Ok(())
+        }
+        _ => unreachable!("subcommand validated above"),
+    }
+}
+
+fn run_single_point(args: &[String]) -> Result<(), String> {
     let mut topology_spec = String::from("mesh:3x3");
     let mut pattern = String::from("all-reduce");
     let mut size = String::from("64MB");
@@ -78,16 +297,29 @@ fn run(args: &[String]) -> Result<(), String> {
             "--size" => size = take("--size")?,
             "--algo" => algo = take("--algo")?,
             "--alpha" => {
-                alpha_us = take("--alpha")?.parse().map_err(|e| format!("bad --alpha: {e}"))?
+                alpha_us = take("--alpha")?
+                    .parse()
+                    .map_err(|e| format!("bad --alpha: {e}"))?
             }
-            "--bw" => bw_gbps = take("--bw")?.parse().map_err(|e| format!("bad --bw: {e}"))?,
-            "--seed" => seed = take("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+            "--bw" => {
+                bw_gbps = take("--bw")?
+                    .parse()
+                    .map_err(|e| format!("bad --bw: {e}"))?
+            }
+            "--seed" => {
+                seed = take("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
             "--attempts" => {
-                attempts =
-                    take("--attempts")?.parse().map_err(|e| format!("bad --attempts: {e}"))?
+                attempts = take("--attempts")?
+                    .parse()
+                    .map_err(|e| format!("bad --attempts: {e}"))?
             }
             "--chunks" => {
-                chunks = take("--chunks")?.parse().map_err(|e| format!("bad --chunks: {e}"))?
+                chunks = take("--chunks")?
+                    .parse()
+                    .map_err(|e| format!("bad --chunks: {e}"))?
             }
             "--simulate" => simulate = true,
             "--json" => json = true,
@@ -129,7 +361,11 @@ fn run(args: &[String]) -> Result<(), String> {
     let synth_time = started.elapsed();
 
     let sim_report = if simulate || algorithm.planned_time().is_none() {
-        Some(Simulator::new().simulate(&topo, &algorithm).map_err(|e| e.to_string())?)
+        Some(
+            Simulator::new()
+                .simulate(&topo, &algorithm)
+                .map_err(|e| e.to_string())?,
+        )
     } else {
         None
     };
@@ -169,16 +405,26 @@ fn run(args: &[String]) -> Result<(), String> {
             ("efficiency_vs_ideal", efficiency.into()),
             ("synthesis_seconds", synth_time.as_secs_f64().into()),
         ]);
-        println!("{}", out.to_string());
+        println!("{out}");
     } else {
         println!("topology   : {topo}");
         println!("collective : {pattern} of {size} ({chunks} chunk(s)/NPU)");
-        println!("algorithm  : {} ({} transfers)", algorithm.name(), algorithm.len());
+        println!(
+            "algorithm  : {} ({} transfers)",
+            algorithm.name(),
+            algorithm.len()
+        );
         println!("synthesis  : {:.3}s", synth_time.as_secs_f64());
         let mut t = Table::new(vec!["metric", "value"]);
         t.row(vec!["collective time".into(), format!("{collective_time}")]);
-        t.row(vec!["bandwidth".into(), format!("{} GB/s", fmt_f64(bandwidth_gbps))]);
-        t.row(vec!["efficiency vs ideal".into(), format!("{:.1}%", efficiency * 100.0)]);
+        t.row(vec![
+            "bandwidth".into(),
+            format!("{} GB/s", fmt_f64(bandwidth_gbps)),
+        ]);
+        t.row(vec![
+            "efficiency vs ideal".into(),
+            format!("{:.1}%", efficiency * 100.0),
+        ]);
         if let Some(r) = &sim_report {
             t.row(vec![
                 "avg link utilization".into(),
@@ -191,156 +437,12 @@ fn run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn parse_topology(spec: &str, link: LinkSpec) -> Result<Topology, String> {
-    let (kind, rest) = spec.split_once(':').unwrap_or((spec, ""));
-    let dims = |s: &str| -> Result<Vec<usize>, String> {
-        s.split('x')
-            .map(|d| d.parse::<usize>().map_err(|e| format!("bad dimension '{d}': {e}")))
-            .collect()
-    };
-    let topo = match kind {
-        "ring" => Topology::ring(
-            rest.parse().map_err(|e| format!("bad ring size: {e}"))?,
-            link,
-            RingOrientation::Bidirectional,
-        ),
-        "ring-uni" => Topology::ring(
-            rest.parse().map_err(|e| format!("bad ring size: {e}"))?,
-            link,
-            RingOrientation::Unidirectional,
-        ),
-        "fc" => Topology::fully_connected(
-            rest.parse().map_err(|e| format!("bad fc size: {e}"))?,
-            link,
-        ),
-        "mesh" => {
-            let d = dims(rest)?;
-            if d.len() != 2 {
-                return Err("mesh needs RxC".into());
-            }
-            Topology::mesh_2d(d[0], d[1], link)
-        }
-        "torus" => {
-            let d = dims(rest)?;
-            match d.len() {
-                2 => Topology::torus_2d(d[0], d[1], link),
-                3 => Topology::torus_3d(d[0], d[1], d[2], link),
-                _ => return Err("torus needs XxY or XxYxZ".into()),
-            }
-        }
-        "hypercube" => {
-            let d = dims(rest)?;
-            if d.len() != 3 {
-                return Err("hypercube needs XxYxZ".into());
-            }
-            Topology::hypercube_3d(d[0], d[1], d[2], link)
-        }
-        "switch" => {
-            let (n, degree) = match rest.split_once(":d") {
-                Some((n, d)) => (
-                    n.parse().map_err(|e| format!("bad switch size: {e}"))?,
-                    d.parse().map_err(|e| format!("bad degree: {e}"))?,
-                ),
-                None => (rest.parse().map_err(|e| format!("bad switch size: {e}"))?, 1),
-            };
-            Topology::switch(n, link, degree)
-        }
-        "rfs" => {
-            let d = dims(rest)?;
-            if d.len() != 3 {
-                return Err("rfs needs RxFxS".into());
-            }
-            Topology::rfs_3d(
-                d[0],
-                d[1],
-                d[2],
-                link.alpha(),
-                [
-                    link.bandwidth().as_gbps() * 4.0,
-                    link.bandwidth().as_gbps() * 2.0,
-                    link.bandwidth().as_gbps(),
-                ],
-            )
-        }
-        "dragonfly" => {
-            let d = dims(rest)?;
-            if d.len() != 2 {
-                return Err("dragonfly needs GROUPSxPER_GROUP".into());
-            }
-            let global = LinkSpec::new(
-                link.alpha(),
-                Bandwidth::gbps(link.bandwidth().as_gbps() / 2.0),
-            );
-            Topology::dragonfly(d[0], d[1], link, global)
-        }
-        "dgx1" => Topology::dgx1(link),
-        other => return Err(format!("unknown topology kind '{other}'")),
-    };
-    topo.map_err(|e| e.to_string())
-}
-
-fn parse_pattern(s: &str, num_npus: usize) -> Result<CollectivePattern, String> {
-    let (name, root) = match s.split_once(':') {
-        Some((name, root)) => {
-            let root: usize = root.parse().map_err(|e| format!("bad root '{root}': {e}"))?;
-            if root >= num_npus {
-                return Err(format!("root {root} out of range for {num_npus} NPUs"));
-            }
-            (name, tacos_topology::NpuId::new(root as u32))
-        }
-        None => (s, tacos_topology::NpuId::new(0)),
-    };
-    match name {
-        "all-gather" | "allgather" | "ag" => Ok(CollectivePattern::AllGather),
-        "reduce-scatter" | "reducescatter" | "rs" => Ok(CollectivePattern::ReduceScatter),
-        "all-reduce" | "allreduce" | "ar" => Ok(CollectivePattern::AllReduce),
-        "all-to-all" | "alltoall" | "a2a" => Ok(CollectivePattern::AllToAll),
-        "broadcast" | "bcast" => Ok(CollectivePattern::Broadcast { root }),
-        "reduce" => Ok(CollectivePattern::Reduce { root }),
-        "gather" => Ok(CollectivePattern::Gather { root }),
-        "scatter" => Ok(CollectivePattern::Scatter { root }),
-        other => Err(format!("unknown collective '{other}'")),
-    }
-}
-
-fn parse_baseline(s: &str, seed: u64) -> Result<BaselineKind, String> {
-    match s {
-        "ring" => Ok(BaselineKind::Ring),
-        "ring-uni" => Ok(BaselineKind::RingUnidirectional),
-        "direct" => Ok(BaselineKind::Direct),
-        "rhd" => Ok(BaselineKind::Rhd),
-        "dbt" => Ok(BaselineKind::Dbt { pipeline: 4 }),
-        "blueconnect" => Ok(BaselineKind::BlueConnect { chunks: 4 }),
-        "themis" => Ok(BaselineKind::Themis { chunks: 4 }),
-        "multitree" => Ok(BaselineKind::MultiTree),
-        "ccube" => Ok(BaselineKind::CCube { pipeline: 4 }),
-        "taccl" => Ok(BaselineKind::TacclLike(TacclConfig { seed, ..TacclConfig::default() })),
-        other => Err(format!("unknown algorithm '{other}'")),
-    }
-}
-
-fn parse_size(s: &str) -> Result<ByteSize, String> {
-    let s = s.trim();
-    let (num, unit) = s
-        .find(|c: char| c.is_ascii_alphabetic())
-        .map(|i| s.split_at(i))
-        .unwrap_or((s, "B"));
-    let value: u64 = num.parse().map_err(|e| format!("bad size '{s}': {e}"))?;
-    match unit.to_ascii_uppercase().as_str() {
-        "B" | "" => Ok(ByteSize::bytes(value)),
-        "KB" => Ok(ByteSize::kb(value)),
-        "MB" => Ok(ByteSize::mb(value)),
-        "GB" => Ok(ByteSize::gb(value)),
-        "KIB" => Ok(ByteSize::kib(value)),
-        "MIB" => Ok(ByteSize::mib(value)),
-        "GIB" => Ok(ByteSize::gib(value)),
-        other => Err(format!("unknown size unit '{other}'")),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tacos_baselines::BaselineKind;
+    use tacos_collective::CollectivePattern;
+    use tacos_topology::ByteSize;
 
     #[test]
     fn parse_sizes() {
@@ -361,7 +463,10 @@ mod tests {
         assert_eq!(parse_topology("fc:4", spec).unwrap().num_npus(), 4);
         assert_eq!(parse_topology("switch:4:d2", spec).unwrap().num_links(), 8);
         assert_eq!(parse_topology("rfs:2x4x8", spec).unwrap().num_npus(), 64);
-        assert_eq!(parse_topology("dragonfly:5x4", spec).unwrap().num_npus(), 20);
+        assert_eq!(
+            parse_topology("dragonfly:5x4", spec).unwrap().num_npus(),
+            20
+        );
         assert_eq!(parse_topology("dgx1", spec).unwrap().num_npus(), 8);
         assert!(parse_topology("blob:3", spec).is_err());
         assert!(parse_topology("mesh:3", spec).is_err());
@@ -369,25 +474,141 @@ mod tests {
 
     #[test]
     fn parse_patterns_and_baselines() {
-        assert_eq!(parse_pattern("ar", 4).unwrap(), CollectivePattern::AllReduce);
-        assert_eq!(parse_pattern("all-gather", 4).unwrap(), CollectivePattern::AllGather);
-        assert_eq!(parse_pattern("a2a", 4).unwrap(), CollectivePattern::AllToAll);
+        assert_eq!(
+            parse_pattern("ar", 4).unwrap(),
+            CollectivePattern::AllReduce
+        );
+        assert_eq!(
+            parse_pattern("all-gather", 4).unwrap(),
+            CollectivePattern::AllGather
+        );
+        assert_eq!(
+            parse_pattern("a2a", 4).unwrap(),
+            CollectivePattern::AllToAll
+        );
         assert_eq!(
             parse_pattern("gather:2", 4).unwrap(),
-            CollectivePattern::Gather { root: tacos_topology::NpuId::new(2) }
+            CollectivePattern::Gather {
+                root: tacos_topology::NpuId::new(2)
+            }
         );
         assert_eq!(
             parse_pattern("scatter", 4).unwrap(),
-            CollectivePattern::Scatter { root: tacos_topology::NpuId::new(0) }
+            CollectivePattern::Scatter {
+                root: tacos_topology::NpuId::new(0)
+            }
         );
         assert!(parse_pattern("gather:9", 4).is_err());
         assert!(parse_pattern("frobnicate", 4).is_err());
-        assert!(matches!(parse_baseline("ring", 0).unwrap(), BaselineKind::Ring));
+        assert!(matches!(
+            parse_baseline("ring", 0).unwrap(),
+            BaselineKind::Ring
+        ));
         assert!(matches!(
             parse_baseline("taccl", 9).unwrap(),
             BaselineKind::TacclLike(_)
         ));
         assert!(parse_baseline("magic", 0).is_err());
+    }
+
+    fn temp_file(tag: &str, contents: &str) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("tacos-cli-{tag}-{}.toml", std::process::id()));
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn scenario_expand_and_run_end_to_end() {
+        let path = temp_file(
+            "ok",
+            r#"
+[scenario]
+name = "cli-test"
+[sweep]
+topology = ["ring:4"]
+collective = ["all-gather"]
+size = ["4MB"]
+algo = ["ring"]
+[run]
+cache = false
+"#,
+        );
+        let p = path.to_str().unwrap().to_string();
+        run(&["scenario".into(), "expand".into(), p.clone()]).unwrap();
+        run(&["scenario".into(), "run".into(), p, "--quiet".into()]).unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn malformed_scenario_file_is_a_readable_error() {
+        // Syntax error: the message must carry a line number, not a panic.
+        let path = temp_file("bad", "[scenario]\nname = \"x\"\nbad = ");
+        let err = run(&[
+            "scenario".into(),
+            "run".into(),
+            path.to_str().unwrap().into(),
+        ])
+        .unwrap_err();
+        assert!(err.message().contains("line 3"), "got: {err}");
+        let _ = std::fs::remove_file(&path);
+
+        // Invalid spec: readable validation message.
+        let path = temp_file(
+            "inval",
+            "[scenario]\nname = \"x\"\n[sweep]\ntopology = [\"blob:3\"]",
+        );
+        let err = run(&[
+            "scenario".into(),
+            "run".into(),
+            path.to_str().unwrap().into(),
+        ])
+        .unwrap_err();
+        assert!(
+            err.message().contains("unknown topology kind"),
+            "got: {err}"
+        );
+        let _ = std::fs::remove_file(&path);
+
+        // Missing file: IO error with the path, still no panic.
+        let err = run(&[
+            "scenario".into(),
+            "run".into(),
+            "/nonexistent/scenario.toml".into(),
+        ])
+        .unwrap_err();
+        assert!(
+            err.message().contains("/nonexistent/scenario.toml"),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn scenario_usage_errors() {
+        assert!(run(&["scenario".into()]).is_err());
+        assert!(run(&["scenario".into(), "frobnicate".into(), "x.toml".into()]).is_err());
+    }
+
+    #[test]
+    fn scenario_expand_rejects_run_only_flags() {
+        let path = temp_file(
+            "expandflags",
+            "[scenario]\nname = \"x\"\n[sweep]\ntopology = [\"ring:4\"]\n",
+        );
+        let p = path.to_str().unwrap().to_string();
+        let err = run(&[
+            "scenario".into(),
+            "expand".into(),
+            p.clone(),
+            "--quiet".into(),
+        ])
+        .unwrap_err();
+        assert!(
+            err.message().contains("only applies to 'scenario run'"),
+            "got: {err}"
+        );
+        run(&["scenario".into(), "expand".into(), p]).unwrap();
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -243,7 +243,9 @@ impl CollectiveAlgorithm {
                 if start < prev_end {
                     return Err(format!(
                         "link {link}: transfer {id} starts at {start} before {} ends at {prev_end}",
-                        prev_id.map(|p: TransferId| p.to_string()).unwrap_or_default(),
+                        prev_id
+                            .map(|p: TransferId| p.to_string())
+                            .unwrap_or_default(),
                     ));
                 }
                 prev_end = t.end().expect("scheduled by construction");
@@ -278,8 +280,7 @@ impl CollectiveAlgorithm {
     /// The hop sequence of `chunk` as `(src, dst)` pairs in schedule order
     /// (falling back to insertion order for unscheduled algorithms).
     pub fn chunk_path(&self, chunk: ChunkId) -> Vec<(NpuId, NpuId)> {
-        let mut hops: Vec<&Transfer> =
-            self.transfers.iter().filter(|t| t.chunk == chunk).collect();
+        let mut hops: Vec<&Transfer> = self.transfers.iter().filter(|t| t.chunk == chunk).collect();
         hops.sort_by_key(|t| t.start.unwrap_or(Time::ZERO));
         hops.iter().map(|t| (t.src, t.dst)).collect()
     }
@@ -476,7 +477,17 @@ impl AlgorithmBuilder {
         duration: Time,
         deps: Vec<TransferId>,
     ) -> TransferId {
-        self.push_transfer(chunk, 1, src, dst, kind, Some(link), Some(start), Some(duration), deps)
+        self.push_transfer(
+            chunk,
+            1,
+            src,
+            dst,
+            kind,
+            Some(link),
+            Some(start),
+            Some(duration),
+            deps,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]

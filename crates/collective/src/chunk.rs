@@ -136,7 +136,10 @@ impl ChunkSet {
 
     /// `self ∩ other ≠ ∅`, without allocating.
     pub fn intersects(&self, other: &ChunkSet) -> bool {
-        self.words.iter().zip(&other.words).any(|(&a, &b)| a & b != 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(&a, &b)| a & b != 0)
     }
 
     /// In-place union.
@@ -163,7 +166,10 @@ impl ChunkSet {
 
     /// `true` if every chunk of `self` is also in `other`.
     pub fn is_subset(&self, other: &ChunkSet) -> bool {
-        self.words.iter().zip(&other.words).all(|(&a, &b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(&a, &b)| a & !b == 0)
     }
 
     /// Picks one chunk from `self ∩ other`, scanning circularly from word
@@ -335,10 +341,7 @@ mod tests {
 
     #[test]
     fn iter_in_order() {
-        let s: ChunkSet = [3u32, 64, 65, 190]
-            .into_iter()
-            .map(ChunkId::new)
-            .collect();
+        let s: ChunkSet = [3u32, 64, 65, 190].into_iter().map(ChunkId::new).collect();
         let items: Vec<u32> = s.iter().map(|c| c.raw()).collect();
         assert_eq!(items, vec![3, 64, 65, 190]);
     }

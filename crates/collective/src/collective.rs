@@ -158,11 +158,7 @@ impl Collective {
     ///
     /// # Errors
     /// See [`Collective::with_chunking`].
-    pub fn scatter(
-        num_npus: usize,
-        root: NpuId,
-        size: ByteSize,
-    ) -> Result<Self, CollectiveError> {
+    pub fn scatter(num_npus: usize, root: NpuId, size: ByteSize) -> Result<Self, CollectiveError> {
         Self::new(CollectivePattern::Scatter { root }, num_npus, 1, size)
     }
 
@@ -437,11 +433,19 @@ mod tests {
         let red = Collective::reduce(4, NpuId::new(2), ByteSize::mb(1)).unwrap();
         assert_eq!(
             red.dual().unwrap().pattern(),
-            CollectivePattern::Broadcast { root: NpuId::new(2) }
+            CollectivePattern::Broadcast {
+                root: NpuId::new(2)
+            }
         );
 
-        assert!(Collective::all_gather(4, ByteSize::mb(1)).unwrap().dual().is_none());
-        assert!(Collective::all_reduce(4, ByteSize::mb(1)).unwrap().dual().is_none());
+        assert!(Collective::all_gather(4, ByteSize::mb(1))
+            .unwrap()
+            .dual()
+            .is_none());
+        assert!(Collective::all_reduce(4, ByteSize::mb(1))
+            .unwrap()
+            .dual()
+            .is_none());
     }
 
     #[test]
@@ -456,7 +460,10 @@ mod tests {
         ));
         assert!(matches!(
             Collective::broadcast(4, NpuId::new(9), ByteSize::mb(1)),
-            Err(CollectiveError::RootOutOfRange { root: 9, num_npus: 4 })
+            Err(CollectiveError::RootOutOfRange {
+                root: 9,
+                num_npus: 4
+            })
         ));
         assert!(matches!(
             Collective::all_gather(4, ByteSize::ZERO),

@@ -44,7 +44,10 @@ impl fmt::Display for CollectiveError {
                 write!(f, "root {root} out of range for {num_npus} NPUs")
             }
             CollectiveError::SizeNotDivisible { size, chunks } => {
-                write!(f, "payload of {size} bytes cannot be split into {chunks} chunks")
+                write!(
+                    f,
+                    "payload of {size} bytes cannot be split into {chunks} chunks"
+                )
             }
         }
     }
@@ -61,10 +64,15 @@ mod tests {
         assert!(CollectiveError::TooFewNpus { num_npus: 1 }
             .to_string()
             .contains("at least 2"));
-        assert!(CollectiveError::ZeroChunks.to_string().contains("chunking factor"));
-        assert!(CollectiveError::RootOutOfRange { root: 4, num_npus: 2 }
+        assert!(CollectiveError::ZeroChunks
             .to_string()
-            .contains("root 4"));
+            .contains("chunking factor"));
+        assert!(CollectiveError::RootOutOfRange {
+            root: 4,
+            num_npus: 2
+        }
+        .to_string()
+        .contains("root 4"));
         assert!(CollectiveError::SizeNotDivisible { size: 3, chunks: 7 }
             .to_string()
             .contains("cannot be split"));

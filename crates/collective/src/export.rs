@@ -115,7 +115,10 @@ pub fn to_msccl_xml(algo: &CollectiveAlgorithm) -> String {
         }
         let mut tb = 0usize;
         for (peer, steps) in &sends {
-            let _ = writeln!(out, "    <tb id=\"{tb}\" send=\"{peer}\" recv=\"-1\" chan=\"0\">");
+            let _ = writeln!(
+                out,
+                "    <tb id=\"{tb}\" send=\"{peer}\" recv=\"-1\" chan=\"0\">"
+            );
             for (s, (id, t)) in steps.iter().enumerate() {
                 let _ = writeln!(
                     out,
@@ -130,7 +133,10 @@ pub fn to_msccl_xml(algo: &CollectiveAlgorithm) -> String {
             tb += 1;
         }
         for (peer, steps) in &recvs {
-            let _ = writeln!(out, "    <tb id=\"{tb}\" send=\"-1\" recv=\"{peer}\" chan=\"0\">");
+            let _ = writeln!(
+                out,
+                "    <tb id=\"{tb}\" send=\"-1\" recv=\"{peer}\" chan=\"0\">"
+            );
             for (s, (id, t)) in steps.iter().enumerate() {
                 let ty = match t.kind() {
                     TransferKind::Copy => "r",
@@ -171,7 +177,8 @@ pub fn to_compact(algo: &CollectiveAlgorithm) -> String {
         algo.num_npus(),
         algo.chunk_size().as_u64(),
         algo.total_size().as_u64(),
-        algo.planned_time().map_or("-".to_string(), |t| t.as_ps().to_string()),
+        algo.planned_time()
+            .map_or("-".to_string(), |t| t.as_ps().to_string()),
     );
     for t in algo.transfers() {
         let deps = if t.deps().is_empty() {
@@ -196,7 +203,8 @@ pub fn to_compact(algo: &CollectiveAlgorithm) -> String {
             },
             t.link().map_or("-".to_string(), |l| l.raw().to_string()),
             t.start().map_or("-".to_string(), |s| s.as_ps().to_string()),
-            t.duration().map_or("-".to_string(), |d| d.as_ps().to_string()),
+            t.duration()
+                .map_or("-".to_string(), |d| d.as_ps().to_string()),
             deps,
         );
     }
@@ -219,7 +227,8 @@ pub fn from_compact(text: &str) -> Result<CollectiveAlgorithm, String> {
         return Err(format!("bad header: '{header}'"));
     }
     let num = |s: &str, what: &str| -> Result<u64, String> {
-        s.parse::<u64>().map_err(|e| format!("bad {what} '{s}': {e}"))
+        s.parse::<u64>()
+            .map_err(|e| format!("bad {what} '{s}': {e}"))
     };
     let opt = |s: &str, what: &str| -> Result<Option<u64>, String> {
         if s == "-" {
@@ -243,7 +252,11 @@ pub fn from_compact(text: &str) -> Result<CollectiveAlgorithm, String> {
         }
         let f: Vec<&str> = line.split_whitespace().collect();
         if f.len() != 9 {
-            return Err(format!("line {}: expected 9 fields, got {}", lineno + 1, f.len()));
+            return Err(format!(
+                "line {}: expected 9 fields, got {}",
+                lineno + 1,
+                f.len()
+            ));
         }
         let chunk = ChunkId::new(num(f[0], "chunk")? as u32);
         let count = num(f[1], "count")? as u32;

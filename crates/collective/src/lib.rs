@@ -21,9 +21,9 @@
 
 pub mod algorithm;
 mod chunk;
-pub mod export;
 mod collective;
 mod error;
+pub mod export;
 mod pattern;
 
 pub use chunk::{ChunkId, ChunkSet};

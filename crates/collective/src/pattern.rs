@@ -106,24 +106,44 @@ mod tests {
         assert!(!CollectivePattern::AllGather.is_combining());
         assert!(CollectivePattern::ReduceScatter.is_combining());
         assert!(CollectivePattern::AllReduce.is_combining());
-        assert!(!CollectivePattern::Broadcast { root: NpuId::new(0) }.is_combining());
-        assert!(CollectivePattern::Reduce { root: NpuId::new(0) }.is_combining());
+        assert!(!CollectivePattern::Broadcast {
+            root: NpuId::new(0)
+        }
+        .is_combining());
+        assert!(CollectivePattern::Reduce {
+            root: NpuId::new(0)
+        }
+        .is_combining());
     }
 
     #[test]
     fn new_patterns_are_non_combining_and_rooted() {
         assert!(!CollectivePattern::AllToAll.is_combining());
-        assert!(!CollectivePattern::Gather { root: NpuId::new(1) }.is_combining());
-        assert!(!CollectivePattern::Scatter { root: NpuId::new(1) }.is_combining());
+        assert!(!CollectivePattern::Gather {
+            root: NpuId::new(1)
+        }
+        .is_combining());
+        assert!(!CollectivePattern::Scatter {
+            root: NpuId::new(1)
+        }
+        .is_combining());
         assert_eq!(CollectivePattern::AllToAll.root(), None);
         assert_eq!(
-            CollectivePattern::Gather { root: NpuId::new(2) }.root(),
+            CollectivePattern::Gather {
+                root: NpuId::new(2)
+            }
+            .root(),
             Some(NpuId::new(2))
         );
         assert_eq!(CollectivePattern::AllToAll.short_name(), "all-to-all");
         assert_eq!(format!("{}", CollectivePattern::AllToAll), "All-to-All");
         assert_eq!(
-            format!("{}", CollectivePattern::Scatter { root: NpuId::new(0) }),
+            format!(
+                "{}",
+                CollectivePattern::Scatter {
+                    root: NpuId::new(0)
+                }
+            ),
             "Scatter(root=NPU0)"
         );
     }
@@ -133,7 +153,12 @@ mod tests {
         assert_eq!(CollectivePattern::AllGather.short_name(), "all-gather");
         assert_eq!(format!("{}", CollectivePattern::AllReduce), "All-Reduce");
         assert_eq!(
-            format!("{}", CollectivePattern::Broadcast { root: NpuId::new(2) }),
+            format!(
+                "{}",
+                CollectivePattern::Broadcast {
+                    root: NpuId::new(2)
+                }
+            ),
             "Broadcast(root=NPU2)"
         );
     }

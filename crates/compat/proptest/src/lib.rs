@@ -1,0 +1,254 @@
+//! Offline stand-in for the slice of `proptest` this workspace uses.
+//!
+//! The build environment has no crates.io registry, so `proptest` is
+//! vendored as a miniature API-compatible engine: deterministic
+//! pseudo-random case generation (seeded per test name), the [`Strategy`]
+//! combinators the test suite calls (`prop_map`, `prop_flat_map`, ranges,
+//! tuples, [`Just`], `prop_oneof!`, `prop::collection::{vec, hash_set}`,
+//! `any`), and the `proptest!` / `prop_assert!` macros.
+//!
+//! Differences from upstream, by design:
+//! * no shrinking — a failing case panics with the generated inputs left
+//!   to the assertion message;
+//! * the default case count is 64 (upstream: 256) to keep `cargo test`
+//!   fast on synthesis-heavy properties;
+//! * generation is seeded from the test function's name, so runs are
+//!   fully reproducible without a persistence file.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+
+/// Test-runner configuration (mirrors `proptest::test_runner::ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The deterministic generator driving case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng(rand::rngs::StdRng);
+
+impl TestRng {
+    /// Seeds the generator from a test name (FNV-1a of the bytes).
+    pub fn from_name(name: &str) -> Self {
+        use rand::SeedableRng;
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &b in name.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng(rand::rngs::StdRng::seed_from_u64(h))
+    }
+
+    /// The next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        use rand::RngCore;
+        self.0.next_u64()
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Generation of "any value" of a type (mirrors `proptest::arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// A strategy producing unconstrained values of `T`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Returns a strategy generating any value of `T` (mirrors `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary + std::fmt::Debug> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Collection strategies (mirrors `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors of `elem` values with length in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<S::Value>` with a target size drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct HashSetStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// Generates hash sets of `elem` values with size at most the drawn
+    /// target (possibly smaller if the element space is too small).
+    pub fn hash_set<S>(elem: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy { elem, size }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let target = self.size.start + rng.below(span) as usize;
+            let mut set = HashSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < target * 20 + 50 {
+                set.insert(self.elem.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+/// Namespace alias so `prop::collection::vec(...)` works after a prelude
+/// glob import, as with upstream proptest.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The glob-importable prelude (mirrors `proptest::prelude`).
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{any, prop, Arbitrary, ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests over generated inputs.
+///
+/// Supports the subset of upstream syntax this workspace uses: an optional
+/// `#![proptest_config(expr)]` header and `fn name(pat in strategy, ...)`
+/// items carrying arbitrary attributes (including `#[test]`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::from_name(stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property (panics with the failing inputs'
+/// assertion message; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Picks uniformly among several strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}

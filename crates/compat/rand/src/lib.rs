@@ -1,0 +1,175 @@
+//! Offline stand-in for the tiny slice of the `rand` crate this workspace
+//! uses (`StdRng`, `SeedableRng::seed_from_u64`, `Rng::gen`, and
+//! `SliceRandom::shuffle`).
+//!
+//! The build environment has no crates.io registry, so external
+//! dependencies are vendored as API-compatible shims under
+//! `crates/compat/`. The generator here is xoshiro256**, seeded through
+//! SplitMix64 — deterministic and high-quality, but **not** bit-compatible
+//! with upstream `rand`'s `StdRng` (nothing in the workspace depends on
+//! upstream's exact stream, only on determinism per seed).
+
+#![warn(missing_docs)]
+
+/// Types which can be constructed deterministically from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core random-number methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Returns a uniformly random value of `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// The raw 64-bit generator interface (mirrors `rand::RngCore`).
+pub trait RngCore {
+    /// Returns the next raw 64 bits of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Values samplable from the uniform "standard" distribution.
+pub trait Standard {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256** — the workspace's deterministic standard generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the full state, as
+            // recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers (mirrors `rand::seq`).
+pub mod seq {
+    use super::RngCore;
+
+    /// Extension trait providing in-place shuffling of slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffles the slice in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

@@ -40,6 +40,19 @@ pub struct AlgorithmCache {
     dir: PathBuf,
 }
 
+/// Whether a cached lookup was served from disk or freshly generated.
+///
+/// Returned by the `*_traced` cache entry points so callers (e.g. the
+/// scenario runner's resumability accounting) can distinguish incremental
+/// re-runs from cold synthesis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The algorithm was loaded from the cache directory.
+    Hit,
+    /// The algorithm was generated (and stored) by this call.
+    Miss,
+}
+
 impl AlgorithmCache {
     /// Opens (creating if needed) a cache directory.
     ///
@@ -47,7 +60,9 @@ impl AlgorithmCache {
     /// Propagates filesystem errors from directory creation.
     pub fn new(dir: impl AsRef<Path>) -> io::Result<Self> {
         std::fs::create_dir_all(dir.as_ref())?;
-        Ok(AlgorithmCache { dir: dir.as_ref().to_path_buf() })
+        Ok(AlgorithmCache {
+            dir: dir.as_ref().to_path_buf(),
+        })
     }
 
     /// The cache directory.
@@ -59,25 +74,52 @@ impl AlgorithmCache {
     /// config): FNV-1a over every link's endpoints and α–β parameters,
     /// the collective's shape, and the search settings.
     pub fn key(synth: &Synthesizer, topo: &Topology, collective: &Collective) -> String {
+        Self::key_with_tag("tacos", synth, topo, collective)
+    }
+
+    /// Like [`AlgorithmCache::key`], but namespaced by an algorithm tag so
+    /// non-TACOS generators (baselines run by the scenario engine) can
+    /// share the same cache directory without key collisions.
+    pub fn key_with_tag(
+        tag: &str,
+        synth: &Synthesizer,
+        topo: &Topology,
+        collective: &Collective,
+    ) -> String {
         let mut h = Fnv::new();
-        h.write_u64(topo.num_npus() as u64);
-        for link in topo.links() {
-            h.write_u64(u64::from(link.src().raw()) << 32 | u64::from(link.dst().raw()));
-            h.write_u64(link.spec().alpha().as_ps());
-            h.write_u64(link.spec().bandwidth().as_bytes_per_sec().to_bits());
-        }
-        h.write_bytes(collective.pattern().short_name().as_bytes());
-        if let Some(root) = collective.pattern().root() {
-            h.write_u64(u64::from(root.raw()));
-        }
-        h.write_u64(collective.num_npus() as u64);
-        h.write_u64(collective.chunks_per_npu() as u64);
-        h.write_u64(collective.total_size().as_u64());
+        h.write_bytes(tag.as_bytes());
+        write_inputs(&mut h, topo, collective);
         let config = synth.config();
         h.write_u64(config.seed());
         h.write_u64(config.attempts() as u64);
         h.write_u64(u64::from(config.prefer_cheap_links()));
-        format!("{}-{:016x}", collective.pattern().short_name(), h.finish())
+        format!(
+            "{tag}-{}-{:016x}",
+            collective.pattern().short_name(),
+            h.finish()
+        )
+    }
+
+    /// A fingerprint for algorithm generators that have no synthesizer
+    /// configuration — the deterministic baselines. `salt` folds in
+    /// whatever generator state matters (a randomized baseline's seed;
+    /// 0 for fully deterministic ones), so seed/attempt sweeps don't
+    /// spuriously miss on algorithms that ignore them.
+    pub fn key_for_generator(
+        tag: &str,
+        topo: &Topology,
+        collective: &Collective,
+        salt: u64,
+    ) -> String {
+        let mut h = Fnv::new();
+        h.write_bytes(tag.as_bytes());
+        write_inputs(&mut h, topo, collective);
+        h.write_u64(salt);
+        format!(
+            "{tag}-{}-{:016x}",
+            collective.pattern().short_name(),
+            h.finish()
+        )
     }
 
     fn path_for(&self, key: &str) -> PathBuf {
@@ -92,10 +134,26 @@ impl AlgorithmCache {
 
     /// Stores an algorithm under the given key.
     ///
+    /// The write is atomic (temp file + rename): the compact format has no
+    /// trailer, so a truncated file left by a killed process — or seen by
+    /// a concurrent reader sharing the cache directory — would otherwise
+    /// parse as a valid but incomplete algorithm and poison every future
+    /// run of that point.
+    ///
     /// # Errors
     /// Propagates filesystem errors.
     pub fn store(&self, key: &str, algo: &CollectiveAlgorithm) -> io::Result<()> {
-        std::fs::write(self.path_for(key), export::to_compact(algo))
+        static STORE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = STORE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = self
+            .dir
+            .join(format!("{key}.tmp.{}.{seq}", std::process::id()));
+        std::fs::write(&tmp, export::to_compact(algo))?;
+        let result = std::fs::rename(&tmp, self.path_for(key));
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result
     }
 
     /// Synthesizes through the cache: returns the stored schedule when the
@@ -110,14 +168,68 @@ impl AlgorithmCache {
         topo: &Topology,
         collective: &Collective,
     ) -> Result<CollectiveAlgorithm, SynthesisError> {
-        let key = Self::key(synth, topo, collective);
-        if let Some(algo) = self.load(&key) {
-            return Ok(algo);
-        }
-        let algo = synth.synthesize(topo, collective)?.into_algorithm();
-        let _ = self.store(&key, &algo);
-        Ok(algo)
+        self.synthesize_cached_traced(synth, topo, collective)
+            .map(|(algo, _)| algo)
     }
+
+    /// [`AlgorithmCache::synthesize_cached`], but also reports whether the
+    /// schedule came from disk or was freshly synthesized.
+    ///
+    /// # Errors
+    /// Propagates synthesis errors; storage failures are swallowed.
+    pub fn synthesize_cached_traced(
+        &self,
+        synth: &Synthesizer,
+        topo: &Topology,
+        collective: &Collective,
+    ) -> Result<(CollectiveAlgorithm, CacheOutcome), SynthesisError> {
+        let key = Self::key(synth, topo, collective);
+        self.load_or_insert_with(&key, || {
+            synth
+                .synthesize(topo, collective)
+                .map(|r| r.into_algorithm())
+        })
+    }
+
+    /// Generic cache entry point: loads `key` if present, otherwise calls
+    /// `generate`, stores its output, and reports [`CacheOutcome::Miss`].
+    ///
+    /// The error type is the generator's own — this is what lets the
+    /// scenario runner cache baseline generators (whose errors are not
+    /// [`SynthesisError`]) alongside TACOS syntheses.
+    ///
+    /// # Errors
+    /// Propagates `generate`'s error; storage failures are swallowed.
+    pub fn load_or_insert_with<E>(
+        &self,
+        key: &str,
+        generate: impl FnOnce() -> Result<CollectiveAlgorithm, E>,
+    ) -> Result<(CollectiveAlgorithm, CacheOutcome), E> {
+        if let Some(algo) = self.load(key) {
+            return Ok((algo, CacheOutcome::Hit));
+        }
+        let algo = generate()?;
+        let _ = self.store(key, &algo);
+        Ok((algo, CacheOutcome::Miss))
+    }
+}
+
+/// Hashes the structural inputs common to every cache key: each link's
+/// endpoints and α–β parameters, and the collective's shape.
+fn write_inputs(h: &mut Fnv, topo: &Topology, collective: &Collective) {
+    h.write_u64(topo.num_npus() as u64);
+    for link in topo.links() {
+        h.write_u64(u64::from(link.src().raw()) << 32 | u64::from(link.dst().raw()));
+        h.write_u64(link.spec().alpha().as_ps());
+        h.write_u64(link.spec().bandwidth().as_bytes_per_sec().to_bits());
+    }
+    h.write_bytes(collective.pattern().short_name().as_bytes());
+    if let Some(root) = collective.pattern().root() {
+        h.write_u64(u64::from(root.raw()));
+    }
+    h.write_u64(collective.num_npus() as u64);
+    h.write_u64(collective.chunks_per_npu() as u64);
+    h.write_u64(collective.total_size().as_u64());
 }
 
 /// Minimal FNV-1a, enough for cache fingerprints (not cryptographic).
@@ -156,10 +268,8 @@ mod tests {
     }
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "tacos-cache-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("tacos-cache-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -194,6 +304,78 @@ mod tests {
         assert_ne!(base, AlgorithmCache::key(&synth, &degraded, &coll));
         // Same inputs, same key (stable).
         assert_eq!(base, AlgorithmCache::key(&synth, &topo, &coll));
+    }
+
+    #[test]
+    fn traced_outcome_reports_miss_then_hit() {
+        let (topo, coll, synth) = setup();
+        let dir = temp_dir("traced");
+        let cache = AlgorithmCache::new(&dir).unwrap();
+        let (first, o1) = cache
+            .synthesize_cached_traced(&synth, &topo, &coll)
+            .unwrap();
+        assert_eq!(o1, CacheOutcome::Miss);
+        let (second, o2) = cache
+            .synthesize_cached_traced(&synth, &topo, &coll)
+            .unwrap();
+        assert_eq!(o2, CacheOutcome::Hit);
+        assert_eq!(first, second);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tagged_keys_namespace_the_cache() {
+        let (topo, coll, synth) = setup();
+        let tacos = AlgorithmCache::key_with_tag("tacos", &synth, &topo, &coll);
+        let ring = AlgorithmCache::key_with_tag("ring", &synth, &topo, &coll);
+        assert_ne!(tacos, ring);
+        assert!(tacos.starts_with("tacos-"));
+        assert!(ring.starts_with("ring-"));
+        // The default key is the "tacos" tag.
+        assert_eq!(tacos, AlgorithmCache::key(&synth, &topo, &coll));
+    }
+
+    #[test]
+    fn generator_keys_ignore_synth_config_but_respect_salt() {
+        let (topo, coll, _) = setup();
+        let base = AlgorithmCache::key_for_generator("ring", &topo, &coll, 0);
+        // Same inputs, same key — regardless of any synthesizer config.
+        assert_eq!(
+            base,
+            AlgorithmCache::key_for_generator("ring", &topo, &coll, 0)
+        );
+        // Salt (a randomized generator's seed) changes the key.
+        assert_ne!(
+            base,
+            AlgorithmCache::key_for_generator("ring", &topo, &coll, 7)
+        );
+        // Tag namespaces generators.
+        assert_ne!(
+            base,
+            AlgorithmCache::key_for_generator("direct", &topo, &coll, 0)
+        );
+        // Different topology, different key.
+        let degraded = topo.without_link(tacos_topology::LinkId::new(0));
+        assert_ne!(
+            base,
+            AlgorithmCache::key_for_generator("ring", &degraded, &coll, 0)
+        );
+    }
+
+    #[test]
+    fn store_leaves_no_temp_files() {
+        let (topo, coll, synth) = setup();
+        let dir = temp_dir("atomic");
+        let cache = AlgorithmCache::new(&dir).unwrap();
+        let algo = synth.synthesize(&topo, &coll).unwrap().into_algorithm();
+        cache.store("k", &algo).unwrap();
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(names, ["k.tacos"]);
+        assert_eq!(cache.load("k").unwrap(), algo);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

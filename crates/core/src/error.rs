@@ -35,7 +35,10 @@ pub enum SynthesisError {
 impl fmt::Display for SynthesisError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SynthesisError::NpuCountMismatch { topology, collective } => write!(
+            SynthesisError::NpuCountMismatch {
+                topology,
+                collective,
+            } => write!(
                 f,
                 "topology has {topology} NPUs but the collective expects {collective}"
             ),
@@ -78,7 +81,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = SynthesisError::NpuCountMismatch { topology: 4, collective: 8 };
+        let e = SynthesisError::NpuCountMismatch {
+            topology: 4,
+            collective: 8,
+        };
         assert!(e.to_string().contains("4 NPUs"));
         assert!(SynthesisError::Stuck { unsatisfied: 3 }
             .to_string()

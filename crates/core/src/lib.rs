@@ -46,7 +46,7 @@ mod matching;
 mod parallel;
 mod synthesis;
 
-pub use cache::AlgorithmCache;
+pub use cache::{AlgorithmCache, CacheOutcome};
 pub use config::SynthesizerConfig;
 pub use error::SynthesisError;
 pub use synthesis::{SynthesisResult, Synthesizer};

@@ -227,10 +227,8 @@ impl MatchState {
             let arrive = ten.occupy(link, chunk);
             *transfers_out += 1;
             if let Some(b) = builder.as_deref_mut() {
-                let deps: Vec<TransferId> = self
-                    .provider_of(src, chunk.index())
-                    .into_iter()
-                    .collect();
+                let deps: Vec<TransferId> =
+                    self.provider_of(src, chunk.index()).into_iter().collect();
                 let id = b.push_scheduled(
                     chunk,
                     src,
@@ -318,11 +316,17 @@ mod tests {
         let mut state = all_gather_state(&topo, true);
         let mut ten = ExpandingTen::new(&topo, ByteSize::mb(1));
         let mut rng = StdRng::seed_from_u64(1);
-        let mut builder =
-            AlgorithmBuilder::new("t", 4, coll.chunk_size(), coll.total_size());
+        let mut builder = AlgorithmBuilder::new("t", 4, coll.chunk_size(), coll.total_size());
         let mut count = 0u64;
         loop {
-            state.run_round(&topo, &mut ten, &mut rng, true, Some(&mut builder), &mut count);
+            state.run_round(
+                &topo,
+                &mut ten,
+                &mut rng,
+                true,
+                Some(&mut builder),
+                &mut count,
+            );
             if state.unsatisfied() == 0 && ten.pending() == 0 {
                 break;
             }
@@ -336,7 +340,11 @@ mod tests {
         // 4 NPUs x 3 missing chunks = 12 transfers.
         assert_eq!(algo.len(), 12);
         // Forwarded chunks depend on the transfer that delivered them.
-        let with_deps = algo.transfers().iter().filter(|t| !t.deps().is_empty()).count();
+        let with_deps = algo
+            .transfers()
+            .iter()
+            .filter(|t| !t.deps().is_empty())
+            .count();
         assert_eq!(with_deps, 8); // rounds 2 and 3 forward delivered chunks
         assert!(algo.validate_causal().is_ok());
         assert!(algo.validate_contention_free().is_ok());

@@ -52,7 +52,7 @@ pub(crate) fn synthesize_best_of(
                         let mut guard = best.lock().expect("no poisoned locks");
                         let better = guard
                             .as_ref()
-                            .map_or(true, |b| result.collective_time() < b.collective_time());
+                            .is_none_or(|b| result.collective_time() < b.collective_time());
                         if better {
                             *guard = Some(result);
                         }
@@ -92,9 +92,7 @@ mod tests {
         let topo = mesh();
         let coll = Collective::all_gather(9, ByteSize::mb(9)).unwrap();
         let single = Synthesizer::new(SynthesizerConfig::default().with_seed(100));
-        let multi = Synthesizer::new(
-            SynthesizerConfig::default().with_seed(100).with_attempts(8),
-        );
+        let multi = Synthesizer::new(SynthesizerConfig::default().with_seed(100).with_attempts(8));
         let t1 = single.synthesize(&topo, &coll).unwrap().collective_time();
         let t8 = multi.synthesize(&topo, &coll).unwrap().collective_time();
         assert!(t8 <= t1, "best-of-8 ({t8}) worse than single ({t1})");
@@ -104,9 +102,7 @@ mod tests {
     fn best_of_is_deterministic() {
         let topo = mesh();
         let coll = Collective::all_gather(9, ByteSize::mb(9)).unwrap();
-        let synth = Synthesizer::new(
-            SynthesizerConfig::default().with_seed(7).with_attempts(4),
-        );
+        let synth = Synthesizer::new(SynthesizerConfig::default().with_seed(7).with_attempts(4));
         let a = synth.synthesize(&topo, &coll).unwrap();
         let b = synth.synthesize(&topo, &coll).unwrap();
         assert_eq!(a.collective_time(), b.collective_time());
@@ -119,12 +115,14 @@ mod tests {
         let spec = LinkSpec::new(Time::from_micros(0.5), Bandwidth::gbps(50.0));
         let mut b = tacos_topology::TopologyBuilder::new("disc");
         b.npus(3);
-        b.bidi_link(tacos_topology::NpuId::new(0), tacos_topology::NpuId::new(1), spec);
+        b.bidi_link(
+            tacos_topology::NpuId::new(0),
+            tacos_topology::NpuId::new(1),
+            spec,
+        );
         let topo = b.build().unwrap();
         let coll = Collective::all_gather(3, ByteSize::mb(3)).unwrap();
-        let synth = Synthesizer::new(
-            SynthesizerConfig::default().with_attempts(4),
-        );
+        let synth = Synthesizer::new(SynthesizerConfig::default().with_attempts(4));
         assert!(matches!(
             synth.synthesize(&topo, &coll),
             Err(SynthesisError::Stuck { .. })

@@ -250,7 +250,6 @@ impl Synthesizer {
             seed,
         })
     }
-
 }
 
 /// Per-chunk final destinations for sparse-postcondition patterns, `None`
@@ -267,9 +266,7 @@ fn sparse_targets(collective: &Collective) -> Option<Vec<u32>> {
                 })
                 .collect(),
         ),
-        CollectivePattern::Gather { root } => {
-            Some(vec![root.raw(); collective.num_chunks()])
-        }
+        CollectivePattern::Gather { root } => Some(vec![root.raw(); collective.num_chunks()]),
         CollectivePattern::Scatter { .. } => Some(
             (0..collective.num_chunks())
                 .map(|c| (c / k) as u32)
@@ -418,9 +415,7 @@ mod tests {
     use super::*;
     use tacos_collective::algorithm::TransferKind;
     use tacos_collective::ChunkId;
-    use tacos_topology::{
-        Bandwidth, ByteSize, LinkSpec, RingOrientation, Time, TopologyBuilder,
-    };
+    use tacos_topology::{Bandwidth, ByteSize, LinkSpec, RingOrientation, Time, TopologyBuilder};
 
     fn spec() -> LinkSpec {
         LinkSpec::new(Time::from_micros(0.5), Bandwidth::gbps(50.0))
@@ -456,7 +451,11 @@ mod tests {
         let coll = Collective::all_gather(4, ByteSize::mb(4)).unwrap();
         for seed in 0..5 {
             let r = synth().synthesize_seeded(&topo, &coll, seed).unwrap();
-            assert_eq!(r.collective_time(), step(ByteSize::mb(1)) * 2, "seed {seed}");
+            assert_eq!(
+                r.collective_time(),
+                step(ByteSize::mb(1)) * 2,
+                "seed {seed}"
+            );
         }
     }
 
@@ -476,9 +475,7 @@ mod tests {
         let topo = b.build().unwrap();
         assert_eq!(topo.num_links(), 6);
         let coll = Collective::all_gather(4, ByteSize::mb(4)).unwrap();
-        let best = Synthesizer::new(
-            SynthesizerConfig::default().with_seed(1).with_attempts(16),
-        );
+        let best = Synthesizer::new(SynthesizerConfig::default().with_seed(1).with_attempts(16));
         let r = best.synthesize(&topo, &coll).unwrap();
         assert_eq!(r.collective_time(), step(ByteSize::mb(1)) * 3);
         assert!(r.algorithm().validate_contention_free().is_ok());
@@ -567,8 +564,16 @@ mod tests {
         assert!(algo.validate_contention_free().is_ok());
         assert!(algo.validate_causal().is_ok());
         // RS: 12 reduce hops; AG: 12 copy hops.
-        let reduces = algo.transfers().iter().filter(|t| t.kind() == TransferKind::Reduce).count();
-        let copies = algo.transfers().iter().filter(|t| t.kind() == TransferKind::Copy).count();
+        let reduces = algo
+            .transfers()
+            .iter()
+            .filter(|t| t.kind() == TransferKind::Reduce)
+            .count();
+        let copies = algo
+            .transfers()
+            .iter()
+            .filter(|t| t.kind() == TransferKind::Copy)
+            .count();
         assert_eq!((reduces, copies), (12, 12));
     }
 
@@ -603,9 +608,7 @@ mod tests {
             ByteSize::mb(8),
         )
         .unwrap();
-        let best = Synthesizer::new(
-            SynthesizerConfig::default().with_seed(3).with_attempts(8),
-        );
+        let best = Synthesizer::new(SynthesizerConfig::default().with_seed(3).with_attempts(8));
         let t1 = best.synthesize(&topo, &coll1).unwrap().collective_time();
         let t4 = best.synthesize(&topo, &coll4).unwrap().collective_time();
         // Finer chunks pipeline better on the α-small/β-large regime.
@@ -618,7 +621,10 @@ mod tests {
         let coll = Collective::all_gather(9, ByteSize::mb(9)).unwrap();
         assert!(matches!(
             synth().synthesize(&topo, &coll),
-            Err(SynthesisError::NpuCountMismatch { topology: 4, collective: 9 })
+            Err(SynthesisError::NpuCountMismatch {
+                topology: 4,
+                collective: 9
+            })
         ));
     }
 
@@ -637,11 +643,9 @@ mod tests {
         let topo = Topology::mesh_2d(3, 3, spec()).unwrap();
         let coll = Collective::all_reduce(9, ByteSize::mb(9)).unwrap();
         let with = synth().synthesize_seeded(&topo, &coll, 5).unwrap();
-        let without = Synthesizer::new(
-            SynthesizerConfig::default().with_record_transfers(false),
-        )
-        .synthesize_seeded(&topo, &coll, 5)
-        .unwrap();
+        let without = Synthesizer::new(SynthesizerConfig::default().with_record_transfers(false))
+            .synthesize_seeded(&topo, &coll, 5)
+            .unwrap();
         assert_eq!(with.collective_time(), without.collective_time());
         assert_eq!(with.num_transfers(), without.num_transfers());
         assert!(without.algorithm().is_empty());

@@ -32,13 +32,16 @@ pub fn fit_power(xs: &[f64], ys: &[f64], power: f64) -> Fit {
     let a = if sum_gg == 0.0 { 0.0 } else { sum_gy / sum_gg };
     let mean_y: f64 = ys.iter().sum::<f64>() / ys.len() as f64;
     let ss_tot: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
-    let ss_res: f64 = gs
-        .iter()
-        .zip(ys)
-        .map(|(g, y)| (y - a * g).powi(2))
-        .sum();
-    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
-    Fit { coefficient: a, r_squared }
+    let ss_res: f64 = gs.iter().zip(ys).map(|(g, y)| (y - a * g).powi(2)).sum();
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Fit {
+        coefficient: a,
+        r_squared,
+    }
 }
 
 /// Ordinary least squares for `y ≈ a·x + b`.
@@ -54,7 +57,11 @@ pub fn fit_linear(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
     let sxx: f64 = xs.iter().map(|x| x * x).sum();
     let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
     let denom = n * sxx - sx * sx;
-    let a = if denom == 0.0 { 0.0 } else { (n * sxy - sx * sy) / denom };
+    let a = if denom == 0.0 {
+        0.0
+    } else {
+        (n * sxy - sx * sy) / denom
+    };
     let b = (sy - a * sx) / n;
     let mean_y = sy / n;
     let ss_tot: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
@@ -63,7 +70,11 @@ pub fn fit_linear(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
         .zip(ys)
         .map(|(x, y)| (y - (a * x + b)).powi(2))
         .sum();
-    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     (a, b, r2)
 }
 

@@ -46,6 +46,10 @@ pub enum Json {
     Bool(bool),
     /// A finite number (non-finite values serialize as `null`).
     Num(f64),
+    /// An exact unsigned integer. Kept separate from [`Json::Num`]
+    /// because values above 2^53 (seeds, picosecond timestamps) would
+    /// silently lose precision through an `f64` round-trip.
+    Uint(u64),
     /// A string.
     Str(String),
     /// An array.
@@ -57,19 +61,7 @@ pub enum Json {
 impl Json {
     /// Builds an object from key/value pairs.
     pub fn obj<I: IntoIterator<Item = (&'static str, Json)>>(pairs: I) -> Json {
-        Json::Obj(
-            pairs
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-        )
-    }
-
-    /// Serializes to a compact JSON string.
-    pub fn to_string(&self) -> String {
-        let mut s = String::new();
-        self.write(&mut s);
-        s
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
     fn write(&self, out: &mut String) {
@@ -84,6 +76,9 @@ impl Json {
                 } else {
                     out.push_str("null");
                 }
+            }
+            Json::Uint(v) => {
+                let _ = write!(out, "{v}");
             }
             Json::Str(s) => {
                 out.push('"');
@@ -128,6 +123,16 @@ impl Json {
     }
 }
 
+/// Serializes to a compact JSON string (also provides
+/// `Json::to_string()` via the blanket `ToString` impl).
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = String::new();
+        self.write(&mut s);
+        f.write_str(&s)
+    }
+}
+
 impl From<&str> for Json {
     fn from(s: &str) -> Json {
         Json::Str(s.to_string())
@@ -142,7 +147,7 @@ impl From<f64> for Json {
 
 impl From<u64> for Json {
     fn from(v: u64) -> Json {
-        Json::Num(v as f64)
+        Json::Uint(v)
     }
 }
 
@@ -167,6 +172,14 @@ mod tests {
     fn json_escaping() {
         let j = Json::Str("a\"b\\c\nd".into());
         assert_eq!(j.to_string(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn u64_round_trips_exactly_above_2_pow_53() {
+        // 2^53 + 1 is not representable as f64; it must survive verbatim.
+        let v: u64 = 9007199254740993;
+        assert_eq!(Json::from(v).to_string(), "9007199254740993");
+        assert_eq!(Json::from(u64::MAX).to_string(), "18446744073709551615");
     }
 
     #[test]

@@ -116,7 +116,9 @@ mod tests {
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 5);
         // All lines same width.
-        assert!(lines.iter().all(|l| l.chars().count() == lines[0].chars().count()));
+        assert!(lines
+            .iter()
+            .all(|l| l.chars().count() == lines[0].chars().count()));
         assert!(s.contains("| xxxxx | 1    |"));
     }
 

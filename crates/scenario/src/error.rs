@@ -1,0 +1,82 @@
+//! Scenario engine errors.
+
+use std::fmt;
+use std::io;
+
+/// Anything that can go wrong loading, expanding, or running a scenario.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// A filesystem error (reading the spec, writing results).
+    Io {
+        /// The path being accessed.
+        path: String,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A TOML syntax error with a 1-based line number.
+    Parse {
+        /// Line the error was detected on.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The TOML parsed but doesn't describe a valid scenario.
+    ///
+    /// Point-level *execution* failures are not errors of this type: the
+    /// runner records them per point as readable strings in
+    /// [`crate::PointRecord::result`] so one bad point doesn't abort a
+    /// sweep.
+    Spec(String),
+}
+
+impl ScenarioError {
+    /// Convenience constructor for spec-level validation errors.
+    pub fn spec(message: impl Into<String>) -> Self {
+        ScenarioError::Spec(message.into())
+    }
+
+    /// Wraps an IO error with the path it concerned.
+    pub fn io(path: impl Into<String>, source: io::Error) -> Self {
+        ScenarioError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Io { path, source } => write!(f, "{path}: {source}"),
+            ScenarioError::Parse { line, message } => {
+                write!(f, "TOML parse error at line {line}: {message}")
+            }
+            ScenarioError::Spec(message) => write!(f, "invalid scenario: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_readable() {
+        let e = ScenarioError::Parse {
+            line: 7,
+            message: "expected '='".into(),
+        };
+        assert_eq!(e.to_string(), "TOML parse error at line 7: expected '='");
+        let e = ScenarioError::spec("sweep.topology must not be empty");
+        assert!(e.to_string().contains("sweep.topology"));
+    }
+}

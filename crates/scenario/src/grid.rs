@@ -1,0 +1,206 @@
+//! Deterministic expansion of sweep axes into grid points.
+//!
+//! Expansion is the cartesian product of the (deduplicated) axes in a
+//! fixed nesting order — topology, link, collective, size, chunks, algo,
+//! seed, attempts — so a scenario file always produces the same points in
+//! the same order, point indices are stable across runs, and cardinality
+//! is exactly the product of the axis lengths.
+
+use std::fmt;
+
+use tacos_topology::ByteSize;
+
+use crate::error::ScenarioError;
+use crate::spec::{parse_size, LinkAxis, ScenarioSpec};
+
+/// One fully instantiated grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioPoint {
+    /// Stable index in expansion order.
+    pub index: usize,
+    /// Topology spec string (`mesh:3x3`, `custom:<name>`, ...).
+    pub topology: String,
+    /// Link parameters for homogeneous constructors.
+    pub link: LinkAxis,
+    /// Collective pattern name.
+    pub collective: String,
+    /// Human-readable size label, as written in the scenario file.
+    pub size_label: String,
+    /// Parsed collective size.
+    pub size: ByteSize,
+    /// Chunking factor per NPU.
+    pub chunks: usize,
+    /// Algorithm name (`tacos` or a baseline).
+    pub algo: String,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Best-of-N attempts.
+    pub attempts: usize,
+}
+
+impl ScenarioPoint {
+    /// Whether the link axis shapes this point's topology (builder-described
+    /// `custom:` networks carry their own per-link specs instead).
+    pub fn uses_link_axis(&self) -> bool {
+        !self.topology.starts_with("custom:")
+    }
+
+    /// A compact display label (used in progress lines and CSV rows).
+    /// Includes every axis that distinguishes the point, so labels are
+    /// unique across a grid.
+    pub fn label(&self) -> String {
+        let link = if self.uses_link_axis() {
+            format!("/{}", self.link)
+        } else {
+            String::new()
+        };
+        format!(
+            "{}{link}/{}/{}/c{}/{}/s{}/a{}",
+            self.topology,
+            self.collective,
+            self.size_label,
+            self.chunks,
+            self.algo,
+            self.seed,
+            self.attempts
+        )
+    }
+}
+
+impl fmt::Display for ScenarioPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Expands a scenario's sweep axes into the full, ordered point list.
+///
+/// # Errors
+/// Returns a spec error if a size string fails to parse (normally caught
+/// at spec validation already).
+pub fn expand(spec: &ScenarioSpec) -> Result<Vec<ScenarioPoint>, ScenarioError> {
+    let axes = &spec.sweep;
+    let mut sizes = Vec::with_capacity(axes.size.len());
+    for label in &axes.size {
+        let parsed = parse_size(label)
+            .map_err(|e| ScenarioError::spec(format!("sweep.size '{label}': {e}")))?;
+        sizes.push((label.clone(), parsed));
+    }
+    let cardinality = axes.topology.len()
+        * axes.link.len()
+        * axes.collective.len()
+        * sizes.len()
+        * axes.chunks.len()
+        * axes.algo.len()
+        * axes.seed.len()
+        * axes.attempts.len();
+    let mut points = Vec::with_capacity(cardinality);
+    for topology in &axes.topology {
+        for link in &axes.link {
+            for collective in &axes.collective {
+                for (size_label, size) in &sizes {
+                    for &chunks in &axes.chunks {
+                        for algo in &axes.algo {
+                            for &seed in &axes.seed {
+                                for &attempts in &axes.attempts {
+                                    points.push(ScenarioPoint {
+                                        index: points.len(),
+                                        topology: topology.clone(),
+                                        link: *link,
+                                        collective: collective.clone(),
+                                        size_label: size_label.clone(),
+                                        size: *size,
+                                        chunks,
+                                        algo: algo.clone(),
+                                        seed,
+                                        attempts,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    debug_assert_eq!(points.len(), cardinality);
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ScenarioSpec;
+
+    fn spec(sweep: &str) -> ScenarioSpec {
+        ScenarioSpec::from_toml_str(&format!("[scenario]\nname = \"g\"\n[sweep]\n{sweep}\n"))
+            .unwrap()
+    }
+
+    #[test]
+    fn cardinality_is_product_of_axis_lengths() {
+        let s = spec(
+            "topology = [\"ring:4\", \"mesh:2x2\"]\n\
+             collective = [\"all-gather\", \"all-reduce\"]\n\
+             size = [\"1MB\", \"4MB\", \"16MB\"]\n\
+             algo = [\"tacos\", \"ring\"]\n\
+             seed = [1, 2]",
+        );
+        let points = expand(&s).unwrap();
+        assert_eq!(points.len(), 2 * 2 * 3 * 2 * 2);
+        // Indices are dense and ordered.
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.index, i);
+        }
+    }
+
+    #[test]
+    fn expansion_is_deterministic_and_duplicate_free() {
+        let s =
+            spec("topology = [\"ring:4\", \"fc:3\"]\nsize = [\"1MB\", \"2MB\"]\nseed = [5, 6, 7]");
+        let a = expand(&s).unwrap();
+        let b = expand(&s).unwrap();
+        assert_eq!(a, b);
+        for i in 0..a.len() {
+            for j in i + 1..a.len() {
+                assert_ne!(a[i].label(), a[j].label(), "duplicate point at {i}/{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn link_axis_points_have_distinct_labels() {
+        let s = spec(
+            "topology = [\"ring:4\"]\n\
+             link = [\n\
+                 { alpha_us = 0.5, bandwidth_gbps = 50.0 },\n\
+                 { alpha_us = 0.5, bandwidth_gbps = 100.0 },\n\
+             ]",
+        );
+        let points = expand(&s).unwrap();
+        assert_eq!(points.len(), 2);
+        assert_ne!(points[0].label(), points[1].label());
+        assert!(
+            points[0].label().contains("50GBps"),
+            "got {}",
+            points[0].label()
+        );
+    }
+
+    #[test]
+    fn axis_order_is_stable() {
+        let s = spec(
+            "topology = [\"ring:4\"]\nsize = [\"1MB\", \"2MB\"]\nalgo = [\"tacos\", \"ring\"]",
+        );
+        let labels: Vec<String> = expand(&s).unwrap().iter().map(|p| p.label()).collect();
+        assert_eq!(
+            labels,
+            [
+                "ring:4/a0.5us-50GBps/all-reduce/1MB/c1/tacos/s42/a1",
+                "ring:4/a0.5us-50GBps/all-reduce/1MB/c1/ring/s42/a1",
+                "ring:4/a0.5us-50GBps/all-reduce/2MB/c1/tacos/s42/a1",
+                "ring:4/a0.5us-50GBps/all-reduce/2MB/c1/ring/s42/a1",
+            ]
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! # tacos-scenario
+//!
+//! The declarative scenario engine: evaluation campaigns as **data**, not
+//! code.
+//!
+//! The TACOS paper evaluates the synthesizer over large grids of
+//! (topology × collective × size × chunking × algorithm) points; this
+//! repo's `tacos-bench` crate originally encoded each grid as a separate
+//! hand-written binary. `tacos-scenario` replaces that pattern with TOML
+//! scenario files (see `scenarios/` at the repo root):
+//!
+//! * [`ScenarioSpec`] — the parsed spec: a topology (any `Topology`
+//!   constructor string, or a builder-described heterogeneous network
+//!   under `[[topologies]]`), a collective pattern, and sweep axes
+//!   (sizes, chunk counts, link specs, seeds, attempts, algorithms);
+//! * [`expand`] — deterministic grid expansion: the cartesian product of
+//!   the deduplicated axes, in a fixed order, with stable point indices;
+//! * [`run`] — a work-stealing sharded runner that executes points across
+//!   worker threads, routes every algorithm through
+//!   [`tacos_core::AlgorithmCache`] so re-runs and overlapping grids are
+//!   incremental, and streams per-point progress plus CSV/JSON artifacts
+//!   via `tacos-report`.
+//!
+//! ```
+//! use tacos_scenario::{expand, run, ScenarioSpec};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut spec = ScenarioSpec::from_toml_str(r#"
+//!     [scenario]
+//!     name = "quick"
+//!
+//!     [sweep]
+//!     topology = ["mesh:2x2"]
+//!     collective = ["all-gather"]
+//!     size = ["4MB"]
+//!     algo = ["tacos", "ring"]
+//!
+//!     [run]
+//!     cache = false
+//! "#)?;
+//! spec.run.quiet = true;
+//! assert_eq!(expand(&spec)?.len(), 2);
+//! let summary = run(&spec)?;
+//! assert_eq!(summary.failed, 0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The `tacos` CLI exposes this as `tacos scenario run <file.toml>` and
+//! `tacos scenario expand <file.toml>` (a dry run listing the grid).
+
+#![warn(missing_docs)]
+
+mod error;
+mod grid;
+mod progress;
+mod runner;
+pub mod spec;
+pub mod toml;
+
+pub use error::ScenarioError;
+pub use grid::{expand, ScenarioPoint};
+pub use progress::Progress;
+pub use runner::{run, PointMetrics, PointRecord, RunSummary};
+pub use spec::{
+    parse_baseline, parse_pattern, parse_size, parse_topology, CustomLink, CustomTopology,
+    LinkAxis, RunSettings, ScenarioSpec, SweepAxes,
+};

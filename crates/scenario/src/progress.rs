@@ -1,0 +1,63 @@
+//! Thread-safe progress reporting for scenario runs.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Counts completed points and streams one line per completion to stderr
+/// (unless quiet). Safe to call from any worker thread.
+#[derive(Debug)]
+pub struct Progress {
+    total: usize,
+    done: AtomicUsize,
+    enabled: bool,
+}
+
+impl Progress {
+    /// A tracker over `total` points.
+    pub fn new(total: usize, enabled: bool) -> Self {
+        Progress {
+            total,
+            done: AtomicUsize::new(0),
+            enabled,
+        }
+    }
+
+    /// Records one completed point, returning its completion rank
+    /// (1-based), and reports it.
+    pub fn complete(&self, label: &str, note: &str) -> usize {
+        let rank = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.enabled {
+            let width = self.total.to_string().len();
+            let mut err = std::io::stderr().lock();
+            let _ = writeln!(err, "[{rank:>width$}/{}] {label} {note}", self.total);
+        }
+        rank
+    }
+
+    /// How many points have completed so far.
+    pub fn completed(&self) -> usize {
+        self.done.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_are_dense_even_under_contention() {
+        let p = Progress::new(100, false);
+        let mut ranks: Vec<usize> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| scope.spawn(|| (0..25).map(|_| p.complete("x", "")).collect::<Vec<_>>()))
+                .collect();
+            for h in handles {
+                ranks.extend(h.join().unwrap());
+            }
+        });
+        ranks.sort_unstable();
+        assert_eq!(ranks, (1..=100).collect::<Vec<_>>());
+        assert_eq!(p.completed(), 100);
+    }
+}

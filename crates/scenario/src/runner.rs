@@ -1,0 +1,506 @@
+//! The sharded scenario runner.
+//!
+//! Points are distributed over a work-stealing pool of `std::thread::scope`
+//! workers (the same atomic-counter pattern as `tacos-core`'s best-of-N
+//! parallel synthesis): each worker repeatedly claims the next unclaimed
+//! point index, executes it end-to-end, and records the result at its
+//! index, so output order is deterministic regardless of scheduling.
+//!
+//! Every point routes through [`AlgorithmCache`] (unless disabled):
+//! TACOS syntheses under their structural fingerprint, baseline
+//! generations under an algorithm-tagged fingerprint. Re-running a
+//! scenario — or a different scenario whose grid overlaps — therefore
+//! only generates the points not already cached, which is what makes
+//! large sweeps incrementally resumable.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use tacos_baselines::{BaselineAlgorithm, IdealBound};
+use tacos_collective::algorithm::CollectiveAlgorithm;
+use tacos_collective::Collective;
+use tacos_core::{AlgorithmCache, CacheOutcome, Synthesizer, SynthesizerConfig};
+use tacos_report::{to_csv, Json};
+use tacos_sim::Simulator;
+use tacos_topology::Time;
+
+use crate::error::ScenarioError;
+use crate::grid::{expand, ScenarioPoint};
+use crate::progress::Progress;
+use crate::spec::{parse_baseline, parse_pattern, ScenarioSpec};
+
+/// Metrics measured for one successfully executed point.
+#[derive(Debug, Clone)]
+pub struct PointMetrics {
+    /// NPU count of the instantiated topology.
+    pub num_npus: usize,
+    /// Collective completion time.
+    pub collective_time: Time,
+    /// Achieved bandwidth in GB/s (`total size / time`).
+    pub bandwidth_gbps: f64,
+    /// Fraction of the theoretical ideal bound achieved.
+    pub efficiency: f64,
+    /// Number of transfers in the algorithm.
+    pub transfers: u64,
+    /// Wall-clock seconds generating (or loading) the algorithm.
+    pub generation_seconds: f64,
+    /// Cache disposition; `None` when caching is disabled.
+    pub cache: Option<CacheOutcome>,
+    /// Whether the congestion-aware simulator produced the time.
+    pub simulated: bool,
+}
+
+/// One grid point plus its execution outcome.
+#[derive(Debug, Clone)]
+pub struct PointRecord {
+    /// The point.
+    pub point: ScenarioPoint,
+    /// Metrics, or a readable failure message.
+    pub result: Result<PointMetrics, String>,
+}
+
+/// Aggregate outcome of a scenario run.
+#[derive(Debug)]
+pub struct RunSummary {
+    /// Scenario name.
+    pub scenario: String,
+    /// Per-point records, in grid order.
+    pub records: Vec<PointRecord>,
+    /// Points whose algorithm was freshly generated this run.
+    pub generated: usize,
+    /// Points served from the algorithm cache.
+    pub cache_hits: usize,
+    /// Points that failed.
+    pub failed: usize,
+    /// Total wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl RunSummary {
+    /// The CSV header used by [`RunSummary::csv_rows`].
+    pub fn csv_header() -> Vec<String> {
+        [
+            "scenario",
+            "point",
+            "topology",
+            "npus",
+            "collective",
+            "size",
+            "size_bytes",
+            "chunks",
+            "algo",
+            "seed",
+            "attempts",
+            "alpha_us",
+            "link_gbps",
+            "collective_time_ps",
+            "collective_time_us",
+            "bandwidth_gbps",
+            "efficiency_vs_ideal",
+            "transfers",
+            "generation_seconds",
+            "cache",
+            "error",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+    }
+
+    /// All records as CSV rows (header first).
+    pub fn csv_rows(&self) -> Vec<Vec<String>> {
+        let mut rows = vec![Self::csv_header()];
+        for r in &self.records {
+            let p = &r.point;
+            let mut row = vec![
+                self.scenario.clone(),
+                p.index.to_string(),
+                p.topology.clone(),
+                String::new(),
+                p.collective.clone(),
+                p.size_label.clone(),
+                p.size.as_u64().to_string(),
+                p.chunks.to_string(),
+                p.algo.clone(),
+                p.seed.to_string(),
+                p.attempts.to_string(),
+            ];
+            // Custom topologies carry their own per-link specs; reporting
+            // the sweep's link axis for them would be fabricated data.
+            if p.uses_link_axis() {
+                row.push(format!("{}", p.link.alpha_us));
+                row.push(format!("{}", p.link.bandwidth_gbps));
+            } else {
+                row.push(String::new());
+                row.push(String::new());
+            }
+            match &r.result {
+                Ok(m) => {
+                    row[3] = m.num_npus.to_string();
+                    row.extend([
+                        m.collective_time.as_ps().to_string(),
+                        format!("{}", m.collective_time.as_micros_f64()),
+                        format!("{}", m.bandwidth_gbps),
+                        format!("{}", m.efficiency),
+                        m.transfers.to_string(),
+                        format!("{}", m.generation_seconds),
+                        cache_label(m.cache).to_string(),
+                        String::new(),
+                    ]);
+                }
+                Err(e) => {
+                    row.extend(std::iter::repeat_with(String::new).take(7));
+                    row.push(e.clone());
+                }
+            }
+            rows.push(row);
+        }
+        rows
+    }
+
+    /// The full summary as a JSON value.
+    pub fn to_json(&self) -> Json {
+        let points = self
+            .records
+            .iter()
+            .map(|r| {
+                let p = &r.point;
+                let mut fields = vec![
+                    ("point", (p.index as u64).into()),
+                    ("topology", Json::Str(p.topology.clone())),
+                    ("collective", Json::Str(p.collective.clone())),
+                    ("size", Json::Str(p.size_label.clone())),
+                    ("size_bytes", (p.size.as_u64()).into()),
+                    ("chunks", (p.chunks as u64).into()),
+                    ("algo", Json::Str(p.algo.clone())),
+                    ("seed", (p.seed).into()),
+                    ("attempts", (p.attempts as u64).into()),
+                ];
+                if p.uses_link_axis() {
+                    fields.push(("alpha_us", p.link.alpha_us.into()));
+                    fields.push(("link_gbps", p.link.bandwidth_gbps.into()));
+                }
+                match &r.result {
+                    Ok(m) => fields.extend([
+                        ("npus", (m.num_npus as u64).into()),
+                        ("collective_time_ps", (m.collective_time.as_ps()).into()),
+                        ("bandwidth_gbps", m.bandwidth_gbps.into()),
+                        ("efficiency_vs_ideal", m.efficiency.into()),
+                        ("transfers", (m.transfers).into()),
+                        ("generation_seconds", m.generation_seconds.into()),
+                        ("cache", Json::Str(cache_label(m.cache).into())),
+                    ]),
+                    Err(e) => fields.push(("error", Json::Str(e.clone()))),
+                }
+                Json::obj(fields)
+            })
+            .collect();
+        Json::obj([
+            ("scenario", Json::Str(self.scenario.clone())),
+            ("points", Json::Arr(points)),
+            ("generated", (self.generated as u64).into()),
+            ("cache_hits", (self.cache_hits as u64).into()),
+            ("failed", (self.failed as u64).into()),
+            ("elapsed_seconds", self.elapsed.as_secs_f64().into()),
+        ])
+    }
+
+    /// Writes `<stem>.csv` and `<stem>.json`, creating parent directories.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors with the offending path.
+    pub fn write_outputs(&self, stem: &str) -> Result<(), ScenarioError> {
+        if let Some(parent) = std::path::Path::new(stem).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| ScenarioError::io(parent.display().to_string(), e))?;
+            }
+        }
+        let csv_path = format!("{stem}.csv");
+        std::fs::write(&csv_path, to_csv(&self.csv_rows()))
+            .map_err(|e| ScenarioError::io(csv_path.clone(), e))?;
+        let json_path = format!("{stem}.json");
+        std::fs::write(&json_path, self.to_json().to_string())
+            .map_err(|e| ScenarioError::io(json_path.clone(), e))?;
+        Ok(())
+    }
+}
+
+fn cache_label(outcome: Option<CacheOutcome>) -> &'static str {
+    match outcome {
+        Some(CacheOutcome::Hit) => "hit",
+        Some(CacheOutcome::Miss) => "miss",
+        None => "off",
+    }
+}
+
+/// Expands and executes a scenario, sharding points across worker threads.
+///
+/// Point-level failures are recorded per point (and counted in
+/// [`RunSummary::failed`]) rather than aborting the sweep; only setup
+/// failures — an unopenable cache directory, an invalid spec — abort.
+///
+/// # Errors
+/// Returns setup errors; never point-level execution errors.
+pub fn run(spec: &ScenarioSpec) -> Result<RunSummary, ScenarioError> {
+    let points = expand(spec)?;
+    let cache = match &spec.run.cache {
+        Some(dir) => Some(AlgorithmCache::new(dir).map_err(|e| ScenarioError::io(dir.clone(), e))?),
+        None => None,
+    };
+    let workers = if spec.run.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        spec.run.threads
+    }
+    .min(points.len())
+    .max(1);
+
+    let progress = Progress::new(points.len(), !spec.run.quiet);
+    let next = AtomicUsize::new(0);
+    let records: Mutex<Vec<Option<PointRecord>>> = Mutex::new(vec![None; points.len()]);
+    let started = Instant::now();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= points.len() {
+                    break;
+                }
+                let point = &points[i];
+                let result = execute_point(spec, point, cache.as_ref());
+                let note = match &result {
+                    Ok(m) => format!(
+                        "{} ({})",
+                        m.collective_time,
+                        match m.cache {
+                            Some(CacheOutcome::Hit) => "cache hit",
+                            _ => "generated",
+                        }
+                    ),
+                    Err(e) => format!("FAILED: {e}"),
+                };
+                progress.complete(&point.label(), &note);
+                let record = PointRecord {
+                    point: point.clone(),
+                    result,
+                };
+                records.lock().expect("no poisoned locks")[i] = Some(record);
+            });
+        }
+    });
+
+    let records: Vec<PointRecord> = records
+        .into_inner()
+        .expect("no poisoned locks")
+        .into_iter()
+        .map(|r| r.expect("every point executed"))
+        .collect();
+    let mut generated = 0;
+    let mut cache_hits = 0;
+    let mut failed = 0;
+    for r in &records {
+        match &r.result {
+            Ok(m) if m.cache == Some(CacheOutcome::Hit) => cache_hits += 1,
+            Ok(_) => generated += 1,
+            Err(_) => failed += 1,
+        }
+    }
+    let summary = RunSummary {
+        scenario: spec.name.clone(),
+        records,
+        generated,
+        cache_hits,
+        failed,
+        elapsed: started.elapsed(),
+    };
+    if let Some(stem) = &spec.output {
+        summary.write_outputs(stem)?;
+    }
+    Ok(summary)
+}
+
+/// Executes one grid point end-to-end: topology → collective → algorithm
+/// (through the cache) → time/bandwidth/efficiency metrics.
+fn execute_point(
+    spec: &ScenarioSpec,
+    point: &ScenarioPoint,
+    cache: Option<&AlgorithmCache>,
+) -> Result<PointMetrics, String> {
+    let link = point.link.to_spec();
+    let topo = spec.build_topology(&point.topology, link)?;
+    let pattern = parse_pattern(&point.collective, topo.num_npus())?;
+    let collective = Collective::with_chunking(pattern, topo.num_npus(), point.chunks, point.size)
+        .map_err(|e| e.to_string())?;
+    let config = SynthesizerConfig::default()
+        .with_seed(point.seed)
+        .with_attempts(point.attempts);
+    let synth = Synthesizer::new(config);
+
+    let started = Instant::now();
+    let (algorithm, outcome): (CollectiveAlgorithm, Option<CacheOutcome>) = if point.algo == "tacos"
+    {
+        match cache {
+            Some(c) => {
+                let (algo, outcome) = c
+                    .synthesize_cached_traced(&synth, &topo, &collective)
+                    .map_err(|e| e.to_string())?;
+                (algo, Some(outcome))
+            }
+            None => (
+                synth
+                    .synthesize(&topo, &collective)
+                    .map_err(|e| e.to_string())?
+                    .into_algorithm(),
+                None,
+            ),
+        }
+    } else {
+        let kind = parse_baseline(&point.algo, point.seed)?;
+        let generate = || {
+            BaselineAlgorithm::new(kind.clone())
+                .generate(&topo, &collective)
+                .map_err(|e| e.to_string())
+        };
+        match cache {
+            Some(c) => {
+                // Deterministic baselines ignore the synthesizer's
+                // seed/attempts, so their key must too — otherwise a
+                // seed sweep regenerates identical algorithms. Randomized
+                // baselines report the seed they consume via
+                // `BaselineKind::seed`.
+                let salt = kind.seed().unwrap_or(0);
+                let key = AlgorithmCache::key_for_generator(&point.algo, &topo, &collective, salt);
+                let (algo, outcome) = c.load_or_insert_with(&key, generate)?;
+                (algo, Some(outcome))
+            }
+            None => (generate()?, None),
+        }
+    };
+    let generation_seconds = started.elapsed().as_secs_f64();
+
+    let (collective_time, simulated) = if spec.run.simulate || algorithm.planned_time().is_none() {
+        let report = Simulator::new()
+            .simulate(&topo, &algorithm)
+            .map_err(|e| e.to_string())?;
+        (report.collective_time(), true)
+    } else {
+        (algorithm.collective_time(), false)
+    };
+
+    let bandwidth_gbps = if collective_time.is_zero() {
+        f64::INFINITY
+    } else {
+        point.size.as_u64() as f64 / collective_time.as_secs_f64() / 1e9
+    };
+    let efficiency = IdealBound::new(&topo).efficiency(pattern, point.size, collective_time);
+
+    Ok(PointMetrics {
+        num_npus: topo.num_npus(),
+        collective_time,
+        bandwidth_gbps,
+        efficiency,
+        transfers: algorithm.len() as u64,
+        generation_seconds,
+        cache: outcome,
+        simulated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ScenarioSpec;
+
+    fn toml_spec(body: &str) -> ScenarioSpec {
+        ScenarioSpec::from_toml_str(body).unwrap()
+    }
+
+    #[test]
+    fn runs_a_small_grid_without_cache() {
+        let spec = toml_spec(
+            r#"
+[scenario]
+name = "small"
+[sweep]
+topology = ["mesh:2x2"]
+collective = ["all-gather"]
+size = ["4MB"]
+algo = ["tacos", "ring"]
+[run]
+cache = false
+simulate = true
+threads = 2
+"#,
+        );
+        let mut spec = spec;
+        spec.run.quiet = true;
+        let summary = run(&spec).unwrap();
+        assert_eq!(summary.records.len(), 2);
+        assert_eq!(summary.failed, 0);
+        assert_eq!(summary.generated, 2);
+        assert_eq!(summary.cache_hits, 0);
+        for r in &summary.records {
+            let m = r.result.as_ref().unwrap();
+            assert!(m.collective_time > Time::ZERO);
+            assert!(m.bandwidth_gbps > 0.0);
+            assert!(m.cache.is_none());
+            assert!(m.simulated);
+        }
+    }
+
+    #[test]
+    fn point_failures_are_recorded_not_fatal() {
+        // dbt requires an even number of NPUs > 2 on many topologies; a
+        // 3-NPU ring makes it fail while ring succeeds.
+        let mut spec = toml_spec(
+            r#"
+[scenario]
+name = "mixed"
+[sweep]
+topology = ["ring:3"]
+collective = ["all-reduce"]
+size = ["3MB"]
+algo = ["ring", "dbt"]
+[run]
+cache = false
+"#,
+        );
+        spec.run.quiet = true;
+        let summary = run(&spec).unwrap();
+        assert_eq!(summary.records.len(), 2);
+        let ok = summary.records.iter().filter(|r| r.result.is_ok()).count();
+        // At least the ring baseline must succeed; if dbt also succeeds
+        // the failure-accounting still holds trivially.
+        assert!(ok >= 1);
+        assert_eq!(summary.failed, 2 - ok);
+    }
+
+    #[test]
+    fn csv_and_json_have_a_row_per_point() {
+        let mut spec = toml_spec(
+            r#"
+[scenario]
+name = "io"
+[sweep]
+topology = ["ring:4"]
+size = ["1MB", "2MB"]
+algo = ["ring"]
+[run]
+cache = false
+"#,
+        );
+        spec.run.quiet = true;
+        let summary = run(&spec).unwrap();
+        let rows = summary.csv_rows();
+        assert_eq!(rows.len(), 1 + 2);
+        assert_eq!(rows[0].len(), rows[1].len());
+        let json = summary.to_json().to_string();
+        assert!(json.contains("\"scenario\":\"io\""));
+        assert!(json.contains("\"points\":["));
+    }
+}

@@ -1,0 +1,1139 @@
+//! The declarative scenario specification.
+//!
+//! A scenario file is a TOML document with three parts:
+//!
+//! * `[scenario]` — name, description, optional `output` stem for
+//!   CSV/JSON artifacts;
+//! * `[sweep]` — the grid axes: `topology`, `collective`, `size`,
+//!   `chunks`, `algo`, `seed`, `attempts`, and `link` (each a list; a
+//!   bare scalar is accepted as a one-element list);
+//! * `[run]` — execution settings: `simulate`, `threads` (0 = all
+//!   cores), `cache` (a directory string, or `false` to disable);
+//! * optional `[[topologies]]` — builder-described heterogeneous
+//!   networks, referenced from `sweep.topology` as `custom:<name>`.
+//!
+//! ```toml
+//! [scenario]
+//! name = "size_sweep"
+//!
+//! [sweep]
+//! topology = ["ring:128"]
+//! collective = ["all-reduce"]
+//! size = ["1KB", "1MB", "1GB"]
+//! algo = ["ring", "direct"]
+//! link = [{ alpha_us = 0.03, bandwidth_gbps = 150.0 }]
+//!
+//! [run]
+//! simulate = true
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+use tacos_baselines::{BaselineKind, TacclConfig};
+use tacos_collective::CollectivePattern;
+use tacos_topology::{
+    Bandwidth, ByteSize, LinkSpec, NpuId, RingOrientation, Time, Topology, TopologyBuilder,
+};
+
+use crate::error::ScenarioError;
+use crate::toml::{self, Table, Value};
+
+/// One value of the `link` sweep axis: an α–β spec in display units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkAxis {
+    /// Link latency α in microseconds.
+    pub alpha_us: f64,
+    /// Link bandwidth 1/β in GB/s.
+    pub bandwidth_gbps: f64,
+}
+
+impl LinkAxis {
+    /// The paper's default link: α = 0.5 µs, 50 GB/s.
+    pub fn default_paper() -> Self {
+        LinkAxis {
+            alpha_us: 0.5,
+            bandwidth_gbps: 50.0,
+        }
+    }
+
+    /// Converts to a [`LinkSpec`].
+    pub fn to_spec(self) -> LinkSpec {
+        LinkSpec::new(
+            Time::from_micros(self.alpha_us),
+            Bandwidth::gbps(self.bandwidth_gbps),
+        )
+    }
+}
+
+impl fmt::Display for LinkAxis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}us-{}GBps", self.alpha_us, self.bandwidth_gbps)
+    }
+}
+
+/// One directed (or bidirectional) link of a builder-described topology.
+#[derive(Debug, Clone, Copy)]
+pub struct CustomLink {
+    /// Source NPU index.
+    pub src: u32,
+    /// Destination NPU index.
+    pub dst: u32,
+    /// Link cost parameters.
+    pub link: LinkAxis,
+    /// Whether to add the reverse direction too.
+    pub bidi: bool,
+}
+
+/// A heterogeneous network described link-by-link in the scenario file.
+#[derive(Debug, Clone)]
+pub struct CustomTopology {
+    /// Name referenced from `sweep.topology` as `custom:<name>`.
+    pub name: String,
+    /// Number of NPUs.
+    pub npus: usize,
+    /// The links.
+    pub links: Vec<CustomLink>,
+}
+
+impl CustomTopology {
+    /// Builds the [`Topology`].
+    ///
+    /// # Errors
+    /// Returns a message if an endpoint is out of range or the built
+    /// network is rejected (e.g. not strongly connected).
+    pub fn build(&self) -> Result<Topology, String> {
+        let mut b = TopologyBuilder::new(format!("custom:{}", self.name));
+        b.npus(self.npus);
+        for l in &self.links {
+            if l.src as usize >= self.npus || l.dst as usize >= self.npus {
+                return Err(format!(
+                    "link {} -> {} out of range for {} NPUs",
+                    l.src, l.dst, self.npus
+                ));
+            }
+            if l.bidi {
+                b.bidi_link(NpuId::new(l.src), NpuId::new(l.dst), l.link.to_spec());
+            } else {
+                b.link(NpuId::new(l.src), NpuId::new(l.dst), l.link.to_spec());
+            }
+        }
+        b.build().map_err(|e| e.to_string())
+    }
+}
+
+/// The sweep axes. Grid expansion is their cartesian product.
+#[derive(Debug, Clone)]
+pub struct SweepAxes {
+    /// Topology spec strings (`mesh:3x3`, `custom:<name>`, ...).
+    pub topology: Vec<String>,
+    /// Collective pattern names (`all-reduce`, `all-gather`, ...).
+    pub collective: Vec<String>,
+    /// Collective sizes (`64MB`, `1GB`, ...).
+    pub size: Vec<String>,
+    /// Chunking factors per NPU.
+    pub chunks: Vec<usize>,
+    /// Algorithm names (`tacos` or any baseline).
+    pub algo: Vec<String>,
+    /// Base RNG seeds.
+    pub seed: Vec<u64>,
+    /// Best-of-N attempt counts.
+    pub attempts: Vec<usize>,
+    /// Link specs applied to homogeneous topology constructors.
+    pub link: Vec<LinkAxis>,
+}
+
+/// Execution settings for the runner.
+#[derive(Debug, Clone)]
+pub struct RunSettings {
+    /// Also run the congestion-aware simulator on each point (always done
+    /// for algorithms without a planned time).
+    pub simulate: bool,
+    /// Worker threads (0 = one per available core).
+    pub threads: usize,
+    /// Cache directory for synthesized schedules; `None` disables caching.
+    pub cache: Option<String>,
+    /// Suppress per-point progress on stderr.
+    pub quiet: bool,
+}
+
+impl Default for RunSettings {
+    fn default() -> Self {
+        RunSettings {
+            simulate: false,
+            threads: 0,
+            cache: Some(".tacos-cache".into()),
+            quiet: false,
+        }
+    }
+}
+
+/// A fully parsed, validated scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Scenario name (used in output rows and progress lines).
+    pub name: String,
+    /// Human description.
+    pub description: String,
+    /// Output stem; the runner writes `<stem>.csv` and `<stem>.json`.
+    pub output: Option<String>,
+    /// The sweep axes.
+    pub sweep: SweepAxes,
+    /// Execution settings.
+    pub run: RunSettings,
+    /// Builder-described topologies, by name.
+    pub custom_topologies: BTreeMap<String, CustomTopology>,
+}
+
+impl ScenarioSpec {
+    /// Loads and validates a scenario file.
+    ///
+    /// # Errors
+    /// IO, parse (with line numbers), or validation errors.
+    pub fn from_file(path: impl AsRef<Path>) -> Result<Self, ScenarioError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ScenarioError::io(path.display().to_string(), e))?;
+        Self::from_toml_str(&text)
+    }
+
+    /// Parses and validates a scenario from TOML text.
+    ///
+    /// # Errors
+    /// Parse (with line numbers) or validation errors.
+    pub fn from_toml_str(text: &str) -> Result<Self, ScenarioError> {
+        let doc = toml::parse(text)?;
+        Self::from_table(&doc)
+    }
+
+    fn from_table(doc: &Table) -> Result<Self, ScenarioError> {
+        reject_unknown_keys(
+            doc,
+            "top level",
+            &["scenario", "sweep", "run", "topologies"],
+        )?;
+        let scenario = expect_table(doc, "scenario")?;
+        reject_unknown_keys(scenario, "[scenario]", &["name", "description", "output"])?;
+        let name = expect_str(scenario, "scenario", "name")?.to_string();
+        let description = opt_str(scenario, "scenario", "description")?
+            .unwrap_or_default()
+            .to_string();
+        let output = opt_str(scenario, "scenario", "output")?.map(str::to_string);
+
+        let mut custom_topologies = BTreeMap::new();
+        if let Some(v) = doc.get("topologies") {
+            let items = v.as_array().ok_or_else(|| {
+                ScenarioError::spec("'topologies' must be an array of tables ([[topologies]])")
+            })?;
+            for item in items {
+                let t = item
+                    .as_table()
+                    .ok_or_else(|| ScenarioError::spec("each [[topologies]] must be a table"))?;
+                let custom = parse_custom_topology(t)?;
+                let label = custom.name.clone();
+                if custom_topologies.insert(label.clone(), custom).is_some() {
+                    return Err(ScenarioError::spec(format!(
+                        "duplicate topology name '{label}'"
+                    )));
+                }
+            }
+        }
+
+        let sweep_table = expect_table(doc, "sweep")?;
+        let sweep = parse_sweep(sweep_table, &custom_topologies)?;
+
+        let run = match doc.get("run") {
+            None => RunSettings::default(),
+            Some(v) => parse_run(v.as_table().ok_or_else(|| {
+                ScenarioError::spec(format!("'run' must be a table, found {}", v.type_name()))
+            })?)?,
+        };
+
+        Ok(ScenarioSpec {
+            name,
+            description,
+            output,
+            sweep,
+            run,
+            custom_topologies,
+        })
+    }
+
+    /// Builds the topology named by a `sweep.topology` entry under a link
+    /// spec from the link axis.
+    ///
+    /// # Errors
+    /// Returns a message for unknown families, bad dimensions, or invalid
+    /// custom networks.
+    pub fn build_topology(&self, spec: &str, link: LinkSpec) -> Result<Topology, String> {
+        if let Some(name) = spec.strip_prefix("custom:") {
+            return self
+                .custom_topologies
+                .get(name)
+                .ok_or_else(|| format!("unknown custom topology '{name}'"))?
+                .build();
+        }
+        parse_topology(spec, link)
+    }
+}
+
+fn parse_custom_topology(t: &Table) -> Result<CustomTopology, ScenarioError> {
+    reject_unknown_keys(t, "[[topologies]]", &["name", "npus", "links"])?;
+    let name = expect_str(t, "topologies", "name")?.to_string();
+    let npus = expect_int(t, "topologies", "npus")?;
+    if npus < 2 {
+        return Err(ScenarioError::spec(format!(
+            "topology '{name}': npus must be >= 2"
+        )));
+    }
+    let links_value = t
+        .get("links")
+        .ok_or_else(|| ScenarioError::spec(format!("topology '{name}': missing [[links]]")))?;
+    let items = links_value.as_array().ok_or_else(|| {
+        ScenarioError::spec(format!(
+            "topology '{name}': 'links' must be an array of tables"
+        ))
+    })?;
+    let mut links = Vec::with_capacity(items.len());
+    for item in items {
+        let lt = item.as_table().ok_or_else(|| {
+            ScenarioError::spec(format!("topology '{name}': each link must be a table"))
+        })?;
+        reject_unknown_keys(
+            lt,
+            "[[topologies.links]]",
+            &["src", "dst", "alpha_us", "bandwidth_gbps", "bidi"],
+        )?;
+        // Range-check against npus before narrowing to u32: a silent
+        // wrap would route the link to a different, valid NPU.
+        let endpoint = |key: &str| -> Result<u32, ScenarioError> {
+            let v = expect_int(lt, "links", key)?;
+            if v >= npus {
+                return Err(ScenarioError::spec(format!(
+                    "topology '{name}': link {key} = {v} out of range for {npus} NPUs"
+                )));
+            }
+            Ok(v as u32)
+        };
+        let link = LinkAxis {
+            alpha_us: expect_float(lt, "links", "alpha_us")?,
+            bandwidth_gbps: expect_float(lt, "links", "bandwidth_gbps")?,
+        };
+        if link.alpha_us < 0.0 || link.bandwidth_gbps <= 0.0 {
+            return Err(ScenarioError::spec(format!(
+                "topology '{name}': link {link}: alpha must be >= 0 and bandwidth > 0"
+            )));
+        }
+        links.push(CustomLink {
+            src: endpoint("src")?,
+            dst: endpoint("dst")?,
+            link,
+            bidi: lt.get("bidi").and_then(Value::as_bool).unwrap_or(false),
+        });
+    }
+    let custom = CustomTopology {
+        name: name.clone(),
+        npus: npus as usize,
+        links,
+    };
+    // Validate eagerly so errors surface at load, not mid-run.
+    custom
+        .build()
+        .map_err(|e| ScenarioError::spec(format!("topology '{name}': {e}")))?;
+    Ok(custom)
+}
+
+fn parse_sweep(
+    t: &Table,
+    customs: &BTreeMap<String, CustomTopology>,
+) -> Result<SweepAxes, ScenarioError> {
+    reject_unknown_keys(
+        t,
+        "[sweep]",
+        &[
+            "topology",
+            "collective",
+            "size",
+            "chunks",
+            "algo",
+            "seed",
+            "attempts",
+            "link",
+        ],
+    )?;
+    let topology = string_axis(t, "topology", &[])?;
+    if topology.is_empty() {
+        return Err(ScenarioError::spec(
+            "sweep.topology must list at least one topology",
+        ));
+    }
+    let collective = string_axis(t, "collective", &["all-reduce"])?;
+    let size = string_axis(t, "size", &["64MB"])?;
+    let algo = string_axis(t, "algo", &["tacos"])?;
+    let chunks = int_axis(t, "chunks", &[1])?;
+    let seed = int_axis(t, "seed", &[42])?;
+    let attempts = int_axis(t, "attempts", &[1])?;
+    let link = link_axis(t)?;
+
+    let axes = SweepAxes {
+        topology,
+        collective,
+        size,
+        chunks: dedupe(chunks.iter().map(|&v| v as usize).collect()),
+        algo,
+        seed: dedupe(seed.iter().map(|&v| v as u64).collect()),
+        attempts: dedupe(attempts.iter().map(|&v| v as usize).collect()),
+        link,
+    };
+
+    // Validate every axis value eagerly.
+    let probe = LinkAxis::default_paper().to_spec();
+    for topo in &axes.topology {
+        if let Some(name) = topo.strip_prefix("custom:") {
+            if !customs.contains_key(name) {
+                return Err(ScenarioError::spec(format!(
+                    "sweep.topology references unknown custom topology '{name}'"
+                )));
+            }
+            // Custom topologies carry their own per-link specs; sweeping
+            // the link axis over them would produce identical points whose
+            // reported link parameters are fiction.
+            if axes.link.len() > 1 {
+                return Err(ScenarioError::spec(format!(
+                    "sweep.link has {} values but '{topo}' ignores the link axis \
+                     (its links are defined in [[topologies]]); split it into a \
+                     separate scenario or use a single link value",
+                    axes.link.len()
+                )));
+            }
+        } else {
+            parse_topology(topo, probe)
+                .map_err(|e| ScenarioError::spec(format!("sweep.topology '{topo}': {e}")))?;
+        }
+    }
+    for c in &axes.collective {
+        // Root indices are range-checked per-topology at run time; here
+        // validate against the largest representable root.
+        parse_pattern(c, usize::MAX)
+            .map_err(|e| ScenarioError::spec(format!("sweep.collective '{c}': {e}")))?;
+    }
+    for s in &axes.size {
+        parse_size(s).map_err(|e| ScenarioError::spec(format!("sweep.size '{s}': {e}")))?;
+    }
+    for a in &axes.algo {
+        if a != "tacos" {
+            parse_baseline(a, 0)
+                .map_err(|e| ScenarioError::spec(format!("sweep.algo '{a}': {e}")))?;
+        }
+    }
+    for &k in &axes.chunks {
+        if k == 0 {
+            return Err(ScenarioError::spec("sweep.chunks values must be >= 1"));
+        }
+    }
+    for &a in &axes.attempts {
+        if a == 0 {
+            return Err(ScenarioError::spec("sweep.attempts values must be >= 1"));
+        }
+    }
+    for l in &axes.link {
+        if l.alpha_us < 0.0 || l.bandwidth_gbps <= 0.0 {
+            return Err(ScenarioError::spec(format!(
+                "sweep.link {l}: alpha must be >= 0 and bandwidth > 0"
+            )));
+        }
+    }
+    Ok(axes)
+}
+
+fn parse_run(t: &Table) -> Result<RunSettings, ScenarioError> {
+    reject_unknown_keys(t, "[run]", &["simulate", "threads", "cache", "quiet"])?;
+    let mut run = RunSettings::default();
+    if let Some(v) = t.get("simulate") {
+        run.simulate = v
+            .as_bool()
+            .ok_or_else(|| ScenarioError::spec("run.simulate must be a boolean"))?;
+    }
+    if let Some(v) = t.get("threads") {
+        let n = v
+            .as_int()
+            .ok_or_else(|| ScenarioError::spec("run.threads must be an integer"))?;
+        if n < 0 {
+            return Err(ScenarioError::spec("run.threads must be >= 0"));
+        }
+        run.threads = n as usize;
+    }
+    match t.get("cache") {
+        None => {}
+        Some(Value::Bool(false)) => run.cache = None,
+        Some(Value::Bool(true)) => {}
+        Some(Value::Str(dir)) => run.cache = Some(dir.clone()),
+        Some(other) => {
+            return Err(ScenarioError::spec(format!(
+                "run.cache must be a directory string or false, found {}",
+                other.type_name()
+            )))
+        }
+    }
+    if let Some(v) = t.get("quiet") {
+        run.quiet = v
+            .as_bool()
+            .ok_or_else(|| ScenarioError::spec("run.quiet must be a boolean"))?;
+    }
+    Ok(run)
+}
+
+/// Rejects misspelled or unsupported keys: in a declarative engine a
+/// typoed axis (`seeds` for `seed`) would otherwise silently fall back to
+/// its default and run a different grid than the author wrote.
+fn reject_unknown_keys(t: &Table, context: &str, allowed: &[&str]) -> Result<(), ScenarioError> {
+    for key in t.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(ScenarioError::spec(format!(
+                "unknown key '{key}' in {context} (expected one of: {})",
+                allowed.join(", ")
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Reads an axis that may be a scalar or an array of scalars. An
+/// explicitly empty array is rejected: it would silently expand to a
+/// zero-point grid (omit the key to get the default instead).
+fn axis_values<'a>(t: &'a Table, key: &str) -> Result<Option<Vec<&'a Value>>, ScenarioError> {
+    match t.get(key) {
+        None => Ok(None),
+        Some(Value::Array(items)) if items.is_empty() => Err(ScenarioError::spec(format!(
+            "sweep.{key} must not be an empty list (omit it for the default)"
+        ))),
+        Some(Value::Array(items)) => Ok(Some(items.iter().collect())),
+        Some(scalar) => Ok(Some(vec![scalar])),
+    }
+}
+
+fn string_axis(t: &Table, key: &str, default: &[&str]) -> Result<Vec<String>, ScenarioError> {
+    match axis_values(t, key)? {
+        None => Ok(default.iter().map(|s| s.to_string()).collect()),
+        Some(values) => {
+            let mut out = Vec::with_capacity(values.len());
+            for v in values {
+                out.push(
+                    v.as_str()
+                        .ok_or_else(|| {
+                            ScenarioError::spec(format!(
+                                "sweep.{key} entries must be strings, found {}",
+                                v.type_name()
+                            ))
+                        })?
+                        .to_string(),
+                );
+            }
+            Ok(dedupe(out))
+        }
+    }
+}
+
+fn int_axis(t: &Table, key: &str, default: &[i64]) -> Result<Vec<i64>, ScenarioError> {
+    match axis_values(t, key)? {
+        None => Ok(default.to_vec()),
+        Some(values) => {
+            let mut out = Vec::with_capacity(values.len());
+            for v in values {
+                let n = v.as_int().ok_or_else(|| {
+                    ScenarioError::spec(format!(
+                        "sweep.{key} entries must be integers, found {}",
+                        v.type_name()
+                    ))
+                })?;
+                if n < 0 {
+                    return Err(ScenarioError::spec(format!(
+                        "sweep.{key} entries must be >= 0"
+                    )));
+                }
+                out.push(n);
+            }
+            Ok(dedupe(out))
+        }
+    }
+}
+
+fn link_axis(t: &Table) -> Result<Vec<LinkAxis>, ScenarioError> {
+    match axis_values(t, "link")? {
+        None => Ok(vec![LinkAxis::default_paper()]),
+        Some(values) => {
+            let mut out = Vec::with_capacity(values.len());
+            for v in values {
+                let lt = v.as_table().ok_or_else(|| {
+                    ScenarioError::spec(format!(
+                        "sweep.link entries must be tables like {{ alpha_us = 0.5, bandwidth_gbps = 50.0 }}, found {}",
+                        v.type_name()
+                    ))
+                })?;
+                out.push(LinkAxis {
+                    alpha_us: expect_float(lt, "link", "alpha_us")?,
+                    bandwidth_gbps: expect_float(lt, "link", "bandwidth_gbps")?,
+                });
+            }
+            Ok(dedupe(out))
+        }
+    }
+}
+
+/// Order-preserving dedupe, so axis cardinalities are exact.
+fn dedupe<T: PartialEq>(values: Vec<T>) -> Vec<T> {
+    let mut out: Vec<T> = Vec::with_capacity(values.len());
+    for v in values {
+        if !out.contains(&v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+fn expect_table<'a>(doc: &'a Table, key: &str) -> Result<&'a Table, ScenarioError> {
+    doc.get(key)
+        .ok_or_else(|| ScenarioError::spec(format!("missing [{key}] table")))?
+        .as_table()
+        .ok_or_else(|| ScenarioError::spec(format!("'{key}' must be a table")))
+}
+
+fn expect_str<'a>(t: &'a Table, table: &str, key: &str) -> Result<&'a str, ScenarioError> {
+    t.get(key)
+        .ok_or_else(|| ScenarioError::spec(format!("missing {table}.{key}")))?
+        .as_str()
+        .ok_or_else(|| ScenarioError::spec(format!("{table}.{key} must be a string")))
+}
+
+fn opt_str<'a>(t: &'a Table, table: &str, key: &str) -> Result<Option<&'a str>, ScenarioError> {
+    match t.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(Some)
+            .ok_or_else(|| ScenarioError::spec(format!("{table}.{key} must be a string"))),
+    }
+}
+
+fn expect_int(t: &Table, table: &str, key: &str) -> Result<i64, ScenarioError> {
+    let v = t
+        .get(key)
+        .ok_or_else(|| ScenarioError::spec(format!("missing {table}.{key}")))?
+        .as_int()
+        .ok_or_else(|| ScenarioError::spec(format!("{table}.{key} must be an integer")))?;
+    if v < 0 {
+        return Err(ScenarioError::spec(format!("{table}.{key} must be >= 0")));
+    }
+    Ok(v)
+}
+
+fn expect_float(t: &Table, table: &str, key: &str) -> Result<f64, ScenarioError> {
+    let v = t
+        .get(key)
+        .ok_or_else(|| ScenarioError::spec(format!("missing {table}.{key}")))?
+        .as_float()
+        .ok_or_else(|| ScenarioError::spec(format!("{table}.{key} must be a number")))?;
+    // Every float in a scenario is a physical quantity; an overflowed
+    // literal (e.g. 1e999 parses to inf) would otherwise panic deep in
+    // the unit types instead of producing a readable error.
+    if !v.is_finite() {
+        return Err(ScenarioError::spec(format!(
+            "{table}.{key} must be finite (got {v})"
+        )));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------------
+// String-spec parsers. These are the single source of truth for the CLI's
+// `--topology` / `--collective` / `--size` / `--algo` arguments too.
+// ---------------------------------------------------------------------------
+
+/// Parses a topology spec string (`mesh:3x3`, `ring:8`, `dgx1`, ...) into
+/// a [`Topology`] with homogeneous `link` costs (heterogeneous families
+/// like `rfs` and `dragonfly` derive their tiers from it).
+///
+/// # Errors
+/// Returns a message for unknown families or malformed dimensions.
+pub fn parse_topology(spec: &str, link: LinkSpec) -> Result<Topology, String> {
+    let (kind, rest) = spec.split_once(':').unwrap_or((spec, ""));
+    let dims = |s: &str| -> Result<Vec<usize>, String> {
+        s.split('x')
+            .map(|d| {
+                d.parse::<usize>()
+                    .map_err(|e| format!("bad dimension '{d}': {e}"))
+            })
+            .collect()
+    };
+    let topo = match kind {
+        "ring" => Topology::ring(
+            rest.parse().map_err(|e| format!("bad ring size: {e}"))?,
+            link,
+            RingOrientation::Bidirectional,
+        ),
+        "ring-uni" => Topology::ring(
+            rest.parse().map_err(|e| format!("bad ring size: {e}"))?,
+            link,
+            RingOrientation::Unidirectional,
+        ),
+        "fc" => {
+            Topology::fully_connected(rest.parse().map_err(|e| format!("bad fc size: {e}"))?, link)
+        }
+        "mesh" => {
+            let d = dims(rest)?;
+            if d.len() != 2 {
+                return Err("mesh needs RxC".into());
+            }
+            Topology::mesh_2d(d[0], d[1], link)
+        }
+        "torus" => {
+            let d = dims(rest)?;
+            match d.len() {
+                2 => Topology::torus_2d(d[0], d[1], link),
+                3 => Topology::torus_3d(d[0], d[1], d[2], link),
+                _ => return Err("torus needs XxY or XxYxZ".into()),
+            }
+        }
+        "hypercube" => {
+            let d = dims(rest)?;
+            if d.len() != 3 {
+                return Err("hypercube needs XxYxZ".into());
+            }
+            Topology::hypercube_3d(d[0], d[1], d[2], link)
+        }
+        "switch" => {
+            let (n, degree) = match rest.split_once(":d") {
+                Some((n, d)) => (
+                    n.parse().map_err(|e| format!("bad switch size: {e}"))?,
+                    d.parse().map_err(|e| format!("bad degree: {e}"))?,
+                ),
+                None => (
+                    rest.parse().map_err(|e| format!("bad switch size: {e}"))?,
+                    1,
+                ),
+            };
+            Topology::switch(n, link, degree)
+        }
+        "rfs" => {
+            let d = dims(rest)?;
+            if d.len() != 3 {
+                return Err("rfs needs RxFxS".into());
+            }
+            Topology::rfs_3d(
+                d[0],
+                d[1],
+                d[2],
+                link.alpha(),
+                [
+                    link.bandwidth().as_gbps() * 4.0,
+                    link.bandwidth().as_gbps() * 2.0,
+                    link.bandwidth().as_gbps(),
+                ],
+            )
+        }
+        "dragonfly" => {
+            let d = dims(rest)?;
+            if d.len() != 2 {
+                return Err("dragonfly needs GROUPSxPER_GROUP".into());
+            }
+            let global = LinkSpec::new(
+                link.alpha(),
+                Bandwidth::gbps(link.bandwidth().as_gbps() / 2.0),
+            );
+            Topology::dragonfly(d[0], d[1], link, global)
+        }
+        "dgx1" => Topology::dgx1(link),
+        other => return Err(format!("unknown topology kind '{other}'")),
+    };
+    topo.map_err(|e| e.to_string())
+}
+
+/// Parses a collective pattern name, optionally rooted (`broadcast:3`).
+///
+/// # Errors
+/// Returns a message for unknown patterns or out-of-range roots.
+pub fn parse_pattern(s: &str, num_npus: usize) -> Result<CollectivePattern, String> {
+    let (name, root) = match s.split_once(':') {
+        Some((name, root)) => {
+            let root: usize = root
+                .parse()
+                .map_err(|e| format!("bad root '{root}': {e}"))?;
+            if root >= num_npus {
+                return Err(format!("root {root} out of range for {num_npus} NPUs"));
+            }
+            (name, NpuId::new(root as u32))
+        }
+        None => (s, NpuId::new(0)),
+    };
+    match name {
+        "all-gather" | "allgather" | "ag" => Ok(CollectivePattern::AllGather),
+        "reduce-scatter" | "reducescatter" | "rs" => Ok(CollectivePattern::ReduceScatter),
+        "all-reduce" | "allreduce" | "ar" => Ok(CollectivePattern::AllReduce),
+        "all-to-all" | "alltoall" | "a2a" => Ok(CollectivePattern::AllToAll),
+        "broadcast" | "bcast" => Ok(CollectivePattern::Broadcast { root }),
+        "reduce" => Ok(CollectivePattern::Reduce { root }),
+        "gather" => Ok(CollectivePattern::Gather { root }),
+        "scatter" => Ok(CollectivePattern::Scatter { root }),
+        other => Err(format!("unknown collective '{other}'")),
+    }
+}
+
+/// Parses a baseline algorithm name into its [`BaselineKind`].
+///
+/// # Errors
+/// Returns a message for unknown algorithm names.
+pub fn parse_baseline(s: &str, seed: u64) -> Result<BaselineKind, String> {
+    match s {
+        "ring" => Ok(BaselineKind::Ring),
+        "ring-uni" => Ok(BaselineKind::RingUnidirectional),
+        "direct" => Ok(BaselineKind::Direct),
+        "rhd" => Ok(BaselineKind::Rhd),
+        "dbt" => Ok(BaselineKind::Dbt { pipeline: 4 }),
+        "blueconnect" => Ok(BaselineKind::BlueConnect { chunks: 4 }),
+        "themis" => Ok(BaselineKind::Themis { chunks: 4 }),
+        "multitree" => Ok(BaselineKind::MultiTree),
+        "ccube" => Ok(BaselineKind::CCube { pipeline: 4 }),
+        "taccl" => Ok(BaselineKind::TacclLike(TacclConfig {
+            seed,
+            ..TacclConfig::default()
+        })),
+        other => Err(format!("unknown algorithm '{other}'")),
+    }
+}
+
+/// Parses a human-readable byte size (`64MB`, `1GiB`, `512`).
+///
+/// # Errors
+/// Returns a message for unparseable numbers or unknown units.
+pub fn parse_size(s: &str) -> Result<ByteSize, String> {
+    let s = s.trim();
+    let (num, unit) = s
+        .find(|c: char| c.is_ascii_alphabetic())
+        .map(|i| s.split_at(i))
+        .unwrap_or((s, "B"));
+    let value: u64 = num.parse().map_err(|e| format!("bad size '{s}': {e}"))?;
+    match unit.to_ascii_uppercase().as_str() {
+        "B" | "" => Ok(ByteSize::bytes(value)),
+        "KB" => Ok(ByteSize::kb(value)),
+        "MB" => Ok(ByteSize::mb(value)),
+        "GB" => Ok(ByteSize::gb(value)),
+        "KIB" => Ok(ByteSize::kib(value)),
+        "MIB" => Ok(ByteSize::mib(value)),
+        "GIB" => Ok(ByteSize::gib(value)),
+        other => Err(format!("unknown size unit '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = r#"
+[scenario]
+name = "t"
+
+[sweep]
+topology = ["mesh:2x2"]
+"#;
+
+    #[test]
+    fn minimal_spec_gets_defaults() {
+        let spec = ScenarioSpec::from_toml_str(MINIMAL).unwrap();
+        assert_eq!(spec.name, "t");
+        assert_eq!(spec.sweep.collective, ["all-reduce"]);
+        assert_eq!(spec.sweep.size, ["64MB"]);
+        assert_eq!(spec.sweep.algo, ["tacos"]);
+        assert_eq!(spec.sweep.chunks, [1]);
+        assert_eq!(spec.sweep.seed, [42]);
+        assert_eq!(spec.sweep.attempts, [1]);
+        assert_eq!(spec.sweep.link, [LinkAxis::default_paper()]);
+        assert_eq!(spec.run.cache.as_deref(), Some(".tacos-cache"));
+        assert!(!spec.run.simulate);
+    }
+
+    #[test]
+    fn scalars_accepted_as_one_element_axes() {
+        let spec = ScenarioSpec::from_toml_str(
+            r#"
+[scenario]
+name = "t"
+[sweep]
+topology = "ring:4"
+size = "1MB"
+chunks = 2
+"#,
+        )
+        .unwrap();
+        assert_eq!(spec.sweep.topology, ["ring:4"]);
+        assert_eq!(spec.sweep.size, ["1MB"]);
+        assert_eq!(spec.sweep.chunks, [2]);
+    }
+
+    #[test]
+    fn axes_are_deduped_in_order() {
+        let spec = ScenarioSpec::from_toml_str(
+            r#"
+[scenario]
+name = "t"
+[sweep]
+topology = ["ring:4", "mesh:2x2", "ring:4"]
+seed = [7, 7, 3]
+"#,
+        )
+        .unwrap();
+        assert_eq!(spec.sweep.topology, ["ring:4", "mesh:2x2"]);
+        assert_eq!(spec.sweep.seed, [7, 3]);
+    }
+
+    #[test]
+    fn bad_axis_values_are_rejected_at_load() {
+        for (snippet, needle) in [
+            ("topology = [\"blob:3\"]", "unknown topology kind"),
+            (
+                "topology = [\"mesh:2x2\"]\ncollective = [\"frobnicate\"]",
+                "unknown collective",
+            ),
+            (
+                "topology = [\"mesh:2x2\"]\nsize = [\"12parsecs\"]",
+                "unknown size unit",
+            ),
+            (
+                "topology = [\"mesh:2x2\"]\nalgo = [\"magic\"]",
+                "unknown algorithm",
+            ),
+            ("topology = [\"mesh:2x2\"]\nchunks = [0]", "chunks"),
+            ("topology = [\"mesh:2x2\"]\nattempts = [0]", "attempts"),
+            ("topology = [\"custom:nope\"]", "unknown custom topology"),
+        ] {
+            let text = format!("[scenario]\nname = \"t\"\n[sweep]\n{snippet}\n");
+            let err = ScenarioSpec::from_toml_str(&text).unwrap_err().to_string();
+            assert!(err.contains(needle), "expected '{needle}' in '{err}'");
+        }
+    }
+
+    #[test]
+    fn empty_axis_arrays_are_rejected() {
+        for axis in [
+            "topology = []",
+            "size = []",
+            "algo = []",
+            "seed = []",
+            "chunks = []",
+        ] {
+            let text =
+                format!("[scenario]\nname = \"t\"\n[sweep]\ntopology = [\"ring:4\"]\n{axis}\n");
+            // The duplicate `topology` key case is a parse error; every
+            // other empty axis must be a spec error. Both must fail.
+            let err = ScenarioSpec::from_toml_str(&text).unwrap_err().to_string();
+            assert!(
+                err.contains("must not be an empty list") || err.contains("duplicate key"),
+                "axis '{axis}': got '{err}'"
+            );
+        }
+    }
+
+    #[test]
+    fn misspelled_keys_are_rejected_not_defaulted() {
+        // `seeds` instead of `seed` must not silently run the default grid.
+        let err = ScenarioSpec::from_toml_str(
+            "[scenario]\nname = \"t\"\n[sweep]\ntopology = [\"ring:4\"]\nseeds = [1, 2]\n",
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("unknown key 'seeds'"),
+            "got: {err}"
+        );
+        let err = ScenarioSpec::from_toml_str(
+            "[scenario]\nname = \"t\"\ndescripton = \"typo\"\n[sweep]\ntopology = [\"ring:4\"]\n",
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("unknown key 'descripton'"),
+            "got: {err}"
+        );
+        let err = ScenarioSpec::from_toml_str(
+            "[scenario]\nname = \"t\"\n[sweep]\ntopology = [\"ring:4\"]\n[run]\nsimulat = true\n",
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("unknown key 'simulat'"),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn run_quiet_can_be_set_in_the_file() {
+        let spec = ScenarioSpec::from_toml_str(
+            "[scenario]\nname = \"t\"\n[sweep]\ntopology = [\"ring:4\"]\n[run]\nquiet = true\n",
+        )
+        .unwrap();
+        assert!(spec.run.quiet);
+    }
+
+    #[test]
+    fn non_finite_link_values_are_rejected() {
+        // 1e999 overflows f64 to infinity; it must be a readable spec
+        // error, not a panic inside the unit types at run time.
+        let err = ScenarioSpec::from_toml_str(
+            "[scenario]\nname = \"t\"\n[sweep]\ntopology = [\"ring:4\"]\n\
+             link = [{ alpha_us = 0.5, bandwidth_gbps = 1e999 }]\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("must be finite"), "got: {err}");
+        let err = ScenarioSpec::from_toml_str(
+            "[scenario]\nname = \"t\"\n[sweep]\ntopology = [\"ring:4\"]\n\
+             link = [{ alpha_us = 1e999, bandwidth_gbps = 50.0 }]\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("must be finite"), "got: {err}");
+    }
+
+    #[test]
+    fn custom_link_endpoints_do_not_wrap_through_u32() {
+        // 2^32 would truncate to NPU 0 if cast before the range check.
+        let err = ScenarioSpec::from_toml_str(
+            "[scenario]\nname = \"t\"\n[sweep]\ntopology = [\"custom:pair\"]\n\
+             [[topologies]]\nname = \"pair\"\nnpus = 2\n\
+             [[topologies.links]]\nsrc = 4294967296\ndst = 1\nalpha_us = 0.5\nbandwidth_gbps = 50.0\nbidi = true\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("out of range"), "got: {err}");
+    }
+
+    #[test]
+    fn custom_topology_rejects_multi_valued_link_axis() {
+        let err = ScenarioSpec::from_toml_str(
+            r#"
+[scenario]
+name = "t"
+[sweep]
+topology = ["custom:pair"]
+link = [
+    { alpha_us = 0.5, bandwidth_gbps = 50.0 },
+    { alpha_us = 0.5, bandwidth_gbps = 100.0 },
+]
+[[topologies]]
+name = "pair"
+npus = 2
+[[topologies.links]]
+src = 0
+dst = 1
+alpha_us = 0.5
+bandwidth_gbps = 100.0
+bidi = true
+"#,
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("ignores the link axis"),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn missing_tables_are_reported() {
+        assert!(ScenarioSpec::from_toml_str("x = 1")
+            .unwrap_err()
+            .to_string()
+            .contains("scenario"));
+        assert!(ScenarioSpec::from_toml_str("[scenario]\nname = \"t\"")
+            .unwrap_err()
+            .to_string()
+            .contains("sweep"));
+    }
+
+    #[test]
+    fn custom_topology_builds_and_is_referenced() {
+        let spec = ScenarioSpec::from_toml_str(
+            r#"
+[scenario]
+name = "hetero"
+
+[sweep]
+topology = ["custom:pair"]
+
+[[topologies]]
+name = "pair"
+npus = 2
+
+[[topologies.links]]
+src = 0
+dst = 1
+alpha_us = 0.5
+bandwidth_gbps = 100.0
+bidi = true
+"#,
+        )
+        .unwrap();
+        let topo = spec
+            .build_topology("custom:pair", LinkAxis::default_paper().to_spec())
+            .unwrap();
+        assert_eq!(topo.num_npus(), 2);
+        assert_eq!(topo.num_links(), 2);
+    }
+
+    #[test]
+    fn invalid_custom_topology_rejected_at_load() {
+        // Link endpoint out of range for the declared NPU count.
+        let err = ScenarioSpec::from_toml_str(
+            r#"
+[scenario]
+name = "bad"
+[sweep]
+topology = ["custom:oob"]
+[[topologies]]
+name = "oob"
+npus = 2
+[[topologies.links]]
+src = 0
+dst = 5
+alpha_us = 0.5
+bandwidth_gbps = 100.0
+bidi = true
+"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("out of range"), "got: {err}");
+    }
+
+    #[test]
+    fn run_settings_parse() {
+        let spec = ScenarioSpec::from_toml_str(
+            r#"
+[scenario]
+name = "t"
+[sweep]
+topology = ["ring:4"]
+[run]
+simulate = true
+threads = 8
+cache = false
+"#,
+        )
+        .unwrap();
+        assert!(spec.run.simulate);
+        assert_eq!(spec.run.threads, 8);
+        assert_eq!(spec.run.cache, None);
+    }
+
+    #[test]
+    fn string_parsers_cover_paper_specs() {
+        let link = LinkAxis::default_paper().to_spec();
+        assert_eq!(parse_topology("ring:8", link).unwrap().num_npus(), 8);
+        assert_eq!(parse_topology("mesh:3x3", link).unwrap().num_npus(), 9);
+        assert_eq!(parse_topology("torus:2x2x2", link).unwrap().num_npus(), 8);
+        assert_eq!(parse_topology("dgx1", link).unwrap().num_npus(), 8);
+        assert!(parse_topology("blob:3", link).is_err());
+        assert_eq!(
+            parse_pattern("ar", 4).unwrap(),
+            CollectivePattern::AllReduce
+        );
+        assert!(parse_pattern("gather:9", 4).is_err());
+        assert!(matches!(
+            parse_baseline("ring", 0).unwrap(),
+            BaselineKind::Ring
+        ));
+        assert_eq!(parse_size("64MB").unwrap(), ByteSize::mb(64));
+    }
+}

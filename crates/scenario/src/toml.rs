@@ -1,0 +1,659 @@
+//! A minimal TOML parser for scenario files.
+//!
+//! External crates are unavailable in the offline build environment (the
+//! same constraint that produced `tacos_report`'s hand-rolled JSON
+//! writer), so scenario files are parsed by this ~300-line recursive
+//! descent over the TOML subset the spec schema needs:
+//!
+//! * `[table]` and `[[array-of-tables]]` headers, dotted keys;
+//! * basic strings with escapes, literal strings, booleans, integers
+//!   (with `_` separators), floats;
+//! * (multiline) arrays and inline tables;
+//! * `#` comments.
+//!
+//! Errors carry 1-based line numbers for readable CLI diagnostics.
+
+use std::collections::BTreeMap;
+
+use crate::error::ScenarioError;
+
+/// A parsed TOML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// An array of values.
+    Array(Vec<Value>),
+    /// A table of key → value.
+    Table(Table),
+}
+
+/// A TOML table with deterministically ordered keys.
+pub type Table = BTreeMap<String, Value>;
+
+impl Value {
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an integer, if it is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (integers widen), if numeric.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as a table, if it is one.
+    pub fn as_table(&self) -> Option<&Table> {
+        match self {
+            Value::Table(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// A short name for the value's type, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+            Value::Array(_) => "array",
+            Value::Table(_) => "table",
+        }
+    }
+}
+
+/// Parses a TOML document into its root table.
+///
+/// # Errors
+/// Returns [`ScenarioError::Parse`] with a line number on malformed input.
+pub fn parse(text: &str) -> Result<Table, ScenarioError> {
+    Parser {
+        chars: text.chars().collect(),
+        pos: 0,
+        line: 1,
+    }
+    .parse_document()
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+}
+
+impl Parser {
+    fn err(&self, msg: impl Into<String>) -> ScenarioError {
+        ScenarioError::Parse {
+            line: self.line,
+            message: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    /// Skips spaces and tabs (not newlines).
+    fn skip_inline_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t')) {
+            self.bump();
+        }
+    }
+
+    /// Skips whitespace, newlines, and comments.
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(' ' | '\t' | '\n' | '\r') => {
+                    self.bump();
+                }
+                Some('#') => {
+                    while !matches!(self.peek(), None | Some('\n')) {
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// Requires end-of-line (or end-of-input) after a construct.
+    fn expect_eol(&mut self) -> Result<(), ScenarioError> {
+        self.skip_inline_ws();
+        if self.peek() == Some('#') {
+            while !matches!(self.peek(), None | Some('\n')) {
+                self.bump();
+            }
+        }
+        match self.peek() {
+            None => Ok(()),
+            Some('\n') | Some('\r') => Ok(()),
+            Some(c) => Err(self.err(format!("expected end of line, found '{c}'"))),
+        }
+    }
+
+    fn parse_document(mut self) -> Result<Table, ScenarioError> {
+        let mut root = Table::new();
+        // Path of the table currently receiving `key = value` lines.
+        let mut current: Vec<String> = Vec::new();
+        // Plain `[table]` headers already defined: a repeat would silently
+        // merge two sections (e.g. a mis-resolved merge conflict splitting
+        // [sweep] in two), so it is rejected like real TOML does.
+        let mut defined_headers: std::collections::HashSet<String> =
+            std::collections::HashSet::new();
+        loop {
+            self.skip_trivia();
+            match self.peek() {
+                None => return Ok(root),
+                Some('[') => {
+                    self.bump();
+                    let array = self.peek() == Some('[');
+                    if array {
+                        self.bump();
+                    }
+                    let path = self.parse_key_path(']')?;
+                    if self.bump() != Some(']') {
+                        return Err(self.err("expected ']' closing table header"));
+                    }
+                    if array && self.bump() != Some(']') {
+                        return Err(self.err("expected ']]' closing array-of-tables header"));
+                    }
+                    self.expect_eol()?;
+                    if !array && !defined_headers.insert(path.join(".")) {
+                        return Err(self.err(format!("table '[{}]' defined twice", path.join("."))));
+                    }
+                    self.open_table(&mut root, &path, array)?;
+                    current = path;
+                }
+                Some(_) => {
+                    let path = self.parse_key_path('=')?;
+                    if self.bump() != Some('=') {
+                        return Err(self.err("expected '=' after key"));
+                    }
+                    self.skip_inline_ws();
+                    let value = self.parse_value()?;
+                    self.expect_eol()?;
+                    let table = self.navigate(&mut root, &current)?;
+                    let (last, prefix) = path.split_last().expect("nonempty key path");
+                    let mut table = table;
+                    for k in prefix {
+                        table = match table
+                            .entry(k.clone())
+                            .or_insert_with(|| Value::Table(Table::new()))
+                        {
+                            Value::Table(t) => t,
+                            other => {
+                                let t = other.type_name();
+                                return Err(ScenarioError::Parse {
+                                    line: self.line,
+                                    message: format!("key '{k}' already holds a {t}"),
+                                });
+                            }
+                        };
+                    }
+                    if table.insert(last.clone(), value).is_some() {
+                        return Err(self.err(format!("duplicate key '{last}'")));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Creates (or re-opens) the table at `path`; for `[[x]]`, appends a
+    /// fresh element to the array of tables. Intermediate segments that
+    /// hold arrays of tables descend into their last element, per TOML.
+    fn open_table(
+        &mut self,
+        root: &mut Table,
+        path: &[String],
+        array: bool,
+    ) -> Result<(), ScenarioError> {
+        let line = self.line;
+        let mut table = root;
+        for (i, key) in path.iter().enumerate() {
+            let last = i == path.len() - 1;
+            let entry = table.entry(key.clone()).or_insert_with(|| {
+                if last && array {
+                    Value::Array(Vec::new())
+                } else {
+                    Value::Table(Table::new())
+                }
+            });
+            table = match entry {
+                Value::Table(t) => {
+                    if last && array {
+                        return Err(ScenarioError::Parse {
+                            line,
+                            message: format!("'{key}' is a plain table, not an array of tables"),
+                        });
+                    }
+                    t
+                }
+                Value::Array(items) => {
+                    if last && array {
+                        items.push(Value::Table(Table::new()));
+                    }
+                    match items.last_mut() {
+                        Some(Value::Table(t)) => t,
+                        _ => {
+                            return Err(ScenarioError::Parse {
+                                line,
+                                message: format!("'{key}' is not an array of tables"),
+                            })
+                        }
+                    }
+                }
+                other => {
+                    let t = other.type_name();
+                    return Err(ScenarioError::Parse {
+                        line,
+                        message: format!("table header conflicts with existing {t} at '{key}'"),
+                    });
+                }
+            };
+        }
+        Ok(())
+    }
+
+    /// Walks to the table addressed by the current header path.
+    fn navigate<'a>(
+        &self,
+        root: &'a mut Table,
+        path: &[String],
+    ) -> Result<&'a mut Table, ScenarioError> {
+        let mut table = root;
+        for key in path {
+            let entry = table.get_mut(key).ok_or_else(|| ScenarioError::Parse {
+                line: self.line,
+                message: format!("internal: lost table '{key}'"),
+            })?;
+            table = match entry {
+                Value::Table(t) => t,
+                Value::Array(items) => match items.last_mut() {
+                    Some(Value::Table(t)) => t,
+                    _ => {
+                        return Err(ScenarioError::Parse {
+                            line: self.line,
+                            message: format!("'{key}' is not an array of tables"),
+                        })
+                    }
+                },
+                _ => {
+                    return Err(ScenarioError::Parse {
+                        line: self.line,
+                        message: format!("'{key}' is not a table"),
+                    })
+                }
+            };
+        }
+        Ok(table)
+    }
+
+    /// Parses dotted keys up to (not consuming) `terminator`.
+    fn parse_key_path(&mut self, terminator: char) -> Result<Vec<String>, ScenarioError> {
+        let mut path = Vec::new();
+        loop {
+            self.skip_inline_ws();
+            path.push(self.parse_key()?);
+            self.skip_inline_ws();
+            match self.peek() {
+                Some('.') => {
+                    self.bump();
+                }
+                Some(c) if c == terminator => return Ok(path),
+                Some(c) => return Err(self.err(format!("unexpected '{c}' in key"))),
+                None => return Err(self.err("unexpected end of input in key")),
+            }
+        }
+    }
+
+    fn parse_key(&mut self) -> Result<String, ScenarioError> {
+        match self.peek() {
+            Some('"') | Some('\'') => match self.parse_value()? {
+                Value::Str(s) => Ok(s),
+                _ => unreachable!("quote always parses to a string"),
+            },
+            _ => {
+                let mut key = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                        key.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if key.is_empty() {
+                    Err(self.err("expected a key"))
+                } else {
+                    Ok(key)
+                }
+            }
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, ScenarioError> {
+        match self.peek() {
+            Some('"') => self.parse_basic_string(),
+            Some('\'') => self.parse_literal_string(),
+            Some('[') => self.parse_array(),
+            Some('{') => self.parse_inline_table(),
+            Some(c) if c == 't' || c == 'f' => self.parse_bool(),
+            Some(c) if c.is_ascii_digit() || c == '+' || c == '-' || c == '.' => {
+                self.parse_number()
+            }
+            Some('\n') | Some('\r') | None => Err(self.err("expected a value before end of line")),
+            Some(c) => Err(self.err(format!("unexpected {c:?} at start of value"))),
+        }
+    }
+
+    fn parse_basic_string(&mut self) -> Result<Value, ScenarioError> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None | Some('\n') => return Err(self.err("unterminated string")),
+                Some('"') => return Ok(Value::Str(s)),
+                Some('\\') => match self.bump() {
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('r') => s.push('\r'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .bump()
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            code = code * 16 + d;
+                        }
+                        s.push(char::from_u32(code).ok_or_else(|| self.err("bad \\u code point"))?);
+                    }
+                    Some(c) => return Err(self.err(format!("unknown escape '\\{c}'"))),
+                    None => return Err(self.err("unterminated string")),
+                },
+                Some(c) => s.push(c),
+            }
+        }
+    }
+
+    fn parse_literal_string(&mut self) -> Result<Value, ScenarioError> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None | Some('\n') => return Err(self.err("unterminated string")),
+                Some('\'') => return Ok(Value::Str(s)),
+                Some(c) => s.push(c),
+            }
+        }
+    }
+
+    fn parse_bool(&mut self) -> Result<Value, ScenarioError> {
+        let mut word = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphabetic() {
+                word.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match word.as_str() {
+            "true" => Ok(Value::Bool(true)),
+            "false" => Ok(Value::Bool(false)),
+            other => Err(self.err(format!("expected true/false, found '{other}'"))),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, ScenarioError> {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, '+' | '-' | '.' | 'e' | 'E' | '_') {
+                if c != '_' {
+                    text.push(c);
+                }
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if text.contains(['.', 'e', 'E']) {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| self.err(format!("bad float '{text}': {e}")))
+        } else {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|e| self.err(format!("bad integer '{text}': {e}")))
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, ScenarioError> {
+        self.bump(); // '['
+        let mut items = Vec::new();
+        loop {
+            self.skip_trivia();
+            if self.peek() == Some(']') {
+                self.bump();
+                return Ok(Value::Array(items));
+            }
+            items.push(self.parse_value()?);
+            self.skip_trivia();
+            match self.peek() {
+                Some(',') => {
+                    self.bump();
+                }
+                Some(']') => {}
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_inline_table(&mut self) -> Result<Value, ScenarioError> {
+        self.bump(); // '{'
+        let mut table = Table::new();
+        loop {
+            self.skip_trivia();
+            if self.peek() == Some('}') {
+                self.bump();
+                return Ok(Value::Table(table));
+            }
+            let key = self.parse_key()?;
+            self.skip_inline_ws();
+            if self.bump() != Some('=') {
+                return Err(self.err("expected '=' in inline table"));
+            }
+            self.skip_inline_ws();
+            let value = self.parse_value()?;
+            if table.insert(key.clone(), value).is_some() {
+                return Err(self.err(format!("duplicate key '{key}' in inline table")));
+            }
+            self.skip_trivia();
+            match self.peek() {
+                Some(',') => {
+                    self.bump();
+                }
+                Some('}') => {}
+                _ => return Err(self.err("expected ',' or '}' in inline table")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_tables() {
+        let doc = parse(
+            r#"
+# top comment
+title = "tacos"
+count = 42
+ratio = 1.5
+big = 1_000
+on = true
+
+[run]
+threads = 0
+nested.key = "v"
+"#,
+        )
+        .unwrap();
+        assert_eq!(doc["title"].as_str(), Some("tacos"));
+        assert_eq!(doc["count"].as_int(), Some(42));
+        assert_eq!(doc["ratio"].as_float(), Some(1.5));
+        assert_eq!(doc["big"].as_int(), Some(1000));
+        assert_eq!(doc["on"].as_bool(), Some(true));
+        let run = doc["run"].as_table().unwrap();
+        assert_eq!(run["threads"].as_int(), Some(0));
+        assert_eq!(run["nested"].as_table().unwrap()["key"].as_str(), Some("v"));
+    }
+
+    #[test]
+    fn parses_arrays_and_inline_tables() {
+        let doc = parse(
+            r#"
+sizes = ["1KB", "1MB", "1GB"]
+multi = [
+    1,  # first
+    2,
+    3,
+]
+link = [{ alpha_us = 0.5, bandwidth_gbps = 50.0 }]
+"#,
+        )
+        .unwrap();
+        let sizes: Vec<_> = doc["sizes"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_str().unwrap())
+            .collect();
+        assert_eq!(sizes, ["1KB", "1MB", "1GB"]);
+        assert_eq!(
+            doc["multi"]
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|v| v.as_int().unwrap())
+                .sum::<i64>(),
+            6
+        );
+        let link = doc["link"].as_array().unwrap()[0].as_table().unwrap();
+        assert_eq!(link["alpha_us"].as_float(), Some(0.5));
+        assert_eq!(link["bandwidth_gbps"].as_float(), Some(50.0));
+    }
+
+    #[test]
+    fn parses_array_of_tables() {
+        let doc = parse(
+            r#"
+[[topologies]]
+name = "a"
+npus = 4
+[[topologies.links]]
+src = 0
+dst = 1
+[[topologies.links]]
+src = 1
+dst = 0
+
+[[topologies]]
+name = "b"
+npus = 2
+"#,
+        )
+        .unwrap();
+        let topos = doc["topologies"].as_array().unwrap();
+        assert_eq!(topos.len(), 2);
+        let a = topos[0].as_table().unwrap();
+        assert_eq!(a["name"].as_str(), Some("a"));
+        assert_eq!(a["links"].as_array().unwrap().len(), 2);
+        assert_eq!(topos[1].as_table().unwrap()["npus"].as_int(), Some(2));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("ok = 1\nbad = ").unwrap_err();
+        match err {
+            ScenarioError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+        assert!(parse("dup = 1\ndup = 2").is_err());
+        assert!(parse("x = \"unterminated").is_err());
+        assert!(parse("[t\nx = 1").is_err());
+        assert!(parse("arr = [1, 2").is_err());
+    }
+
+    #[test]
+    fn duplicate_table_headers_are_rejected_not_merged() {
+        let err = parse(
+            "[sweep]\ntopology = [\"ring:4\"]\n[run]\nsimulate = true\n[sweep]\nsize = [\"1MB\"]\n",
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("'[sweep]' defined twice"),
+            "got: {err}"
+        );
+        // Array-of-tables headers repeat by design.
+        assert!(parse("[[t]]\na = 1\n[[t]]\na = 2\n").is_ok());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let doc = parse(r#"s = "a\"b\\c\ndA""#).unwrap();
+        assert_eq!(doc["s"].as_str(), Some("a\"b\\c\ndA"));
+    }
+}

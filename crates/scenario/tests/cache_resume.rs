@@ -1,0 +1,142 @@
+//! Integration test of cache-backed resumability: a repeated run
+//! completes entirely from cache hits — zero new syntheses — and an
+//! overlapping grid only generates its new points.
+
+use tacos_scenario::{run, ScenarioSpec};
+
+fn temp_cache(tag: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("tacos-scenario-cache-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spec_with_cache(sweep: &str, cache: &std::path::Path) -> ScenarioSpec {
+    let text = format!(
+        "[scenario]\nname = \"resume\"\n[sweep]\n{sweep}\n[run]\ncache = \"{}\"\nsimulate = true\n",
+        cache.display()
+    );
+    let mut spec = ScenarioSpec::from_toml_str(&text).unwrap();
+    spec.run.quiet = true;
+    spec
+}
+
+#[test]
+fn second_run_performs_zero_new_syntheses() {
+    let cache = temp_cache("rerun");
+    let sweep = "topology = [\"mesh:2x2\", \"ring:4\"]\n\
+                 collective = [\"all-gather\"]\n\
+                 size = [\"4MB\", \"8MB\"]\n\
+                 algo = [\"tacos\", \"ring\"]";
+    let spec = spec_with_cache(sweep, &cache);
+
+    let first = run(&spec).unwrap();
+    assert_eq!(first.failed, 0);
+    assert_eq!(first.generated, 8, "cold run generates every point");
+    assert_eq!(first.cache_hits, 0);
+
+    let second = run(&spec).unwrap();
+    assert_eq!(second.failed, 0);
+    assert_eq!(second.generated, 0, "warm run must not synthesize anything");
+    assert_eq!(second.cache_hits, 8);
+
+    // Identical results either way.
+    for (a, b) in first.records.iter().zip(&second.records) {
+        let (ma, mb) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+        assert_eq!(
+            ma.collective_time,
+            mb.collective_time,
+            "point {}",
+            a.point.label()
+        );
+        assert_eq!(ma.transfers, mb.transfers);
+    }
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn overlapping_grid_is_incremental() {
+    let cache = temp_cache("overlap");
+    let small = spec_with_cache(
+        "topology = [\"mesh:2x2\"]\ncollective = [\"all-gather\"]\nsize = [\"4MB\"]\nalgo = [\"tacos\"]",
+        &cache,
+    );
+    let first = run(&small).unwrap();
+    assert_eq!((first.generated, first.cache_hits), (1, 0));
+
+    // A larger grid containing the already-run point only generates the
+    // new ones.
+    let grown = spec_with_cache(
+        "topology = [\"mesh:2x2\"]\ncollective = [\"all-gather\"]\nsize = [\"4MB\", \"8MB\"]\nalgo = [\"tacos\", \"ring\"]",
+        &cache,
+    );
+    let second = run(&grown).unwrap();
+    assert_eq!(second.records.len(), 4);
+    assert_eq!(
+        second.cache_hits, 1,
+        "the shared point is served from cache"
+    );
+    assert_eq!(second.generated, 3);
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn seed_sweeps_do_not_regenerate_deterministic_baselines() {
+    let cache = temp_cache("seedsweep");
+    let mut spec = spec_with_cache(
+        "topology = [\"ring:4\"]\ncollective = [\"all-gather\"]\nsize = [\"4MB\"]\n\
+         algo = [\"ring\"]\nseed = [1, 2, 3]",
+        &cache,
+    );
+    // Serialize execution: concurrent workers could each miss the cold
+    // cache before any of them stores, making `generated` nondeterministic.
+    spec.run.threads = 1;
+    let summary = run(&spec).unwrap();
+    assert_eq!(summary.records.len(), 3);
+    assert_eq!(summary.failed, 0);
+    // Ring ignores the seed, so only the first point generates; the other
+    // two seeds hit the same cache entry within the same run.
+    assert_eq!(summary.generated, 1, "deterministic baseline keyed on seed");
+    assert_eq!(summary.cache_hits, 2);
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn randomized_baselines_are_keyed_per_seed() {
+    let cache = temp_cache("tacclseeds");
+    let mut spec = spec_with_cache(
+        "topology = [\"ring:4\"]\ncollective = [\"all-gather\"]\nsize = [\"1MB\"]\n\
+         algo = [\"taccl\"]\nseed = [1, 2]",
+        &cache,
+    );
+    spec.run.threads = 1;
+    let summary = run(&spec).unwrap();
+    assert_eq!(summary.failed, 0);
+    // TACCL-like search consumes the seed, so both points must generate.
+    assert_eq!(
+        summary.generated, 2,
+        "seeded baseline must not share cache entries"
+    );
+    assert_eq!(summary.cache_hits, 0);
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn run_writes_csv_and_json_artifacts() {
+    let cache = temp_cache("artifacts");
+    let out_dir = std::env::temp_dir().join(format!("tacos-scenario-out-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&out_dir);
+    let mut spec = spec_with_cache(
+        "topology = [\"ring:4\"]\ncollective = [\"all-gather\"]\nsize = [\"4MB\"]\nalgo = [\"ring\"]",
+        &cache,
+    );
+    spec.output = Some(out_dir.join("sweep").display().to_string());
+    run(&spec).unwrap();
+    let csv = std::fs::read_to_string(out_dir.join("sweep.csv")).unwrap();
+    assert!(csv.starts_with("scenario,point,topology"));
+    assert_eq!(csv.lines().count(), 2, "header + one point");
+    let json = std::fs::read_to_string(out_dir.join("sweep.json")).unwrap();
+    assert!(json.contains("\"scenario\":\"resume\""));
+    let _ = std::fs::remove_dir_all(&out_dir);
+    let _ = std::fs::remove_dir_all(&cache);
+}

@@ -1,0 +1,106 @@
+//! Property tests on grid expansion: over random axis combinations,
+//! expansion is deterministic, duplicate-free, and has cardinality equal
+//! to the product of the axis lengths.
+
+use std::collections::{BTreeMap, HashSet};
+
+use proptest::prelude::*;
+use tacos_scenario::{expand, LinkAxis, RunSettings, ScenarioSpec, SweepAxes};
+
+const TOPOLOGY_POOL: &[&str] = &[
+    "ring:3",
+    "ring:4",
+    "fc:3",
+    "fc:4",
+    "mesh:2x2",
+    "mesh:2x3",
+    "torus:2x2",
+];
+const SIZE_POOL: &[&str] = &["1KB", "64KB", "1MB", "4MB", "64MB", "1GB"];
+const ALGO_POOL: &[&str] = &["tacos", "ring", "direct", "rhd", "multitree"];
+const COLLECTIVE_POOL: &[&str] = &["all-gather", "all-reduce", "reduce-scatter", "broadcast"];
+
+/// A nonempty, duplicate-free selection from a pool, in pool order.
+fn subset_of(pool: &'static [&'static str]) -> impl Strategy<Value = Vec<String>> {
+    prop::collection::hash_set(0..pool.len() as u32, 1..pool.len()).prop_map(move |picked| {
+        let mut indices: Vec<_> = picked.into_iter().collect();
+        indices.sort_unstable();
+        indices
+            .iter()
+            .map(|&i| pool[i as usize].to_string())
+            .collect()
+    })
+}
+
+fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
+    (
+        subset_of(TOPOLOGY_POOL),
+        subset_of(SIZE_POOL),
+        subset_of(ALGO_POOL),
+        subset_of(COLLECTIVE_POOL),
+        prop::collection::hash_set(0u32..1000, 1..5),
+        prop::collection::hash_set(1u32..6, 1..4),
+    )
+        .prop_map(|(topology, size, algo, collective, seeds, chunks)| {
+            let mut seed: Vec<u64> = seeds.into_iter().map(u64::from).collect();
+            seed.sort_unstable();
+            let mut chunks: Vec<usize> = chunks.into_iter().map(|c| c as usize).collect();
+            chunks.sort_unstable();
+            ScenarioSpec {
+                name: "prop".into(),
+                description: String::new(),
+                output: None,
+                sweep: SweepAxes {
+                    topology,
+                    collective,
+                    size,
+                    chunks,
+                    algo,
+                    seed,
+                    attempts: vec![1],
+                    link: vec![LinkAxis::default_paper()],
+                },
+                run: RunSettings::default(),
+                custom_topologies: BTreeMap::new(),
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Cardinality is exactly the product of the axis lengths.
+    #[test]
+    fn cardinality_is_product(spec in arb_spec()) {
+        let axes = &spec.sweep;
+        let expected = axes.topology.len()
+            * axes.link.len()
+            * axes.collective.len()
+            * axes.size.len()
+            * axes.chunks.len()
+            * axes.algo.len()
+            * axes.seed.len()
+            * axes.attempts.len();
+        let points = expand(&spec).unwrap();
+        prop_assert_eq!(points.len(), expected);
+    }
+
+    /// No two points share a label, and indices are dense and ordered.
+    #[test]
+    fn expansion_is_duplicate_free(spec in arb_spec()) {
+        let points = expand(&spec).unwrap();
+        let labels: HashSet<String> = points.iter().map(|p| p.label()).collect();
+        prop_assert_eq!(labels.len(), points.len());
+        for (i, p) in points.iter().enumerate() {
+            prop_assert_eq!(p.index, i);
+        }
+    }
+
+    /// Expanding the same spec twice yields identical point lists.
+    #[test]
+    fn expansion_is_deterministic(spec in arb_spec()) {
+        let a = expand(&spec).unwrap();
+        let b = expand(&spec).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -36,7 +36,10 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::NpuCountMismatch { topology, algorithm } => write!(
+            SimError::NpuCountMismatch {
+                topology,
+                algorithm,
+            } => write!(
                 f,
                 "topology has {topology} NPUs but the algorithm expects {algorithm}"
             ),
@@ -58,14 +61,20 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(SimError::NpuCountMismatch { topology: 4, algorithm: 8 }
-            .to_string()
-            .contains("4 NPUs"));
+        assert!(SimError::NpuCountMismatch {
+            topology: 4,
+            algorithm: 8
+        }
+        .to_string()
+        .contains("4 NPUs"));
         assert!(SimError::Unroutable { src: 0, dst: 3 }
             .to_string()
             .contains("no route"));
-        assert!(SimError::BadLink { transfer: 2, reason: "x".into() }
-            .to_string()
-            .contains("transfer 2"));
+        assert!(SimError::BadLink {
+            transfer: 2,
+            reason: "x".into()
+        }
+        .to_string()
+        .contains("transfer 2"));
     }
 }

@@ -119,11 +119,11 @@ impl SimReport {
             let e = (iv.start + iv.duration).as_ps() as f64;
             let first = ((s / bin_width) as usize).min(bins - 1);
             let last = ((e / bin_width) as usize).min(bins - 1);
-            for b in first..=last {
-                let b_start = b as f64 * bin_width;
+            for (off, slot) in out[first..=last].iter_mut().enumerate() {
+                let b_start = (first + off) as f64 * bin_width;
                 let b_end = b_start + bin_width;
                 let overlap = (e.min(b_end) - s.max(b_start)).max(0.0);
-                out[b] += overlap;
+                *slot += overlap;
             }
         }
         let denom = bin_width * self.link_bytes.len() as f64;
@@ -158,13 +158,21 @@ mod tests {
             vec![200, 50],
             vec![Time::from_ps(100), Time::from_ps(25)],
             vec![
-                BusyInterval { link: LinkId::new(0), start: Time::ZERO, duration: Time::from_ps(50) },
+                BusyInterval {
+                    link: LinkId::new(0),
+                    start: Time::ZERO,
+                    duration: Time::from_ps(50),
+                },
                 BusyInterval {
                     link: LinkId::new(0),
                     start: Time::from_ps(50),
                     duration: Time::from_ps(50),
                 },
-                BusyInterval { link: LinkId::new(1), start: Time::ZERO, duration: Time::from_ps(25) },
+                BusyInterval {
+                    link: LinkId::new(1),
+                    start: Time::ZERO,
+                    duration: Time::from_ps(25),
+                },
             ],
             3,
             ByteSize::bytes(250),

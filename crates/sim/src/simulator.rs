@@ -223,7 +223,8 @@ impl Simulator {
         }
 
         // Dependency bookkeeping.
-        let mut deps_remaining: Vec<u32> = transfers.iter().map(|t| t.deps().len() as u32).collect();
+        let mut deps_remaining: Vec<u32> =
+            transfers.iter().map(|t| t.deps().len() as u32).collect();
         let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); transfers.len()];
         for (i, t) in transfers.iter().enumerate() {
             for d in t.deps() {
@@ -321,7 +322,10 @@ impl Simulator {
 
         let mut engine = EngineState {
             links: (0..topo.num_links())
-                .map(|_| LinkState { busy_until: Time::ZERO, pending: BinaryHeap::new() })
+                .map(|_| LinkState {
+                    busy_until: Time::ZERO,
+                    pending: BinaryHeap::new(),
+                })
                 .collect(),
             link_bytes: vec![0u64; topo.num_links()],
             link_busy: vec![Time::ZERO; topo.num_links()],
@@ -335,7 +339,10 @@ impl Simulator {
         // Kick off every transfer whose dependencies are already satisfied.
         for (i, &remaining) in deps_remaining.iter().enumerate() {
             if remaining == 0 && !hops[i].is_empty() {
-                let msg = Message { transfer: i as u32, hop: 0 };
+                let msg = Message {
+                    transfer: i as u32,
+                    hop: 0,
+                };
                 engine.push_event(release_time(msg, Time::ZERO), Event::Release(msg));
             }
         }
@@ -351,7 +358,9 @@ impl Simulator {
                         time.as_ps(),
                         engine.seq,
                     );
-                    engine.links[link_id.index()].pending.push(Reverse((prio, msg)));
+                    engine.links[link_id.index()]
+                        .pending
+                        .push(Reverse((prio, msg)));
                     let payload = transfers[msg.transfer as usize].payload(chunk_size);
                     engine.link_bytes[link_id.index()] += payload.as_u64();
                     engine.try_start(link_id, time, cost_of);
@@ -360,7 +369,10 @@ impl Simulator {
                     let t_idx = msg.transfer as usize;
                     if (msg.hop as usize) + 1 < hops[t_idx].len() {
                         // Store-and-forward: next hop becomes ready now.
-                        let next = Message { transfer: msg.transfer, hop: msg.hop + 1 };
+                        let next = Message {
+                            transfer: msg.transfer,
+                            hop: msg.hop + 1,
+                        };
                         engine.push_event(time, Event::Release(next));
                     } else {
                         // Transfer complete; release dependents.
@@ -368,7 +380,10 @@ impl Simulator {
                         for d in std::mem::take(&mut dependents[t_idx]) {
                             deps_remaining[d as usize] -= 1;
                             if deps_remaining[d as usize] == 0 {
-                                let msg = Message { transfer: d, hop: 0 };
+                                let msg = Message {
+                                    transfer: d,
+                                    hop: 0,
+                                };
                                 engine.push_event(release_time(msg, time), Event::Release(msg));
                             }
                         }
@@ -413,7 +428,13 @@ mod tests {
     fn single_transfer_costs_alpha_beta() {
         let topo = Topology::ring(2, spec(), RingOrientation::Bidirectional).unwrap();
         let mut b = AlgorithmBuilder::new("one", 2, ByteSize::mb(1), ByteSize::mb(1));
-        b.push(ChunkId::new(0), NpuId::new(0), NpuId::new(1), TransferKind::Copy, vec![]);
+        b.push(
+            ChunkId::new(0),
+            NpuId::new(0),
+            NpuId::new(1),
+            TransferKind::Copy,
+            vec![],
+        );
         let report = Simulator::new().simulate(&topo, &b.build()).unwrap();
         assert_eq!(report.collective_time(), Time::from_micros(20.5));
         assert_eq!(report.messages(), 1);
@@ -426,7 +447,13 @@ mod tests {
         let topo = Topology::ring(2, spec(), RingOrientation::Bidirectional).unwrap();
         let mut b = AlgorithmBuilder::new("two", 2, ByteSize::mb(1), ByteSize::mb(2));
         for c in 0..2u32 {
-            b.push(ChunkId::new(c), NpuId::new(0), NpuId::new(1), TransferKind::Copy, vec![]);
+            b.push(
+                ChunkId::new(c),
+                NpuId::new(0),
+                NpuId::new(1),
+                TransferKind::Copy,
+                vec![],
+            );
         }
         let report = Simulator::new().simulate(&topo, &b.build()).unwrap();
         assert_eq!(report.collective_time(), Time::from_micros(41.0));
@@ -437,7 +464,13 @@ mod tests {
         // Unidirectional 4-ring: 0 -> 2 must take two hops.
         let topo = Topology::ring(4, spec(), RingOrientation::Unidirectional).unwrap();
         let mut b = AlgorithmBuilder::new("hop", 4, ByteSize::mb(1), ByteSize::mb(1));
-        b.push(ChunkId::new(0), NpuId::new(0), NpuId::new(2), TransferKind::Copy, vec![]);
+        b.push(
+            ChunkId::new(0),
+            NpuId::new(0),
+            NpuId::new(2),
+            TransferKind::Copy,
+            vec![],
+        );
         let algo = b.build();
         // Cut-through (default): alpha once + 2x serialization.
         let report = Simulator::new().simulate(&topo, &algo).unwrap();
@@ -482,7 +515,13 @@ mod tests {
         tb.link(NpuId::new(0), NpuId::new(1), spec());
         let topo = tb.build().unwrap();
         let mut b = AlgorithmBuilder::new("bad", 2, ByteSize::mb(1), ByteSize::mb(1));
-        b.push(ChunkId::new(0), NpuId::new(1), NpuId::new(0), TransferKind::Copy, vec![]);
+        b.push(
+            ChunkId::new(0),
+            NpuId::new(1),
+            NpuId::new(0),
+            TransferKind::Copy,
+            vec![],
+        );
         assert!(matches!(
             Simulator::new().simulate(&topo, &b.build()),
             Err(SimError::Unroutable { src: 1, dst: 0 })
@@ -516,7 +555,10 @@ mod tests {
         let b = AlgorithmBuilder::new("empty", 8, ByteSize::mb(1), ByteSize::mb(1));
         assert!(matches!(
             Simulator::new().simulate(&topo, &b.build()),
-            Err(SimError::NpuCountMismatch { topology: 4, algorithm: 8 })
+            Err(SimError::NpuCountMismatch {
+                topology: 4,
+                algorithm: 8
+            })
         ));
     }
 
@@ -539,7 +581,9 @@ mod tests {
             let result = Synthesizer::new(SynthesizerConfig::default().with_seed(seed))
                 .synthesize(&topo, &coll)
                 .unwrap();
-            let report = Simulator::new().simulate(&topo, result.algorithm()).unwrap();
+            let report = Simulator::new()
+                .simulate(&topo, result.algorithm())
+                .unwrap();
             assert_eq!(
                 report.collective_time(),
                 result.collective_time(),

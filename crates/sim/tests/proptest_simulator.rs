@@ -5,9 +5,7 @@ use proptest::prelude::*;
 use tacos_collective::algorithm::{AlgorithmBuilder, TransferKind};
 use tacos_collective::ChunkId;
 use tacos_sim::{RouteModel, SimConfig, Simulator};
-use tacos_topology::{
-    Bandwidth, ByteSize, LinkSpec, NpuId, RingOrientation, Time, Topology,
-};
+use tacos_topology::{Bandwidth, ByteSize, LinkSpec, NpuId, RingOrientation, Time, Topology};
 
 proptest! {
     /// K dependency-free messages on one link serialize exactly:
@@ -120,8 +118,8 @@ proptest! {
         for c in 0..k {
             b.push(
                 ChunkId::new(c),
-                NpuId::new((c % 4) as u32),
-                NpuId::new(((c + 1) % 4) as u32),
+                NpuId::new(c % 4),
+                NpuId::new((c + 1) % 4),
                 TransferKind::Copy,
                 vec![],
             );

@@ -35,13 +35,22 @@ impl fmt::Display for TenError {
                 "materialized TEN requires homogeneous link costs; use ExpandingTen"
             ),
             TenError::EdgeOccupied { step, link } => {
-                write!(f, "TEN edge (step {step}, link {link}) already carries a chunk")
+                write!(
+                    f,
+                    "TEN edge (step {step}, link {link}) already carries a chunk"
+                )
             }
             TenError::UnscheduledAlgorithm => {
-                write!(f, "algorithm transfers lack schedules; cannot project onto TEN")
+                write!(
+                    f,
+                    "algorithm transfers lack schedules; cannot project onto TEN"
+                )
             }
             TenError::MisalignedSchedule => {
-                write!(f, "scheduled transfer does not align with the TEN step grid")
+                write!(
+                    f,
+                    "scheduled transfer does not align with the TEN step grid"
+                )
             }
         }
     }
@@ -56,11 +65,15 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(TenError::NoLinks.to_string().contains("no links"));
-        assert!(TenError::HeterogeneousTopology.to_string().contains("ExpandingTen"));
+        assert!(TenError::HeterogeneousTopology
+            .to_string()
+            .contains("ExpandingTen"));
         assert!(TenError::EdgeOccupied { step: 1, link: 2 }
             .to_string()
             .contains("step 1, link 2"));
-        assert!(TenError::UnscheduledAlgorithm.to_string().contains("lack schedules"));
+        assert!(TenError::UnscheduledAlgorithm
+            .to_string()
+            .contains("lack schedules"));
         assert!(TenError::MisalignedSchedule.to_string().contains("align"));
     }
 }

@@ -200,8 +200,8 @@ mod tests {
     #[test]
     fn homogeneous_degenerates_to_uniform_steps() {
         let spec = LinkSpec::new(Time::from_micros(0.5), Bandwidth::gbps(50.0));
-        let topo = Topology::ring(4, spec, tacos_topology::RingOrientation::Unidirectional)
-            .unwrap();
+        let topo =
+            Topology::ring(4, spec, tacos_topology::RingOrientation::Unidirectional).unwrap();
         let mut ten = ExpandingTen::new(&topo, ByteSize::mb(1));
         let step = spec.cost(ByteSize::mb(1));
         // Occupy all four links; all arrive in the same column.

@@ -171,10 +171,7 @@ impl TimeExpandedNetwork {
     ///   step boundary or lasts a different amount than one step.
     /// * [`TenError::EdgeOccupied`] if two transfers collide (the algorithm
     ///   was not contention-free).
-    pub fn represent(
-        topo: &Topology,
-        algorithm: &CollectiveAlgorithm,
-    ) -> Result<Self, TenError> {
+    pub fn represent(topo: &Topology, algorithm: &CollectiveAlgorithm) -> Result<Self, TenError> {
         let mut ten = TimeExpandedNetwork::new(topo, algorithm.chunk_size())?;
         for t in algorithm.transfers() {
             let (start, duration, link) = match (t.start(), t.duration(), t.link()) {
@@ -238,8 +235,14 @@ mod tests {
         assert_eq!(ten.steps(), 3);
         assert_eq!(ten.num_links(), 4);
         // Each time span replicates the 4 physical links.
-        assert_eq!(ten.endpoints(LinkId::new(3)), (NpuId::new(2), NpuId::new(0)));
-        assert_eq!(format!("{ten}"), "TEN(3 NPUs x 3 steps, 0/12 edges matched)");
+        assert_eq!(
+            ten.endpoints(LinkId::new(3)),
+            (NpuId::new(2), NpuId::new(0))
+        );
+        assert_eq!(
+            format!("{ten}"),
+            "TEN(3 NPUs x 3 steps, 0/12 edges matched)"
+        );
     }
 
     #[test]

@@ -87,7 +87,10 @@ impl Topology {
         require_side("2D mesh", cols)?;
         multi_dim(
             format!("Mesh2D({rows}x{cols})"),
-            &[Dim::new(DimKind::Mesh, cols, spec), Dim::new(DimKind::Mesh, rows, spec)],
+            &[
+                Dim::new(DimKind::Mesh, cols, spec),
+                Dim::new(DimKind::Mesh, rows, spec),
+            ],
         )
     }
 
@@ -101,7 +104,10 @@ impl Topology {
         require_side("2D torus", cols)?;
         multi_dim(
             format!("Torus2D({rows}x{cols})"),
-            &[Dim::new(DimKind::Ring, cols, spec), Dim::new(DimKind::Ring, rows, spec)],
+            &[
+                Dim::new(DimKind::Ring, cols, spec),
+                Dim::new(DimKind::Ring, rows, spec),
+            ],
         )
     }
 
@@ -203,7 +209,11 @@ impl Topology {
         b.npus(n);
         for i in 0..n {
             for d in 1..=degree as usize {
-                b.link(NpuId::new(i as u32), NpuId::new(((i + d) % n) as u32), shared);
+                b.link(
+                    NpuId::new(i as u32),
+                    NpuId::new(((i + d) % n) as u32),
+                    shared,
+                );
             }
         }
         b.build()
@@ -255,7 +265,11 @@ impl Topology {
         b.npus(n);
         for i in 0..n {
             for &o in offsets {
-                b.link(NpuId::new(i as u32), NpuId::new(((i + o) % n) as u32), shared);
+                b.link(
+                    NpuId::new(i as u32),
+                    NpuId::new(((i + o) % n) as u32),
+                    shared,
+                );
             }
         }
         b.build()
@@ -417,7 +431,10 @@ mod unwound_tests {
         assert_eq!(a.num_links(), b.num_links());
         for (la, lb) in a.links().iter().zip(b.links()) {
             assert_eq!((la.src(), la.dst()), (lb.src(), lb.dst()));
-            assert_eq!(la.spec().bandwidth().as_gbps(), lb.spec().bandwidth().as_gbps());
+            assert_eq!(
+                la.spec().bandwidth().as_gbps(),
+                lb.spec().bandwidth().as_gbps()
+            );
         }
     }
 

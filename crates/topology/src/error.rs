@@ -76,11 +76,19 @@ mod tests {
             "topology must contain at least one NPU"
         );
         assert_eq!(
-            TopologyError::NpuOutOfRange { npu: 9, num_npus: 4 }.to_string(),
+            TopologyError::NpuOutOfRange {
+                npu: 9,
+                num_npus: 4
+            }
+            .to_string(),
             "NPU index 9 out of range for 4 NPUs"
         );
-        assert!(TopologyError::SelfLoop { npu: 1 }.to_string().contains("self-loop"));
-        assert!(TopologyError::NotConnected.to_string().contains("strongly connected"));
+        assert!(TopologyError::SelfLoop { npu: 1 }
+            .to_string()
+            .contains("self-loop"));
+        assert!(TopologyError::NotConnected
+            .to_string()
+            .contains("strongly connected"));
     }
 
     #[test]

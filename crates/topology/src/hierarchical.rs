@@ -190,7 +190,7 @@ pub fn multi_dim(name: impl Into<String>, dims: &[Dim]) -> Result<Topology, Topo
         // Enumerate base indices: all NPUs whose coordinate along d is 0.
         let mut bases = Vec::with_capacity(group_count);
         for npu in 0..num_npus {
-            if (npu / strides[d]) % sizes[d] == 0 {
+            if (npu / strides[d]).is_multiple_of(sizes[d]) {
                 bases.push(npu);
             }
         }
@@ -312,8 +312,7 @@ mod tests {
 
     #[test]
     fn fc_dim_wiring() {
-        let t =
-            multi_dim("fc4", &[Dim::new(DimKind::FullyConnected, 4, spec(50.0))]).unwrap();
+        let t = multi_dim("fc4", &[Dim::new(DimKind::FullyConnected, 4, spec(50.0))]).unwrap();
         assert_eq!(t.num_links(), 12);
         assert!(t.has_link(NpuId::new(0), NpuId::new(3)));
     }

@@ -62,9 +62,7 @@ impl LinkSpec {
         assert!(degree > 0, "bandwidth sharing degree must be positive");
         LinkSpec {
             alpha: self.alpha,
-            bandwidth: Bandwidth::bytes_per_sec(
-                self.bandwidth.as_bytes_per_sec() / degree as f64,
-            ),
+            bandwidth: Bandwidth::bytes_per_sec(self.bandwidth.as_bytes_per_sec() / degree as f64),
         }
     }
 }
@@ -117,7 +115,11 @@ impl Link {
 
 impl fmt::Display for Link {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: {} -> {} ({})", self.id, self.src, self.dst, self.spec)
+        write!(
+            f,
+            "{}: {} -> {} ({})",
+            self.id, self.src, self.dst, self.spec
+        )
     }
 }
 

@@ -86,9 +86,7 @@ impl RoutingTable {
                     let cand = d + link.cost(size);
                     let cur = cost_row[source.index()];
                     // Deterministic tie-break: keep the smaller link id.
-                    if cand < cur
-                        || (cand == cur && lid.raw() < next_row[source.index()])
-                    {
+                    if cand < cur || (cand == cur && lid.raw() < next_row[source.index()]) {
                         cost_row[source.index()] = cand;
                         next_row[source.index()] = lid.raw();
                         if cand < cur {
@@ -98,7 +96,11 @@ impl RoutingTable {
                 }
             }
         }
-        RoutingTable { num_npus: n, next, cost }
+        RoutingTable {
+            num_npus: n,
+            next,
+            cost,
+        }
     }
 
     /// The next link to take from `cur` toward `dst`, or `None` if `dst` is
@@ -199,7 +201,10 @@ mod tests {
         assert_eq!(t.link(path[0]).src(), NpuId::new(3));
         assert_eq!(t.link(path[0]).dst(), NpuId::new(0));
         assert_eq!(t.link(path[1]).dst(), NpuId::new(1));
-        assert_eq!(route_path(&t, &table, NpuId::new(2), NpuId::new(2)), Some(vec![]));
+        assert_eq!(
+            route_path(&t, &table, NpuId::new(2), NpuId::new(2)),
+            Some(vec![])
+        );
     }
 
     #[test]

@@ -181,7 +181,10 @@ impl Topology {
     /// # Panics
     /// Panics if `failed` is out of range.
     pub fn without_link(&self, failed: LinkId) -> Topology {
-        assert!(failed.index() < self.links.len(), "link {failed} out of range");
+        assert!(
+            failed.index() < self.links.len(),
+            "link {failed} out of range"
+        );
         let mut builder = TopologyBuilder::new(format!("{}-minus-{failed}", self.name));
         builder.npus(self.num_npus);
         for link in &self.links {
@@ -190,7 +193,9 @@ impl Topology {
             }
         }
         // Dimension metadata no longer describes the degraded fabric.
-        builder.build().expect("removing a link keeps the topology valid")
+        builder
+            .build()
+            .expect("removing a link keeps the topology valid")
     }
 
     /// A copy of this topology with every link direction reversed.
@@ -300,7 +305,9 @@ impl fmt::Display for Topology {
         write!(
             f,
             "{} ({} NPUs, {} links)",
-            self.name, self.num_npus, self.links.len()
+            self.name,
+            self.num_npus,
+            self.links.len()
         )
     }
 }
@@ -462,7 +469,10 @@ mod tests {
         b.link(NpuId::new(0), NpuId::new(5), spec());
         assert!(matches!(
             b.build(),
-            Err(TopologyError::NpuOutOfRange { npu: 5, num_npus: 2 })
+            Err(TopologyError::NpuOutOfRange {
+                npu: 5,
+                num_npus: 2
+            })
         ));
 
         let mut b = TopologyBuilder::new("loop");
@@ -562,10 +572,7 @@ mod failure_tests {
 
     #[test]
     fn without_link_removes_exactly_one() {
-        let spec = LinkSpec::new(
-            crate::Time::from_micros(0.5),
-            crate::Bandwidth::gbps(50.0),
-        );
+        let spec = LinkSpec::new(crate::Time::from_micros(0.5), crate::Bandwidth::gbps(50.0));
         let ring = Topology::ring(4, spec, RingOrientation::Bidirectional).unwrap();
         let degraded = ring.without_link(LinkId::new(0));
         assert_eq!(degraded.num_links(), ring.num_links() - 1);

@@ -40,7 +40,10 @@ impl Time {
     /// # Panics
     /// Panics if `ns` is negative or not finite.
     pub fn from_nanos(ns: f64) -> Self {
-        assert!(ns.is_finite() && ns >= 0.0, "invalid nanosecond value: {ns}");
+        assert!(
+            ns.is_finite() && ns >= 0.0,
+            "invalid nanosecond value: {ns}"
+        );
         Time((ns * 1e3).round() as u64)
     }
 
@@ -49,7 +52,10 @@ impl Time {
     /// # Panics
     /// Panics if `us` is negative or not finite.
     pub fn from_micros(us: f64) -> Self {
-        assert!(us.is_finite() && us >= 0.0, "invalid microsecond value: {us}");
+        assert!(
+            us.is_finite() && us >= 0.0,
+            "invalid microsecond value: {us}"
+        );
         Time((us * 1e6).round() as u64)
     }
 
@@ -58,7 +64,10 @@ impl Time {
     /// # Panics
     /// Panics if `ms` is negative or not finite.
     pub fn from_millis(ms: f64) -> Self {
-        assert!(ms.is_finite() && ms >= 0.0, "invalid millisecond value: {ms}");
+        assert!(
+            ms.is_finite() && ms >= 0.0,
+            "invalid millisecond value: {ms}"
+        );
         Time((ms * 1e9).round() as u64)
     }
 
@@ -67,7 +76,10 @@ impl Time {
     /// # Panics
     /// Panics if `secs` is negative or not finite.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "invalid second value: {secs}");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "invalid second value: {secs}"
+        );
         Time((secs * 1e12).round() as u64)
     }
 
@@ -214,7 +226,10 @@ impl Bandwidth {
     /// # Panics
     /// Panics if `gbps` is not finite or not strictly positive.
     pub fn gbps(gbps: f64) -> Self {
-        assert!(gbps.is_finite() && gbps > 0.0, "invalid bandwidth: {gbps} GB/s");
+        assert!(
+            gbps.is_finite() && gbps > 0.0,
+            "invalid bandwidth: {gbps} GB/s"
+        );
         Bandwidth(gbps * 1e9)
     }
 

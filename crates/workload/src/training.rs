@@ -142,12 +142,8 @@ impl<'a> TrainingEvaluator<'a> {
                 Ok(report.collective_time())
             }
             CommMechanism::Tacos(config) => {
-                let coll = Collective::with_chunking(
-                    CollectivePattern::AllReduce,
-                    n,
-                    self.chunks,
-                    size,
-                )?;
+                let coll =
+                    Collective::with_chunking(CollectivePattern::AllReduce, n, self.chunks, size)?;
                 let result = Synthesizer::new(config.clone()).synthesize(self.topo, &coll)?;
                 Ok(result.collective_time())
             }

@@ -48,10 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 format!("{size}"),
                 name.clone(),
                 format!("{time}"),
-                format!(
-                    "{:.2}",
-                    size.as_u64() as f64 / time.as_secs_f64() / 1e9
-                ),
+                format!("{:.2}", size.as_u64() as f64 / time.as_secs_f64() / 1e9),
                 format!(
                     "{:.1}%",
                     100.0 * ideal_time.as_secs_f64() / time.as_secs_f64()

@@ -31,7 +31,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // The synthesized schedule is contention-free by construction...
-    tacos.validate_contention_free().expect("TACOS schedules never contend");
+    tacos
+        .validate_contention_free()
+        .expect("TACOS schedules never contend");
     // ...and the congestion-aware simulator reproduces it exactly.
     let sim = Simulator::new();
     let tacos_report = sim.simulate(&topo, tacos)?;
@@ -56,8 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "speedup  : {:.2}x over Ring",
-        ring_report.collective_time().as_secs_f64()
-            / tacos_report.collective_time().as_secs_f64()
+        ring_report.collective_time().as_secs_f64() / tacos_report.collective_time().as_secs_f64()
     );
     Ok(())
 }

@@ -15,11 +15,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let port = LinkSpec::new(Time::from_micros(0.5), Bandwidth::gbps(120.0));
     let synth = Synthesizer::new(SynthesizerConfig::default().with_attempts(8));
 
-    for (label, size) in [("1 KB (latency-bound)", ByteSize::kb(1)), ("1 GB (bandwidth-bound)", ByteSize::gb(1))] {
+    for (label, size) in [
+        ("1 KB (latency-bound)", ByteSize::kb(1)),
+        ("1 GB (bandwidth-bound)", ByteSize::gb(1)),
+    ] {
         println!("=== {label} All-Gather over a 4-NPU switch ===");
-        let mut table = Table::new(vec![
-            "unwinding", "links", "per-link BW", "collective time",
-        ]);
+        let mut table = Table::new(vec!["unwinding", "links", "per-link BW", "collective time"]);
         for degree in 1..=3u32 {
             let topo = Topology::switch(4, port, degree)?;
             let collective = Collective::all_gather(4, size)?;

@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let collective = Collective::all_gather(4, ByteSize::mb(4))?;
     let result = Synthesizer::new(SynthesizerConfig::default()).synthesize(&ring, &collective)?;
     let ten = TimeExpandedNetwork::represent(&ring, result.algorithm())?;
-    println!("\nFig. 7(b): Ring All-Gather over the TEN ({} steps):", ten.steps());
+    println!(
+        "\nFig. 7(b): Ring All-Gather over the TEN ({} steps):",
+        ten.steps()
+    );
     for step in 0..ten.steps() {
         print!("  t={step}:");
         for l in 0..ring.num_links() {

@@ -17,13 +17,8 @@ use tacos_report::Table;
 use tacos_workload::{CommMechanism, TrainingEvaluator, Workload};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let topo = tacos_topology::Topology::rfs_3d(
-        2,
-        4,
-        16,
-        Time::from_micros(0.5),
-        [200.0, 100.0, 50.0],
-    )?;
+    let topo =
+        tacos_topology::Topology::rfs_3d(2, 4, 16, Time::from_micros(0.5), [200.0, 100.0, 50.0])?;
     let workload = Workload::turing_nlg();
     println!(
         "planning {} training on {} ({} gradient All-Reduce per step)\n",

@@ -27,6 +27,15 @@
 //!   Turing-NLG, MSFT-1T) with exposed-communication accounting.
 //! * [`report`] — ASCII tables, heat maps, CSV/JSON writers and the
 //!   polynomial fits used by the scalability analysis.
+//! * [`scenario`] — the declarative scenario engine: whole evaluation
+//!   campaigns described as TOML sweep files (topology × collective ×
+//!   size × chunking × link × seed grids), expanded deterministically and
+//!   executed by a work-stealing sharded runner that routes every point
+//!   through the algorithm cache, so re-runs and overlapping grids are
+//!   incremental. Run them with `tacos scenario run <file.toml>`; the
+//!   checked-in files under `scenarios/` reproduce paper figures.
+//!   New sweeps should be scenario files, not new `tacos-bench` binaries
+//!   (see `ROADMAP.md` for the bench-binary deprecation path).
 //!
 //! ## Quickstart
 //!
@@ -50,6 +59,7 @@ pub use tacos_baselines as baselines;
 pub use tacos_collective as collective;
 pub use tacos_core as synthesizer;
 pub use tacos_report as report;
+pub use tacos_scenario as scenario;
 pub use tacos_sim as sim;
 pub use tacos_ten as ten;
 pub use tacos_topology as topology;
@@ -61,7 +71,8 @@ pub mod prelude {
     pub use tacos_collective::{
         algorithm::CollectiveAlgorithm, Chunk, ChunkId, Collective, CollectivePattern,
     };
-    pub use tacos_core::{SynthesisResult, Synthesizer, SynthesizerConfig};
+    pub use tacos_core::{AlgorithmCache, SynthesisResult, Synthesizer, SynthesizerConfig};
+    pub use tacos_scenario::ScenarioSpec;
     pub use tacos_sim::{SimConfig, SimReport, Simulator};
     pub use tacos_ten::TimeExpandedNetwork;
     pub use tacos_topology::{

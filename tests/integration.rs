@@ -44,19 +44,24 @@ fn synthesis_is_valid_on_every_topology() {
             CollectivePattern::AllGather,
             CollectivePattern::ReduceScatter,
             CollectivePattern::AllReduce,
-            CollectivePattern::Broadcast { root: NpuId::new(0) },
-            CollectivePattern::Reduce { root: NpuId::new((n - 1) as u32) },
+            CollectivePattern::Broadcast {
+                root: NpuId::new(0),
+            },
+            CollectivePattern::Reduce {
+                root: NpuId::new((n - 1) as u32),
+            },
         ];
         for pattern in patterns {
-            let coll =
-                Collective::with_chunking(pattern, n, 1, ByteSize::mb(n as u64)).unwrap();
+            let coll = Collective::with_chunking(pattern, n, 1, ByteSize::mb(n as u64)).unwrap();
             let result = Synthesizer::new(SynthesizerConfig::default().with_seed(3))
                 .synthesize(&topo, &coll)
                 .unwrap_or_else(|e| panic!("{}/{pattern}: {e}", topo.name()));
             let algo = result.algorithm();
             let ctx = format!("{} / {pattern}", topo.name());
-            algo.validate_contention_free().unwrap_or_else(|e| panic!("{ctx}: {e}"));
-            algo.validate_causal().unwrap_or_else(|e| panic!("{ctx}: {e}"));
+            algo.validate_contention_free()
+                .unwrap_or_else(|e| panic!("{ctx}: {e}"));
+            algo.validate_causal()
+                .unwrap_or_else(|e| panic!("{ctx}: {e}"));
             validate_links(algo, &topo).unwrap_or_else(|e| panic!("{ctx}: {e}"));
             let report = sim.simulate(&topo, algo).unwrap();
             assert_eq!(
@@ -144,7 +149,10 @@ fn baselines_simulate_everywhere_supported() {
             BaselineKind::Direct,
             BaselineKind::MultiTree,
             BaselineKind::Dbt { pipeline: 2 },
-            BaselineKind::TacclLike(TacclConfig { node_budget: 200, ..Default::default() }),
+            BaselineKind::TacclLike(TacclConfig {
+                node_budget: 200,
+                ..Default::default()
+            }),
         ];
         if n.is_power_of_two() {
             kinds.push(BaselineKind::Rhd);
@@ -184,12 +192,20 @@ fn nothing_beats_the_ideal_bound() {
             .synthesize(&topo, &coll)
             .unwrap()
             .collective_time();
-        assert!(tacos >= bound, "{}: tacos {tacos} < bound {bound}", topo.name());
+        assert!(
+            tacos >= bound,
+            "{}: tacos {tacos} < bound {bound}",
+            topo.name()
+        );
         let ring = BaselineAlgorithm::new(BaselineKind::Ring)
             .generate(&topo, &coll)
             .unwrap();
         let ring_time = sim.simulate(&topo, &ring).unwrap().collective_time();
-        assert!(ring_time >= bound, "{}: ring beats the strict bound", topo.name());
+        assert!(
+            ring_time >= bound,
+            "{}: ring beats the strict bound",
+            topo.name()
+        );
     }
 }
 
@@ -200,16 +216,20 @@ fn facade_prelude_is_complete() {
     let topo = Topology::mesh_2d(2, 2, spec).unwrap();
     let coll = Collective::all_reduce(4, ByteSize::mb(4)).unwrap();
     let result = Synthesizer::default().synthesize(&topo, &coll).unwrap();
-    let report = Simulator::new().simulate(&topo, result.algorithm()).unwrap();
+    let report = Simulator::new()
+        .simulate(&topo, result.algorithm())
+        .unwrap();
     assert!(report.bandwidth_gbps() > 0.0);
-    let _ten: TimeExpandedNetwork =
-        TimeExpandedNetwork::new(&topo, ByteSize::mb(1)).unwrap();
+    let _ten: TimeExpandedNetwork = TimeExpandedNetwork::new(&topo, ByteSize::mb(1)).unwrap();
     let _ = SimConfig::default();
     let _ = SimReport::clone(&report);
     let _ = BaselineKind::Ring;
     let _ = IdealBound::new(&topo);
     let _: BaselineAlgorithm = BaselineAlgorithm::new(BaselineKind::Direct);
     let _ = CollectiveAlgorithm::clone(result.algorithm());
-    let _ = Chunk { id: ChunkId::new(0), size: ByteSize::mb(1) };
+    let _ = Chunk {
+        id: ChunkId::new(0),
+        size: ByteSize::mb(1),
+    };
     let _: SynthesisResult = result;
 }

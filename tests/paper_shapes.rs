@@ -37,13 +37,19 @@ fn fig2a_ring_vs_direct_shapes() {
     let ring_on_ring = sim_time(&ring_topo, BaselineKind::Ring, &coll);
     let direct_on_ring = sim_time(&ring_topo, BaselineKind::Direct, &coll);
     let ratio = direct_on_ring.as_secs_f64() / ring_on_ring.as_secs_f64();
-    assert!(ratio > 10.0, "Ring should beat Direct on a ring by >10x, got {ratio:.1}x");
+    assert!(
+        ratio > 10.0,
+        "Ring should beat Direct on a ring by >10x, got {ratio:.1}x"
+    );
 
     let fc = Topology::fully_connected(64, spec()).unwrap();
     let ring_on_fc = sim_time(&fc, BaselineKind::Ring, &coll);
     let direct_on_fc = sim_time(&fc, BaselineKind::Direct, &coll);
     let ratio = ring_on_fc.as_secs_f64() / direct_on_fc.as_secs_f64();
-    assert!(ratio > 20.0, "Direct should beat Ring on FC by >20x, got {ratio:.1}x");
+    assert!(
+        ratio > 20.0,
+        "Direct should beat Ring on FC by >20x, got {ratio:.1}x"
+    );
 }
 
 /// Fig. 2(b): the optimal algorithm flips with collective size on a
@@ -60,24 +66,32 @@ fn fig2b_size_crossover() {
     let large = Collective::all_reduce(128, ByteSize::gb(1)).unwrap();
     let ring_small = sim_time(&topo, BaselineKind::Ring, &small);
     let rhd_small = sim_time(&topo, BaselineKind::Rhd, &small);
-    assert!(rhd_small < ring_small, "RHD should win the latency-bound 1 KB case");
+    assert!(
+        rhd_small < ring_small,
+        "RHD should win the latency-bound 1 KB case"
+    );
     let ring_large = sim_time(&topo, BaselineKind::Ring, &large);
     let rhd_large = sim_time(&topo, BaselineKind::Rhd, &large);
-    assert!(ring_large < rhd_large, "Ring should win the bandwidth-bound 1 GB case");
+    assert!(
+        ring_large < rhd_large,
+        "Ring should win the bandwidth-bound 1 GB case"
+    );
 }
 
 /// Fig. 15 / Table V: TACOS beats Ring, Direct, and the TACCL-like
 /// baseline on the heterogeneous 3D-RFS.
 #[test]
 fn fig15_tacos_wins_on_heterogeneous() {
-    let topo =
-        Topology::rfs_3d(2, 4, 4, Time::from_micros(0.5), [200.0, 100.0, 50.0]).unwrap();
+    let topo = Topology::rfs_3d(2, 4, 4, Time::from_micros(0.5), [200.0, 100.0, 50.0]).unwrap();
     let coll = Collective::all_reduce(32, ByteSize::mb(256)).unwrap();
     let tacos = tacos_time(&topo, &coll);
     for kind in [
         BaselineKind::Ring,
         BaselineKind::Direct,
-        BaselineKind::TacclLike(TacclConfig { node_budget: 2_000, ..Default::default() }),
+        BaselineKind::TacclLike(TacclConfig {
+            node_budget: 2_000,
+            ..Default::default()
+        }),
     ] {
         let name = kind.name();
         let t = sim_time(&topo, kind, &coll);
@@ -99,8 +113,7 @@ fn fig16_themis_asymmetry_penalty() {
     let themis_torus = bw(sim_time(&torus, BaselineKind::Themis { chunks: 4 }, &coll));
     let themis_grid_time = sim_time(&grid, BaselineKind::Themis { chunks: 4 }, &coll);
     let themis_grid = bw(themis_grid_time);
-    let chunked =
-        Collective::with_chunking(CollectivePattern::AllReduce, 64, 4, size).unwrap();
+    let chunked = Collective::with_chunking(CollectivePattern::AllReduce, 64, 4, size).unwrap();
     let tacos_grid_time = tacos_time(&grid, &chunked);
     // Themis cannot re-route around the missing wraparound links, so its
     // absolute bandwidth drops on the grid...
@@ -130,12 +143,17 @@ fn fig17a_multitree_saturation() {
     let small = Collective::all_reduce(16, ByteSize::mb(1)).unwrap();
     let large = Collective::all_reduce(16, ByteSize::mb(32)).unwrap();
     let large_chunked =
-        Collective::with_chunking(CollectivePattern::AllReduce, 16, 4, ByteSize::mb(32))
-            .unwrap();
+        Collective::with_chunking(CollectivePattern::AllReduce, 16, 4, ByteSize::mb(32)).unwrap();
 
     let bw = |size: ByteSize, t: Time| size.as_u64() as f64 / t.as_secs_f64();
-    let mt_small = bw(ByteSize::mb(1), sim_time(&torus, BaselineKind::MultiTree, &small));
-    let mt_large = bw(ByteSize::mb(32), sim_time(&torus, BaselineKind::MultiTree, &large));
+    let mt_small = bw(
+        ByteSize::mb(1),
+        sim_time(&torus, BaselineKind::MultiTree, &small),
+    );
+    let mt_large = bw(
+        ByteSize::mb(32),
+        sim_time(&torus, BaselineKind::MultiTree, &large),
+    );
     let tacos_large = bw(ByteSize::mb(32), tacos_time(&torus, &large_chunked));
     // MultiTree's bandwidth saturates...
     assert!(mt_large < mt_small * 1.5, "MultiTree should saturate");
@@ -150,8 +168,8 @@ fn fig17a_multitree_saturation() {
 /// 32.6%); TACOS roughly doubles it (paper: 2.86x).
 #[test]
 fn fig17b_ccube_inefficiency() {
-    let topo = Topology::dgx1(LinkSpec::new(Time::from_micros(0.7), Bandwidth::gbps(25.0)))
-        .unwrap();
+    let topo =
+        Topology::dgx1(LinkSpec::new(Time::from_micros(0.7), Bandwidth::gbps(25.0))).unwrap();
     let size = ByteSize::gb(1);
     let coll = Collective::all_reduce(8, size).unwrap();
     let ideal = IdealBound::new(&topo).collective_time(CollectivePattern::AllReduce, size);
@@ -163,7 +181,10 @@ fn fig17b_ccube_inefficiency() {
     );
     let tacos = tacos_time(&topo, &coll);
     let speedup = ccube.as_secs_f64() / tacos.as_secs_f64();
-    assert!(speedup > 1.5, "TACOS should beat C-Cube by >1.5x, got {speedup:.2}x");
+    assert!(
+        speedup > 1.5,
+        "TACOS should beat C-Cube by >1.5x, got {speedup:.2}x"
+    );
 }
 
 /// Fig. 19: synthesis time follows the O(n²) trend with high R².
@@ -205,10 +226,12 @@ fn fig19_quadratic_scaling() {
 fn fig18_torus_near_ideal() {
     let topo = Topology::torus_3d(3, 3, 3, spec()).unwrap();
     let size = ByteSize::gb(1);
-    let chunked =
-        Collective::with_chunking(CollectivePattern::AllReduce, 27, 4, size).unwrap();
+    let chunked = Collective::with_chunking(CollectivePattern::AllReduce, 27, 4, size).unwrap();
     let tacos = tacos_time(&topo, &chunked);
     let ideal = IdealBound::new(&topo).collective_time(CollectivePattern::AllReduce, size);
     let eff = ideal.as_secs_f64() / tacos.as_secs_f64();
-    assert!(eff > 0.85, "TACOS on a torus should be near-ideal, got {eff:.2}");
+    assert!(
+        eff > 0.85,
+        "TACOS on a torus should be near-ideal, got {eff:.2}"
+    );
 }

@@ -61,8 +61,12 @@ fn arb_pattern(n: usize) -> impl Strategy<Value = CollectivePattern> {
         Just(CollectivePattern::AllGather),
         Just(CollectivePattern::ReduceScatter),
         Just(CollectivePattern::AllReduce),
-        (0..n as u32).prop_map(|r| CollectivePattern::Broadcast { root: NpuId::new(r) }),
-        (0..n as u32).prop_map(|r| CollectivePattern::Reduce { root: NpuId::new(r) }),
+        (0..n as u32).prop_map(|r| CollectivePattern::Broadcast {
+            root: NpuId::new(r)
+        }),
+        (0..n as u32).prop_map(|r| CollectivePattern::Reduce {
+            root: NpuId::new(r)
+        }),
     ]
 }
 
