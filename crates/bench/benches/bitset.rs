@@ -1,5 +1,8 @@
 //! Criterion microbenchmark: ChunkSet intersection picking — the word-wise
-//! AND scan at the heart of every link-chunk match (DESIGN.md §4).
+//! AND scan at the heart of every link-chunk match (DESIGN.md §4). The
+//! start parameter is a circular *bit* offset (see PERF.md on the
+//! low-bit-bias fix); the matching core runs the same kernel over
+//! ChunkMatrix rows.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tacos_collective::{ChunkId, ChunkSet};

@@ -1,12 +1,23 @@
-//! Criterion microbenchmark: the utilization-maximizing matching inner
-//! loop, isolated via single-round synthesis on FullyConnected (one
-//! matching round satisfies every postcondition there).
+//! Criterion microbenchmarks for the utilization-maximizing matching core
+//! (the synthesis hot path; see PERF.md).
+//!
+//! * `single_round_fully_connected` — one matching round satisfies every
+//!   postcondition on FullyConnected, isolating the probe loop.
+//! * `mesh_allgather` — the multi-round 2D-mesh shape the
+//!   `scenarios/bench_matching.toml` perf scenario scales up, exercising
+//!   span-local pruning and the free-link worklist.
+//! * `scratch` — the same synthesis with a cold (per-call) vs reused
+//!   [`tacos_core::SynthesisScratch`], measuring what the arena saves.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tacos_bench::experiments::default_spec;
-use tacos_collective::Collective;
-use tacos_core::{Synthesizer, SynthesizerConfig};
+use tacos_collective::{Collective, CollectivePattern};
+use tacos_core::{SynthesisScratch, Synthesizer, SynthesizerConfig};
 use tacos_topology::{ByteSize, Topology};
+
+fn synth() -> Synthesizer {
+    Synthesizer::new(SynthesizerConfig::default().with_record_transfers(false))
+}
 
 fn bench_matching(c: &mut Criterion) {
     let mut group = c.benchmark_group("matching");
@@ -18,12 +29,59 @@ fn bench_matching(c: &mut Criterion) {
             BenchmarkId::new("single_round_fully_connected", n),
             &n,
             |b, _| {
-                let synth =
-                    Synthesizer::new(SynthesizerConfig::default().with_record_transfers(false));
-                b.iter(|| synth.synthesize(&topo, &coll).unwrap().num_transfers())
+                let synth = synth();
+                let mut scratch = SynthesisScratch::new();
+                b.iter(|| {
+                    synth
+                        .synthesize_with(&topo, &coll, &mut scratch)
+                        .unwrap()
+                        .num_transfers()
+                })
             },
         );
     }
+    for side in [8usize, 16] {
+        let n = side * side;
+        let topo = Topology::mesh_2d(side, side, default_spec()).unwrap();
+        let coll = Collective::with_chunking(
+            CollectivePattern::AllGather,
+            n,
+            4,
+            ByteSize::mb(4 * n as u64),
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("mesh_allgather", n), &n, |b, _| {
+            let synth = synth();
+            let mut scratch = SynthesisScratch::new();
+            b.iter(|| {
+                synth
+                    .synthesize_with(&topo, &coll, &mut scratch)
+                    .unwrap()
+                    .num_transfers()
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("scratch");
+    group.sample_size(10);
+    let topo = Topology::mesh_2d(8, 8, default_spec()).unwrap();
+    let coll =
+        Collective::with_chunking(CollectivePattern::AllGather, 64, 4, ByteSize::mb(256)).unwrap();
+    group.bench_with_input(BenchmarkId::new("cold", 64), &64, |b, _| {
+        let synth = synth();
+        b.iter(|| synth.synthesize(&topo, &coll).unwrap().num_transfers())
+    });
+    group.bench_with_input(BenchmarkId::new("reused", 64), &64, |b, _| {
+        let synth = synth();
+        let mut scratch = SynthesisScratch::new();
+        b.iter(|| {
+            synth
+                .synthesize_with(&topo, &coll, &mut scratch)
+                .unwrap()
+                .num_transfers()
+        })
+    });
     group.finish();
 }
 

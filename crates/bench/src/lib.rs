@@ -6,13 +6,14 @@
 //!
 //! **Deprecation path:** new sweeps should be written as declarative
 //! scenario files (see `tacos-scenario` and the `scenarios/` directory)
-//! and run with `tacos scenario run`, not as new binaries here. Three
-//! binaries are already ported as parity references —
-//! `fig02b_size_sweep` → `scenarios/size_sweep.toml`,
-//! `fig14_mesh_allgather` → `scenarios/mesh_allgather.toml`,
-//! `fig19_scalability` → `scenarios/scalability.toml` — and the
-//! remaining ones will migrate as scenario-engine coverage grows
-//! (see ROADMAP.md).
+//! and run with `tacos scenario run`, not as new binaries here. Four
+//! binaries are ported and deleted — `fig02a_topology_bw` →
+//! `scenarios/topology_bw.toml`, `fig02b_size_sweep` →
+//! `scenarios/size_sweep.toml`, `fig14_mesh_allgather` →
+//! `scenarios/mesh_allgather.toml`, `fig19_scalability` →
+//! `scenarios/scalability.toml` (parity enforced in
+//! `crates/scenario/tests/parity.rs`) — and the remaining ones will
+//! migrate as scenario-engine coverage grows (see ROADMAP.md).
 
 #![warn(missing_docs)]
 

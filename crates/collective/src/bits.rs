@@ -1,0 +1,117 @@
+//! Word-slice scan kernels shared by [`crate::ChunkSet`] (one row) and
+//! [`crate::ChunkMatrix`] (many rows in one flat buffer).
+//!
+//! Both picking kernels scan **circularly from an arbitrary bit offset**,
+//! not just a word offset: the previous word-granular rotation always
+//! resolved ties within the starting word toward the lowest set bit
+//! (`trailing_zeros`), biasing "random" chunk selection toward low chunk
+//! ids whenever several candidates shared a word. Rotating at bit
+//! granularity makes every member of the scanned set reachable as the
+//! first pick for some starting offset.
+
+/// Picks the first set bit of `a & b`, scanning circularly from
+/// `start_bit`. Slices must have equal length.
+pub(crate) fn pick_and(a: &[u64], b: &[u64], start_bit: usize) -> Option<u32> {
+    let n = a.len();
+    if n == 0 {
+        return None;
+    }
+    let s = start_bit % (n * 64);
+    let (w0, b0) = (s / 64, (s % 64) as u32);
+    let head = u64::MAX << b0; // bits >= b0 within the starting word
+    let and = (a[w0] & b[w0]) & head;
+    if and != 0 {
+        return Some((w0 * 64) as u32 + and.trailing_zeros());
+    }
+    for i in 1..n {
+        let w = (w0 + i) % n;
+        let and = a[w] & b[w];
+        if and != 0 {
+            return Some((w * 64) as u32 + and.trailing_zeros());
+        }
+    }
+    let and = (a[w0] & b[w0]) & !head;
+    (and != 0).then(|| (w0 * 64) as u32 + and.trailing_zeros())
+}
+
+/// Picks the first bit of `a & !minus` satisfying `pred`, scanning
+/// circularly from `start_bit`. Slices must have equal length.
+pub(crate) fn pick_diff_where(
+    a: &[u64],
+    minus: &[u64],
+    start_bit: usize,
+    mut pred: impl FnMut(u32) -> bool,
+) -> Option<u32> {
+    let n = a.len();
+    if n == 0 {
+        return None;
+    }
+    let s = start_bit % (n * 64);
+    let (w0, b0) = (s / 64, (s % 64) as u32);
+    let head = u64::MAX << b0; // bits >= b0 within the starting word
+    if let Some(bit) = first_where((a[w0] & !minus[w0]) & head, w0, &mut pred) {
+        return Some(bit);
+    }
+    for i in 1..n {
+        let w = (w0 + i) % n;
+        if let Some(bit) = first_where(a[w] & !minus[w], w, &mut pred) {
+            return Some(bit);
+        }
+    }
+    first_where((a[w0] & !minus[w0]) & !head, w0, &mut pred)
+}
+
+/// Lowest set bit of `word` (at word index `w`) passing `pred`, as a
+/// global bit index.
+fn first_where(mut word: u64, w: usize, pred: &mut impl FnMut(u32) -> bool) -> Option<u32> {
+    while word != 0 {
+        let b = word.trailing_zeros();
+        word &= word - 1;
+        let bit = (w * 64) as u32 + b;
+        if pred(bit) {
+            return Some(bit);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_rotation_reaches_every_member() {
+        // Two candidates in the same word: word-granular rotation could
+        // only ever pick bit 3 first; bit-granular rotation must reach
+        // bit 40 when starting past 3.
+        let a = [(1u64 << 3) | (1u64 << 40)];
+        let b = [u64::MAX];
+        assert_eq!(pick_and(&a, &b, 0), Some(3));
+        assert_eq!(pick_and(&a, &b, 4), Some(40));
+        assert_eq!(pick_and(&a, &b, 41), Some(3)); // wraps
+    }
+
+    #[test]
+    fn wrap_revisits_low_bits_of_start_word() {
+        let a = [1u64 << 2, 0];
+        let b = [u64::MAX, u64::MAX];
+        // Start in word 0 past bit 2: scan word 1, then wrap to bit 2.
+        assert_eq!(pick_and(&a, &b, 10), Some(2));
+    }
+
+    #[test]
+    fn diff_where_respects_pred_and_minus() {
+        let a = [0b1111u64];
+        let minus = [0b0001u64];
+        assert_eq!(pick_diff_where(&a, &minus, 0, |_| true), Some(1));
+        assert_eq!(pick_diff_where(&a, &minus, 0, |b| b >= 3), Some(3));
+        assert_eq!(pick_diff_where(&a, &minus, 2, |_| true), Some(2));
+        assert_eq!(pick_diff_where(&a, &minus, 0, |_| false), None);
+    }
+
+    #[test]
+    fn empty_slices() {
+        assert_eq!(pick_and(&[], &[], 7), None);
+        assert_eq!(pick_diff_where(&[], &[], 7, |_| true), None);
+    }
+}

@@ -172,54 +172,56 @@ impl ChunkSet {
             .all(|(&a, &b)| a & !b == 0)
     }
 
-    /// Picks one chunk from `self ∩ other`, scanning circularly from word
-    /// `start_word` — cheap quasi-random selection when `start_word` is
-    /// randomized by the caller. Returns `None` if the intersection is
-    /// empty.
-    pub fn pick_intersection(&self, other: &ChunkSet, start_word: usize) -> Option<ChunkId> {
-        let n = self.words.len();
-        if n == 0 {
-            return None;
-        }
-        let start = start_word % n;
-        for i in 0..n {
-            let w = (start + i) % n;
-            let and = self.words[w] & other.words[w];
-            if and != 0 {
-                let bit = and.trailing_zeros() as usize;
-                return Some(ChunkId::new((w * 64 + bit) as u32));
-            }
-        }
-        None
+    /// Picks one chunk from `self ∩ other`, scanning circularly from bit
+    /// offset `start_bit` — cheap unbiased quasi-random selection when
+    /// `start_bit` is randomized by the caller. Returns `None` if the
+    /// intersection is empty.
+    ///
+    /// The rotation is bit-granular: a word-granular rotation would always
+    /// resolve ties within the starting word toward the lowest set bit,
+    /// skewing "random" selection toward low chunk ids.
+    pub fn pick_intersection(&self, other: &ChunkSet, start_bit: usize) -> Option<ChunkId> {
+        crate::bits::pick_and(&self.words, &other.words, start_bit).map(ChunkId::new)
     }
 
     /// Picks one chunk from `self \ minus` satisfying `pred`, scanning
-    /// circularly from word `start_word`. Used by relay matching, where a
-    /// candidate chunk must also move closer to its destination.
+    /// circularly from bit offset `start_bit`. Used by relay matching,
+    /// where a candidate chunk must also move closer to its destination.
     pub fn pick_excluding_where(
         &self,
         minus: &ChunkSet,
-        start_word: usize,
+        start_bit: usize,
         mut pred: impl FnMut(ChunkId) -> bool,
     ) -> Option<ChunkId> {
-        let n = self.words.len();
-        if n == 0 {
-            return None;
+        crate::bits::pick_diff_where(&self.words, &minus.words, start_bit, |bit| {
+            pred(ChunkId::new(bit))
+        })
+        .map(ChunkId::new)
+    }
+
+    /// The backing words, 64 chunks per word, lowest id in bit 0 of word 0.
+    pub(crate) fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Builds a set directly from backing words (used by
+    /// [`crate::ChunkMatrix`] row extraction).
+    ///
+    /// # Panics
+    /// Panics if `words` is not exactly `capacity.div_ceil(64)` long or has
+    /// bits set past `capacity`.
+    pub(crate) fn from_words(words: Vec<u64>, capacity: usize) -> Self {
+        assert_eq!(words.len(), capacity.div_ceil(64));
+        let set = ChunkSet { words, capacity };
+        let tail = capacity % 64;
+        if tail != 0 {
+            assert_eq!(
+                set.words.last().copied().unwrap_or(0) >> tail,
+                0,
+                "bits set past capacity"
+            );
         }
-        let start = start_word % n;
-        for i in 0..n {
-            let w = (start + i) % n;
-            let mut bits = self.words[w] & !minus.words[w];
-            while bits != 0 {
-                let b = bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                let chunk = ChunkId::new((w * 64 + b) as u32);
-                if pred(chunk) {
-                    return Some(chunk);
-                }
-            }
-        }
-        None
+        set
     }
 
     /// Iterates over the chunks in the set in increasing order.
@@ -327,16 +329,39 @@ mod tests {
     }
 
     #[test]
-    fn pick_intersection_start_word_rotates() {
+    fn pick_intersection_start_bit_rotates() {
         let mut a = ChunkSet::new(256);
         let mut b = ChunkSet::new(256);
         for c in [ChunkId::new(0), ChunkId::new(100)] {
             a.insert(c);
             b.insert(c);
         }
-        // Starting at word 1 should find the bit in word 1 (chunk 100) first.
+        // Starting past bit 0 finds chunk 100 first; wrapping past 100
+        // comes back around to chunk 0.
         assert_eq!(a.pick_intersection(&b, 1), Some(ChunkId::new(100)));
         assert_eq!(a.pick_intersection(&b, 0), Some(ChunkId::new(0)));
+        assert_eq!(a.pick_intersection(&b, 101), Some(ChunkId::new(0)));
+    }
+
+    #[test]
+    fn pick_intersection_is_not_low_bit_biased_within_a_word() {
+        // Chunks 3 and 40 share word 0. The old word-granular rotation
+        // could only ever return 3 first; bit-granular rotation reaches
+        // both depending on the start offset.
+        let mut a = ChunkSet::new(64);
+        let mut b = ChunkSet::new(64);
+        for c in [ChunkId::new(3), ChunkId::new(40)] {
+            a.insert(c);
+            b.insert(c);
+        }
+        assert_eq!(a.pick_intersection(&b, 0), Some(ChunkId::new(3)));
+        assert_eq!(a.pick_intersection(&b, 4), Some(ChunkId::new(40)));
+        assert_eq!(a.pick_intersection(&b, 41), Some(ChunkId::new(3)));
+        let picks: std::collections::BTreeSet<u32> = (0..64)
+            .filter_map(|s| a.pick_intersection(&b, s))
+            .map(ChunkId::raw)
+            .collect();
+        assert_eq!(picks.into_iter().collect::<Vec<_>>(), vec![3, 40]);
     }
 
     #[test]

@@ -20,15 +20,18 @@
 #![warn(missing_docs)]
 
 pub mod algorithm;
+mod bits;
 mod chunk;
 mod collective;
 mod error;
 pub mod export;
+mod matrix;
 mod pattern;
 
 pub use chunk::{ChunkId, ChunkSet};
 pub use collective::Collective;
 pub use error::CollectiveError;
+pub use matrix::ChunkMatrix;
 pub use pattern::CollectivePattern;
 
 /// A chunk with its size, used in documentation and examples.

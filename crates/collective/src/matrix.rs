@@ -1,0 +1,273 @@
+//! A structure-of-arrays chunk-state matrix: many [`ChunkSet`]-shaped rows
+//! in **one contiguous word buffer**.
+//!
+//! The synthesizer's matching inner loop asks, per free link, *"is there a
+//! chunk the source holds that the destination still needs?"* With
+//! per-NPU `Vec<ChunkSet>` state every probe chases two heap pointers into
+//! unrelated allocations. `ChunkMatrix` stores all rows back-to-back with
+//! a fixed row stride, so the `holds(src) ∩ needs(dst)` probe is a
+//! word-wise AND over two slices of the same flat buffer — no per-NPU heap
+//! objects, cache-friendly, and trivially resettable for scratch reuse.
+//!
+//! [`ChunkSet`] remains the public single-row type; [`ChunkMatrix::load_row`]
+//! and [`ChunkMatrix::row_to_set`] convert between the two.
+
+use crate::bits;
+use crate::chunk::{ChunkId, ChunkSet};
+
+/// A dense `rows × capacity` bit matrix of chunk sets in one flat buffer.
+///
+/// ```
+/// use tacos_collective::{ChunkId, ChunkMatrix};
+/// let mut m = ChunkMatrix::new(4, 128);
+/// m.insert(0, ChunkId::new(100));
+/// m.insert(1, ChunkId::new(100));
+/// assert_eq!(m.pick_intersection(0, 1, 0), Some(ChunkId::new(100)));
+/// assert_eq!(m.pick_intersection(0, 2, 0), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkMatrix {
+    words: Vec<u64>,
+    /// Words per row (`capacity.div_ceil(64)`).
+    stride: usize,
+    /// Chunks per row.
+    capacity: usize,
+    rows: usize,
+}
+
+impl Default for ChunkMatrix {
+    fn default() -> Self {
+        ChunkMatrix::new(0, 0)
+    }
+}
+
+impl ChunkMatrix {
+    /// An all-empty matrix of `rows` sets, each holding chunks
+    /// `0..capacity`.
+    pub fn new(rows: usize, capacity: usize) -> Self {
+        let stride = capacity.div_ceil(64);
+        ChunkMatrix {
+            words: vec![0; rows * stride],
+            stride,
+            capacity,
+            rows,
+        }
+    }
+
+    /// Clears and reshapes the matrix in place, reusing the existing
+    /// allocation whenever it is large enough.
+    pub fn reset(&mut self, rows: usize, capacity: usize) {
+        self.stride = capacity.div_ceil(64);
+        self.capacity = capacity;
+        self.rows = rows;
+        self.words.clear();
+        self.words.resize(rows * self.stride, 0);
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Chunks per row.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Words per row.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The words of row `r`.
+    pub fn row(&self, r: usize) -> &[u64] {
+        &self.words[r * self.stride..(r + 1) * self.stride]
+    }
+
+    fn row_mut(&mut self, r: usize) -> &mut [u64] {
+        &mut self.words[r * self.stride..(r + 1) * self.stride]
+    }
+
+    /// Copies `set` into row `r`.
+    ///
+    /// # Panics
+    /// Panics if the set's capacity differs from the matrix's.
+    pub fn load_row(&mut self, r: usize, set: &ChunkSet) {
+        assert_eq!(set.capacity(), self.capacity, "capacity mismatch");
+        self.row_mut(r).copy_from_slice(set.as_words());
+    }
+
+    /// Extracts row `r` as an owned [`ChunkSet`].
+    pub fn row_to_set(&self, r: usize) -> ChunkSet {
+        ChunkSet::from_words(self.row(r).to_vec(), self.capacity)
+    }
+
+    /// Adds `chunk` to row `r`; returns `true` if newly inserted.
+    ///
+    /// # Panics
+    /// Panics if `chunk` is outside the capacity.
+    pub fn insert(&mut self, r: usize, chunk: ChunkId) -> bool {
+        assert!(chunk.index() < self.capacity, "chunk {chunk} out of range");
+        let (w, b) = (chunk.index() / 64, chunk.index() % 64);
+        let word = &mut self.words[r * self.stride + w];
+        let was = *word & (1 << b) != 0;
+        *word |= 1 << b;
+        !was
+    }
+
+    /// Removes `chunk` from row `r`; returns `true` if it was present.
+    pub fn remove(&mut self, r: usize, chunk: ChunkId) -> bool {
+        if chunk.index() >= self.capacity {
+            return false;
+        }
+        let (w, b) = (chunk.index() / 64, chunk.index() % 64);
+        let word = &mut self.words[r * self.stride + w];
+        let was = *word & (1 << b) != 0;
+        *word &= !(1 << b);
+        was
+    }
+
+    /// Membership test in row `r`.
+    pub fn contains(&self, r: usize, chunk: ChunkId) -> bool {
+        chunk.index() < self.capacity
+            && self.words[r * self.stride + chunk.index() / 64] & (1 << (chunk.index() % 64)) != 0
+    }
+
+    /// Number of chunks in row `r`.
+    pub fn row_len(&self, r: usize) -> usize {
+        self.row(r).iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` if row `r` holds no chunk.
+    pub fn row_is_empty(&self, r: usize) -> bool {
+        self.row(r).iter().all(|&w| w == 0)
+    }
+
+    /// In-place row difference: `row dst \= row src`.
+    pub fn subtract_rows(&mut self, dst: usize, src: usize) {
+        for w in 0..self.stride {
+            let s = self.words[src * self.stride + w];
+            self.words[dst * self.stride + w] &= !s;
+        }
+    }
+
+    /// Copies row `src` over row `dst`.
+    pub fn copy_rows(&mut self, dst: usize, src: usize) {
+        for w in 0..self.stride {
+            self.words[dst * self.stride + w] = self.words[src * self.stride + w];
+        }
+    }
+
+    /// Picks one chunk from `row ra ∩ row rb`, scanning circularly from bit
+    /// offset `start_bit` (same semantics as
+    /// [`ChunkSet::pick_intersection`]).
+    pub fn pick_intersection(&self, ra: usize, rb: usize, start_bit: usize) -> Option<ChunkId> {
+        bits::pick_and(self.row(ra), self.row(rb), start_bit).map(ChunkId::new)
+    }
+
+    /// Picks one chunk from `row ra \ row minus` satisfying `pred`,
+    /// scanning circularly from bit offset `start_bit` (same semantics as
+    /// [`ChunkSet::pick_excluding_where`]).
+    pub fn pick_excluding_where(
+        &self,
+        ra: usize,
+        minus: usize,
+        start_bit: usize,
+        mut pred: impl FnMut(ChunkId) -> bool,
+    ) -> Option<ChunkId> {
+        bits::pick_diff_where(self.row(ra), self.row(minus), start_bit, |bit| {
+            pred(ChunkId::new(bit))
+        })
+        .map(ChunkId::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_independent() {
+        let mut m = ChunkMatrix::new(3, 100);
+        assert!(m.insert(0, ChunkId::new(5)));
+        assert!(!m.insert(0, ChunkId::new(5)));
+        assert!(m.insert(1, ChunkId::new(5)));
+        assert!(m.contains(0, ChunkId::new(5)));
+        assert!(m.contains(1, ChunkId::new(5)));
+        assert!(!m.contains(2, ChunkId::new(5)));
+        assert!(m.remove(0, ChunkId::new(5)));
+        assert!(!m.remove(0, ChunkId::new(5)));
+        assert!(m.row_is_empty(0));
+        assert_eq!(m.row_len(1), 1);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let mut set = ChunkSet::new(130);
+        set.extend([ChunkId::new(0), ChunkId::new(64), ChunkId::new(129)]);
+        let mut m = ChunkMatrix::new(2, 130);
+        m.load_row(1, &set);
+        assert_eq!(m.row_to_set(1), set);
+        assert!(m.row_to_set(0).is_empty());
+    }
+
+    #[test]
+    fn subtract_and_copy() {
+        let mut m = ChunkMatrix::new(2, 64);
+        for c in [1u32, 2, 3] {
+            m.insert(0, ChunkId::new(c));
+        }
+        m.insert(1, ChunkId::new(2));
+        m.subtract_rows(0, 1);
+        assert!(!m.contains(0, ChunkId::new(2)));
+        assert_eq!(m.row_len(0), 2);
+        m.copy_rows(1, 0);
+        assert_eq!(m.row_to_set(1), m.row_to_set(0));
+    }
+
+    #[test]
+    fn picks_match_chunkset_semantics() {
+        let mut m = ChunkMatrix::new(2, 256);
+        let mut a = ChunkSet::new(256);
+        let mut b = ChunkSet::new(256);
+        for i in (0..256).step_by(7) {
+            m.insert(0, ChunkId::new(i));
+            a.insert(ChunkId::new(i));
+        }
+        for i in (0..256).step_by(11) {
+            m.insert(1, ChunkId::new(i));
+            b.insert(ChunkId::new(i));
+        }
+        for start in 0..512 {
+            assert_eq!(
+                m.pick_intersection(0, 1, start),
+                a.pick_intersection(&b, start),
+                "start {start}"
+            );
+            assert_eq!(
+                m.pick_excluding_where(0, 1, start, |c| c.raw() % 3 == 0),
+                a.pick_excluding_where(&b, start, |c| c.raw() % 3 == 0),
+                "start {start}"
+            );
+        }
+    }
+
+    #[test]
+    fn reset_reshapes_and_clears() {
+        let mut m = ChunkMatrix::new(2, 128);
+        m.insert(0, ChunkId::new(0));
+        m.reset(4, 64);
+        assert_eq!(m.rows(), 4);
+        assert_eq!(m.capacity(), 64);
+        assert_eq!(m.stride(), 1);
+        for r in 0..4 {
+            assert!(m.row_is_empty(r));
+        }
+    }
+
+    #[test]
+    fn zero_capacity_rows_pick_nothing() {
+        let m = ChunkMatrix::new(2, 0);
+        assert_eq!(m.pick_intersection(0, 1, 3), None);
+    }
+}

@@ -16,6 +16,12 @@ use tacos_topology::Topology;
 use crate::error::SynthesisError;
 use crate::synthesis::Synthesizer;
 
+/// Version of the matcher's seeded-schedule semantics, folded into every
+/// synthesis cache key: the same (topology, collective, seed) produces a
+/// different schedule across matcher revisions, so entries from older
+/// builds must not hit. 2 = PR 2's zero-allocation matching core.
+const MATCHER_VERSION: u64 = 2;
+
 /// A directory of cached `.tacos` schedules.
 ///
 /// ```no_run
@@ -87,6 +93,11 @@ impl AlgorithmCache {
         collective: &Collective,
     ) -> String {
         let mut h = Fnv::new();
+        // Bumped whenever the matcher's seeded-schedule semantics change
+        // (e.g. PR 2's bit-granular pick rotation and salt-derived probe
+        // offsets): a persistent cache dir written by an older build must
+        // miss, not serve schedules the current matcher would not emit.
+        h.write_u64(MATCHER_VERSION);
         h.write_bytes(tag.as_bytes());
         write_inputs(&mut h, topo, collective);
         let config = synth.config();
@@ -112,6 +123,10 @@ impl AlgorithmCache {
         salt: u64,
     ) -> String {
         let mut h = Fnv::new();
+        // Randomized generators (the TACCL-like baseline) share the
+        // bitset pick kernels whose seeded semantics MATCHER_VERSION
+        // tracks, so their persisted entries must roll over with it too.
+        h.write_u64(MATCHER_VERSION);
         h.write_bytes(tag.as_bytes());
         write_inputs(&mut h, topo, collective);
         h.write_u64(salt);
@@ -183,10 +198,32 @@ impl AlgorithmCache {
         topo: &Topology,
         collective: &Collective,
     ) -> Result<(CollectiveAlgorithm, CacheOutcome), SynthesisError> {
+        self.synthesize_cached_traced_with(
+            synth,
+            topo,
+            collective,
+            &mut crate::SynthesisScratch::new(),
+        )
+    }
+
+    /// [`AlgorithmCache::synthesize_cached_traced`] with caller-provided
+    /// synthesis working memory: on a cache miss, the synthesis reuses
+    /// `scratch` (see [`Synthesizer::synthesize_with`]). Long-running
+    /// sweeps keep one scratch per worker thread.
+    ///
+    /// # Errors
+    /// Propagates synthesis errors; storage failures are swallowed.
+    pub fn synthesize_cached_traced_with(
+        &self,
+        synth: &Synthesizer,
+        topo: &Topology,
+        collective: &Collective,
+        scratch: &mut crate::SynthesisScratch,
+    ) -> Result<(CollectiveAlgorithm, CacheOutcome), SynthesisError> {
         let key = Self::key(synth, topo, collective);
         self.load_or_insert_with(&key, || {
             synth
-                .synthesize(topo, collective)
+                .synthesize_with(topo, collective, scratch)
                 .map(|r| r.into_algorithm())
         })
     }

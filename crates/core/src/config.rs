@@ -17,6 +17,7 @@ pub struct SynthesizerConfig {
     prefer_cheap_links: bool,
     attempts: usize,
     record_transfers: bool,
+    reference_matching: bool,
 }
 
 impl SynthesizerConfig {
@@ -80,6 +81,27 @@ impl SynthesizerConfig {
         self.record_transfers = on;
         self
     }
+
+    /// Whether matching runs through the straightforward reference scan
+    /// instead of the pruned SoA hot path.
+    ///
+    /// The reference round probes every free link through per-row
+    /// [`tacos_collective::ChunkSet`] extractions, with no span-local
+    /// pruning. It is **slow by design** and exists as a determinism
+    /// oracle: for any seed it must produce byte-identical schedules to
+    /// the optimized matcher (the `proptest_determinism` suite asserts
+    /// this). Useful when validating matcher changes; never needed in
+    /// production.
+    pub fn reference_matching(&self) -> bool {
+        self.reference_matching
+    }
+
+    /// Returns the config with reference (oracle) matching toggled.
+    #[must_use]
+    pub fn with_reference_matching(mut self, on: bool) -> Self {
+        self.reference_matching = on;
+        self
+    }
 }
 
 impl Default for SynthesizerConfig {
@@ -89,6 +111,7 @@ impl Default for SynthesizerConfig {
             prefer_cheap_links: true,
             attempts: 1,
             record_transfers: true,
+            reference_matching: false,
         }
     }
 }

@@ -44,9 +44,11 @@ mod config;
 mod error;
 mod matching;
 mod parallel;
+mod scratch;
 mod synthesis;
 
 pub use cache::{AlgorithmCache, CacheOutcome};
 pub use config::SynthesizerConfig;
 pub use error::SynthesisError;
+pub use scratch::SynthesisScratch;
 pub use synthesis::{SynthesisResult, Synthesizer};

@@ -12,18 +12,58 @@
 //! can never match this span — but the link-centric form runs each probe as
 //! a word-wise bitset AND, which is what keeps end-to-end synthesis on the
 //! O(n²) trend of paper Fig. 19.
+//!
+//! # The allocation-free hot path
+//!
+//! Three structural choices keep [`MatchState::run_round`] off the heap:
+//!
+//! * **SoA chunk state** — `holds`, `needs`, and the relay `seen` sets
+//!   live as rows of one [`ChunkMatrix`], so a probe ANDs two slices of
+//!   the same flat buffer instead of chasing per-NPU `ChunkSet`
+//!   allocations.
+//! * **Free-link worklist** — the state maintains the set of
+//!   currently-free links incrementally (links leave when occupied,
+//!   re-enter on their arrival event) instead of scanning every link and
+//!   asking the TEN `is_free` per probe.
+//! * **Span-local probe pruning** — `holds(src)` only grows at arrival
+//!   events and `needs(dst)` / `seen(dst)` only shrink/grow monotonically
+//!   in ways that cannot create new candidates, so a link whose probe came
+//!   back empty stays empty until a chunk *arrives at its source*. Such
+//!   links are marked stale and skipped until an arrival at their source
+//!   NPU re-freshens them ([`MatchState::apply_arrival`]).
+//!
+//! Pruned probes must not perturb the random stream (otherwise pruning
+//! would change schedules): a round draws one RNG salt and derives each
+//! link's probe offset by hashing the salt with the link id, so skipping a
+//! doomed probe consumes nothing. [`MatchState::run_round_reference`]
+//! keeps the straightforward scan-every-free-link form (probing through
+//! [`ChunkSet`], the pre-SoA representation) as an oracle: for any seed it
+//! must produce byte-identical schedules, which the determinism proptests
+//! assert.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
 use tacos_collective::algorithm::{AlgorithmBuilder, TransferId, TransferKind};
-use tacos_collective::ChunkSet;
+use tacos_collective::{ChunkId, ChunkMatrix, Collective};
 use tacos_ten::{Arrival, ExpandingTen};
 use tacos_topology::{LinkId, NpuId, Topology};
 
 /// Sentinel for "chunk was initially held; no providing transfer".
 const NO_PROVIDER: u32 = u32::MAX;
+
+/// Derives a link's probe hash from the round salt without consuming
+/// per-probe RNG (SplitMix64-style mix). Pruned probes must not shift the
+/// random stream, so probes cannot draw from the RNG directly. Kept as a
+/// full `u64` — reducing through `usize` would make schedules differ
+/// between 32- and 64-bit targets.
+fn probe_hash(salt: u64, link: LinkId) -> u64 {
+    let mut z = salt ^ (u64::from(link.raw())).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Relay routing support for collectives with **sparse postconditions**
 /// (All-to-All, Gather, Scatter) — an extension beyond the paper, whose
@@ -38,6 +78,20 @@ pub(crate) struct RelayInfo {
     /// `dist[v][t]` = directed hop distance from `v` to `t` (`u16::MAX` if
     /// unreachable), computed by reverse BFS from each distinct target.
     dist: Vec<Vec<u16>>,
+    /// Fingerprint of the topology the distances were computed on, so a
+    /// cached `RelayInfo` is only reused for the identical network
+    /// (best-of-N attempts re-synthesize the same problem).
+    topo_fingerprint: u64,
+}
+
+/// A cheap structural fingerprint of a topology's directed link list.
+pub(crate) fn topo_fingerprint(topo: &Topology) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ topo.num_npus() as u64;
+    for l in topo.links() {
+        h ^= (u64::from(l.src().raw()) << 32) | u64::from(l.dst().raw());
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 impl RelayInfo {
@@ -67,7 +121,17 @@ impl RelayInfo {
                 dist[v][t as usize] = row[v];
             }
         }
-        RelayInfo { target, dist }
+        RelayInfo {
+            target,
+            dist,
+            topo_fingerprint: topo_fingerprint(topo),
+        }
+    }
+
+    /// `true` if this relay metadata was built for exactly this topology
+    /// and chunk-destination map (cache validity check).
+    pub(crate) fn matches(&self, topo: &Topology, target: &[u32]) -> bool {
+        self.topo_fingerprint == topo_fingerprint(topo) && self.target == target
     }
 
     fn moves_closer(&self, chunk: usize, src: NpuId, dst: NpuId) -> bool {
@@ -78,61 +142,137 @@ impl RelayInfo {
 
 /// Mutable matching state: who holds what, who still needs what, and which
 /// transfer delivered each held chunk (for dependency edges).
+///
+/// All buffers live for the lifetime of the surrounding
+/// [`crate::SynthesisScratch`] and are rebuilt in place by
+/// [`MatchState::reset`], so repeated syntheses (best-of-N attempts,
+/// scenario grid points) do not reallocate.
+#[derive(Default)]
 pub(crate) struct MatchState {
     num_chunks: usize,
-    /// Chunks that have physically arrived at each NPU.
-    holds: Vec<ChunkSet>,
-    /// Postcondition chunks not yet arrived *or in flight* toward each NPU.
-    needs: Vec<ChunkSet>,
+    num_npus: usize,
+    /// SoA chunk state, one flat buffer: rows `0..n` are per-NPU `holds`
+    /// (chunks physically arrived), rows `n..2n` are `needs`
+    /// (postcondition chunks not yet arrived or in flight), rows `2n..3n`
+    /// (relay mode only) are `seen` (arrived or in flight, for duplicate
+    /// suppression).
+    matrix: ChunkMatrix,
     /// `provider[npu * num_chunks + chunk]` = transfer that delivered the
     /// chunk (dependency for onward forwards). Empty when dependency
     /// tracking is disabled.
     provider: Vec<u32>,
     unsatisfied: usize,
-    /// Scratch: shuffled link order, reused across rounds.
-    link_order: Vec<LinkId>,
-    /// Relay routing for sparse-postcondition patterns, with per-NPU
-    /// "seen" sets (arrived or in-flight) for duplicate suppression.
-    relay: Option<(RelayInfo, Vec<ChunkSet>)>,
+    /// Links free at the TEN's current time (the worklist): occupied links
+    /// leave in `run_round`, arrivals re-add theirs in `apply_arrival`.
+    free: Vec<LinkId>,
+    /// Worklist membership flag per link, guaranteeing `free` never holds
+    /// duplicates. Membership cannot be inferred from `ten.is_free` alone:
+    /// a zero-cost link is "free" again the instant it is occupied, which
+    /// would let the end-of-round sweep keep it *and* its arrival re-add
+    /// it.
+    in_free: Vec<bool>,
+    /// `false` once a link's probe came back empty: it cannot match again
+    /// until an arrival at its source grows `holds(src)`.
+    fresh: Vec<bool>,
+    /// Scratch: this round's shuffled free-link order.
+    order: Vec<LinkId>,
+    /// Relay routing for sparse-postcondition patterns.
+    relay: Option<RelayInfo>,
 }
 
 impl MatchState {
-    /// Builds the state from per-NPU pre/postconditions.
+    /// Rebuilds the state in place for one synthesis over
+    /// `topo`/`collective`, reusing every allocation from prior runs.
+    pub(crate) fn reset(
+        &mut self,
+        topo: &Topology,
+        collective: &Collective,
+        track_deps: bool,
+        with_relay: bool,
+    ) {
+        let n = topo.num_npus();
+        let num_chunks = collective.num_chunks();
+        self.num_npus = n;
+        self.num_chunks = num_chunks;
+        self.relay = None;
+        self.matrix
+            .reset(if with_relay { 3 * n } else { 2 * n }, num_chunks);
+        self.unsatisfied = 0;
+        for npu in topo.npus() {
+            let pre = collective.precondition(npu);
+            let post = collective.postcondition(npu);
+            self.matrix.load_row(npu.index(), &pre);
+            self.matrix.load_row(n + npu.index(), &post);
+            self.matrix.subtract_rows(n + npu.index(), npu.index());
+            self.unsatisfied += self.matrix.row_len(n + npu.index());
+        }
+        self.provider.clear();
+        if track_deps {
+            self.provider.resize(n * num_chunks, NO_PROVIDER);
+        }
+        self.free.clear();
+        self.free
+            .extend((0..topo.num_links() as u32).map(LinkId::new));
+        self.in_free.clear();
+        self.in_free.resize(topo.num_links(), true);
+        self.fresh.clear();
+        self.fresh.resize(topo.num_links(), true);
+        self.order.clear();
+        self.order.reserve(topo.num_links());
+    }
+
+    /// Test constructor from explicit per-NPU pre/postconditions.
+    #[cfg(test)]
     pub(crate) fn new(
-        preconditions: Vec<ChunkSet>,
-        postconditions: Vec<ChunkSet>,
+        preconditions: Vec<tacos_collective::ChunkSet>,
+        postconditions: Vec<tacos_collective::ChunkSet>,
         num_links: usize,
         track_deps: bool,
     ) -> Self {
         assert_eq!(preconditions.len(), postconditions.len());
-        let num_chunks = preconditions.first().map_or(0, ChunkSet::capacity);
-        let num_npus = preconditions.len();
-        let mut needs = postconditions;
-        let mut unsatisfied = 0;
-        for (need, pre) in needs.iter_mut().zip(&preconditions) {
-            need.subtract(pre);
-            unsatisfied += need.len();
-        }
-        MatchState {
+        let num_chunks = preconditions
+            .first()
+            .map_or(0, tacos_collective::ChunkSet::capacity);
+        let n = preconditions.len();
+        let mut state = MatchState {
             num_chunks,
-            holds: preconditions,
-            needs,
-            provider: if track_deps {
-                vec![NO_PROVIDER; num_npus * num_chunks]
-            } else {
-                Vec::new()
-            },
-            unsatisfied,
-            link_order: (0..num_links as u32).map(LinkId::new).collect(),
-            relay: None,
+            num_npus: n,
+            matrix: ChunkMatrix::new(2 * n, num_chunks),
+            ..MatchState::default()
+        };
+        for (i, (pre, post)) in preconditions.iter().zip(&postconditions).enumerate() {
+            state.matrix.load_row(i, pre);
+            state.matrix.load_row(n + i, post);
+            state.matrix.subtract_rows(n + i, i);
+            state.unsatisfied += state.matrix.row_len(n + i);
         }
+        if track_deps {
+            state.provider.resize(n * num_chunks, NO_PROVIDER);
+        }
+        state.free.extend((0..num_links as u32).map(LinkId::new));
+        state.in_free.resize(num_links, true);
+        state.fresh.resize(num_links, true);
+        state
     }
 
     /// Enables relay routing (sparse-postcondition patterns): initializes
-    /// per-NPU "seen" sets to the current holdings.
+    /// per-NPU "seen" rows to the current holdings. The state must have
+    /// been [`MatchState::reset`] with `with_relay = true`.
     pub(crate) fn enable_relay(&mut self, relay: RelayInfo) {
-        let seen = self.holds.clone();
-        self.relay = Some((relay, seen));
+        assert_eq!(
+            self.matrix.rows(),
+            3 * self.num_npus,
+            "reset without relay rows"
+        );
+        for v in 0..self.num_npus {
+            self.matrix.copy_rows(2 * self.num_npus + v, v);
+        }
+        self.relay = Some(relay);
+    }
+
+    /// Hands the relay metadata back for caching across attempts.
+    pub(crate) fn take_relay(&mut self) -> Option<RelayInfo> {
+        self.relay.take()
     }
 
     /// Number of unsatisfied `(NPU, chunk)` postconditions (in-flight
@@ -144,8 +284,13 @@ impl MatchState {
 
     /// The chunks that have arrived at `npu` so far.
     #[cfg(test)]
-    pub(crate) fn held(&self, npu: NpuId) -> &ChunkSet {
-        &self.holds[npu.index()]
+    pub(crate) fn held(&self, npu: NpuId) -> tacos_collective::ChunkSet {
+        self.matrix.row_to_set(npu.index())
+    }
+
+    #[cfg(test)]
+    pub(crate) fn tracks_deps(&self) -> bool {
+        !self.provider.is_empty()
     }
 
     fn provider_of(&self, npu: NpuId, chunk: usize) -> Option<TransferId> {
@@ -163,9 +308,90 @@ impl MatchState {
     }
 
     /// Registers a chunk arrival: the destination now *holds* the chunk and
-    /// may forward it in subsequent time spans.
-    pub(crate) fn apply_arrival(&mut self, arrival: &Arrival) {
-        self.holds[arrival.dst.index()].insert(arrival.chunk);
+    /// may forward it in subsequent time spans, the carrying link is free
+    /// again, and the destination's outgoing links may match anew.
+    pub(crate) fn apply_arrival(&mut self, topo: &Topology, arrival: &Arrival) {
+        self.matrix.insert(arrival.dst.index(), arrival.chunk);
+        if !self.in_free[arrival.link.index()] {
+            self.in_free[arrival.link.index()] = true;
+            self.free.push(arrival.link);
+        }
+        // `holds(dst)` grew: links out of `dst` can probe non-empty again.
+        for &out in topo.out_links(arrival.dst) {
+            self.fresh[out.index()] = true;
+        }
+    }
+
+    /// Shuffles the free-link worklist into `self.order` and draws the
+    /// round's probe salt. Shared by the optimized and reference rounds so
+    /// both consume the identical RNG stream.
+    fn begin_round(&mut self, ten: &ExpandingTen, rng: &mut StdRng, prefer_cheap: bool) -> u64 {
+        let mut order = std::mem::take(&mut self.order);
+        order.clear();
+        order.extend_from_slice(&self.free);
+        // Random order maximizes fairness across links (the paper's random
+        // postcondition selection); on heterogeneous fabrics with
+        // prioritization, cheaper links go first with ties broken by the
+        // round-salted hash (§IV-F). The sort key is a total order
+        // (cost, salted hash, link id), so the allocation-free unstable
+        // sort is deterministic across sort-algorithm and toolchain
+        // changes, ties stay random round-to-round, and a pre-sort
+        // shuffle would be dead work — randomness comes from the salt.
+        let sort_by_cost = prefer_cheap && !ten.uniform_cost();
+        if !sort_by_cost {
+            order.shuffle(rng);
+        }
+        let salt: u64 = rng.gen();
+        if sort_by_cost {
+            order.sort_unstable_by_key(|&l| (ten.link_cost(l), probe_hash(salt, l), l.raw()));
+        }
+        self.order = order;
+        salt
+    }
+
+    /// Records one link–chunk match: postcondition bookkeeping, TEN
+    /// occupancy, and (when recording) the scheduled transfer with its
+    /// dependency on the chunk's providing transfer.
+    #[allow(clippy::too_many_arguments)]
+    fn commit_match(
+        &mut self,
+        link: LinkId,
+        chunk: ChunkId,
+        src: NpuId,
+        dst: NpuId,
+        ten: &mut ExpandingTen,
+        builder: &mut Option<&mut AlgorithmBuilder>,
+        transfers_out: &mut u64,
+    ) {
+        let n = self.num_npus;
+        // The link leaves the worklist at the end-of-round sweep; its
+        // arrival event re-adds it.
+        self.in_free[link.index()] = false;
+        // Mark the postcondition satisfied and put the chunk in flight
+        // (paper Fig. 8c).
+        if self.matrix.remove(n + dst.index(), chunk) {
+            self.unsatisfied -= 1;
+        }
+        if self.relay.is_some() {
+            self.matrix.insert(2 * n + dst.index(), chunk);
+        }
+        let start = ten.now();
+        let arrive = ten.occupy(link, chunk);
+        *transfers_out += 1;
+        if let Some(b) = builder.as_deref_mut() {
+            let deps: Vec<TransferId> = self.provider_of(src, chunk.index()).into_iter().collect();
+            let id = b.push_scheduled(
+                chunk,
+                src,
+                dst,
+                TransferKind::Copy,
+                link,
+                start,
+                arrive - start,
+                deps,
+            );
+            self.set_provider(dst, chunk.index(), id);
+        }
     }
 
     /// Runs one utilization-maximizing matching round at the TEN's current
@@ -174,6 +400,10 @@ impl MatchState {
     /// When `builder` is `Some`, each match is recorded as a scheduled
     /// transfer whose dependency is the transfer that delivered the chunk
     /// to the source (empty for precondition chunks).
+    ///
+    /// This is the zero-allocation form: with recording disabled it
+    /// touches the heap only through pre-reserved buffers (asserted by the
+    /// `zero_alloc` integration test).
     pub(crate) fn run_round(
         &mut self,
         topo: &Topology,
@@ -183,67 +413,120 @@ impl MatchState {
         mut builder: Option<&mut AlgorithmBuilder>,
         transfers_out: &mut u64,
     ) -> usize {
-        // Random order maximizes fairness across links (the paper's random
-        // postcondition selection); an optional stable sort by cost then
-        // prioritizes cheaper links while keeping ties random (§IV-F).
-        self.link_order.shuffle(rng);
-        if prefer_cheap_links {
-            self.link_order.sort_by_key(|&l| ten.link_cost(l));
-        }
+        let salt = self.begin_round(ten, rng, prefer_cheap_links);
+        let n = self.num_npus;
         let mut matches = 0;
-        for i in 0..self.link_order.len() {
-            let link = self.link_order[i];
-            if !ten.is_free(link) {
+        let order = std::mem::take(&mut self.order);
+        for &link in &order {
+            if !self.fresh[link.index()] {
+                // Span-local pruning: this link probed empty and nothing
+                // has arrived at its source since, so it cannot match.
                 continue;
             }
             let l = topo.link(link);
             let (src, dst) = (l.src(), l.dst());
+            let start_bit = self.probe_bit(salt, link);
             // Direct match first: a chunk the destination itself needs.
-            let mut chunk = self.holds[src.index()]
-                .pick_intersection(&self.needs[dst.index()], rng.gen::<usize>());
+            let mut chunk = self
+                .matrix
+                .pick_intersection(src.index(), n + dst.index(), start_bit);
             if chunk.is_none() {
                 // Relay match: a chunk that strictly approaches its final
                 // destination through this link (extension, see RelayInfo).
-                if let Some((relay, seen)) = &self.relay {
-                    chunk = self.holds[src.index()].pick_excluding_where(
-                        &seen[dst.index()],
-                        rng.gen::<usize>(),
+                if let Some(relay) = &self.relay {
+                    chunk = self.matrix.pick_excluding_where(
+                        src.index(),
+                        2 * n + dst.index(),
+                        start_bit,
                         |c| relay.moves_closer(c.index(), src, dst),
                     );
                 }
             }
             let Some(chunk) = chunk else {
+                self.fresh[link.index()] = false;
                 continue;
             };
-            // Link–chunk match: mark the postcondition satisfied and put
-            // the chunk in flight (paper Fig. 8c).
-            if self.needs[dst.index()].remove(chunk) {
-                self.unsatisfied -= 1;
-            }
-            if let Some((_, seen)) = &mut self.relay {
-                seen[dst.index()].insert(chunk);
-            }
-            let start = ten.now();
-            let arrive = ten.occupy(link, chunk);
-            *transfers_out += 1;
-            if let Some(b) = builder.as_deref_mut() {
-                let deps: Vec<TransferId> =
-                    self.provider_of(src, chunk.index()).into_iter().collect();
-                let id = b.push_scheduled(
-                    chunk,
-                    src,
-                    dst,
-                    TransferKind::Copy,
-                    link,
-                    start,
-                    arrive - start,
-                    deps,
-                );
-                self.set_provider(dst, chunk.index(), id);
-            }
+            self.commit_match(link, chunk, src, dst, ten, &mut builder, transfers_out);
             matches += 1;
         }
+        self.order = order;
+        self.sweep_worklist();
         matches
+    }
+
+    /// The straightforward reference round: probes **every** free link
+    /// (no pruning) through per-row [`ChunkSet`] extractions — the pre-SoA
+    /// scan kept as a determinism oracle. Must produce byte-identical
+    /// matches to [`MatchState::run_round`] for any seed; the proptests
+    /// assert this.
+    pub(crate) fn run_round_reference(
+        &mut self,
+        topo: &Topology,
+        ten: &mut ExpandingTen,
+        rng: &mut StdRng,
+        prefer_cheap_links: bool,
+        mut builder: Option<&mut AlgorithmBuilder>,
+        transfers_out: &mut u64,
+    ) -> usize {
+        // Cross-check the incremental worklist against ground truth (the
+        // TEN's busy state) before using it: the oracle must not inherit
+        // a hypothetical bookkeeping bug from the optimized path.
+        {
+            let mut expected: Vec<LinkId> = (0..topo.num_links() as u32)
+                .map(LinkId::new)
+                .filter(|&l| ten.is_free(l))
+                .collect();
+            let mut got = self.free.clone();
+            expected.sort_unstable_by_key(|l| l.raw());
+            got.sort_unstable_by_key(|l| l.raw());
+            assert_eq!(got, expected, "worklist diverged from TEN free state");
+        }
+        let salt = self.begin_round(ten, rng, prefer_cheap_links);
+        let n = self.num_npus;
+        let mut matches = 0;
+        let order = std::mem::take(&mut self.order);
+        for &link in &order {
+            let l = topo.link(link);
+            let (src, dst) = (l.src(), l.dst());
+            let start_bit = self.probe_bit(salt, link);
+            let holds = self.matrix.row_to_set(src.index());
+            let needs = self.matrix.row_to_set(n + dst.index());
+            let mut chunk = holds.pick_intersection(&needs, start_bit);
+            if chunk.is_none() {
+                if let Some(relay) = &self.relay {
+                    let seen = self.matrix.row_to_set(2 * n + dst.index());
+                    chunk = holds.pick_excluding_where(&seen, start_bit, |c| {
+                        relay.moves_closer(c.index(), src, dst)
+                    });
+                }
+            }
+            let Some(chunk) = chunk else {
+                continue;
+            };
+            self.commit_match(link, chunk, src, dst, ten, &mut builder, transfers_out);
+            matches += 1;
+        }
+        self.order = order;
+        self.sweep_worklist();
+        matches
+    }
+
+    /// Platform-independent probe offset: the 64-bit hash is reduced into
+    /// the row's bit domain *before* the `usize` cast, so 32- and 64-bit
+    /// targets pick identical chunks (the domain equals what the scan
+    /// kernels would reduce by anyway).
+    fn probe_bit(&self, salt: u64, link: LinkId) -> usize {
+        let bits = (self.matrix.stride() * 64).max(1) as u64;
+        (probe_hash(salt, link) % bits) as usize
+    }
+
+    /// End-of-round sweep: links occupied this round leave the worklist
+    /// (their arrival events re-add them). Membership comes from the
+    /// `in_free` flags, not `ten.is_free` — a zero-cost link reads as free
+    /// the instant it is occupied, which would duplicate it.
+    fn sweep_worklist(&mut self) {
+        let in_free = &self.in_free;
+        self.free.retain(|&l| in_free[l.index()]);
     }
 }
 
@@ -251,7 +534,6 @@ impl MatchState {
 mod tests {
     use super::*;
     use rand::SeedableRng;
-    use tacos_collective::{ChunkId, Collective};
     use tacos_topology::{Bandwidth, ByteSize, LinkSpec, RingOrientation, Time};
 
     fn ring4() -> Topology {
@@ -301,7 +583,7 @@ mod tests {
         let mut count = 0u64;
         state.run_round(&topo, &mut ten, &mut rng, true, None, &mut count);
         for arrival in ten.advance() {
-            state.apply_arrival(&arrival);
+            state.apply_arrival(&topo, &arrival);
         }
         // NPU1 now holds chunk 0 and can forward it to NPU2.
         assert!(state.held(NpuId::new(1)).contains(ChunkId::new(0)));
@@ -333,7 +615,7 @@ mod tests {
             let events = ten.advance();
             assert!(!events.is_empty(), "stuck");
             for a in &events {
-                state.apply_arrival(a);
+                state.apply_arrival(&topo, a);
             }
         }
         let algo = builder.build();
@@ -354,11 +636,75 @@ mod tests {
     fn dependency_tracking_can_be_disabled() {
         let topo = ring4();
         let mut state = all_gather_state(&topo, false);
-        assert!(state.provider.is_empty());
+        assert!(!state.tracks_deps());
         let mut ten = ExpandingTen::new(&topo, ByteSize::mb(1));
         let mut rng = StdRng::seed_from_u64(1);
         let mut count = 0u64;
         let matches = state.run_round(&topo, &mut ten, &mut rng, true, None, &mut count);
         assert_eq!(matches, 4);
+    }
+
+    /// Zero-cost links read as free (`busy_until == now`) the instant they
+    /// are occupied; the worklist's explicit membership flags must still
+    /// keep them unique so a round never occupies one link twice
+    /// (regression: duplicate entries made `occupy` overwrite the
+    /// in-flight chunk and a later `advance` panic).
+    #[test]
+    fn zero_cost_links_do_not_duplicate_in_the_worklist() {
+        let spec = LinkSpec::new(Time::ZERO, Bandwidth::gbps(1e18));
+        let topo = Topology::ring(4, spec, RingOrientation::Unidirectional).unwrap();
+        assert_eq!(
+            topo.link(LinkId::new(0)).cost(ByteSize::bytes(1)),
+            Time::ZERO,
+            "test premise: the link cost rounds to zero"
+        );
+        let mut state = all_gather_state(&topo, false);
+        let mut ten = ExpandingTen::new(&topo, ByteSize::bytes(1));
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut count = 0u64;
+        while state.unsatisfied() > 0 || ten.pending() > 0 {
+            state.run_round(&topo, &mut ten, &mut rng, true, None, &mut count);
+            for arrival in ten.advance() {
+                state.apply_arrival(&topo, &arrival);
+            }
+            assert!(state.free.len() <= topo.num_links(), "worklist duplicated");
+        }
+        assert_eq!(count, 12);
+    }
+
+    /// The pruned round and the reference round must emit identical match
+    /// sequences from identical states and seeds (the core parity claim;
+    /// the proptests extend this to full syntheses on random topologies).
+    #[test]
+    fn pruned_and_reference_rounds_agree() {
+        let topo = ring4();
+        for seed in 0..16 {
+            let mut a = all_gather_state(&topo, true);
+            let mut b = all_gather_state(&topo, true);
+            let mut ten_a = ExpandingTen::new(&topo, ByteSize::mb(1));
+            let mut ten_b = ExpandingTen::new(&topo, ByteSize::mb(1));
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let (mut ca, mut cb) = (0u64, 0u64);
+            loop {
+                let ma = a.run_round(&topo, &mut ten_a, &mut rng_a, true, None, &mut ca);
+                let mb = b.run_round_reference(&topo, &mut ten_b, &mut rng_b, true, None, &mut cb);
+                assert_eq!(ma, mb, "seed {seed}");
+                assert_eq!(a.unsatisfied(), b.unsatisfied(), "seed {seed}");
+                if a.unsatisfied() == 0 && ten_a.pending() == 0 {
+                    break;
+                }
+                let ev_a = ten_a.advance();
+                let ev_b = ten_b.advance();
+                assert_eq!(ev_a, ev_b, "seed {seed}");
+                for arrival in &ev_a {
+                    a.apply_arrival(&topo, arrival);
+                }
+                for arrival in &ev_b {
+                    b.apply_arrival(&topo, arrival);
+                }
+            }
+            assert_eq!(ca, cb);
+        }
     }
 }

@@ -13,6 +13,7 @@ use tacos_collective::Collective;
 use tacos_topology::Topology;
 
 use crate::error::SynthesisError;
+use crate::scratch::SynthesisScratch;
 use crate::synthesis::{SynthesisResult, Synthesizer};
 
 /// Runs `synth.config().attempts()` independent seeded syntheses and
@@ -36,31 +37,40 @@ pub(crate) fn synthesize_best_of(
         .unwrap_or(1)
         .min(attempts);
     let next = AtomicUsize::new(0);
-    let best: Mutex<Option<SynthesisResult>> = Mutex::new(None);
+    // Keyed by (collective_time, attempt_index): ties on time are broken
+    // toward the lower attempt index so the winner — and therefore the
+    // returned *schedule* — does not depend on thread interleaving.
+    let best: Mutex<Option<(usize, SynthesisResult)>> = Mutex::new(None);
     let error: Mutex<Option<SynthesisError>> = Mutex::new(None);
 
     thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= attempts {
-                    break;
-                }
-                let seed = base_seed.wrapping_add(i as u64);
-                match synth.synthesize_seeded(topo, collective, seed) {
-                    Ok(result) => {
-                        let mut guard = best.lock().expect("no poisoned locks");
-                        let better = guard
-                            .as_ref()
-                            .is_none_or(|b| result.collective_time() < b.collective_time());
-                        if better {
-                            *guard = Some(result);
-                        }
-                    }
-                    Err(e) => {
-                        let mut guard = error.lock().expect("no poisoned locks");
-                        guard.get_or_insert(e);
+            // Each worker reuses one scratch across every attempt it
+            // claims: the matching matrix, TEN, and event buffers only
+            // depend on the problem shape, which is fixed here.
+            scope.spawn(|| {
+                let mut scratch = SynthesisScratch::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= attempts {
                         break;
+                    }
+                    let seed = base_seed.wrapping_add(i as u64);
+                    match synth.synthesize_seeded_with(topo, collective, seed, &mut scratch) {
+                        Ok(result) => {
+                            let mut guard = best.lock().expect("no poisoned locks");
+                            let better = guard.as_ref().is_none_or(|(best_i, b)| {
+                                (result.collective_time(), i) < (b.collective_time(), *best_i)
+                            });
+                            if better {
+                                *guard = Some((i, result));
+                            }
+                        }
+                        Err(e) => {
+                            let mut guard = error.lock().expect("no poisoned locks");
+                            guard.get_or_insert(e);
+                            break;
+                        }
                     }
                 }
             });
@@ -73,7 +83,8 @@ pub(crate) fn synthesize_best_of(
     Ok(best
         .into_inner()
         .expect("no poisoned locks")
-        .expect("at least one attempt ran"))
+        .expect("at least one attempt ran")
+        .1)
 }
 
 #[cfg(test)]
@@ -107,6 +118,9 @@ mod tests {
         let b = synth.synthesize(&topo, &coll).unwrap();
         assert_eq!(a.collective_time(), b.collective_time());
         assert_eq!(a.seed(), b.seed());
+        // Ties on collective time break toward the lower attempt index,
+        // so even the schedule is interleaving-independent.
+        assert_eq!(a.algorithm(), b.algorithm());
     }
 
     #[test]

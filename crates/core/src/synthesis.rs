@@ -12,7 +12,8 @@ use tacos_topology::{NpuId, Time, Topology};
 
 use crate::config::SynthesizerConfig;
 use crate::error::SynthesisError;
-use crate::matching::MatchState;
+use crate::matching::RelayInfo;
+use crate::scratch::SynthesisScratch;
 
 /// Outcome of one synthesis: the algorithm plus search statistics.
 #[derive(Debug, Clone)]
@@ -129,6 +130,27 @@ impl Synthesizer {
         topo: &Topology,
         collective: &Collective,
     ) -> Result<SynthesisResult, SynthesisError> {
+        self.synthesize_with(topo, collective, &mut SynthesisScratch::new())
+    }
+
+    /// [`Synthesizer::synthesize`] with caller-provided working memory.
+    ///
+    /// Callers looping over many syntheses (scenario sweeps, services)
+    /// keep one [`SynthesisScratch`] per worker thread so repeated
+    /// attempts reuse the matching matrix, TEN, and event buffers instead
+    /// of reallocating them. Results are identical either way. When
+    /// [`SynthesizerConfig::attempts`] > 1 the best-of search runs on its
+    /// own worker threads, each with its own scratch, and `scratch` is
+    /// left untouched.
+    ///
+    /// # Errors
+    /// See [`Synthesizer::synthesize`].
+    pub fn synthesize_with(
+        &self,
+        topo: &Topology,
+        collective: &Collective,
+        scratch: &mut SynthesisScratch,
+    ) -> Result<SynthesisResult, SynthesisError> {
         if topo.num_npus() != collective.num_npus() {
             return Err(SynthesisError::NpuCountMismatch {
                 topology: topo.num_npus(),
@@ -136,7 +158,7 @@ impl Synthesizer {
             });
         }
         if self.config.attempts() == 1 {
-            self.synthesize_seeded(topo, collective, self.config.seed())
+            self.synthesize_seeded_with(topo, collective, self.config.seed(), scratch)
         } else {
             crate::parallel::synthesize_best_of(self, topo, collective)
         }
@@ -152,6 +174,22 @@ impl Synthesizer {
         collective: &Collective,
         seed: u64,
     ) -> Result<SynthesisResult, SynthesisError> {
+        self.synthesize_seeded_with(topo, collective, seed, &mut SynthesisScratch::new())
+    }
+
+    /// [`Synthesizer::synthesize_seeded`] with caller-provided working
+    /// memory (see [`Synthesizer::synthesize_with`]). Deterministic: the
+    /// result does not depend on the scratch's history.
+    ///
+    /// # Errors
+    /// See [`Synthesizer::synthesize`].
+    pub fn synthesize_seeded_with(
+        &self,
+        topo: &Topology,
+        collective: &Collective,
+        seed: u64,
+        scratch: &mut SynthesisScratch,
+    ) -> Result<SynthesisResult, SynthesisError> {
         let started = Instant::now();
         let mut result = match collective.pattern() {
             CollectivePattern::AllGather
@@ -159,12 +197,14 @@ impl Synthesizer {
             | CollectivePattern::AllToAll
             | CollectivePattern::Gather { .. }
             | CollectivePattern::Scatter { .. } => {
-                self.synthesize_gather("tacos", topo, collective, seed)?
+                self.synthesize_gather("tacos", topo, collective, seed, scratch)?
             }
             CollectivePattern::ReduceScatter | CollectivePattern::Reduce { .. } => {
-                self.synthesize_combining(topo, collective, seed)?
+                self.synthesize_combining(topo, collective, seed, scratch)?
             }
-            CollectivePattern::AllReduce => self.synthesize_all_reduce(topo, collective, seed)?,
+            CollectivePattern::AllReduce => {
+                self.synthesize_all_reduce(topo, collective, seed, scratch)?
+            }
         };
         result.synthesis_duration = started.elapsed();
         result.seed = seed;
@@ -178,18 +218,36 @@ impl Synthesizer {
         topo: &Topology,
         collective: &Collective,
         seed: u64,
+        scratch: &mut SynthesisScratch,
     ) -> Result<SynthesisResult, SynthesisError> {
         let mut rng = StdRng::seed_from_u64(seed);
-        let pre: Vec<_> = topo.npus().map(|n| collective.precondition(n)).collect();
-        let post: Vec<_> = topo.npus().map(|n| collective.postcondition(n)).collect();
         let record = self.config.record_transfers();
-        let mut state = MatchState::new(pre, post, topo.num_links(), record);
+        let targets = sparse_targets(collective);
+        let SynthesisScratch {
+            state,
+            ten,
+            events,
+            relay: relay_cache,
+        } = scratch;
+        state.reset(topo, collective, record, targets.is_some());
         // Sparse-postcondition patterns need relay routing through
-        // disinterested intermediates (see matching::RelayInfo).
-        if let Some(targets) = sparse_targets(collective) {
-            state.enable_relay(crate::matching::RelayInfo::new(topo, targets));
+        // disinterested intermediates (see matching::RelayInfo). The BFS
+        // distance tables only depend on topology + targets, so best-of-N
+        // attempts reuse them through the scratch.
+        if let Some(targets) = targets {
+            let relay = match relay_cache.take() {
+                Some(r) if r.matches(topo, &targets) => r,
+                _ => RelayInfo::new(topo, targets),
+            };
+            state.enable_relay(relay);
         }
-        let mut ten = ExpandingTen::new(topo, collective.chunk_size());
+        let ten = match ten {
+            Some(t) => {
+                t.reset(topo, collective.chunk_size());
+                t
+            }
+            None => ten.insert(ExpandingTen::new(topo, collective.chunk_size())),
+        };
         let mut builder = record.then(|| {
             AlgorithmBuilder::new(
                 name,
@@ -198,33 +256,50 @@ impl Synthesizer {
                 collective.total_size(),
             )
         });
+        let reference = self.config.reference_matching();
         let mut rounds = 0usize;
         let mut num_transfers = 0u64;
         loop {
-            state.run_round(
-                topo,
-                &mut ten,
-                &mut rng,
-                self.config.prefer_cheap_links(),
-                builder.as_mut(),
-                &mut num_transfers,
-            );
+            if reference {
+                state.run_round_reference(
+                    topo,
+                    ten,
+                    &mut rng,
+                    self.config.prefer_cheap_links(),
+                    builder.as_mut(),
+                    &mut num_transfers,
+                );
+            } else {
+                state.run_round(
+                    topo,
+                    ten,
+                    &mut rng,
+                    self.config.prefer_cheap_links(),
+                    builder.as_mut(),
+                    &mut num_transfers,
+                );
+            }
             rounds += 1;
             if state.unsatisfied() == 0 && ten.pending() == 0 {
                 break;
             }
             // Expand the TEN by one time column (Alg. 2's `t <- t + 1`).
-            let events = ten.advance();
+            ten.advance_into(events);
             if events.is_empty() {
                 return Err(SynthesisError::Stuck {
                     unsatisfied: state.unsatisfied(),
                 });
             }
-            for arrival in &events {
-                state.apply_arrival(arrival);
+            for arrival in events.iter() {
+                state.apply_arrival(topo, arrival);
             }
         }
         let collective_time = ten.now();
+        // Hand relay metadata back for the next attempt; dense patterns
+        // have none and must not wipe a cache a sparse pattern built.
+        if let Some(relay) = state.take_relay() {
+            *relay_cache = Some(relay);
+        }
         let algorithm = match builder {
             Some(mut b) => {
                 b.planned_time(collective_time);
@@ -284,12 +359,14 @@ impl Synthesizer {
         topo: &Topology,
         collective: &Collective,
         seed: u64,
+        scratch: &mut SynthesisScratch,
     ) -> Result<SynthesisResult, SynthesisError> {
         let dual = collective
             .dual()
             .expect("combining patterns other than All-Reduce have duals");
         let reversed_topo = topo.reversed();
-        let mut result = self.synthesize_gather("tacos-dual", &reversed_topo, &dual, seed)?;
+        let mut result =
+            self.synthesize_gather("tacos-dual", &reversed_topo, &dual, seed, scratch)?;
         if self.config.record_transfers() {
             result.algorithm = result.algorithm.time_reversed("tacos");
         }
@@ -305,6 +382,7 @@ impl Synthesizer {
         topo: &Topology,
         collective: &Collective,
         seed: u64,
+        scratch: &mut SynthesisScratch,
     ) -> Result<SynthesisResult, SynthesisError> {
         let rs_coll = Collective::with_chunking(
             CollectivePattern::ReduceScatter,
@@ -318,8 +396,9 @@ impl Synthesizer {
             collective.chunks_per_npu(),
             collective.total_size(),
         )?;
-        let rs = self.synthesize_combining(topo, &rs_coll, seed)?;
-        let ag = self.synthesize_gather("tacos-ag", topo, &ag_coll, seed.wrapping_add(1))?;
+        let rs = self.synthesize_combining(topo, &rs_coll, seed, scratch)?;
+        let ag =
+            self.synthesize_gather("tacos-ag", topo, &ag_coll, seed.wrapping_add(1), scratch)?;
         let total_time = rs.collective_time + ag.collective_time;
 
         if !self.config.record_transfers() {

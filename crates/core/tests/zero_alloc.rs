@@ -1,0 +1,138 @@
+//! Counting-allocator proof that the matching hot path is allocation-free.
+//!
+//! `run_round` is internal, so the assertion is phrased through the public
+//! API: with transfer recording disabled and a warmed
+//! [`SynthesisScratch`], a synthesis's heap-allocation count must not
+//! depend on how many matching rounds it executes. Two All-Gathers on the
+//! same unidirectional ring differ only in chunking factor — 4 vs 32
+//! chunks per NPU, i.e. ~8x the rounds and probes — so equal allocation
+//! counts mean the per-round / per-probe cost is exactly zero
+//! allocations; only per-synthesis setup (pre/postcondition sets, the
+//! result struct) touches the heap.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use tacos_collective::{Collective, CollectivePattern};
+use tacos_core::{SynthesisScratch, Synthesizer, SynthesizerConfig};
+use tacos_topology::{Bandwidth, ByteSize, LinkSpec, RingOrientation, Time, Topology};
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// The counters are process-global, so the tests in this binary must not
+/// interleave: each takes this lock for its whole body.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn counted<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    let out = f();
+    COUNTING.store(false, Ordering::SeqCst);
+    (out, ALLOCS.load(Ordering::SeqCst))
+}
+
+fn all_gather(n: usize, chunks_per_npu: usize) -> Collective {
+    Collective::with_chunking(
+        CollectivePattern::AllGather,
+        n,
+        chunks_per_npu,
+        ByteSize::mb((n * chunks_per_npu) as u64),
+    )
+    .unwrap()
+}
+
+/// Synthesis allocation count is independent of the round count once the
+/// scratch is warm: every per-round buffer is reused.
+#[test]
+fn run_round_makes_zero_per_round_allocations() {
+    let _serial = SERIAL.lock().unwrap();
+    let spec = LinkSpec::new(Time::from_micros(0.5), Bandwidth::gbps(50.0));
+    let topo = Topology::ring(8, spec, RingOrientation::Unidirectional).unwrap();
+    let synth = Synthesizer::new(SynthesizerConfig::default().with_record_transfers(false));
+
+    let measure = |chunks_per_npu: usize| -> (usize, u64) {
+        let coll = all_gather(8, chunks_per_npu);
+        let mut scratch = SynthesisScratch::new();
+        // Warm the scratch: grows every buffer to this problem's shape.
+        let warm = synth
+            .synthesize_seeded_with(&topo, &coll, 7, &mut scratch)
+            .unwrap();
+        let (result, allocs) = counted(|| {
+            synth
+                .synthesize_seeded_with(&topo, &coll, 7, &mut scratch)
+                .unwrap()
+        });
+        assert_eq!(result.collective_time(), warm.collective_time());
+        assert!(result.rounds() > 1);
+        (result.rounds(), allocs)
+    };
+
+    let (rounds_small, allocs_small) = measure(4);
+    let (rounds_large, allocs_large) = measure(32);
+    assert!(
+        rounds_large >= rounds_small * 4,
+        "expected the 32-chunk synthesis to run many more rounds \
+         ({rounds_small} vs {rounds_large})"
+    );
+    assert_eq!(
+        allocs_small, allocs_large,
+        "allocation count must not scale with rounds: \
+         {allocs_small} allocs over {rounds_small} rounds vs \
+         {allocs_large} allocs over {rounds_large} rounds"
+    );
+}
+
+/// Reusing a warm scratch also eliminates the per-attempt setup
+/// allocations of the big buffers: a warm re-synthesis allocates strictly
+/// less than a cold one.
+#[test]
+fn warm_scratch_allocates_less_than_cold() {
+    let _serial = SERIAL.lock().unwrap();
+    let spec = LinkSpec::new(Time::from_micros(0.5), Bandwidth::gbps(50.0));
+    let topo = Topology::mesh_2d(3, 3, spec).unwrap();
+    let coll = all_gather(9, 4);
+    let synth = Synthesizer::new(SynthesizerConfig::default().with_record_transfers(false));
+
+    let (_, cold) = counted(|| {
+        synth.synthesize_seeded(&topo, &coll, 3).unwrap() // fresh scratch inside
+    });
+    let mut scratch = SynthesisScratch::new();
+    synth
+        .synthesize_seeded_with(&topo, &coll, 3, &mut scratch)
+        .unwrap();
+    let (_, warm) = counted(|| {
+        synth
+            .synthesize_seeded_with(&topo, &coll, 3, &mut scratch)
+            .unwrap()
+    });
+    assert!(
+        warm < cold,
+        "warm synthesis ({warm} allocs) should allocate less than cold ({cold})"
+    );
+}

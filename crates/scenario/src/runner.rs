@@ -14,21 +14,21 @@
 //! large sweeps incrementally resumable.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use tacos_baselines::{BaselineAlgorithm, IdealBound};
 use tacos_collective::algorithm::CollectiveAlgorithm;
 use tacos_collective::Collective;
-use tacos_core::{AlgorithmCache, CacheOutcome, Synthesizer, SynthesizerConfig};
+use tacos_core::{AlgorithmCache, CacheOutcome, SynthesisScratch, Synthesizer, SynthesizerConfig};
 use tacos_report::{to_csv, Json};
 use tacos_sim::Simulator;
-use tacos_topology::Time;
+use tacos_topology::{Time, Topology};
 
 use crate::error::ScenarioError;
 use crate::grid::{expand, ScenarioPoint};
 use crate::progress::Progress;
-use crate::spec::{parse_baseline, parse_pattern, ScenarioSpec};
+use crate::spec::{parse_baseline, parse_pattern, LinkAxis, ScenarioSpec};
 
 /// Metrics measured for one successfully executed point.
 #[derive(Debug, Clone)]
@@ -264,32 +264,46 @@ pub fn run(spec: &ScenarioSpec) -> Result<RunSummary, ScenarioError> {
     let records: Mutex<Vec<Option<PointRecord>>> = Mutex::new(vec![None; points.len()]);
     let started = Instant::now();
 
+    // Every point sharing a (topology, link) axis combination reuses one
+    // parsed/built Topology instead of reconstructing it per point. Built
+    // lazily so a combination that only appears in failing points still
+    // reports its build error per point.
+    let topo_shares = TopologyShares::new(&points);
+
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= points.len() {
-                    break;
+            scope.spawn(|| {
+                // Per-worker synthesis scratch, reused across every point
+                // this worker claims.
+                let mut scratch = SynthesisScratch::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= points.len() {
+                        break;
+                    }
+                    let point = &points[i];
+                    let result = match topo_shares.get(spec, point) {
+                        Ok(topo) => execute_point(spec, point, topo, cache.as_ref(), &mut scratch),
+                        Err(e) => Err(e),
+                    };
+                    let note = match &result {
+                        Ok(m) => format!(
+                            "{} ({})",
+                            m.collective_time,
+                            match m.cache {
+                                Some(CacheOutcome::Hit) => "cache hit",
+                                _ => "generated",
+                            }
+                        ),
+                        Err(e) => format!("FAILED: {e}"),
+                    };
+                    progress.complete(&point.label(), &note);
+                    let record = PointRecord {
+                        point: point.clone(),
+                        result,
+                    };
+                    records.lock().expect("no poisoned locks")[i] = Some(record);
                 }
-                let point = &points[i];
-                let result = execute_point(spec, point, cache.as_ref());
-                let note = match &result {
-                    Ok(m) => format!(
-                        "{} ({})",
-                        m.collective_time,
-                        match m.cache {
-                            Some(CacheOutcome::Hit) => "cache hit",
-                            _ => "generated",
-                        }
-                    ),
-                    Err(e) => format!("FAILED: {e}"),
-                };
-                progress.complete(&point.label(), &note);
-                let record = PointRecord {
-                    point: point.clone(),
-                    result,
-                };
-                records.lock().expect("no poisoned locks")[i] = Some(record);
             });
         }
     });
@@ -324,15 +338,52 @@ pub fn run(spec: &ScenarioSpec) -> Result<RunSummary, ScenarioError> {
     Ok(summary)
 }
 
+/// Lazily built topologies shared by every grid point with the same
+/// (topology spec, link axis) combination.
+struct TopologyShares {
+    combos: Vec<(String, LinkAxis)>,
+    built: Vec<OnceLock<Result<Topology, String>>>,
+}
+
+impl TopologyShares {
+    fn new(points: &[ScenarioPoint]) -> Self {
+        let mut combos: Vec<(String, LinkAxis)> = Vec::new();
+        for p in points {
+            if !combos.iter().any(|(t, l)| *t == p.topology && *l == p.link) {
+                combos.push((p.topology.clone(), p.link));
+            }
+        }
+        let built = combos.iter().map(|_| OnceLock::new()).collect();
+        TopologyShares { combos, built }
+    }
+
+    /// The shared topology for `point`, building it on first use.
+    fn get<'a>(
+        &'a self,
+        spec: &ScenarioSpec,
+        point: &ScenarioPoint,
+    ) -> Result<&'a Topology, String> {
+        let idx = self
+            .combos
+            .iter()
+            .position(|(t, l)| *t == point.topology && *l == point.link)
+            .expect("every point's combo was registered");
+        self.built[idx]
+            .get_or_init(|| spec.build_topology(&point.topology, point.link.to_spec()))
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+}
+
 /// Executes one grid point end-to-end: topology → collective → algorithm
 /// (through the cache) → time/bandwidth/efficiency metrics.
 fn execute_point(
     spec: &ScenarioSpec,
     point: &ScenarioPoint,
+    topo: &Topology,
     cache: Option<&AlgorithmCache>,
+    scratch: &mut SynthesisScratch,
 ) -> Result<PointMetrics, String> {
-    let link = point.link.to_spec();
-    let topo = spec.build_topology(&point.topology, link)?;
     let pattern = parse_pattern(&point.collective, topo.num_npus())?;
     let collective = Collective::with_chunking(pattern, topo.num_npus(), point.chunks, point.size)
         .map_err(|e| e.to_string())?;
@@ -347,13 +398,13 @@ fn execute_point(
         match cache {
             Some(c) => {
                 let (algo, outcome) = c
-                    .synthesize_cached_traced(&synth, &topo, &collective)
+                    .synthesize_cached_traced_with(&synth, topo, &collective, scratch)
                     .map_err(|e| e.to_string())?;
                 (algo, Some(outcome))
             }
             None => (
                 synth
-                    .synthesize(&topo, &collective)
+                    .synthesize_with(topo, &collective, scratch)
                     .map_err(|e| e.to_string())?
                     .into_algorithm(),
                 None,
@@ -363,7 +414,7 @@ fn execute_point(
         let kind = parse_baseline(&point.algo, point.seed)?;
         let generate = || {
             BaselineAlgorithm::new(kind.clone())
-                .generate(&topo, &collective)
+                .generate(topo, &collective)
                 .map_err(|e| e.to_string())
         };
         match cache {
@@ -374,7 +425,7 @@ fn execute_point(
                 // baselines report the seed they consume via
                 // `BaselineKind::seed`.
                 let salt = kind.seed().unwrap_or(0);
-                let key = AlgorithmCache::key_for_generator(&point.algo, &topo, &collective, salt);
+                let key = AlgorithmCache::key_for_generator(&point.algo, topo, &collective, salt);
                 let (algo, outcome) = c.load_or_insert_with(&key, generate)?;
                 (algo, Some(outcome))
             }
@@ -385,7 +436,7 @@ fn execute_point(
 
     let (collective_time, simulated) = if spec.run.simulate || algorithm.planned_time().is_none() {
         let report = Simulator::new()
-            .simulate(&topo, &algorithm)
+            .simulate(topo, &algorithm)
             .map_err(|e| e.to_string())?;
         (report.collective_time(), true)
     } else {
@@ -397,7 +448,7 @@ fn execute_point(
     } else {
         point.size.as_u64() as f64 / collective_time.as_secs_f64() / 1e9
     };
-    let efficiency = IdealBound::new(&topo).efficiency(pattern, point.size, collective_time);
+    let efficiency = IdealBound::new(topo).efficiency(pattern, point.size, collective_time);
 
     Ok(PointMetrics {
         num_npus: topo.num_npus(),

@@ -1,7 +1,9 @@
 //! Parity tests: the checked-in scenario files under `scenarios/`
 //! reproduce the same collective-time numbers as the hand-written bench
-//! binaries they port (same seeds, same measurement path:
-//! generate/synthesize, then the congestion-aware simulator).
+//! binaries they ported and replaced (same seeds, same measurement path:
+//! generate/synthesize, then the congestion-aware simulator). The
+//! binaries themselves are deleted; the reference measurements below
+//! restate their exact configurations.
 
 use std::path::PathBuf;
 
@@ -83,6 +85,58 @@ fn mesh_allgather_scenario_matches_fig14_synthesis() {
     // The fig14 binary asserts the simulator confirms the planned time;
     // the scenario ran with simulate = true, so the same equality held.
     assert!(got.simulated);
+}
+
+/// `scenarios/topology_bw.toml` ports `fig02a_topology_bw`: Ring, Direct,
+/// RHD, DBT, and TACOS All-Reduce on four 64-NPU topologies (α = 0.5 µs,
+/// 50 GB/s, 1 GB), all measured through the congestion-aware simulator.
+#[test]
+fn topology_bw_scenario_matches_fig02a_measurements() {
+    let mut spec = ScenarioSpec::from_file(scenario_path("topology_bw.toml")).unwrap();
+    assert_eq!(
+        spec.sweep.topology,
+        ["ring:64", "fc:64", "mesh:8x8", "hypercube:4x4x4"]
+    );
+    assert_eq!(spec.sweep.algo, ["ring", "direct", "rhd", "dbt", "tacos"]);
+    assert_eq!(spec.sweep.seed, [42]);
+    assert_eq!(spec.sweep.attempts, [8]);
+    // Keep the test fast in debug builds: one topology, a deterministic
+    // baseline pair plus the TACOS synthesis at reduced best-of (the
+    // comparison's shape is identical per topology/algorithm).
+    spec.sweep.topology = vec!["mesh:8x8".into()];
+    spec.sweep.algo = vec!["ring".into(), "dbt".into(), "tacos".into()];
+    spec.sweep.attempts = vec![2];
+    spec.run.cache = None;
+    spec.run.quiet = true;
+    spec.output = None;
+    let summary = run(&spec).unwrap();
+    assert_eq!(summary.failed, 0);
+    assert_eq!(summary.records.len(), 3);
+
+    // Reference measurement: the exact code path of the fig02a binary
+    // (generate/synthesize, then Simulator), same topology and link.
+    let link = LinkSpec::new(Time::from_micros(0.5), Bandwidth::gbps(50.0));
+    let topo = Topology::mesh_2d(8, 8, link).unwrap();
+    let coll = Collective::all_reduce(64, ByteSize::gb(1)).unwrap();
+    for record in &summary.records {
+        let p = &record.point;
+        let algo = if p.algo == "tacos" {
+            let synth =
+                Synthesizer::new(SynthesizerConfig::default().with_seed(42).with_attempts(2));
+            synth.synthesize(&topo, &coll).unwrap().into_algorithm()
+        } else {
+            let kind = parse_baseline(&p.algo, p.seed).unwrap();
+            tacos_baselines::BaselineAlgorithm::new(kind)
+                .generate(&topo, &coll)
+                .unwrap()
+        };
+        let expected = Simulator::new()
+            .simulate(&topo, &algo)
+            .unwrap()
+            .collective_time();
+        let got = record.result.as_ref().unwrap().collective_time;
+        assert_eq!(got, expected, "collective time diverged for {}", p.label());
+    }
 }
 
 /// `scenarios/scalability.toml` expands to the fig19 grid shape.

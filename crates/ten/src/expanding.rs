@@ -61,29 +61,66 @@ pub struct ExpandingTen {
     busy_until: Vec<Time>,
     now: Time,
     // Reverse-ordered min-heap of (time, link). Chunk/src/dst are looked up
-    // from `in_flight` on pop.
+    // from `in_flight` on pop. Capacity is reserved for one in-flight chunk
+    // per link (the congestion-freedom maximum), so `occupy` never
+    // reallocates mid-synthesis.
     queue: BinaryHeap<Reverse<(Time, u32)>>,
     in_flight: Vec<Option<ChunkId>>,
+    uniform_cost: bool,
 }
 
 impl ExpandingTen {
     /// Creates the TEN at `t = 0` with per-link costs `α + β·chunk_size`.
     pub fn new(topo: &Topology, chunk_size: ByteSize) -> Self {
-        let links = topo.links();
-        ExpandingTen {
-            link_cost: links.iter().map(|l| l.cost(chunk_size)).collect(),
-            link_src: links.iter().map(|l| l.src()).collect(),
-            link_dst: links.iter().map(|l| l.dst()).collect(),
-            busy_until: vec![Time::ZERO; links.len()],
+        let mut ten = ExpandingTen {
+            link_cost: Vec::new(),
+            link_src: Vec::new(),
+            link_dst: Vec::new(),
+            busy_until: Vec::new(),
             now: Time::ZERO,
             queue: BinaryHeap::new(),
-            in_flight: vec![None; links.len()],
-        }
+            in_flight: Vec::new(),
+            uniform_cost: true,
+        };
+        ten.reset(topo, chunk_size);
+        ten
+    }
+
+    /// Rebuilds the TEN for a (possibly different) topology at `t = 0`,
+    /// reusing every existing allocation. This is what lets best-of-N
+    /// synthesis attempts and scenario grid points share one TEN arena
+    /// instead of reallocating per attempt.
+    pub fn reset(&mut self, topo: &Topology, chunk_size: ByteSize) {
+        let links = topo.links();
+        self.link_cost.clear();
+        self.link_cost
+            .extend(links.iter().map(|l| l.cost(chunk_size)));
+        self.link_src.clear();
+        self.link_src.extend(links.iter().map(|l| l.src()));
+        self.link_dst.clear();
+        self.link_dst.extend(links.iter().map(|l| l.dst()));
+        self.busy_until.clear();
+        self.busy_until.resize(links.len(), Time::ZERO);
+        self.now = Time::ZERO;
+        self.queue.clear();
+        // `reserve` ensures capacity >= len + additional; after `clear`
+        // the heap is empty, so this guarantees one slot per link.
+        self.queue.reserve(links.len());
+        self.in_flight.clear();
+        self.in_flight.resize(links.len(), None);
+        self.uniform_cost = self.link_cost.windows(2).all(|w| w[0] == w[1]);
     }
 
     /// The current synthesis time.
     pub fn now(&self) -> Time {
         self.now
+    }
+
+    /// `true` when every link has the same chunk cost (homogeneous
+    /// fabrics): cost-prioritized matching degenerates to a no-op sort the
+    /// caller can skip.
+    pub fn uniform_cost(&self) -> bool {
+        self.uniform_cost
     }
 
     /// Transmission cost of one chunk over `link`.
@@ -124,11 +161,21 @@ impl ExpandingTen {
     /// happening exactly then (the next TEN "column"). Returns an empty
     /// vector if nothing is in flight.
     pub fn advance(&mut self) -> Vec<Arrival> {
+        let mut events = Vec::new();
+        self.advance_into(&mut events);
+        events
+    }
+
+    /// [`ExpandingTen::advance`], draining into a caller-provided buffer
+    /// (cleared first) so the synthesis loop reuses one arrival vector
+    /// across every round instead of allocating per column. `out` is left
+    /// empty if nothing is in flight.
+    pub fn advance_into(&mut self, out: &mut Vec<Arrival>) {
+        out.clear();
         let Some(&Reverse((t, _))) = self.queue.peek() else {
-            return Vec::new();
+            return;
         };
         self.now = t;
-        let mut events = Vec::new();
         while let Some(&Reverse((time, link_raw))) = self.queue.peek() {
             if time > t {
                 break;
@@ -138,7 +185,7 @@ impl ExpandingTen {
             let chunk = self.in_flight[idx]
                 .take()
                 .expect("every queued arrival has an in-flight chunk");
-            events.push(Arrival {
+            out.push(Arrival {
                 time,
                 chunk,
                 link: LinkId::new(link_raw),
@@ -146,7 +193,6 @@ impl ExpandingTen {
                 dst: self.link_dst[idx],
             });
         }
-        events
     }
 }
 
@@ -225,6 +271,50 @@ mod tests {
         let mut ten = ExpandingTen::new(&topo, ByteSize::mb(1));
         ten.occupy(LinkId::new(0), ChunkId::new(0));
         ten.occupy(LinkId::new(0), ChunkId::new(1));
+    }
+
+    #[test]
+    fn reset_reuses_without_stale_state() {
+        let hetero = hetero_pair();
+        let mut ten = ExpandingTen::new(&hetero, ByteSize::mb(1));
+        assert!(!ten.uniform_cost());
+        ten.occupy(LinkId::new(0), ChunkId::new(0));
+        ten.advance();
+
+        // Rebuild for a different (homogeneous) topology: time, busy
+        // state, and in-flight queue must all be back to zero.
+        let spec = LinkSpec::new(Time::from_micros(0.5), Bandwidth::gbps(50.0));
+        let ring =
+            Topology::ring(4, spec, tacos_topology::RingOrientation::Unidirectional).unwrap();
+        ten.reset(&ring, ByteSize::mb(1));
+        assert!(ten.uniform_cost());
+        assert_eq!(ten.now(), Time::ZERO);
+        assert_eq!(ten.pending(), 0);
+        for l in 0..4 {
+            assert!(ten.is_free(LinkId::new(l)));
+        }
+        let arrive = ten.occupy(LinkId::new(0), ChunkId::new(0));
+        assert_eq!(arrive, spec.cost(ByteSize::mb(1)));
+    }
+
+    #[test]
+    fn advance_into_reuses_buffer_and_clears_it() {
+        let topo = hetero_pair();
+        let mut ten = ExpandingTen::new(&topo, ByteSize::mb(1));
+        let mut events = vec![Arrival {
+            time: Time::ZERO,
+            chunk: ChunkId::new(9),
+            link: LinkId::new(0),
+            src: NpuId::new(0),
+            dst: NpuId::new(1),
+        }];
+        ten.occupy(LinkId::new(0), ChunkId::new(0));
+        ten.advance_into(&mut events);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].chunk, ChunkId::new(0));
+        // Nothing in flight: buffer is cleared, not appended to.
+        ten.advance_into(&mut events);
+        assert!(events.is_empty());
     }
 
     #[test]
