@@ -12,15 +12,13 @@ use tacos_baselines::BaselineKind;
 use tacos_bench::experiments::{run_baseline, run_ideal, run_tacos, spec, write_results_csv};
 use tacos_collective::Collective;
 use tacos_report::{fmt_f64, Table};
-use tacos_topology::{ByteSize, Topology};
+use tacos_scenario::parse_size;
+use tacos_topology::Topology;
 
 fn main() {
     let topo = Topology::dgx1(spec(0.7, 25.0)).unwrap();
-    let sizes = [
-        ("0.5GB", ByteSize::mb(500)),
-        ("1GB", ByteSize::gb(1)),
-        ("2GB", ByteSize::gb(2)),
-    ];
+    let sizes =
+        ["0.5GB", "1GB", "2GB"].map(|label| (label, parse_size(label).expect("valid size")));
     println!("=== Fig. 17(b): TACOS vs C-Cube on DGX-1 ===\n");
     let mut table = Table::new(vec![
         "size",

@@ -584,6 +584,48 @@ cache = false
     }
 
     #[test]
+    fn scenario_run_exits_nonzero_on_point_failure_but_keeps_finished_rows() {
+        let dir = std::env::temp_dir().join(format!("tacos-cli-fail-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let stem = dir.join("out").display().to_string();
+        // rhd needs a power-of-two NPU count: one of the two points fails.
+        let path = temp_file(
+            "fail",
+            r#"
+[scenario]
+name = "cli-fail"
+[sweep]
+topology = ["ring:3"]
+collective = ["all-reduce"]
+size = ["3MB"]
+algo = ["ring", "rhd"]
+[run]
+cache = false
+"#,
+        );
+        let err = run(&[
+            "scenario".into(),
+            "run".into(),
+            path.to_str().unwrap().into(),
+            "--quiet".into(),
+            "--output".into(),
+            stem.clone(),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, CliError::Runtime(_)), "got: {err:?}");
+        assert!(err.message().contains("1 of 2 points failed"), "got: {err}");
+        // The completed point still landed in the artifacts.
+        let csv = std::fs::read_to_string(format!("{stem}.csv")).unwrap();
+        assert_eq!(csv.lines().count(), 1 + 2);
+        assert!(csv
+            .lines()
+            .any(|l| l.contains(",ring,") && l.ends_with(',')));
+        assert!(std::path::Path::new(&format!("{stem}.json")).exists());
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn scenario_usage_errors() {
         assert!(run(&["scenario".into()]).is_err());
         assert!(run(&["scenario".into(), "frobnicate".into(), "x.toml".into()]).is_err());

@@ -4,14 +4,15 @@
 //! fixed nesting order — topology, link, collective, size, chunks, algo,
 //! seed, attempts — so a scenario file always produces the same points in
 //! the same order, point indices are stable across runs, and cardinality
-//! is exactly the product of the axis lengths.
+//! is exactly the product of the axis lengths minus any combinations
+//! removed by `[[exclude]]` rules (indices stay dense after exclusion).
 
 use std::fmt;
 
 use tacos_topology::ByteSize;
 
 use crate::error::ScenarioError;
-use crate::spec::{parse_size, LinkAxis, ScenarioSpec};
+use crate::spec::{parse_size, AxisValues, LinkAxis, ScenarioSpec};
 
 /// One fully instantiated grid point.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,11 +74,13 @@ impl fmt::Display for ScenarioPoint {
     }
 }
 
-/// Expands a scenario's sweep axes into the full, ordered point list.
+/// Expands a scenario's sweep axes into the full, ordered point list,
+/// dropping combinations matched by the spec's `[[exclude]]` rules.
 ///
 /// # Errors
 /// Returns a spec error if a size string fails to parse (normally caught
-/// at spec validation already).
+/// at spec validation already) or if the exclusion rules remove every
+/// point.
 pub fn expand(spec: &ScenarioSpec) -> Result<Vec<ScenarioPoint>, ScenarioError> {
     let axes = &spec.sweep;
     let mut sizes = Vec::with_capacity(axes.size.len());
@@ -94,6 +97,7 @@ pub fn expand(spec: &ScenarioSpec) -> Result<Vec<ScenarioPoint>, ScenarioError> 
         * axes.algo.len()
         * axes.seed.len()
         * axes.attempts.len();
+    let excluded = |v: AxisValues<'_>| spec.excludes.iter().any(|rule| rule.matches(v));
     let mut points = Vec::with_capacity(cardinality);
     for topology in &axes.topology {
         for link in &axes.link {
@@ -103,6 +107,17 @@ pub fn expand(spec: &ScenarioSpec) -> Result<Vec<ScenarioPoint>, ScenarioError> 
                         for algo in &axes.algo {
                             for &seed in &axes.seed {
                                 for &attempts in &axes.attempts {
+                                    if excluded(AxisValues {
+                                        topology,
+                                        collective,
+                                        size: size_label,
+                                        algo,
+                                        chunks,
+                                        seed,
+                                        attempts,
+                                    }) {
+                                        continue;
+                                    }
                                     points.push(ScenarioPoint {
                                         index: points.len(),
                                         topology: topology.clone(),
@@ -123,7 +138,12 @@ pub fn expand(spec: &ScenarioSpec) -> Result<Vec<ScenarioPoint>, ScenarioError> 
             }
         }
     }
-    debug_assert_eq!(points.len(), cardinality);
+    debug_assert!(points.len() <= cardinality);
+    if points.is_empty() {
+        return Err(ScenarioError::spec(
+            "the [[exclude]] rules remove every grid point",
+        ));
+    }
     Ok(points)
 }
 
@@ -185,6 +205,48 @@ mod tests {
             "got {}",
             points[0].label()
         );
+    }
+
+    #[test]
+    fn exclude_rules_drop_combinations_and_keep_indices_dense() {
+        let s = ScenarioSpec::from_toml_str(
+            r#"
+[scenario]
+name = "g"
+[sweep]
+topology = ["ring:4", "mesh:2x2"]
+algo = ["tacos", "taccl"]
+[[exclude]]
+topology = "mesh:2x2"
+algo = "taccl"
+"#,
+        )
+        .unwrap();
+        let points = expand(&s).unwrap();
+        assert_eq!(points.len(), 3, "2x2 grid minus one excluded combo");
+        assert!(!points
+            .iter()
+            .any(|p| p.topology == "mesh:2x2" && p.algo == "taccl"));
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.index, i, "indices stay dense after exclusion");
+        }
+    }
+
+    #[test]
+    fn excluding_every_point_is_an_error() {
+        let s = ScenarioSpec::from_toml_str(
+            r#"
+[scenario]
+name = "g"
+[sweep]
+topology = ["ring:4"]
+[[exclude]]
+topology = "ring:4"
+"#,
+        )
+        .unwrap();
+        let err = expand(&s).unwrap_err().to_string();
+        assert!(err.contains("remove every grid point"), "got: {err}");
     }
 
     #[test]

@@ -18,8 +18,15 @@
 //! * [`run`] — a work-stealing sharded runner that executes points across
 //!   worker threads, routes every algorithm through
 //!   [`tacos_core::AlgorithmCache`] so re-runs and overlapping grids are
-//!   incremental, and streams per-point progress plus CSV/JSON artifacts
-//!   via `tacos-report`.
+//!   incremental, streams finished raw rows to a `<stem>.partial.csv`
+//!   so killed runs keep their work, and writes CSV/JSON artifacts via
+//!   `tacos-report`;
+//! * [`ReportSettings`] — result shaping declared in `[report]`: metric
+//!   column selection (per-link traffic stats, percent-of-ideal) and
+//!   per-group normalization against a baseline algorithm
+//!   (`normalize_over` / `group_by`), the layer that lets the paper's
+//!   comparison figures (Fig. 1, Fig. 16, Table V) be plain scenario
+//!   files.
 //!
 //! ```
 //! use tacos_scenario::{expand, run, ScenarioSpec};
@@ -63,6 +70,7 @@ pub use grid::{expand, ScenarioPoint};
 pub use progress::Progress;
 pub use runner::{run, PointMetrics, PointRecord, RunSummary};
 pub use spec::{
-    parse_baseline, parse_pattern, parse_size, parse_topology, CustomLink, CustomTopology,
-    LinkAxis, RunSettings, ScenarioSpec, SweepAxes,
+    parse_algo, parse_baseline, parse_pattern, parse_size, parse_topology, AlgoKind, AxisValues,
+    CustomLink, CustomTopology, ExcludeRule, GroupKey, LinkAxis, MetricColumn, ReportSettings,
+    RunSettings, ScenarioSpec, SweepAxes,
 };

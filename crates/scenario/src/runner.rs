@@ -12,7 +12,18 @@
 //! scenario — or a different scenario whose grid overlaps — therefore
 //! only generates the points not already cached, which is what makes
 //! large sweeps incrementally resumable.
+//!
+//! ## Output shaping
+//!
+//! When the scenario has an `output` stem, **raw** rows (the default
+//! metric layout) are streamed to `<stem>.partial.csv` as points
+//! complete, in completion order — a run killed halfway keeps every
+//! finished point. After the sweep the shaped `<stem>.csv` (the
+//! `[report]`-selected metric columns, per-group normalization applied)
+//! and the full `<stem>.json` are written and the partial file is
+//! removed.
 
+use std::io::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
@@ -22,13 +33,16 @@ use tacos_collective::algorithm::CollectiveAlgorithm;
 use tacos_collective::Collective;
 use tacos_core::{AlgorithmCache, CacheOutcome, SynthesisScratch, Synthesizer, SynthesizerConfig};
 use tacos_report::{to_csv, Json};
-use tacos_sim::Simulator;
+use tacos_sim::{LinkLoadStats, SimReport, Simulator};
 use tacos_topology::{Time, Topology};
 
 use crate::error::ScenarioError;
 use crate::grid::{expand, ScenarioPoint};
 use crate::progress::Progress;
-use crate::spec::{parse_baseline, parse_pattern, LinkAxis, ScenarioSpec};
+use crate::spec::{
+    parse_algo, parse_pattern, AlgoKind, GroupKey, LinkAxis, MetricColumn, ReportSettings,
+    ScenarioSpec,
+};
 
 /// Metrics measured for one successfully executed point.
 #[derive(Debug, Clone)]
@@ -41,14 +55,19 @@ pub struct PointMetrics {
     pub bandwidth_gbps: f64,
     /// Fraction of the theoretical ideal bound achieved.
     pub efficiency: f64,
+    /// Chunking factor the collective actually ran with (a `tacos:N`
+    /// algo variant overrides the point's `chunks` axis value).
+    pub chunks: usize,
     /// Number of transfers in the algorithm.
     pub transfers: u64,
-    /// Wall-clock seconds generating (or loading) the algorithm.
-    pub generation_seconds: f64,
+    /// Wall-clock seconds synthesizing (or loading) the algorithm.
+    pub synthesis_seconds: f64,
     /// Cache disposition; `None` when caching is disabled.
     pub cache: Option<CacheOutcome>,
     /// Whether the congestion-aware simulator produced the time.
     pub simulated: bool,
+    /// Per-link load statistics when the point was simulated.
+    pub link_stats: Option<LinkLoadStats>,
 }
 
 /// One grid point plus its execution outcome.
@@ -65,6 +84,8 @@ pub struct PointRecord {
 pub struct RunSummary {
     /// Scenario name.
     pub scenario: String,
+    /// Result shaping applied to the CSV output.
+    pub report: ReportSettings,
     /// Per-point records, in grid order.
     pub records: Vec<PointRecord>,
     /// Points whose algorithm was freshly generated this run.
@@ -77,80 +98,151 @@ pub struct RunSummary {
     pub elapsed: Duration,
 }
 
-impl RunSummary {
-    /// The CSV header used by [`RunSummary::csv_rows`].
-    pub fn csv_header() -> Vec<String> {
-        [
-            "scenario",
-            "point",
-            "topology",
-            "npus",
-            "collective",
-            "size",
-            "size_bytes",
-            "chunks",
-            "algo",
-            "seed",
-            "attempts",
-            "alpha_us",
-            "link_gbps",
-            "collective_time_ps",
-            "collective_time_us",
-            "bandwidth_gbps",
-            "efficiency_vs_ideal",
-            "transfers",
-            "generation_seconds",
-            "cache",
-            "error",
-        ]
+/// The identity columns every CSV layout starts with.
+const IDENTITY_HEADER: [&str; 12] = [
+    "scenario",
+    "point",
+    "topology",
+    "collective",
+    "size",
+    "size_bytes",
+    "chunks",
+    "algo",
+    "seed",
+    "attempts",
+    "alpha_us",
+    "link_gbps",
+];
+
+fn identity_cells(scenario: &str, r: &PointRecord) -> Vec<String> {
+    let p = &r.point;
+    // A `tacos:N` variant executes with its own chunking factor; report
+    // the chunking the collective actually ran with, not the axis value
+    // it overrode.
+    let chunks = match &r.result {
+        Ok(m) => m.chunks,
+        Err(_) => p.chunks,
+    };
+    let mut row = vec![
+        scenario.to_string(),
+        p.index.to_string(),
+        p.topology.clone(),
+        p.collective.clone(),
+        p.size_label.clone(),
+        p.size.as_u64().to_string(),
+        chunks.to_string(),
+        p.algo.clone(),
+        p.seed.to_string(),
+        p.attempts.to_string(),
+    ];
+    // Custom topologies carry their own per-link specs; reporting the
+    // sweep's link axis for them would be fabricated data.
+    if p.uses_link_axis() {
+        row.push(format!("{}", p.link.alpha_us));
+        row.push(format!("{}", p.link.bandwidth_gbps));
+    } else {
+        row.push(String::new());
+        row.push(String::new());
+    }
+    row
+}
+
+fn metric_cell(col: MetricColumn, m: &PointMetrics, normalized: Option<f64>) -> String {
+    match col {
+        MetricColumn::Npus => m.num_npus.to_string(),
+        MetricColumn::CollectiveTimePs => m.collective_time.as_ps().to_string(),
+        MetricColumn::CollectiveTimeUs => format!("{}", m.collective_time.as_micros_f64()),
+        MetricColumn::BandwidthGbps => format!("{}", m.bandwidth_gbps),
+        MetricColumn::EfficiencyVsIdeal => format!("{}", m.efficiency),
+        MetricColumn::PercentOfIdeal => format!("{}", m.efficiency * 100.0),
+        MetricColumn::Transfers => m.transfers.to_string(),
+        MetricColumn::SynthesisSeconds => format!("{}", m.synthesis_seconds),
+        MetricColumn::Cache => cache_label(m.cache).to_string(),
+        MetricColumn::NormalizedTime => normalized.map(|v| format!("{v}")).unwrap_or_default(),
+        MetricColumn::AvgUtilization => m
+            .link_stats
+            .map(|s| format!("{}", s.avg_utilization))
+            .unwrap_or_default(),
+        MetricColumn::MaxLinkBytes => m
+            .link_stats
+            .map(|s| s.max_link_bytes.to_string())
+            .unwrap_or_default(),
+        MetricColumn::IdleLinks => m
+            .link_stats
+            .map(|s| s.idle_links.to_string())
+            .unwrap_or_default(),
+        // The original heat-map experiment printed imbalance at three
+        // decimals; keep that for readable diffs.
+        MetricColumn::Imbalance => m
+            .link_stats
+            .map(|s| format!("{:.3}", s.imbalance))
+            .unwrap_or_default(),
+    }
+}
+
+/// The raw (unshaped) CSV header streamed to the partial file.
+fn raw_csv_header() -> Vec<String> {
+    IDENTITY_HEADER
         .iter()
         .map(|s| s.to_string())
+        .chain(MetricColumn::DEFAULT.iter().map(|c| c.name().to_string()))
+        .chain(std::iter::once("error".to_string()))
         .collect()
+}
+
+/// One raw CSV row: identity + default metric columns + error.
+fn raw_csv_row(scenario: &str, r: &PointRecord) -> Vec<String> {
+    let mut row = identity_cells(scenario, r);
+    match &r.result {
+        Ok(m) => {
+            row.extend(
+                MetricColumn::DEFAULT
+                    .iter()
+                    .map(|&col| metric_cell(col, m, None)),
+            );
+            row.push(String::new());
+        }
+        Err(e) => {
+            row.extend(std::iter::repeat_with(String::new).take(MetricColumn::DEFAULT.len()));
+            row.push(e.clone());
+        }
+    }
+    row
+}
+
+impl RunSummary {
+    /// The header of [`RunSummary::csv_rows`]: the identity columns, the
+    /// `[report]`-selected metric columns, and a trailing `error` column.
+    pub fn csv_header(&self) -> Vec<String> {
+        IDENTITY_HEADER
+            .iter()
+            .map(|s| s.to_string())
+            .chain(
+                self.report
+                    .metric_columns()
+                    .iter()
+                    .map(|c| c.name().to_string()),
+            )
+            .chain(std::iter::once("error".to_string()))
+            .collect()
     }
 
-    /// All records as CSV rows (header first).
+    /// All records as shaped CSV rows (header first): metric columns as
+    /// selected by the scenario's `[report]` section, with the
+    /// `normalized_time` column filled per `group_by` group.
     pub fn csv_rows(&self) -> Vec<Vec<String>> {
-        let mut rows = vec![Self::csv_header()];
-        for r in &self.records {
-            let p = &r.point;
-            let mut row = vec![
-                self.scenario.clone(),
-                p.index.to_string(),
-                p.topology.clone(),
-                String::new(),
-                p.collective.clone(),
-                p.size_label.clone(),
-                p.size.as_u64().to_string(),
-                p.chunks.to_string(),
-                p.algo.clone(),
-                p.seed.to_string(),
-                p.attempts.to_string(),
-            ];
-            // Custom topologies carry their own per-link specs; reporting
-            // the sweep's link axis for them would be fabricated data.
-            if p.uses_link_axis() {
-                row.push(format!("{}", p.link.alpha_us));
-                row.push(format!("{}", p.link.bandwidth_gbps));
-            } else {
-                row.push(String::new());
-                row.push(String::new());
-            }
+        let columns = self.report.metric_columns();
+        let normalized = self.normalized_times();
+        let mut rows = vec![self.csv_header()];
+        for (r, norm) in self.records.iter().zip(&normalized) {
+            let mut row = identity_cells(&self.scenario, r);
             match &r.result {
                 Ok(m) => {
-                    row[3] = m.num_npus.to_string();
-                    row.extend([
-                        m.collective_time.as_ps().to_string(),
-                        format!("{}", m.collective_time.as_micros_f64()),
-                        format!("{}", m.bandwidth_gbps),
-                        format!("{}", m.efficiency),
-                        m.transfers.to_string(),
-                        format!("{}", m.generation_seconds),
-                        cache_label(m.cache).to_string(),
-                        String::new(),
-                    ]);
+                    row.extend(columns.iter().map(|&col| metric_cell(col, m, *norm)));
+                    row.push(String::new());
                 }
                 Err(e) => {
-                    row.extend(std::iter::repeat_with(String::new).take(7));
+                    row.extend(std::iter::repeat_with(String::new).take(columns.len()));
                     row.push(e.clone());
                 }
             }
@@ -159,12 +251,66 @@ impl RunSummary {
         rows
     }
 
-    /// The full summary as a JSON value.
+    /// The `group_by` key of a point, as a joined string.
+    fn group_key(&self, p: &ScenarioPoint) -> String {
+        self.report
+            .group_by
+            .iter()
+            .map(|k| match k {
+                GroupKey::Topology => p.topology.clone(),
+                GroupKey::Link => p.link.to_string(),
+                GroupKey::Collective => p.collective.clone(),
+                GroupKey::Size => p.size_label.clone(),
+                GroupKey::Chunks => p.chunks.to_string(),
+                GroupKey::Seed => p.seed.to_string(),
+                GroupKey::Attempts => p.attempts.to_string(),
+            })
+            .collect::<Vec<_>>()
+            .join("\u{1f}")
+    }
+
+    /// Per-record `normalized_time` values: each successful point's
+    /// collective time over its group's `normalize_over` row's time
+    /// (exactly 1.0 on the baseline's own rows). `None` without
+    /// normalization, on failed points, and in groups whose baseline row
+    /// failed or was excluded. If a group somehow holds several baseline
+    /// rows (a `group_by` coarser than the grid), the first in grid order
+    /// is the reference.
+    pub fn normalized_times(&self) -> Vec<Option<f64>> {
+        let Some(baseline_algo) = &self.report.normalize_over else {
+            return vec![None; self.records.len()];
+        };
+        let mut baselines: std::collections::HashMap<String, f64> =
+            std::collections::HashMap::new();
+        for r in &self.records {
+            if &r.point.algo == baseline_algo {
+                if let Ok(m) = &r.result {
+                    baselines
+                        .entry(self.group_key(&r.point))
+                        .or_insert_with(|| m.collective_time.as_secs_f64());
+                }
+            }
+        }
+        self.records
+            .iter()
+            .map(|r| match &r.result {
+                Ok(m) => baselines
+                    .get(&self.group_key(&r.point))
+                    .map(|&b| m.collective_time.as_secs_f64() / b),
+                Err(_) => None,
+            })
+            .collect()
+    }
+
+    /// The full summary as a JSON value (always the complete raw metric
+    /// set plus any derived values, independent of the CSV shaping).
     pub fn to_json(&self) -> Json {
+        let normalized = self.normalized_times();
         let points = self
             .records
             .iter()
-            .map(|r| {
+            .zip(&normalized)
+            .map(|(r, norm)| {
                 let p = &r.point;
                 let mut fields = vec![
                     ("point", (p.index as u64).into()),
@@ -172,7 +318,10 @@ impl RunSummary {
                     ("collective", Json::Str(p.collective.clone())),
                     ("size", Json::Str(p.size_label.clone())),
                     ("size_bytes", (p.size.as_u64()).into()),
-                    ("chunks", (p.chunks as u64).into()),
+                    (
+                        "chunks",
+                        (r.result.as_ref().map(|m| m.chunks).unwrap_or(p.chunks) as u64).into(),
+                    ),
                     ("algo", Json::Str(p.algo.clone())),
                     ("seed", (p.seed).into()),
                     ("attempts", (p.attempts as u64).into()),
@@ -182,15 +331,28 @@ impl RunSummary {
                     fields.push(("link_gbps", p.link.bandwidth_gbps.into()));
                 }
                 match &r.result {
-                    Ok(m) => fields.extend([
-                        ("npus", (m.num_npus as u64).into()),
-                        ("collective_time_ps", (m.collective_time.as_ps()).into()),
-                        ("bandwidth_gbps", m.bandwidth_gbps.into()),
-                        ("efficiency_vs_ideal", m.efficiency.into()),
-                        ("transfers", (m.transfers).into()),
-                        ("generation_seconds", m.generation_seconds.into()),
-                        ("cache", Json::Str(cache_label(m.cache).into())),
-                    ]),
+                    Ok(m) => {
+                        fields.extend([
+                            ("npus", (m.num_npus as u64).into()),
+                            ("collective_time_ps", (m.collective_time.as_ps()).into()),
+                            ("bandwidth_gbps", m.bandwidth_gbps.into()),
+                            ("efficiency_vs_ideal", m.efficiency.into()),
+                            ("transfers", (m.transfers).into()),
+                            ("synthesis_seconds", m.synthesis_seconds.into()),
+                            ("cache", Json::Str(cache_label(m.cache).into())),
+                        ]);
+                        if let Some(s) = m.link_stats {
+                            fields.extend([
+                                ("max_link_bytes", s.max_link_bytes.into()),
+                                ("idle_links", (s.idle_links as u64).into()),
+                                ("imbalance", s.imbalance.into()),
+                                ("avg_utilization", s.avg_utilization.into()),
+                            ]);
+                        }
+                        if let Some(v) = norm {
+                            fields.push(("normalized_time", (*v).into()));
+                        }
+                    }
                     Err(e) => fields.push(("error", Json::Str(e.clone()))),
                 }
                 Json::obj(fields)
@@ -235,11 +397,58 @@ fn cache_label(outcome: Option<CacheOutcome>) -> &'static str {
     }
 }
 
+/// Streams raw result rows to `<stem>.partial.csv` as points complete,
+/// so a killed run keeps every finished point. Rows are appended in
+/// completion order (not grid order) and the file is removed once the
+/// final outputs are written.
+struct PartialCsv {
+    path: std::path::PathBuf,
+    file: Mutex<std::fs::File>,
+}
+
+impl PartialCsv {
+    fn create(stem: &str) -> Result<Self, ScenarioError> {
+        let path = std::path::PathBuf::from(format!("{stem}.partial.csv"));
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| ScenarioError::io(parent.display().to_string(), e))?;
+            }
+        }
+        let mut file = std::fs::File::create(&path)
+            .map_err(|e| ScenarioError::io(path.display().to_string(), e))?;
+        file.write_all(to_csv(&[raw_csv_header()]).as_bytes())
+            .map_err(|e| ScenarioError::io(path.display().to_string(), e))?;
+        Ok(PartialCsv {
+            path,
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Appends one row and flushes. Best-effort: a failing disk must not
+    /// abort the sweep mid-run — the final write reports errors instead.
+    fn append(&self, row: Vec<String>) {
+        let encoded = to_csv(&[row]);
+        if let Ok(mut f) = self.file.lock() {
+            let _ = f.write_all(encoded.as_bytes());
+            let _ = f.flush();
+        }
+    }
+
+    /// Removes the partial file after the final outputs landed.
+    fn remove(self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
 /// Expands and executes a scenario, sharding points across worker threads.
 ///
 /// Point-level failures are recorded per point (and counted in
 /// [`RunSummary::failed`]) rather than aborting the sweep; only setup
 /// failures — an unopenable cache directory, an invalid spec — abort.
+/// Callers that need a process-level failure signal (the CLI) check
+/// [`RunSummary::failed`] after the outputs are written, so completed
+/// points always land on disk.
 ///
 /// # Errors
 /// Returns setup errors; never point-level execution errors.
@@ -247,6 +456,10 @@ pub fn run(spec: &ScenarioSpec) -> Result<RunSummary, ScenarioError> {
     let points = expand(spec)?;
     let cache = match &spec.run.cache {
         Some(dir) => Some(AlgorithmCache::new(dir).map_err(|e| ScenarioError::io(dir.clone(), e))?),
+        None => None,
+    };
+    let partial = match &spec.output {
+        Some(stem) => Some(PartialCsv::create(stem)?),
         None => None,
     };
     let workers = if spec.run.threads == 0 {
@@ -302,6 +515,9 @@ pub fn run(spec: &ScenarioSpec) -> Result<RunSummary, ScenarioError> {
                         point: point.clone(),
                         result,
                     };
+                    if let Some(partial) = &partial {
+                        partial.append(raw_csv_row(&spec.name, &record));
+                    }
                     records.lock().expect("no poisoned locks")[i] = Some(record);
                 }
             });
@@ -326,6 +542,7 @@ pub fn run(spec: &ScenarioSpec) -> Result<RunSummary, ScenarioError> {
     }
     let summary = RunSummary {
         scenario: spec.name.clone(),
+        report: spec.report.clone(),
         records,
         generated,
         cache_hits,
@@ -334,6 +551,9 @@ pub fn run(spec: &ScenarioSpec) -> Result<RunSummary, ScenarioError> {
     };
     if let Some(stem) = &spec.output {
         summary.write_outputs(stem)?;
+        if let Some(partial) = partial {
+            partial.remove();
+        }
     }
     Ok(summary)
 }
@@ -385,81 +605,120 @@ fn execute_point(
     scratch: &mut SynthesisScratch,
 ) -> Result<PointMetrics, String> {
     let pattern = parse_pattern(&point.collective, topo.num_npus())?;
-    let collective = Collective::with_chunking(pattern, topo.num_npus(), point.chunks, point.size)
+    let algo_kind = parse_algo(&point.algo, point.seed)?;
+    let ideal = IdealBound::new(topo);
+
+    if algo_kind == AlgoKind::Ideal {
+        // The theoretical bound: nothing to generate or simulate.
+        let collective_time = ideal.collective_time(pattern, point.size);
+        return Ok(PointMetrics {
+            num_npus: topo.num_npus(),
+            collective_time,
+            bandwidth_gbps: bandwidth_gbps(point.size.as_u64(), collective_time),
+            efficiency: ideal.efficiency(pattern, point.size, collective_time),
+            chunks: point.chunks,
+            transfers: 0,
+            synthesis_seconds: 0.0,
+            cache: None,
+            simulated: false,
+            link_stats: None,
+        });
+    }
+
+    // `tacos:N` overrides the chunking axis for this algorithm only, so
+    // the paper's chunked TACOS variants can share a grid with unchunked
+    // baselines.
+    let chunks = match &algo_kind {
+        AlgoKind::Tacos { chunks: Some(k) } => *k,
+        _ => point.chunks,
+    };
+    let collective = Collective::with_chunking(pattern, topo.num_npus(), chunks, point.size)
         .map_err(|e| e.to_string())?;
-    let config = SynthesizerConfig::default()
-        .with_seed(point.seed)
-        .with_attempts(point.attempts);
-    let synth = Synthesizer::new(config);
 
     let started = Instant::now();
-    let (algorithm, outcome): (CollectiveAlgorithm, Option<CacheOutcome>) = if point.algo == "tacos"
-    {
-        match cache {
-            Some(c) => {
-                let (algo, outcome) = c
-                    .synthesize_cached_traced_with(&synth, topo, &collective, scratch)
-                    .map_err(|e| e.to_string())?;
-                (algo, Some(outcome))
+    let (algorithm, outcome): (CollectiveAlgorithm, Option<CacheOutcome>) = match algo_kind {
+        AlgoKind::Ideal => unreachable!("handled above"),
+        AlgoKind::Tacos { .. } => {
+            let config = SynthesizerConfig::default()
+                .with_seed(point.seed)
+                .with_attempts(point.attempts);
+            let synth = Synthesizer::new(config);
+            match cache {
+                Some(c) => {
+                    let (algo, outcome) = c
+                        .synthesize_cached_traced_with(&synth, topo, &collective, scratch)
+                        .map_err(|e| e.to_string())?;
+                    (algo, Some(outcome))
+                }
+                None => (
+                    synth
+                        .synthesize_with(topo, &collective, scratch)
+                        .map_err(|e| e.to_string())?
+                        .into_algorithm(),
+                    None,
+                ),
             }
-            None => (
-                synth
-                    .synthesize_with(topo, &collective, scratch)
-                    .map_err(|e| e.to_string())?
-                    .into_algorithm(),
-                None,
-            ),
         }
-    } else {
-        let kind = parse_baseline(&point.algo, point.seed)?;
-        let generate = || {
-            BaselineAlgorithm::new(kind.clone())
-                .generate(topo, &collective)
-                .map_err(|e| e.to_string())
-        };
-        match cache {
-            Some(c) => {
-                // Deterministic baselines ignore the synthesizer's
-                // seed/attempts, so their key must too — otherwise a
-                // seed sweep regenerates identical algorithms. Randomized
-                // baselines report the seed they consume via
-                // `BaselineKind::seed`.
-                let salt = kind.seed().unwrap_or(0);
-                let key = AlgorithmCache::key_for_generator(&point.algo, topo, &collective, salt);
-                let (algo, outcome) = c.load_or_insert_with(&key, generate)?;
-                (algo, Some(outcome))
+        AlgoKind::Baseline(kind) => {
+            let generate = || {
+                BaselineAlgorithm::new(kind.clone())
+                    .generate(topo, &collective)
+                    .map_err(|e| e.to_string())
+            };
+            match cache {
+                Some(c) => {
+                    // Deterministic baselines ignore the synthesizer's
+                    // seed/attempts, so their key must too — otherwise a
+                    // seed sweep regenerates identical algorithms. Randomized
+                    // baselines report the seed they consume via
+                    // `BaselineKind::seed`.
+                    let salt = kind.seed().unwrap_or(0);
+                    let key =
+                        AlgorithmCache::key_for_generator(&point.algo, topo, &collective, salt);
+                    let (algo, outcome) = c.load_or_insert_with(&key, generate)?;
+                    (algo, Some(outcome))
+                }
+                None => (generate()?, None),
             }
-            None => (generate()?, None),
         }
     };
-    let generation_seconds = started.elapsed().as_secs_f64();
+    let synthesis_seconds = started.elapsed().as_secs_f64();
 
-    let (collective_time, simulated) = if spec.run.simulate || algorithm.planned_time().is_none() {
-        let report = Simulator::new()
-            .simulate(topo, &algorithm)
-            .map_err(|e| e.to_string())?;
-        (report.collective_time(), true)
+    let sim_report: Option<SimReport> = if spec.run.simulate || algorithm.planned_time().is_none() {
+        Some(
+            Simulator::new()
+                .simulate(topo, &algorithm)
+                .map_err(|e| e.to_string())?,
+        )
     } else {
-        (algorithm.collective_time(), false)
+        None
     };
-
-    let bandwidth_gbps = if collective_time.is_zero() {
-        f64::INFINITY
-    } else {
-        point.size.as_u64() as f64 / collective_time.as_secs_f64() / 1e9
+    let (collective_time, simulated) = match &sim_report {
+        Some(r) => (r.collective_time(), true),
+        None => (algorithm.collective_time(), false),
     };
-    let efficiency = IdealBound::new(topo).efficiency(pattern, point.size, collective_time);
+    let link_stats = sim_report.as_ref().map(SimReport::link_load_stats);
 
     Ok(PointMetrics {
         num_npus: topo.num_npus(),
         collective_time,
-        bandwidth_gbps,
-        efficiency,
+        bandwidth_gbps: bandwidth_gbps(point.size.as_u64(), collective_time),
+        efficiency: ideal.efficiency(pattern, point.size, collective_time),
+        chunks,
         transfers: algorithm.len() as u64,
-        generation_seconds,
+        synthesis_seconds,
         cache: outcome,
         simulated,
+        link_stats,
     })
+}
+
+fn bandwidth_gbps(size_bytes: u64, time: Time) -> f64 {
+    if time.is_zero() {
+        f64::INFINITY
+    } else {
+        size_bytes as f64 / time.as_secs_f64() / 1e9
+    }
 }
 
 #[cfg(test)]
@@ -468,7 +727,9 @@ mod tests {
     use crate::spec::ScenarioSpec;
 
     fn toml_spec(body: &str) -> ScenarioSpec {
-        ScenarioSpec::from_toml_str(body).unwrap()
+        let mut spec = ScenarioSpec::from_toml_str(body).unwrap();
+        spec.run.quiet = true;
+        spec
     }
 
     #[test]
@@ -488,8 +749,6 @@ simulate = true
 threads = 2
 "#,
         );
-        let mut spec = spec;
-        spec.run.quiet = true;
         let summary = run(&spec).unwrap();
         assert_eq!(summary.records.len(), 2);
         assert_eq!(summary.failed, 0);
@@ -501,6 +760,9 @@ threads = 2
             assert!(m.bandwidth_gbps > 0.0);
             assert!(m.cache.is_none());
             assert!(m.simulated);
+            let stats = m.link_stats.expect("simulated points carry link stats");
+            assert!(stats.max_link_bytes > 0);
+            assert!(stats.imbalance >= 1.0);
         }
     }
 
@@ -508,7 +770,7 @@ threads = 2
     fn point_failures_are_recorded_not_fatal() {
         // dbt requires an even number of NPUs > 2 on many topologies; a
         // 3-NPU ring makes it fail while ring succeeds.
-        let mut spec = toml_spec(
+        let spec = toml_spec(
             r#"
 [scenario]
 name = "mixed"
@@ -521,7 +783,6 @@ algo = ["ring", "dbt"]
 cache = false
 "#,
         );
-        spec.run.quiet = true;
         let summary = run(&spec).unwrap();
         assert_eq!(summary.records.len(), 2);
         let ok = summary.records.iter().filter(|r| r.result.is_ok()).count();
@@ -533,7 +794,7 @@ cache = false
 
     #[test]
     fn csv_and_json_have_a_row_per_point() {
-        let mut spec = toml_spec(
+        let spec = toml_spec(
             r#"
 [scenario]
 name = "io"
@@ -545,7 +806,6 @@ algo = ["ring"]
 cache = false
 "#,
         );
-        spec.run.quiet = true;
         let summary = run(&spec).unwrap();
         let rows = summary.csv_rows();
         assert_eq!(rows.len(), 1 + 2);
@@ -553,5 +813,198 @@ cache = false
         let json = summary.to_json().to_string();
         assert!(json.contains("\"scenario\":\"io\""));
         assert!(json.contains("\"points\":["));
+        assert!(json.contains("\"synthesis_seconds\":"));
+    }
+
+    #[test]
+    fn ideal_rows_report_the_bound_without_generating_anything() {
+        let spec = toml_spec(
+            r#"
+[scenario]
+name = "ideal"
+[sweep]
+topology = ["ring:4"]
+size = ["4MB"]
+algo = ["ring", "ideal"]
+[run]
+cache = false
+simulate = true
+"#,
+        );
+        let summary = run(&spec).unwrap();
+        assert_eq!(summary.failed, 0);
+        let ring = summary.records[0].result.as_ref().unwrap();
+        let ideal = summary.records[1].result.as_ref().unwrap();
+        assert_eq!(ideal.transfers, 0);
+        assert!(!ideal.simulated);
+        assert!(ideal.link_stats.is_none());
+        assert!((ideal.efficiency - 1.0).abs() < 1e-12);
+        assert!(ideal.collective_time <= ring.collective_time);
+    }
+
+    #[test]
+    fn tacos_chunk_variant_matches_direct_synthesis() {
+        let spec = toml_spec(
+            r#"
+[scenario]
+name = "chunked"
+[sweep]
+topology = ["mesh:2x2"]
+collective = ["all-gather"]
+size = ["4MB"]
+algo = ["tacos:2"]
+seed = [7]
+[run]
+cache = false
+simulate = true
+"#,
+        );
+        let summary = run(&spec).unwrap();
+        assert_eq!(summary.failed, 0);
+        let got = summary.records[0].result.as_ref().unwrap();
+
+        // Reference: the same synthesis with the chunking applied to the
+        // collective directly.
+        let topo = spec
+            .build_topology("mesh:2x2", LinkAxis::default_paper().to_spec())
+            .unwrap();
+        let coll = Collective::with_chunking(
+            tacos_collective::CollectivePattern::AllGather,
+            4,
+            2,
+            tacos_topology::ByteSize::mb(4),
+        )
+        .unwrap();
+        let synth = Synthesizer::new(SynthesizerConfig::default().with_seed(7).with_attempts(1));
+        let expected = Simulator::new()
+            .simulate(&topo, synth.synthesize(&topo, &coll).unwrap().algorithm())
+            .unwrap()
+            .collective_time();
+        assert_eq!(got.collective_time, expected);
+
+        // The outputs report the chunking the collective actually ran
+        // with (2, from `tacos:2`), not the overridden axis value (1).
+        assert_eq!(got.chunks, 2);
+        let rows = summary.csv_rows();
+        let chunks_col = rows[0].iter().position(|h| h == "chunks").unwrap();
+        assert_eq!(rows[1][chunks_col], "2");
+        assert!(summary.to_json().to_string().contains("\"chunks\":2"));
+    }
+
+    #[test]
+    fn shaped_csv_carries_selected_and_normalized_columns() {
+        let spec = toml_spec(
+            r#"
+[scenario]
+name = "shaped"
+[sweep]
+topology = ["ring:4", "mesh:2x2"]
+collective = ["all-gather"]
+size = ["4MB"]
+algo = ["tacos", "ring"]
+[run]
+cache = false
+simulate = true
+[report]
+columns = ["bandwidth_gbps", "percent_of_ideal", "max_link_bytes", "idle_links", "imbalance"]
+normalize_over = "tacos"
+group_by = ["topology"]
+"#,
+        );
+        let summary = run(&spec).unwrap();
+        assert_eq!(summary.failed, 0);
+        let rows = summary.csv_rows();
+        let header = &rows[0];
+        let col = |name: &str| {
+            header
+                .iter()
+                .position(|h| h == name)
+                .unwrap_or_else(|| panic!("missing column {name} in {header:?}"))
+        };
+        // Selected metric columns only (plus the appended normalization).
+        assert!(!header.iter().any(|h| h == "collective_time_ps"));
+        let (algo_c, norm_c) = (col("algo"), col("normalized_time"));
+        let (pct_c, imb_c) = (col("percent_of_ideal"), col("imbalance"));
+        for row in &rows[1..] {
+            let norm: f64 = row[norm_c].parse().unwrap();
+            if row[algo_c] == "tacos" {
+                assert_eq!(norm, 1.0, "baseline rows normalize to exactly 1.0");
+            } else {
+                assert!(norm > 0.0);
+            }
+            let pct: f64 = row[pct_c].parse().unwrap();
+            assert!(pct > 0.0 && pct <= 100.0, "percent_of_ideal {pct}");
+            assert!(row[imb_c].parse::<f64>().unwrap() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn failed_runs_keep_finished_rows_in_outputs_and_partial_streams() {
+        let dir = std::env::temp_dir().join(format!("tacos-partial-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let stem = dir.join("mixed").display().to_string();
+        let mut spec = toml_spec(
+            r#"
+[scenario]
+name = "mixed"
+[sweep]
+topology = ["ring:3"]
+collective = ["all-reduce"]
+size = ["3MB"]
+algo = ["ring", "rhd"]
+[run]
+cache = false
+"#,
+        );
+        spec.output = Some(stem.clone());
+        let summary = run(&spec).unwrap();
+        assert_eq!(summary.failed, 1, "rhd needs a power-of-two NPU count");
+
+        // Final outputs exist and carry both the finished row and the
+        // failure message.
+        let csv = std::fs::read_to_string(format!("{stem}.csv")).unwrap();
+        assert_eq!(csv.lines().count(), 1 + 2);
+        let ring_row = csv.lines().find(|l| l.contains(",ring,")).unwrap();
+        // The finished row carries metrics and an empty error cell.
+        assert!(ring_row.ends_with(','), "ring row has no error: {ring_row}");
+        assert!(ring_row.contains(",hit,") || ring_row.contains(",off,"));
+        let json = std::fs::read_to_string(format!("{stem}.json")).unwrap();
+        assert!(json.contains("\"error\":"));
+        // The partial stream was finalized away.
+        assert!(!std::path::Path::new(&format!("{stem}.partial.csv")).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partial_csv_survives_without_finalize() {
+        // Simulates a killed run: rows are streamed and flushed per
+        // completion, so the file holds them even if `remove` never runs.
+        let dir = std::env::temp_dir().join(format!("tacos-partial-keep-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let stem = dir.join("keep").display().to_string();
+        let partial = PartialCsv::create(&stem).unwrap();
+        let record = PointRecord {
+            point: ScenarioPoint {
+                index: 0,
+                topology: "ring:4".into(),
+                link: LinkAxis::default_paper(),
+                collective: "all-reduce".into(),
+                size_label: "1MB".into(),
+                size: tacos_topology::ByteSize::mb(1),
+                chunks: 1,
+                algo: "ring".into(),
+                seed: 42,
+                attempts: 1,
+            },
+            result: Err("injected".into()),
+        };
+        partial.append(raw_csv_row("keep", &record));
+        // Deliberately no `remove`: the run "died" here.
+        drop(partial);
+        let text =
+            std::fs::read_to_string(format!("{stem}.partial.csv")).expect("partial file exists");
+        assert_eq!(text.lines().count(), 2, "header plus one streamed row");
+        assert!(text.contains("injected"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,6 +1,6 @@
 //! The declarative scenario specification.
 //!
-//! A scenario file is a TOML document with three parts:
+//! A scenario file is a TOML document with up to six parts:
 //!
 //! * `[scenario]` — name, description, optional `output` stem for
 //!   CSV/JSON artifacts;
@@ -9,6 +9,13 @@
 //!   bare scalar is accepted as a one-element list);
 //! * `[run]` — execution settings: `simulate`, `threads` (0 = all
 //!   cores), `cache` (a directory string, or `false` to disable);
+//! * optional `[report]` — result shaping: which metric columns the
+//!   output CSV carries (`columns`), and per-group normalization against
+//!   a baseline algorithm (`normalize_over`, `group_by`) — see
+//!   [`ReportSettings`];
+//! * optional `[[exclude]]` — rules removing individual axis
+//!   combinations from the grid (e.g. an algorithm that is intractable
+//!   at one topology scale) — see [`ExcludeRule`];
 //! * optional `[[topologies]]` — builder-described heterogeneous
 //!   networks, referenced from `sweep.topology` as `custom:<name>`.
 //!
@@ -169,6 +176,306 @@ impl Default for RunSettings {
     }
 }
 
+/// One metric column of the shaped output CSV.
+///
+/// The identity columns (scenario, point index, the axis values) are
+/// always present; `[report] columns` selects and orders the *metric*
+/// columns that follow them. Without a `[report]` section the output
+/// carries [`MetricColumn::DEFAULT`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricColumn {
+    /// NPU count of the instantiated topology.
+    Npus,
+    /// Collective completion time in integer picoseconds.
+    CollectiveTimePs,
+    /// Collective completion time in fractional microseconds.
+    CollectiveTimeUs,
+    /// Achieved bandwidth in GB/s (`total size / time`).
+    BandwidthGbps,
+    /// Fraction of the theoretical ideal bound achieved (0..1).
+    EfficiencyVsIdeal,
+    /// The same efficiency as a percentage (0..100).
+    PercentOfIdeal,
+    /// Number of transfers in the algorithm.
+    Transfers,
+    /// Wall-clock seconds synthesizing (or loading) the algorithm.
+    SynthesisSeconds,
+    /// Cache disposition (`hit` / `miss` / `off`).
+    Cache,
+    /// Collective time divided by the `normalize_over` algorithm's time
+    /// within the same `group_by` group (1.0 on the baseline's own rows).
+    NormalizedTime,
+    /// Mean link utilization over the collective (0..1); needs
+    /// `run.simulate`.
+    AvgUtilization,
+    /// Total bytes carried by the hottest link; needs `run.simulate`.
+    MaxLinkBytes,
+    /// Number of links that carried zero bytes; needs `run.simulate`.
+    IdleLinks,
+    /// Hottest-link bytes over mean link bytes (the paper Fig. 1 hot-spot
+    /// measure); needs `run.simulate`.
+    Imbalance,
+}
+
+impl MetricColumn {
+    /// Every metric column, in `[report] columns` vocabulary order.
+    /// Keep in sync with the `name()` match when adding a variant —
+    /// a column missing here is unselectable from scenario files.
+    pub const ALL: [MetricColumn; 14] = [
+        MetricColumn::Npus,
+        MetricColumn::CollectiveTimePs,
+        MetricColumn::CollectiveTimeUs,
+        MetricColumn::BandwidthGbps,
+        MetricColumn::EfficiencyVsIdeal,
+        MetricColumn::PercentOfIdeal,
+        MetricColumn::Transfers,
+        MetricColumn::SynthesisSeconds,
+        MetricColumn::Cache,
+        MetricColumn::NormalizedTime,
+        MetricColumn::AvgUtilization,
+        MetricColumn::MaxLinkBytes,
+        MetricColumn::IdleLinks,
+        MetricColumn::Imbalance,
+    ];
+
+    /// The metric columns of an unshaped run, in output order.
+    pub const DEFAULT: [MetricColumn; 8] = [
+        MetricColumn::Npus,
+        MetricColumn::CollectiveTimePs,
+        MetricColumn::CollectiveTimeUs,
+        MetricColumn::BandwidthGbps,
+        MetricColumn::EfficiencyVsIdeal,
+        MetricColumn::Transfers,
+        MetricColumn::SynthesisSeconds,
+        MetricColumn::Cache,
+    ];
+
+    /// The CSV header (and `[report] columns`) name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricColumn::Npus => "npus",
+            MetricColumn::CollectiveTimePs => "collective_time_ps",
+            MetricColumn::CollectiveTimeUs => "collective_time_us",
+            MetricColumn::BandwidthGbps => "bandwidth_gbps",
+            MetricColumn::EfficiencyVsIdeal => "efficiency_vs_ideal",
+            MetricColumn::PercentOfIdeal => "percent_of_ideal",
+            MetricColumn::Transfers => "transfers",
+            MetricColumn::SynthesisSeconds => "synthesis_seconds",
+            MetricColumn::Cache => "cache",
+            MetricColumn::NormalizedTime => "normalized_time",
+            MetricColumn::AvgUtilization => "avg_utilization",
+            MetricColumn::MaxLinkBytes => "max_link_bytes",
+            MetricColumn::IdleLinks => "idle_links",
+            MetricColumn::Imbalance => "imbalance",
+        }
+    }
+
+    /// Parses a `[report] columns` entry.
+    ///
+    /// # Errors
+    /// Returns a message listing the known column names.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        Self::ALL
+            .into_iter()
+            .find(|c| c.name() == s)
+            .ok_or_else(|| {
+                format!(
+                    "unknown report column '{s}' (expected one of: {})",
+                    Self::ALL.map(MetricColumn::name).join(", ")
+                )
+            })
+    }
+
+    /// Whether this column is derived from the congestion-aware
+    /// simulator's per-link report (and therefore needs `run.simulate`).
+    pub fn needs_simulation(self) -> bool {
+        matches!(
+            self,
+            MetricColumn::AvgUtilization
+                | MetricColumn::MaxLinkBytes
+                | MetricColumn::IdleLinks
+                | MetricColumn::Imbalance
+        )
+    }
+}
+
+/// A grid axis usable as a `[report] group_by` key.
+///
+/// Groups are formed by the tuple of the listed axes' values; the `algo`
+/// axis is deliberately not a key — normalization compares algorithms
+/// *within* a group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupKey {
+    /// The topology spec string.
+    Topology,
+    /// The link axis value.
+    Link,
+    /// The collective pattern name.
+    Collective,
+    /// The size label.
+    Size,
+    /// The chunking factor.
+    Chunks,
+    /// The RNG seed.
+    Seed,
+    /// The best-of-N attempt count.
+    Attempts,
+}
+
+impl GroupKey {
+    /// Every key, in the grid's axis nesting order. This is the default
+    /// `group_by`: each group then holds exactly the algorithm variants
+    /// of one sweep configuration.
+    pub const ALL: [GroupKey; 7] = [
+        GroupKey::Topology,
+        GroupKey::Link,
+        GroupKey::Collective,
+        GroupKey::Size,
+        GroupKey::Chunks,
+        GroupKey::Seed,
+        GroupKey::Attempts,
+    ];
+
+    /// The `[report] group_by` (and `[sweep]`) name of this axis.
+    pub fn name(self) -> &'static str {
+        match self {
+            GroupKey::Topology => "topology",
+            GroupKey::Link => "link",
+            GroupKey::Collective => "collective",
+            GroupKey::Size => "size",
+            GroupKey::Chunks => "chunks",
+            GroupKey::Seed => "seed",
+            GroupKey::Attempts => "attempts",
+        }
+    }
+
+    /// Parses a `[report] group_by` entry.
+    ///
+    /// # Errors
+    /// Returns a message listing the valid axis names.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        Self::ALL
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| {
+                format!(
+                    "unknown group_by axis '{s}' (expected one of: {})",
+                    Self::ALL.map(GroupKey::name).join(", ")
+                )
+            })
+    }
+}
+
+/// Result shaping declared in the `[report]` table.
+///
+/// ```toml
+/// [report]
+/// columns = ["normalized_time", "synthesis_seconds"]
+/// normalize_over = "tacos"
+/// group_by = ["topology"]
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportSettings {
+    /// Metric columns of the output CSV, in order; `None` keeps the
+    /// default layout ([`MetricColumn::DEFAULT`]).
+    pub columns: Option<Vec<MetricColumn>>,
+    /// Algorithm name whose collective time is the per-group 1.0 baseline
+    /// of the `normalized_time` column. Must be one of `sweep.algo`.
+    pub normalize_over: Option<String>,
+    /// Axes whose value tuples form the normalization groups. Defaults to
+    /// every non-algo axis, so each group is one sweep configuration.
+    pub group_by: Vec<GroupKey>,
+}
+
+impl Default for ReportSettings {
+    fn default() -> Self {
+        ReportSettings {
+            columns: None,
+            normalize_over: None,
+            group_by: GroupKey::ALL.to_vec(),
+        }
+    }
+}
+
+impl ReportSettings {
+    /// The metric columns the output actually carries: the selected (or
+    /// default) list, with `normalized_time` appended when normalization
+    /// is configured but the column was not listed explicitly.
+    pub fn metric_columns(&self) -> Vec<MetricColumn> {
+        let mut cols = self
+            .columns
+            .clone()
+            .unwrap_or_else(|| MetricColumn::DEFAULT.to_vec());
+        if self.normalize_over.is_some() && !cols.contains(&MetricColumn::NormalizedTime) {
+            cols.push(MetricColumn::NormalizedTime);
+        }
+        cols
+    }
+}
+
+/// One `[[exclude]]` rule: a grid point whose axis values match **all**
+/// the rule's constraints is removed from the expansion. Each constraint
+/// is a scalar or list of values of that axis (a list matches any of its
+/// entries).
+///
+/// ```toml
+/// [[exclude]]
+/// # The TACCL ILP is intractable at 128 NPUs (Table V prints "-").
+/// topology = "rfs:2x4x16"
+/// algo = "taccl"
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExcludeRule {
+    /// Topology spec strings to match (empty = any).
+    pub topology: Vec<String>,
+    /// Collective names to match (empty = any).
+    pub collective: Vec<String>,
+    /// Size labels to match (empty = any).
+    pub size: Vec<String>,
+    /// Algorithm names to match (empty = any).
+    pub algo: Vec<String>,
+    /// Chunking factors to match (empty = any).
+    pub chunks: Vec<usize>,
+    /// Seeds to match (empty = any).
+    pub seed: Vec<u64>,
+    /// Attempt counts to match (empty = any).
+    pub attempts: Vec<usize>,
+}
+
+/// The axis values of one candidate grid point, as matched by
+/// [`ExcludeRule`]s during expansion.
+#[derive(Debug, Clone, Copy)]
+pub struct AxisValues<'a> {
+    /// Topology spec string.
+    pub topology: &'a str,
+    /// Collective pattern name.
+    pub collective: &'a str,
+    /// Size label as written in the scenario file.
+    pub size: &'a str,
+    /// Algorithm name.
+    pub algo: &'a str,
+    /// Chunking factor.
+    pub chunks: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Best-of-N attempt count.
+    pub attempts: usize,
+}
+
+impl ExcludeRule {
+    /// Whether every non-empty constraint matches the given axis values.
+    pub fn matches(&self, v: AxisValues<'_>) -> bool {
+        let hit = |values: &[String], x: &str| values.is_empty() || values.iter().any(|s| s == x);
+        hit(&self.topology, v.topology)
+            && hit(&self.collective, v.collective)
+            && hit(&self.size, v.size)
+            && hit(&self.algo, v.algo)
+            && (self.chunks.is_empty() || self.chunks.contains(&v.chunks))
+            && (self.seed.is_empty() || self.seed.contains(&v.seed))
+            && (self.attempts.is_empty() || self.attempts.contains(&v.attempts))
+    }
+}
+
 /// A fully parsed, validated scenario.
 #[derive(Debug, Clone)]
 pub struct ScenarioSpec {
@@ -182,6 +489,10 @@ pub struct ScenarioSpec {
     pub sweep: SweepAxes,
     /// Execution settings.
     pub run: RunSettings,
+    /// Result shaping (`[report]`).
+    pub report: ReportSettings,
+    /// Grid-point exclusion rules (`[[exclude]]`).
+    pub excludes: Vec<ExcludeRule>,
     /// Builder-described topologies, by name.
     pub custom_topologies: BTreeMap<String, CustomTopology>,
 }
@@ -211,7 +522,14 @@ impl ScenarioSpec {
         reject_unknown_keys(
             doc,
             "top level",
-            &["scenario", "sweep", "run", "topologies"],
+            &[
+                "scenario",
+                "sweep",
+                "run",
+                "report",
+                "exclude",
+                "topologies",
+            ],
         )?;
         let scenario = expect_table(doc, "scenario")?;
         reject_unknown_keys(scenario, "[scenario]", &["name", "description", "output"])?;
@@ -250,12 +568,35 @@ impl ScenarioSpec {
             })?)?,
         };
 
+        let report = match doc.get("report") {
+            None => ReportSettings::default(),
+            Some(v) => parse_report(v.as_table().ok_or_else(|| {
+                ScenarioError::spec(format!("'report' must be a table, found {}", v.type_name()))
+            })?)?,
+        };
+        validate_report(&report, &sweep, &run)?;
+
+        let mut excludes = Vec::new();
+        if let Some(v) = doc.get("exclude") {
+            let items = v.as_array().ok_or_else(|| {
+                ScenarioError::spec("'exclude' must be an array of tables ([[exclude]])")
+            })?;
+            for item in items {
+                let t = item
+                    .as_table()
+                    .ok_or_else(|| ScenarioError::spec("each [[exclude]] must be a table"))?;
+                excludes.push(parse_exclude(t, &sweep)?);
+            }
+        }
+
         Ok(ScenarioSpec {
             name,
             description,
             output,
             sweep,
             run,
+            report,
+            excludes,
             custom_topologies,
         })
     }
@@ -422,10 +763,7 @@ fn parse_sweep(
         parse_size(s).map_err(|e| ScenarioError::spec(format!("sweep.size '{s}': {e}")))?;
     }
     for a in &axes.algo {
-        if a != "tacos" {
-            parse_baseline(a, 0)
-                .map_err(|e| ScenarioError::spec(format!("sweep.algo '{a}': {e}")))?;
-        }
+        parse_algo(a, 0).map_err(|e| ScenarioError::spec(format!("sweep.algo '{a}': {e}")))?;
     }
     for &k in &axes.chunks {
         if k == 0 {
@@ -482,6 +820,195 @@ fn parse_run(t: &Table) -> Result<RunSettings, ScenarioError> {
             .ok_or_else(|| ScenarioError::spec("run.quiet must be a boolean"))?;
     }
     Ok(run)
+}
+
+fn parse_report(t: &Table) -> Result<ReportSettings, ScenarioError> {
+    reject_unknown_keys(t, "[report]", &["columns", "normalize_over", "group_by"])?;
+    let mut report = ReportSettings::default();
+    if let Some(v) = t.get("columns") {
+        let items = v
+            .as_array()
+            .ok_or_else(|| ScenarioError::spec("report.columns must be a list of column names"))?;
+        if items.is_empty() {
+            return Err(ScenarioError::spec(
+                "report.columns must not be an empty list (omit it for the default layout)",
+            ));
+        }
+        let mut cols = Vec::with_capacity(items.len());
+        for item in items {
+            let name = item.as_str().ok_or_else(|| {
+                ScenarioError::spec(format!(
+                    "report.columns entries must be strings, found {}",
+                    item.type_name()
+                ))
+            })?;
+            let col = MetricColumn::parse(name).map_err(ScenarioError::spec)?;
+            if cols.contains(&col) {
+                return Err(ScenarioError::spec(format!(
+                    "report.columns lists '{name}' twice"
+                )));
+            }
+            cols.push(col);
+        }
+        report.columns = Some(cols);
+    }
+    report.normalize_over = opt_str(t, "report", "normalize_over")?.map(str::to_string);
+    if let Some(v) = t.get("group_by") {
+        let items = v
+            .as_array()
+            .ok_or_else(|| ScenarioError::spec("report.group_by must be a list of axis names"))?;
+        if items.is_empty() {
+            return Err(ScenarioError::spec(
+                "report.group_by must not be an empty list (omit it to group by every non-algo axis)",
+            ));
+        }
+        let mut keys = Vec::with_capacity(items.len());
+        for item in items {
+            let name = item.as_str().ok_or_else(|| {
+                ScenarioError::spec(format!(
+                    "report.group_by entries must be strings, found {}",
+                    item.type_name()
+                ))
+            })?;
+            let key = GroupKey::parse(name).map_err(ScenarioError::spec)?;
+            if keys.contains(&key) {
+                return Err(ScenarioError::spec(format!(
+                    "report.group_by lists '{name}' twice"
+                )));
+            }
+            keys.push(key);
+        }
+        report.group_by = keys;
+    }
+    Ok(report)
+}
+
+/// Cross-field report validation: normalization needs its baseline in the
+/// grid, and link-traffic columns need the simulator's per-link report.
+fn validate_report(
+    report: &ReportSettings,
+    sweep: &SweepAxes,
+    run: &RunSettings,
+) -> Result<(), ScenarioError> {
+    if let Some(algo) = &report.normalize_over {
+        if !sweep.algo.iter().any(|a| a == algo) {
+            return Err(ScenarioError::spec(format!(
+                "report.normalize_over '{algo}' is not one of sweep.algo \
+                 (every group's normalization column would be empty)"
+            )));
+        }
+    }
+    for col in report.columns.iter().flatten() {
+        if *col == MetricColumn::NormalizedTime && report.normalize_over.is_none() {
+            return Err(ScenarioError::spec(
+                "report column 'normalized_time' requires report.normalize_over",
+            ));
+        }
+        if col.needs_simulation() && !run.simulate {
+            return Err(ScenarioError::spec(format!(
+                "report column '{}' is derived from the simulator's per-link \
+                 report; set run.simulate = true",
+                col.name()
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn parse_exclude(t: &Table, sweep: &SweepAxes) -> Result<ExcludeRule, ScenarioError> {
+    reject_unknown_keys(
+        t,
+        "[[exclude]]",
+        &[
+            "topology",
+            "collective",
+            "size",
+            "algo",
+            "chunks",
+            "seed",
+            "attempts",
+        ],
+    )?;
+    if t.is_empty() {
+        return Err(ScenarioError::spec(
+            "an [[exclude]] rule must constrain at least one axis \
+             (an empty rule would exclude every point)",
+        ));
+    }
+    // Every listed value must exist on its sweep axis: a typo would
+    // otherwise silently exclude nothing and run unintended points.
+    let strings = |key: &str, axis: &[String]| -> Result<Vec<String>, ScenarioError> {
+        let mut out = Vec::new();
+        for v in exclude_values(t, key)? {
+            let s = v
+                .as_str()
+                .ok_or_else(|| {
+                    ScenarioError::spec(format!("exclude.{key} entries must be strings"))
+                })?
+                .to_string();
+            if !axis.contains(&s) {
+                return Err(ScenarioError::spec(format!(
+                    "exclude.{key} value '{s}' is not in sweep.{key}"
+                )));
+            }
+            out.push(s);
+        }
+        Ok(out)
+    };
+    let ints = |key: &str, axis: &[i64]| -> Result<Vec<i64>, ScenarioError> {
+        let mut out = Vec::new();
+        for v in exclude_values(t, key)? {
+            let n = v.as_int().ok_or_else(|| {
+                ScenarioError::spec(format!("exclude.{key} entries must be integers"))
+            })?;
+            if !axis.contains(&n) {
+                return Err(ScenarioError::spec(format!(
+                    "exclude.{key} value {n} is not in sweep.{key}"
+                )));
+            }
+            out.push(n);
+        }
+        Ok(out)
+    };
+    Ok(ExcludeRule {
+        topology: strings("topology", &sweep.topology)?,
+        collective: strings("collective", &sweep.collective)?,
+        size: strings("size", &sweep.size)?,
+        algo: strings("algo", &sweep.algo)?,
+        chunks: ints(
+            "chunks",
+            &sweep.chunks.iter().map(|&v| v as i64).collect::<Vec<_>>(),
+        )?
+        .into_iter()
+        .map(|v| v as usize)
+        .collect(),
+        seed: ints(
+            "seed",
+            &sweep.seed.iter().map(|&v| v as i64).collect::<Vec<_>>(),
+        )?
+        .into_iter()
+        .map(|v| v as u64)
+        .collect(),
+        attempts: ints(
+            "attempts",
+            &sweep.attempts.iter().map(|&v| v as i64).collect::<Vec<_>>(),
+        )?
+        .into_iter()
+        .map(|v| v as usize)
+        .collect(),
+    })
+}
+
+/// Reads an `[[exclude]]` constraint that may be a scalar or a list.
+fn exclude_values<'a>(t: &'a Table, key: &str) -> Result<Vec<&'a Value>, ScenarioError> {
+    match t.get(key) {
+        None => Ok(Vec::new()),
+        Some(Value::Array(items)) if items.is_empty() => Err(ScenarioError::spec(format!(
+            "exclude.{key} must not be an empty list (omit it to match any {key})"
+        ))),
+        Some(Value::Array(items)) => Ok(items.iter().collect()),
+        Some(scalar) => Ok(vec![scalar]),
+    }
 }
 
 /// Rejects misspelled or unsupported keys: in a declarative engine a
@@ -651,11 +1178,23 @@ fn expect_float(t: &Table, table: &str, key: &str) -> Result<f64, ScenarioError>
 // ---------------------------------------------------------------------------
 
 /// Parses a topology spec string (`mesh:3x3`, `ring:8`, `dgx1`, ...) into
-/// a [`Topology`] with homogeneous `link` costs (heterogeneous families
-/// like `rfs` and `dragonfly` derive their tiers from it).
+/// a [`Topology`] with homogeneous `link` costs.
+///
+/// The heterogeneous families derive their tier bandwidths from `link`
+/// via explicit ratio suffixes:
+///
+/// * `rfs:RxFxS[:R1xR2xR3]` — per-tier (ring, fully-connected, switch)
+///   bandwidth multipliers, default `4x2x1`. E.g. under a 50 GB/s link,
+///   `rfs:2x4x8` builds tiers at 200/100/50 GB/s (the paper's Table V
+///   system) and `rfs:2x4x8:1x1x1` a homogeneous one.
+/// * `dragonfly:GxP[:R]` — global-link bandwidth multiplier, default
+///   `0.5` (global links at half the local bandwidth).
+///
+/// Every topology keeps the `link` latency α on all tiers.
 ///
 /// # Errors
-/// Returns a message for unknown families or malformed dimensions.
+/// Returns a message for unknown families, malformed dimensions, or
+/// non-positive ratio values.
 pub fn parse_topology(spec: &str, link: LinkSpec) -> Result<Topology, String> {
     let (kind, rest) = spec.split_once(':').unwrap_or((spec, ""));
     let dims = |s: &str| -> Result<Vec<usize>, String> {
@@ -716,30 +1255,52 @@ pub fn parse_topology(spec: &str, link: LinkSpec) -> Result<Topology, String> {
             Topology::switch(n, link, degree)
         }
         "rfs" => {
-            let d = dims(rest)?;
+            let (dim_str, ratio_str) = split_ratio_suffix(rest);
+            let d = dims(dim_str)?;
             if d.len() != 3 {
-                return Err("rfs needs RxFxS".into());
+                return Err("rfs needs RxFxS[:R1xR2xR3]".into());
             }
+            let r = match ratio_str {
+                Some(s) => {
+                    let r = ratios(s)?;
+                    if r.len() != 3 {
+                        return Err("rfs bandwidth suffix needs three ratios (R1xR2xR3)".into());
+                    }
+                    [r[0], r[1], r[2]]
+                }
+                None => [4.0, 2.0, 1.0],
+            };
             Topology::rfs_3d(
                 d[0],
                 d[1],
                 d[2],
                 link.alpha(),
                 [
-                    link.bandwidth().as_gbps() * 4.0,
-                    link.bandwidth().as_gbps() * 2.0,
-                    link.bandwidth().as_gbps(),
+                    link.bandwidth().as_gbps() * r[0],
+                    link.bandwidth().as_gbps() * r[1],
+                    link.bandwidth().as_gbps() * r[2],
                 ],
             )
         }
         "dragonfly" => {
-            let d = dims(rest)?;
+            let (dim_str, ratio_str) = split_ratio_suffix(rest);
+            let d = dims(dim_str)?;
             if d.len() != 2 {
-                return Err("dragonfly needs GROUPSxPER_GROUP".into());
+                return Err("dragonfly needs GROUPSxPER_GROUP[:RATIO]".into());
             }
+            let r = match ratio_str {
+                Some(s) => {
+                    let r = ratios(s)?;
+                    if r.len() != 1 {
+                        return Err("dragonfly bandwidth suffix needs one global ratio".into());
+                    }
+                    r[0]
+                }
+                None => 0.5,
+            };
             let global = LinkSpec::new(
                 link.alpha(),
-                Bandwidth::gbps(link.bandwidth().as_gbps() / 2.0),
+                Bandwidth::gbps(link.bandwidth().as_gbps() * r),
             );
             Topology::dragonfly(d[0], d[1], link, global)
         }
@@ -747,6 +1308,30 @@ pub fn parse_topology(spec: &str, link: LinkSpec) -> Result<Topology, String> {
         other => return Err(format!("unknown topology kind '{other}'")),
     };
     topo.map_err(|e| e.to_string())
+}
+
+/// Splits an optional `:`-separated bandwidth-ratio suffix off a
+/// heterogeneous topology's dimension string.
+fn split_ratio_suffix(rest: &str) -> (&str, Option<&str>) {
+    match rest.split_once(':') {
+        Some((dims, ratios)) => (dims, Some(ratios)),
+        None => (rest, None),
+    }
+}
+
+/// Parses an `x`-separated list of positive bandwidth ratios.
+fn ratios(s: &str) -> Result<Vec<f64>, String> {
+    s.split('x')
+        .map(|r| {
+            let v: f64 = r
+                .parse()
+                .map_err(|e| format!("bad bandwidth ratio '{r}': {e}"))?;
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("bandwidth ratio '{r}' must be > 0"));
+            }
+            Ok(v)
+        })
+        .collect()
 }
 
 /// Parses a collective pattern name, optionally rooted (`broadcast:3`).
@@ -781,48 +1366,149 @@ pub fn parse_pattern(s: &str, num_npus: usize) -> Result<CollectivePattern, Stri
 
 /// Parses a baseline algorithm name into its [`BaselineKind`].
 ///
+/// Parameterized baselines accept the paper's `name-N` variants as a
+/// `name:N` suffix: `themis:64` / `blueconnect:8` (chunk groups, default
+/// 4), `dbt:2` / `ccube:2` (pipeline depth, default 4), `ring-embedded:2`
+/// (parallel rings, default 3), and `taccl:50000` (search-node budget,
+/// default [`TacclConfig::default`]'s).
+///
 /// # Errors
-/// Returns a message for unknown algorithm names.
+/// Returns a message for unknown algorithm names, a parameter on a
+/// parameterless baseline, or a malformed/zero parameter.
 pub fn parse_baseline(s: &str, seed: u64) -> Result<BaselineKind, String> {
-    match s {
-        "ring" => Ok(BaselineKind::Ring),
-        "ring-uni" => Ok(BaselineKind::RingUnidirectional),
-        "direct" => Ok(BaselineKind::Direct),
-        "rhd" => Ok(BaselineKind::Rhd),
-        "dbt" => Ok(BaselineKind::Dbt { pipeline: 4 }),
-        "blueconnect" => Ok(BaselineKind::BlueConnect { chunks: 4 }),
-        "themis" => Ok(BaselineKind::Themis { chunks: 4 }),
-        "multitree" => Ok(BaselineKind::MultiTree),
-        "ccube" => Ok(BaselineKind::CCube { pipeline: 4 }),
-        "taccl" => Ok(BaselineKind::TacclLike(TacclConfig {
-            seed,
-            ..TacclConfig::default()
-        })),
+    let (name, param) = match s.split_once(':') {
+        Some((name, param)) => (name, Some(param)),
+        None => (s, None),
+    };
+    let num = |what: &str, default: usize| -> Result<usize, String> {
+        match param {
+            None => Ok(default),
+            Some(p) => {
+                let v: usize = p.parse().map_err(|e| format!("bad {what} '{p}': {e}"))?;
+                if v == 0 {
+                    return Err(format!("{what} must be >= 1"));
+                }
+                Ok(v)
+            }
+        }
+    };
+    let fixed = |kind: BaselineKind| -> Result<BaselineKind, String> {
+        match param {
+            None => Ok(kind),
+            Some(p) => Err(format!("algorithm '{name}' takes no ':{p}' parameter")),
+        }
+    };
+    match name {
+        "ring" => fixed(BaselineKind::Ring),
+        "ring-uni" => fixed(BaselineKind::RingUnidirectional),
+        "ring-embedded" => Ok(BaselineKind::RingEmbedded {
+            max_rings: num("max rings", 3)?,
+        }),
+        "direct" => fixed(BaselineKind::Direct),
+        "rhd" => fixed(BaselineKind::Rhd),
+        "dbt" => Ok(BaselineKind::Dbt {
+            pipeline: num("pipeline depth", 4)?,
+        }),
+        "blueconnect" => Ok(BaselineKind::BlueConnect {
+            chunks: num("chunk groups", 4)?,
+        }),
+        "themis" => Ok(BaselineKind::Themis {
+            chunks: num("chunk groups", 4)?,
+        }),
+        "multitree" => fixed(BaselineKind::MultiTree),
+        "ccube" => Ok(BaselineKind::CCube {
+            pipeline: num("pipeline depth", 4)?,
+        }),
+        "taccl" => {
+            let defaults = TacclConfig::default();
+            Ok(BaselineKind::TacclLike(TacclConfig {
+                seed,
+                node_budget: num("node budget", defaults.node_budget as usize)? as u64,
+                ..defaults
+            }))
+        }
         other => Err(format!("unknown algorithm '{other}'")),
     }
 }
 
-/// Parses a human-readable byte size (`64MB`, `1GiB`, `512`).
+/// A parsed `algo` axis entry: TACOS itself, the theoretical ideal
+/// bound, or a baseline generator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlgoKind {
+    /// TACOS synthesis. `chunks` is the paper's `TACOS-N` chunked
+    /// variant (`tacos:N`): it overrides the point's `chunks` axis value
+    /// for this algorithm only, so chunked TACOS can share a grid with
+    /// unchunked baselines (Fig. 16's comparison).
+    Tacos {
+        /// Chunking-factor override, if spelled `tacos:N`.
+        chunks: Option<usize>,
+    },
+    /// The theoretical ideal bound: no algorithm is generated or
+    /// simulated; the collective time is [`tacos_baselines::IdealBound`]'s.
+    Ideal,
+    /// A baseline generator.
+    Baseline(BaselineKind),
+}
+
+/// Parses an `algo` axis entry (`tacos`, `tacos:4`, `ideal`, or any
+/// [`parse_baseline`] spec).
 ///
 /// # Errors
-/// Returns a message for unparseable numbers or unknown units.
+/// Returns a message for unknown algorithms or malformed parameters.
+pub fn parse_algo(s: &str, seed: u64) -> Result<AlgoKind, String> {
+    match s {
+        "ideal" => return Ok(AlgoKind::Ideal),
+        "tacos" => return Ok(AlgoKind::Tacos { chunks: None }),
+        _ => {}
+    }
+    if let Some(param) = s.strip_prefix("tacos:") {
+        let chunks: usize = param
+            .parse()
+            .map_err(|e| format!("bad chunking factor '{param}': {e}"))?;
+        if chunks == 0 {
+            return Err("chunking factor must be >= 1".into());
+        }
+        return Ok(AlgoKind::Tacos {
+            chunks: Some(chunks),
+        });
+    }
+    parse_baseline(s, seed).map(AlgoKind::Baseline)
+}
+
+/// Parses a human-readable byte size (`64MB`, `0.5GB`, `1.5GiB`,
+/// `64 MB`, `512`).
+///
+/// The numeric part may be fractional and whitespace is allowed around
+/// the number/unit split; the resulting byte count is rounded to the
+/// nearest integer byte.
+///
+/// # Errors
+/// Returns a message for unparseable or negative numbers and unknown
+/// units.
 pub fn parse_size(s: &str) -> Result<ByteSize, String> {
     let s = s.trim();
-    let (num, unit) = s
-        .find(|c: char| c.is_ascii_alphabetic())
-        .map(|i| s.split_at(i))
-        .unwrap_or((s, "B"));
-    let value: u64 = num.parse().map_err(|e| format!("bad size '{s}': {e}"))?;
-    match unit.to_ascii_uppercase().as_str() {
-        "B" | "" => Ok(ByteSize::bytes(value)),
-        "KB" => Ok(ByteSize::kb(value)),
-        "MB" => Ok(ByteSize::mb(value)),
-        "GB" => Ok(ByteSize::gb(value)),
-        "KIB" => Ok(ByteSize::kib(value)),
-        "MIB" => Ok(ByteSize::mib(value)),
-        "GIB" => Ok(ByteSize::gib(value)),
-        other => Err(format!("unknown size unit '{other}'")),
+    let split = s.find(|c: char| c.is_ascii_alphabetic()).unwrap_or(s.len());
+    let (num, unit) = s.split_at(split);
+    let value: f64 = num
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad size '{s}': {e}"))?;
+    if !value.is_finite() || value < 0.0 {
+        return Err(format!(
+            "bad size '{s}': must be a finite non-negative value"
+        ));
     }
+    let multiplier: f64 = match unit.trim().to_ascii_uppercase().as_str() {
+        "B" | "" => 1.0,
+        "KB" => 1e3,
+        "MB" => 1e6,
+        "GB" => 1e9,
+        "KIB" => 1024.0,
+        "MIB" => 1024.0 * 1024.0,
+        "GIB" => 1024.0 * 1024.0 * 1024.0,
+        other => return Err(format!("unknown size unit '{other}'")),
+    };
+    Ok(ByteSize::bytes((value * multiplier).round() as u64))
 }
 
 #[cfg(test)]
@@ -1135,5 +1821,232 @@ cache = false
             BaselineKind::Ring
         ));
         assert_eq!(parse_size("64MB").unwrap(), ByteSize::mb(64));
+    }
+
+    #[test]
+    fn parse_size_accepts_fractional_values_and_inner_whitespace() {
+        assert_eq!(parse_size("0.5GB").unwrap(), ByteSize::mb(500));
+        assert_eq!(parse_size("1.5GiB").unwrap(), ByteSize::mib(1536));
+        assert_eq!(parse_size("64 MB").unwrap(), ByteSize::mb(64));
+        assert_eq!(parse_size("  2.5 KB ").unwrap(), ByteSize::bytes(2_500));
+        assert_eq!(parse_size("0.25MB").unwrap(), ByteSize::kb(250));
+        assert_eq!(parse_size("512").unwrap(), ByteSize::bytes(512));
+        for bad in ["", "MB", "-1MB", "1..5MB", "1e999GB", "12parsecs", "NaNGB"] {
+            assert!(parse_size(bad).is_err(), "'{bad}' should not parse");
+        }
+    }
+
+    /// Distinct per-link bandwidths of a topology, sorted ascending.
+    fn tier_bandwidths(spec: &str) -> Vec<f64> {
+        let topo = parse_topology(spec, LinkAxis::default_paper().to_spec()).unwrap();
+        let mut bws: Vec<f64> = topo
+            .links()
+            .iter()
+            .map(|l| l.spec().bandwidth().as_gbps())
+            .collect();
+        bws.sort_by(f64::total_cmp);
+        bws.dedup();
+        bws
+    }
+
+    #[test]
+    fn rfs_tier_bandwidths_default_to_4x2x1() {
+        // 50 GB/s sweep link => ring 200, fc 100, switch 50 (Table V's
+        // published tiers).
+        assert_eq!(tier_bandwidths("rfs:2x4x2"), [50.0, 100.0, 200.0]);
+        assert_eq!(
+            tier_bandwidths("rfs:2x4x2:4x2x1"),
+            tier_bandwidths("rfs:2x4x2")
+        );
+    }
+
+    #[test]
+    fn rfs_and_dragonfly_ratio_suffixes_are_explicit() {
+        assert_eq!(tier_bandwidths("rfs:2x4x2:8x2x0.5"), [25.0, 100.0, 400.0]);
+        assert_eq!(tier_bandwidths("dragonfly:3x3"), [25.0, 50.0]);
+        assert_eq!(tier_bandwidths("dragonfly:3x3:0.25"), [12.5, 50.0]);
+        let link = LinkAxis::default_paper().to_spec();
+        assert!(parse_topology("rfs:2x4x2:4x2", link).is_err());
+        assert!(parse_topology("rfs:2x4x2:4x2x0", link).is_err());
+        assert!(parse_topology("dragonfly:3x3:0.5x1", link).is_err());
+        assert!(parse_topology("dragonfly:3x3:-1", link).is_err());
+    }
+
+    #[test]
+    fn baseline_params_follow_the_papers_dash_n_naming() {
+        assert!(matches!(
+            parse_baseline("themis:64", 0).unwrap(),
+            BaselineKind::Themis { chunks: 64 }
+        ));
+        assert!(matches!(
+            parse_baseline("blueconnect:8", 0).unwrap(),
+            BaselineKind::BlueConnect { chunks: 8 }
+        ));
+        assert!(matches!(
+            parse_baseline("dbt:2", 0).unwrap(),
+            BaselineKind::Dbt { pipeline: 2 }
+        ));
+        assert!(matches!(
+            parse_baseline("ccube:2", 0).unwrap(),
+            BaselineKind::CCube { pipeline: 2 }
+        ));
+        assert!(matches!(
+            parse_baseline("ring-embedded:2", 0).unwrap(),
+            BaselineKind::RingEmbedded { max_rings: 2 }
+        ));
+        match parse_baseline("taccl:2000", 7).unwrap() {
+            BaselineKind::TacclLike(c) => {
+                assert_eq!(c.node_budget, 2000);
+                assert_eq!(c.seed, 7);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_baseline("ring:2", 0).is_err());
+        assert!(parse_baseline("themis:0", 0).is_err());
+        assert!(parse_baseline("themis:x", 0).is_err());
+    }
+
+    #[test]
+    fn algo_axis_accepts_tacos_variants_and_ideal() {
+        assert_eq!(
+            parse_algo("tacos", 0).unwrap(),
+            AlgoKind::Tacos { chunks: None }
+        );
+        assert_eq!(
+            parse_algo("tacos:4", 0).unwrap(),
+            AlgoKind::Tacos { chunks: Some(4) }
+        );
+        assert_eq!(parse_algo("ideal", 0).unwrap(), AlgoKind::Ideal);
+        assert!(matches!(
+            parse_algo("themis:64", 0).unwrap(),
+            AlgoKind::Baseline(BaselineKind::Themis { chunks: 64 })
+        ));
+        assert!(parse_algo("tacos:0", 0).is_err());
+        assert!(parse_algo("magic", 0).is_err());
+    }
+
+    #[test]
+    fn metric_column_vocabulary_round_trips() {
+        for col in MetricColumn::ALL {
+            assert_eq!(MetricColumn::parse(col.name()).unwrap(), col);
+        }
+        for col in MetricColumn::DEFAULT {
+            assert!(MetricColumn::ALL.contains(&col));
+        }
+    }
+
+    #[test]
+    fn report_section_parses_and_validates() {
+        let spec = ScenarioSpec::from_toml_str(
+            r#"
+[scenario]
+name = "t"
+[sweep]
+topology = ["ring:4"]
+algo = ["tacos", "ring"]
+[run]
+simulate = true
+[report]
+columns = ["bandwidth_gbps", "percent_of_ideal", "max_link_bytes"]
+normalize_over = "tacos"
+group_by = ["topology", "size"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(spec.report.normalize_over.as_deref(), Some("tacos"));
+        assert_eq!(spec.report.group_by, [GroupKey::Topology, GroupKey::Size]);
+        // normalized_time is appended because normalization is on.
+        assert_eq!(
+            spec.report.metric_columns(),
+            [
+                MetricColumn::BandwidthGbps,
+                MetricColumn::PercentOfIdeal,
+                MetricColumn::MaxLinkBytes,
+                MetricColumn::NormalizedTime,
+            ]
+        );
+    }
+
+    #[test]
+    fn report_section_rejects_inconsistent_settings() {
+        for (snippet, needle) in [
+            (
+                "[report]\nnormalize_over = \"direct\"",
+                "not one of sweep.algo",
+            ),
+            (
+                "[report]\ncolumns = [\"normalized_time\"]",
+                "requires report.normalize_over",
+            ),
+            ("[report]\ncolumns = [\"max_link_bytes\"]", "run.simulate"),
+            (
+                "[report]\ncolumns = [\"frobnicate\"]",
+                "unknown report column",
+            ),
+            ("[report]\ncolumns = []", "empty list"),
+            (
+                "[report]\ncolumns = [\"npus\", \"npus\"]",
+                "lists 'npus' twice",
+            ),
+            ("[report]\ngroup_by = [\"algo\"]", "unknown group_by axis"),
+            ("[report]\ncolumnz = [\"npus\"]", "unknown key 'columnz'"),
+        ] {
+            let text = format!(
+                "[scenario]\nname = \"t\"\n[sweep]\ntopology = [\"ring:4\"]\n\
+                 algo = [\"tacos\", \"ring\"]\n{snippet}\n"
+            );
+            let err = ScenarioSpec::from_toml_str(&text).unwrap_err().to_string();
+            assert!(err.contains(needle), "expected '{needle}' in '{err}'");
+        }
+    }
+
+    #[test]
+    fn exclude_rules_parse_and_reject_typos() {
+        let spec = ScenarioSpec::from_toml_str(
+            r#"
+[scenario]
+name = "t"
+[sweep]
+topology = ["ring:4", "mesh:2x2"]
+algo = ["tacos", "taccl"]
+[[exclude]]
+topology = "mesh:2x2"
+algo = ["taccl"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(spec.excludes.len(), 1);
+        let rule = &spec.excludes[0];
+        let values = |topology, algo| AxisValues {
+            topology,
+            collective: "all-reduce",
+            size: "64MB",
+            algo,
+            chunks: 1,
+            seed: 42,
+            attempts: 1,
+        };
+        assert!(rule.matches(values("mesh:2x2", "taccl")));
+        assert!(!rule.matches(values("ring:4", "taccl")));
+        assert!(!rule.matches(values("mesh:2x2", "tacos")));
+
+        for (snippet, needle) in [
+            (
+                "[[exclude]]\ntopology = \"torus:2x2\"",
+                "not in sweep.topology",
+            ),
+            ("[[exclude]]\nalgo = \"ring\"", "not in sweep.algo"),
+            ("[[exclude]]\nseed = 7", "not in sweep.seed"),
+            ("[[exclude]]", "at least one axis"),
+            ("[[exclude]]\nalgos = [\"taccl\"]", "unknown key 'algos'"),
+            ("[[exclude]]\nalgo = []", "empty list"),
+        ] {
+            let text = format!(
+                "[scenario]\nname = \"t\"\n[sweep]\ntopology = [\"ring:4\"]\n\
+                 algo = [\"tacos\", \"taccl\"]\n{snippet}\n"
+            );
+            let err = ScenarioSpec::from_toml_str(&text).unwrap_err().to_string();
+            assert!(err.contains(needle), "expected '{needle}' in '{err}'");
+        }
     }
 }

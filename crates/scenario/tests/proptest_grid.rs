@@ -5,7 +5,7 @@
 use std::collections::{BTreeMap, HashSet};
 
 use proptest::prelude::*;
-use tacos_scenario::{expand, LinkAxis, RunSettings, ScenarioSpec, SweepAxes};
+use tacos_scenario::{expand, LinkAxis, ReportSettings, RunSettings, ScenarioSpec, SweepAxes};
 
 const TOPOLOGY_POOL: &[&str] = &[
     "ring:3",
@@ -61,6 +61,8 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
                     link: vec![LinkAxis::default_paper()],
                 },
                 run: RunSettings::default(),
+                report: ReportSettings::default(),
+                excludes: Vec::new(),
                 custom_topologies: BTreeMap::new(),
             }
         })

@@ -1,0 +1,94 @@
+//! Golden-output test for the `[report]` shaping pipeline on the tiny
+//! checked-in `scenarios/report_golden.toml` grid: the shaped CSV
+//! carries exactly the selected metric columns, the normalized column
+//! equals 1.0 on the baseline algorithm's own rows, and
+//! `percent_of_ideal` never exceeds 100.
+
+use std::path::PathBuf;
+
+use tacos_scenario::{run, ScenarioSpec};
+
+fn scenario_path(file: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../scenarios")
+        .join(file)
+}
+
+#[test]
+fn report_golden_scenario_shapes_and_normalizes() {
+    let mut spec = ScenarioSpec::from_file(scenario_path("report_golden.toml")).unwrap();
+    spec.run.cache = None;
+    spec.run.quiet = true;
+    spec.output = None;
+    let summary = run(&spec).unwrap();
+    assert_eq!(summary.failed, 0);
+    assert_eq!(summary.records.len(), 2 * 3, "2 topologies x 3 algorithms");
+
+    let rows = summary.csv_rows();
+    let header = &rows[0];
+    let col = |name: &str| {
+        header
+            .iter()
+            .position(|h| h == name)
+            .unwrap_or_else(|| panic!("missing column '{name}' in {header:?}"))
+    };
+
+    // Shaped layout: exactly the selected metric columns (plus the
+    // auto-appended normalization) after the identity columns — none of
+    // the unselected raw metrics.
+    for selected in [
+        "bandwidth_gbps",
+        "percent_of_ideal",
+        "max_link_bytes",
+        "idle_links",
+        "imbalance",
+        "normalized_time",
+    ] {
+        col(selected);
+    }
+    for unselected in ["collective_time_ps", "transfers", "cache"] {
+        assert!(
+            !header.iter().any(|h| h == unselected),
+            "unselected column '{unselected}' leaked into {header:?}"
+        );
+    }
+
+    let (algo_c, err_c) = (col("algo"), col("error"));
+    let (norm_c, pct_c) = (col("normalized_time"), col("percent_of_ideal"));
+    let (max_c, idle_c, imb_c) = (col("max_link_bytes"), col("idle_links"), col("imbalance"));
+    for row in &rows[1..] {
+        assert!(row[err_c].is_empty(), "unexpected failure: {row:?}");
+
+        // Normalized over the baseline's own group: exactly 1.0 on the
+        // baseline rows, positive everywhere, and the ideal bound below
+        // every real algorithm.
+        let norm: f64 = row[norm_c].parse().unwrap();
+        match row[algo_c].as_str() {
+            "tacos" => assert_eq!(norm, 1.0, "baseline row must normalize to exactly 1.0"),
+            "ideal" => assert!(norm > 0.0 && norm < 1.0, "ideal normalized to {norm}"),
+            _ => assert!(norm > 0.0, "normalized time {norm}"),
+        }
+
+        // The ideal bound caps efficiency: percent_of_ideal <= 100
+        // everywhere, and exactly 100 on the bound's own rows.
+        let pct: f64 = row[pct_c].parse().unwrap();
+        assert!(pct > 0.0 && pct <= 100.0, "percent_of_ideal {pct}");
+        if row[algo_c] == "ideal" {
+            assert_eq!(pct, 100.0);
+            // No algorithm is simulated for the bound: link-traffic
+            // cells stay empty rather than fabricating data.
+            assert!(row[max_c].is_empty() && row[idle_c].is_empty() && row[imb_c].is_empty());
+        } else {
+            assert!(row[max_c].parse::<u64>().unwrap() > 0);
+            let _idle: usize = row[idle_c].parse().unwrap();
+            assert!(row[imb_c].parse::<f64>().unwrap() >= 1.0);
+        }
+    }
+
+    // The JSON side always carries the raw metrics plus the derived
+    // values, independent of the CSV shaping.
+    let json = summary.to_json().to_string();
+    assert!(json.contains("\"collective_time_ps\":"));
+    assert!(json.contains("\"normalized_time\":"));
+    assert!(json.contains("\"max_link_bytes\":"));
+}

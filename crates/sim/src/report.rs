@@ -2,6 +2,24 @@
 
 use tacos_topology::{ByteSize, LinkId, Time, Topology};
 
+/// Aggregate per-link load statistics of one simulation — the summary
+/// numbers under the paper Fig. 1 heat maps: how hot the hottest link
+/// ran, how many links sat idle, and how skewed the load was.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkLoadStats {
+    /// Total bytes carried by the hottest link.
+    pub max_link_bytes: u64,
+    /// Number of links that carried zero bytes (undersubscription).
+    pub idle_links: usize,
+    /// Mean bytes per link (idle links included).
+    pub mean_link_bytes: f64,
+    /// Hottest-link bytes over mean link bytes (oversubscription; 0.0
+    /// when no link carried traffic).
+    pub imbalance: f64,
+    /// Mean link utilization over the collective (0..1).
+    pub avg_utilization: f64,
+}
+
 /// One contiguous busy period of a link (a message transmission).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BusyInterval {
@@ -133,6 +151,25 @@ impl SimReport {
         out
     }
 
+    /// Aggregate load statistics over all links (the Fig. 1 summary
+    /// metrics, as computed by the original heat-map experiment).
+    pub fn link_load_stats(&self) -> LinkLoadStats {
+        let max = self.link_bytes.iter().copied().max().unwrap_or(0);
+        let idle = self.link_bytes.iter().filter(|&&b| b == 0).count();
+        let mean = if self.link_bytes.is_empty() {
+            0.0
+        } else {
+            self.link_bytes.iter().sum::<u64>() as f64 / self.link_bytes.len() as f64
+        };
+        LinkLoadStats {
+            max_link_bytes: max,
+            idle_links: idle,
+            mean_link_bytes: mean,
+            imbalance: if mean > 0.0 { max as f64 / mean } else { 0.0 },
+            avg_utilization: self.average_utilization(),
+        }
+    }
+
     /// Aggregates per-link bytes into an `n × n` source/destination matrix
     /// (parallel links summed) — the cells of paper Fig. 1. Cells without a
     /// physical link are `None`.
@@ -196,6 +233,17 @@ mod tests {
         assert!((tl[1] - 0.5).abs() < 1e-9);
         assert!((tl[2] - 0.5).abs() < 1e-9);
         assert!((tl[3] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_load_stats_summarize_the_heatmap() {
+        let r = report();
+        let s = r.link_load_stats();
+        assert_eq!(s.max_link_bytes, 200);
+        assert_eq!(s.idle_links, 0);
+        assert!((s.mean_link_bytes - 125.0).abs() < 1e-12);
+        assert!((s.imbalance - 1.6).abs() < 1e-12);
+        assert!((s.avg_utilization - 0.625).abs() < 1e-12);
     }
 
     #[test]
