@@ -74,7 +74,7 @@ usage: tacos [options]
 
 single-point options:
   --topology SPEC    ring:N | fc:N | mesh:RxC | torus:XxY[xZ] | hypercube:XxYxZ |
-                     switch:N[:dD] | rfs:RxFxS | dragonfly:GxP | dgx1
+                     switch:N[:dD] | switch2d:RxC | rfs:RxFxS | dragonfly:GxP | dgx1
   --collective P     all-gather | reduce-scatter | all-reduce (default) |
                      all-to-all | gather[:ROOT] | scatter[:ROOT] | broadcast[:ROOT]
   --size BYTES       e.g. 1GB, 64MB, 1KB (default 64MB)
@@ -179,6 +179,7 @@ fn scenario_command(args: &[String]) -> Result<(), CliError> {
             let mut t = Table::new(vec![
                 "#",
                 "topology",
+                "without",
                 "link",
                 "collective",
                 "size",
@@ -191,6 +192,7 @@ fn scenario_command(args: &[String]) -> Result<(), CliError> {
                 t.row(vec![
                     p.index.to_string(),
                     p.topology.clone(),
+                    p.without_links.label(),
                     p.link.to_string(),
                     p.collective.clone(),
                     p.size_label.clone(),
@@ -254,7 +256,13 @@ fn scenario_command(args: &[String]) -> Result<(), CliError> {
                 summary.elapsed.as_secs_f64()
             );
             if let Some(stem) = &spec.output {
-                eprintln!("(results written to {stem}.csv and {stem}.json)");
+                if summary.has_timeline() {
+                    eprintln!(
+                        "(results written to {stem}.csv, {stem}.json, and {stem}.timeline.csv)"
+                    );
+                } else {
+                    eprintln!("(results written to {stem}.csv and {stem}.json)");
+                }
             }
             if summary.failed > 0 {
                 return Err(CliError::Runtime(format!(

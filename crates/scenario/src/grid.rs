@@ -1,18 +1,19 @@
 //! Deterministic expansion of sweep axes into grid points.
 //!
 //! Expansion is the cartesian product of the (deduplicated) axes in a
-//! fixed nesting order — topology, link, collective, size, chunks, algo,
-//! seed, attempts — so a scenario file always produces the same points in
-//! the same order, point indices are stable across runs, and cardinality
-//! is exactly the product of the axis lengths minus any combinations
-//! removed by `[[exclude]]` rules (indices stay dense after exclusion).
+//! fixed nesting order — topology, without_links, link, collective, size,
+//! chunks, algo, seed, attempts — so a scenario file always produces the
+//! same points in the same order, point indices are stable across runs,
+//! and cardinality is exactly the product of the axis lengths minus any
+//! combinations removed by `[[exclude]]` rules (indices stay dense after
+//! exclusion).
 
 use std::fmt;
 
 use tacos_topology::ByteSize;
 
 use crate::error::ScenarioError;
-use crate::spec::{parse_size, AxisValues, LinkAxis, ScenarioSpec};
+use crate::spec::{parse_size, AxisValues, LinkAxis, ScenarioSpec, WithoutLinks};
 
 /// One fully instantiated grid point.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +38,8 @@ pub struct ScenarioPoint {
     pub seed: u64,
     /// Best-of-N attempts.
     pub attempts: usize,
+    /// Failure-injection value: links killed before running the point.
+    pub without_links: WithoutLinks,
 }
 
 impl ScenarioPoint {
@@ -48,15 +51,21 @@ impl ScenarioPoint {
 
     /// A compact display label (used in progress lines and CSV rows).
     /// Includes every axis that distinguishes the point, so labels are
-    /// unique across a grid.
+    /// unique across a grid; the failure axis only appears when links
+    /// are actually killed.
     pub fn label(&self) -> String {
         let link = if self.uses_link_axis() {
             format!("/{}", self.link)
         } else {
             String::new()
         };
+        let failures = if self.without_links.is_healthy() {
+            String::new()
+        } else {
+            format!("/f{}", self.without_links)
+        };
         format!(
-            "{}{link}/{}/{}/c{}/{}/s{}/a{}",
+            "{}{failures}{link}/{}/{}/c{}/{}/s{}/a{}",
             self.topology,
             self.collective,
             self.size_label,
@@ -90,6 +99,7 @@ pub fn expand(spec: &ScenarioSpec) -> Result<Vec<ScenarioPoint>, ScenarioError> 
         sizes.push((label.clone(), parsed));
     }
     let cardinality = axes.topology.len()
+        * axes.without_links.len()
         * axes.link.len()
         * axes.collective.len()
         * sizes.len()
@@ -100,36 +110,41 @@ pub fn expand(spec: &ScenarioSpec) -> Result<Vec<ScenarioPoint>, ScenarioError> 
     let excluded = |v: AxisValues<'_>| spec.excludes.iter().any(|rule| rule.matches(v));
     let mut points = Vec::with_capacity(cardinality);
     for topology in &axes.topology {
-        for link in &axes.link {
-            for collective in &axes.collective {
-                for (size_label, size) in &sizes {
-                    for &chunks in &axes.chunks {
-                        for algo in &axes.algo {
-                            for &seed in &axes.seed {
-                                for &attempts in &axes.attempts {
-                                    if excluded(AxisValues {
-                                        topology,
-                                        collective,
-                                        size: size_label,
-                                        algo,
-                                        chunks,
-                                        seed,
-                                        attempts,
-                                    }) {
-                                        continue;
+        for without_links in &axes.without_links {
+            let failure_label = without_links.label();
+            for link in &axes.link {
+                for collective in &axes.collective {
+                    for (size_label, size) in &sizes {
+                        for &chunks in &axes.chunks {
+                            for algo in &axes.algo {
+                                for &seed in &axes.seed {
+                                    for &attempts in &axes.attempts {
+                                        if excluded(AxisValues {
+                                            topology,
+                                            collective,
+                                            size: size_label,
+                                            algo,
+                                            chunks,
+                                            seed,
+                                            attempts,
+                                            without_links: &failure_label,
+                                        }) {
+                                            continue;
+                                        }
+                                        points.push(ScenarioPoint {
+                                            index: points.len(),
+                                            topology: topology.clone(),
+                                            link: *link,
+                                            collective: collective.clone(),
+                                            size_label: size_label.clone(),
+                                            size: *size,
+                                            chunks,
+                                            algo: algo.clone(),
+                                            seed,
+                                            attempts,
+                                            without_links: without_links.clone(),
+                                        });
                                     }
-                                    points.push(ScenarioPoint {
-                                        index: points.len(),
-                                        topology: topology.clone(),
-                                        link: *link,
-                                        collective: collective.clone(),
-                                        size_label: size_label.clone(),
-                                        size: *size,
-                                        chunks,
-                                        algo: algo.clone(),
-                                        seed,
-                                        attempts,
-                                    });
                                 }
                             }
                         }

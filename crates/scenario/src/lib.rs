@@ -70,7 +70,8 @@ pub use grid::{expand, ScenarioPoint};
 pub use progress::Progress;
 pub use runner::{run, PointMetrics, PointRecord, RunSummary};
 pub use spec::{
-    parse_algo, parse_baseline, parse_pattern, parse_size, parse_topology, AlgoKind, AxisValues,
-    CustomLink, CustomTopology, ExcludeRule, GroupKey, LinkAxis, MetricColumn, ReportSettings,
-    RunSettings, ScenarioSpec, SweepAxes,
+    parse_algo, parse_baseline, parse_pattern, parse_size, parse_topology, select_failed_links,
+    AlgoKind, AxisValues, CustomLink, CustomTopology, CustomTopologyBody, ExcludeRule, GroupKey,
+    LinkAxis, MetricColumn, ReportSettings, RunSettings, ScenarioSpec, SweepAxes, TimelineSettings,
+    WithoutLinks,
 };

@@ -33,15 +33,15 @@ use tacos_collective::algorithm::CollectiveAlgorithm;
 use tacos_collective::Collective;
 use tacos_core::{AlgorithmCache, CacheOutcome, SynthesisScratch, Synthesizer, SynthesizerConfig};
 use tacos_report::{to_csv, Json};
-use tacos_sim::{LinkLoadStats, SimReport, Simulator};
+use tacos_sim::{LinkLoadStats, SimReport, Simulator, TimelineSegment};
 use tacos_topology::{Time, Topology};
 
 use crate::error::ScenarioError;
 use crate::grid::{expand, ScenarioPoint};
 use crate::progress::Progress;
 use crate::spec::{
-    parse_algo, parse_pattern, AlgoKind, GroupKey, LinkAxis, MetricColumn, ReportSettings,
-    ScenarioSpec,
+    parse_algo, parse_pattern, select_failed_links, AlgoKind, GroupKey, LinkAxis, MetricColumn,
+    ReportSettings, ScenarioSpec, TimelineSettings,
 };
 
 /// Metrics measured for one successfully executed point.
@@ -68,6 +68,19 @@ pub struct PointMetrics {
     pub simulated: bool,
     /// Per-link load statistics when the point was simulated.
     pub link_stats: Option<LinkLoadStats>,
+    /// Time-resolved views captured when the scenario has a `[timeline]`
+    /// section and the point was simulated.
+    pub timeline: Option<PointTimeline>,
+}
+
+/// The time-resolved views of one simulated point, as configured by the
+/// scenario's `[timeline]` section.
+#[derive(Debug, Clone, Default)]
+pub struct PointTimeline {
+    /// Uniform utilization buckets (`timeline.buckets` of them at most).
+    pub buckets: Vec<TimelineSegment>,
+    /// Event-aligned span stages (when `timeline.stages` is set).
+    pub stages: Vec<TimelineSegment>,
 }
 
 /// One grid point plus its execution outcome.
@@ -99,7 +112,7 @@ pub struct RunSummary {
 }
 
 /// The identity columns every CSV layout starts with.
-const IDENTITY_HEADER: [&str; 12] = [
+const IDENTITY_HEADER: [&str; 13] = [
     "scenario",
     "point",
     "topology",
@@ -110,6 +123,7 @@ const IDENTITY_HEADER: [&str; 12] = [
     "algo",
     "seed",
     "attempts",
+    "without_links",
     "alpha_us",
     "link_gbps",
 ];
@@ -134,6 +148,7 @@ fn identity_cells(scenario: &str, r: &PointRecord) -> Vec<String> {
         p.algo.clone(),
         p.seed.to_string(),
         p.attempts.to_string(),
+        p.without_links.label(),
     ];
     // Custom topologies carry their own per-link specs; reporting the
     // sweep's link axis for them would be fabricated data.
@@ -264,6 +279,7 @@ impl RunSummary {
                 GroupKey::Chunks => p.chunks.to_string(),
                 GroupKey::Seed => p.seed.to_string(),
                 GroupKey::Attempts => p.attempts.to_string(),
+                GroupKey::WithoutLinks => p.without_links.label(),
             })
             .collect::<Vec<_>>()
             .join("\u{1f}")
@@ -326,6 +342,9 @@ impl RunSummary {
                     ("seed", (p.seed).into()),
                     ("attempts", (p.attempts as u64).into()),
                 ];
+                if !p.without_links.is_healthy() {
+                    fields.push(("without_links", Json::Str(p.without_links.label())));
+                }
                 if p.uses_link_axis() {
                     fields.push(("alpha_us", p.link.alpha_us.into()));
                     fields.push(("link_gbps", p.link.bandwidth_gbps.into()));
@@ -368,7 +387,70 @@ impl RunSummary {
         ])
     }
 
-    /// Writes `<stem>.csv` and `<stem>.json`, creating parent directories.
+    /// The long-format rows of the `<stem>.timeline.csv` artifact (header
+    /// first): one row per timeline bucket and per span stage of every
+    /// point that captured time-resolved views, joinable to the main CSV
+    /// through the shared identity columns.
+    pub fn timeline_rows(&self) -> Vec<Vec<String>> {
+        let mut rows = vec![IDENTITY_HEADER
+            .iter()
+            .map(|s| s.to_string())
+            .chain(
+                [
+                    "kind",
+                    "idx",
+                    "start_ps",
+                    "end_ps",
+                    "busy_ps",
+                    "utilization",
+                    "active_links",
+                    "bytes_completed",
+                    "cumulative_bytes",
+                ]
+                .iter()
+                .map(|s| s.to_string()),
+            )
+            .collect::<Vec<String>>()];
+        for r in &self.records {
+            let Ok(m) = &r.result else { continue };
+            let Some(tl) = &m.timeline else { continue };
+            let identity = identity_cells(&self.scenario, r);
+            let mut push = |kind: &str, segments: &[TimelineSegment]| {
+                for seg in segments {
+                    let mut row = identity.clone();
+                    row.extend([
+                        kind.to_string(),
+                        seg.index.to_string(),
+                        seg.start.as_ps().to_string(),
+                        seg.end.as_ps().to_string(),
+                        seg.busy.as_ps().to_string(),
+                        format!("{}", seg.utilization),
+                        seg.active_links.to_string(),
+                        seg.bytes_completed.to_string(),
+                        seg.cumulative_bytes.to_string(),
+                    ]);
+                    rows.push(row);
+                }
+            };
+            push("bucket", &tl.buckets);
+            push("stage", &tl.stages);
+        }
+        rows
+    }
+
+    /// Whether any point captured time-resolved views (i.e. whether
+    /// [`RunSummary::timeline_rows`] has data rows).
+    pub fn has_timeline(&self) -> bool {
+        self.records.iter().any(|r| {
+            r.result
+                .as_ref()
+                .map(|m| m.timeline.is_some())
+                .unwrap_or(false)
+        })
+    }
+
+    /// Writes `<stem>.csv`, `<stem>.json`, and — when timeline views were
+    /// captured — `<stem>.timeline.csv`, creating parent directories.
     ///
     /// # Errors
     /// Propagates filesystem errors with the offending path.
@@ -385,6 +467,11 @@ impl RunSummary {
         let json_path = format!("{stem}.json");
         std::fs::write(&json_path, self.to_json().to_string())
             .map_err(|e| ScenarioError::io(json_path.clone(), e))?;
+        if self.has_timeline() {
+            let tl_path = format!("{stem}.timeline.csv");
+            std::fs::write(&tl_path, to_csv(&self.timeline_rows()))
+                .map_err(|e| ScenarioError::io(tl_path.clone(), e))?;
+        }
         Ok(())
     }
 }
@@ -558,45 +645,89 @@ pub fn run(spec: &ScenarioSpec) -> Result<RunSummary, ScenarioError> {
     Ok(summary)
 }
 
+/// The axis combination identifying one shared (possibly degraded)
+/// topology: spec string, link parameters, failure value, and — for
+/// count-valued failures, whose victim selection is seed-keyed — the
+/// point seed.
+#[derive(PartialEq)]
+struct ShareKey {
+    topology: String,
+    link: LinkAxis,
+    without_links: crate::spec::WithoutLinks,
+    selection_seed: u64,
+}
+
+impl ShareKey {
+    fn of(point: &ScenarioPoint) -> ShareKey {
+        ShareKey {
+            topology: point.topology.clone(),
+            link: point.link,
+            without_links: point.without_links.clone(),
+            // Explicit victim lists (and the healthy value) are seed-free;
+            // folding the seed in anyway would defeat sharing across a
+            // seed sweep.
+            selection_seed: match &point.without_links {
+                crate::spec::WithoutLinks::Count(n) if *n > 0 => point.seed,
+                _ => 0,
+            },
+        }
+    }
+}
+
 /// Lazily built topologies shared by every grid point with the same
-/// (topology spec, link axis) combination.
+/// (topology spec, link axis, failure value[, selection seed])
+/// combination — including failure injection, so victim selection and
+/// the degraded rebuild run once per combination, not once per point.
 struct TopologyShares {
-    combos: Vec<(String, LinkAxis)>,
+    combos: Vec<ShareKey>,
     built: Vec<OnceLock<Result<Topology, String>>>,
 }
 
 impl TopologyShares {
     fn new(points: &[ScenarioPoint]) -> Self {
-        let mut combos: Vec<(String, LinkAxis)> = Vec::new();
+        let mut combos: Vec<ShareKey> = Vec::new();
         for p in points {
-            if !combos.iter().any(|(t, l)| *t == p.topology && *l == p.link) {
-                combos.push((p.topology.clone(), p.link));
+            let key = ShareKey::of(p);
+            if !combos.contains(&key) {
+                combos.push(key);
             }
         }
         let built = combos.iter().map(|_| OnceLock::new()).collect();
         TopologyShares { combos, built }
     }
 
-    /// The shared topology for `point`, building it on first use.
+    /// The shared topology for `point` — degraded by its `without_links`
+    /// value — building it on first use.
     fn get<'a>(
         &'a self,
         spec: &ScenarioSpec,
         point: &ScenarioPoint,
     ) -> Result<&'a Topology, String> {
+        let key = ShareKey::of(point);
         let idx = self
             .combos
             .iter()
-            .position(|(t, l)| *t == point.topology && *l == point.link)
+            .position(|k| *k == key)
             .expect("every point's combo was registered");
         self.built[idx]
-            .get_or_init(|| spec.build_topology(&point.topology, point.link.to_spec()))
+            .get_or_init(|| {
+                let base = spec.build_topology(&point.topology, point.link.to_spec())?;
+                if point.without_links.is_healthy() {
+                    return Ok(base);
+                }
+                let victims = select_failed_links(&base, &point.without_links, key.selection_seed)?;
+                base.without_links(&victims)
+                    .map_err(|e| format!("without_links '{}': {e}", point.without_links))
+            })
             .as_ref()
             .map_err(Clone::clone)
     }
 }
 
-/// Executes one grid point end-to-end: topology → collective → algorithm
-/// (through the cache) → time/bandwidth/efficiency metrics.
+/// Executes one grid point end-to-end on its (possibly degraded) shared
+/// topology: collective → algorithm (through the cache) → metrics.
+/// Everything — synthesis, the ideal bound, the simulator — sees the
+/// post-failure-injection fabric.
 fn execute_point(
     spec: &ScenarioSpec,
     point: &ScenarioPoint,
@@ -622,6 +753,7 @@ fn execute_point(
             cache: None,
             simulated: false,
             link_stats: None,
+            timeline: None,
         });
     }
 
@@ -698,6 +830,10 @@ fn execute_point(
         None => (algorithm.collective_time(), false),
     };
     let link_stats = sim_report.as_ref().map(SimReport::link_load_stats);
+    let timeline = match (&spec.timeline, &sim_report) {
+        (Some(settings), Some(report)) => Some(capture_timeline(settings, report)),
+        _ => None,
+    };
 
     Ok(PointMetrics {
         num_npus: topo.num_npus(),
@@ -710,7 +846,24 @@ fn execute_point(
         cache: outcome,
         simulated,
         link_stats,
+        timeline,
     })
+}
+
+/// Extracts the configured time-resolved views from a simulation report.
+fn capture_timeline(settings: &TimelineSettings, report: &SimReport) -> PointTimeline {
+    PointTimeline {
+        buckets: if settings.buckets > 0 {
+            report.timeline(settings.buckets)
+        } else {
+            Vec::new()
+        },
+        stages: if settings.stages {
+            report.span_stages()
+        } else {
+            Vec::new()
+        },
+    }
 }
 
 fn bandwidth_gbps(size_bytes: u64, time: Time) -> f64 {
@@ -976,6 +1129,139 @@ cache = false
     }
 
     #[test]
+    fn failure_axis_degrades_the_topology_per_point() {
+        let spec = toml_spec(
+            r#"
+[scenario]
+name = "failure"
+[sweep]
+topology = ["torus:3x3"]
+collective = ["all-gather"]
+size = ["4MB"]
+algo = ["ring"]
+seed = [7]
+without_links = [0, "3", 2]
+[run]
+cache = false
+simulate = true
+"#,
+        );
+        let summary = run(&spec).unwrap();
+        assert_eq!(summary.failed, 0);
+        assert_eq!(summary.records.len(), 3);
+        // Reference: the healthy and explicitly-degraded topologies run
+        // through the same measurement path.
+        let topo = spec
+            .build_topology("torus:3x3", LinkAxis::default_paper().to_spec())
+            .unwrap();
+        let coll = Collective::all_gather(9, tacos_topology::ByteSize::mb(4)).unwrap();
+        let measure = |t: &Topology| {
+            let algo = BaselineAlgorithm::new(tacos_baselines::BaselineKind::Ring)
+                .generate(t, &coll)
+                .unwrap();
+            Simulator::new()
+                .simulate(t, &algo)
+                .unwrap()
+                .collective_time()
+        };
+        let healthy = &summary.records[0];
+        assert_eq!(
+            healthy.result.as_ref().unwrap().collective_time,
+            measure(&topo)
+        );
+        let explicit = &summary.records[1];
+        assert_eq!(explicit.point.without_links.label(), "3");
+        assert_eq!(
+            explicit.result.as_ref().unwrap().collective_time,
+            measure(
+                &topo
+                    .without_links(&[tacos_topology::LinkId::new(3)])
+                    .unwrap()
+            )
+        );
+        // Count selection: deterministic for the point's seed, and the
+        // degraded run matches replaying that exact victim set.
+        let counted = &summary.records[2];
+        let victims = select_failed_links(&topo, &counted.point.without_links, 7).unwrap();
+        assert_eq!(victims.len(), 2);
+        assert_eq!(
+            counted.result.as_ref().unwrap().collective_time,
+            measure(&topo.without_links(&victims).unwrap())
+        );
+        // Re-running reproduces the numbers (selection is seed-keyed).
+        let again = run(&spec).unwrap();
+        for (a, b) in summary.records.iter().zip(&again.records) {
+            assert_eq!(
+                a.result.as_ref().unwrap().collective_time,
+                b.result.as_ref().unwrap().collective_time
+            );
+        }
+        // The identity column carries the axis label.
+        let rows = summary.csv_rows();
+        let col = rows[0].iter().position(|h| h == "without_links").unwrap();
+        assert_eq!(rows[1][col], "0");
+        assert_eq!(rows[2][col], "3");
+        assert_eq!(rows[3][col], "2");
+    }
+
+    #[test]
+    fn timeline_artifact_is_written_and_consistent() {
+        let dir = std::env::temp_dir().join(format!("tacos-timeline-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let stem = dir.join("tl").display().to_string();
+        let mut spec = toml_spec(
+            r#"
+[scenario]
+name = "tl"
+[sweep]
+topology = ["mesh:2x2"]
+collective = ["all-gather"]
+size = ["4MB"]
+algo = ["tacos", "ideal"]
+[run]
+cache = false
+simulate = true
+[timeline]
+buckets = 8
+stages = true
+"#,
+        );
+        spec.output = Some(stem.clone());
+        let summary = run(&spec).unwrap();
+        assert_eq!(summary.failed, 0);
+        assert!(summary.has_timeline());
+
+        // The tacos point captured both views; ideal rows have none
+        // (nothing is simulated for the bound).
+        let tacos = summary.records[0].result.as_ref().unwrap();
+        let tl = tacos.timeline.as_ref().expect("simulated point timeline");
+        assert!(!tl.buckets.is_empty() && tl.buckets.len() <= 8);
+        assert!(!tl.stages.is_empty());
+        assert_eq!(
+            tl.buckets.last().unwrap().end.as_ps(),
+            tacos.collective_time.as_ps()
+        );
+        assert!(summary.records[1]
+            .result
+            .as_ref()
+            .unwrap()
+            .timeline
+            .is_none());
+
+        // The long CSV exists, is non-empty, and is joinable by identity.
+        let text = std::fs::read_to_string(format!("{stem}.timeline.csv")).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() > 2, "header plus data rows");
+        assert!(lines[0].starts_with("scenario,point,topology"));
+        assert!(lines[0].contains("kind,idx,start_ps"));
+        assert!(lines[1..]
+            .iter()
+            .all(|l| l.contains(",bucket,") || l.contains(",stage,")));
+        assert!(lines[1..].iter().any(|l| l.contains(",stage,")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn partial_csv_survives_without_finalize() {
         // Simulates a killed run: rows are streamed and flushed per
         // completion, so the file holds them even if `remove` never runs.
@@ -995,6 +1281,7 @@ cache = false
                 algo: "ring".into(),
                 seed: 42,
                 attempts: 1,
+                without_links: crate::spec::WithoutLinks::Count(0),
             },
             result: Err("injected".into()),
         };

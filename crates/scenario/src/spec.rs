@@ -1,23 +1,29 @@
 //! The declarative scenario specification.
 //!
-//! A scenario file is a TOML document with up to six parts:
+//! A scenario file is a TOML document with up to seven parts:
 //!
 //! * `[scenario]` — name, description, optional `output` stem for
 //!   CSV/JSON artifacts;
 //! * `[sweep]` — the grid axes: `topology`, `collective`, `size`,
-//!   `chunks`, `algo`, `seed`, `attempts`, and `link` (each a list; a
-//!   bare scalar is accepted as a one-element list);
+//!   `chunks`, `algo`, `seed`, `attempts`, `link`, and the
+//!   failure-injection axis `without_links` (each a list; a bare scalar
+//!   is accepted as a one-element list);
 //! * `[run]` — execution settings: `simulate`, `threads` (0 = all
 //!   cores), `cache` (a directory string, or `false` to disable);
 //! * optional `[report]` — result shaping: which metric columns the
 //!   output CSV carries (`columns`), and per-group normalization against
 //!   a baseline algorithm (`normalize_over`, `group_by`) — see
 //!   [`ReportSettings`];
+//! * optional `[timeline]` — time-resolved output: per-bucket
+//!   utilization and per-span stage rows streamed to a second
+//!   `<stem>.timeline.csv` — see [`TimelineSettings`];
 //! * optional `[[exclude]]` — rules removing individual axis
 //!   combinations from the grid (e.g. an algorithm that is intractable
 //!   at one topology scale) — see [`ExcludeRule`];
-//! * optional `[[topologies]]` — builder-described heterogeneous
-//!   networks, referenced from `sweep.topology` as `custom:<name>`.
+//! * optional `[[topologies]]` — heterogeneous networks as axis values,
+//!   referenced from `sweep.topology` as `custom:<name>`: either
+//!   link-by-link builder descriptions or canonical families with
+//!   per-tier bandwidth overrides — see [`CustomTopologyBody`].
 //!
 //! ```toml
 //! [scenario]
@@ -41,7 +47,7 @@ use std::path::Path;
 use tacos_baselines::{BaselineKind, TacclConfig};
 use tacos_collective::CollectivePattern;
 use tacos_topology::{
-    Bandwidth, ByteSize, LinkSpec, NpuId, RingOrientation, Time, Topology, TopologyBuilder,
+    Bandwidth, ByteSize, LinkId, LinkSpec, NpuId, RingOrientation, Time, Topology, TopologyBuilder,
 };
 
 use crate::error::ScenarioError;
@@ -80,6 +86,151 @@ impl fmt::Display for LinkAxis {
     }
 }
 
+/// One value of the `without_links` failure-injection axis: how many (or
+/// exactly which) links to kill before running the point.
+///
+/// In a scenario file an **integer** is a victim *count* — that many
+/// links are selected seed-deterministically (see
+/// [`select_failed_links`]) — while a **string** of `+`-separated link
+/// ids (`"13"`, `"13+27"`) names the victims explicitly. `0` (the
+/// default) runs the healthy topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WithoutLinks {
+    /// Kill this many links, chosen seed-deterministically among
+    /// selections that keep the topology strongly connected.
+    Count(usize),
+    /// Kill exactly these link ids (of the healthy topology).
+    Links(Vec<u32>),
+}
+
+impl WithoutLinks {
+    /// Whether this value leaves the topology untouched.
+    pub fn is_healthy(&self) -> bool {
+        matches!(self, WithoutLinks::Count(0))
+    }
+
+    /// The axis label used in CSV rows, point labels, and `[[exclude]]` /
+    /// `group_by` matching: the count, or the `+`-joined id list.
+    pub fn label(&self) -> String {
+        match self {
+            WithoutLinks::Count(n) => n.to_string(),
+            WithoutLinks::Links(ids) => {
+                ids.iter().map(u32::to_string).collect::<Vec<_>>().join("+")
+            }
+        }
+    }
+
+    fn parse_value(v: &Value) -> Result<Self, ScenarioError> {
+        match v {
+            Value::Int(n) => {
+                if *n < 0 {
+                    return Err(ScenarioError::spec(
+                        "sweep.without_links counts must be >= 0",
+                    ));
+                }
+                Ok(WithoutLinks::Count(*n as usize))
+            }
+            Value::Str(s) => {
+                let mut ids = Vec::new();
+                for part in s.split('+') {
+                    let id: u32 = part.trim().parse().map_err(|e| {
+                        ScenarioError::spec(format!(
+                            "sweep.without_links entry '{s}': bad link id '{part}': {e}"
+                        ))
+                    })?;
+                    if ids.contains(&id) {
+                        return Err(ScenarioError::spec(format!(
+                            "sweep.without_links entry '{s}' lists link {id} twice"
+                        )));
+                    }
+                    ids.push(id);
+                }
+                Ok(WithoutLinks::Links(ids))
+            }
+            other => Err(ScenarioError::spec(format!(
+                "sweep.without_links entries must be victim counts (integers) or \
+                 '+'-separated link-id strings, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for WithoutLinks {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Resolves a `without_links` axis value into the victim link ids for
+/// `topo`.
+///
+/// Explicit lists are returned as-is (range/connectivity validation
+/// happens in [`Topology::without_links`]). Counts are resolved
+/// deterministically from `seed`: victims are drawn one at a time from a
+/// seed-keyed xorshift stream, and a candidate that would disconnect the
+/// surviving fabric is skipped in favor of the next id in rotation, so a
+/// fixed `(topology, seed, count)` always yields the same victim set.
+///
+/// # Errors
+/// Returns a message if a count is out of range or no connected
+/// selection exists at some step.
+pub fn select_failed_links(
+    topo: &Topology,
+    axis: &WithoutLinks,
+    seed: u64,
+) -> Result<Vec<LinkId>, String> {
+    let count = match axis {
+        WithoutLinks::Links(ids) => {
+            return Ok(ids.iter().map(|&id| LinkId::new(id)).collect());
+        }
+        WithoutLinks::Count(n) => *n,
+    };
+    if count >= topo.num_links() {
+        return Err(format!(
+            "cannot remove {count} of {} links",
+            topo.num_links()
+        ));
+    }
+    // Seed-keyed xorshift stream; `| 1` keeps the state nonzero.
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut victims: Vec<LinkId> = Vec::with_capacity(count);
+    while victims.len() < count {
+        // Candidate ids of the *healthy* topology not yet removed, in a
+        // stable order; probe from a pseudo-random rotation point.
+        let alive: Vec<LinkId> = (0..topo.num_links() as u32)
+            .map(LinkId::new)
+            .filter(|id| !victims.contains(id))
+            .collect();
+        let offset = (next() % alive.len() as u64) as usize;
+        let chosen = (0..alive.len())
+            .map(|i| alive[(offset + i) % alive.len()])
+            .find(|&candidate| {
+                let mut attempt = victims.clone();
+                attempt.push(candidate);
+                topo.without_links(&attempt).is_ok()
+            });
+        match chosen {
+            Some(candidate) => victims.push(candidate),
+            None => {
+                return Err(format!(
+                    "no selection of {count} links keeps '{}' strongly connected \
+                     (stuck after {})",
+                    topo.name(),
+                    victims.len()
+                ));
+            }
+        }
+    }
+    Ok(victims)
+}
+
 /// One directed (or bidirectional) link of a builder-described topology.
 #[derive(Debug, Clone, Copy)]
 pub struct CustomLink {
@@ -93,40 +244,153 @@ pub struct CustomLink {
     pub bidi: bool,
 }
 
-/// A heterogeneous network described link-by-link in the scenario file.
+/// A heterogeneous network described in the scenario file, referenced
+/// from `sweep.topology` as `custom:<name>`.
 #[derive(Debug, Clone)]
 pub struct CustomTopology {
     /// Name referenced from `sweep.topology` as `custom:<name>`.
     pub name: String,
-    /// Number of NPUs.
-    pub npus: usize,
-    /// The links.
-    pub links: Vec<CustomLink>,
+    /// How the network is described.
+    pub body: CustomTopologyBody,
+}
+
+/// The two `[[topologies]]` description forms.
+#[derive(Debug, Clone)]
+pub enum CustomTopologyBody {
+    /// Link-by-link builder form: `npus` plus `[[topologies.links]]`
+    /// entries (arbitrary structure, per-link specs — e.g. mixed
+    /// mesh/switch fabrics).
+    Links {
+        /// Number of NPUs.
+        npus: usize,
+        /// The links.
+        links: Vec<CustomLink>,
+    },
+    /// Family form: a canonical constructor spec (`base`) with explicit
+    /// per-tier bandwidth overrides, so heterogeneous systems with
+    /// absolute tier bandwidths (paper §VI-B.1) can be enumerated as
+    /// axis values without going through the shared `link` axis.
+    Family {
+        /// A [`parse_topology`] constructor spec without a ratio suffix
+        /// (`dragonfly:5x4`, `switch2d:8x4`, `rfs:2x4x8`, `mesh:3x3`).
+        base: String,
+        /// Link latency α in microseconds, applied to every tier.
+        alpha_us: f64,
+        /// Per-tier bandwidths in GB/s, outermost-listed-first in the
+        /// base family's dimension order; homogeneous families take a
+        /// single entry.
+        tier_gbps: Vec<f64>,
+    },
 }
 
 impl CustomTopology {
     /// Builds the [`Topology`].
     ///
     /// # Errors
-    /// Returns a message if an endpoint is out of range or the built
-    /// network is rejected (e.g. not strongly connected).
+    /// Returns a message if an endpoint is out of range, the tier count
+    /// does not match the base family, or the built network is rejected.
     pub fn build(&self) -> Result<Topology, String> {
-        let mut b = TopologyBuilder::new(format!("custom:{}", self.name));
-        b.npus(self.npus);
-        for l in &self.links {
-            if l.src as usize >= self.npus || l.dst as usize >= self.npus {
-                return Err(format!(
-                    "link {} -> {} out of range for {} NPUs",
-                    l.src, l.dst, self.npus
-                ));
+        match &self.body {
+            CustomTopologyBody::Links { npus, links } => {
+                let mut b = TopologyBuilder::new(format!("custom:{}", self.name));
+                b.npus(*npus);
+                for l in links {
+                    if l.src as usize >= *npus || l.dst as usize >= *npus {
+                        return Err(format!(
+                            "link {} -> {} out of range for {npus} NPUs",
+                            l.src, l.dst
+                        ));
+                    }
+                    if l.bidi {
+                        b.bidi_link(NpuId::new(l.src), NpuId::new(l.dst), l.link.to_spec());
+                    } else {
+                        b.link(NpuId::new(l.src), NpuId::new(l.dst), l.link.to_spec());
+                    }
+                }
+                b.build().map_err(|e| e.to_string())
             }
-            if l.bidi {
-                b.bidi_link(NpuId::new(l.src), NpuId::new(l.dst), l.link.to_spec());
-            } else {
-                b.link(NpuId::new(l.src), NpuId::new(l.dst), l.link.to_spec());
-            }
+            CustomTopologyBody::Family {
+                base,
+                alpha_us,
+                tier_gbps,
+            } => build_family(base, *alpha_us, tier_gbps),
         }
-        b.build().map_err(|e| e.to_string())
+    }
+}
+
+/// Builds a family-form custom topology: a canonical constructor with
+/// explicit per-tier bandwidths.
+fn build_family(base: &str, alpha_us: f64, tier_gbps: &[f64]) -> Result<Topology, String> {
+    let alpha = Time::from_micros(alpha_us);
+    let (kind, rest) = base.split_once(':').unwrap_or((base, ""));
+    if rest.contains(':') {
+        return Err(format!(
+            "base '{base}' must not carry a ratio suffix; tier bandwidths \
+             come from tier_gbps"
+        ));
+    }
+    let dims = |s: &str| -> Result<Vec<usize>, String> {
+        s.split('x')
+            .map(|d| {
+                d.parse::<usize>()
+                    .map_err(|e| format!("bad dimension '{d}': {e}"))
+            })
+            .collect()
+    };
+    let want_tiers = |n: usize| -> Result<(), String> {
+        if tier_gbps.len() != n {
+            return Err(format!(
+                "'{kind}' has {n} tier(s), but tier_gbps lists {}",
+                tier_gbps.len()
+            ));
+        }
+        Ok(())
+    };
+    match kind {
+        "rfs" => {
+            let d = dims(rest)?;
+            if d.len() != 3 {
+                return Err("rfs needs RxFxS".into());
+            }
+            want_tiers(3)?;
+            Topology::rfs_3d(
+                d[0],
+                d[1],
+                d[2],
+                alpha,
+                [tier_gbps[0], tier_gbps[1], tier_gbps[2]],
+            )
+            .map_err(|e| e.to_string())
+        }
+        "switch2d" => {
+            let d = dims(rest)?;
+            if d.len() != 2 {
+                return Err("switch2d needs RxC".into());
+            }
+            want_tiers(2)?;
+            Topology::switch_2d(d[0], d[1], alpha, [tier_gbps[0], tier_gbps[1]])
+                .map_err(|e| e.to_string())
+        }
+        "dragonfly" => {
+            let d = dims(rest)?;
+            if d.len() != 2 {
+                return Err("dragonfly needs GROUPSxPER_GROUP".into());
+            }
+            want_tiers(2)?;
+            Topology::dragonfly(
+                d[0],
+                d[1],
+                LinkSpec::new(alpha, Bandwidth::gbps(tier_gbps[0])),
+                LinkSpec::new(alpha, Bandwidth::gbps(tier_gbps[1])),
+            )
+            .map_err(|e| e.to_string())
+        }
+        _ => {
+            // Every single-tier (homogeneous) family goes through the
+            // shared constructor-string parser.
+            want_tiers(1)?;
+            parse_topology(base, LinkSpec::new(alpha, Bandwidth::gbps(tier_gbps[0])))
+        }
     }
 }
 
@@ -149,6 +413,8 @@ pub struct SweepAxes {
     pub attempts: Vec<usize>,
     /// Link specs applied to homogeneous topology constructors.
     pub link: Vec<LinkAxis>,
+    /// Failure-injection values: links to kill before each point.
+    pub without_links: Vec<WithoutLinks>,
 }
 
 /// Execution settings for the runner.
@@ -320,13 +586,15 @@ pub enum GroupKey {
     Seed,
     /// The best-of-N attempt count.
     Attempts,
+    /// The failure-injection axis value.
+    WithoutLinks,
 }
 
 impl GroupKey {
     /// Every key, in the grid's axis nesting order. This is the default
     /// `group_by`: each group then holds exactly the algorithm variants
     /// of one sweep configuration.
-    pub const ALL: [GroupKey; 7] = [
+    pub const ALL: [GroupKey; 8] = [
         GroupKey::Topology,
         GroupKey::Link,
         GroupKey::Collective,
@@ -334,6 +602,7 @@ impl GroupKey {
         GroupKey::Chunks,
         GroupKey::Seed,
         GroupKey::Attempts,
+        GroupKey::WithoutLinks,
     ];
 
     /// The `[report] group_by` (and `[sweep]`) name of this axis.
@@ -346,6 +615,7 @@ impl GroupKey {
             GroupKey::Chunks => "chunks",
             GroupKey::Seed => "seed",
             GroupKey::Attempts => "attempts",
+            GroupKey::WithoutLinks => "without_links",
         }
     }
 
@@ -440,6 +710,9 @@ pub struct ExcludeRule {
     pub seed: Vec<u64>,
     /// Attempt counts to match (empty = any).
     pub attempts: Vec<usize>,
+    /// Failure-axis labels (see [`WithoutLinks::label`]) to match
+    /// (empty = any).
+    pub without_links: Vec<String>,
 }
 
 /// The axis values of one candidate grid point, as matched by
@@ -460,6 +733,8 @@ pub struct AxisValues<'a> {
     pub seed: u64,
     /// Best-of-N attempt count.
     pub attempts: usize,
+    /// Failure-axis label.
+    pub without_links: &'a str,
 }
 
 impl ExcludeRule {
@@ -470,9 +745,38 @@ impl ExcludeRule {
             && hit(&self.collective, v.collective)
             && hit(&self.size, v.size)
             && hit(&self.algo, v.algo)
+            && hit(&self.without_links, v.without_links)
             && (self.chunks.is_empty() || self.chunks.contains(&v.chunks))
             && (self.seed.is_empty() || self.seed.contains(&v.seed))
             && (self.attempts.is_empty() || self.attempts.contains(&v.attempts))
+    }
+}
+
+/// Time-resolved output declared in the `[timeline]` table: the runner
+/// writes a second long-format CSV (`<stem>.timeline.csv`) with
+/// per-bucket utilization rows and/or per-span stage rows for every
+/// simulated point.
+///
+/// ```toml
+/// [timeline]
+/// buckets = 60     # uniform utilization buckets (0 = no bucket rows)
+/// stages = true    # event-aligned per-span rows (the TEN view)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelineSettings {
+    /// Number of uniform utilization buckets per point; `0` emits no
+    /// bucket rows.
+    pub buckets: usize,
+    /// Whether to emit event-aligned span-stage rows.
+    pub stages: bool,
+}
+
+impl Default for TimelineSettings {
+    fn default() -> Self {
+        TimelineSettings {
+            buckets: 50,
+            stages: false,
+        }
     }
 }
 
@@ -491,6 +795,8 @@ pub struct ScenarioSpec {
     pub run: RunSettings,
     /// Result shaping (`[report]`).
     pub report: ReportSettings,
+    /// Time-resolved output (`[timeline]`); `None` emits none.
+    pub timeline: Option<TimelineSettings>,
     /// Grid-point exclusion rules (`[[exclude]]`).
     pub excludes: Vec<ExcludeRule>,
     /// Builder-described topologies, by name.
@@ -527,6 +833,7 @@ impl ScenarioSpec {
                 "sweep",
                 "run",
                 "report",
+                "timeline",
                 "exclude",
                 "topologies",
             ],
@@ -576,6 +883,22 @@ impl ScenarioSpec {
         };
         validate_report(&report, &sweep, &run)?;
 
+        let timeline = match doc.get("timeline") {
+            None => None,
+            Some(v) => Some(parse_timeline(v.as_table().ok_or_else(|| {
+                ScenarioError::spec(format!(
+                    "'timeline' must be a table, found {}",
+                    v.type_name()
+                ))
+            })?)?),
+        };
+        if timeline.is_some() && !run.simulate {
+            return Err(ScenarioError::spec(
+                "[timeline] output is derived from the simulator's busy \
+                 intervals; set run.simulate = true",
+            ));
+        }
+
         let mut excludes = Vec::new();
         if let Some(v) = doc.get("exclude") {
             let items = v.as_array().ok_or_else(|| {
@@ -589,16 +912,80 @@ impl ScenarioSpec {
             }
         }
 
-        Ok(ScenarioSpec {
+        let spec = ScenarioSpec {
             name,
             description,
             output,
             sweep,
             run,
             report,
+            timeline,
             excludes,
             custom_topologies,
-        })
+        };
+        spec.validate_without_links()?;
+        Ok(spec)
+    }
+
+    /// Validates every `without_links` axis value against every topology
+    /// axis value (and, for counts, every seed) **that actually occurs in
+    /// the expanded grid** — `[[exclude]]` rules can legitimately pin a
+    /// failure level away from a topology that cannot survive it.
+    /// Explicit victim lists must exist and keep the fabric strongly
+    /// connected, and counts must admit a connected selection. Failures
+    /// surface at load with the offending combination named, not mid-run.
+    fn validate_without_links(&self) -> Result<(), ScenarioError> {
+        if self
+            .sweep
+            .without_links
+            .iter()
+            .all(WithoutLinks::is_healthy)
+        {
+            return Ok(());
+        }
+        // Combinations surviving exclusion. An expansion error (every
+        // point excluded) is not this validator's concern; it surfaces
+        // identically at expand/run time.
+        let Ok(points) = crate::grid::expand(self) else {
+            return Ok(());
+        };
+        let mut combos: Vec<(&str, &WithoutLinks, u64)> = Vec::new();
+        for p in &points {
+            if p.without_links.is_healthy() {
+                continue;
+            }
+            // Counts resolve per seed; explicit lists are seed-free.
+            let seed = match &p.without_links {
+                WithoutLinks::Links(_) => 0,
+                WithoutLinks::Count(_) => p.seed,
+            };
+            let combo = (p.topology.as_str(), &p.without_links, seed);
+            if !combos.contains(&combo) {
+                combos.push(combo);
+            }
+        }
+        let probe = LinkAxis::default_paper().to_spec();
+        let mut topo_cache: BTreeMap<&str, Topology> = BTreeMap::new();
+        for (topo_spec, axis, seed) in combos {
+            if !topo_cache.contains_key(topo_spec) {
+                let topo = self
+                    .build_topology(topo_spec, probe)
+                    .map_err(ScenarioError::spec)?;
+                topo_cache.insert(topo_spec, topo);
+            }
+            let topo = &topo_cache[topo_spec];
+            let victims = select_failed_links(topo, axis, seed).map_err(|e| {
+                ScenarioError::spec(format!(
+                    "sweep.without_links '{axis}' on topology '{topo_spec}': {e}"
+                ))
+            })?;
+            topo.without_links(&victims).map_err(|e| {
+                ScenarioError::spec(format!(
+                    "sweep.without_links '{axis}' on topology '{topo_spec}': {e}"
+                ))
+            })?;
+        }
+        Ok(())
     }
 
     /// Builds the topology named by a `sweep.topology` entry under a link
@@ -620,8 +1007,74 @@ impl ScenarioSpec {
 }
 
 fn parse_custom_topology(t: &Table) -> Result<CustomTopology, ScenarioError> {
-    reject_unknown_keys(t, "[[topologies]]", &["name", "npus", "links"])?;
+    reject_unknown_keys(
+        t,
+        "[[topologies]]",
+        &["name", "npus", "links", "base", "alpha_us", "tier_gbps"],
+    )?;
     let name = expect_str(t, "topologies", "name")?.to_string();
+    if t.contains_key("base") {
+        // Family form: canonical constructor + per-tier bandwidths.
+        for key in ["npus", "links"] {
+            if t.contains_key(key) {
+                return Err(ScenarioError::spec(format!(
+                    "topology '{name}': '{key}' belongs to the link-by-link form \
+                     and cannot be combined with 'base'"
+                )));
+            }
+        }
+        let base = expect_str(t, "topologies", "base")?.to_string();
+        let alpha_us = expect_float(t, "topologies", "alpha_us")?;
+        let tiers_value = t
+            .get("tier_gbps")
+            .ok_or_else(|| ScenarioError::spec(format!("topology '{name}': missing tier_gbps")))?;
+        let items = tiers_value.as_array().ok_or_else(|| {
+            ScenarioError::spec(format!(
+                "topology '{name}': tier_gbps must be a list of bandwidths"
+            ))
+        })?;
+        let mut tier_gbps = Vec::with_capacity(items.len());
+        for item in items {
+            let v = item.as_float().ok_or_else(|| {
+                ScenarioError::spec(format!(
+                    "topology '{name}': tier_gbps entries must be numbers, found {}",
+                    item.type_name()
+                ))
+            })?;
+            if !v.is_finite() || v <= 0.0 {
+                return Err(ScenarioError::spec(format!(
+                    "topology '{name}': tier_gbps entries must be positive and finite"
+                )));
+            }
+            tier_gbps.push(v);
+        }
+        if alpha_us < 0.0 {
+            return Err(ScenarioError::spec(format!(
+                "topology '{name}': alpha_us must be >= 0"
+            )));
+        }
+        let custom = CustomTopology {
+            name: name.clone(),
+            body: CustomTopologyBody::Family {
+                base,
+                alpha_us,
+                tier_gbps,
+            },
+        };
+        // Validate eagerly so errors surface at load, not mid-run.
+        custom
+            .build()
+            .map_err(|e| ScenarioError::spec(format!("topology '{name}': {e}")))?;
+        return Ok(custom);
+    }
+    for key in ["alpha_us", "tier_gbps"] {
+        if t.contains_key(key) {
+            return Err(ScenarioError::spec(format!(
+                "topology '{name}': '{key}' belongs to the family form and \
+                 requires 'base'"
+            )));
+        }
+    }
     let npus = expect_int(t, "topologies", "npus")?;
     if npus < 2 {
         return Err(ScenarioError::spec(format!(
@@ -675,8 +1128,10 @@ fn parse_custom_topology(t: &Table) -> Result<CustomTopology, ScenarioError> {
     }
     let custom = CustomTopology {
         name: name.clone(),
-        npus: npus as usize,
-        links,
+        body: CustomTopologyBody::Links {
+            npus: npus as usize,
+            links,
+        },
     };
     // Validate eagerly so errors surface at load, not mid-run.
     custom
@@ -701,6 +1156,7 @@ fn parse_sweep(
             "seed",
             "attempts",
             "link",
+            "without_links",
         ],
     )?;
     let topology = string_axis(t, "topology", &[])?;
@@ -716,6 +1172,27 @@ fn parse_sweep(
     let seed = int_axis(t, "seed", &[42])?;
     let attempts = int_axis(t, "attempts", &[1])?;
     let link = link_axis(t)?;
+    let without_links = match axis_values(t, "without_links")? {
+        None => vec![WithoutLinks::Count(0)],
+        Some(values) => dedupe(
+            values
+                .into_iter()
+                .map(WithoutLinks::parse_value)
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+    };
+    // Labels identify failure values in CSV rows, point labels, group_by,
+    // and [[exclude]] matching; a count and a single-id explicit list
+    // spelling the same label (1 vs "1") would alias distinct points.
+    for (i, w) in without_links.iter().enumerate() {
+        if let Some(other) = without_links[..i].iter().find(|o| o.label() == w.label()) {
+            return Err(ScenarioError::spec(format!(
+                "sweep.without_links values {other:?} and {w:?} share the \
+                 label '{w}' (a victim count and an explicit link list are \
+                 indistinguishable in outputs); drop one"
+            )));
+        }
+    }
 
     let axes = SweepAxes {
         topology,
@@ -726,6 +1203,7 @@ fn parse_sweep(
         seed: dedupe(seed.iter().map(|&v| v as u64).collect()),
         attempts: dedupe(attempts.iter().map(|&v| v as usize).collect()),
         link,
+        without_links,
     };
 
     // Validate every axis value eagerly.
@@ -915,6 +1393,32 @@ fn validate_report(
     Ok(())
 }
 
+fn parse_timeline(t: &Table) -> Result<TimelineSettings, ScenarioError> {
+    reject_unknown_keys(t, "[timeline]", &["buckets", "stages"])?;
+    let mut timeline = TimelineSettings::default();
+    if let Some(v) = t.get("buckets") {
+        let n = v
+            .as_int()
+            .ok_or_else(|| ScenarioError::spec("timeline.buckets must be an integer"))?;
+        if n < 0 {
+            return Err(ScenarioError::spec("timeline.buckets must be >= 0"));
+        }
+        timeline.buckets = n as usize;
+    }
+    if let Some(v) = t.get("stages") {
+        timeline.stages = v
+            .as_bool()
+            .ok_or_else(|| ScenarioError::spec("timeline.stages must be a boolean"))?;
+    }
+    if timeline.buckets == 0 && !timeline.stages {
+        return Err(ScenarioError::spec(
+            "[timeline] emits nothing: set buckets > 0 and/or stages = true \
+             (or drop the section)",
+        ));
+    }
+    Ok(timeline)
+}
+
 fn parse_exclude(t: &Table, sweep: &SweepAxes) -> Result<ExcludeRule, ScenarioError> {
     reject_unknown_keys(
         t,
@@ -927,6 +1431,7 @@ fn parse_exclude(t: &Table, sweep: &SweepAxes) -> Result<ExcludeRule, ScenarioEr
             "chunks",
             "seed",
             "attempts",
+            "without_links",
         ],
     )?;
     if t.is_empty() {
@@ -970,11 +1475,31 @@ fn parse_exclude(t: &Table, sweep: &SweepAxes) -> Result<ExcludeRule, ScenarioEr
         }
         Ok(out)
     };
+    // `without_links` constraints are written like the axis (ints for
+    // counts, strings for explicit lists) and matched by label.
+    let axis_labels: Vec<String> = sweep
+        .without_links
+        .iter()
+        .map(WithoutLinks::label)
+        .collect();
+    let mut without_links = Vec::new();
+    for v in exclude_values(t, "without_links")? {
+        let label = WithoutLinks::parse_value(v)
+            .map_err(|e| ScenarioError::spec(format!("exclude.without_links: {e}")))?
+            .label();
+        if !axis_labels.contains(&label) {
+            return Err(ScenarioError::spec(format!(
+                "exclude.without_links value '{label}' is not in sweep.without_links"
+            )));
+        }
+        without_links.push(label);
+    }
     Ok(ExcludeRule {
         topology: strings("topology", &sweep.topology)?,
         collective: strings("collective", &sweep.collective)?,
         size: strings("size", &sweep.size)?,
         algo: strings("algo", &sweep.algo)?,
+        without_links,
         chunks: ints(
             "chunks",
             &sweep.chunks.iter().map(|&v| v as i64).collect::<Vec<_>>(),
@@ -1189,8 +1714,12 @@ fn expect_float(t: &Table, table: &str, key: &str) -> Result<f64, ScenarioError>
 ///   system) and `rfs:2x4x8:1x1x1` a homogeneous one.
 /// * `dragonfly:GxP[:R]` — global-link bandwidth multiplier, default
 ///   `0.5` (global links at half the local bandwidth).
+/// * `switch2d:RxC[:R]` — second-dimension switch bandwidth multiplier,
+///   default `1.0`.
 ///
-/// Every topology keeps the `link` latency α on all tiers.
+/// Every topology keeps the `link` latency α on all tiers. For absolute
+/// per-tier bandwidths, describe the system as a `[[topologies]]` family
+/// entry instead (see [`CustomTopologyBody::Family`]).
 ///
 /// # Errors
 /// Returns a message for unknown families, malformed dimensions, or
@@ -1253,6 +1782,29 @@ pub fn parse_topology(spec: &str, link: LinkSpec) -> Result<Topology, String> {
                 ),
             };
             Topology::switch(n, link, degree)
+        }
+        "switch2d" => {
+            let (dim_str, ratio_str) = split_ratio_suffix(rest);
+            let d = dims(dim_str)?;
+            if d.len() != 2 {
+                return Err("switch2d needs RxC[:RATIO]".into());
+            }
+            let r = match ratio_str {
+                Some(s) => {
+                    let r = ratios(s)?;
+                    if r.len() != 1 {
+                        return Err("switch2d bandwidth suffix needs one ratio".into());
+                    }
+                    r[0]
+                }
+                None => 1.0,
+            };
+            Topology::switch_2d(
+                d[0],
+                d[1],
+                link.alpha(),
+                [link.bandwidth().as_gbps(), link.bandwidth().as_gbps() * r],
+            )
         }
         "rfs" => {
             let (dim_str, ratio_str) = split_ratio_suffix(rest);
@@ -2001,6 +2553,299 @@ group_by = ["topology", "size"]
     }
 
     #[test]
+    fn without_links_axis_parses_counts_and_explicit_lists() {
+        let spec = ScenarioSpec::from_toml_str(
+            r#"
+[scenario]
+name = "t"
+[sweep]
+topology = ["torus:3x3"]
+without_links = [0, 2, "1+3"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(
+            spec.sweep.without_links,
+            [
+                WithoutLinks::Count(0),
+                WithoutLinks::Count(2),
+                WithoutLinks::Links(vec![1, 3]),
+            ]
+        );
+        assert_eq!(spec.sweep.without_links[2].label(), "1+3");
+        assert!(spec.sweep.without_links[0].is_healthy());
+        assert!(!spec.sweep.without_links[1].is_healthy());
+    }
+
+    #[test]
+    fn disconnecting_without_links_fail_spec_validation_readably() {
+        // A unidirectional ring cannot lose any link: the explicit victim
+        // must be rejected at load with the combination named.
+        let err = ScenarioSpec::from_toml_str(
+            r#"
+[scenario]
+name = "t"
+[sweep]
+topology = ["ring-uni:4"]
+without_links = ["2"]
+"#,
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(
+            err.contains("without_links '2'")
+                && err.contains("ring-uni:4")
+                && err.contains("strongly connected"),
+            "got: {err}"
+        );
+        // Same for counts: no 1-link selection keeps it connected.
+        let err = ScenarioSpec::from_toml_str(
+            r#"
+[scenario]
+name = "t"
+[sweep]
+topology = ["ring-uni:4"]
+without_links = [1]
+"#,
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("no selection of 1 links"), "got: {err}");
+        // Out-of-range explicit ids are a load error too.
+        let err = ScenarioSpec::from_toml_str(
+            r#"
+[scenario]
+name = "t"
+[sweep]
+topology = ["ring:4"]
+without_links = ["99"]
+"#,
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("out of range"), "got: {err}");
+        // Malformed entries name the offending value.
+        for bad in ["without_links = [\"1++2\"]", "without_links = [true]"] {
+            let text =
+                format!("[scenario]\nname = \"t\"\n[sweep]\ntopology = [\"ring:4\"]\n{bad}\n");
+            assert!(ScenarioSpec::from_toml_str(&text).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn excluded_without_links_combinations_are_not_validated() {
+        // ring-uni:4 cannot survive any link kill, but the [[exclude]]
+        // rule pins the failure level away from it — the spec must load
+        // and expand to a grid without the fatal combination.
+        let spec = ScenarioSpec::from_toml_str(
+            r#"
+[scenario]
+name = "t"
+[sweep]
+topology = ["ring-uni:4", "torus:3x3"]
+without_links = [0, 1]
+[[exclude]]
+topology = "ring-uni:4"
+without_links = 1
+"#,
+        )
+        .unwrap();
+        let points = crate::grid::expand(&spec).unwrap();
+        assert_eq!(points.len(), 2 * 2 - 1);
+        assert!(!points
+            .iter()
+            .any(|p| p.topology == "ring-uni:4" && !p.without_links.is_healthy()));
+    }
+
+    #[test]
+    fn ambiguous_without_links_labels_are_rejected() {
+        // Count(1) and Links([1]) would both label as "1", aliasing
+        // distinct grid points in outputs and group_by.
+        let err = ScenarioSpec::from_toml_str(
+            "[scenario]\nname = \"t\"\n[sweep]\ntopology = [\"torus:3x3\"]\n\
+             without_links = [1, \"1\"]\n",
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("share the label '1'"), "got: {err}");
+    }
+
+    #[test]
+    fn victim_selection_is_seed_deterministic_and_connected() {
+        let topo = parse_topology("torus:3x3", LinkAxis::default_paper().to_spec()).unwrap();
+        let axis = WithoutLinks::Count(3);
+        let a = select_failed_links(&topo, &axis, 7).unwrap();
+        let b = select_failed_links(&topo, &axis, 7).unwrap();
+        assert_eq!(a, b, "same seed, same victims");
+        assert_eq!(a.len(), 3);
+        assert!(topo.without_links(&a).unwrap().is_strongly_connected());
+        // A different seed (almost surely) picks a different set; at
+        // minimum it must still admit a connected selection.
+        let c = select_failed_links(&topo, &axis, 8).unwrap();
+        assert!(topo.without_links(&c).unwrap().is_strongly_connected());
+        // Explicit lists pass through untouched.
+        let explicit = WithoutLinks::Links(vec![5, 1]);
+        assert_eq!(
+            select_failed_links(&topo, &explicit, 0).unwrap(),
+            [LinkId::new(5), LinkId::new(1)]
+        );
+    }
+
+    #[test]
+    fn timeline_section_parses_and_validates() {
+        let spec = ScenarioSpec::from_toml_str(
+            r#"
+[scenario]
+name = "t"
+[sweep]
+topology = ["ring:4"]
+[run]
+simulate = true
+[timeline]
+buckets = 60
+stages = true
+"#,
+        )
+        .unwrap();
+        assert_eq!(
+            spec.timeline,
+            Some(TimelineSettings {
+                buckets: 60,
+                stages: true
+            })
+        );
+        // Default bucket count when the section only enables stages.
+        let spec = ScenarioSpec::from_toml_str(
+            "[scenario]\nname = \"t\"\n[sweep]\ntopology = [\"ring:4\"]\n\
+             [run]\nsimulate = true\n[timeline]\nstages = true\n",
+        )
+        .unwrap();
+        assert_eq!(spec.timeline.unwrap().buckets, 50);
+
+        for (snippet, needle) in [
+            ("[timeline]\nbuckets = 8", "run.simulate"),
+            (
+                "[run]\nsimulate = true\n[timeline]\nbuckets = 0",
+                "emits nothing",
+            ),
+            (
+                "[run]\nsimulate = true\n[timeline]\nbucketz = 8",
+                "unknown key 'bucketz'",
+            ),
+        ] {
+            let text =
+                format!("[scenario]\nname = \"t\"\n[sweep]\ntopology = [\"ring:4\"]\n{snippet}\n");
+            let err = ScenarioSpec::from_toml_str(&text).unwrap_err().to_string();
+            assert!(err.contains(needle), "expected '{needle}' in '{err}'");
+        }
+    }
+
+    #[test]
+    fn family_form_topologies_build_with_tier_overrides() {
+        let spec = ScenarioSpec::from_toml_str(
+            r#"
+[scenario]
+name = "hetero"
+[sweep]
+topology = ["custom:df", "custom:sw", "custom:rfs", "custom:flat"]
+
+[[topologies]]
+name = "df"
+base = "dragonfly:5x4"
+alpha_us = 0.5
+tier_gbps = [400.0, 200.0]
+
+[[topologies]]
+name = "sw"
+base = "switch2d:8x4"
+alpha_us = 0.5
+tier_gbps = [300.0, 25.0]
+
+[[topologies]]
+name = "rfs"
+base = "rfs:2x4x8"
+alpha_us = 0.5
+tier_gbps = [200.0, 100.0, 50.0]
+
+[[topologies]]
+name = "flat"
+base = "mesh:3x3"
+alpha_us = 0.7
+tier_gbps = [25.0]
+"#,
+        )
+        .unwrap();
+        let probe = LinkAxis::default_paper().to_spec();
+        let tiers = |name: &str| {
+            let topo = spec.build_topology(name, probe).unwrap();
+            let mut bws: Vec<f64> = topo
+                .links()
+                .iter()
+                .map(|l| l.spec().bandwidth().as_gbps())
+                .collect();
+            bws.sort_by(f64::total_cmp);
+            bws.dedup();
+            bws
+        };
+        assert_eq!(tiers("custom:df"), [200.0, 400.0]);
+        assert_eq!(tiers("custom:sw"), [25.0, 300.0]);
+        assert_eq!(tiers("custom:rfs"), [50.0, 100.0, 200.0]);
+        assert_eq!(tiers("custom:flat"), [25.0]);
+        assert_eq!(
+            spec.build_topology("custom:df", probe).unwrap().num_npus(),
+            20
+        );
+        assert_eq!(
+            spec.build_topology("custom:sw", probe).unwrap().num_npus(),
+            32
+        );
+    }
+
+    #[test]
+    fn family_form_rejects_bad_shapes() {
+        for (body, needle) in [
+            (
+                "base = \"dragonfly:5x4\"\nalpha_us = 0.5\ntier_gbps = [400.0]",
+                "2 tier(s)",
+            ),
+            (
+                "base = \"rfs:2x4x8:4x2x1\"\nalpha_us = 0.5\ntier_gbps = [1.0, 2.0, 3.0]",
+                "ratio suffix",
+            ),
+            (
+                "base = \"mesh:3x3\"\nalpha_us = 0.5\ntier_gbps = [25.0, 50.0]",
+                "1 tier(s)",
+            ),
+            (
+                "base = \"mesh:3x3\"\nnpus = 4\nalpha_us = 0.5\ntier_gbps = [25.0]",
+                "cannot be combined with 'base'",
+            ),
+            ("npus = 4\ntier_gbps = [25.0]", "requires 'base'"),
+            (
+                "base = \"mesh:3x3\"\nalpha_us = 0.5\ntier_gbps = [-1.0]",
+                "positive",
+            ),
+        ] {
+            let text = format!(
+                "[scenario]\nname = \"t\"\n[sweep]\ntopology = [\"custom:x\"]\n\
+                 [[topologies]]\nname = \"x\"\n{body}\n"
+            );
+            let err = ScenarioSpec::from_toml_str(&text).unwrap_err().to_string();
+            assert!(err.contains(needle), "expected '{needle}' in '{err}'");
+        }
+    }
+
+    #[test]
+    fn switch2d_parses_with_ratio_suffix() {
+        assert_eq!(tier_bandwidths("switch2d:8x4"), [50.0]);
+        assert_eq!(tier_bandwidths("switch2d:8x4:0.5"), [25.0, 50.0]);
+        let link = LinkAxis::default_paper().to_spec();
+        assert_eq!(parse_topology("switch2d:8x4", link).unwrap().num_npus(), 32);
+        assert!(parse_topology("switch2d:8", link).is_err());
+        assert!(parse_topology("switch2d:8x4:1x2", link).is_err());
+    }
+
+    #[test]
     fn exclude_rules_parse_and_reject_typos() {
         let spec = ScenarioSpec::from_toml_str(
             r#"
@@ -2025,6 +2870,7 @@ algo = ["taccl"]
             chunks: 1,
             seed: 42,
             attempts: 1,
+            without_links: "0",
         };
         assert!(rule.matches(values("mesh:2x2", "taccl")));
         assert!(!rule.matches(values("ring:4", "taccl")));

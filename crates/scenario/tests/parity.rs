@@ -378,6 +378,455 @@ fn multinode_scenario_matches_table05_measurements() {
     }
 }
 
+/// `scenarios/connectivity.toml` ports `fig10_connectivity`: TACOS
+/// All-Gather synthesis (seed 1, best-of-16) on four 4-NPU topologies of
+/// decreasing connectivity, printing the TEN's per-span occupancy. The
+/// scenario's `[timeline]` stage rows must reproduce the binary's exact
+/// per-span view: one stage per TEN time span, with the same
+/// utilization.
+#[test]
+fn connectivity_scenario_matches_fig10_span_stages() {
+    let mut spec = ScenarioSpec::from_file(scenario_path("connectivity.toml")).unwrap();
+    assert_eq!(
+        spec.sweep.topology,
+        ["fc:4", "ring:4", "custom:asym6", "ring-uni:4"]
+    );
+    assert_eq!(spec.sweep.seed, [1]);
+    assert_eq!(spec.sweep.attempts, [16]);
+    let timeline = spec.timeline.expect("stages configured");
+    assert!(timeline.stages);
+    spec.run.cache = None;
+    spec.run.quiet = true;
+    spec.output = None;
+    let summary = run(&spec).unwrap();
+    assert_eq!(summary.failed, 0);
+    assert_eq!(summary.records.len(), 4);
+
+    // Reference: the binary's topologies and measurement path, verbatim —
+    // synthesize at seed 1 / best-of-16, represent on the TEN, read the
+    // span count and per-span utilization.
+    let link = LinkSpec::new(Time::from_micros(0.5), Bandwidth::gbps(50.0));
+    let asym6 = {
+        let mut b = tacos_topology::TopologyBuilder::new("Asymmetric(6 links)");
+        b.npus(4);
+        b.bidi_link(
+            tacos_topology::NpuId::new(0),
+            tacos_topology::NpuId::new(1),
+            link,
+        );
+        b.bidi_link(
+            tacos_topology::NpuId::new(0),
+            tacos_topology::NpuId::new(2),
+            link,
+        );
+        b.link(
+            tacos_topology::NpuId::new(2),
+            tacos_topology::NpuId::new(3),
+            link,
+        );
+        b.link(
+            tacos_topology::NpuId::new(3),
+            tacos_topology::NpuId::new(1),
+            link,
+        );
+        b.build().unwrap()
+    };
+    let topologies = vec![
+        Topology::fully_connected(4, link).unwrap(),
+        Topology::ring(4, link, RingOrientation::Bidirectional).unwrap(),
+        asym6,
+        Topology::ring(4, link, RingOrientation::Unidirectional).unwrap(),
+    ];
+    for (record, topo) in summary.records.iter().zip(&topologies) {
+        let coll = Collective::all_gather(4, ByteSize::mb(4)).unwrap();
+        let synth = Synthesizer::new(SynthesizerConfig::default().with_seed(1).with_attempts(16));
+        let result = synth.synthesize(topo, &coll).unwrap();
+        let ten = tacos_ten::TimeExpandedNetwork::represent(topo, result.algorithm()).unwrap();
+
+        let got = record.result.as_ref().unwrap();
+        assert_eq!(got.collective_time, result.collective_time());
+        let stages = &got.timeline.as_ref().expect("stage rows captured").stages;
+        assert_eq!(
+            stages.len(),
+            ten.steps(),
+            "span count diverged on {}",
+            record.point.label()
+        );
+        for (stage, step) in stages.iter().zip(0..ten.steps()) {
+            assert!(
+                (stage.utilization - ten.step_utilization(step)).abs() < 1e-12,
+                "span {step} utilization diverged on {}",
+                record.point.label()
+            );
+            assert_eq!(stage.start, ten.time_of_step(step));
+        }
+    }
+    // The paper's Fig. 10 shape: steps grow as connectivity drops, and
+    // the unidirectional ring needs every TEN edge (utilization 1.0).
+    let steps: Vec<usize> = summary
+        .records
+        .iter()
+        .map(|r| {
+            r.result
+                .as_ref()
+                .unwrap()
+                .timeline
+                .as_ref()
+                .unwrap()
+                .stages
+                .len()
+        })
+        .collect();
+    assert_eq!(steps, [1, 2, 3, 3]);
+    let uni = summary.records[3].result.as_ref().unwrap();
+    for stage in &uni.timeline.as_ref().unwrap().stages {
+        assert!((stage.utilization - 1.0).abs() < 1e-12);
+    }
+}
+
+/// `scenarios/hetero.toml` ports `fig15_hetero`: All-Reduce on the three
+/// heterogeneous systems of §VI-B.1 with absolute per-tier bandwidths as
+/// family-form `[[topologies]]` entries. The scenario must reproduce the
+/// binary's measurement path on the DragonFly system (the other fabrics
+/// differ only in the constructor, covered by the family-form unit
+/// tests).
+#[test]
+fn hetero_scenario_matches_fig15_measurements() {
+    let mut spec = ScenarioSpec::from_file(scenario_path("hetero.toml")).unwrap();
+    assert_eq!(
+        spec.sweep.topology,
+        [
+            "custom:dragonfly_5x4",
+            "custom:switch_8x4",
+            "custom:rfs_2x4x8"
+        ]
+    );
+    assert_eq!(
+        spec.sweep.algo,
+        ["ring", "direct", "taccl:5000", "tacos", "ideal"]
+    );
+    assert_eq!(spec.sweep.attempts, [8]);
+    // Keep the test fast in debug builds: one fabric, the deterministic
+    // baselines plus TACOS at reduced best-of and the bound.
+    spec.sweep.topology = vec!["custom:dragonfly_5x4".into()];
+    spec.sweep.algo = vec![
+        "ring".into(),
+        "direct".into(),
+        "tacos".into(),
+        "ideal".into(),
+    ];
+    spec.sweep.attempts = vec![2];
+    spec.run.cache = None;
+    spec.run.quiet = true;
+    spec.output = None;
+    let summary = run(&spec).unwrap();
+    assert_eq!(summary.failed, 0);
+    assert_eq!(summary.records.len(), 4);
+
+    // Reference: the binary's exact DragonFly constructor — local 400,
+    // global 200 GB/s at alpha = 0.5 us — and measurement paths.
+    let alpha = Time::from_micros(0.5);
+    let topo = Topology::dragonfly(
+        5,
+        4,
+        LinkSpec::new(alpha, Bandwidth::gbps(400.0)),
+        LinkSpec::new(alpha, Bandwidth::gbps(200.0)),
+    )
+    .unwrap();
+    let n = topo.num_npus();
+    let size = ByteSize::gb(1);
+    let coll = Collective::all_reduce(n, size).unwrap();
+    let ideal_time = tacos_baselines::IdealBound::new(&topo)
+        .collective_time(tacos_collective::CollectivePattern::AllReduce, size);
+    for record in &summary.records {
+        let p = &record.point;
+        let got = record.result.as_ref().unwrap();
+        if p.algo == "ideal" {
+            assert_eq!(got.collective_time, ideal_time);
+            continue;
+        }
+        let report = if p.algo == "tacos" {
+            let synth =
+                Synthesizer::new(SynthesizerConfig::default().with_seed(42).with_attempts(2));
+            let result = synth.synthesize(&topo, &coll).unwrap();
+            Simulator::new()
+                .simulate(&topo, result.algorithm())
+                .unwrap()
+        } else {
+            let kind = parse_baseline(&p.algo, p.seed).unwrap();
+            let algo = tacos_baselines::BaselineAlgorithm::new(kind)
+                .generate(&topo, &coll)
+                .unwrap();
+            Simulator::new().simulate(&topo, &algo).unwrap()
+        };
+        assert_eq!(
+            got.collective_time,
+            report.collective_time(),
+            "collective time diverged for {}",
+            p.label()
+        );
+        // Fig. 15's companion metrics: efficiency vs the bound and the
+        // Fig. 15(b) average link utilization.
+        let eff = ideal_time.as_secs_f64() / report.collective_time().as_secs_f64();
+        assert!((got.efficiency - eff).abs() < 1e-12);
+        let stats = got.link_stats.expect("simulated point");
+        assert!((stats.avg_utilization - report.average_utilization()).abs() < 1e-12);
+    }
+}
+
+/// `scenarios/utilization.toml` ports `fig18_utilization`: chunked TACOS
+/// vs Ring during a 1 GB All-Reduce with the utilization-over-time
+/// curves. Parity runs at the binary's `--quick` scale (3x3x3 torus) and
+/// checks the timeline buckets against the same simulator report.
+#[test]
+fn utilization_scenario_matches_fig18_measurements() {
+    let mut spec = ScenarioSpec::from_file(scenario_path("utilization.toml")).unwrap();
+    assert_eq!(
+        spec.sweep.topology,
+        ["torus:5x5x5", "mesh:10x10", "hypercube:5x5x5"]
+    );
+    assert_eq!(spec.sweep.algo, ["tacos:4", "ring"]);
+    assert_eq!(spec.sweep.attempts, [4]);
+    assert_eq!(spec.timeline.map(|t| t.buckets), Some(60));
+    // The binary's --quick scale, reduced best-of (shape identical).
+    spec.sweep.topology = vec!["torus:3x3x3".into()];
+    spec.sweep.attempts = vec![2];
+    spec.run.cache = None;
+    spec.run.quiet = true;
+    spec.output = None;
+    let summary = run(&spec).unwrap();
+    assert_eq!(summary.failed, 0);
+    assert_eq!(summary.records.len(), 2);
+
+    // Reference: the binary's measurement path — chunked TACOS synthesis
+    // and the Ring baseline through the simulator, utilization timeline
+    // at 60 buckets, efficiency vs the ideal bound.
+    let link = LinkSpec::new(Time::from_micros(0.5), Bandwidth::gbps(50.0));
+    let topo = Topology::torus_3d(3, 3, 3, link).unwrap();
+    let n = topo.num_npus();
+    let size = ByteSize::gb(1);
+    let ideal_time = tacos_baselines::IdealBound::new(&topo)
+        .collective_time(tacos_collective::CollectivePattern::AllReduce, size);
+    for record in &summary.records {
+        let p = &record.point;
+        let report = if p.algo == "tacos:4" {
+            let chunked = Collective::with_chunking(
+                tacos_collective::CollectivePattern::AllReduce,
+                n,
+                4,
+                size,
+            )
+            .unwrap();
+            let synth =
+                Synthesizer::new(SynthesizerConfig::default().with_seed(42).with_attempts(2));
+            let result = synth.synthesize(&topo, &chunked).unwrap();
+            Simulator::new()
+                .simulate(&topo, result.algorithm())
+                .unwrap()
+        } else {
+            let coll = Collective::all_reduce(n, size).unwrap();
+            let algo = tacos_baselines::BaselineAlgorithm::new(tacos_baselines::BaselineKind::Ring)
+                .generate(&topo, &coll)
+                .unwrap();
+            Simulator::new().simulate(&topo, &algo).unwrap()
+        };
+        let got = record.result.as_ref().unwrap();
+        assert_eq!(
+            got.collective_time,
+            report.collective_time(),
+            "collective time diverged for {}",
+            p.label()
+        );
+        let stats = got.link_stats.expect("simulated point");
+        assert!((stats.avg_utilization - report.average_utilization()).abs() < 1e-12);
+        let eff = ideal_time.as_secs_f64() / report.collective_time().as_secs_f64();
+        assert!((got.efficiency - eff).abs() < 1e-12);
+        // The timeline artifact carries the same curve the binary drew:
+        // identical buckets from an identical simulation.
+        let buckets = &got.timeline.as_ref().expect("buckets captured").buckets;
+        let expected = report.timeline(60);
+        assert_eq!(buckets.len(), expected.len());
+        for (a, b) in buckets.iter().zip(&expected) {
+            assert_eq!(a.start, b.start);
+            assert_eq!(a.busy, b.busy);
+            assert_eq!(a.cumulative_bytes, b.cumulative_bytes);
+        }
+    }
+}
+
+/// `scenarios/failure.toml` ports `failure_injection`: cumulative link
+/// kills on a 4x4 torus, Ring rerouting vs TACOS re-synthesizing. The
+/// binary removed victims from the *re-densified* fabric
+/// (`(failures * 13) % remaining`, skipping disconnecting picks); the
+/// scenario's explicit `without_links` lists name the same victims in
+/// healthy-topology ids, which this test verifies by replaying the
+/// binary's loop verbatim.
+#[test]
+fn failure_scenario_matches_failure_injection_loop() {
+    let mut spec = ScenarioSpec::from_file(scenario_path("failure.toml")).unwrap();
+    assert_eq!(spec.sweep.topology, ["torus:4x4"]);
+    assert_eq!(spec.sweep.algo, ["ring", "tacos"]);
+    // The binary used SynthesizerConfig::default() (seed 0x7AC05) with 8
+    // attempts.
+    assert_eq!(spec.sweep.seed, [0x7AC05]);
+    assert_eq!(spec.sweep.attempts, [8]);
+    let labels: Vec<String> = spec.sweep.without_links.iter().map(|w| w.label()).collect();
+    assert_eq!(labels, ["0", "13", "13+27", "13+27+41"]);
+    spec.run.cache = None;
+    spec.run.quiet = true;
+    spec.output = None;
+    let summary = run(&spec).unwrap();
+    assert_eq!(summary.failed, 0);
+    assert_eq!(summary.records.len(), 4 * 2);
+
+    // Reference: the binary's loop, verbatim — kill a pseudo-random link
+    // of the *current* (re-densified) fabric per round, keep it only if
+    // the fabric stays strongly connected.
+    let link = LinkSpec::new(Time::from_micros(0.5), Bandwidth::gbps(50.0));
+    let size = ByteSize::mb(256);
+    let coll = Collective::all_reduce(16, size).unwrap();
+    let mut topo = Topology::torus_2d(4, 4, link).unwrap();
+    let mut reference: Vec<(Time, Time)> = Vec::new();
+    let healthy = topo.clone();
+    let victim_lists: [&[u32]; 4] = [&[], &[13], &[13, 27], &[13, 27, 41]];
+    for (failures, victim_list) in victim_lists.iter().enumerate() {
+        if failures > 0 {
+            let victim = tacos_topology::LinkId::new(((failures * 13) % topo.num_links()) as u32);
+            let candidate = topo.without_link(victim);
+            if candidate.is_strongly_connected() {
+                topo = candidate;
+            }
+        }
+        // The binary accepted every kill (none disconnected), and the
+        // scenario's explicit healthy-topology id lists rebuild the same
+        // fabric link-for-link — the id translation is faithful.
+        assert_eq!(topo.num_links(), 64 - failures, "binary skipped a kill");
+        let ids: Vec<tacos_topology::LinkId> = victim_list
+            .iter()
+            .map(|&id| tacos_topology::LinkId::new(id))
+            .collect();
+        let from_lists = healthy.without_links(&ids).unwrap();
+        assert_eq!(from_lists.num_links(), topo.num_links());
+        for (a, b) in from_lists.links().iter().zip(topo.links()) {
+            assert_eq!((a.src(), a.dst(), a.spec()), (b.src(), b.dst(), b.spec()));
+        }
+        let ring = tacos_baselines::BaselineAlgorithm::new(tacos_baselines::BaselineKind::Ring)
+            .generate(&topo, &coll)
+            .unwrap();
+        let ring_time = Simulator::new()
+            .simulate(&topo, &ring)
+            .unwrap()
+            .collective_time();
+        let tacos = Synthesizer::new(SynthesizerConfig::default().with_attempts(8))
+            .synthesize(&topo, &coll)
+            .unwrap();
+        reference.push((ring_time, tacos.collective_time()));
+    }
+    let normalized = summary.normalized_times();
+    for (level, (ring_time, tacos_time)) in reference.iter().enumerate() {
+        let ring_rec = &summary.records[2 * level];
+        let tacos_rec = &summary.records[2 * level + 1];
+        assert_eq!(ring_rec.point.algo, "ring");
+        assert_eq!(tacos_rec.point.algo, "tacos");
+        assert_eq!(
+            ring_rec.result.as_ref().unwrap().collective_time,
+            *ring_time,
+            "ring diverged at {} failures",
+            level
+        );
+        assert_eq!(
+            tacos_rec.result.as_ref().unwrap().collective_time,
+            *tacos_time,
+            "tacos diverged at {} failures",
+            level
+        );
+        // The table the binary printed was tacos/ring bandwidth; the
+        // scenario's normalized_time is the time ratio (its inverse).
+        let expected_norm = tacos_time.as_secs_f64() / ring_time.as_secs_f64();
+        assert_eq!(normalized[2 * level + 1].unwrap(), expected_norm);
+        assert_eq!(normalized[2 * level].unwrap(), 1.0);
+    }
+}
+
+/// `scenarios/ccube.toml` ports `fig17b_ccube`: TACOS vs C-Cube on the
+/// DGX-1 (alpha = 0.7 us, 25 GB/s) with the embedded multi-Ring baseline
+/// and the ideal bound as an `ideal` algo row — closing the last inline
+/// ideal-bound computation in the bench crate.
+#[test]
+fn ccube_scenario_matches_fig17b_measurements() {
+    let mut spec = ScenarioSpec::from_file(scenario_path("ccube.toml")).unwrap();
+    assert_eq!(spec.sweep.topology, ["dgx1"]);
+    assert_eq!(spec.sweep.size, ["0.5GB", "1GB", "2GB"]);
+    assert_eq!(
+        spec.sweep.algo,
+        ["ccube:4", "ring-embedded:3", "tacos:4", "ideal"]
+    );
+    // Keep the test fast in debug builds: one size (the fractional one),
+    // reduced best-of.
+    spec.sweep.size = vec!["0.5GB".into()];
+    spec.sweep.attempts = vec![2];
+    spec.run.cache = None;
+    spec.run.quiet = true;
+    spec.output = None;
+    let summary = run(&spec).unwrap();
+    assert_eq!(summary.failed, 0);
+    assert_eq!(summary.records.len(), 4);
+
+    // Reference: the binary's configuration, verbatim — the 0.5GB label
+    // parses to its ByteSize::mb(500).
+    let link = LinkSpec::new(Time::from_micros(0.7), Bandwidth::gbps(25.0));
+    let topo = Topology::dgx1(link).unwrap();
+    let size = ByteSize::mb(500);
+    let coll = Collective::all_reduce(8, size).unwrap();
+    for record in &summary.records {
+        let p = &record.point;
+        let got = record.result.as_ref().unwrap();
+        assert_eq!(p.size, size);
+        let expected = match p.algo.as_str() {
+            "ideal" => tacos_baselines::IdealBound::new(&topo)
+                .collective_time(tacos_collective::CollectivePattern::AllReduce, size),
+            "tacos:4" => {
+                let chunked = Collective::with_chunking(
+                    tacos_collective::CollectivePattern::AllReduce,
+                    8,
+                    4,
+                    size,
+                )
+                .unwrap();
+                let synth =
+                    Synthesizer::new(SynthesizerConfig::default().with_seed(42).with_attempts(2));
+                let result = synth.synthesize(&topo, &chunked).unwrap();
+                Simulator::new()
+                    .simulate(&topo, result.algorithm())
+                    .unwrap()
+                    .collective_time()
+            }
+            other => {
+                let kind = parse_baseline(other, p.seed).unwrap();
+                let algo = tacos_baselines::BaselineAlgorithm::new(kind)
+                    .generate(&topo, &coll)
+                    .unwrap();
+                let report = Simulator::new().simulate(&topo, &algo).unwrap();
+                if other == "ccube:4" {
+                    // The binary's "C-Cube idle links" column.
+                    let idle = report.link_bytes().iter().filter(|&&b| b == 0).count();
+                    assert_eq!(got.link_stats.unwrap().idle_links, idle);
+                    assert!(idle > 0, "C-Cube must idle NVLinks");
+                }
+                report.collective_time()
+            }
+        };
+        assert_eq!(
+            got.collective_time,
+            expected,
+            "collective time diverged for {}",
+            p.label()
+        );
+        let bw = size.as_u64() as f64 / expected.as_secs_f64() / 1e9;
+        assert!((got.bandwidth_gbps - bw).abs() < 1e-9);
+    }
+}
+
 /// `scenarios/scalability.toml` expands to the fig19 grid shape.
 #[test]
 fn scalability_scenario_expands_to_fig19_grid() {

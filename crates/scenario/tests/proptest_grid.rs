@@ -5,7 +5,9 @@
 use std::collections::{BTreeMap, HashSet};
 
 use proptest::prelude::*;
-use tacos_scenario::{expand, LinkAxis, ReportSettings, RunSettings, ScenarioSpec, SweepAxes};
+use tacos_scenario::{
+    expand, LinkAxis, ReportSettings, RunSettings, ScenarioSpec, SweepAxes, WithoutLinks,
+};
 
 const TOPOLOGY_POOL: &[&str] = &[
     "ring:3",
@@ -34,38 +36,54 @@ fn subset_of(pool: &'static [&'static str]) -> impl Strategy<Value = Vec<String>
 
 fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
     (
-        subset_of(TOPOLOGY_POOL),
-        subset_of(SIZE_POOL),
-        subset_of(ALGO_POOL),
-        subset_of(COLLECTIVE_POOL),
-        prop::collection::hash_set(0u32..1000, 1..5),
-        prop::collection::hash_set(1u32..6, 1..4),
+        (
+            subset_of(TOPOLOGY_POOL),
+            subset_of(SIZE_POOL),
+            subset_of(ALGO_POOL),
+            subset_of(COLLECTIVE_POOL),
+            prop::collection::hash_set(0u32..1000, 1..5),
+            prop::collection::hash_set(1u32..6, 1..4),
+        ),
+        0usize..3,
     )
-        .prop_map(|(topology, size, algo, collective, seeds, chunks)| {
-            let mut seed: Vec<u64> = seeds.into_iter().map(u64::from).collect();
-            seed.sort_unstable();
-            let mut chunks: Vec<usize> = chunks.into_iter().map(|c| c as usize).collect();
-            chunks.sort_unstable();
-            ScenarioSpec {
-                name: "prop".into(),
-                description: String::new(),
-                output: None,
-                sweep: SweepAxes {
-                    topology,
-                    collective,
-                    size,
-                    chunks,
-                    algo,
-                    seed,
-                    attempts: vec![1],
-                    link: vec![LinkAxis::default_paper()],
-                },
-                run: RunSettings::default(),
-                report: ReportSettings::default(),
-                excludes: Vec::new(),
-                custom_topologies: BTreeMap::new(),
-            }
-        })
+        .prop_map(
+            |((topology, size, algo, collective, seeds, chunks), failures)| {
+                let mut seed: Vec<u64> = seeds.into_iter().map(u64::from).collect();
+                seed.sort_unstable();
+                let mut chunks: Vec<usize> = chunks.into_iter().map(|c| c as usize).collect();
+                chunks.sort_unstable();
+                // 1-3 failure-axis values: healthy plus growing victim
+                // counts/lists (expansion does not resolve victims, so
+                // the values only need distinct labels here).
+                let without_links = [
+                    WithoutLinks::Count(0),
+                    WithoutLinks::Count(1),
+                    WithoutLinks::Links(vec![0, 2]),
+                ][..=failures]
+                    .to_vec();
+                ScenarioSpec {
+                    name: "prop".into(),
+                    description: String::new(),
+                    output: None,
+                    sweep: SweepAxes {
+                        topology,
+                        collective,
+                        size,
+                        chunks,
+                        algo,
+                        seed,
+                        attempts: vec![1],
+                        link: vec![LinkAxis::default_paper()],
+                        without_links,
+                    },
+                    run: RunSettings::default(),
+                    report: ReportSettings::default(),
+                    timeline: None,
+                    excludes: Vec::new(),
+                    custom_topologies: BTreeMap::new(),
+                }
+            },
+        )
 }
 
 proptest! {
@@ -76,6 +94,7 @@ proptest! {
     fn cardinality_is_product(spec in arb_spec()) {
         let axes = &spec.sweep;
         let expected = axes.topology.len()
+            * axes.without_links.len()
             * axes.link.len()
             * axes.collective.len()
             * axes.size.len()

@@ -1,0 +1,86 @@
+//! Golden-output checks for the `[timeline]` pipeline on
+//! `scenarios/timeline_golden.toml` (the CI failure-injection smoke):
+//! utilization stays in `[0, 1]`, bucket times are monotone and
+//! contiguous, and final cumulative bytes equal the `SimReport`'s
+//! per-link byte totals.
+
+use std::path::PathBuf;
+
+use tacos_scenario::{run, ScenarioSpec};
+use tacos_topology::Time;
+
+fn scenario_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios/timeline_golden.toml")
+}
+
+#[test]
+fn timeline_golden_invariants_hold() {
+    let mut spec = ScenarioSpec::from_file(scenario_path()).unwrap();
+    let settings = spec.timeline.expect("timeline configured");
+    assert_eq!(settings.buckets, 24);
+    assert!(settings.stages);
+    assert_eq!(
+        spec.sweep
+            .without_links
+            .iter()
+            .map(|w| w.label())
+            .collect::<Vec<_>>(),
+        ["0", "1"],
+        "the golden scenario doubles as the 1-victim failure smoke"
+    );
+    spec.run.cache = None;
+    spec.run.quiet = true;
+    spec.output = None;
+    let summary = run(&spec).unwrap();
+    assert_eq!(summary.failed, 0);
+    assert_eq!(summary.records.len(), 2 * 2, "2 failure levels x 2 algos");
+
+    for record in &summary.records {
+        let m = record.result.as_ref().unwrap();
+        let tl = m.timeline.as_ref().expect("every point simulated");
+        let total_bytes = m.link_stats.expect("simulated").total_bytes;
+        for (kind, segments) in [("bucket", &tl.buckets), ("stage", &tl.stages)] {
+            assert!(
+                !segments.is_empty(),
+                "{kind} rows missing for {}",
+                record.point.label()
+            );
+            // Utilization in [0, 1] everywhere.
+            for seg in segments {
+                assert!(
+                    (0.0..=1.0 + 1e-12).contains(&seg.utilization),
+                    "{kind} utilization {} out of range for {}",
+                    seg.utilization,
+                    record.point.label()
+                );
+            }
+            // Monotone, contiguous times covering [0, collective_time].
+            assert_eq!(segments[0].start, Time::ZERO);
+            assert_eq!(segments.last().unwrap().end, m.collective_time);
+            for w in segments.windows(2) {
+                assert!(w[0].start < w[0].end);
+                assert_eq!(w[0].end, w[1].start);
+            }
+            // Final cumulative bytes equal the SimReport totals.
+            assert_eq!(
+                segments.last().unwrap().cumulative_bytes,
+                total_bytes,
+                "{kind} bytes diverged for {}",
+                record.point.label()
+            );
+        }
+        assert!(tl.buckets.len() <= 24);
+    }
+
+    // The long CSV serialization carries one row per segment.
+    let rows = summary.timeline_rows();
+    let data_rows: usize = summary
+        .records
+        .iter()
+        .filter_map(|r| r.result.as_ref().ok())
+        .filter_map(|m| m.timeline.as_ref())
+        .map(|tl| tl.buckets.len() + tl.stages.len())
+        .sum();
+    assert_eq!(rows.len(), 1 + data_rows);
+    assert!(rows[1..].iter().all(|r| r.len() == rows[0].len()));
+}

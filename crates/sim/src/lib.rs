@@ -22,5 +22,5 @@ mod report;
 mod simulator;
 
 pub use error::SimError;
-pub use report::{BusyInterval, LinkLoadStats, SimReport};
+pub use report::{BusyInterval, LinkLoadStats, SimReport, TimelineSegment};
 pub use simulator::{RouteModel, SimConfig, Simulator};

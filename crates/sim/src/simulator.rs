@@ -268,12 +268,12 @@ impl Simulator {
                 &mut self,
                 link_id: LinkId,
                 now: Time,
-                cost_of: impl Fn(Message, LinkId) -> Time,
+                cost_of: impl Fn(Message, LinkId) -> (Time, u64),
             ) {
                 let ls = &mut self.links[link_id.index()];
                 if ls.busy_until <= now {
                     if let Some(Reverse((_, msg))) = ls.pending.pop() {
-                        let cost = cost_of(msg, link_id);
+                        let (cost, bytes) = cost_of(msg, link_id);
                         let done = now + cost;
                         ls.busy_until = done;
                         self.link_busy[link_id.index()] += cost;
@@ -282,6 +282,7 @@ impl Simulator {
                                 link: link_id,
                                 start: now,
                                 duration: cost,
+                                bytes,
                             });
                         }
                         self.seq += 1;
@@ -309,15 +310,16 @@ impl Simulator {
         // Per-message transmission cost: α + β·(count · chunk_size); under
         // cut-through routing, hops after the first skip α.
         let cut_through = self.config.route_model == RouteModel::CutThrough;
-        let cost_of = |msg: Message, link_id: LinkId| -> Time {
+        let cost_of = |msg: Message, link_id: LinkId| -> (Time, u64) {
             let link = topo.link(link_id);
             let payload = transfers[msg.transfer as usize].payload(chunk_size);
             let full = link.cost(payload);
-            if cut_through && msg.hop > 0 {
+            let cost = if cut_through && msg.hop > 0 {
                 full - link.spec().alpha()
             } else {
                 full
-            }
+            };
+            (cost, payload.as_u64())
         };
 
         let mut engine = EngineState {

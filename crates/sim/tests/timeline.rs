@@ -1,0 +1,174 @@
+//! Property tests for the time-resolved report views: for arbitrary
+//! simulated loads, [`SimReport::timeline`] buckets and
+//! [`SimReport::span_stages`] spans partition the collective duration
+//! exactly and conserve both busy time and bytes.
+
+use proptest::prelude::*;
+
+use tacos_collective::algorithm::{AlgorithmBuilder, TransferKind};
+use tacos_collective::ChunkId;
+use tacos_sim::{SimReport, Simulator, TimelineSegment};
+use tacos_topology::{Bandwidth, ByteSize, LinkSpec, NpuId, Time, Topology, TopologyBuilder};
+
+/// A random strongly-connected heterogeneous topology (ring backbone over
+/// a random permutation plus random extra links).
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    (3usize..9, any::<u64>()).prop_map(|(n, seed)| {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut b = TopologyBuilder::new(format!("random({n},{seed:x})"));
+        b.npus(n);
+        let spec_for = |r: u64| {
+            LinkSpec::new(
+                Time::from_nanos(50.0 + (r % 700) as f64),
+                Bandwidth::gbps(25.0 + (r % 8) as f64 * 25.0),
+            )
+        };
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        for i in (1..n).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            perm.swap(i, j);
+        }
+        for i in 0..n {
+            b.link(
+                NpuId::new(perm[i]),
+                NpuId::new(perm[(i + 1) % n]),
+                spec_for(next()),
+            );
+        }
+        let extras = (next() % (2 * n as u64)) as usize;
+        for _ in 0..extras {
+            let src = (next() % n as u64) as u32;
+            let mut dst = (next() % n as u64) as u32;
+            if dst == src {
+                dst = (dst + 1) % n as u32;
+            }
+            b.link(NpuId::new(src), NpuId::new(dst), spec_for(next()));
+        }
+        b.build().expect("valid random topology")
+    })
+}
+
+/// Simulates a random dependency-free load on `topo`.
+fn random_report(topo: &Topology, seed: u64) -> SimReport {
+    let n = topo.num_npus();
+    let chunk = ByteSize::kb(64);
+    let mut builder = AlgorithmBuilder::new("load", n, chunk, ByteSize::kb(64 * n as u64));
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && next() % 2 == 0 {
+                builder.push(
+                    ChunkId::new((next() % 16) as u32),
+                    NpuId::new(i as u32),
+                    NpuId::new(j as u32),
+                    TransferKind::Copy,
+                    vec![],
+                );
+            }
+        }
+    }
+    Simulator::new()
+        .simulate(topo, &builder.build())
+        .expect("random loads simulate")
+}
+
+/// The segment invariants shared by both views: contiguous partition of
+/// `[0, collective_time]`, utilization in `[0, 1]`, busy time conserved
+/// against the raw per-link busy totals, and cumulative bytes ending at
+/// the raw per-link byte totals.
+fn check_segments(report: &SimReport, segments: &[TimelineSegment]) {
+    assert!(!segments.is_empty());
+    assert_eq!(segments[0].start, Time::ZERO);
+    assert_eq!(
+        segments.last().unwrap().end,
+        report.collective_time(),
+        "segments must end at the collective time"
+    );
+    let num_links = report.link_bytes().len();
+    let mut cumulative = 0u64;
+    for (i, seg) in segments.iter().enumerate() {
+        assert_eq!(seg.index, i);
+        assert!(seg.start < seg.end, "zero-width segment at {i}");
+        assert!(
+            (0.0..=1.0 + 1e-12).contains(&seg.utilization),
+            "utilization {} out of range",
+            seg.utilization
+        );
+        assert!(seg.busy <= (seg.end - seg.start) * num_links as u64);
+        cumulative += seg.bytes_completed;
+        assert_eq!(seg.cumulative_bytes, cumulative);
+        assert!(seg.active_links <= num_links);
+    }
+    for w in segments.windows(2) {
+        assert_eq!(w[0].end, w[1].start, "segments must be contiguous");
+    }
+    // Conservation: per-segment busy time summed over the whole view
+    // equals the total transfer (busy) time of the raw report, exactly.
+    let total_busy: u64 = report.link_busy().iter().map(|t| t.as_ps()).sum();
+    let segment_busy: u64 = segments.iter().map(|s| s.busy.as_ps()).sum();
+    assert_eq!(segment_busy, total_busy, "busy time not conserved");
+    let total_bytes: u64 = report.link_bytes().iter().sum();
+    assert_eq!(
+        segments.last().unwrap().cumulative_bytes,
+        total_bytes,
+        "bytes not conserved"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Timeline buckets are conservative for any grid of bin counts.
+    #[test]
+    fn timeline_buckets_conserve_busy_time_and_bytes(
+        (topo, seed, bins) in arb_topology().prop_flat_map(|t| {
+            (Just(t), any::<u64>(), 1usize..96)
+        })
+    ) {
+        let report = random_report(&topo, seed);
+        if report.collective_time().is_zero() {
+            prop_assert!(report.timeline(bins).is_empty());
+        } else {
+            let buckets = report.timeline(bins);
+            prop_assert!(buckets.len() <= bins);
+            check_segments(&report, &buckets);
+        }
+    }
+
+    /// Event-aligned spans obey the same conservation laws, and their
+    /// boundaries are exactly the recorded transmission events.
+    #[test]
+    fn span_stages_conserve_and_align(
+        (topo, seed) in arb_topology().prop_flat_map(|t| (Just(t), any::<u64>()))
+    ) {
+        let report = random_report(&topo, seed);
+        if report.collective_time().is_zero() {
+            prop_assert!(report.span_stages().is_empty());
+        } else {
+            let spans = report.span_stages();
+            check_segments(&report, &spans);
+            // A span boundary that is not 0 or the end must coincide with
+            // some transmission start or end.
+            for s in &spans[1..] {
+                let t = s.start;
+                let is_event = report
+                    .intervals()
+                    .iter()
+                    .any(|iv| iv.start == t || iv.start + iv.duration == t);
+                prop_assert!(is_event, "span boundary {t} is not an event time");
+            }
+        }
+    }
+}

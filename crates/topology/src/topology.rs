@@ -178,6 +178,10 @@ impl Topology {
     /// synthesize around a dead link). Link ids are re-densified, so
     /// schedules for the original topology do not carry over.
     ///
+    /// Unlike [`Topology::without_links`] this does **not** require the
+    /// degraded fabric to stay strongly connected — callers that probe
+    /// candidate victims check connectivity themselves.
+    ///
     /// # Panics
     /// Panics if `failed` is out of range.
     pub fn without_link(&self, failed: LinkId) -> Topology {
@@ -185,17 +189,60 @@ impl Topology {
             failed.index() < self.links.len(),
             "link {failed} out of range"
         );
-        let mut builder = TopologyBuilder::new(format!("{}-minus-{failed}", self.name));
+        self.prune(&[failed])
+            .expect("removing one in-range link keeps the topology buildable")
+    }
+
+    /// A copy of this topology with every link in `failed` removed — the
+    /// failure-injection pruning path: kill a victim set, then re-synthesize
+    /// for whatever fabric remains (paper §III-D's autonomy argument).
+    ///
+    /// Link ids are re-densified in original order, so removing the same
+    /// set at once or one-by-one yields identical topologies. The surviving
+    /// fabric must still be able to run a collective.
+    ///
+    /// # Errors
+    /// * [`TopologyError::NpuOutOfRange`]-style validation never fires
+    ///   here; instead:
+    /// * [`TopologyError::BadDimensions`] if a link id is out of range or
+    ///   listed twice (the victim set would be fiction);
+    /// * [`TopologyError::NotConnected`] if the degraded topology is no
+    ///   longer strongly connected.
+    pub fn without_links(&self, failed: &[LinkId]) -> Result<Topology, TopologyError> {
+        for (i, &f) in failed.iter().enumerate() {
+            if f.index() >= self.links.len() {
+                return Err(TopologyError::BadDimensions {
+                    reason: format!(
+                        "failed link {f} out of range for {} links",
+                        self.links.len()
+                    ),
+                });
+            }
+            if failed[..i].contains(&f) {
+                return Err(TopologyError::BadDimensions {
+                    reason: format!("failed link {f} listed twice"),
+                });
+            }
+        }
+        let degraded = self.prune(failed)?;
+        if !degraded.is_strongly_connected() {
+            return Err(TopologyError::NotConnected);
+        }
+        Ok(degraded)
+    }
+
+    /// Rebuilds the topology without the given (pre-validated) links.
+    fn prune(&self, failed: &[LinkId]) -> Result<Topology, TopologyError> {
+        let label: Vec<String> = failed.iter().map(|f| f.to_string()).collect();
+        let mut builder = TopologyBuilder::new(format!("{}-minus-{}", self.name, label.join("+")));
         builder.npus(self.num_npus);
         for link in &self.links {
-            if link.id() != failed {
+            if !failed.contains(&link.id()) {
                 builder.link(link.src(), link.dst(), *link.spec());
             }
         }
         // Dimension metadata no longer describes the degraded fabric.
-        builder
-            .build()
-            .expect("removing a link keeps the topology valid")
+        builder.build()
     }
 
     /// A copy of this topology with every link direction reversed.
@@ -582,5 +629,51 @@ mod failure_tests {
         // A unidirectional ring does not survive any link failure.
         let uni = Topology::ring(4, spec, RingOrientation::Unidirectional).unwrap();
         assert!(!uni.without_link(LinkId::new(2)).is_strongly_connected());
+    }
+
+    #[test]
+    fn without_links_validates_the_victim_set() {
+        let spec = LinkSpec::new(crate::Time::from_micros(0.5), crate::Bandwidth::gbps(50.0));
+        let ring = Topology::ring(4, spec, RingOrientation::Bidirectional).unwrap();
+        let degraded = ring
+            .without_links(&[LinkId::new(0), LinkId::new(2)])
+            .unwrap();
+        assert_eq!(degraded.num_links(), ring.num_links() - 2);
+        assert!(degraded.is_strongly_connected());
+
+        // Disconnecting selections are an error, not a panic.
+        let uni = Topology::ring(4, spec, RingOrientation::Unidirectional).unwrap();
+        assert!(matches!(
+            uni.without_links(&[LinkId::new(2)]),
+            Err(TopologyError::NotConnected)
+        ));
+        // Out-of-range and duplicate victims are rejected with a message.
+        assert!(matches!(
+            ring.without_links(&[LinkId::new(99)]),
+            Err(TopologyError::BadDimensions { .. })
+        ));
+        assert!(matches!(
+            ring.without_links(&[LinkId::new(1), LinkId::new(1)]),
+            Err(TopologyError::BadDimensions { .. })
+        ));
+    }
+
+    #[test]
+    fn simultaneous_and_cumulative_removal_agree() {
+        // Re-densified ids: removing {1, 5} at once must equal removing
+        // link 1, then the link that 5 became (4) in the densified fabric.
+        let spec = LinkSpec::new(crate::Time::from_micros(0.5), crate::Bandwidth::gbps(50.0));
+        let torus = Topology::torus_2d(3, 3, spec).unwrap();
+        let at_once = torus
+            .without_links(&[LinkId::new(1), LinkId::new(5)])
+            .unwrap();
+        let stepwise = torus
+            .without_link(LinkId::new(1))
+            .without_links(&[LinkId::new(4)])
+            .unwrap();
+        assert_eq!(at_once.num_links(), stepwise.num_links());
+        for (a, b) in at_once.links().iter().zip(stepwise.links()) {
+            assert_eq!((a.src(), a.dst(), a.spec()), (b.src(), b.dst(), b.spec()));
+        }
     }
 }

@@ -166,6 +166,58 @@ proptest! {
         prop_assert!(a.collective_time() >= bound);
     }
 
+    /// Failure injection: for any victim set that keeps a random topology
+    /// strongly connected, synthesis still completes on the degraded
+    /// fabric and the All-Gather postcondition holds — every NPU ends up
+    /// holding every chunk, nothing is forwarded before it arrives.
+    #[test]
+    fn degraded_topologies_still_satisfy_all_gather(
+        (topo, kills, seed) in arb_topology().prop_flat_map(|t| {
+            let max_kills = t.num_links().saturating_sub(1).min(4);
+            (Just(t), 0..max_kills + 1, any::<u64>())
+        })
+    ) {
+        // Build a connected victim set with the scenario engine's own
+        // seed-deterministic selection; a topology that cannot survive
+        // `kills` dead links (selection errors) is retried with fewer.
+        let mut victims: Vec<LinkId> = Vec::new();
+        for k in (0..=kills).rev() {
+            if let Ok(v) = tacos_scenario::select_failed_links(
+                &topo,
+                &tacos_scenario::WithoutLinks::Count(k),
+                seed,
+            ) {
+                victims = v;
+                break;
+            }
+        }
+        let degraded = topo.without_links(&victims).expect("victim set validated");
+        prop_assert!(degraded.is_strongly_connected());
+        prop_assert_eq!(degraded.num_links(), topo.num_links() - victims.len());
+
+        let n = degraded.num_npus();
+        let coll = Collective::all_gather(n, ByteSize::mb(n as u64)).unwrap();
+        let result = Synthesizer::new(SynthesizerConfig::default())
+            .synthesize_seeded(&degraded, &coll, seed)
+            .expect("degraded but connected topologies still synthesize");
+        let algo = result.algorithm();
+        prop_assert!(algo.validate_contention_free().is_ok());
+        prop_assert!(tacos_collective::algorithm::validate_links(algo, &degraded).is_ok());
+
+        // Postcondition replay: every chunk arrives everywhere, causally.
+        let mut holds: Vec<std::collections::HashSet<u32>> =
+            (0..n).map(|i| std::collections::HashSet::from([i as u32])).collect();
+        let mut transfers: Vec<_> = algo.transfers().iter().collect();
+        transfers.sort_by_key(|t| t.start());
+        for t in transfers {
+            prop_assert!(holds[t.src().index()].contains(&t.chunk().raw()));
+            holds[t.dst().index()].insert(t.chunk().raw());
+        }
+        for h in &holds {
+            prop_assert_eq!(h.len(), n);
+        }
+    }
+
     /// The simulator handles arbitrary dependency-free all-to-all loads
     /// without deadlock, and conserves bytes.
     #[test]
