@@ -3,10 +3,17 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tacos_baselines::{BaselineAlgorithm, BaselineKind};
-use tacos_bench::experiments::default_spec;
 use tacos_collective::Collective;
 use tacos_sim::Simulator;
 use tacos_topology::{ByteSize, RingOrientation, Topology};
+
+/// The paper's default link: alpha = 0.5 us, 1/beta = 50 GB/s.
+fn default_spec() -> tacos_topology::LinkSpec {
+    tacos_topology::LinkSpec::new(
+        tacos_topology::Time::from_micros(0.5),
+        tacos_topology::Bandwidth::gbps(50.0),
+    )
+}
 
 fn bench_simulator(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator");

@@ -71,6 +71,7 @@ const USAGE: &str = "\
 usage: tacos [options]
        tacos scenario run <file.toml> [scenario options]
        tacos scenario expand <file.toml>
+       tacos scenario diff <a.csv> <b.csv> [--tol 1e-9]
 
 single-point options:
   --topology SPEC    ring:N | fc:N | mesh:RxC | torus:XxY[xZ] | hypercube:XxYxZ |
@@ -95,7 +96,11 @@ scenario options (override the file's [run] table):
   --cache DIR        algorithm cache directory
   --no-cache         disable the algorithm cache
   --output STEM      write STEM.csv / STEM.json result artifacts
-  --quiet            suppress per-point progress on stderr";
+  --quick            run the scenario's [quick] reduced grid
+  --quiet            suppress per-point progress on stderr
+
+scenario diff options:
+  --tol T            numeric tolerance for cell comparison (default 1e-9)";
 
 fn run(args: &[String]) -> Result<(), CliError> {
     if args.first().map(String::as_str) == Some("scenario") {
@@ -106,24 +111,33 @@ fn run(args: &[String]) -> Result<(), CliError> {
     run_single_point(args).map_err(CliError::Usage)
 }
 
-/// `tacos scenario run|expand <file.toml> [options]`.
+/// `tacos scenario run|expand <file.toml> [options]` and
+/// `tacos scenario diff <a.csv> <b.csv> [--tol T]`.
 fn scenario_command(args: &[String]) -> Result<(), CliError> {
-    let action = args
-        .first()
-        .ok_or_else(|| CliError::Usage("scenario needs a subcommand: run | expand".into()))?;
+    let action = args.first().ok_or_else(|| {
+        CliError::Usage("scenario needs a subcommand: run | expand | diff".into())
+    })?;
+    if action == "diff" {
+        return scenario_diff(&args[1..]);
+    }
     let file = args
         .get(1)
         .ok_or_else(|| CliError::Usage(format!("scenario {action} needs a <file.toml>")))?;
     if !matches!(action.as_str(), "run" | "expand") {
         return Err(CliError::Usage(format!(
-            "unknown scenario subcommand '{action}' (expected run | expand)"
+            "unknown scenario subcommand '{action}' (expected run | expand | diff)"
         )));
     }
-    let mut spec = tacos_scenario::ScenarioSpec::from_file(file)
+    let full_spec = tacos_scenario::ScenarioSpec::from_file(file)
         .map_err(|e| CliError::Runtime(e.to_string()))?;
 
     let mut it = args.iter().skip(2);
     let mut run_only_flags: Vec<&str> = Vec::new();
+    let mut quick = false;
+    let mut threads: Option<usize> = None;
+    let mut cache: Option<Option<String>> = None;
+    let mut output: Option<String> = None;
+    let mut quiet = false;
     while let Some(arg) = it.next() {
         let mut take = |name: &str| -> Result<String, String> {
             it.next()
@@ -132,25 +146,31 @@ fn scenario_command(args: &[String]) -> Result<(), CliError> {
         };
         run_only_flags.push(match arg.as_str() {
             "--threads" => {
-                spec.run.threads = take("--threads")?
-                    .parse()
-                    .map_err(|e| format!("bad --threads: {e}"))?;
+                threads = Some(
+                    take("--threads")?
+                        .parse()
+                        .map_err(|e| format!("bad --threads: {e}"))?,
+                );
                 "--threads"
             }
             "--cache" => {
-                spec.run.cache = Some(take("--cache")?);
+                cache = Some(Some(take("--cache")?));
                 "--cache"
             }
             "--no-cache" => {
-                spec.run.cache = None;
+                cache = Some(None);
                 "--no-cache"
             }
             "--output" => {
-                spec.output = Some(take("--output")?);
+                output = Some(take("--output")?);
                 "--output"
             }
+            "--quick" => {
+                quick = true;
+                "--quick"
+            }
             "--quiet" => {
-                spec.run.quiet = true;
+                quiet = true;
                 "--quiet"
             }
             other => {
@@ -167,6 +187,29 @@ fn scenario_command(args: &[String]) -> Result<(), CliError> {
             )));
         }
     }
+    if quick && full_spec.quick.is_none() {
+        return Err(CliError::Runtime(format!(
+            "--quick: scenario '{}' declares no [quick] section",
+            full_spec.name
+        )));
+    }
+    let mut spec = if quick {
+        full_spec.quick_spec().clone()
+    } else {
+        full_spec
+    };
+    if let Some(n) = threads {
+        spec.run.threads = n;
+    }
+    if let Some(c) = cache {
+        spec.run.cache = c;
+    }
+    if let Some(stem) = output {
+        spec.output = Some(stem);
+    }
+    if quiet {
+        spec.run.quiet = true;
+    }
 
     match action.as_str() {
         "expand" => {
@@ -176,31 +219,34 @@ fn scenario_command(args: &[String]) -> Result<(), CliError> {
             if !spec.description.is_empty() {
                 println!("about    : {}", spec.description);
             }
-            let mut t = Table::new(vec![
-                "#",
-                "topology",
-                "without",
-                "link",
-                "collective",
-                "size",
-                "chunks",
-                "algo",
-                "seed",
-                "attempts",
-            ]);
+            let training = spec.evaluation.is_training();
+            let mut header = vec!["#", "topology"];
+            if training {
+                header.push("model");
+            }
+            header.extend(["without", "link"]);
+            if !training {
+                header.extend(["collective", "size"]);
+            }
+            header.extend(["chunks", "algo", "seed", "attempts", "cheap"]);
+            let mut t = Table::new(header);
             for p in &points {
-                t.row(vec![
-                    p.index.to_string(),
-                    p.topology.clone(),
-                    p.without_links.label(),
-                    p.link.to_string(),
-                    p.collective.clone(),
-                    p.size_label.clone(),
+                let mut row = vec![p.index.to_string(), p.topology.clone()];
+                if training {
+                    row.push(p.model.clone().unwrap_or_default());
+                }
+                row.extend([p.without_links.label(), p.link.to_string()]);
+                if !training {
+                    row.extend([p.collective.clone(), p.size_label.clone()]);
+                }
+                row.extend([
                     p.chunks.to_string(),
                     p.algo.clone(),
                     p.seed.to_string(),
                     p.attempts.to_string(),
+                    if p.prefer_cheap_links { "on" } else { "off" }.into(),
                 ]);
+                t.row(row);
             }
             print!("{t}");
             Ok(())
@@ -225,7 +271,7 @@ fn scenario_command(args: &[String]) -> Result<(), CliError> {
                         r.point.label(),
                         m.num_npus.to_string(),
                         format!("{}", m.collective_time),
-                        fmt_f64(m.bandwidth_gbps),
+                        m.bandwidth_gbps.map(fmt_f64).unwrap_or_else(|| "-".into()),
                         format!("{:.1}%", m.efficiency * 100.0),
                         m.transfers.to_string(),
                         match m.cache {
@@ -234,11 +280,18 @@ fn scenario_command(args: &[String]) -> Result<(), CliError> {
                             None => "off".into(),
                         },
                     ]),
+                    // Timed-out points are not failures (the summary and
+                    // exit code treat them separately); don't print a row
+                    // a log grep for FAILED would catch.
                     Err(e) => t.row(vec![
                         r.point.index.to_string(),
                         r.point.label(),
                         "-".into(),
-                        format!("FAILED: {e}"),
+                        if e.starts_with(tacos_scenario::TIMED_OUT) {
+                            e.clone()
+                        } else {
+                            format!("FAILED: {e}")
+                        },
                         "-".into(),
                         "-".into(),
                         "-".into(),
@@ -248,11 +301,12 @@ fn scenario_command(args: &[String]) -> Result<(), CliError> {
             }
             print!("{t}");
             println!(
-                "{} points: {} generated, {} cache hits, {} failed in {:.2}s",
+                "{} points: {} generated, {} cache hits, {} failed, {} timed out in {:.2}s",
                 summary.records.len(),
                 summary.generated,
                 summary.cache_hits,
                 summary.failed,
+                summary.timed_out,
                 summary.elapsed.as_secs_f64()
             );
             if let Some(stem) = &spec.output {
@@ -274,6 +328,47 @@ fn scenario_command(args: &[String]) -> Result<(), CliError> {
             Ok(())
         }
         _ => unreachable!("subcommand validated above"),
+    }
+}
+
+/// `tacos scenario diff <a.csv> <b.csv> [--tol T]`: column-aware compare
+/// of two shaped result sets; mismatches print and exit nonzero.
+fn scenario_diff(args: &[String]) -> Result<(), CliError> {
+    let a = args
+        .first()
+        .ok_or_else(|| CliError::Usage("scenario diff needs <a.csv> <b.csv>".into()))?;
+    let b = args
+        .get(1)
+        .ok_or_else(|| CliError::Usage("scenario diff needs <a.csv> <b.csv>".into()))?;
+    let mut tol = 1e-9f64;
+    let mut it = args.iter().skip(2);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tol" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("missing value for --tol".into()))?;
+                tol = v
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("bad --tol: {e}")))?;
+                if !tol.is_finite() || tol < 0.0 {
+                    return Err(CliError::Usage("--tol must be a finite value >= 0".into()));
+                }
+            }
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown scenario diff argument '{other}'"
+                )))
+            }
+        }
+    }
+    let report =
+        tacos_scenario::diff_csv_files(a, b, tol).map_err(|e| CliError::Runtime(e.to_string()))?;
+    if report.is_match() {
+        println!("{report}");
+        Ok(())
+    } else {
+        Err(CliError::Runtime(report.to_string()))
     }
 }
 
@@ -637,6 +732,88 @@ cache = false
     fn scenario_usage_errors() {
         assert!(run(&["scenario".into()]).is_err());
         assert!(run(&["scenario".into(), "frobnicate".into(), "x.toml".into()]).is_err());
+        assert!(run(&["scenario".into(), "diff".into(), "only-one.csv".into()]).is_err());
+    }
+
+    #[test]
+    fn scenario_quick_runs_the_reduced_grid() {
+        let path = temp_file(
+            "quick",
+            r#"
+[scenario]
+name = "cli-quick"
+[sweep]
+topology = ["ring:4", "ring:8"]
+collective = ["all-gather"]
+size = ["4MB"]
+algo = ["ring"]
+[quick]
+topology = ["ring:4"]
+[run]
+cache = false
+"#,
+        );
+        let p = path.to_str().unwrap().to_string();
+        run(&[
+            "scenario".into(),
+            "run".into(),
+            p.clone(),
+            "--quick".into(),
+            "--quiet".into(),
+        ])
+        .unwrap();
+        // Without a [quick] section the flag is a readable error.
+        let plain = temp_file(
+            "noquick",
+            "[scenario]\nname = \"x\"\n[sweep]\ntopology = [\"ring:4\"]\n",
+        );
+        let err = run(&[
+            "scenario".into(),
+            "run".into(),
+            plain.to_str().unwrap().into(),
+            "--quick".into(),
+        ])
+        .unwrap_err();
+        assert!(
+            err.message().contains("declares no [quick] section"),
+            "got: {err}"
+        );
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&plain);
+    }
+
+    #[test]
+    fn scenario_diff_compares_result_sets() {
+        let dir = std::env::temp_dir().join(format!("tacos-cli-diff-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.csv");
+        let b = dir.join("b.csv");
+        std::fs::write(&a, "scenario,point,bandwidth_gbps\ns,0,50\n").unwrap();
+        std::fs::write(&b, "scenario,point,bandwidth_gbps\ns,0,50.0000000001\n").unwrap();
+        // Within the default tolerance: match, exit zero.
+        run(&[
+            "scenario".into(),
+            "diff".into(),
+            a.display().to_string(),
+            b.display().to_string(),
+        ])
+        .unwrap();
+        // With a zero tolerance the same pair mismatches, nonzero exit,
+        // readable report.
+        let err = run(&[
+            "scenario".into(),
+            "diff".into(),
+            a.display().to_string(),
+            b.display().to_string(),
+            "--tol".into(),
+            "0".into(),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, CliError::Runtime(_)));
+        assert!(err.message().contains("result sets differ"), "got: {err}");
+        assert!(err.message().contains("bandwidth_gbps"), "got: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -10,10 +10,17 @@
 //!   [`tacos_core::SynthesisScratch`], measuring what the arena saves.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use tacos_bench::experiments::default_spec;
 use tacos_collective::{Collective, CollectivePattern};
 use tacos_core::{SynthesisScratch, Synthesizer, SynthesizerConfig};
 use tacos_topology::{ByteSize, Topology};
+
+/// The paper's default link: alpha = 0.5 us, 1/beta = 50 GB/s.
+fn default_spec() -> tacos_topology::LinkSpec {
+    tacos_topology::LinkSpec::new(
+        tacos_topology::Time::from_micros(0.5),
+        tacos_topology::Bandwidth::gbps(50.0),
+    )
+}
 
 fn synth() -> Synthesizer {
     Synthesizer::new(SynthesizerConfig::default().with_record_transfers(false))

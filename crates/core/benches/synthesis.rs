@@ -2,10 +2,17 @@
 //! the measurement behind the Fig. 19 scaling claim.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use tacos_bench::experiments::default_spec;
 use tacos_collective::Collective;
 use tacos_core::{Synthesizer, SynthesizerConfig};
 use tacos_topology::{ByteSize, Topology};
+
+/// The paper's default link: alpha = 0.5 us, 1/beta = 50 GB/s.
+fn default_spec() -> tacos_topology::LinkSpec {
+    tacos_topology::LinkSpec::new(
+        tacos_topology::Time::from_micros(0.5),
+        tacos_topology::Bandwidth::gbps(50.0),
+    )
+}
 
 fn bench_synthesis(c: &mut Criterion) {
     let mut group = c.benchmark_group("synthesis");

@@ -344,6 +344,51 @@ mod tests {
     }
 
     #[test]
+    fn every_synthesizer_config_knob_is_in_the_key() {
+        // The scenario engine sweeps synth.* axes (seed, attempts,
+        // prefer_cheap_links, and chunking via the collective); a knob
+        // missing from the fingerprint would serve one configuration's
+        // schedule to another — a stale cross-config hit.
+        let (topo, coll, _) = setup();
+        let key_of = |config: SynthesizerConfig| {
+            AlgorithmCache::key(&Synthesizer::new(config), &topo, &coll)
+        };
+        let base_config = SynthesizerConfig::default().with_seed(4);
+        let base = key_of(base_config.clone());
+        assert_ne!(base, key_of(base_config.clone().with_attempts(8)));
+        assert_ne!(
+            base,
+            key_of(base_config.clone().with_prefer_cheap_links(false))
+        );
+        assert_ne!(base, key_of(base_config.clone().with_seed(5)));
+        // Chunking lives on the collective and is fingerprinted there.
+        let chunked = Collective::with_chunking(
+            tacos_collective::CollectivePattern::AllGather,
+            9,
+            4,
+            ByteSize::mb(9),
+        )
+        .unwrap();
+        let synth = Synthesizer::new(base_config.clone());
+        assert_ne!(
+            AlgorithmCache::key(&synth, &topo, &coll),
+            AlgorithmCache::key(&synth, &topo, &chunked)
+        );
+        // All four distinct configurations produce four distinct keys.
+        let keys = [
+            base,
+            key_of(base_config.clone().with_attempts(8)),
+            key_of(base_config.clone().with_prefer_cheap_links(false)),
+            key_of(base_config.with_seed(5)),
+        ];
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j], "keys {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
     fn traced_outcome_reports_miss_then_hit() {
         let (topo, coll, synth) = setup();
         let dir = temp_dir("traced");

@@ -1,0 +1,331 @@
+//! Column-aware comparison of two shaped result CSVs
+//! (`tacos scenario diff <a.csv> <b.csv> [--tol 1e-9]`).
+//!
+//! Two runs of the same scenario — on different machines, before and
+//! after a refactor, from cache vs. cold — should agree. This module
+//! compares result sets *structurally* rather than byte-for-byte:
+//! columns are matched by header name (so column order may differ), rows
+//! are keyed by the `(scenario, point)` identity columns when present,
+//! and numeric cells compare within a tolerance so formatting noise
+//! (`50` vs `50.0`) doesn't read as a regression.
+
+use std::fmt;
+
+use crate::error::ScenarioError;
+
+/// How many cell-level mismatches [`DiffReport`]'s display prints before
+/// eliding the rest.
+const DISPLAY_LIMIT: usize = 50;
+
+/// The outcome of comparing two result CSVs.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Human-readable mismatch descriptions, in detection order.
+    pub mismatches: Vec<String>,
+    /// Rows present in both files and compared cell-by-cell.
+    pub rows_compared: usize,
+    /// Columns present in both files and compared.
+    pub columns_compared: usize,
+}
+
+impl DiffReport {
+    /// Whether the two result sets agree.
+    pub fn is_match(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+impl fmt::Display for DiffReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_match() {
+            return write!(
+                f,
+                "result sets match ({} rows x {} shared columns)",
+                self.rows_compared, self.columns_compared
+            );
+        }
+        writeln!(
+            f,
+            "result sets differ ({} mismatch(es) over {} rows x {} shared columns):",
+            self.mismatches.len(),
+            self.rows_compared,
+            self.columns_compared
+        )?;
+        for m in self.mismatches.iter().take(DISPLAY_LIMIT) {
+            writeln!(f, "  {m}")?;
+        }
+        if self.mismatches.len() > DISPLAY_LIMIT {
+            writeln!(
+                f,
+                "  ... and {} more",
+                self.mismatches.len() - DISPLAY_LIMIT
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Compares two result CSV files.
+///
+/// # Errors
+/// IO errors reading either file, or a parse error on malformed CSV.
+pub fn diff_csv_files(a: &str, b: &str, tol: f64) -> Result<DiffReport, ScenarioError> {
+    let read = |path: &str| -> Result<String, ScenarioError> {
+        std::fs::read_to_string(path).map_err(|e| ScenarioError::io(path, e))
+    };
+    let (text_a, text_b) = (read(a)?, read(b)?);
+    diff_csv_texts(&text_a, &text_b, tol)
+        .map_err(|e| ScenarioError::spec(format!("comparing {a} and {b}: {e}")))
+}
+
+/// Compares two result CSVs given as text. See the module docs for the
+/// comparison semantics.
+///
+/// # Errors
+/// Returns a message when either input is empty or malformed.
+pub fn diff_csv_texts(a: &str, b: &str, tol: f64) -> Result<DiffReport, String> {
+    let rows_a = parse_csv(a)?;
+    let rows_b = parse_csv(b)?;
+    let (header_a, data_a) = rows_a
+        .split_first()
+        .ok_or_else(|| "first file has no header row".to_string())?;
+    let (header_b, data_b) = rows_b
+        .split_first()
+        .ok_or_else(|| "second file has no header row".to_string())?;
+
+    let mut mismatches = Vec::new();
+    // Columns are matched by name; order differences are fine, presence
+    // differences are reported.
+    let mut shared: Vec<(String, usize, usize)> = Vec::new();
+    for (ia, name) in header_a.iter().enumerate() {
+        match header_b.iter().position(|h| h == name) {
+            Some(ib) => shared.push((name.clone(), ia, ib)),
+            None => mismatches.push(format!("column '{name}' only in first file")),
+        }
+    }
+    for name in header_b {
+        if !header_a.contains(name) {
+            mismatches.push(format!("column '{name}' only in second file"));
+        }
+    }
+
+    // Rows are keyed by (scenario, point) when both files carry those
+    // identity columns — each file through its own column positions —
+    // falling back to position otherwise.
+    let key_positions = |header: &[String]| -> Option<(usize, usize)> {
+        match (
+            header.iter().position(|h| h == "scenario"),
+            header.iter().position(|h| h == "point"),
+        ) {
+            (Some(s), Some(p)) => Some((s, p)),
+            _ => None,
+        }
+    };
+    let key_cols_a = key_positions(header_a);
+    let key_cols_b = key_positions(header_b);
+    let keyed = key_cols_a.is_some() && key_cols_b.is_some();
+    let key_of = |row: &[String], cols: Option<(usize, usize)>, idx: usize| -> String {
+        match cols {
+            Some((s, p)) if keyed => format!(
+                "{}/{}",
+                row.get(s).map(String::as_str).unwrap_or(""),
+                row.get(p).map(String::as_str).unwrap_or("")
+            ),
+            _ => format!("row {}", idx + 1),
+        }
+    };
+    let keys_b: Vec<String> = data_b
+        .iter()
+        .enumerate()
+        .map(|(i, r)| key_of(r, key_cols_b, i))
+        .collect();
+    // Identity keys are unique per run; index them once so large result
+    // sets (thousands of points) compare in linear time.
+    let index_b: std::collections::HashMap<&str, usize> = keys_b
+        .iter()
+        .enumerate()
+        .map(|(i, k)| (k.as_str(), i))
+        .collect();
+
+    let mut rows_compared = 0;
+    let mut matched_b = vec![false; data_b.len()];
+    for (ia, row_a) in data_a.iter().enumerate() {
+        let key = key_of(row_a, key_cols_a, ia);
+        // Positional fallback matches by index directly.
+        let ib = if keyed {
+            index_b.get(key.as_str()).copied()
+        } else {
+            (ia < data_b.len()).then_some(ia)
+        };
+        let Some(ib) = ib else {
+            mismatches.push(format!("{key}: only in first file"));
+            continue;
+        };
+        matched_b[ib] = true;
+        rows_compared += 1;
+        for (name, ca, cb) in &shared {
+            let empty = String::new();
+            let cell_a = row_a.get(*ca).unwrap_or(&empty);
+            let cell_b = data_b[ib].get(*cb).unwrap_or(&empty);
+            if !cells_agree(cell_a, cell_b, tol) {
+                mismatches.push(format!("{key}: {name}: '{cell_a}' != '{cell_b}'"));
+            }
+        }
+    }
+    for (ib, hit) in matched_b.iter().enumerate() {
+        if !hit {
+            mismatches.push(format!("{}: only in second file", keys_b[ib]));
+        }
+    }
+
+    Ok(DiffReport {
+        mismatches,
+        rows_compared,
+        columns_compared: shared.len(),
+    })
+}
+
+/// Whether two cells agree: numerically within `tol` when both parse as
+/// finite numbers, byte-for-byte otherwise.
+fn cells_agree(a: &str, b: &str, tol: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    match (a.trim().parse::<f64>(), b.trim().parse::<f64>()) {
+        (Ok(x), Ok(y)) if x.is_finite() && y.is_finite() => (x - y).abs() <= tol,
+        _ => false,
+    }
+}
+
+/// Parses RFC-4180-ish CSV (the inverse of `tacos_report::to_csv`):
+/// quoted fields may contain commas, doubled quotes, and newlines.
+///
+/// # Errors
+/// Returns a message on an unterminated quoted field.
+fn parse_csv(text: &str) -> Result<Vec<Vec<String>>, String> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut field_started = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                c => field.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' if field.is_empty() && !field_started => {
+                in_quotes = true;
+                field_started = true;
+            }
+            ',' => {
+                row.push(std::mem::take(&mut field));
+                field_started = false;
+            }
+            '\r' => {}
+            '\n' => {
+                row.push(std::mem::take(&mut field));
+                field_started = false;
+                rows.push(std::mem::take(&mut row));
+            }
+            c => {
+                field.push(c);
+                field_started = true;
+            }
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quoted field".into());
+    }
+    if field_started || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_parse_round_trips_the_writer() {
+        let rows = vec![
+            vec!["plain".to_string(), "with,comma".to_string()],
+            vec!["with\"quote".to_string(), "with\nnewline".to_string()],
+        ];
+        let text = tacos_report::to_csv(&rows);
+        assert_eq!(parse_csv(&text).unwrap(), rows);
+    }
+
+    #[test]
+    fn identical_files_match() {
+        let text = "scenario,point,bandwidth_gbps\ns,0,49.5\ns,1,12.25\n";
+        let report = diff_csv_texts(text, text, 0.0).unwrap();
+        assert!(report.is_match());
+        assert_eq!(report.rows_compared, 2);
+        assert_eq!(report.columns_compared, 3);
+    }
+
+    #[test]
+    fn numeric_cells_compare_within_tolerance() {
+        let a = "scenario,point,bw\ns,0,50\n";
+        let b = "scenario,point,bw\ns,0,50.0000000001\n";
+        assert!(diff_csv_texts(a, b, 1e-9).unwrap().is_match());
+        let strict = diff_csv_texts(a, b, 0.0).unwrap();
+        assert!(!strict.is_match());
+        assert!(strict.mismatches[0].contains("s/0"), "{strict}");
+        assert!(strict.mismatches[0].contains("bw"));
+    }
+
+    #[test]
+    fn column_order_is_irrelevant_but_presence_is_not() {
+        let a = "scenario,point,x,y\ns,0,1,2\n";
+        let reordered = "scenario,y,point,x\ns,2,0,1\n";
+        assert!(diff_csv_texts(a, reordered, 0.0).unwrap().is_match());
+        let missing = "scenario,point,x\ns,0,1\n";
+        let report = diff_csv_texts(a, missing, 0.0).unwrap();
+        assert!(!report.is_match());
+        assert!(report.mismatches[0].contains("'y' only in first file"));
+    }
+
+    #[test]
+    fn rows_are_keyed_by_identity_not_position() {
+        let a = "scenario,point,x\ns,0,1\ns,1,2\n";
+        let shuffled = "scenario,point,x\ns,1,2\ns,0,1\n";
+        assert!(diff_csv_texts(a, shuffled, 0.0).unwrap().is_match());
+        let dropped = "scenario,point,x\ns,0,1\n";
+        let report = diff_csv_texts(a, dropped, 0.0).unwrap();
+        assert_eq!(report.mismatches, ["s/1: only in first file"]);
+    }
+
+    #[test]
+    fn non_numeric_cells_compare_exactly() {
+        let a = "scenario,point,cache\ns,0,hit\n";
+        let b = "scenario,point,cache\ns,0,miss\n";
+        let report = diff_csv_texts(a, b, 1e9).unwrap();
+        assert!(!report.is_match());
+        assert!(report.mismatches[0].contains("'hit' != 'miss'"));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let a = "scenario,point,x\ns,0,1\n";
+        let b = "scenario,point,x\ns,0,2\n";
+        let report = diff_csv_texts(a, b, 0.0).unwrap();
+        let text = report.to_string();
+        assert!(text.contains("result sets differ"), "{text}");
+        assert!(text.contains("s/0: x: '1' != '2'"), "{text}");
+    }
+}

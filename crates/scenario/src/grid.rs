@@ -1,12 +1,15 @@
 //! Deterministic expansion of sweep axes into grid points.
 //!
 //! Expansion is the cartesian product of the (deduplicated) axes in a
-//! fixed nesting order — topology, without_links, link, collective, size,
-//! chunks, algo, seed, attempts — so a scenario file always produces the
-//! same points in the same order, point indices are stable across runs,
-//! and cardinality is exactly the product of the axis lengths minus any
-//! combinations removed by `[[exclude]]` rules (indices stay dense after
-//! exclusion).
+//! fixed nesting order — topology, model, without_links, link,
+//! collective, size, chunks, algo, seed, attempts, prefer_cheap_links —
+//! so a scenario file always produces the same points in the same order,
+//! point indices are stable across runs, and cardinality is exactly the
+//! product of the axis lengths minus any combinations removed by
+//! `[[exclude]]` rules (indices stay dense after exclusion). Training
+//! scenarios (`[workload]`) draw the model axis from their settings and
+//! carry no collective/size values (gradient collectives come from the
+//! model).
 
 use std::fmt;
 
@@ -22,13 +25,18 @@ pub struct ScenarioPoint {
     pub index: usize,
     /// Topology spec string (`mesh:3x3`, `custom:<name>`, ...).
     pub topology: String,
+    /// Workload-model token for training scenarios; `None` for
+    /// bandwidth points.
+    pub model: Option<String>,
     /// Link parameters for homogeneous constructors.
     pub link: LinkAxis,
-    /// Collective pattern name.
+    /// Collective pattern name (`all-reduce` on training points — the
+    /// gradient collectives' pattern).
     pub collective: String,
-    /// Human-readable size label, as written in the scenario file.
+    /// Human-readable size label, as written in the scenario file
+    /// (empty on training points: volumes come from the model).
     pub size_label: String,
-    /// Parsed collective size.
+    /// Parsed collective size (zero on training points).
     pub size: ByteSize,
     /// Chunking factor per NPU.
     pub chunks: usize,
@@ -38,6 +46,8 @@ pub struct ScenarioPoint {
     pub seed: u64,
     /// Best-of-N attempts.
     pub attempts: usize,
+    /// Low-cost-link prioritization for synthesized points.
+    pub prefer_cheap_links: bool,
     /// Failure-injection value: links killed before running the point.
     pub without_links: WithoutLinks,
 }
@@ -52,7 +62,9 @@ impl ScenarioPoint {
     /// A compact display label (used in progress lines and CSV rows).
     /// Includes every axis that distinguishes the point, so labels are
     /// unique across a grid; the failure axis only appears when links
-    /// are actually killed.
+    /// are actually killed, the prioritization marker only when it is
+    /// off, and training points show their model instead of a
+    /// collective/size pair.
     pub fn label(&self) -> String {
         let link = if self.uses_link_axis() {
             format!("/{}", self.link)
@@ -64,15 +76,14 @@ impl ScenarioPoint {
         } else {
             format!("/f{}", self.without_links)
         };
+        let payload = match &self.model {
+            Some(model) => format!("m:{model}"),
+            None => format!("{}/{}", self.collective, self.size_label),
+        };
+        let cheap = if self.prefer_cheap_links { "" } else { "/nopc" };
         format!(
-            "{}{failures}{link}/{}/{}/c{}/{}/s{}/a{}",
-            self.topology,
-            self.collective,
-            self.size_label,
-            self.chunks,
-            self.algo,
-            self.seed,
-            self.attempts
+            "{}{failures}{link}/{payload}/c{}/{}/s{}/a{}{cheap}",
+            self.topology, self.chunks, self.algo, self.seed, self.attempts
         )
     }
 }
@@ -92,58 +103,83 @@ impl fmt::Display for ScenarioPoint {
 /// point.
 pub fn expand(spec: &ScenarioSpec) -> Result<Vec<ScenarioPoint>, ScenarioError> {
     let axes = &spec.sweep;
-    let mut sizes = Vec::with_capacity(axes.size.len());
-    for label in &axes.size {
-        let parsed = parse_size(label)
-            .map_err(|e| ScenarioError::spec(format!("sweep.size '{label}': {e}")))?;
-        sizes.push((label.clone(), parsed));
-    }
+    let training = spec.evaluation.is_training();
+    // Training points take their collective shape from the model; their
+    // collective/size cells stay empty of sweep values.
+    let sizes: Vec<(String, ByteSize)> = if training {
+        vec![(String::new(), ByteSize::ZERO)]
+    } else {
+        let mut sizes = Vec::with_capacity(axes.size.len());
+        for label in &axes.size {
+            let parsed = parse_size(label)
+                .map_err(|e| ScenarioError::spec(format!("sweep.size '{label}': {e}")))?;
+            sizes.push((label.clone(), parsed));
+        }
+        sizes
+    };
+    let collectives: Vec<String> = if training {
+        vec!["all-reduce".to_string()]
+    } else {
+        axes.collective.clone()
+    };
+    let models = spec.evaluation.model_axis();
     let cardinality = axes.topology.len()
+        * models.len()
         * axes.without_links.len()
         * axes.link.len()
-        * axes.collective.len()
+        * collectives.len()
         * sizes.len()
         * axes.chunks.len()
         * axes.algo.len()
         * axes.seed.len()
-        * axes.attempts.len();
+        * axes.attempts.len()
+        * axes.prefer_cheap_links.len();
     let excluded = |v: AxisValues<'_>| spec.excludes.iter().any(|rule| rule.matches(v));
     let mut points = Vec::with_capacity(cardinality);
     for topology in &axes.topology {
-        for without_links in &axes.without_links {
-            let failure_label = without_links.label();
-            for link in &axes.link {
-                for collective in &axes.collective {
-                    for (size_label, size) in &sizes {
-                        for &chunks in &axes.chunks {
-                            for algo in &axes.algo {
-                                for &seed in &axes.seed {
-                                    for &attempts in &axes.attempts {
-                                        if excluded(AxisValues {
-                                            topology,
-                                            collective,
-                                            size: size_label,
-                                            algo,
-                                            chunks,
-                                            seed,
-                                            attempts,
-                                            without_links: &failure_label,
-                                        }) {
-                                            continue;
+        for model in &models {
+            let model_label = model.as_deref().unwrap_or("");
+            for without_links in &axes.without_links {
+                let failure_label = without_links.label();
+                for link in &axes.link {
+                    for collective in &collectives {
+                        for (size_label, size) in &sizes {
+                            for &chunks in &axes.chunks {
+                                for algo in &axes.algo {
+                                    for &seed in &axes.seed {
+                                        for &attempts in &axes.attempts {
+                                            for &prefer_cheap_links in &axes.prefer_cheap_links {
+                                                if excluded(AxisValues {
+                                                    topology,
+                                                    collective,
+                                                    size: size_label,
+                                                    algo,
+                                                    chunks,
+                                                    seed,
+                                                    attempts,
+                                                    without_links: &failure_label,
+                                                    model: model_label,
+                                                    prefer_cheap_links,
+                                                }) {
+                                                    continue;
+                                                }
+                                                points.push(ScenarioPoint {
+                                                    index: points.len(),
+                                                    topology: topology.clone(),
+                                                    model: model.clone(),
+                                                    link: *link,
+                                                    collective: collective.clone(),
+                                                    size_label: size_label.clone(),
+                                                    size: *size,
+                                                    chunks,
+                                                    algo: algo.clone(),
+                                                    seed,
+                                                    attempts,
+                                                    prefer_cheap_links,
+                                                    without_links: without_links.clone(),
+                                                });
+                                            }
                                         }
-                                        points.push(ScenarioPoint {
-                                            index: points.len(),
-                                            topology: topology.clone(),
-                                            link: *link,
-                                            collective: collective.clone(),
-                                            size_label: size_label.clone(),
-                                            size: *size,
-                                            chunks,
-                                            algo: algo.clone(),
-                                            seed,
-                                            attempts,
-                                            without_links: without_links.clone(),
-                                        });
                                     }
                                 }
                             }

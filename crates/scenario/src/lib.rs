@@ -58,6 +58,7 @@
 
 #![warn(missing_docs)]
 
+mod diff;
 mod error;
 mod grid;
 mod progress;
@@ -65,13 +66,15 @@ mod runner;
 pub mod spec;
 pub mod toml;
 
+pub use diff::{diff_csv_files, diff_csv_texts, DiffReport};
 pub use error::ScenarioError;
 pub use grid::{expand, ScenarioPoint};
 pub use progress::Progress;
-pub use runner::{run, PointMetrics, PointRecord, RunSummary};
+pub use runner::{run, PointMetrics, PointRecord, RunSummary, TIMED_OUT};
 pub use spec::{
     parse_algo, parse_baseline, parse_pattern, parse_size, parse_topology, select_failed_links,
-    AlgoKind, AxisValues, CustomLink, CustomTopology, CustomTopologyBody, ExcludeRule, GroupKey,
+    AxisValues, CustomLink, CustomTopology, CustomTopologyBody, Evaluation, ExcludeRule, GroupKey,
     LinkAxis, MetricColumn, ReportSettings, RunSettings, ScenarioSpec, SweepAxes, TimelineSettings,
-    WithoutLinks,
+    WithoutLinks, WorkloadSettings,
 };
+pub use tacos_workload::{Mechanism, Parallelism, SynthMechanism};

@@ -30,39 +30,53 @@ use std::time::{Duration, Instant};
 
 use tacos_baselines::{BaselineAlgorithm, IdealBound};
 use tacos_collective::algorithm::CollectiveAlgorithm;
-use tacos_collective::Collective;
+use tacos_collective::{Collective, CollectivePattern};
 use tacos_core::{AlgorithmCache, CacheOutcome, SynthesisScratch, Synthesizer, SynthesizerConfig};
 use tacos_report::{to_csv, Json};
 use tacos_sim::{LinkLoadStats, SimReport, Simulator, TimelineSegment};
 use tacos_topology::{Time, Topology};
+use tacos_workload::{Mechanism, TrainingEvaluator, TrainingReport, Workload, WorkloadError};
 
 use crate::error::ScenarioError;
 use crate::grid::{expand, ScenarioPoint};
 use crate::progress::Progress;
 use crate::spec::{
-    parse_algo, parse_pattern, select_failed_links, AlgoKind, GroupKey, LinkAxis, MetricColumn,
-    ReportSettings, ScenarioSpec, TimelineSettings,
+    parse_pattern, select_failed_links, Evaluation, GroupKey, LinkAxis, MetricColumn,
+    ReportSettings, ScenarioSpec, TimelineSettings, WorkloadSettings,
 };
+
+/// The marker a timed-out point's error string starts with (see
+/// `[run] timeout_s`): such rows are recorded, reported separately in
+/// [`RunSummary::timed_out`], and not counted as failures.
+pub const TIMED_OUT: &str = "timed_out";
 
 /// Metrics measured for one successfully executed point.
 #[derive(Debug, Clone)]
 pub struct PointMetrics {
     /// NPU count of the instantiated topology.
     pub num_npus: usize,
-    /// Collective completion time.
+    /// Completion time: the collective's for bandwidth points, the full
+    /// training iteration's for `[workload]` points.
     pub collective_time: Time,
-    /// Achieved bandwidth in GB/s (`total size / time`).
-    pub bandwidth_gbps: f64,
-    /// Fraction of the theoretical ideal bound achieved.
+    /// Achieved bandwidth in GB/s (`total size / time`); `None` on
+    /// training points (an iteration has no single payload to rate).
+    pub bandwidth_gbps: Option<f64>,
+    /// Fraction of the theoretical ideal bound achieved (for training
+    /// points: the ideal-mechanism iteration total over this one).
     pub efficiency: f64,
     /// Chunking factor the collective actually ran with (a `tacos:N`
-    /// algo variant overrides the point's `chunks` axis value).
+    /// algo variant overrides the point's `chunks` axis value; training
+    /// baselines and the ideal bound run unchunked, so their rows read
+    /// `1` regardless of the axis).
     pub chunks: usize,
-    /// Number of transfers in the algorithm.
+    /// Number of transfers in the algorithm (summed over the gradient
+    /// collectives on training points).
     pub transfers: u64,
-    /// Wall-clock seconds synthesizing (or loading) the algorithm.
+    /// Wall-clock seconds synthesizing (or loading) the algorithm(s).
     pub synthesis_seconds: f64,
-    /// Cache disposition; `None` when caching is disabled.
+    /// Cache disposition; `None` when caching is disabled. A training
+    /// point runs several collectives through the cache: `Hit` only when
+    /// every one of them hit.
     pub cache: Option<CacheOutcome>,
     /// Whether the congestion-aware simulator produced the time.
     pub simulated: bool,
@@ -71,6 +85,8 @@ pub struct PointMetrics {
     /// Time-resolved views captured when the scenario has a `[timeline]`
     /// section and the point was simulated.
     pub timeline: Option<PointTimeline>,
+    /// The iteration breakdown on training (`[workload]`) points.
+    pub training: Option<TrainingReport>,
 }
 
 /// The time-resolved views of one simulated point, as configured by the
@@ -99,23 +115,30 @@ pub struct RunSummary {
     pub scenario: String,
     /// Result shaping applied to the CSV output.
     pub report: ReportSettings,
+    /// Whether this was a training (`[workload]`) run; selects the
+    /// default metric layout.
+    pub training: bool,
     /// Per-point records, in grid order.
     pub records: Vec<PointRecord>,
     /// Points whose algorithm was freshly generated this run.
     pub generated: usize,
     /// Points served from the algorithm cache.
     pub cache_hits: usize,
-    /// Points that failed.
+    /// Points that failed (not counting timeouts).
     pub failed: usize,
+    /// Points abandoned by the per-point `timeout_s` budget; recorded as
+    /// `timed_out` rows, reported here, and not counted in `failed`.
+    pub timed_out: usize,
     /// Total wall-clock time.
     pub elapsed: Duration,
 }
 
 /// The identity columns every CSV layout starts with.
-const IDENTITY_HEADER: [&str; 13] = [
+const IDENTITY_HEADER: [&str; 15] = [
     "scenario",
     "point",
     "topology",
+    "model",
     "collective",
     "size",
     "size_bytes",
@@ -123,6 +146,7 @@ const IDENTITY_HEADER: [&str; 13] = [
     "algo",
     "seed",
     "attempts",
+    "prefer_cheap_links",
     "without_links",
     "alpha_us",
     "link_gbps",
@@ -137,17 +161,26 @@ fn identity_cells(scenario: &str, r: &PointRecord) -> Vec<String> {
         Ok(m) => m.chunks,
         Err(_) => p.chunks,
     };
+    // Training points have no sweep-level payload: the model cell carries
+    // the workload instead of the collective/size pair.
+    let size_bytes = if p.model.is_some() {
+        String::new()
+    } else {
+        p.size.as_u64().to_string()
+    };
     let mut row = vec![
         scenario.to_string(),
         p.index.to_string(),
         p.topology.clone(),
+        p.model.clone().unwrap_or_default(),
         p.collective.clone(),
         p.size_label.clone(),
-        p.size.as_u64().to_string(),
+        size_bytes,
         chunks.to_string(),
         p.algo.clone(),
         p.seed.to_string(),
         p.attempts.to_string(),
+        p.prefer_cheap_links.to_string(),
         p.without_links.label(),
     ];
     // Custom topologies carry their own per-link specs; reporting the
@@ -167,7 +200,10 @@ fn metric_cell(col: MetricColumn, m: &PointMetrics, normalized: Option<f64>) -> 
         MetricColumn::Npus => m.num_npus.to_string(),
         MetricColumn::CollectiveTimePs => m.collective_time.as_ps().to_string(),
         MetricColumn::CollectiveTimeUs => format!("{}", m.collective_time.as_micros_f64()),
-        MetricColumn::BandwidthGbps => format!("{}", m.bandwidth_gbps),
+        MetricColumn::BandwidthGbps => m
+            .bandwidth_gbps
+            .map(|bw| format!("{bw}"))
+            .unwrap_or_default(),
         MetricColumn::EfficiencyVsIdeal => format!("{}", m.efficiency),
         MetricColumn::PercentOfIdeal => format!("{}", m.efficiency * 100.0),
         MetricColumn::Transfers => m.transfers.to_string(),
@@ -192,33 +228,63 @@ fn metric_cell(col: MetricColumn, m: &PointMetrics, normalized: Option<f64>) -> 
             .link_stats
             .map(|s| format!("{:.3}", s.imbalance))
             .unwrap_or_default(),
+        MetricColumn::ForwardPs => m
+            .training
+            .map(|t| t.forward.as_ps().to_string())
+            .unwrap_or_default(),
+        MetricColumn::BackwardPs => m
+            .training
+            .map(|t| t.backward.as_ps().to_string())
+            .unwrap_or_default(),
+        MetricColumn::WgCommPs => m
+            .training
+            .map(|t| t.weight_grad_comm.as_ps().to_string())
+            .unwrap_or_default(),
+        MetricColumn::IgCommPs => m
+            .training
+            .map(|t| t.input_grad_comm.as_ps().to_string())
+            .unwrap_or_default(),
+        MetricColumn::ComputePs => m
+            .training
+            .map(|t| t.compute().as_ps().to_string())
+            .unwrap_or_default(),
+        MetricColumn::CommPs => m
+            .training
+            .map(|t| t.comm().as_ps().to_string())
+            .unwrap_or_default(),
     }
 }
 
 /// The raw (unshaped) CSV header streamed to the partial file.
-fn raw_csv_header() -> Vec<String> {
+fn raw_csv_header(training: bool) -> Vec<String> {
+    let columns: &[MetricColumn] = if training {
+        &MetricColumn::TRAINING_DEFAULT
+    } else {
+        &MetricColumn::DEFAULT
+    };
     IDENTITY_HEADER
         .iter()
         .map(|s| s.to_string())
-        .chain(MetricColumn::DEFAULT.iter().map(|c| c.name().to_string()))
+        .chain(columns.iter().map(|c| c.name().to_string()))
         .chain(std::iter::once("error".to_string()))
         .collect()
 }
 
 /// One raw CSV row: identity + default metric columns + error.
-fn raw_csv_row(scenario: &str, r: &PointRecord) -> Vec<String> {
+fn raw_csv_row(scenario: &str, training: bool, r: &PointRecord) -> Vec<String> {
+    let columns: &[MetricColumn] = if training {
+        &MetricColumn::TRAINING_DEFAULT
+    } else {
+        &MetricColumn::DEFAULT
+    };
     let mut row = identity_cells(scenario, r);
     match &r.result {
         Ok(m) => {
-            row.extend(
-                MetricColumn::DEFAULT
-                    .iter()
-                    .map(|&col| metric_cell(col, m, None)),
-            );
+            row.extend(columns.iter().map(|&col| metric_cell(col, m, None)));
             row.push(String::new());
         }
         Err(e) => {
-            row.extend(std::iter::repeat_with(String::new).take(MetricColumn::DEFAULT.len()));
+            row.extend(std::iter::repeat_with(String::new).take(columns.len()));
             row.push(e.clone());
         }
     }
@@ -234,7 +300,7 @@ impl RunSummary {
             .map(|s| s.to_string())
             .chain(
                 self.report
-                    .metric_columns()
+                    .metric_columns_for(self.training)
                     .iter()
                     .map(|c| c.name().to_string()),
             )
@@ -246,7 +312,7 @@ impl RunSummary {
     /// selected by the scenario's `[report]` section, with the
     /// `normalized_time` column filled per `group_by` group.
     pub fn csv_rows(&self) -> Vec<Vec<String>> {
-        let columns = self.report.metric_columns();
+        let columns = self.report.metric_columns_for(self.training);
         let normalized = self.normalized_times();
         let mut rows = vec![self.csv_header()];
         for (r, norm) in self.records.iter().zip(&normalized) {
@@ -280,6 +346,8 @@ impl RunSummary {
                 GroupKey::Seed => p.seed.to_string(),
                 GroupKey::Attempts => p.attempts.to_string(),
                 GroupKey::WithoutLinks => p.without_links.label(),
+                GroupKey::Model => p.model.clone().unwrap_or_default(),
+                GroupKey::PreferCheapLinks => p.prefer_cheap_links.to_string(),
             })
             .collect::<Vec<_>>()
             .join("\u{1f}")
@@ -331,9 +399,6 @@ impl RunSummary {
                 let mut fields = vec![
                     ("point", (p.index as u64).into()),
                     ("topology", Json::Str(p.topology.clone())),
-                    ("collective", Json::Str(p.collective.clone())),
-                    ("size", Json::Str(p.size_label.clone())),
-                    ("size_bytes", (p.size.as_u64()).into()),
                     (
                         "chunks",
                         (r.result.as_ref().map(|m| m.chunks).unwrap_or(p.chunks) as u64).into(),
@@ -341,7 +406,16 @@ impl RunSummary {
                     ("algo", Json::Str(p.algo.clone())),
                     ("seed", (p.seed).into()),
                     ("attempts", (p.attempts as u64).into()),
+                    ("prefer_cheap_links", Json::Bool(p.prefer_cheap_links)),
                 ];
+                match &p.model {
+                    Some(model) => fields.push(("model", Json::Str(model.clone()))),
+                    None => {
+                        fields.push(("collective", Json::Str(p.collective.clone())));
+                        fields.push(("size", Json::Str(p.size_label.clone())));
+                        fields.push(("size_bytes", (p.size.as_u64()).into()));
+                    }
+                }
                 if !p.without_links.is_healthy() {
                     fields.push(("without_links", Json::Str(p.without_links.label())));
                 }
@@ -354,12 +428,24 @@ impl RunSummary {
                         fields.extend([
                             ("npus", (m.num_npus as u64).into()),
                             ("collective_time_ps", (m.collective_time.as_ps()).into()),
-                            ("bandwidth_gbps", m.bandwidth_gbps.into()),
                             ("efficiency_vs_ideal", m.efficiency.into()),
                             ("transfers", (m.transfers).into()),
                             ("synthesis_seconds", m.synthesis_seconds.into()),
                             ("cache", Json::Str(cache_label(m.cache).into())),
                         ]);
+                        if let Some(bw) = m.bandwidth_gbps {
+                            fields.push(("bandwidth_gbps", bw.into()));
+                        }
+                        if let Some(t) = &m.training {
+                            fields.extend([
+                                ("forward_ps", t.forward.as_ps().into()),
+                                ("backward_ps", t.backward.as_ps().into()),
+                                ("wg_comm_ps", t.weight_grad_comm.as_ps().into()),
+                                ("ig_comm_ps", t.input_grad_comm.as_ps().into()),
+                                ("compute_ps", t.compute().as_ps().into()),
+                                ("comm_ps", t.comm().as_ps().into()),
+                            ]);
+                        }
                         if let Some(s) = m.link_stats {
                             fields.extend([
                                 ("max_link_bytes", s.max_link_bytes.into()),
@@ -383,6 +469,7 @@ impl RunSummary {
             ("generated", (self.generated as u64).into()),
             ("cache_hits", (self.cache_hits as u64).into()),
             ("failed", (self.failed as u64).into()),
+            ("timed_out", (self.timed_out as u64).into()),
             ("elapsed_seconds", self.elapsed.as_secs_f64().into()),
         ])
     }
@@ -494,7 +581,7 @@ struct PartialCsv {
 }
 
 impl PartialCsv {
-    fn create(stem: &str) -> Result<Self, ScenarioError> {
+    fn create(stem: &str, training: bool) -> Result<Self, ScenarioError> {
         let path = std::path::PathBuf::from(format!("{stem}.partial.csv"));
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
@@ -504,7 +591,7 @@ impl PartialCsv {
         }
         let mut file = std::fs::File::create(&path)
             .map_err(|e| ScenarioError::io(path.display().to_string(), e))?;
-        file.write_all(to_csv(&[raw_csv_header()]).as_bytes())
+        file.write_all(to_csv(&[raw_csv_header(training)]).as_bytes())
             .map_err(|e| ScenarioError::io(path.display().to_string(), e))?;
         Ok(PartialCsv {
             path,
@@ -546,7 +633,7 @@ pub fn run(spec: &ScenarioSpec) -> Result<RunSummary, ScenarioError> {
         None => None,
     };
     let partial = match &spec.output {
-        Some(stem) => Some(PartialCsv::create(stem)?),
+        Some(stem) => Some(PartialCsv::create(stem, spec.evaluation.is_training())?),
         None => None,
     };
     let workers = if spec.run.threads == 0 {
@@ -569,6 +656,12 @@ pub fn run(spec: &ScenarioSpec) -> Result<RunSummary, ScenarioError> {
     // lazily so a combination that only appears in failing points still
     // reports its build error per point.
     let topo_shares = TopologyShares::new(&points);
+    // Detached timeout jobs need owned spec data; share one deep copy
+    // across the whole run instead of cloning it per point.
+    let timeout_spec: Option<std::sync::Arc<ScenarioSpec>> = spec
+        .run
+        .timeout_s
+        .map(|_| std::sync::Arc::new(spec.clone()));
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -583,7 +676,16 @@ pub fn run(spec: &ScenarioSpec) -> Result<RunSummary, ScenarioError> {
                     }
                     let point = &points[i];
                     let result = match topo_shares.get(spec, point) {
-                        Ok(topo) => execute_point(spec, point, topo, cache.as_ref(), &mut scratch),
+                        Ok(topo) => match (spec.run.timeout_s, &timeout_spec) {
+                            (Some(budget), Some(shared)) => execute_point_with_timeout(
+                                shared,
+                                point,
+                                topo,
+                                cache.as_ref(),
+                                budget,
+                            ),
+                            _ => execute_point(spec, point, topo, cache.as_ref(), &mut scratch),
+                        },
                         Err(e) => Err(e),
                     };
                     let note = match &result {
@@ -603,7 +705,11 @@ pub fn run(spec: &ScenarioSpec) -> Result<RunSummary, ScenarioError> {
                         result,
                     };
                     if let Some(partial) = &partial {
-                        partial.append(raw_csv_row(&spec.name, &record));
+                        partial.append(raw_csv_row(
+                            &spec.name,
+                            spec.evaluation.is_training(),
+                            &record,
+                        ));
                     }
                     records.lock().expect("no poisoned locks")[i] = Some(record);
                 }
@@ -620,20 +726,24 @@ pub fn run(spec: &ScenarioSpec) -> Result<RunSummary, ScenarioError> {
     let mut generated = 0;
     let mut cache_hits = 0;
     let mut failed = 0;
+    let mut timed_out = 0;
     for r in &records {
         match &r.result {
             Ok(m) if m.cache == Some(CacheOutcome::Hit) => cache_hits += 1,
             Ok(_) => generated += 1,
+            Err(e) if e.starts_with(TIMED_OUT) => timed_out += 1,
             Err(_) => failed += 1,
         }
     }
     let summary = RunSummary {
         scenario: spec.name.clone(),
         report: spec.report.clone(),
+        training: spec.evaluation.is_training(),
         records,
         generated,
         cache_hits,
         failed,
+        timed_out,
         elapsed: started.elapsed(),
     };
     if let Some(stem) = &spec.output {
@@ -724,10 +834,20 @@ impl TopologyShares {
     }
 }
 
+/// The base synthesizer configuration of a grid point: its `seed`,
+/// `attempts`, and `synth.prefer_cheap_links` axis values. `tacos:...`
+/// algo variants layer their per-variant overrides on top of this.
+fn base_config(point: &ScenarioPoint) -> SynthesizerConfig {
+    SynthesizerConfig::default()
+        .with_seed(point.seed)
+        .with_attempts(point.attempts)
+        .with_prefer_cheap_links(point.prefer_cheap_links)
+}
+
 /// Executes one grid point end-to-end on its (possibly degraded) shared
-/// topology: collective → algorithm (through the cache) → metrics.
-/// Everything — synthesis, the ideal bound, the simulator — sees the
-/// post-failure-injection fabric.
+/// topology, dispatching on the scenario's [`Evaluation`]: a collective's
+/// bandwidth, or a training iteration. Everything — synthesis, the ideal
+/// bound, the simulator — sees the post-failure-injection fabric.
 fn execute_point(
     spec: &ScenarioSpec,
     point: &ScenarioPoint,
@@ -735,17 +855,84 @@ fn execute_point(
     cache: Option<&AlgorithmCache>,
     scratch: &mut SynthesisScratch,
 ) -> Result<PointMetrics, String> {
+    let mechanism = Mechanism::parse(&point.algo, &base_config(point))?;
+    match &spec.evaluation {
+        Evaluation::Bandwidth => {
+            execute_bandwidth_point(spec, point, topo, &mechanism, cache, scratch)
+        }
+        Evaluation::Training(settings) => {
+            execute_training_point(settings, point, topo, &mechanism, cache, scratch)
+        }
+    }
+}
+
+/// Re-runs a point in a dedicated thread and abandons it when `budget`
+/// (seconds) expires, recording a `timed_out` row instead of hanging the
+/// shard. The abandoned thread keeps running detached until it finishes
+/// or the process exits — CPU it burns is the price of not blocking the
+/// sweep — so this path only engages when `[run] timeout_s` is set.
+/// `spec` is the run-wide shared copy (one deep clone per run, not per
+/// point).
+fn execute_point_with_timeout(
+    spec: &std::sync::Arc<ScenarioSpec>,
+    point: &ScenarioPoint,
+    topo: &Topology,
+    cache: Option<&AlgorithmCache>,
+    budget: f64,
+) -> Result<PointMetrics, String> {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let job_spec = std::sync::Arc::clone(spec);
+    let job_point = point.clone();
+    let job_topo = topo.clone();
+    let job_cache = cache.cloned();
+    std::thread::spawn(move || {
+        let mut scratch = SynthesisScratch::new();
+        let result = execute_point(
+            &job_spec,
+            &job_point,
+            &job_topo,
+            job_cache.as_ref(),
+            &mut scratch,
+        );
+        // The receiver is gone when the budget expired; nothing to do.
+        let _ = tx.send(result);
+    });
+    match rx.recv_timeout(Duration::from_secs_f64(budget)) {
+        Ok(result) => result,
+        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+            Err(format!("{TIMED_OUT} after {budget}s"))
+        }
+        // A dropped sender means the job thread died (panicked) — that is
+        // a point failure, not a timeout: misfiling it would let a
+        // crashing sweep exit 0.
+        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => Err(
+            "point execution thread died before reporting a result (panic during \
+             synthesis/generation/simulation)"
+                .into(),
+        ),
+    }
+}
+
+/// The bandwidth evaluation: collective → algorithm (through the cache)
+/// → completion time and link statistics.
+fn execute_bandwidth_point(
+    spec: &ScenarioSpec,
+    point: &ScenarioPoint,
+    topo: &Topology,
+    mechanism: &Mechanism,
+    cache: Option<&AlgorithmCache>,
+    scratch: &mut SynthesisScratch,
+) -> Result<PointMetrics, String> {
     let pattern = parse_pattern(&point.collective, topo.num_npus())?;
-    let algo_kind = parse_algo(&point.algo, point.seed)?;
     let ideal = IdealBound::new(topo);
 
-    if algo_kind == AlgoKind::Ideal {
+    if *mechanism == Mechanism::Ideal {
         // The theoretical bound: nothing to generate or simulate.
         let collective_time = ideal.collective_time(pattern, point.size);
         return Ok(PointMetrics {
             num_npus: topo.num_npus(),
             collective_time,
-            bandwidth_gbps: bandwidth_gbps(point.size.as_u64(), collective_time),
+            bandwidth_gbps: Some(bandwidth_gbps(point.size.as_u64(), collective_time)),
             efficiency: ideal.efficiency(pattern, point.size, collective_time),
             chunks: point.chunks,
             transfers: 0,
@@ -754,27 +941,25 @@ fn execute_point(
             simulated: false,
             link_stats: None,
             timeline: None,
+            training: None,
         });
     }
 
-    // `tacos:N` overrides the chunking axis for this algorithm only, so
-    // the paper's chunked TACOS variants can share a grid with unchunked
-    // baselines.
-    let chunks = match &algo_kind {
-        AlgoKind::Tacos { chunks: Some(k) } => *k,
+    // A `tacos:...` variant's chunking override applies to this algorithm
+    // only, so the paper's chunked TACOS variants can share a grid with
+    // unchunked baselines.
+    let chunks = match mechanism {
+        Mechanism::Tacos(m) => m.chunks.unwrap_or(point.chunks),
         _ => point.chunks,
     };
     let collective = Collective::with_chunking(pattern, topo.num_npus(), chunks, point.size)
         .map_err(|e| e.to_string())?;
 
     let started = Instant::now();
-    let (algorithm, outcome): (CollectiveAlgorithm, Option<CacheOutcome>) = match algo_kind {
-        AlgoKind::Ideal => unreachable!("handled above"),
-        AlgoKind::Tacos { .. } => {
-            let config = SynthesizerConfig::default()
-                .with_seed(point.seed)
-                .with_attempts(point.attempts);
-            let synth = Synthesizer::new(config);
+    let (algorithm, outcome): (CollectiveAlgorithm, Option<CacheOutcome>) = match mechanism {
+        Mechanism::Ideal => unreachable!("handled above"),
+        Mechanism::Tacos(m) => {
+            let synth = Synthesizer::new(m.config.clone());
             match cache {
                 Some(c) => {
                     let (algo, outcome) = c
@@ -791,7 +976,7 @@ fn execute_point(
                 ),
             }
         }
-        AlgoKind::Baseline(kind) => {
+        Mechanism::Baseline(kind) => {
             let generate = || {
                 BaselineAlgorithm::new(kind.clone())
                     .generate(topo, &collective)
@@ -838,7 +1023,7 @@ fn execute_point(
     Ok(PointMetrics {
         num_npus: topo.num_npus(),
         collective_time,
-        bandwidth_gbps: bandwidth_gbps(point.size.as_u64(), collective_time),
+        bandwidth_gbps: Some(bandwidth_gbps(point.size.as_u64(), collective_time)),
         efficiency: ideal.efficiency(pattern, point.size, collective_time),
         chunks,
         transfers: algorithm.len() as u64,
@@ -847,6 +1032,147 @@ fn execute_point(
         simulated,
         link_stats,
         timeline,
+        training: None,
+    })
+}
+
+/// The training evaluation: one iteration of the point's workload model,
+/// its gradient collectives resolved under the point's mechanism with
+/// every algorithm routed through the cache. The breakdown accounting
+/// itself (parallelism pattern, compute overlap) lives in
+/// [`TrainingEvaluator`] — this function only supplies cached collective
+/// times, restating [`TrainingEvaluator::all_reduce_time`]'s measurement
+/// path: baselines generate then simulate, TACOS syntheses report their
+/// planned time, the ideal mechanism the theoretical bound.
+fn execute_training_point(
+    settings: &WorkloadSettings,
+    point: &ScenarioPoint,
+    topo: &Topology,
+    mechanism: &Mechanism,
+    cache: Option<&AlgorithmCache>,
+    scratch: &mut SynthesisScratch,
+) -> Result<PointMetrics, String> {
+    let model = point
+        .model
+        .as_deref()
+        .ok_or_else(|| "training grids carry a model per point".to_string())?;
+    let workload = Workload::parse(model)?;
+    // The evaluator's semantics: chunking only applies to synthesized
+    // collectives; baselines run unchunked and the bound has no
+    // collective at all. `chunks` is what the metrics report — the
+    // chunking the gradient collectives actually ran with.
+    let chunks = match mechanism {
+        Mechanism::Tacos(m) => m.chunks.unwrap_or(point.chunks),
+        Mechanism::Baseline(_) | Mechanism::Ideal => 1,
+    };
+    let evaluator = TrainingEvaluator::new(topo)
+        .with_chunks(chunks)
+        .with_parallelism(settings.parallelism)
+        .with_overlap(settings.overlap);
+    // One all-pairs bound per point, shared by the Ideal resolver and
+    // the efficiency framing (not one per gradient collective).
+    let ideal = IdealBound::new(topo);
+
+    let n = topo.num_npus();
+    let mut transfers = 0u64;
+    let mut synthesis_seconds = 0.0f64;
+    let mut outcomes: Vec<Option<CacheOutcome>> = Vec::new();
+    let report = evaluator
+        .evaluate_with_times(&workload, |size| -> Result<Time, WorkloadError> {
+            match mechanism {
+                Mechanism::Ideal => {
+                    outcomes.push(None);
+                    Ok(ideal.collective_time(CollectivePattern::AllReduce, size))
+                }
+                Mechanism::Tacos(m) => {
+                    let coll =
+                        Collective::with_chunking(CollectivePattern::AllReduce, n, chunks, size)?;
+                    let synth = Synthesizer::new(m.config.clone());
+                    let started = Instant::now();
+                    let algorithm = match cache {
+                        Some(c) => {
+                            let (algo, outcome) =
+                                c.synthesize_cached_traced_with(&synth, topo, &coll, scratch)?;
+                            outcomes.push(Some(outcome));
+                            algo
+                        }
+                        None => {
+                            outcomes.push(None);
+                            synth
+                                .synthesize_with(topo, &coll, scratch)?
+                                .into_algorithm()
+                        }
+                    };
+                    synthesis_seconds += started.elapsed().as_secs_f64();
+                    transfers += algorithm.len() as u64;
+                    Ok(algorithm.collective_time())
+                }
+                Mechanism::Baseline(kind) => {
+                    let coll = Collective::all_reduce(n, size)?;
+                    let generate = || BaselineAlgorithm::new(kind.clone()).generate(topo, &coll);
+                    let started = Instant::now();
+                    let algorithm = match cache {
+                        Some(c) => {
+                            let salt = kind.seed().unwrap_or(0);
+                            let key =
+                                AlgorithmCache::key_for_generator(&point.algo, topo, &coll, salt);
+                            let (algo, outcome) = c.load_or_insert_with(&key, generate)?;
+                            outcomes.push(Some(outcome));
+                            algo
+                        }
+                        None => {
+                            outcomes.push(None);
+                            generate()?
+                        }
+                    };
+                    synthesis_seconds += started.elapsed().as_secs_f64();
+                    transfers += algorithm.len() as u64;
+                    Ok(Simulator::new()
+                        .simulate(topo, &algorithm)?
+                        .collective_time())
+                }
+            }
+        })
+        .map_err(|e| e.to_string())?;
+
+    // The efficiency framing of paper Fig. 20: this iteration against the
+    // same iteration under the theoretical bound (~94% for TACOS there).
+    // Ideal points are the bound — 1.0 by construction, no re-evaluation.
+    let total = report.total();
+    let efficiency = if *mechanism == Mechanism::Ideal || total.is_zero() {
+        1.0
+    } else {
+        let ideal_total = evaluator
+            .evaluate_with_times(&workload, |size| {
+                Ok(ideal.collective_time(CollectivePattern::AllReduce, size))
+            })
+            .map_err(|e| e.to_string())?
+            .total();
+        ideal_total.as_secs_f64() / total.as_secs_f64()
+    };
+    // A training point runs several collectives: the cache column only
+    // reads `hit` when every one of them was served from disk.
+    let cache_outcome = if outcomes.iter().any(Option::is_none) {
+        None
+    } else if outcomes.iter().all(|o| *o == Some(CacheOutcome::Hit)) {
+        Some(CacheOutcome::Hit)
+    } else {
+        Some(CacheOutcome::Miss)
+    };
+
+    Ok(PointMetrics {
+        num_npus: n,
+        collective_time: total,
+        bandwidth_gbps: None,
+        efficiency,
+        chunks,
+        transfers,
+        synthesis_seconds,
+        cache: cache_outcome,
+        simulated: false,
+        link_stats: None,
+        timeline: None,
+        training: Some(report),
     })
 }
 
@@ -910,7 +1236,7 @@ threads = 2
         for r in &summary.records {
             let m = r.result.as_ref().unwrap();
             assert!(m.collective_time > Time::ZERO);
-            assert!(m.bandwidth_gbps > 0.0);
+            assert!(m.bandwidth_gbps.unwrap() > 0.0);
             assert!(m.cache.is_none());
             assert!(m.simulated);
             let stats = m.link_stats.expect("simulated points carry link stats");
@@ -1262,17 +1588,191 @@ stages = true
     }
 
     #[test]
+    fn training_points_run_through_the_training_evaluator() {
+        let spec = toml_spec(
+            r#"
+[scenario]
+name = "train"
+[sweep]
+topology = ["torus:2x2x2"]
+chunks = [4]
+algo = ["ring", "tacos:2", "ideal"]
+seed = [7]
+attempts = [2]
+[workload]
+model = ["msft_1t"]
+[run]
+cache = false
+"#,
+        );
+        let summary = run(&spec).unwrap();
+        assert_eq!(summary.failed, 0);
+        assert!(summary.training);
+        assert_eq!(summary.records.len(), 3);
+
+        // Reference: TrainingEvaluator under the same mechanisms — the
+        // exact measurement path of the deleted fig20/fig21 binaries.
+        let topo = spec
+            .build_topology("torus:2x2x2", LinkAxis::default_paper().to_spec())
+            .unwrap();
+        let base = SynthesizerConfig::default().with_seed(7).with_attempts(2);
+        for record in &summary.records {
+            let p = &record.point;
+            assert_eq!(p.model.as_deref(), Some("msft_1t"));
+            let mechanism = Mechanism::parse(&p.algo, &base).unwrap();
+            // `tacos:2` overrides the chunking axis for that variant
+            // only; baselines and the bound run unchunked collectives.
+            let chunks = match &mechanism {
+                Mechanism::Tacos(m) => m.chunks.unwrap_or(p.chunks),
+                _ => 1,
+            };
+            let evaluator = TrainingEvaluator::new(&topo).with_chunks(chunks);
+            let expected = evaluator
+                .evaluate(&Workload::msft_1t(), &mechanism)
+                .unwrap();
+            let got = record.result.as_ref().unwrap();
+            assert_eq!(got.collective_time, expected.total(), "{}", p.label());
+            assert_eq!(got.training.unwrap(), expected);
+            assert!(got.bandwidth_gbps.is_none(), "no bandwidth on iterations");
+            assert_eq!(got.chunks, chunks);
+            // MSFT-1T is hybrid-parallel: both collectives are exposed.
+            assert!(got.training.unwrap().input_grad_comm > Time::ZERO);
+        }
+        // The shaped CSV uses the training layout with the breakdown sum.
+        let rows = summary.csv_rows();
+        let header = &rows[0];
+        assert!(header.iter().any(|h| h == "forward_ps"));
+        assert!(header.iter().any(|h| h == "wg_comm_ps"));
+        assert!(!header.iter().any(|h| h == "bandwidth_gbps"));
+    }
+
+    #[test]
+    fn tight_timeout_records_timed_out_rows_instead_of_hanging() {
+        let mut spec = toml_spec(
+            r#"
+[scenario]
+name = "deadline"
+[sweep]
+topology = ["mesh:4x4"]
+collective = ["all-gather"]
+size = ["64MB"]
+chunks = [4]
+algo = ["tacos"]
+attempts = [8]
+[run]
+cache = false
+timeout_s = 0.000001
+"#,
+        );
+        spec.run.threads = 1;
+        let summary = run(&spec).unwrap();
+        assert_eq!(summary.records.len(), 1);
+        assert_eq!(summary.timed_out, 1, "the budget is unmeetably tight");
+        assert_eq!(summary.failed, 0, "timeouts are not failures");
+        let err = summary.records[0].result.as_ref().unwrap_err();
+        assert!(err.starts_with(TIMED_OUT), "got: {err}");
+        // The row lands in the shaped CSV with its error cell filled.
+        let rows = summary.csv_rows();
+        assert!(rows[1].last().unwrap().starts_with(TIMED_OUT));
+    }
+
+    #[test]
+    fn generous_timeout_does_not_disturb_results() {
+        let spec_text = r#"
+[scenario]
+name = "roomy"
+[sweep]
+topology = ["mesh:2x2"]
+collective = ["all-gather"]
+size = ["4MB"]
+algo = ["tacos", "ring"]
+seed = [3]
+[run]
+cache = false
+timeout_s = 120.0
+"#;
+        let spec = toml_spec(spec_text);
+        assert_eq!(spec.run.timeout_s, Some(120.0));
+        let summary = run(&spec).unwrap();
+        assert_eq!((summary.failed, summary.timed_out), (0, 0));
+
+        // Identical numbers to the untimed path (the job thread runs the
+        // same execution).
+        let mut untimed = toml_spec(spec_text);
+        untimed.run.timeout_s = None;
+        let reference = run(&untimed).unwrap();
+        for (a, b) in summary.records.iter().zip(&reference.records) {
+            assert_eq!(
+                a.result.as_ref().unwrap().collective_time,
+                b.result.as_ref().unwrap().collective_time
+            );
+        }
+    }
+
+    #[test]
+    fn prefer_cheap_axis_changes_the_synthesis_config() {
+        let spec = toml_spec(
+            r#"
+[scenario]
+name = "cheap"
+[sweep]
+topology = ["rfs:2x2x2"]
+collective = ["all-reduce"]
+size = ["16MB"]
+algo = ["tacos"]
+seed = [11]
+synth.prefer_cheap_links = [true, false]
+[run]
+cache = false
+"#,
+        );
+        let summary = run(&spec).unwrap();
+        assert_eq!(summary.failed, 0);
+        assert_eq!(summary.records.len(), 2);
+        // Reference: direct synthesis with the prioritization toggled.
+        let topo = spec
+            .build_topology("rfs:2x2x2", LinkAxis::default_paper().to_spec())
+            .unwrap();
+        let coll =
+            Collective::all_reduce(topo.num_npus(), tacos_topology::ByteSize::mb(16)).unwrap();
+        for record in &summary.records {
+            let config = SynthesizerConfig::default()
+                .with_seed(11)
+                .with_prefer_cheap_links(record.point.prefer_cheap_links);
+            let expected = Synthesizer::new(config)
+                .synthesize(&topo, &coll)
+                .unwrap()
+                .collective_time();
+            assert_eq!(
+                record.result.as_ref().unwrap().collective_time,
+                expected,
+                "{}",
+                record.point.label()
+            );
+        }
+        // The identity column carries the axis value.
+        let rows = summary.csv_rows();
+        let col = rows[0]
+            .iter()
+            .position(|h| h == "prefer_cheap_links")
+            .unwrap();
+        assert_eq!(rows[1][col], "true");
+        assert_eq!(rows[2][col], "false");
+    }
+
+    #[test]
     fn partial_csv_survives_without_finalize() {
         // Simulates a killed run: rows are streamed and flushed per
         // completion, so the file holds them even if `remove` never runs.
         let dir = std::env::temp_dir().join(format!("tacos-partial-keep-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let stem = dir.join("keep").display().to_string();
-        let partial = PartialCsv::create(&stem).unwrap();
+        let partial = PartialCsv::create(&stem, false).unwrap();
         let record = PointRecord {
             point: ScenarioPoint {
                 index: 0,
                 topology: "ring:4".into(),
+                model: None,
                 link: LinkAxis::default_paper(),
                 collective: "all-reduce".into(),
                 size_label: "1MB".into(),
@@ -1281,11 +1781,12 @@ stages = true
                 algo: "ring".into(),
                 seed: 42,
                 attempts: 1,
+                prefer_cheap_links: true,
                 without_links: crate::spec::WithoutLinks::Count(0),
             },
             result: Err("injected".into()),
         };
-        partial.append(raw_csv_row("keep", &record));
+        partial.append(raw_csv_row("keep", false, &record));
         // Deliberately no `remove`: the run "died" here.
         drop(partial);
         let text =

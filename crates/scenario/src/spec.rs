@@ -1,15 +1,29 @@
 //! The declarative scenario specification.
 //!
-//! A scenario file is a TOML document with up to seven parts:
+//! A scenario file is a TOML document with up to nine parts:
 //!
 //! * `[scenario]` — name, description, optional `output` stem for
 //!   CSV/JSON artifacts;
 //! * `[sweep]` — the grid axes: `topology`, `collective`, `size`,
-//!   `chunks`, `algo`, `seed`, `attempts`, `link`, and the
+//!   `chunks`, `algo`, `seed`, `attempts`, `link`, the
 //!   failure-injection axis `without_links` (each a list; a bare scalar
-//!   is accepted as a one-element list);
+//!   is accepted as a one-element list), and the synthesizer-config
+//!   sub-table `synth` (`synth.attempts` / `synth.seed` /
+//!   `synth.chunks` as explicit spellings of the matching top-level
+//!   axes, plus the `synth.prefer_cheap_links` on/off axis — the §IV-F
+//!   low-cost-link-prioritization ablation);
+//! * optional `[workload]` — switches the scenario from bandwidth
+//!   points to end-to-end training evaluation: a `model` axis
+//!   (`gnmt|resnet50|turing_nlg|msft_1t`), the parallelization's
+//!   communication pattern (`parallelism = "data" | "hybrid"`), and a
+//!   compute-overlap fraction — see [`WorkloadSettings`];
 //! * `[run]` — execution settings: `simulate`, `threads` (0 = all
-//!   cores), `cache` (a directory string, or `false` to disable);
+//!   cores), `cache` (a directory string, or `false` to disable), and a
+//!   per-point `timeout_s`;
+//! * optional `[quick]` — reduced-grid overrides applied by
+//!   `tacos scenario run --quick` (axis replacements, a `model`
+//!   replacement, and optional `[[quick.exclude]]` rules), the ported
+//!   bench binaries' `--quick` flags as data;
 //! * optional `[report]` — result shaping: which metric columns the
 //!   output CSV carries (`columns`), and per-group normalization against
 //!   a baseline algorithm (`normalize_over`, `group_by`) — see
@@ -44,14 +58,20 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::path::Path;
 
-use tacos_baselines::{BaselineKind, TacclConfig};
 use tacos_collective::CollectivePattern;
+use tacos_core::SynthesizerConfig;
 use tacos_topology::{
     Bandwidth, ByteSize, LinkId, LinkSpec, NpuId, RingOrientation, Time, Topology, TopologyBuilder,
 };
+use tacos_workload::{Mechanism, Parallelism, Workload};
 
 use crate::error::ScenarioError;
 use crate::toml::{self, Table, Value};
+
+/// Re-exported so the CLI and parity tests keep one algorithm-spec
+/// vocabulary (the definitions moved to `tacos-workload` when the
+/// evaluation layer was unified around [`Mechanism`]).
+pub use tacos_workload::parse_baseline;
 
 /// One value of the `link` sweep axis: an α–β spec in display units.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -415,6 +435,10 @@ pub struct SweepAxes {
     pub link: Vec<LinkAxis>,
     /// Failure-injection values: links to kill before each point.
     pub without_links: Vec<WithoutLinks>,
+    /// Low-cost-link-prioritization settings (`synth.prefer_cheap_links`):
+    /// the §IV-F ablation as a sweep axis. Default `[true]` (the paper's
+    /// setting).
+    pub prefer_cheap_links: Vec<bool>,
 }
 
 /// Execution settings for the runner.
@@ -429,6 +453,10 @@ pub struct RunSettings {
     pub cache: Option<String>,
     /// Suppress per-point progress on stderr.
     pub quiet: bool,
+    /// Per-point wall-clock budget in seconds: a point still running when
+    /// it expires is recorded as a `timed_out` row instead of hanging its
+    /// shard. `None` lets points run unbounded.
+    pub timeout_s: Option<f64>,
 }
 
 impl Default for RunSettings {
@@ -438,6 +466,7 @@ impl Default for RunSettings {
             threads: 0,
             cache: Some(".tacos-cache".into()),
             quiet: false,
+            timeout_s: None,
         }
     }
 }
@@ -481,13 +510,28 @@ pub enum MetricColumn {
     /// Hottest-link bytes over mean link bytes (the paper Fig. 1 hot-spot
     /// measure); needs `run.simulate`.
     Imbalance,
+    /// Forward-pass compute in picoseconds; needs `[workload]`.
+    ForwardPs,
+    /// Backward-pass compute in picoseconds; needs `[workload]`.
+    BackwardPs,
+    /// Exposed weight-gradient collective time in picoseconds; needs
+    /// `[workload]`.
+    WgCommPs,
+    /// Exposed input-gradient collective time in picoseconds (zero for
+    /// pure data parallelism); needs `[workload]`.
+    IgCommPs,
+    /// Total compute (`forward + backward`) in picoseconds; needs
+    /// `[workload]`.
+    ComputePs,
+    /// Total exposed communication in picoseconds; needs `[workload]`.
+    CommPs,
 }
 
 impl MetricColumn {
     /// Every metric column, in `[report] columns` vocabulary order.
     /// Keep in sync with the `name()` match when adding a variant —
     /// a column missing here is unselectable from scenario files.
-    pub const ALL: [MetricColumn; 14] = [
+    pub const ALL: [MetricColumn; 20] = [
         MetricColumn::Npus,
         MetricColumn::CollectiveTimePs,
         MetricColumn::CollectiveTimeUs,
@@ -502,9 +546,15 @@ impl MetricColumn {
         MetricColumn::MaxLinkBytes,
         MetricColumn::IdleLinks,
         MetricColumn::Imbalance,
+        MetricColumn::ForwardPs,
+        MetricColumn::BackwardPs,
+        MetricColumn::WgCommPs,
+        MetricColumn::IgCommPs,
+        MetricColumn::ComputePs,
+        MetricColumn::CommPs,
     ];
 
-    /// The metric columns of an unshaped run, in output order.
+    /// The metric columns of an unshaped bandwidth run, in output order.
     pub const DEFAULT: [MetricColumn; 8] = [
         MetricColumn::Npus,
         MetricColumn::CollectiveTimePs,
@@ -512,6 +562,21 @@ impl MetricColumn {
         MetricColumn::BandwidthGbps,
         MetricColumn::EfficiencyVsIdeal,
         MetricColumn::Transfers,
+        MetricColumn::SynthesisSeconds,
+        MetricColumn::Cache,
+    ];
+
+    /// The metric columns of an unshaped training run (`[workload]`
+    /// scenarios), in output order: the iteration total, the four-way
+    /// breakdown of paper Fig. 21, and the run bookkeeping.
+    pub const TRAINING_DEFAULT: [MetricColumn; 9] = [
+        MetricColumn::Npus,
+        MetricColumn::CollectiveTimePs,
+        MetricColumn::ForwardPs,
+        MetricColumn::BackwardPs,
+        MetricColumn::WgCommPs,
+        MetricColumn::IgCommPs,
+        MetricColumn::EfficiencyVsIdeal,
         MetricColumn::SynthesisSeconds,
         MetricColumn::Cache,
     ];
@@ -533,6 +598,12 @@ impl MetricColumn {
             MetricColumn::MaxLinkBytes => "max_link_bytes",
             MetricColumn::IdleLinks => "idle_links",
             MetricColumn::Imbalance => "imbalance",
+            MetricColumn::ForwardPs => "forward_ps",
+            MetricColumn::BackwardPs => "backward_ps",
+            MetricColumn::WgCommPs => "wg_comm_ps",
+            MetricColumn::IgCommPs => "ig_comm_ps",
+            MetricColumn::ComputePs => "compute_ps",
+            MetricColumn::CommPs => "comm_ps",
         }
     }
 
@@ -563,6 +634,27 @@ impl MetricColumn {
                 | MetricColumn::Imbalance
         )
     }
+
+    /// Whether this column carries a training-breakdown value (and
+    /// therefore needs a `[workload]` section).
+    pub fn needs_workload(self) -> bool {
+        matches!(
+            self,
+            MetricColumn::ForwardPs
+                | MetricColumn::BackwardPs
+                | MetricColumn::WgCommPs
+                | MetricColumn::IgCommPs
+                | MetricColumn::ComputePs
+                | MetricColumn::CommPs
+        )
+    }
+
+    /// Whether this column only makes sense for bandwidth points (and is
+    /// therefore rejected under `[workload]` — a training iteration has
+    /// no single collective payload to rate).
+    pub fn bandwidth_only(self) -> bool {
+        matches!(self, MetricColumn::BandwidthGbps) || self.needs_simulation()
+    }
 }
 
 /// A grid axis usable as a `[report] group_by` key.
@@ -588,20 +680,26 @@ pub enum GroupKey {
     Attempts,
     /// The failure-injection axis value.
     WithoutLinks,
+    /// The workload model (training scenarios).
+    Model,
+    /// The low-cost-link-prioritization setting.
+    PreferCheapLinks,
 }
 
 impl GroupKey {
     /// Every key, in the grid's axis nesting order. This is the default
     /// `group_by`: each group then holds exactly the algorithm variants
     /// of one sweep configuration.
-    pub const ALL: [GroupKey; 8] = [
+    pub const ALL: [GroupKey; 10] = [
         GroupKey::Topology,
+        GroupKey::Model,
         GroupKey::Link,
         GroupKey::Collective,
         GroupKey::Size,
         GroupKey::Chunks,
         GroupKey::Seed,
         GroupKey::Attempts,
+        GroupKey::PreferCheapLinks,
         GroupKey::WithoutLinks,
     ];
 
@@ -616,6 +714,8 @@ impl GroupKey {
             GroupKey::Seed => "seed",
             GroupKey::Attempts => "attempts",
             GroupKey::WithoutLinks => "without_links",
+            GroupKey::Model => "model",
+            GroupKey::PreferCheapLinks => "prefer_cheap_links",
         }
     }
 
@@ -668,14 +768,25 @@ impl Default for ReportSettings {
 }
 
 impl ReportSettings {
-    /// The metric columns the output actually carries: the selected (or
-    /// default) list, with `normalized_time` appended when normalization
-    /// is configured but the column was not listed explicitly.
+    /// The metric columns a bandwidth run's output carries (see
+    /// [`ReportSettings::metric_columns_for`]).
     pub fn metric_columns(&self) -> Vec<MetricColumn> {
-        let mut cols = self
-            .columns
-            .clone()
-            .unwrap_or_else(|| MetricColumn::DEFAULT.to_vec());
+        self.metric_columns_for(false)
+    }
+
+    /// The metric columns the output actually carries: the selected list,
+    /// or the evaluation kind's default layout ([`MetricColumn::DEFAULT`]
+    /// for bandwidth points, [`MetricColumn::TRAINING_DEFAULT`] under
+    /// `[workload]`), with `normalized_time` appended when normalization
+    /// is configured but the column was not listed explicitly.
+    pub fn metric_columns_for(&self, training: bool) -> Vec<MetricColumn> {
+        let mut cols = self.columns.clone().unwrap_or_else(|| {
+            if training {
+                MetricColumn::TRAINING_DEFAULT.to_vec()
+            } else {
+                MetricColumn::DEFAULT.to_vec()
+            }
+        });
         if self.normalize_over.is_some() && !cols.contains(&MetricColumn::NormalizedTime) {
             cols.push(MetricColumn::NormalizedTime);
         }
@@ -713,6 +824,11 @@ pub struct ExcludeRule {
     /// Failure-axis labels (see [`WithoutLinks::label`]) to match
     /// (empty = any).
     pub without_links: Vec<String>,
+    /// Workload-model tokens to match (empty = any; training scenarios
+    /// only — this is what pins each model to its paper topology scale).
+    pub model: Vec<String>,
+    /// Prefer-cheap-links settings to match (empty = any).
+    pub prefer_cheap_links: Vec<bool>,
 }
 
 /// The axis values of one candidate grid point, as matched by
@@ -735,6 +851,10 @@ pub struct AxisValues<'a> {
     pub attempts: usize,
     /// Failure-axis label.
     pub without_links: &'a str,
+    /// Workload-model token (empty string for bandwidth points).
+    pub model: &'a str,
+    /// Low-cost-link-prioritization setting.
+    pub prefer_cheap_links: bool,
 }
 
 impl ExcludeRule {
@@ -746,9 +866,12 @@ impl ExcludeRule {
             && hit(&self.size, v.size)
             && hit(&self.algo, v.algo)
             && hit(&self.without_links, v.without_links)
+            && hit(&self.model, v.model)
             && (self.chunks.is_empty() || self.chunks.contains(&v.chunks))
             && (self.seed.is_empty() || self.seed.contains(&v.seed))
             && (self.attempts.is_empty() || self.attempts.contains(&v.attempts))
+            && (self.prefer_cheap_links.is_empty()
+                || self.prefer_cheap_links.contains(&v.prefer_cheap_links))
     }
 }
 
@@ -780,6 +903,58 @@ impl Default for TimelineSettings {
     }
 }
 
+/// What a grid point measures: a collective's bandwidth, or an
+/// end-to-end training iteration. The scenario runner dispatches point
+/// execution on this — the layer that lets the paper's training figures
+/// (Figs. 20–21) be plain scenario files.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Evaluation {
+    /// One collective per point: generate/synthesize the algorithm and
+    /// measure its completion time (the default, without `[workload]`).
+    #[default]
+    Bandwidth,
+    /// One training iteration per point: run the model's exposed gradient
+    /// collectives under the point's mechanism and report the
+    /// fwd/bwd/exposed-IG/exposed-WG breakdown.
+    Training(WorkloadSettings),
+}
+
+impl Evaluation {
+    /// Whether this is a training evaluation.
+    pub fn is_training(&self) -> bool {
+        matches!(self, Evaluation::Training(_))
+    }
+
+    /// The workload-model axis as grid values: `[None]` for bandwidth
+    /// scenarios, the configured models for training ones.
+    pub fn model_axis(&self) -> Vec<Option<String>> {
+        match self {
+            Evaluation::Bandwidth => vec![None],
+            Evaluation::Training(w) => w.models.iter().cloned().map(Some).collect(),
+        }
+    }
+}
+
+/// The `[workload]` table: end-to-end training evaluation settings.
+///
+/// ```toml
+/// [workload]
+/// model = ["gnmt", "resnet50"]   # sweep axis, like the [sweep] axes
+/// parallelism = "hybrid"         # "data" drops input-gradient collectives
+/// overlap = 0.0                  # fraction of each collective hidden under compute
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSettings {
+    /// Workload-model tokens (`gnmt|resnet50|turing_nlg|msft_1t`); a
+    /// sweep axis like the `[sweep]` ones.
+    pub models: Vec<String>,
+    /// The parallelization's communication pattern.
+    pub parallelism: Parallelism,
+    /// Fraction of each gradient collective hidden under compute
+    /// (`0.0` = fully exposed, the paper's Figs. 20–21 assumption).
+    pub overlap: f64,
+}
+
 /// A fully parsed, validated scenario.
 #[derive(Debug, Clone)]
 pub struct ScenarioSpec {
@@ -791,6 +966,8 @@ pub struct ScenarioSpec {
     pub output: Option<String>,
     /// The sweep axes.
     pub sweep: SweepAxes,
+    /// What each point measures (`[workload]` switches to training).
+    pub evaluation: Evaluation,
     /// Execution settings.
     pub run: RunSettings,
     /// Result shaping (`[report]`).
@@ -801,6 +978,10 @@ pub struct ScenarioSpec {
     pub excludes: Vec<ExcludeRule>,
     /// Builder-described topologies, by name.
     pub custom_topologies: BTreeMap<String, CustomTopology>,
+    /// The reduced grid declared in `[quick]`, fully parsed and
+    /// validated; applied by `tacos scenario run --quick` (see
+    /// [`ScenarioSpec::quick_spec`]).
+    pub quick: Option<Box<ScenarioSpec>>,
 }
 
 impl ScenarioSpec {
@@ -831,11 +1012,13 @@ impl ScenarioSpec {
             &[
                 "scenario",
                 "sweep",
+                "workload",
                 "run",
                 "report",
                 "timeline",
                 "exclude",
                 "topologies",
+                "quick",
             ],
         )?;
         let scenario = expect_table(doc, "scenario")?;
@@ -868,12 +1051,43 @@ impl ScenarioSpec {
         let sweep_table = expect_table(doc, "sweep")?;
         let sweep = parse_sweep(sweep_table, &custom_topologies)?;
 
+        let evaluation = match doc.get("workload") {
+            None => Evaluation::Bandwidth,
+            Some(v) => {
+                let t = v.as_table().ok_or_else(|| {
+                    ScenarioError::spec(format!(
+                        "'workload' must be a table, found {}",
+                        v.type_name()
+                    ))
+                })?;
+                // Training points take their collective shape from the
+                // model, so a collective/size axis would be dead weight
+                // the outputs misleadingly report.
+                for key in ["collective", "size"] {
+                    if sweep_table.contains_key(key) {
+                        return Err(ScenarioError::spec(format!(
+                            "sweep.{key} has no effect under [workload] (gradient \
+                             collectives come from the model); remove it"
+                        )));
+                    }
+                }
+                Evaluation::Training(parse_workload(t)?)
+            }
+        };
+
         let run = match doc.get("run") {
             None => RunSettings::default(),
             Some(v) => parse_run(v.as_table().ok_or_else(|| {
                 ScenarioError::spec(format!("'run' must be a table, found {}", v.type_name()))
             })?)?,
         };
+        if evaluation.is_training() && run.simulate {
+            return Err(ScenarioError::spec(
+                "run.simulate has no effect under [workload]: training \
+                 evaluation simulates each gradient collective internally; \
+                 remove it",
+            ));
+        }
 
         let report = match doc.get("report") {
             None => ReportSettings::default(),
@@ -881,7 +1095,7 @@ impl ScenarioSpec {
                 ScenarioError::spec(format!("'report' must be a table, found {}", v.type_name()))
             })?)?,
         };
-        validate_report(&report, &sweep, &run)?;
+        validate_report(&report, &sweep, &run, &evaluation)?;
 
         let timeline = match doc.get("timeline") {
             None => None,
@@ -892,6 +1106,12 @@ impl ScenarioSpec {
                 ))
             })?)?),
         };
+        if timeline.is_some() && evaluation.is_training() {
+            return Err(ScenarioError::spec(
+                "[timeline] output needs a single simulated collective per \
+                 point; it is not available under [workload]",
+            ));
+        }
         if timeline.is_some() && !run.simulate {
             return Err(ScenarioError::spec(
                 "[timeline] output is derived from the simulator's busy \
@@ -908,23 +1128,46 @@ impl ScenarioSpec {
                 let t = item
                     .as_table()
                     .ok_or_else(|| ScenarioError::spec("each [[exclude]] must be a table"))?;
-                excludes.push(parse_exclude(t, &sweep)?);
+                excludes.push(parse_exclude(t, &sweep, &evaluation)?);
             }
         }
+
+        let quick = match doc.get("quick") {
+            None => None,
+            Some(v) => {
+                let t = v.as_table().ok_or_else(|| {
+                    ScenarioError::spec(format!("'quick' must be a table, found {}", v.type_name()))
+                })?;
+                let merged = merge_quick(doc, t, &evaluation)?;
+                let quick_spec = Self::from_table(&merged)
+                    .map_err(|e| ScenarioError::spec(format!("in [quick]: {e}")))?;
+                Some(Box::new(quick_spec))
+            }
+        };
 
         let spec = ScenarioSpec {
             name,
             description,
             output,
             sweep,
+            evaluation,
             run,
             report,
             timeline,
             excludes,
             custom_topologies,
+            quick,
         };
         spec.validate_without_links()?;
         Ok(spec)
+    }
+
+    /// The grid this spec runs under `--quick`: the `[quick]`-reduced
+    /// spec when one is declared, the full spec otherwise (callers that
+    /// require a `[quick]` section — the CLI flag — check
+    /// [`ScenarioSpec::quick`] themselves).
+    pub fn quick_spec(&self) -> &ScenarioSpec {
+        self.quick.as_deref().unwrap_or(self)
     }
 
     /// Validates every `without_links` axis value against every topology
@@ -1157,8 +1400,45 @@ fn parse_sweep(
             "attempts",
             "link",
             "without_links",
+            "synth",
         ],
     )?;
+    // `[sweep] synth.*` is the synthesizer-config spelling of the grid:
+    // `synth.attempts` / `synth.seed` / `synth.chunks` name the same axes
+    // as the matching top-level keys (declaring both is ambiguous and
+    // rejected), and `synth.prefer_cheap_links` is its own axis.
+    let synth = match t.get("synth") {
+        None => None,
+        Some(v) => {
+            let st = v.as_table().ok_or_else(|| {
+                ScenarioError::spec(format!(
+                    "sweep.synth must be a table of synthesizer axes, found {}",
+                    v.type_name()
+                ))
+            })?;
+            reject_unknown_keys(
+                st,
+                "[sweep] synth",
+                &["attempts", "seed", "chunks", "prefer_cheap_links"],
+            )?;
+            for key in ["attempts", "seed", "chunks"] {
+                if st.contains_key(key) && t.contains_key(key) {
+                    return Err(ScenarioError::spec(format!(
+                        "sweep.{key} and sweep.synth.{key} name the same axis; \
+                         declare one of them"
+                    )));
+                }
+            }
+            Some(st)
+        }
+    };
+    // Reads an integer axis from wherever it was spelled.
+    let synth_or_top = |key: &str| -> &Table {
+        match synth {
+            Some(st) if st.contains_key(key) => st,
+            _ => t,
+        }
+    };
     let topology = string_axis(t, "topology", &[])?;
     if topology.is_empty() {
         return Err(ScenarioError::spec(
@@ -1168,9 +1448,13 @@ fn parse_sweep(
     let collective = string_axis(t, "collective", &["all-reduce"])?;
     let size = string_axis(t, "size", &["64MB"])?;
     let algo = string_axis(t, "algo", &["tacos"])?;
-    let chunks = int_axis(t, "chunks", &[1])?;
-    let seed = int_axis(t, "seed", &[42])?;
-    let attempts = int_axis(t, "attempts", &[1])?;
+    let chunks = int_axis(synth_or_top("chunks"), "chunks", &[1])?;
+    let seed = int_axis(synth_or_top("seed"), "seed", &[42])?;
+    let attempts = int_axis(synth_or_top("attempts"), "attempts", &[1])?;
+    let prefer_cheap_links = match synth {
+        None => vec![true],
+        Some(st) => bool_axis(st, "prefer_cheap_links", &[true])?,
+    };
     let link = link_axis(t)?;
     let without_links = match axis_values(t, "without_links")? {
         None => vec![WithoutLinks::Count(0)],
@@ -1204,6 +1488,7 @@ fn parse_sweep(
         attempts: dedupe(attempts.iter().map(|&v| v as usize).collect()),
         link,
         without_links,
+        prefer_cheap_links,
     };
 
     // Validate every axis value eagerly.
@@ -1241,7 +1526,8 @@ fn parse_sweep(
         parse_size(s).map_err(|e| ScenarioError::spec(format!("sweep.size '{s}': {e}")))?;
     }
     for a in &axes.algo {
-        parse_algo(a, 0).map_err(|e| ScenarioError::spec(format!("sweep.algo '{a}': {e}")))?;
+        Mechanism::parse(a, &SynthesizerConfig::default())
+            .map_err(|e| ScenarioError::spec(format!("sweep.algo '{a}': {e}")))?;
     }
     for &k in &axes.chunks {
         if k == 0 {
@@ -1264,8 +1550,21 @@ fn parse_sweep(
 }
 
 fn parse_run(t: &Table) -> Result<RunSettings, ScenarioError> {
-    reject_unknown_keys(t, "[run]", &["simulate", "threads", "cache", "quiet"])?;
+    reject_unknown_keys(
+        t,
+        "[run]",
+        &["simulate", "threads", "cache", "quiet", "timeout_s"],
+    )?;
     let mut run = RunSettings::default();
+    if let Some(v) = t.get("timeout_s") {
+        let secs = v
+            .as_float()
+            .ok_or_else(|| ScenarioError::spec("run.timeout_s must be a number of seconds"))?;
+        if !secs.is_finite() || secs <= 0.0 {
+            return Err(ScenarioError::spec("run.timeout_s must be > 0"));
+        }
+        run.timeout_s = Some(secs);
+    }
     if let Some(v) = t.get("simulate") {
         run.simulate = v
             .as_bool()
@@ -1361,12 +1660,142 @@ fn parse_report(t: &Table) -> Result<ReportSettings, ScenarioError> {
     Ok(report)
 }
 
+/// Parses the `[workload]` table into training-evaluation settings.
+fn parse_workload(t: &Table) -> Result<WorkloadSettings, ScenarioError> {
+    reject_unknown_keys(t, "[workload]", &["model", "parallelism", "overlap"])?;
+    let models = string_axis(t, "model", &[])?;
+    if models.is_empty() {
+        return Err(ScenarioError::spec(format!(
+            "[workload] must list at least one model (one of: {})",
+            Workload::TOKENS.join(", ")
+        )));
+    }
+    for m in &models {
+        Workload::parse(m).map_err(|e| ScenarioError::spec(format!("workload.model: {e}")))?;
+    }
+    let parallelism = match opt_str(t, "workload", "parallelism")? {
+        None => Parallelism::default(),
+        Some(s) => Parallelism::parse(s)
+            .map_err(|e| ScenarioError::spec(format!("workload.parallelism: {e}")))?,
+    };
+    let overlap = match t.get("overlap") {
+        None => 0.0,
+        Some(v) => {
+            let f = v
+                .as_float()
+                .ok_or_else(|| ScenarioError::spec("workload.overlap must be a number"))?;
+            if !f.is_finite() || !(0.0..=1.0).contains(&f) {
+                return Err(ScenarioError::spec(
+                    "workload.overlap must be between 0.0 and 1.0",
+                ));
+            }
+            f
+        }
+    };
+    Ok(WorkloadSettings {
+        models,
+        parallelism,
+        overlap,
+    })
+}
+
+/// Builds the `[quick]` document: the original document with the quick
+/// table's axis values replacing their `[sweep]` (or `[workload] model`)
+/// counterparts. `[[exclude]]` rules are **inherited** unless the quick
+/// table declares its own `[[quick.exclude]]` set, which replaces them —
+/// a reduced grid must not silently lose the full grid's exclusion
+/// pinning. The result re-parses through the normal validation path, so
+/// a broken quick grid — including an inherited exclude that references
+/// an axis value the quick grid no longer has — fails loudly at load.
+fn merge_quick(
+    doc: &Table,
+    quick: &Table,
+    evaluation: &Evaluation,
+) -> Result<Table, ScenarioError> {
+    reject_unknown_keys(
+        quick,
+        "[quick]",
+        &[
+            "topology",
+            "collective",
+            "size",
+            "chunks",
+            "algo",
+            "seed",
+            "attempts",
+            "link",
+            "without_links",
+            "synth",
+            "model",
+            "exclude",
+        ],
+    )?;
+    let mut merged = doc.clone();
+    merged.remove("quick");
+    if quick.contains_key("exclude") {
+        merged.remove("exclude");
+    }
+    let mut sweep = match merged.remove("sweep") {
+        Some(Value::Table(t)) => t,
+        _ => Table::new(),
+    };
+    for (key, value) in quick {
+        match key.as_str() {
+            "exclude" => {
+                merged.insert("exclude".into(), value.clone());
+            }
+            "model" => {
+                if !evaluation.is_training() {
+                    return Err(ScenarioError::spec(
+                        "quick.model needs a [workload] section to override",
+                    ));
+                }
+                let mut workload = match merged.remove("workload") {
+                    Some(Value::Table(t)) => t,
+                    _ => Table::new(),
+                };
+                workload.insert("model".into(), value.clone());
+                merged.insert("workload".into(), Value::Table(workload));
+            }
+            "synth" => {
+                // Merge per-key so a quick override of one synth axis
+                // keeps the others.
+                let overrides = value.as_table().ok_or_else(|| {
+                    ScenarioError::spec("quick.synth must be a table of synthesizer axes")
+                })?;
+                let mut synth = match sweep.remove("synth") {
+                    Some(Value::Table(t)) => t,
+                    _ => Table::new(),
+                };
+                for (k, v) in overrides {
+                    // The full sweep may spell an axis at top level that
+                    // quick overrides via synth.* (or vice versa); drop
+                    // the other spelling so the merge stays unambiguous.
+                    sweep.remove(k);
+                    synth.insert(k.clone(), v.clone());
+                }
+                sweep.insert("synth".into(), Value::Table(synth));
+            }
+            _ => {
+                if let Some(Value::Table(synth)) = sweep.get_mut("synth") {
+                    synth.remove(key);
+                }
+                sweep.insert(key.clone(), value.clone());
+            }
+        }
+    }
+    merged.insert("sweep".into(), Value::Table(sweep));
+    Ok(merged)
+}
+
 /// Cross-field report validation: normalization needs its baseline in the
-/// grid, and link-traffic columns need the simulator's per-link report.
+/// grid, link-traffic columns need the simulator's per-link report, and
+/// breakdown columns need (only exist under) a `[workload]` section.
 fn validate_report(
     report: &ReportSettings,
     sweep: &SweepAxes,
     run: &RunSettings,
+    evaluation: &Evaluation,
 ) -> Result<(), ScenarioError> {
     if let Some(algo) = &report.normalize_over {
         if !sweep.algo.iter().any(|a| a == algo) {
@@ -1382,10 +1811,27 @@ fn validate_report(
                 "report column 'normalized_time' requires report.normalize_over",
             ));
         }
+        // Under [workload] the bandwidth-only check must come first:
+        // simulate is forced off there, and "set run.simulate = true"
+        // would be advice the [workload] validation then rejects.
+        if col.bandwidth_only() && evaluation.is_training() {
+            return Err(ScenarioError::spec(format!(
+                "report column '{}' only exists for bandwidth points; it is \
+                 unavailable under [workload]",
+                col.name()
+            )));
+        }
         if col.needs_simulation() && !run.simulate {
             return Err(ScenarioError::spec(format!(
                 "report column '{}' is derived from the simulator's per-link \
                  report; set run.simulate = true",
+                col.name()
+            )));
+        }
+        if col.needs_workload() && !evaluation.is_training() {
+            return Err(ScenarioError::spec(format!(
+                "report column '{}' is a training-breakdown value; it needs a \
+                 [workload] section",
                 col.name()
             )));
         }
@@ -1419,7 +1865,11 @@ fn parse_timeline(t: &Table) -> Result<TimelineSettings, ScenarioError> {
     Ok(timeline)
 }
 
-fn parse_exclude(t: &Table, sweep: &SweepAxes) -> Result<ExcludeRule, ScenarioError> {
+fn parse_exclude(
+    t: &Table,
+    sweep: &SweepAxes,
+    evaluation: &Evaluation,
+) -> Result<ExcludeRule, ScenarioError> {
     reject_unknown_keys(
         t,
         "[[exclude]]",
@@ -1432,6 +1882,8 @@ fn parse_exclude(t: &Table, sweep: &SweepAxes) -> Result<ExcludeRule, ScenarioEr
             "seed",
             "attempts",
             "without_links",
+            "model",
+            "prefer_cheap_links",
         ],
     )?;
     if t.is_empty() {
@@ -1494,12 +1946,45 @@ fn parse_exclude(t: &Table, sweep: &SweepAxes) -> Result<ExcludeRule, ScenarioEr
         }
         without_links.push(label);
     }
+    // `model` constraints are validated against the workload axis.
+    let mut model = Vec::new();
+    for v in exclude_values(t, "model")? {
+        let s = v
+            .as_str()
+            .ok_or_else(|| ScenarioError::spec("exclude.model entries must be strings"))?
+            .to_string();
+        let known = match evaluation {
+            Evaluation::Training(w) => w.models.contains(&s),
+            Evaluation::Bandwidth => false,
+        };
+        if !known {
+            return Err(ScenarioError::spec(format!(
+                "exclude.model value '{s}' is not in workload.model"
+            )));
+        }
+        model.push(s);
+    }
+    let mut prefer_cheap_links = Vec::new();
+    for v in exclude_values(t, "prefer_cheap_links")? {
+        let b = v.as_bool().ok_or_else(|| {
+            ScenarioError::spec("exclude.prefer_cheap_links entries must be booleans")
+        })?;
+        if !sweep.prefer_cheap_links.contains(&b) {
+            return Err(ScenarioError::spec(format!(
+                "exclude.prefer_cheap_links value {b} is not in \
+                 sweep.synth.prefer_cheap_links"
+            )));
+        }
+        prefer_cheap_links.push(b);
+    }
     Ok(ExcludeRule {
         topology: strings("topology", &sweep.topology)?,
         collective: strings("collective", &sweep.collective)?,
         size: strings("size", &sweep.size)?,
         algo: strings("algo", &sweep.algo)?,
         without_links,
+        model,
+        prefer_cheap_links,
         chunks: ints(
             "chunks",
             &sweep.chunks.iter().map(|&v| v as i64).collect::<Vec<_>>(),
@@ -1605,6 +2090,24 @@ fn int_axis(t: &Table, key: &str, default: &[i64]) -> Result<Vec<i64>, ScenarioE
                     )));
                 }
                 out.push(n);
+            }
+            Ok(dedupe(out))
+        }
+    }
+}
+
+fn bool_axis(t: &Table, key: &str, default: &[bool]) -> Result<Vec<bool>, ScenarioError> {
+    match axis_values(t, key)? {
+        None => Ok(default.to_vec()),
+        Some(values) => {
+            let mut out = Vec::with_capacity(values.len());
+            for v in values {
+                out.push(v.as_bool().ok_or_else(|| {
+                    ScenarioError::spec(format!(
+                        "sweep.{key} entries must be booleans, found {}",
+                        v.type_name()
+                    ))
+                })?);
             }
             Ok(dedupe(out))
         }
@@ -1916,115 +2419,18 @@ pub fn parse_pattern(s: &str, num_npus: usize) -> Result<CollectivePattern, Stri
     }
 }
 
-/// Parses a baseline algorithm name into its [`BaselineKind`].
+/// Parses an `algo` axis entry into its [`Mechanism`] under a base
+/// synthesizer configuration (the point's `seed` / `attempts` /
+/// `synth.prefer_cheap_links` axis values): `tacos`, `tacos:4`,
+/// `tacos:attempts=64,...`, `ideal`, or any [`parse_baseline`] spec.
 ///
-/// Parameterized baselines accept the paper's `name-N` variants as a
-/// `name:N` suffix: `themis:64` / `blueconnect:8` (chunk groups, default
-/// 4), `dbt:2` / `ccube:2` (pipeline depth, default 4), `ring-embedded:2`
-/// (parallel rings, default 3), and `taccl:50000` (search-node budget,
-/// default [`TacclConfig::default`]'s).
-///
-/// # Errors
-/// Returns a message for unknown algorithm names, a parameter on a
-/// parameterless baseline, or a malformed/zero parameter.
-pub fn parse_baseline(s: &str, seed: u64) -> Result<BaselineKind, String> {
-    let (name, param) = match s.split_once(':') {
-        Some((name, param)) => (name, Some(param)),
-        None => (s, None),
-    };
-    let num = |what: &str, default: usize| -> Result<usize, String> {
-        match param {
-            None => Ok(default),
-            Some(p) => {
-                let v: usize = p.parse().map_err(|e| format!("bad {what} '{p}': {e}"))?;
-                if v == 0 {
-                    return Err(format!("{what} must be >= 1"));
-                }
-                Ok(v)
-            }
-        }
-    };
-    let fixed = |kind: BaselineKind| -> Result<BaselineKind, String> {
-        match param {
-            None => Ok(kind),
-            Some(p) => Err(format!("algorithm '{name}' takes no ':{p}' parameter")),
-        }
-    };
-    match name {
-        "ring" => fixed(BaselineKind::Ring),
-        "ring-uni" => fixed(BaselineKind::RingUnidirectional),
-        "ring-embedded" => Ok(BaselineKind::RingEmbedded {
-            max_rings: num("max rings", 3)?,
-        }),
-        "direct" => fixed(BaselineKind::Direct),
-        "rhd" => fixed(BaselineKind::Rhd),
-        "dbt" => Ok(BaselineKind::Dbt {
-            pipeline: num("pipeline depth", 4)?,
-        }),
-        "blueconnect" => Ok(BaselineKind::BlueConnect {
-            chunks: num("chunk groups", 4)?,
-        }),
-        "themis" => Ok(BaselineKind::Themis {
-            chunks: num("chunk groups", 4)?,
-        }),
-        "multitree" => fixed(BaselineKind::MultiTree),
-        "ccube" => Ok(BaselineKind::CCube {
-            pipeline: num("pipeline depth", 4)?,
-        }),
-        "taccl" => {
-            let defaults = TacclConfig::default();
-            Ok(BaselineKind::TacclLike(TacclConfig {
-                seed,
-                node_budget: num("node budget", defaults.node_budget as usize)? as u64,
-                ..defaults
-            }))
-        }
-        other => Err(format!("unknown algorithm '{other}'")),
-    }
-}
-
-/// A parsed `algo` axis entry: TACOS itself, the theoretical ideal
-/// bound, or a baseline generator.
-#[derive(Debug, Clone, PartialEq)]
-pub enum AlgoKind {
-    /// TACOS synthesis. `chunks` is the paper's `TACOS-N` chunked
-    /// variant (`tacos:N`): it overrides the point's `chunks` axis value
-    /// for this algorithm only, so chunked TACOS can share a grid with
-    /// unchunked baselines (Fig. 16's comparison).
-    Tacos {
-        /// Chunking-factor override, if spelled `tacos:N`.
-        chunks: Option<usize>,
-    },
-    /// The theoretical ideal bound: no algorithm is generated or
-    /// simulated; the collective time is [`tacos_baselines::IdealBound`]'s.
-    Ideal,
-    /// A baseline generator.
-    Baseline(BaselineKind),
-}
-
-/// Parses an `algo` axis entry (`tacos`, `tacos:4`, `ideal`, or any
-/// [`parse_baseline`] spec).
+/// This is [`Mechanism::parse`] re-exposed next to the other string-spec
+/// parsers the CLI shares.
 ///
 /// # Errors
 /// Returns a message for unknown algorithms or malformed parameters.
-pub fn parse_algo(s: &str, seed: u64) -> Result<AlgoKind, String> {
-    match s {
-        "ideal" => return Ok(AlgoKind::Ideal),
-        "tacos" => return Ok(AlgoKind::Tacos { chunks: None }),
-        _ => {}
-    }
-    if let Some(param) = s.strip_prefix("tacos:") {
-        let chunks: usize = param
-            .parse()
-            .map_err(|e| format!("bad chunking factor '{param}': {e}"))?;
-        if chunks == 0 {
-            return Err("chunking factor must be >= 1".into());
-        }
-        return Ok(AlgoKind::Tacos {
-            chunks: Some(chunks),
-        });
-    }
-    parse_baseline(s, seed).map(AlgoKind::Baseline)
+pub fn parse_algo(s: &str, base: &SynthesizerConfig) -> Result<Mechanism, String> {
+    Mechanism::parse(s, base)
 }
 
 /// Parses a human-readable byte size (`64MB`, `0.5GB`, `1.5GiB`,
@@ -2370,7 +2776,7 @@ cache = false
         assert!(parse_pattern("gather:9", 4).is_err());
         assert!(matches!(
             parse_baseline("ring", 0).unwrap(),
-            BaselineKind::Ring
+            tacos_baselines::BaselineKind::Ring
         ));
         assert_eq!(parse_size("64MB").unwrap(), ByteSize::mb(64));
     }
@@ -2425,56 +2831,321 @@ cache = false
     }
 
     #[test]
-    fn baseline_params_follow_the_papers_dash_n_naming() {
+    fn algo_axis_accepts_tacos_variants_and_ideal() {
+        use tacos_baselines::BaselineKind;
+        let base = SynthesizerConfig::default();
         assert!(matches!(
-            parse_baseline("themis:64", 0).unwrap(),
-            BaselineKind::Themis { chunks: 64 }
+            parse_algo("tacos", &base).unwrap(),
+            Mechanism::Tacos(ref m) if m.chunks.is_none()
         ));
         assert!(matches!(
-            parse_baseline("blueconnect:8", 0).unwrap(),
-            BaselineKind::BlueConnect { chunks: 8 }
+            parse_algo("tacos:4", &base).unwrap(),
+            Mechanism::Tacos(ref m) if m.chunks == Some(4)
         ));
+        assert_eq!(parse_algo("ideal", &base).unwrap(), Mechanism::Ideal);
         assert!(matches!(
-            parse_baseline("dbt:2", 0).unwrap(),
-            BaselineKind::Dbt { pipeline: 2 }
+            parse_algo("themis:64", &base).unwrap(),
+            Mechanism::Baseline(BaselineKind::Themis { chunks: 64 })
         ));
-        assert!(matches!(
-            parse_baseline("ccube:2", 0).unwrap(),
-            BaselineKind::CCube { pipeline: 2 }
-        ));
-        assert!(matches!(
-            parse_baseline("ring-embedded:2", 0).unwrap(),
-            BaselineKind::RingEmbedded { max_rings: 2 }
-        ));
-        match parse_baseline("taccl:2000", 7).unwrap() {
-            BaselineKind::TacclLike(c) => {
-                assert_eq!(c.node_budget, 2000);
-                assert_eq!(c.seed, 7);
+        // Per-variant synth.* overrides layer on the base config.
+        match parse_algo("tacos:attempts=64,prefer_cheap_links=false", &base).unwrap() {
+            Mechanism::Tacos(m) => {
+                assert_eq!(m.config.attempts(), 64);
+                assert!(!m.config.prefer_cheap_links());
             }
             other => panic!("unexpected {other:?}"),
         }
-        assert!(parse_baseline("ring:2", 0).is_err());
-        assert!(parse_baseline("themis:0", 0).is_err());
-        assert!(parse_baseline("themis:x", 0).is_err());
+        assert!(parse_algo("tacos:0", &base).is_err());
+        assert!(parse_algo("magic", &base).is_err());
     }
 
     #[test]
-    fn algo_axis_accepts_tacos_variants_and_ideal() {
-        assert_eq!(
-            parse_algo("tacos", 0).unwrap(),
-            AlgoKind::Tacos { chunks: None }
+    fn synth_axes_parse_and_alias_the_top_level_spellings() {
+        let spec = ScenarioSpec::from_toml_str(
+            "[scenario]\nname = \"t\"\n[sweep]\ntopology = [\"ring:4\"]\n\
+             synth.attempts = [1, 8]\nsynth.seed = [7]\nsynth.chunks = [2, 4]\n\
+             synth.prefer_cheap_links = [true, false]\n",
+        )
+        .unwrap();
+        assert_eq!(spec.sweep.attempts, [1, 8]);
+        assert_eq!(spec.sweep.seed, [7]);
+        assert_eq!(spec.sweep.chunks, [2, 4]);
+        assert_eq!(spec.sweep.prefer_cheap_links, [true, false]);
+        // Without the synth table the prioritization axis defaults to the
+        // paper's on-setting.
+        let plain = ScenarioSpec::from_toml_str(MINIMAL).unwrap();
+        assert_eq!(plain.sweep.prefer_cheap_links, [true]);
+
+        // Declaring an axis in both spellings is ambiguous.
+        let err = ScenarioSpec::from_toml_str(
+            "[scenario]\nname = \"t\"\n[sweep]\ntopology = [\"ring:4\"]\n\
+             attempts = [2]\nsynth.attempts = [4]\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("name the same axis"), "got: {err}");
+        // Typos inside the synth table are rejected like everywhere else.
+        let err = ScenarioSpec::from_toml_str(
+            "[scenario]\nname = \"t\"\n[sweep]\ntopology = [\"ring:4\"]\n\
+             synth.prefer_cheap = [true]\n",
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("unknown key 'prefer_cheap'"),
+            "got: {err}"
         );
-        assert_eq!(
-            parse_algo("tacos:4", 0).unwrap(),
-            AlgoKind::Tacos { chunks: Some(4) }
+    }
+
+    #[test]
+    fn workload_section_switches_to_training_evaluation() {
+        let spec = ScenarioSpec::from_toml_str(
+            "[scenario]\nname = \"t\"\n[sweep]\ntopology = [\"torus:2x2x2\"]\n\
+             [workload]\nmodel = [\"gnmt\", \"msft_1t\"]\nparallelism = \"data\"\noverlap = 0.25\n",
+        )
+        .unwrap();
+        match &spec.evaluation {
+            Evaluation::Training(w) => {
+                assert_eq!(w.models, ["gnmt", "msft_1t"]);
+                assert_eq!(w.parallelism, Parallelism::Data);
+                assert_eq!(w.overlap, 0.25);
+            }
+            other => panic!("expected training, got {other:?}"),
+        }
+        assert!(spec.evaluation.is_training());
+        // Bandwidth scenarios stay the default.
+        assert!(!ScenarioSpec::from_toml_str(MINIMAL)
+            .unwrap()
+            .evaluation
+            .is_training());
+    }
+
+    #[test]
+    fn workload_section_is_validated() {
+        let base = "[scenario]\nname = \"t\"\n[sweep]\ntopology = [\"torus:2x2x2\"]\n";
+        for (snippet, needle) in [
+            ("[workload]\nmodel = [\"blob\"]\n", "unknown workload model"),
+            ("[workload]\n", "at least one model"),
+            (
+                "[workload]\nmodel = [\"gnmt\"]\nparallelism = \"frob\"\n",
+                "unknown parallelism",
+            ),
+            (
+                "[workload]\nmodel = [\"gnmt\"]\noverlap = 1.5\n",
+                "between 0.0 and 1.0",
+            ),
+            (
+                "[workload]\nmodel = [\"gnmt\"]\nmodels = [\"gnmt\"]\n",
+                "unknown key 'models'",
+            ),
+            (
+                "[workload]\nmodel = [\"gnmt\"]\n[run]\nsimulate = true\n",
+                "run.simulate has no effect",
+            ),
+            (
+                "[workload]\nmodel = [\"gnmt\"]\n[run]\nsimulate = true\n[timeline]\nbuckets = 4\n",
+                "[workload]",
+            ),
+            (
+                "[workload]\nmodel = [\"gnmt\"]\n[report]\ncolumns = [\"bandwidth_gbps\"]\n",
+                "only exists for bandwidth points",
+            ),
+        ] {
+            let err = ScenarioSpec::from_toml_str(&format!("{base}{snippet}"))
+                .unwrap_err()
+                .to_string();
+            assert!(err.contains(needle), "snippet {snippet:?}: got '{err}'");
+        }
+        // A collective/size axis under [workload] is dead weight.
+        let err = ScenarioSpec::from_toml_str(
+            "[scenario]\nname = \"t\"\n[sweep]\ntopology = [\"torus:2x2x2\"]\nsize = [\"1MB\"]\n\
+             [workload]\nmodel = [\"gnmt\"]\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("has no effect under [workload]"));
+        // Breakdown columns need [workload].
+        let err = ScenarioSpec::from_toml_str(
+            "[scenario]\nname = \"t\"\n[sweep]\ntopology = [\"ring:4\"]\n\
+             [report]\ncolumns = [\"forward_ps\"]\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("[workload] section"), "got: {err}");
+    }
+
+    #[test]
+    fn quick_section_builds_a_validated_reduced_grid() {
+        let spec = ScenarioSpec::from_toml_str(
+            r#"
+[scenario]
+name = "t"
+[sweep]
+topology = ["ring:8", "ring:16"]
+size = ["1MB", "1GB"]
+algo = ["tacos", "ring"]
+synth.attempts = [1, 8, 64]
+[[exclude]]
+topology = "ring:16"
+algo = "ring"
+[quick]
+topology = ["ring:8"]
+size = ["1MB"]
+synth.attempts = [1, 8]
+[[quick.exclude]]
+topology = "ring:8"
+algo = "ring"
+"#,
+        )
+        .unwrap();
+        // The full grid is untouched.
+        assert_eq!(spec.sweep.topology, ["ring:8", "ring:16"]);
+        assert_eq!(spec.sweep.attempts, [1, 8, 64]);
+        assert_eq!(spec.excludes.len(), 1);
+        // The quick grid replaces the listed axes and the exclude set,
+        // keeps everything else, and validated at load.
+        let quick = spec.quick.as_deref().expect("[quick] parsed");
+        assert_eq!(quick.sweep.topology, ["ring:8"]);
+        assert_eq!(quick.sweep.size, ["1MB"]);
+        assert_eq!(quick.sweep.attempts, [1, 8]);
+        assert_eq!(quick.sweep.algo, spec.sweep.algo);
+        assert_eq!(quick.excludes.len(), 1);
+        assert_eq!(quick.excludes[0].topology, ["ring:8"]);
+        assert!(quick.quick.is_none(), "quick does not nest");
+        assert_eq!(spec.quick_spec().sweep.topology, ["ring:8"]);
+        // Without [quick], quick_spec is the spec itself.
+        let plain = ScenarioSpec::from_toml_str(MINIMAL).unwrap();
+        assert!(plain.quick.is_none());
+        assert_eq!(plain.quick_spec().name, plain.name);
+    }
+
+    #[test]
+    fn quick_inherits_excludes_unless_it_restates_them() {
+        // A [quick] that only reduces an unrelated axis keeps the full
+        // grid's exclusion pinning.
+        let spec = ScenarioSpec::from_toml_str(
+            r#"
+[scenario]
+name = "t"
+[sweep]
+topology = ["ring:4", "ring:8"]
+algo = ["tacos", "ring"]
+attempts = [1, 8]
+[[exclude]]
+topology = "ring:8"
+algo = "ring"
+[quick]
+attempts = [1]
+"#,
+        )
+        .unwrap();
+        let quick = spec.quick.as_deref().unwrap();
+        assert_eq!(quick.excludes, spec.excludes, "excludes inherited");
+        assert_eq!(quick.sweep.attempts, [1]);
+        // An inherited exclude referencing an axis value the quick grid
+        // dropped fails loudly instead of silently running extra points.
+        let err = ScenarioSpec::from_toml_str(
+            r#"
+[scenario]
+name = "t"
+[sweep]
+topology = ["ring:4", "ring:8"]
+algo = ["tacos", "ring"]
+[[exclude]]
+topology = "ring:8"
+algo = "ring"
+[quick]
+topology = ["ring:4"]
+"#,
+        )
+        .unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("in [quick]"), "got: {text}");
+        assert!(text.contains("not in sweep.topology"), "got: {text}");
+    }
+
+    #[test]
+    fn training_sim_column_error_does_not_point_at_run_simulate() {
+        // "set run.simulate = true" would be advice the [workload]
+        // validation rejects; the error must say the column is
+        // unavailable under [workload] instead.
+        let err = ScenarioSpec::from_toml_str(
+            "[scenario]\nname = \"t\"\n[sweep]\ntopology = [\"torus:2x2x2\"]\n\
+             [workload]\nmodel = [\"gnmt\"]\n\
+             [report]\ncolumns = [\"avg_utilization\"]\n",
+        )
+        .unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("unavailable under [workload]"), "got: {text}");
+        assert!(!text.contains("set run.simulate"), "got: {text}");
+    }
+
+    #[test]
+    fn quick_section_is_validated_like_the_full_grid() {
+        // A broken quick axis fails at load, prefixed so the author knows
+        // which grid to fix.
+        let err = ScenarioSpec::from_toml_str(
+            "[scenario]\nname = \"t\"\n[sweep]\ntopology = [\"ring:8\"]\n\
+             [quick]\ntopology = [\"blob:3\"]\n",
+        )
+        .unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("in [quick]"), "got: {text}");
+        assert!(text.contains("unknown topology kind"), "got: {text}");
+        // quick.model needs a [workload] to override.
+        let err = ScenarioSpec::from_toml_str(
+            "[scenario]\nname = \"t\"\n[sweep]\ntopology = [\"ring:8\"]\n\
+             [quick]\nmodel = [\"gnmt\"]\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("needs a [workload]"), "got: {err}");
+        // Unknown quick keys are rejected.
+        let err = ScenarioSpec::from_toml_str(
+            "[scenario]\nname = \"t\"\n[sweep]\ntopology = [\"ring:8\"]\n\
+             [quick]\nthreads = 1\n",
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("unknown key 'threads'"),
+            "got: {err}"
         );
-        assert_eq!(parse_algo("ideal", 0).unwrap(), AlgoKind::Ideal);
-        assert!(matches!(
-            parse_algo("themis:64", 0).unwrap(),
-            AlgoKind::Baseline(BaselineKind::Themis { chunks: 64 })
-        ));
-        assert!(parse_algo("tacos:0", 0).is_err());
-        assert!(parse_algo("magic", 0).is_err());
+    }
+
+    #[test]
+    fn quick_model_override_replaces_the_workload_axis() {
+        let spec = ScenarioSpec::from_toml_str(
+            "[scenario]\nname = \"t\"\n[sweep]\ntopology = [\"torus:2x2x2\"]\n\
+             [workload]\nmodel = [\"resnet50\", \"msft_1t\"]\noverlap = 0.5\n\
+             [quick]\nmodel = [\"resnet50\"]\n",
+        )
+        .unwrap();
+        let quick = spec.quick.as_deref().unwrap();
+        match (&spec.evaluation, &quick.evaluation) {
+            (Evaluation::Training(full), Evaluation::Training(q)) => {
+                assert_eq!(full.models, ["resnet50", "msft_1t"]);
+                assert_eq!(q.models, ["resnet50"]);
+                // Non-axis workload settings carry over.
+                assert_eq!(q.overlap, 0.5);
+            }
+            other => panic!("expected training pair, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timeout_setting_parses_and_rejects_nonpositive_values() {
+        let spec = ScenarioSpec::from_toml_str(
+            "[scenario]\nname = \"t\"\n[sweep]\ntopology = [\"ring:4\"]\n\
+             [run]\ntimeout_s = 2.5\n",
+        )
+        .unwrap();
+        assert_eq!(spec.run.timeout_s, Some(2.5));
+        assert_eq!(
+            ScenarioSpec::from_toml_str(MINIMAL).unwrap().run.timeout_s,
+            None
+        );
+        for bad in ["timeout_s = 0", "timeout_s = -1.0", "timeout_s = \"x\""] {
+            let err = ScenarioSpec::from_toml_str(&format!(
+                "[scenario]\nname = \"t\"\n[sweep]\ntopology = [\"ring:4\"]\n[run]\n{bad}\n"
+            ))
+            .unwrap_err();
+            assert!(err.to_string().contains("timeout_s"), "{bad}: got {err}");
+        }
     }
 
     #[test]
@@ -2871,6 +3542,8 @@ algo = ["taccl"]
             seed: 42,
             attempts: 1,
             without_links: "0",
+            model: "",
+            prefer_cheap_links: true,
         };
         assert!(rule.matches(values("mesh:2x2", "taccl")));
         assert!(!rule.matches(values("ring:4", "taccl")));

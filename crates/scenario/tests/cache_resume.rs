@@ -122,6 +122,49 @@ fn randomized_baselines_are_keyed_per_seed() {
 }
 
 #[test]
+fn synth_axes_key_the_cache_and_rerun_resynthesizes_nothing() {
+    // The acceptance bar for the synth.* axes: every axis value lands in
+    // the algorithm-cache key (distinct configs generate separately; no
+    // stale cross-config hits) and a re-run of the same grid is pure
+    // cache hits.
+    let cache = temp_cache("synthaxes");
+    let sweep = "topology = [\"mesh:2x2\"]\ncollective = [\"all-gather\"]\nsize = [\"4MB\"]\n\
+                 algo = [\"tacos\"]\n\
+                 synth.seed = [1, 2]\n\
+                 synth.attempts = [1, 2]\n\
+                 synth.prefer_cheap_links = [true, false]";
+    let mut spec = spec_with_cache(sweep, &cache);
+    // Serialize execution so generated/hit accounting is deterministic.
+    spec.run.threads = 1;
+
+    let first = run(&spec).unwrap();
+    assert_eq!(
+        first.records.len(),
+        8,
+        "2 seeds x 2 attempts x 2 prioritizations"
+    );
+    assert_eq!(first.failed, 0);
+    assert_eq!(
+        first.generated, 8,
+        "every synth.* combination is a distinct cache key"
+    );
+    assert_eq!(first.cache_hits, 0);
+
+    let second = run(&spec).unwrap();
+    assert_eq!(second.generated, 0, "re-run must not synthesize anything");
+    assert_eq!(second.cache_hits, 8);
+    for (a, b) in first.records.iter().zip(&second.records) {
+        assert_eq!(
+            a.result.as_ref().unwrap().collective_time,
+            b.result.as_ref().unwrap().collective_time,
+            "point {}",
+            a.point.label()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
 fn run_writes_csv_and_json_artifacts() {
     let cache = temp_cache("artifacts");
     let out_dir = std::env::temp_dir().join(format!("tacos-scenario-out-{}", std::process::id()));

@@ -6,7 +6,8 @@ use std::collections::{BTreeMap, HashSet};
 
 use proptest::prelude::*;
 use tacos_scenario::{
-    expand, LinkAxis, ReportSettings, RunSettings, ScenarioSpec, SweepAxes, WithoutLinks,
+    expand, Evaluation, LinkAxis, ReportSettings, RunSettings, ScenarioSpec, SweepAxes,
+    WithoutLinks,
 };
 
 const TOPOLOGY_POOL: &[&str] = &[
@@ -45,9 +46,11 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
             prop::collection::hash_set(1u32..6, 1..4),
         ),
         0usize..3,
+        0usize..2,
     )
         .prop_map(
-            |((topology, size, algo, collective, seeds, chunks), failures)| {
+            |((topology, size, algo, collective, seeds, chunks), failures, sweep_cheap)| {
+                let sweep_cheap = sweep_cheap == 1;
                 let mut seed: Vec<u64> = seeds.into_iter().map(u64::from).collect();
                 seed.sort_unstable();
                 let mut chunks: Vec<usize> = chunks.into_iter().map(|c| c as usize).collect();
@@ -61,6 +64,11 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
                     WithoutLinks::Links(vec![0, 2]),
                 ][..=failures]
                     .to_vec();
+                let prefer_cheap_links = if sweep_cheap {
+                    vec![true, false]
+                } else {
+                    vec![true]
+                };
                 ScenarioSpec {
                     name: "prop".into(),
                     description: String::new(),
@@ -75,12 +83,15 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
                         attempts: vec![1],
                         link: vec![LinkAxis::default_paper()],
                         without_links,
+                        prefer_cheap_links,
                     },
+                    evaluation: Evaluation::Bandwidth,
                     run: RunSettings::default(),
                     report: ReportSettings::default(),
                     timeline: None,
                     excludes: Vec::new(),
                     custom_topologies: BTreeMap::new(),
+                    quick: None,
                 }
             },
         )
@@ -101,7 +112,8 @@ proptest! {
             * axes.chunks.len()
             * axes.algo.len()
             * axes.seed.len()
-            * axes.attempts.len();
+            * axes.attempts.len()
+            * axes.prefer_cheap_links.len();
         let points = expand(&spec).unwrap();
         prop_assert_eq!(points.len(), expected);
     }

@@ -1,0 +1,103 @@
+//! Golden test on `scenarios/training_golden.toml`: the training
+//! evaluation's ordering and accounting invariants, pinned on a tiny
+//! grid that doubles as the CI training smoke.
+
+use std::path::PathBuf;
+
+use tacos_scenario::{run, Evaluation, ScenarioSpec};
+use tacos_topology::Time;
+
+fn load() -> ScenarioSpec {
+    let path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios/training_golden.toml");
+    let mut spec = ScenarioSpec::from_file(path).unwrap();
+    spec.run.cache = None;
+    spec.run.quiet = true;
+    spec.output = None;
+    spec
+}
+
+#[test]
+fn training_golden_invariants_hold() {
+    let spec = load();
+    let summary = run(&spec).unwrap();
+    assert_eq!(summary.failed, 0);
+    assert_eq!(
+        summary.records.len(),
+        2 * 3,
+        "two models x three mechanisms"
+    );
+    assert!(summary.training);
+
+    for model in ["resnet50", "msft_1t"] {
+        let total_of = |algo: &str| -> Time {
+            summary
+                .records
+                .iter()
+                .find(|r| r.point.algo == algo && r.point.model.as_deref() == Some(model))
+                .unwrap()
+                .result
+                .as_ref()
+                .unwrap()
+                .collective_time
+        };
+        // TACOS at or below Ring; the ideal bound at or below everything.
+        assert!(total_of("tacos") <= total_of("ring"), "model {model}");
+        assert!(total_of("ideal") <= total_of("tacos"), "model {model}");
+        assert!(total_of("ideal") <= total_of("ring"), "model {model}");
+    }
+
+    // Breakdown columns sum exactly to the iteration total — checked on
+    // the shaped CSV itself, the artifact consumers read.
+    let rows = summary.csv_rows();
+    let header = &rows[0];
+    let col = |name: &str| {
+        header
+            .iter()
+            .position(|h| h == name)
+            .unwrap_or_else(|| panic!("missing column {name} in {header:?}"))
+    };
+    let (fwd_c, bwd_c) = (col("forward_ps"), col("backward_ps"));
+    let (wg_c, ig_c) = (col("wg_comm_ps"), col("ig_comm_ps"));
+    let (total_c, model_c, algo_c) = (col("collective_time_ps"), col("model"), col("algo"));
+    let norm_c = col("normalized_time");
+    for row in &rows[1..] {
+        let cell = |c: usize| row[c].parse::<u64>().unwrap();
+        assert_eq!(
+            cell(fwd_c) + cell(bwd_c) + cell(wg_c) + cell(ig_c),
+            cell(total_c),
+            "breakdown must sum to the total on row {row:?}"
+        );
+        // Hybrid parallelism exposes MSFT-1T's input gradients; pure-DP
+        // ResNet-50 has none.
+        match row[model_c].as_str() {
+            "msft_1t" => assert!(cell(ig_c) > 0),
+            "resnet50" => assert_eq!(cell(ig_c), 0),
+            other => panic!("unexpected model {other}"),
+        }
+        // Normalized over Ring: the baseline's own rows are exactly 1.0.
+        let norm: f64 = row[norm_c].parse().unwrap();
+        if row[algo_c] == "ring" {
+            assert_eq!(norm, 1.0);
+        } else {
+            assert!(norm > 0.0 && norm <= 1.0, "nothing beats ring here? {norm}");
+        }
+    }
+}
+
+#[test]
+fn training_golden_quick_grid_is_the_ci_smoke() {
+    let spec = load();
+    let quick = spec.quick.as_deref().expect("[quick] declared");
+    match &quick.evaluation {
+        Evaluation::Training(w) => assert_eq!(w.models, ["resnet50"]),
+        other => panic!("expected training evaluation, got {other:?}"),
+    }
+    let mut quick = quick.clone();
+    quick.run.cache = None;
+    quick.run.quiet = true;
+    quick.output = None;
+    let summary = run(&quick).unwrap();
+    assert_eq!(summary.failed, 0);
+    assert_eq!(summary.records.len(), 3);
+}

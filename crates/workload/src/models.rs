@@ -79,6 +79,28 @@ impl Workload {
         }
     }
 
+    /// The model-selection tokens accepted by [`Workload::parse`] (the
+    /// scenario engine's `[workload] model` axis vocabulary).
+    pub const TOKENS: [&'static str; 4] = ["gnmt", "resnet50", "turing_nlg", "msft_1t"];
+
+    /// Parses a model-selection token (`gnmt`, `resnet50`, `turing_nlg`,
+    /// `msft_1t`; the printed figure names are accepted too).
+    ///
+    /// # Errors
+    /// Returns a message listing the known tokens.
+    pub fn parse(token: &str) -> Result<Workload, String> {
+        match token.to_ascii_lowercase().as_str() {
+            "gnmt" => Ok(Workload::gnmt()),
+            "resnet50" | "resnet-50" => Ok(Workload::resnet50()),
+            "turing_nlg" | "turing-nlg" => Ok(Workload::turing_nlg()),
+            "msft_1t" | "msft-1t" => Ok(Workload::msft_1t()),
+            other => Err(format!(
+                "unknown workload model '{other}' (expected one of: {})",
+                Workload::TOKENS.join(", ")
+            )),
+        }
+    }
+
     /// Model name as printed in the figures.
     pub fn name(&self) -> &'static str {
         self.name

@@ -1,0 +1,137 @@
+//! Conservation property tests on [`TrainingEvaluator`]: over arbitrary
+//! gradient-collective times, parallelism patterns, and overlap
+//! fractions, the iteration accounting holds together —
+//! `total == forward + backward + exposed comm`, exposed communication
+//! never exceeds the raw collective time, and normalized comparisons are
+//! invariant under uniform time scaling.
+
+use proptest::prelude::*;
+use tacos_topology::Time;
+use tacos_workload::{Parallelism, TrainingEvaluator, TrainingReport, Workload};
+
+fn models() -> [Workload; 4] {
+    [
+        Workload::gnmt(),
+        Workload::resnet50(),
+        Workload::turing_nlg(),
+        Workload::msft_1t(),
+    ]
+}
+
+/// A tiny throwaway topology: the evaluator only reads it when resolving
+/// mechanisms, which `evaluate_with_times` bypasses.
+fn any_topo() -> tacos_topology::Topology {
+    tacos_topology::Topology::ring(
+        3,
+        tacos_topology::LinkSpec::new(
+            Time::from_micros(0.5),
+            tacos_topology::Bandwidth::gbps(50.0),
+        ),
+        tacos_topology::RingOrientation::Bidirectional,
+    )
+    .unwrap()
+}
+
+/// Evaluates a model with stubbed collective times: `wg_ps` for the
+/// weight gradients, `ig_ps` for the input gradients.
+fn evaluate(
+    model: &Workload,
+    parallelism: Parallelism,
+    overlap: f64,
+    wg_ps: u64,
+    ig_ps: u64,
+) -> TrainingReport {
+    let topo = any_topo();
+    let evaluator = TrainingEvaluator::new(&topo)
+        .with_parallelism(parallelism)
+        .with_overlap(overlap);
+    let mut first = true;
+    evaluator
+        .evaluate_with_times(model, |_| {
+            let t = if first { wg_ps } else { ig_ps };
+            first = false;
+            Ok(Time::from_ps(t))
+        })
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `total == fwd + bwd + exposed comm`, and exposure never invents
+    /// time: `0 <= exposed <= raw` per collective.
+    #[test]
+    fn totals_conserve_and_exposure_is_bounded(
+        model_idx in 0usize..4,
+        parallel in 0usize..2,
+        overlap_pct in 0u32..101,
+        wg_ps in 1u64..u64::MAX / 4,
+        ig_ps in 1u64..u64::MAX / 4,
+    ) {
+        let model = &models()[model_idx];
+        let parallelism = if parallel == 0 { Parallelism::Data } else { Parallelism::Hybrid };
+        let overlap = f64::from(overlap_pct) / 100.0;
+        let r = evaluate(model, parallelism, overlap, wg_ps, ig_ps);
+        // Conservation: the four-way breakdown is the whole iteration.
+        prop_assert_eq!(r.total(), r.forward + r.backward + r.weight_grad_comm + r.input_grad_comm);
+        prop_assert_eq!(r.comm(), r.weight_grad_comm + r.input_grad_comm);
+        prop_assert_eq!(r.compute(), r.forward + r.backward);
+        // Exposure is bounded by the raw collective times (Time is
+        // unsigned, so non-negativity is structural; the upper bound is
+        // the real invariant).
+        prop_assert!(r.weight_grad_comm <= r.raw_weight_grad);
+        prop_assert!(r.input_grad_comm <= r.raw_input_grad);
+        prop_assert!(r.comm() <= r.raw_comm());
+        // No overlap means fully exposed.
+        if overlap_pct == 0 {
+            prop_assert_eq!(r.comm(), r.raw_comm());
+        }
+        // Full overlap hides everything.
+        if overlap_pct == 100 {
+            prop_assert_eq!(r.comm(), Time::ZERO);
+        }
+        // The raw weight-gradient time is exactly what the resolver said.
+        prop_assert_eq!(r.raw_weight_grad, Time::from_ps(wg_ps));
+        // Pure DP never exposes input gradients; hybrid exposes exactly
+        // what the model defines.
+        match (parallelism, model.input_grad()) {
+            (Parallelism::Hybrid, Some(_)) => {
+                prop_assert_eq!(r.raw_input_grad, Time::from_ps(ig_ps))
+            }
+            _ => prop_assert_eq!(r.raw_input_grad, Time::ZERO),
+        }
+    }
+
+    /// Normalized comparisons are scale-invariant: scaling every time in
+    /// the iteration by the same factor leaves mechanism-vs-mechanism
+    /// ratios (the `normalized_time` column) unchanged up to rounding.
+    #[test]
+    fn normalized_comparisons_are_scale_invariant(
+        model_idx in 0usize..4,
+        overlap_pct in 0u32..101,
+        wg_a in 1_000u64..1_000_000_000,
+        wg_b in 1_000u64..1_000_000_000,
+        scale in 2u64..1000,
+    ) {
+        let model = &models()[model_idx];
+        let overlap = f64::from(overlap_pct) / 100.0;
+        // Two "mechanisms" a and b, then both scaled by the same factor.
+        // Compute does not scale, so compare pure-comm ratios: exposed
+        // comm is homogeneous in the collective times.
+        let a = evaluate(model, Parallelism::Hybrid, overlap, wg_a, wg_a / 2 + 1);
+        let b = evaluate(model, Parallelism::Hybrid, overlap, wg_b, wg_b / 2 + 1);
+        let a2 = evaluate(model, Parallelism::Hybrid, overlap, wg_a * scale, (wg_a / 2 + 1) * scale);
+        let b2 = evaluate(model, Parallelism::Hybrid, overlap, wg_b * scale, (wg_b / 2 + 1) * scale);
+        // Full overlap zeroes every exposure; there is no ratio to check.
+        if b.comm() > Time::ZERO && b2.comm() > Time::ZERO {
+            let ratio = a.comm().as_secs_f64() / b.comm().as_secs_f64();
+            let scaled_ratio = a2.comm().as_secs_f64() / b2.comm().as_secs_f64();
+            // Exposure rounds down in integer picoseconds, so allow the
+            // rounding's worth of slack.
+            prop_assert!(
+                (ratio - scaled_ratio).abs() <= 1e-6 * ratio.max(scaled_ratio),
+                "ratio {ratio} vs scaled {scaled_ratio}"
+            );
+        }
+    }
+}

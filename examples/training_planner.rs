@@ -14,7 +14,7 @@ use tacos::prelude::*;
 use tacos_baselines::BaselineKind;
 use tacos_core::AlgorithmCache;
 use tacos_report::Table;
-use tacos_workload::{CommMechanism, TrainingEvaluator, Workload};
+use tacos_workload::{Mechanism, SynthMechanism, TrainingEvaluator, Workload};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let topo =
@@ -29,11 +29,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let eval = TrainingEvaluator::new(&topo).with_chunks(1);
     let mechanisms = vec![
-        CommMechanism::Baseline(BaselineKind::Ring),
-        CommMechanism::Baseline(BaselineKind::Direct),
-        CommMechanism::Baseline(BaselineKind::Themis { chunks: 4 }),
-        CommMechanism::Tacos(SynthesizerConfig::default().with_attempts(8)),
-        CommMechanism::Ideal,
+        Mechanism::Baseline(BaselineKind::Ring),
+        Mechanism::Baseline(BaselineKind::Direct),
+        Mechanism::Baseline(BaselineKind::Themis { chunks: 4 }),
+        Mechanism::Tacos(SynthMechanism {
+            config: SynthesizerConfig::default().with_attempts(8),
+            chunks: None,
+        }),
+        Mechanism::Ideal,
     ];
     let mut table = Table::new(vec!["mechanism", "exposed comm", "iteration", "vs best"]);
     let mut results = Vec::new();

@@ -23,8 +23,10 @@
 //! * [`baselines`] — Ring, Direct, RHD, DBT, BlueConnect, Themis,
 //!   MultiTree, C-Cube, a TACCL-like bounded-optimal search, and the
 //!   theoretical ideal bound.
-//! * [`workload`] — end-to-end training models (GNMT, ResNet-50,
-//!   Turing-NLG, MSFT-1T) with exposed-communication accounting.
+//! * [`workload`] — the shared evaluation vocabulary
+//!   ([`workload::Mechanism`]: baseline / TACOS config / ideal bound) and
+//!   end-to-end training models (GNMT, ResNet-50, Turing-NLG, MSFT-1T)
+//!   with exposed-communication accounting.
 //! * [`report`] — ASCII tables, heat maps, CSV/JSON writers and the
 //!   polynomial fits used by the scalability analysis.
 //! * [`scenario`] — the declarative scenario engine: whole evaluation
@@ -33,9 +35,9 @@
 //!   executed by a work-stealing sharded runner that routes every point
 //!   through the algorithm cache, so re-runs and overlapping grids are
 //!   incremental. Run them with `tacos scenario run <file.toml>`; the
-//!   checked-in files under `scenarios/` reproduce paper figures.
-//!   New sweeps should be scenario files, not new `tacos-bench` binaries
-//!   (see `ROADMAP.md` for the bench-binary deprecation path).
+//!   checked-in files under `scenarios/` reproduce all sixteen paper
+//!   figure/table/ablation experiments — the evaluation lives entirely
+//!   in data, and new sweeps should be scenario files too.
 //!
 //! ## Quickstart
 //!
@@ -78,4 +80,5 @@ pub mod prelude {
     pub use tacos_topology::{
         Bandwidth, ByteSize, LinkId, LinkSpec, NpuId, Time, Topology, TopologyBuilder,
     };
+    pub use tacos_workload::{Mechanism, TrainingEvaluator, Workload};
 }
