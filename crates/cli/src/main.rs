@@ -72,6 +72,8 @@ usage: tacos [options]
        tacos scenario run <file.toml> [scenario options]
        tacos scenario expand <file.toml>
        tacos scenario diff <a.csv> <b.csv> [--tol 1e-9]
+       tacos serve [serve options]
+       tacos serve-bench <file.toml> [serve-bench options]
 
 single-point options:
   --topology SPEC    ring:N | fc:N | mesh:RxC | torus:XxY[xZ] | hypercube:XxYxZ |
@@ -100,11 +102,31 @@ scenario options (override the file's [run] table):
   --quiet            suppress per-point progress on stderr
 
 scenario diff options:
-  --tol T            numeric tolerance for cell comparison (default 1e-9)";
+  --tol T            numeric tolerance for cell comparison (default 1e-9)
+
+serve options (synthesis-as-a-service daemon; line-delimited JSON over TCP):
+  --addr HOST:PORT   listen address (default 127.0.0.1:7440; port 0 = ephemeral)
+  --workers N        synthesis worker threads (default 2)
+  --queue-depth N    admission queue: waiting syntheses before requests are
+                     rejected (default 32)
+  --cache-dir DIR    persist the warm cache to DIR on shutdown/checkpoint and
+                     reload it on start (matcher-version checked)
+  --deadline-ms MS   default per-request deadline (requests may override)
+  --quiet            suppress daemon notices on stderr
+
+serve-bench options (replay a scenario grid against a running daemon):
+  --addr HOST:PORT   daemon address (default 127.0.0.1:7440)
+  --concurrency LIST comma-separated client counts to measure (default 1,4)
+  --deadline-ms MS   attach a deadline to every replayed request
+  --output FILE      write the JSON report to FILE (default BENCH_PR6.json)
+  --quick            replay the scenario's [quick] reduced grid";
 
 fn run(args: &[String]) -> Result<(), CliError> {
-    if args.first().map(String::as_str) == Some("scenario") {
-        return scenario_command(&args[1..]);
+    match args.first().map(String::as_str) {
+        Some("scenario") => return scenario_command(&args[1..]),
+        Some("serve") => return serve_command(&args[1..]),
+        Some("serve-bench") => return serve_bench_command(&args[1..]),
+        _ => {}
     }
     // Legacy single-point mode: most failures are flag mistakes, so they
     // keep the usage text.
@@ -252,6 +274,9 @@ fn scenario_command(args: &[String]) -> Result<(), CliError> {
             Ok(())
         }
         "run" => {
+            // Ctrl-C stops claiming new points; finished work is still
+            // flushed to the CSV/JSON artifacts before exiting nonzero.
+            tacos_core::shutdown::install();
             let summary =
                 tacos_scenario::run(&spec).map_err(|e| CliError::Runtime(e.to_string()))?;
             let mut t = Table::new(vec![
@@ -287,7 +312,9 @@ fn scenario_command(args: &[String]) -> Result<(), CliError> {
                         r.point.index.to_string(),
                         r.point.label(),
                         "-".into(),
-                        if e.starts_with(tacos_scenario::TIMED_OUT) {
+                        if e.starts_with(tacos_scenario::TIMED_OUT)
+                            || e == tacos_scenario::INTERRUPTED
+                        {
                             e.clone()
                         } else {
                             format!("FAILED: {e}")
@@ -301,12 +328,14 @@ fn scenario_command(args: &[String]) -> Result<(), CliError> {
             }
             print!("{t}");
             println!(
-                "{} points: {} generated, {} cache hits, {} failed, {} timed out in {:.2}s",
+                "{} points: {} generated, {} cache hits, {} failed, {} timed out, \
+                 {} interrupted in {:.2}s",
                 summary.records.len(),
                 summary.generated,
                 summary.cache_hits,
                 summary.failed,
                 summary.timed_out,
+                summary.interrupted,
                 summary.elapsed.as_secs_f64()
             );
             if let Some(stem) = &spec.output {
@@ -325,10 +354,181 @@ fn scenario_command(args: &[String]) -> Result<(), CliError> {
                     summary.records.len()
                 )));
             }
+            if summary.interrupted > 0 {
+                return Err(CliError::Runtime(format!(
+                    "interrupted: {} of {} points not executed (partial results kept)",
+                    summary.interrupted,
+                    summary.records.len()
+                )));
+            }
             Ok(())
         }
         _ => unreachable!("subcommand validated above"),
     }
+}
+
+/// `tacos serve [options]`: the synthesis-as-a-service daemon. Blocks
+/// until SIGINT/SIGTERM or a client `shutdown` op, then drains workers
+/// and persists the warm cache.
+fn serve_command(args: &[String]) -> Result<(), CliError> {
+    let mut config = tacos_serve::DaemonConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = take("--addr")?,
+            "--workers" => {
+                config.workers = take("--workers")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?
+            }
+            "--queue-depth" => {
+                config.queue_depth = take("--queue-depth")?
+                    .parse()
+                    .map_err(|e| format!("bad --queue-depth: {e}"))?
+            }
+            "--cache-dir" => config.cache_dir = Some(take("--cache-dir")?.into()),
+            "--deadline-ms" => {
+                config.default_deadline_ms = Some(
+                    take("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad --deadline-ms: {e}"))?,
+                )
+            }
+            "--quiet" => config.quiet = true,
+            other => return Err(CliError::Usage(format!("unknown serve argument '{other}'"))),
+        }
+    }
+
+    tacos_core::shutdown::install();
+    let quiet = config.quiet;
+    let handle = tacos_serve::Daemon::spawn(config)
+        .map_err(|e| CliError::Runtime(format!("failed to start daemon: {e}")))?;
+    if !quiet {
+        eprintln!(
+            "tacos serve: listening on {} (line-delimited JSON; Ctrl-C to stop)",
+            handle.addr()
+        );
+    }
+    while !tacos_core::shutdown::requested() && !handle.stop_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    let stats = handle.stats();
+    handle
+        .stop()
+        .map_err(|e| CliError::Runtime(format!("failed to persist warm cache: {e}")))?;
+    if !quiet {
+        eprintln!(
+            "tacos serve: stopped after {} requests ({} cache hits, {} synthesized, \
+             {} deduplicated, {} rejected)",
+            stats.requests, stats.cache_hits, stats.synthesized, stats.deduplicated, stats.rejected
+        );
+    }
+    Ok(())
+}
+
+/// `tacos serve-bench <file.toml> [options]`: replay a scenario grid as
+/// a request trace against a running daemon and record throughput and
+/// latency percentiles per concurrency level.
+fn serve_bench_command(args: &[String]) -> Result<(), CliError> {
+    let file = args
+        .first()
+        .ok_or_else(|| CliError::Usage("serve-bench needs a <file.toml> trace scenario".into()))?;
+    let mut config = tacos_serve::BenchConfig::default();
+    let mut output = String::from("BENCH_PR6.json");
+    let mut quick = false;
+    let mut it = args.iter().skip(1);
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = take("--addr")?,
+            "--concurrency" => {
+                config.concurrency = take("--concurrency")?
+                    .split(',')
+                    .map(|v| v.trim().parse::<usize>())
+                    .collect::<Result<Vec<usize>, _>>()
+                    .map_err(|e| format!("bad --concurrency: {e}"))?;
+                if config.concurrency.is_empty() {
+                    return Err(CliError::Usage(
+                        "--concurrency needs at least one level".into(),
+                    ));
+                }
+            }
+            "--deadline-ms" => {
+                config.deadline_ms = Some(
+                    take("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad --deadline-ms: {e}"))?,
+                )
+            }
+            "--output" => output = take("--output")?,
+            "--quick" => quick = true,
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown serve-bench argument '{other}'"
+                )))
+            }
+        }
+    }
+
+    let full_spec = tacos_scenario::ScenarioSpec::from_file(file)
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    if quick && full_spec.quick.is_none() {
+        return Err(CliError::Runtime(format!(
+            "--quick: scenario '{}' declares no [quick] section",
+            full_spec.name
+        )));
+    }
+    let spec = if quick {
+        full_spec.quick_spec().clone()
+    } else {
+        full_spec
+    };
+
+    let report = tacos_serve::bench::run(&spec, &config).map_err(CliError::Runtime)?;
+    let mut t = Table::new(vec![
+        "clients", "requests", "wall s", "req/s", "p50 ms", "p95 ms", "p99 ms", "ok", "hits",
+        "dedup", "rejected", "deadline", "errors",
+    ]);
+    if let Some(levels) = report.get("levels").and_then(Json::as_array) {
+        for level in levels {
+            let cell = |key: &str| -> String {
+                match level.get(key) {
+                    Some(Json::Num(v)) => fmt_f64(*v),
+                    Some(Json::Uint(v)) => v.to_string(),
+                    _ => "-".into(),
+                }
+            };
+            t.row(vec![
+                cell("concurrency"),
+                cell("requests"),
+                cell("wall_s"),
+                cell("throughput_rps"),
+                cell("p50_ms"),
+                cell("p95_ms"),
+                cell("p99_ms"),
+                cell("ok"),
+                cell("cache_hits"),
+                cell("deduplicated"),
+                cell("rejected"),
+                cell("deadline"),
+                cell("errors"),
+            ]);
+        }
+    }
+    print!("{t}");
+    std::fs::write(&output, format!("{report}\n"))
+        .map_err(|e| CliError::Runtime(format!("failed to write {output}: {e}")))?;
+    eprintln!("(bench report written to {output})");
+    Ok(())
 }
 
 /// `tacos scenario diff <a.csv> <b.csv> [--tol T]`: column-aware compare

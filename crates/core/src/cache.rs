@@ -20,7 +20,12 @@ use crate::synthesis::Synthesizer;
 /// synthesis cache key: the same (topology, collective, seed) produces a
 /// different schedule across matcher revisions, so entries from older
 /// builds must not hit. 2 = PR 2's zero-allocation matching core.
-const MATCHER_VERSION: u64 = 2;
+///
+/// Public because persisted cache containers record it in their headers
+/// (see [`crate::WarmCache`]): a snapshot written by a different matcher
+/// revision is rejected wholesale at load with a readable error instead
+/// of being carried as unreachable dead weight.
+pub const MATCHER_VERSION: u64 = 2;
 
 /// A directory of cached `.tacos` schedules.
 ///

@@ -42,13 +42,18 @@
 mod cache;
 mod config;
 mod error;
+mod inflight;
 mod matching;
 mod parallel;
 mod scratch;
+pub mod shutdown;
 mod synthesis;
+mod warm;
 
-pub use cache::{AlgorithmCache, CacheOutcome};
+pub use cache::{AlgorithmCache, CacheOutcome, MATCHER_VERSION};
 pub use config::SynthesizerConfig;
 pub use error::SynthesisError;
+pub use inflight::{Flight, FlightEntry, InFlightRegistry};
 pub use scratch::SynthesisScratch;
 pub use synthesis::{SynthesisResult, Synthesizer};
+pub use warm::{WarmCache, WarmCacheError, WarmEntry};

@@ -1,0 +1,80 @@
+//! Cooperative process shutdown: a flag set by SIGINT/SIGTERM, checked
+//! between units of work.
+//!
+//! Long-running commands — `tacos scenario run` between grid points,
+//! `tacos serve` between requests — must not die mid-write when the user
+//! hits Ctrl-C: partial CSV rows should be flushed, the warm cache
+//! persisted, artifacts finalized. The std-only way is a process-global
+//! [`requested`] flag that an async-signal-safe handler sets and the work
+//! loops poll at their natural boundaries.
+//!
+//! [`install`] registers the handler (idempotent); [`trigger`] sets the
+//! flag programmatically (the daemon's `shutdown` op, tests); [`reset`]
+//! clears it (tests only — a real process exits after shutting down).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Whether a shutdown was requested (signal received or [`trigger`]ed).
+pub fn requested() -> bool {
+    SHUTDOWN.load(Ordering::Relaxed)
+}
+
+/// Requests a shutdown programmatically — same effect as SIGINT.
+pub fn trigger() {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+/// Clears the flag. Test-only in spirit: real processes exit.
+pub fn reset() {
+    SHUTDOWN.store(false, Ordering::Relaxed);
+}
+
+/// Installs the SIGINT/SIGTERM handler (idempotent, safe to call from
+/// multiple subcommands). On non-Unix targets this is a no-op and only
+/// [`trigger`] can request shutdown.
+pub fn install() {
+    #[cfg(unix)]
+    install_unix();
+}
+
+#[cfg(unix)]
+fn install_unix() {
+    // Setting an atomic is async-signal-safe; nothing else happens in
+    // the handler. `signal(2)` suffices — no siginfo, no masking — and
+    // keeps this std-only (libc is already linked by std on Unix).
+    unsafe extern "C" fn handler(_sig: i32) {
+        SHUTDOWN.store(true, Ordering::Relaxed);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: unsafe extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_round_trip() {
+        // One test owns the global flag end-to-end (no other test in this
+        // binary touches it) so parallel test scheduling cannot race it.
+        reset();
+        assert!(!requested());
+        trigger();
+        assert!(requested());
+        reset();
+        assert!(!requested());
+        // Installing the OS handler must not itself set the flag.
+        install();
+        install();
+        assert!(!requested());
+    }
+}

@@ -1,0 +1,389 @@
+//! The in-memory warm store behind `tacos serve`, with snapshot
+//! persistence.
+//!
+//! [`crate::AlgorithmCache`] is a directory of per-key `.tacos` files: a
+//! batch tool's cache, paying a filesystem read and a parse per lookup.
+//! A long-lived daemon serving synthesis requests wants the opposite
+//! trade: every previously-served schedule resident in memory
+//! ([`WarmCache`]), written out as **one** snapshot file on shutdown or
+//! checkpoint and reloaded wholesale on start ([`WarmCache::save_to`] /
+//! [`WarmCache::load_from`]).
+//!
+//! The snapshot header records [`crate::MATCHER_VERSION`]. Cache *keys*
+//! already fold the matcher version into their hash, so a stale entry
+//! could never be *looked up* — but a snapshot written by an older
+//! matcher would still be carried in memory forever, unreachable dead
+//! weight that silently survives every restart. The header check turns
+//! that into an explicit, readable [`WarmCacheError::MatcherMismatch`]
+//! so the daemon logs one line and starts cold instead.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use tacos_collective::algorithm::CollectiveAlgorithm;
+use tacos_collective::export;
+use tacos_topology::Time;
+
+use crate::cache::MATCHER_VERSION;
+
+/// First line of every snapshot file; bumped only if the container
+/// layout itself changes (the matcher line tracks schedule semantics).
+const SNAPSHOT_MAGIC: &str = "tacos-warm-cache v1";
+
+/// One warm entry: the schedule plus the completion time the daemon
+/// measured for it (planned time for syntheses, simulated time for
+/// baselines) — kept so a warm hit re-serves the time without
+/// re-simulating.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmEntry {
+    /// Evaluated collective completion time.
+    pub time: Time,
+    /// The cached algorithm.
+    pub algo: CollectiveAlgorithm,
+}
+
+/// A thread-safe in-memory algorithm cache with hit/lookup counters and
+/// single-file snapshot persistence.
+///
+/// Keys are the same tagged structural fingerprints
+/// [`crate::AlgorithmCache`] uses (`key_with_tag` / `key_for_generator`),
+/// so the two layers agree on identity.
+#[derive(Debug, Default)]
+pub struct WarmCache {
+    entries: RwLock<HashMap<String, Arc<WarmEntry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Why a snapshot could not be loaded. Every variant renders as one
+/// readable line; none of them should ever panic the caller — a bad
+/// snapshot means a cold start, not a dead daemon.
+#[derive(Debug)]
+pub enum WarmCacheError {
+    /// The file could not be read.
+    Io(PathBuf, io::Error),
+    /// The file is not a warm-cache snapshot, or an entry is truncated
+    /// or unparseable. Carries a human-readable description.
+    Malformed(String),
+    /// The snapshot was written by a different matcher revision; its
+    /// schedules are not what the current matcher would emit.
+    MatcherMismatch {
+        /// Version recorded in the snapshot.
+        found: u64,
+        /// This build's [`crate::MATCHER_VERSION`].
+        expected: u64,
+    },
+}
+
+impl std::fmt::Display for WarmCacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WarmCacheError::Io(path, e) => write!(f, "reading {}: {e}", path.display()),
+            WarmCacheError::Malformed(what) => write!(f, "malformed warm-cache snapshot: {what}"),
+            WarmCacheError::MatcherMismatch { found, expected } => write!(
+                f,
+                "warm-cache snapshot was written by matcher version {found}, this build is \
+                 version {expected}: discarding stale entries (cold start)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WarmCacheError {}
+
+impl WarmCache {
+    /// An empty warm cache.
+    pub fn new() -> Self {
+        WarmCache::default()
+    }
+
+    /// Looks up a key, counting the lookup as a hit or miss.
+    pub fn get(&self, key: &str) -> Option<Arc<WarmEntry>> {
+        let found = self
+            .entries
+            .read()
+            .expect("no poisoned locks")
+            .get(key)
+            .cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Inserts (or replaces) an entry.
+    pub fn insert(&self, key: String, entry: WarmEntry) {
+        self.entries
+            .write()
+            .expect("no poisoned locks")
+            .insert(key, Arc::new(entry));
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.read().expect("no poisoned locks").len()
+    }
+
+    /// `true` when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from memory so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Writes every entry to one snapshot file (atomically: temp file +
+    /// rename), returning the number of entries written.
+    ///
+    /// Format, all text:
+    ///
+    /// ```text
+    /// tacos-warm-cache v1
+    /// matcher <MATCHER_VERSION>
+    /// entries <count>
+    /// <key> <time_ps> <compact-byte-length>
+    /// <compact algorithm text, exactly that many bytes>
+    /// ...
+    /// ```
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn save_to(&self, path: impl AsRef<Path>) -> io::Result<usize> {
+        let path = path.as_ref();
+        let entries = self.entries.read().expect("no poisoned locks");
+        // Deterministic order: restarts and tests see stable files.
+        let mut keys: Vec<&String> = entries.keys().collect();
+        keys.sort();
+        let mut out = String::new();
+        out.push_str(SNAPSHOT_MAGIC);
+        out.push('\n');
+        out.push_str(&format!("matcher {MATCHER_VERSION}\n"));
+        out.push_str(&format!("entries {}\n", keys.len()));
+        for key in &keys {
+            let entry = &entries[*key];
+            let compact = export::to_compact(&entry.algo);
+            out.push_str(&format!("{key} {} {}\n", entry.time.as_ps(), compact.len()));
+            out.push_str(&compact);
+        }
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, out)?;
+        let renamed = std::fs::rename(&tmp, path);
+        if renamed.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        renamed.map(|()| keys.len())
+    }
+
+    /// Loads a snapshot written by [`WarmCache::save_to`].
+    ///
+    /// # Errors
+    /// [`WarmCacheError::MatcherMismatch`] when the snapshot was written
+    /// by a different matcher revision, [`WarmCacheError::Malformed`] for
+    /// truncated/corrupted files, [`WarmCacheError::Io`] for filesystem
+    /// errors. All are readable one-liners; callers cold-start on any of
+    /// them.
+    pub fn load_from(path: impl AsRef<Path>) -> Result<WarmCache, WarmCacheError> {
+        let path = path.as_ref();
+        let text =
+            std::fs::read_to_string(path).map_err(|e| WarmCacheError::Io(path.to_path_buf(), e))?;
+        let malformed = |what: String| WarmCacheError::Malformed(what);
+        fn next_line<'a>(rest: &mut &'a str, what: &str) -> Result<&'a str, WarmCacheError> {
+            let (line, after) = rest
+                .split_once('\n')
+                .ok_or_else(|| WarmCacheError::Malformed(format!("truncated before {what}")))?;
+            *rest = after;
+            Ok(line)
+        }
+
+        let mut rest = text.as_str();
+        let magic = next_line(&mut rest, "header")?;
+        if magic != SNAPSHOT_MAGIC {
+            return Err(malformed(format!(
+                "expected header '{SNAPSHOT_MAGIC}', found '{}'",
+                magic.chars().take(40).collect::<String>()
+            )));
+        }
+        let matcher_line = next_line(&mut rest, "matcher version")?;
+        let found: u64 = matcher_line
+            .strip_prefix("matcher ")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| malformed(format!("bad matcher line '{matcher_line}'")))?;
+        if found != MATCHER_VERSION {
+            return Err(WarmCacheError::MatcherMismatch {
+                found,
+                expected: MATCHER_VERSION,
+            });
+        }
+        let entries_line = next_line(&mut rest, "entry count")?;
+        let count: usize = entries_line
+            .strip_prefix("entries ")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| malformed(format!("bad entries line '{entries_line}'")))?;
+
+        let cache = WarmCache::new();
+        for i in 0..count {
+            let header = next_line(&mut rest, &format!("entry {i} header"))?;
+            let mut parts = header.split(' ');
+            let (key, time_ps, len) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(k), Some(t), Some(l)) if parts.next().is_none() => (
+                    k.to_string(),
+                    t.parse::<u64>()
+                        .map_err(|e| malformed(format!("entry {i} time '{t}': {e}")))?,
+                    l.parse::<usize>()
+                        .map_err(|e| malformed(format!("entry {i} length '{l}': {e}")))?,
+                ),
+                _ => return Err(malformed(format!("entry {i} header '{header}'"))),
+            };
+            if len > rest.len() {
+                return Err(malformed(format!(
+                    "entry {i} ('{key}') claims {len} bytes but only {} remain",
+                    rest.len()
+                )));
+            }
+            if !rest.is_char_boundary(len) {
+                return Err(malformed(format!("entry {i} ('{key}') splits a character")));
+            }
+            let (compact, after) = rest.split_at(len);
+            rest = after;
+            let algo = export::from_compact(compact)
+                .map_err(|e| malformed(format!("entry {i} ('{key}'): {e}")))?;
+            cache.insert(
+                key,
+                WarmEntry {
+                    time: Time::from_ps(time_ps),
+                    algo,
+                },
+            );
+        }
+        if !rest.is_empty() {
+            return Err(malformed(format!(
+                "{} trailing bytes after the last entry",
+                rest.len()
+            )));
+        }
+        Ok(cache)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Synthesizer, SynthesizerConfig};
+    use tacos_collective::Collective;
+    use tacos_topology::{Bandwidth, ByteSize, LinkSpec, Time, Topology};
+
+    fn algo() -> CollectiveAlgorithm {
+        let spec = LinkSpec::new(Time::from_micros(0.5), Bandwidth::gbps(50.0));
+        let topo = Topology::mesh_2d(2, 2, spec).unwrap();
+        let coll = Collective::all_gather(4, ByteSize::mb(4)).unwrap();
+        Synthesizer::new(SynthesizerConfig::default())
+            .synthesize(&topo, &coll)
+            .unwrap()
+            .into_algorithm()
+    }
+
+    fn temp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("tacos-warm-{tag}-{}.snap", std::process::id()))
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let cache = WarmCache::new();
+        let a = algo();
+        cache.insert(
+            "tacos-ag-0001".into(),
+            WarmEntry {
+                time: Time::from_ps(1234),
+                algo: a.clone(),
+            },
+        );
+        cache.insert(
+            "ring-ag-0002".into(),
+            WarmEntry {
+                time: Time::from_ps(99),
+                algo: a.clone(),
+            },
+        );
+        let path = temp("rt");
+        assert_eq!(cache.save_to(&path).unwrap(), 2);
+        let back = WarmCache::load_from(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        let entry = back.get("tacos-ag-0001").unwrap();
+        assert_eq!(entry.time, Time::from_ps(1234));
+        assert_eq!(entry.algo, a);
+        assert!(back.get("missing").is_none());
+        assert_eq!(back.hits(), 1);
+        assert_eq!(back.misses(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn matcher_mismatch_is_a_readable_error_not_a_panic() {
+        let path = temp("ver");
+        std::fs::write(&path, "tacos-warm-cache v1\nmatcher 1\nentries 0\n").unwrap();
+        let err = WarmCache::load_from(&path).unwrap_err();
+        assert!(matches!(
+            err,
+            WarmCacheError::MatcherMismatch {
+                found: 1,
+                expected: MATCHER_VERSION
+            }
+        ));
+        assert!(err.to_string().contains("matcher version 1"), "{err}");
+        assert!(err.to_string().contains("cold start"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupted_snapshots_are_readable_errors() {
+        let path = temp("bad");
+        for (tag, contents) in [
+            ("garbage", "not a snapshot at all".to_string()),
+            ("empty", String::new()),
+            (
+                "truncated-entry",
+                format!("{SNAPSHOT_MAGIC}\nmatcher {MATCHER_VERSION}\nentries 1\nk 5 9999\nxx"),
+            ),
+            (
+                "bad-compact",
+                format!("{SNAPSHOT_MAGIC}\nmatcher {MATCHER_VERSION}\nentries 1\nk 5 4\nnope"),
+            ),
+            (
+                "trailing",
+                format!("{SNAPSHOT_MAGIC}\nmatcher {MATCHER_VERSION}\nentries 0\nleftover"),
+            ),
+        ] {
+            std::fs::write(&path, contents).unwrap();
+            let err = WarmCache::load_from(&path).unwrap_err();
+            assert!(
+                matches!(err, WarmCacheError::Malformed(_)),
+                "{tag}: expected Malformed, got {err:?}"
+            );
+            assert!(!err.to_string().is_empty(), "{tag}");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = WarmCache::load_from("/nonexistent/warm.snap").unwrap_err();
+        assert!(matches!(err, WarmCacheError::Io(..)));
+        assert!(err.to_string().contains("/nonexistent/warm.snap"));
+    }
+}

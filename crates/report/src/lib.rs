@@ -10,6 +10,7 @@
 mod fit;
 mod heatmap;
 mod output;
+mod parse;
 mod table;
 
 pub use fit::{fit_linear, fit_power, Fit};

@@ -70,7 +70,7 @@ pub use diff::{diff_csv_files, diff_csv_texts, DiffReport};
 pub use error::ScenarioError;
 pub use grid::{expand, ScenarioPoint};
 pub use progress::Progress;
-pub use runner::{run, PointMetrics, PointRecord, RunSummary, TIMED_OUT};
+pub use runner::{run, PointMetrics, PointRecord, RunSummary, INTERRUPTED, TIMED_OUT};
 pub use spec::{
     parse_algo, parse_baseline, parse_pattern, parse_size, parse_topology, select_failed_links,
     AxisValues, CustomLink, CustomTopology, CustomTopologyBody, Evaluation, ExcludeRule, GroupKey,

@@ -50,6 +50,14 @@ use crate::spec::{
 /// [`RunSummary::timed_out`], and not counted as failures.
 pub const TIMED_OUT: &str = "timed_out";
 
+/// The error string recorded for points never executed because a
+/// shutdown request (SIGINT/SIGTERM via [`tacos_core::shutdown`], or a
+/// programmatic [`tacos_core::shutdown::trigger`]) arrived mid-run.
+/// Workers finish the point they are on, unclaimed points get
+/// `interrupted` rows, and the partial CSV plus shaped outputs are still
+/// written — an interrupted sweep is resumable, not lost.
+pub const INTERRUPTED: &str = "interrupted";
+
 /// Metrics measured for one successfully executed point.
 #[derive(Debug, Clone)]
 pub struct PointMetrics {
@@ -129,6 +137,9 @@ pub struct RunSummary {
     /// Points abandoned by the per-point `timeout_s` budget; recorded as
     /// `timed_out` rows, reported here, and not counted in `failed`.
     pub timed_out: usize,
+    /// Points never executed because a shutdown request interrupted the
+    /// run; recorded as `interrupted` rows and not counted in `failed`.
+    pub interrupted: usize,
     /// Total wall-clock time.
     pub elapsed: Duration,
 }
@@ -470,6 +481,7 @@ impl RunSummary {
             ("cache_hits", (self.cache_hits as u64).into()),
             ("failed", (self.failed as u64).into()),
             ("timed_out", (self.timed_out as u64).into()),
+            ("interrupted", (self.interrupted as u64).into()),
             ("elapsed_seconds", self.elapsed.as_secs_f64().into()),
         ])
     }
@@ -670,6 +682,12 @@ pub fn run(spec: &ScenarioSpec) -> Result<RunSummary, ScenarioError> {
                 // this worker claims.
                 let mut scratch = SynthesisScratch::new();
                 loop {
+                    // Finish the in-progress point but claim no more once
+                    // a shutdown is requested; the unclaimed remainder is
+                    // recorded as `interrupted` rows below.
+                    if tacos_core::shutdown::requested() {
+                        break;
+                    }
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= points.len() {
                         break;
@@ -721,17 +739,27 @@ pub fn run(spec: &ScenarioSpec) -> Result<RunSummary, ScenarioError> {
         .into_inner()
         .expect("no poisoned locks")
         .into_iter()
-        .map(|r| r.expect("every point executed"))
+        .enumerate()
+        .map(|(i, r)| {
+            // A missing record means no worker claimed the point before
+            // the shutdown request landed.
+            r.unwrap_or_else(|| PointRecord {
+                point: points[i].clone(),
+                result: Err(INTERRUPTED.to_string()),
+            })
+        })
         .collect();
     let mut generated = 0;
     let mut cache_hits = 0;
     let mut failed = 0;
     let mut timed_out = 0;
+    let mut interrupted = 0;
     for r in &records {
         match &r.result {
             Ok(m) if m.cache == Some(CacheOutcome::Hit) => cache_hits += 1,
             Ok(_) => generated += 1,
             Err(e) if e.starts_with(TIMED_OUT) => timed_out += 1,
+            Err(e) if e == INTERRUPTED => interrupted += 1,
             Err(_) => failed += 1,
         }
     }
@@ -744,6 +772,7 @@ pub fn run(spec: &ScenarioSpec) -> Result<RunSummary, ScenarioError> {
         cache_hits,
         failed,
         timed_out,
+        interrupted,
         elapsed: started.elapsed(),
     };
     if let Some(stem) = &spec.output {

@@ -1,0 +1,54 @@
+//! Graceful-interrupt semantics of the scenario runner.
+//!
+//! These tests live in their own integration binary because they drive
+//! the process-global shutdown flag in `tacos_core::shutdown`; keeping
+//! them out of the main test binaries guarantees no unrelated test
+//! observes the flag mid-flip.
+
+use tacos_scenario::{run, ScenarioSpec, INTERRUPTED};
+
+fn sweep_spec() -> ScenarioSpec {
+    let text = "[scenario]\nname = \"interrupt-probe\"\n\
+                [sweep]\n\
+                topology = [\"mesh:2x2\"]\n\
+                collective = [\"all-gather\"]\n\
+                size = [\"1KB\", \"2KB\", \"4KB\", \"8KB\", \"16KB\", \"32KB\", \"64KB\", \"128KB\"]\n\
+                algo = [\"tacos\"]\n\
+                [run]\nthreads = 1\n";
+    let mut spec = ScenarioSpec::from_toml_str(text).expect("valid spec");
+    spec.run.quiet = true;
+    // No on-disk algorithm cache: `generated` must count every point on
+    // every run of this test, not just the first ever.
+    spec.run.cache = None;
+    spec
+}
+
+/// Both phases live in one test: they race on the process-global
+/// shutdown flag if the harness runs them concurrently.
+#[test]
+fn a_shutdown_request_interrupts_the_run_but_keeps_finished_points() {
+    // The flag is process-global: leave it exactly as found.
+    tacos_core::shutdown::reset();
+    // Raised before the run starts, so the single worker claims nothing:
+    // every point is recorded as interrupted, and none of them panic the
+    // "every point executed" invariant.
+    tacos_core::shutdown::trigger();
+    let summary = run(&sweep_spec()).expect("run returns a summary");
+    tacos_core::shutdown::reset();
+
+    assert_eq!(summary.records.len(), 8);
+    assert_eq!(summary.interrupted, 8, "no point should have been claimed");
+    assert_eq!(summary.failed, 0, "interrupted points are not failures");
+    for record in &summary.records {
+        assert_eq!(record.result.as_ref().unwrap_err(), INTERRUPTED);
+    }
+
+    // And with the flag lowered again, the same grid runs to completion
+    // with zero interruptions.
+    let mut spec = sweep_spec();
+    spec.sweep.size.truncate(2);
+    let summary = run(&spec).expect("run succeeds");
+    assert_eq!(summary.interrupted, 0);
+    assert_eq!(summary.failed, 0);
+    assert_eq!(summary.generated, 2);
+}

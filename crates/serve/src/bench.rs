@@ -1,0 +1,246 @@
+//! `tacos serve-bench`: replay a scenario grid against a live daemon and
+//! measure throughput and latency percentiles per concurrency level.
+//!
+//! The trace is the bandwidth-scenario grid itself — every expanded
+//! point becomes one request line, so a load test exercises exactly the
+//! (topology, collective, size, mechanism) mix an offline `scenario run`
+//! would. Levels replay the same trace, so the first level measures the
+//! cold (synthesizing) daemon and later levels the warm cache.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use tacos_report::Json;
+use tacos_scenario::{expand, Evaluation, ScenarioPoint, ScenarioSpec};
+
+use crate::client::Client;
+
+/// Load-test settings (the `tacos serve-bench` flags).
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Daemon address to replay against.
+    pub addr: String,
+    /// Concurrency levels to measure, in order.
+    pub concurrency: Vec<usize>,
+    /// Deadline attached to every replayed request, if any.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            addr: "127.0.0.1:7440".into(),
+            concurrency: vec![1, 4],
+            deadline_ms: None,
+        }
+    }
+}
+
+/// Builds the request trace from a scenario: one line per grid point.
+///
+/// Points the wire protocol cannot express are skipped and counted —
+/// builder-described `custom:` topologies and failure-injected
+/// (`without_links`) points stay offline-only. Training scenarios have
+/// no per-point collective and are rejected outright.
+pub fn build_trace(spec: &ScenarioSpec) -> Result<(Vec<String>, usize), String> {
+    if matches!(spec.evaluation, Evaluation::Training(_)) {
+        return Err(
+            "serve-bench replays bandwidth scenarios; training grids have no \
+                    per-point collective to request"
+                .into(),
+        );
+    }
+    let points = expand(spec).map_err(|e| e.to_string())?;
+    let mut lines = Vec::new();
+    let mut skipped = 0usize;
+    for point in &points {
+        if point.topology.starts_with("custom:") || !point.without_links.is_healthy() {
+            skipped += 1;
+            continue;
+        }
+        lines.push(request_line(point));
+    }
+    if lines.is_empty() {
+        return Err(format!(
+            "scenario expanded to no servable points ({skipped} skipped)"
+        ));
+    }
+    Ok((lines, skipped))
+}
+
+fn request_line(point: &ScenarioPoint) -> String {
+    Json::obj([
+        ("id", (point.index as u64).into()),
+        ("topology", point.topology.as_str().into()),
+        ("collective", point.collective.as_str().into()),
+        ("size", point.size_label.as_str().into()),
+        ("mechanism", point.algo.as_str().into()),
+        ("chunks", (point.chunks as u64).into()),
+        ("alpha_us", point.link.alpha_us.into()),
+        ("link_gbps", point.link.bandwidth_gbps.into()),
+        ("seed", point.seed.into()),
+        ("attempts", (point.attempts as u64).into()),
+        ("prefer_cheap_links", Json::Bool(point.prefer_cheap_links)),
+    ])
+    .to_string()
+}
+
+#[derive(Debug, Default, Clone)]
+struct LevelTally {
+    latencies_ms: Vec<f64>,
+    ok: u64,
+    cache_hits: u64,
+    deduplicated: u64,
+    rejected: u64,
+    deadline: u64,
+    errors: u64,
+    io_errors: u64,
+}
+
+impl LevelTally {
+    fn absorb(&mut self, other: LevelTally) {
+        self.latencies_ms.extend(other.latencies_ms);
+        self.ok += other.ok;
+        self.cache_hits += other.cache_hits;
+        self.deduplicated += other.deduplicated;
+        self.rejected += other.rejected;
+        self.deadline += other.deadline;
+        self.errors += other.errors;
+        self.io_errors += other.io_errors;
+    }
+
+    fn record(&mut self, response: &Json, latency_ms: f64) {
+        self.latencies_ms.push(latency_ms);
+        match response.get("status").and_then(Json::as_str) {
+            Some("ok") => {
+                self.ok += 1;
+                if response.get("cache_hit").and_then(Json::as_bool) == Some(true) {
+                    self.cache_hits += 1;
+                }
+                if response.get("deduplicated").and_then(Json::as_bool) == Some(true) {
+                    self.deduplicated += 1;
+                }
+            }
+            Some("rejected") => self.rejected += 1,
+            Some("deadline") => self.deadline += 1,
+            _ => self.errors += 1,
+        }
+    }
+}
+
+/// Nearest-rank percentile of an unsorted latency sample.
+fn percentile(sorted: &[f64], pct: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Replays the trace at each configured concurrency level and returns
+/// the measurements as a JSON report (the `BENCH_PR6.json` shape).
+pub fn run(spec: &ScenarioSpec, config: &BenchConfig) -> Result<Json, String> {
+    let (lines, skipped) = build_trace(spec)?;
+    if skipped > 0 {
+        eprintln!(
+            "serve-bench: skipped {skipped} grid points the protocol cannot express \
+             (custom: topologies, failure injection)"
+        );
+    }
+    let lines: Vec<String> = match config.deadline_ms {
+        // Splice the deadline into each request object.
+        Some(ms) => lines
+            .iter()
+            .map(|l| format!("{},\"deadline_ms\":{ms}}}", &l[..l.len() - 1]))
+            .collect(),
+        None => lines,
+    };
+
+    let mut levels = Vec::new();
+    for &concurrency in &config.concurrency {
+        let concurrency = concurrency.max(1);
+        let tally = Mutex::new(LevelTally::default());
+        let next = AtomicUsize::new(0);
+        let started = Instant::now();
+        std::thread::scope(|scope| -> Result<(), String> {
+            let mut handles = Vec::new();
+            for _ in 0..concurrency {
+                handles.push(scope.spawn(|| -> Result<(), String> {
+                    let mut client =
+                        Client::connect_with_retry(&config.addr, Duration::from_secs(5))
+                            .map_err(|e| format!("connect to {}: {e}", config.addr))?;
+                    let mut local = LevelTally::default();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(line) = lines.get(i) else { break };
+                        let sent = Instant::now();
+                        match client.call(line) {
+                            Ok(response) => {
+                                local.record(&response, sent.elapsed().as_secs_f64() * 1e3)
+                            }
+                            Err(_) => local.io_errors += 1,
+                        }
+                    }
+                    tally.lock().expect("no poisoned locks").absorb(local);
+                    Ok(())
+                }));
+            }
+            for handle in handles {
+                handle.join().expect("bench thread panicked")?;
+            }
+            Ok(())
+        })?;
+        let wall_s = started.elapsed().as_secs_f64();
+        let mut tally = tally.into_inner().expect("no poisoned locks");
+        tally
+            .latencies_ms
+            .sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let completed = tally.latencies_ms.len() as u64;
+        levels.push(Json::obj([
+            ("concurrency", (concurrency as u64).into()),
+            ("requests", completed.into()),
+            ("wall_s", wall_s.into()),
+            (
+                "throughput_rps",
+                if wall_s > 0.0 {
+                    completed as f64 / wall_s
+                } else {
+                    0.0
+                }
+                .into(),
+            ),
+            ("p50_ms", percentile(&tally.latencies_ms, 50.0).into()),
+            ("p95_ms", percentile(&tally.latencies_ms, 95.0).into()),
+            ("p99_ms", percentile(&tally.latencies_ms, 99.0).into()),
+            ("ok", tally.ok.into()),
+            ("cache_hits", tally.cache_hits.into()),
+            ("deduplicated", tally.deduplicated.into()),
+            ("rejected", tally.rejected.into()),
+            ("deadline", tally.deadline.into()),
+            ("errors", (tally.errors + tally.io_errors).into()),
+        ]));
+    }
+
+    Ok(Json::obj([
+        ("bench", "tacos serve-bench".into()),
+        ("trace_requests", (lines.len() as u64).into()),
+        ("trace_skipped", (skipped as u64).into()),
+        ("levels", Json::Arr(levels)),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50.0);
+        assert_eq!(percentile(&sorted, 95.0), 95.0);
+        assert_eq!(percentile(&sorted, 99.0), 99.0);
+        assert_eq!(percentile(&[7.5], 99.0), 7.5);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! A minimal blocking client for the line-delimited protocol, used by
+//! `tacos serve-bench`, the integration tests, and scripting.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use tacos_report::Json;
+
+/// One connection to a `tacos serve` daemon.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Connects, retrying for up to `wait` while the daemon is still
+    /// binding its socket (CI starts the daemon in the background).
+    pub fn connect_with_retry(addr: &str, wait: Duration) -> io::Result<Client> {
+        let deadline = std::time::Instant::now() + wait;
+        loop {
+            match Client::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) => {
+                    if std::time::Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    }
+
+    /// Sends one request line and returns the raw response line.
+    pub fn call_raw(&mut self, request: &str) -> io::Result<String> {
+        self.writer.write_all(request.as_bytes())?;
+        if !request.ends_with('\n') {
+            self.writer.write_all(b"\n")?;
+        }
+        self.writer.flush()?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ));
+        }
+        Ok(line)
+    }
+
+    /// Sends one request line and parses the JSON response.
+    pub fn call(&mut self, request: &str) -> io::Result<Json> {
+        let line = self.call_raw(request)?;
+        Json::parse(line.trim())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}")))
+    }
+}

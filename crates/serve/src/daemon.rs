@@ -1,0 +1,729 @@
+//! The serving daemon: accept loop, bounded worker pool, single-flight
+//! deduplication, and warm-cache persistence.
+//!
+//! Threading model (std only — no async runtime):
+//!
+//! * one **accept thread** polls a non-blocking [`TcpListener`] and
+//!   spawns a connection thread per client;
+//! * **connection threads** parse request lines, serve warm-cache hits
+//!   inline, and otherwise wait on a [`Flight`](tacos_core::Flight) —
+//!   one flight per cache key, so N concurrent identical requests cost
+//!   exactly one synthesis;
+//! * a **bounded worker pool** executes synthesis jobs. Admission is a
+//!   [`std::sync::mpsc::sync_channel`] of configurable depth: when it is
+//!   full the leader's `try_send` fails and every waiter on that flight
+//!   receives a typed `rejected` response instead of queueing unbounded
+//!   work.
+//!
+//! Every blocking wait is a timeout poll against the handle's stop flag,
+//! so `SIGINT` (via [`tacos_core::shutdown`]) or a `shutdown` op drains
+//! the daemon within ~100 ms and the warm cache is persisted on the way
+//! out.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use tacos_baselines::{BaselineAlgorithm, IdealBound};
+use tacos_collective::algorithm::CollectiveAlgorithm;
+use tacos_collective::{export::to_compact, Collective};
+use tacos_core::{
+    AlgorithmCache, FlightEntry, InFlightRegistry, SynthesisScratch, Synthesizer,
+    SynthesizerConfig, WarmCache, WarmEntry,
+};
+use tacos_scenario::{parse_pattern, parse_size, parse_topology, Mechanism};
+use tacos_sim::Simulator;
+use tacos_topology::{Time, Topology};
+
+use crate::protocol::{OkBody, Op, Request, Response, StatsBody};
+
+/// File name of the warm-cache snapshot inside `--cache-dir`.
+pub const SNAPSHOT_FILE: &str = "warm.tacos-cache";
+
+/// How long blocking loops sleep between stop-flag checks.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Read timeout on client connections; bounds shutdown latency.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Daemon configuration (the `tacos serve` flags).
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Listen address; port 0 binds an ephemeral port (the bound
+    /// address is reported by [`DaemonHandle::addr`]).
+    pub addr: String,
+    /// Synthesis worker threads.
+    pub workers: usize,
+    /// Admission-control queue depth: syntheses that may wait for a
+    /// worker before new ones are rejected.
+    pub queue_depth: usize,
+    /// Directory for the warm-cache snapshot; `None` disables
+    /// persistence.
+    pub cache_dir: Option<PathBuf>,
+    /// Default per-request deadline applied when a request does not
+    /// carry its own `deadline_ms`.
+    pub default_deadline_ms: Option<u64>,
+    /// Suppress stderr notices (cache load/persist messages).
+    pub quiet: bool,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            addr: "127.0.0.1:7440".into(),
+            workers: 2,
+            queue_depth: 32,
+            cache_dir: None,
+            default_deadline_ms: None,
+            quiet: false,
+        }
+    }
+}
+
+/// What a flight resolves to for everyone waiting on it.
+#[derive(Debug, Clone)]
+enum FlightOutcome {
+    /// Synthesis finished; the entry is also in the warm cache now.
+    Done {
+        entry: Arc<WarmEntry>,
+        synthesis_ms: f64,
+    },
+    /// Synthesis failed (or panicked).
+    Failed(String),
+    /// Admission control refused the job before it ran.
+    Rejected(String),
+}
+
+/// One unit of work for the worker pool.
+struct Job {
+    key: String,
+    topo: Topology,
+    collective: Collective,
+    mechanism: Mechanism,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    requests: AtomicU64,
+    cache_hits: AtomicU64,
+    synthesized: AtomicU64,
+    deduplicated: AtomicU64,
+    rejected: AtomicU64,
+    deadline_expired: AtomicU64,
+    errors: AtomicU64,
+}
+
+struct ServerState {
+    warm: WarmCache,
+    inflight: InFlightRegistry<FlightOutcome>,
+    counters: Counters,
+    stop: AtomicBool,
+    /// `None` once shutdown has begun and the channel is closed.
+    jobs: Mutex<Option<mpsc::SyncSender<Job>>>,
+    queue_depth: usize,
+    cache_dir: Option<PathBuf>,
+    default_deadline_ms: Option<u64>,
+    quiet: bool,
+}
+
+impl ServerState {
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    fn notice(&self, msg: &str) {
+        if !self.quiet {
+            eprintln!("tacos serve: {msg}");
+        }
+    }
+
+    fn snapshot_path(&self) -> Option<PathBuf> {
+        self.cache_dir.as_ref().map(|d| d.join(SNAPSHOT_FILE))
+    }
+
+    fn persist(&self) -> io::Result<usize> {
+        match self.snapshot_path() {
+            Some(path) => self.warm.save_to(path),
+            None => Ok(0),
+        }
+    }
+
+    fn stats(&self) -> StatsBody {
+        let c = &self.counters;
+        StatsBody {
+            requests: c.requests.load(Ordering::Relaxed),
+            cache_hits: c.cache_hits.load(Ordering::Relaxed),
+            synthesized: c.synthesized.load(Ordering::Relaxed),
+            deduplicated: c.deduplicated.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            deadline_expired: c.deadline_expired.load(Ordering::Relaxed),
+            errors: c.errors.load(Ordering::Relaxed),
+            warm_entries: self.warm.len() as u64,
+        }
+    }
+}
+
+/// A running daemon. Dropping the handle leaves the threads running;
+/// call [`DaemonHandle::stop`] for a graceful, cache-persisting exit.
+pub struct Daemon;
+
+/// Handle to a spawned daemon: bound address, stop control, stats.
+pub struct DaemonHandle {
+    state: Arc<ServerState>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Daemon {
+    /// Binds the listen socket, loads any warm-cache snapshot, and
+    /// starts the accept loop and worker pool.
+    ///
+    /// A snapshot written by a different matcher version — or a
+    /// corrupted one — is reported as a notice and ignored: the daemon
+    /// starts cold rather than refusing to start or serving stale
+    /// schedules.
+    pub fn spawn(config: DaemonConfig) -> io::Result<DaemonHandle> {
+        let warm = match &config.cache_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)?;
+                let path = dir.join(SNAPSHOT_FILE);
+                if path.exists() {
+                    match WarmCache::load_from(&path) {
+                        Ok(cache) => {
+                            if !config.quiet {
+                                eprintln!(
+                                    "tacos serve: loaded {} cached algorithms from {}",
+                                    cache.len(),
+                                    path.display()
+                                );
+                            }
+                            cache
+                        }
+                        Err(e) => {
+                            if !config.quiet {
+                                eprintln!("tacos serve: {e}");
+                            }
+                            WarmCache::new()
+                        }
+                    }
+                } else {
+                    WarmCache::new()
+                }
+            }
+            None => WarmCache::new(),
+        };
+
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let queue_depth = config.queue_depth.max(1);
+        let (tx, rx) = mpsc::sync_channel::<Job>(queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+
+        let state = Arc::new(ServerState {
+            warm,
+            inflight: InFlightRegistry::new(),
+            counters: Counters::default(),
+            stop: AtomicBool::new(false),
+            jobs: Mutex::new(Some(tx)),
+            queue_depth,
+            cache_dir: config.cache_dir.clone(),
+            default_deadline_ms: config.default_deadline_ms,
+            quiet: config.quiet,
+        });
+
+        let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+            .map(|_| {
+                let state = Arc::clone(&state);
+                let rx = Arc::clone(&rx);
+                thread::spawn(move || worker_loop(&state, &rx))
+            })
+            .collect();
+
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let state = Arc::clone(&state);
+            let conns = Arc::clone(&conns);
+            thread::spawn(move || accept_loop(&listener, &state, &conns))
+        };
+
+        Ok(DaemonHandle {
+            state,
+            addr,
+            accept: Some(accept),
+            workers,
+            conns,
+        })
+    }
+}
+
+impl DaemonHandle {
+    /// The bound listen address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a stop has been requested (a client `shutdown` op or a
+    /// previous trigger); the owner should then call
+    /// [`DaemonHandle::stop`].
+    pub fn stop_requested(&self) -> bool {
+        self.state.stopping()
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> StatsBody {
+        self.state.stats()
+    }
+
+    /// Stops the daemon: joins the accept loop, workers, and connection
+    /// threads, then persists the warm cache. Returns the number of
+    /// entries written (0 without a cache directory).
+    pub fn stop(mut self) -> io::Result<usize> {
+        self.state.stop.store(true, Ordering::Relaxed);
+        // Closing the channel lets idle workers exit immediately.
+        self.state.jobs.lock().expect("no poisoned locks").take();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        let conns = std::mem::take(&mut *self.conns.lock().expect("no poisoned locks"));
+        for c in conns {
+            let _ = c.join();
+        }
+        let persisted = self.state.persist()?;
+        if persisted > 0 {
+            self.state
+                .notice(&format!("persisted {persisted} cached algorithms"));
+        }
+        Ok(persisted)
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    state: &Arc<ServerState>,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        if state.stopping() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let state = Arc::clone(state);
+                let handle = thread::spawn(move || connection_loop(stream, &state));
+                conns.lock().expect("no poisoned locks").push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL),
+            Err(e) => {
+                state.notice(&format!("accept error: {e}"));
+                thread::sleep(POLL);
+            }
+        }
+    }
+}
+
+fn connection_loop(stream: TcpStream, state: &Arc<ServerState>) {
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {
+                if line.trim().is_empty() {
+                    line.clear();
+                    continue;
+                }
+                let response = handle_line(state, line.trim());
+                line.clear();
+                if writer.write_all(response.line().as_bytes()).is_err() || writer.flush().is_err()
+                {
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // `read_line` keeps any partial line in `line`; just
+                // check the stop flag and keep reading.
+                if state.stopping() {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn handle_line(state: &Arc<ServerState>, line: &str) -> Response {
+    state.counters.requests.fetch_add(1, Ordering::Relaxed);
+    let req = match Request::parse(line) {
+        Ok(req) => req,
+        Err(e) => {
+            state.counters.errors.fetch_add(1, Ordering::Relaxed);
+            return Response::Error(None, e);
+        }
+    };
+    match req.op {
+        Op::Ping => Response::Pong(req.id),
+        Op::Stats => Response::Stats(req.id, state.stats()),
+        Op::Checkpoint => match state.snapshot_path() {
+            Some(_) => match state.persist() {
+                Ok(n) => Response::Checkpointed(req.id, n as u64),
+                Err(e) => {
+                    state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    Response::Error(req.id, format!("checkpoint failed: {e}"))
+                }
+            },
+            None => {
+                state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                Response::Error(req.id, "daemon started without --cache-dir".into())
+            }
+        },
+        Op::Shutdown => {
+            state.stop.store(true, Ordering::Relaxed);
+            Response::ShuttingDown(req.id)
+        }
+        Op::Synthesize => match synthesize(state, &req) {
+            Ok(response) => response,
+            Err(e) => {
+                state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                Response::Error(req.id, e)
+            }
+        },
+    }
+}
+
+fn synthesize(state: &Arc<ServerState>, req: &Request) -> Result<Response, String> {
+    let topo = parse_topology(&req.topology, req.link.to_spec())?;
+    let pattern = parse_pattern(&req.collective, topo.num_npus())?;
+    let size = parse_size(&req.size)?;
+
+    let mut config = SynthesizerConfig::default();
+    if let Some(seed) = req.seed {
+        config = config.with_seed(seed);
+    }
+    if let Some(attempts) = req.attempts {
+        config = config.with_attempts(attempts);
+    }
+    if let Some(on) = req.prefer_cheap_links {
+        config = config.with_prefer_cheap_links(on);
+    }
+    let mechanism = Mechanism::parse(&req.mechanism, &config)?;
+
+    if mechanism == Mechanism::Ideal {
+        // The theoretical bound is a closed-form computation: answer
+        // inline, no worker, no cache.
+        let ideal = IdealBound::new(&topo);
+        let time = ideal.collective_time(pattern, size);
+        return Ok(Response::Ok(
+            req.id,
+            ok_body(
+                req,
+                &topo,
+                size.as_u64(),
+                time,
+                0,
+                "ideal",
+                None,
+                false,
+                false,
+                0.0,
+            ),
+        ));
+    }
+
+    let chunks = match &mechanism {
+        Mechanism::Tacos(m) => m.chunks.unwrap_or(req.chunks),
+        _ => req.chunks,
+    };
+    let collective = Collective::with_chunking(pattern, topo.num_npus(), chunks, size)
+        .map_err(|e| e.to_string())?;
+    let key = match &mechanism {
+        Mechanism::Tacos(m) => {
+            let synth = Synthesizer::new(m.config.clone());
+            AlgorithmCache::key_with_tag("tacos", &synth, &topo, &collective)
+        }
+        Mechanism::Baseline(kind) => AlgorithmCache::key_for_generator(
+            &req.mechanism,
+            &topo,
+            &collective,
+            kind.seed().unwrap_or(0),
+        ),
+        Mechanism::Ideal => unreachable!("handled above"),
+    };
+
+    if let Some(entry) = state.warm.get(&key) {
+        state.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+        return Ok(Response::Ok(
+            req.id,
+            entry_body(
+                req,
+                &topo,
+                size.as_u64(),
+                &entry,
+                mechanism.name(),
+                true,
+                false,
+                0.0,
+            ),
+        ));
+    }
+
+    let mut deduplicated = false;
+    let flight = match state.inflight.begin(&key) {
+        FlightEntry::Leader(flight) => {
+            let job = Job {
+                key: key.clone(),
+                topo: topo.clone(),
+                collective,
+                mechanism: mechanism.clone(),
+            };
+            enum Admission {
+                Accepted,
+                QueueFull,
+                Closed,
+            }
+            let send = state
+                .jobs
+                .lock()
+                .expect("no poisoned locks")
+                .as_ref()
+                .map(|tx| match tx.try_send(job) {
+                    Ok(()) => Admission::Accepted,
+                    Err(mpsc::TrySendError::Full(_)) => Admission::QueueFull,
+                    Err(mpsc::TrySendError::Disconnected(_)) => Admission::Closed,
+                });
+            match send {
+                Some(Admission::Accepted) => {}
+                Some(Admission::QueueFull) => state.inflight.complete(
+                    &key,
+                    FlightOutcome::Rejected(format!(
+                        "admission queue full ({} waiting syntheses); retry later",
+                        state.queue_depth
+                    )),
+                ),
+                Some(Admission::Closed) | None => state.inflight.complete(
+                    &key,
+                    FlightOutcome::Failed("daemon is shutting down".into()),
+                ),
+            }
+            flight
+        }
+        FlightEntry::Follower(flight) => {
+            deduplicated = true;
+            flight
+        }
+    };
+
+    let outcome = match req.deadline_ms.or(state.default_deadline_ms) {
+        Some(ms) => {
+            match flight.wait_timeout(Duration::from_millis(ms)) {
+                Some(outcome) => outcome,
+                None => {
+                    state
+                        .counters
+                        .deadline_expired
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Ok(Response::Deadline(
+                    req.id,
+                    format!("deadline of {ms} ms expired; synthesis continues and will warm the cache"),
+                ));
+                }
+            }
+        }
+        None => loop {
+            if let Some(outcome) = flight.wait_timeout(READ_POLL) {
+                break outcome;
+            }
+            if state.stopping() {
+                return Err("daemon is shutting down".into());
+            }
+        },
+    };
+
+    match outcome {
+        FlightOutcome::Done {
+            entry,
+            synthesis_ms,
+        } => {
+            if deduplicated {
+                state.counters.deduplicated.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(Response::Ok(
+                req.id,
+                entry_body(
+                    req,
+                    &topo,
+                    size.as_u64(),
+                    &entry,
+                    mechanism.name(),
+                    false,
+                    deduplicated,
+                    synthesis_ms,
+                ),
+            ))
+        }
+        FlightOutcome::Failed(msg) => Err(msg),
+        FlightOutcome::Rejected(msg) => {
+            state.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            Ok(Response::Rejected(req.id, msg))
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn entry_body(
+    req: &Request,
+    topo: &Topology,
+    size_bytes: u64,
+    entry: &WarmEntry,
+    algorithm: &str,
+    cache_hit: bool,
+    deduplicated: bool,
+    synthesis_ms: f64,
+) -> OkBody {
+    let compact = req.include_algorithm.then(|| to_compact(&entry.algo));
+    ok_body(
+        req,
+        topo,
+        size_bytes,
+        entry.time,
+        entry.algo.len() as u64,
+        algorithm,
+        compact,
+        cache_hit,
+        deduplicated,
+        synthesis_ms,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn ok_body(
+    _req: &Request,
+    topo: &Topology,
+    size_bytes: u64,
+    time: Time,
+    transfers: u64,
+    algorithm: &str,
+    algorithm_compact: Option<String>,
+    cache_hit: bool,
+    deduplicated: bool,
+    synthesis_ms: f64,
+) -> OkBody {
+    let bandwidth_gbps = if time.is_zero() {
+        f64::INFINITY
+    } else {
+        size_bytes as f64 / time.as_secs_f64() / 1e9
+    };
+    OkBody {
+        cache_hit,
+        deduplicated,
+        collective_time_ps: time.as_ps(),
+        bandwidth_gbps,
+        synthesis_ms,
+        transfers,
+        num_npus: topo.num_npus() as u64,
+        algorithm: algorithm.into(),
+        algorithm_compact,
+    }
+}
+
+fn worker_loop(state: &Arc<ServerState>, rx: &Arc<Mutex<mpsc::Receiver<Job>>>) {
+    let mut scratch = SynthesisScratch::new();
+    loop {
+        let job = {
+            let rx = rx.lock().expect("no poisoned locks");
+            rx.try_recv()
+        };
+        match job {
+            Ok(job) => run_job(state, job, &mut scratch),
+            Err(mpsc::TryRecvError::Empty) => {
+                if state.stopping() {
+                    return;
+                }
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(mpsc::TryRecvError::Disconnected) => return,
+        }
+    }
+}
+
+fn run_job(state: &Arc<ServerState>, job: Job, scratch: &mut SynthesisScratch) {
+    let Job {
+        key,
+        topo,
+        collective,
+        mechanism,
+    } = job;
+    let started = Instant::now();
+    let generated = catch_unwind(AssertUnwindSafe(|| {
+        generate(&topo, &collective, &mechanism, scratch)
+    }));
+    let synthesis_ms = started.elapsed().as_secs_f64() * 1e3;
+    match generated {
+        Ok(Ok((algo, time))) => {
+            state.warm.insert(key.clone(), WarmEntry { time, algo });
+            state.counters.synthesized.fetch_add(1, Ordering::Relaxed);
+            let entry = state.warm.get(&key).expect("entry just inserted");
+            state.inflight.complete(
+                &key,
+                FlightOutcome::Done {
+                    entry,
+                    synthesis_ms,
+                },
+            );
+        }
+        Ok(Err(msg)) => state.inflight.complete(&key, FlightOutcome::Failed(msg)),
+        Err(_) => state.inflight.complete(
+            &key,
+            FlightOutcome::Failed("synthesis panicked; see daemon stderr".into()),
+        ),
+    }
+}
+
+/// Generates the algorithm and its completion time — synthesized
+/// schedules carry a planned time; baseline schedules are simulated,
+/// matching the scenario runner's semantics.
+fn generate(
+    topo: &Topology,
+    collective: &Collective,
+    mechanism: &Mechanism,
+    scratch: &mut SynthesisScratch,
+) -> Result<(CollectiveAlgorithm, Time), String> {
+    let algo = match mechanism {
+        Mechanism::Tacos(m) => Synthesizer::new(m.config.clone())
+            .synthesize_with(topo, collective, scratch)
+            .map_err(|e| e.to_string())?
+            .into_algorithm(),
+        Mechanism::Baseline(kind) => BaselineAlgorithm::new(kind.clone())
+            .generate(topo, collective)
+            .map_err(|e| e.to_string())?,
+        Mechanism::Ideal => return Err("ideal mechanism is answered inline".into()),
+    };
+    let time = match algo.planned_time() {
+        Some(time) => time,
+        None => Simulator::new()
+            .simulate(topo, &algo)
+            .map_err(|e| e.to_string())?
+            .collective_time(),
+    };
+    Ok((algo, time))
+}

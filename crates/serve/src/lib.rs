@@ -1,0 +1,30 @@
+//! # tacos-serve
+//!
+//! Synthesis-as-a-service: the paper's synthesizer wrapped in a
+//! long-lived daemon (`tacos serve`) so repeated collective-algorithm
+//! requests — the pattern a training-cluster scheduler produces —
+//! amortize synthesis cost across clients and process restarts.
+//!
+//! The daemon is plain std: a non-blocking accept loop, a bounded
+//! synthesis worker pool with admission control, single-flight
+//! deduplication of concurrent identical requests (one synthesis, N
+//! responses), per-request deadlines, and a warm cache persisted to
+//! disk with a [`tacos_core::MATCHER_VERSION`]-checked snapshot header.
+//! The wire protocol is one JSON object per line in each direction; see
+//! [`protocol`].
+//!
+//! [`bench`] implements `tacos serve-bench`, which replays a scenario
+//! grid as a request trace at several concurrency levels and reports
+//! throughput and latency percentiles.
+
+#![warn(missing_docs)]
+
+pub mod bench;
+mod client;
+mod daemon;
+pub mod protocol;
+
+pub use bench::{build_trace, BenchConfig};
+pub use client::Client;
+pub use daemon::{Daemon, DaemonConfig, DaemonHandle, SNAPSHOT_FILE};
+pub use protocol::{OkBody, Op, Request, Response, StatsBody};

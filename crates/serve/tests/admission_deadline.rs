@@ -1,0 +1,123 @@
+//! Admission control and per-request deadlines against a live daemon.
+
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use tacos_report::Json;
+use tacos_serve::{Client, Daemon, DaemonConfig};
+
+fn status(r: &Json) -> Option<&str> {
+    r.get("status").and_then(Json::as_str)
+}
+
+#[test]
+fn a_full_admission_queue_rejects_with_a_typed_response() {
+    // One worker, depth-1 queue: at most one running + one queued
+    // synthesis; the rest of a concurrent burst must be rejected.
+    let handle = Daemon::spawn(DaemonConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_depth: 1,
+        quiet: true,
+        ..DaemonConfig::default()
+    })
+    .expect("daemon starts");
+    let addr = handle.addr().to_string();
+
+    // Six *distinct* slow requests (different seeds → different cache
+    // keys) so none deduplicate into the same flight.
+    let requests: Vec<String> = (0..6)
+        .map(|seed| {
+            format!(
+                r#"{{"topology":"mesh:3x3","collective":"all-gather","size":"4MB","attempts":2,"seed":{seed}}}"#
+            )
+        })
+        .collect();
+
+    let barrier = Barrier::new(requests.len());
+    let responses: Vec<Json> = std::thread::scope(|scope| {
+        let handles: Vec<_> = requests
+            .iter()
+            .map(|request| {
+                scope.spawn(|| {
+                    let mut client =
+                        Client::connect_with_retry(&addr, Duration::from_secs(5)).expect("connect");
+                    barrier.wait();
+                    client.call(request).expect("response")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let ok = responses.iter().filter(|r| status(r) == Some("ok")).count();
+    let rejected = responses
+        .iter()
+        .filter(|r| status(r) == Some("rejected"))
+        .count();
+    assert_eq!(ok + rejected, responses.len(), "{responses:?}");
+    assert!(ok >= 1, "someone must be admitted: {responses:?}");
+    assert!(
+        rejected >= 1,
+        "a depth-1 queue cannot admit a burst of 6: {responses:?}"
+    );
+    let reason = responses
+        .iter()
+        .find(|r| status(r) == Some("rejected"))
+        .and_then(|r| r.get("reason"))
+        .and_then(Json::as_str)
+        .expect("rejected responses carry a reason");
+    assert!(reason.contains("queue full"), "got reason '{reason}'");
+    assert_eq!(handle.stats().rejected as usize, rejected);
+    handle.stop().expect("clean stop");
+}
+
+#[test]
+fn an_expired_deadline_returns_typed_and_the_synthesis_still_warms_the_cache() {
+    let handle = Daemon::spawn(DaemonConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        quiet: true,
+        ..DaemonConfig::default()
+    })
+    .expect("daemon starts");
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect_with_retry(&addr, Duration::from_secs(5)).expect("connect");
+
+    // A deadline no real synthesis can meet.
+    let response = client
+        .call(r#"{"topology":"mesh:3x3","size":"4MB","attempts":4,"deadline_ms":0}"#)
+        .expect("response");
+    assert_eq!(status(&response), Some("deadline"), "{response:?}");
+    assert!(
+        response
+            .get("reason")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .contains("deadline"),
+        "{response:?}"
+    );
+
+    // The abandoned synthesis keeps running and lands in the warm cache:
+    // the identical request (without the deadline) becomes a hit or a
+    // dedup join, never a second synthesis.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if handle.stats().synthesized == 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "synthesis never completed");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let response = client
+        .call(r#"{"topology":"mesh:3x3","size":"4MB","attempts":4}"#)
+        .expect("response");
+    assert_eq!(status(&response), Some("ok"), "{response:?}");
+    assert_eq!(
+        response.get("cache_hit").and_then(Json::as_bool),
+        Some(true)
+    );
+    assert_eq!(handle.stats().synthesized, 1);
+    assert_eq!(handle.stats().deadline_expired, 1);
+    handle.stop().expect("clean stop");
+}

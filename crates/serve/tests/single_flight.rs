@@ -1,0 +1,72 @@
+//! The single-flight guarantee, proven against a live daemon: N
+//! concurrent identical requests cost exactly one synthesis.
+
+use std::sync::Barrier;
+use std::time::Duration;
+
+use tacos_report::Json;
+use tacos_serve::{Client, Daemon, DaemonConfig};
+
+const CLIENTS: usize = 8;
+
+#[test]
+fn concurrent_identical_requests_run_one_synthesis() {
+    let handle = Daemon::spawn(DaemonConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        quiet: true,
+        ..DaemonConfig::default()
+    })
+    .expect("daemon starts");
+    let addr = handle.addr().to_string();
+
+    // A request slow enough that the waves of clients overlap its
+    // synthesis window, identical for everyone.
+    let request = r#"{"topology":"mesh:3x3","collective":"all-gather","size":"4MB","attempts":2}"#;
+
+    let barrier = Barrier::new(CLIENTS);
+    let responses: Vec<Json> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut client =
+                        Client::connect_with_retry(&addr, Duration::from_secs(5)).expect("connect");
+                    barrier.wait();
+                    client.call(request).expect("response")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let status = |r: &Json| r.get("status").and_then(Json::as_str).map(String::from);
+    let flag = |r: &Json, key: &str| r.get(key).and_then(Json::as_bool) == Some(true);
+    assert!(
+        responses.iter().all(|r| status(r).as_deref() == Some("ok")),
+        "all {CLIENTS} clients should get ok responses: {responses:?}"
+    );
+    let hits = responses.iter().filter(|r| flag(r, "cache_hit")).count();
+    let deduplicated = responses.iter().filter(|r| flag(r, "deduplicated")).count();
+    // One client led the synthesis; everyone else either piggybacked on
+    // the in-flight one or (arriving after completion) hit the warm cache.
+    assert_eq!(
+        hits + deduplicated,
+        CLIENTS - 1,
+        "hits={hits} deduplicated={deduplicated}"
+    );
+
+    let stats = handle.stats();
+    assert_eq!(
+        stats.synthesized, 1,
+        "exactly one synthesis must have run: {stats:?}"
+    );
+    assert_eq!(stats.errors, 0, "{stats:?}");
+
+    // And a late arrival is a pure warm hit.
+    let mut client = Client::connect_with_retry(&addr, Duration::from_secs(5)).expect("connect");
+    let late = client.call(request).expect("response");
+    assert_eq!(late.get("cache_hit").and_then(Json::as_bool), Some(true));
+    assert_eq!(handle.stats().synthesized, 1);
+
+    handle.stop().expect("clean stop");
+}

@@ -1,0 +1,133 @@
+//! Warm-cache persistence round-trip: persist on stop, reload on start,
+//! re-serve with zero resyntheses — and reject stale or corrupted
+//! snapshots with a cold start instead of a panic.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use tacos_report::Json;
+use tacos_serve::{Client, Daemon, DaemonConfig, SNAPSHOT_FILE};
+
+const REQUEST: &str = r#"{"topology":"mesh:2x2","collective":"all-gather","size":"1MB"}"#;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tacos-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn daemon_at(cache_dir: &Path) -> tacos_serve::DaemonHandle {
+    Daemon::spawn(DaemonConfig {
+        addr: "127.0.0.1:0".into(),
+        cache_dir: Some(cache_dir.to_path_buf()),
+        quiet: true,
+        ..DaemonConfig::default()
+    })
+    .expect("daemon starts")
+}
+
+fn call(handle: &tacos_serve::DaemonHandle, request: &str) -> Json {
+    let mut client = Client::connect_with_retry(&handle.addr().to_string(), Duration::from_secs(5))
+        .expect("connect");
+    client.call(request).expect("response")
+}
+
+#[test]
+fn a_restarted_daemon_serves_from_the_persisted_cache() {
+    let cache_dir = temp_dir("roundtrip");
+
+    // Cold daemon: the first request synthesizes.
+    let first = daemon_at(&cache_dir);
+    let response = call(&first, REQUEST);
+    assert_eq!(response.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(
+        response.get("cache_hit").and_then(Json::as_bool),
+        Some(false)
+    );
+    let cold_time = response.get("collective_time_ps").and_then(Json::as_u64);
+    assert_eq!(first.stats().synthesized, 1);
+    let persisted = first.stop().expect("clean stop");
+    assert!(persisted >= 1, "stop should persist the warm entry");
+    assert!(cache_dir.join(SNAPSHOT_FILE).exists());
+
+    // Warm restart: the same request is a cache hit, zero resyntheses,
+    // identical answer.
+    let second = daemon_at(&cache_dir);
+    let response = call(&second, REQUEST);
+    assert_eq!(response.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(
+        response.get("cache_hit").and_then(Json::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        response.get("collective_time_ps").and_then(Json::as_u64),
+        cold_time
+    );
+    let stats = second.stats();
+    assert_eq!(stats.synthesized, 0, "warm restart must not resynthesize");
+    assert_eq!(stats.cache_hits, 1);
+    second.stop().expect("clean stop");
+
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn checkpoint_persists_without_stopping() {
+    let cache_dir = temp_dir("checkpoint");
+    let daemon = daemon_at(&cache_dir);
+    call(&daemon, REQUEST);
+    let response = call(&daemon, r#"{"op":"checkpoint"}"#);
+    assert_eq!(
+        response.get("status").and_then(Json::as_str),
+        Some("checkpointed")
+    );
+    assert_eq!(response.get("entries").and_then(Json::as_u64), Some(1));
+    assert!(cache_dir.join(SNAPSHOT_FILE).exists());
+    daemon.stop().expect("clean stop");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn corrupted_and_stale_snapshots_cold_start_instead_of_panicking() {
+    for (tag, contents) in [
+        ("corrupt", "not a snapshot at all\n".to_string()),
+        ("truncated", "tacos-warm-cache v1\nmatcher".to_string()),
+        (
+            // A snapshot from a hypothetical future matcher: structurally
+            // valid, but its schedules would be stale for this build.
+            "stale",
+            "tacos-warm-cache v1\nmatcher 999999\nentries 0\n".to_string(),
+        ),
+    ] {
+        let cache_dir = temp_dir(tag);
+        std::fs::create_dir_all(&cache_dir).unwrap();
+        std::fs::write(cache_dir.join(SNAPSHOT_FILE), contents).unwrap();
+
+        // Spawn must succeed (cold start, notice on stderr) and the
+        // daemon must serve normally, resynthesizing from scratch.
+        let daemon = daemon_at(&cache_dir);
+        let response = call(&daemon, REQUEST);
+        assert_eq!(
+            response.get("status").and_then(Json::as_str),
+            Some("ok"),
+            "{tag}: {response:?}"
+        );
+        assert_eq!(
+            response.get("cache_hit").and_then(Json::as_bool),
+            Some(false),
+            "{tag}: a bad snapshot must not produce cache hits"
+        );
+        assert_eq!(daemon.stats().synthesized, 1, "{tag}");
+        // Stopping overwrites the bad snapshot with a valid one.
+        assert!(daemon.stop().expect("clean stop") >= 1, "{tag}");
+        let reloaded = daemon_at(&cache_dir);
+        let response = call(&reloaded, REQUEST);
+        assert_eq!(
+            response.get("cache_hit").and_then(Json::as_bool),
+            Some(true),
+            "{tag}: the rewritten snapshot must load"
+        );
+        reloaded.stop().expect("clean stop");
+        let _ = std::fs::remove_dir_all(&cache_dir);
+    }
+}
