@@ -74,6 +74,7 @@ usage: tacos [options]
        tacos scenario diff <a.csv> <b.csv> [--tol 1e-9]
        tacos serve [serve options]
        tacos serve-bench <file.toml> [serve-bench options]
+       tacos chaos [--seed N] [--quiet]
 
 single-point options:
   --topology SPEC    ring:N | fc:N | mesh:RxC | torus:XxY[xZ] | hypercube:XxYxZ |
@@ -112,20 +113,43 @@ serve options (synthesis-as-a-service daemon; line-delimited JSON over TCP):
   --cache-dir DIR    persist the warm cache to DIR on shutdown/checkpoint and
                      reload it on start (matcher-version checked)
   --deadline-ms MS   default per-request deadline (requests may override)
+  --checkpoint-every SECS
+                     also persist the warm cache every SECS seconds
+                     (crash-safe: temp file + fsync + atomic rename)
+  --max-line-bytes N cap on one request line; longer lines get a typed
+                     error and the connection closes (default 1048576)
+  --idle-timeout-secs SECS
+                     close connections idle longer than SECS (0 = never;
+                     default 300)
+  --max-connections N
+                     concurrent connection cap; excess connections get a
+                     typed 'rejected' with retry_after_ms (default 256)
+  --retry-after-ms MS
+                     backoff hint attached to rejected responses (default 100)
+  --faults SPEC      deterministic fault injection for chaos testing, e.g.
+                     panic@3,stall@1:50,conn-delay@2:20,checkpoint-abort@2
   --quiet            suppress daemon notices on stderr
 
 serve-bench options (replay a scenario grid against a running daemon):
   --addr HOST:PORT   daemon address (default 127.0.0.1:7440)
   --concurrency LIST comma-separated client counts to measure (default 1,4)
   --deadline-ms MS   attach a deadline to every replayed request
-  --output FILE      write the JSON report to FILE (default BENCH_PR6.json)
-  --quick            replay the scenario's [quick] reduced grid";
+  --retries N        retry budget per rejected request, with exponential
+                     backoff honoring the daemon's retry_after_ms (default 3)
+  --output FILE      write the JSON report to FILE (default BENCH_PR7.json)
+  --quick            replay the scenario's [quick] reduced grid
+
+chaos options (drive a private daemon through a seeded fault plan and
+assert its operational invariants; nonzero exit on any violation):
+  --seed N           fault-plan seed (default 1); each seed is deterministic
+  --quiet            only print the final verdict";
 
 fn run(args: &[String]) -> Result<(), CliError> {
     match args.first().map(String::as_str) {
         Some("scenario") => return scenario_command(&args[1..]),
         Some("serve") => return serve_command(&args[1..]),
         Some("serve-bench") => return serve_bench_command(&args[1..]),
+        Some("chaos") => return chaos_command(&args[1..]),
         _ => {}
     }
     // Legacy single-point mode: most failures are flag mistakes, so they
@@ -399,6 +423,42 @@ fn serve_command(args: &[String]) -> Result<(), CliError> {
                         .map_err(|e| format!("bad --deadline-ms: {e}"))?,
                 )
             }
+            "--checkpoint-every" => {
+                let secs: u64 = take("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("bad --checkpoint-every: {e}"))?;
+                if secs == 0 {
+                    return Err(CliError::Usage(
+                        "--checkpoint-every must be at least 1 second".into(),
+                    ));
+                }
+                config.checkpoint_every = Some(std::time::Duration::from_secs(secs));
+            }
+            "--max-line-bytes" => {
+                config.max_line_bytes = take("--max-line-bytes")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-line-bytes: {e}"))?
+            }
+            "--idle-timeout-secs" => {
+                let secs: u64 = take("--idle-timeout-secs")?
+                    .parse()
+                    .map_err(|e| format!("bad --idle-timeout-secs: {e}"))?;
+                config.idle_timeout = (secs > 0).then(|| std::time::Duration::from_secs(secs));
+            }
+            "--max-connections" => {
+                config.max_connections = take("--max-connections")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-connections: {e}"))?
+            }
+            "--retry-after-ms" => {
+                config.retry_after_ms = take("--retry-after-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --retry-after-ms: {e}"))?
+            }
+            "--faults" => {
+                config.faults = tacos_serve::FaultPlan::parse(&take("--faults")?)
+                    .map_err(|e| format!("bad --faults: {e}"))?
+            }
             "--quiet" => config.quiet = true,
             other => return Err(CliError::Usage(format!("unknown serve argument '{other}'"))),
         }
@@ -424,8 +484,14 @@ fn serve_command(args: &[String]) -> Result<(), CliError> {
     if !quiet {
         eprintln!(
             "tacos serve: stopped after {} requests ({} cache hits, {} synthesized, \
-             {} deduplicated, {} rejected)",
-            stats.requests, stats.cache_hits, stats.synthesized, stats.deduplicated, stats.rejected
+             {} deduplicated, {} rejected, {} worker restarts, {} checkpoints)",
+            stats.requests,
+            stats.cache_hits,
+            stats.synthesized,
+            stats.deduplicated,
+            stats.rejected,
+            stats.worker_restarts,
+            stats.checkpoints
         );
     }
     Ok(())
@@ -439,7 +505,7 @@ fn serve_bench_command(args: &[String]) -> Result<(), CliError> {
         .first()
         .ok_or_else(|| CliError::Usage("serve-bench needs a <file.toml> trace scenario".into()))?;
     let mut config = tacos_serve::BenchConfig::default();
-    let mut output = String::from("BENCH_PR6.json");
+    let mut output = String::from("BENCH_PR7.json");
     let mut quick = false;
     let mut it = args.iter().skip(1);
     while let Some(arg) = it.next() {
@@ -469,6 +535,11 @@ fn serve_bench_command(args: &[String]) -> Result<(), CliError> {
                         .map_err(|e| format!("bad --deadline-ms: {e}"))?,
                 )
             }
+            "--retries" => {
+                config.retries = take("--retries")?
+                    .parse()
+                    .map_err(|e| format!("bad --retries: {e}"))?
+            }
             "--output" => output = take("--output")?,
             "--quick" => quick = true,
             other => {
@@ -496,7 +567,7 @@ fn serve_bench_command(args: &[String]) -> Result<(), CliError> {
     let report = tacos_serve::bench::run(&spec, &config).map_err(CliError::Runtime)?;
     let mut t = Table::new(vec![
         "clients", "requests", "wall s", "req/s", "p50 ms", "p95 ms", "p99 ms", "ok", "hits",
-        "dedup", "rejected", "deadline", "errors",
+        "dedup", "rejected", "retried", "deadline", "errors",
     ]);
     if let Some(levels) = report.get("levels").and_then(Json::as_array) {
         for level in levels {
@@ -519,6 +590,7 @@ fn serve_bench_command(args: &[String]) -> Result<(), CliError> {
                 cell("cache_hits"),
                 cell("deduplicated"),
                 cell("rejected"),
+                cell("retried"),
                 cell("deadline"),
                 cell("errors"),
             ]);
@@ -528,6 +600,40 @@ fn serve_bench_command(args: &[String]) -> Result<(), CliError> {
     std::fs::write(&output, format!("{report}\n"))
         .map_err(|e| CliError::Runtime(format!("failed to write {output}: {e}")))?;
     eprintln!("(bench report written to {output})");
+    Ok(())
+}
+
+/// `tacos chaos [--seed N] [--quiet]`: spawn a private daemon under a
+/// seeded fault plan and assert the operational invariants — exactly one
+/// typed response per request, worker panics contained to their flight,
+/// torn checkpoints salvaged, oversized lines bounded, overload
+/// recoverable. Nonzero exit on the first violated invariant.
+fn chaos_command(args: &[String]) -> Result<(), CliError> {
+    let mut options = tacos_serve::ChaosOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("missing value for --seed".into()))?;
+                options.seed = v
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("bad --seed: {e}")))?;
+            }
+            "--quiet" => options.quiet = true,
+            other => return Err(CliError::Usage(format!("unknown chaos argument '{other}'"))),
+        }
+    }
+    let report = tacos_serve::chaos::run(&options).map_err(|violation| {
+        CliError::Runtime(format!("chaos (seed {}): {violation}", options.seed))
+    })?;
+    println!(
+        "tacos chaos: seed {} passed — {} invariants held under plan '{}'",
+        report.seed,
+        report.passed.len(),
+        report.plan
+    );
     Ok(())
 }
 

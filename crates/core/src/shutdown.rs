@@ -11,10 +11,18 @@
 //! [`install`] registers the handler (idempotent); [`trigger`] sets the
 //! flag programmatically (the daemon's `shutdown` op, tests); [`reset`]
 //! clears it (tests only — a real process exits after shutting down).
+//!
+//! A **second** SIGINT/SIGTERM forces an immediate `_exit(130)`: the
+//! first signal asks for a graceful drain, and if that drain hangs — a
+//! stuck checkpoint, a wedged worker — the operator's second Ctrl-C must
+//! always win over the daemon's cleanup.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Exit code for a forced (second-signal) exit: 128 + SIGINT.
+const FORCED_EXIT_CODE: i32 = 130;
 
 /// Whether a shutdown was requested (signal received or [`trigger`]ed).
 pub fn requested() -> bool {
@@ -39,13 +47,29 @@ pub fn install() {
     install_unix();
 }
 
+/// The handler's decision logic, separated from the handler so it can
+/// be unit-tested: returns `true` when the signal is a repeat and the
+/// process should force-exit instead of (still) draining gracefully.
+fn on_signal() -> bool {
+    // `swap` makes the first/second distinction race-free even if two
+    // signals land back to back on different threads.
+    SHUTDOWN.swap(true, Ordering::Relaxed)
+}
+
 #[cfg(unix)]
 fn install_unix() {
-    // Setting an atomic is async-signal-safe; nothing else happens in
-    // the handler. `signal(2)` suffices — no siginfo, no masking — and
-    // keeps this std-only (libc is already linked by std on Unix).
+    // Setting an atomic is async-signal-safe, and so is `_exit` (it
+    // skips atexit handlers and Rust destructors by design — that is
+    // the point of a forced exit). `signal(2)` suffices — no siginfo,
+    // no masking — and keeps this std-only (libc is already linked by
+    // std on Unix).
     unsafe extern "C" fn handler(_sig: i32) {
-        SHUTDOWN.store(true, Ordering::Relaxed);
+        if on_signal() {
+            extern "C" {
+                fn _exit(code: i32) -> !;
+            }
+            _exit(FORCED_EXIT_CODE)
+        }
     }
     extern "C" {
         fn signal(signum: i32, handler: unsafe extern "C" fn(i32)) -> usize;
@@ -76,5 +100,12 @@ mod tests {
         install();
         install();
         assert!(!requested());
+
+        // First signal: request a graceful drain. Second: force-exit.
+        assert!(!on_signal(), "first signal drains gracefully");
+        assert!(requested());
+        assert!(on_signal(), "second signal forces an exit");
+        assert!(on_signal(), "and so does every signal after");
+        reset();
     }
 }

@@ -1,5 +1,5 @@
-//! The in-memory warm store behind `tacos serve`, with snapshot
-//! persistence.
+//! The in-memory warm store behind `tacos serve`, with crash-safe
+//! snapshot persistence.
 //!
 //! [`crate::AlgorithmCache`] is a directory of per-key `.tacos` files: a
 //! batch tool's cache, paying a filesystem read and a parse per lookup.
@@ -16,9 +16,23 @@
 //! weight that silently survives every restart. The header check turns
 //! that into an explicit, readable [`WarmCacheError::MatcherMismatch`]
 //! so the daemon logs one line and starts cold instead.
+//!
+//! # Crash safety
+//!
+//! Snapshots are written to a uniquely-named temp file, fsynced, and
+//! renamed into place (with a best-effort directory fsync), so a crash
+//! mid-checkpoint leaves the previous snapshot intact. Should a torn
+//! file still appear at the final path — a filesystem without atomic
+//! rename semantics, disk corruption, an operator's stray `truncate` —
+//! the v2 format makes the damage recoverable instead of fatal: every
+//! entry carries a CRC32 of its record and the file ends in an
+//! entry-count trailer. [`WarmCache::load_from`] then **salvages the
+//! valid prefix** (every entry up to the first torn or corrupt record)
+//! rather than cold-starting, and reports what it kept in a
+//! [`LoadReport`].
 
 use std::collections::HashMap;
-use std::io;
+use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -29,9 +43,14 @@ use tacos_topology::Time;
 
 use crate::cache::MATCHER_VERSION;
 
-/// First line of every snapshot file; bumped only if the container
-/// layout itself changes (the matcher line tracks schedule semantics).
-const SNAPSHOT_MAGIC: &str = "tacos-warm-cache v1";
+/// First line of every snapshot file; v2 added per-entry CRC32 checksums
+/// and the `end <count>` trailer (bumped when the container layout
+/// itself changes — the matcher line tracks schedule semantics).
+const SNAPSHOT_MAGIC: &str = "tacos-warm-cache v2";
+
+/// Makes concurrent snapshot writers (periodic checkpoint thread, a
+/// client `checkpoint` op, shutdown) use distinct temp files.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// One warm entry: the schedule plus the completion time the daemon
 /// measured for it (planned time for syntheses, simulated time for
@@ -58,15 +77,40 @@ pub struct WarmCache {
     misses: AtomicU64,
 }
 
-/// Why a snapshot could not be loaded. Every variant renders as one
-/// readable line; none of them should ever panic the caller — a bad
-/// snapshot means a cold start, not a dead daemon.
+/// What [`WarmCache::load_from`] recovered from a snapshot.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// The loaded cache (possibly a salvaged prefix of the snapshot).
+    pub cache: WarmCache,
+    /// Entry count the snapshot header declared.
+    pub entries_expected: usize,
+    /// Entries actually loaded and checksum-verified.
+    pub entries_loaded: usize,
+    /// `true` when the snapshot was torn or corrupt past the header and
+    /// only the valid prefix was kept (or its trailer was missing).
+    pub salvaged: bool,
+    /// Human-readable description of what stopped a salvaged load.
+    pub detail: Option<String>,
+}
+
+impl LoadReport {
+    /// `true` when every declared entry loaded and the trailer verified.
+    pub fn is_clean(&self) -> bool {
+        !self.salvaged
+    }
+}
+
+/// Why a snapshot could not be loaded *at all*. Torn or partially
+/// corrupt files past a valid header are not errors — they salvage (see
+/// [`LoadReport`]). Every variant renders as one readable line; none of
+/// them should ever panic the caller — a bad snapshot means a cold
+/// start, not a dead daemon.
 #[derive(Debug)]
 pub enum WarmCacheError {
     /// The file could not be read.
     Io(PathBuf, io::Error),
-    /// The file is not a warm-cache snapshot, or an entry is truncated
-    /// or unparseable. Carries a human-readable description.
+    /// The file is not a warm-cache snapshot (bad or truncated header).
+    /// Carries a human-readable description.
     Malformed(String),
     /// The snapshot was written by a different matcher revision; its
     /// schedules are not what the current matcher would emit.
@@ -93,6 +137,29 @@ impl std::fmt::Display for WarmCacheError {
 }
 
 impl std::error::Error for WarmCacheError {}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), bitwise: the
+/// snapshot is parsed once per process start, so a lookup table would
+/// buy nothing measurable.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// The per-entry checksum input: the header fields a bit flip could
+/// silently alter plus the compact schedule text. The byte-length field
+/// is implicitly covered — a wrong length mis-splits the record and the
+/// checksum cannot match.
+fn entry_crc(key: &str, time_ps: u64, compact: &str) -> u32 {
+    crc32(format!("{key} {time_ps} {compact}").as_bytes())
+}
 
 impl WarmCache {
     /// An empty warm cache.
@@ -123,6 +190,19 @@ impl WarmCache {
             .insert(key, Arc::new(entry));
     }
 
+    /// The resident keys, sorted (snapshot order).
+    pub fn keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .entries
+            .read()
+            .expect("no poisoned locks")
+            .keys()
+            .cloned()
+            .collect();
+        keys.sort();
+        keys
+    }
+
     /// Number of resident entries.
     pub fn len(&self) -> usize {
         self.entries.read().expect("no poisoned locks").len()
@@ -143,24 +223,20 @@ impl WarmCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Writes every entry to one snapshot file (atomically: temp file +
-    /// rename), returning the number of entries written.
+    /// Serializes every entry into the snapshot text.
     ///
     /// Format, all text:
     ///
     /// ```text
-    /// tacos-warm-cache v1
+    /// tacos-warm-cache v2
     /// matcher <MATCHER_VERSION>
     /// entries <count>
-    /// <key> <time_ps> <compact-byte-length>
+    /// <key> <time_ps> <compact-byte-length> <crc32-hex>
     /// <compact algorithm text, exactly that many bytes>
     /// ...
+    /// end <count>
     /// ```
-    ///
-    /// # Errors
-    /// Propagates filesystem errors.
-    pub fn save_to(&self, path: impl AsRef<Path>) -> io::Result<usize> {
-        let path = path.as_ref();
+    fn serialize(&self) -> (String, usize) {
         let entries = self.entries.read().expect("no poisoned locks");
         // Deterministic order: restarts and tests see stable files.
         let mut keys: Vec<&String> = entries.keys().collect();
@@ -173,53 +249,119 @@ impl WarmCache {
         for key in &keys {
             let entry = &entries[*key];
             let compact = export::to_compact(&entry.algo);
-            out.push_str(&format!("{key} {} {}\n", entry.time.as_ps(), compact.len()));
+            let time_ps = entry.time.as_ps();
+            let crc = entry_crc(key, time_ps, &compact);
+            out.push_str(&format!("{key} {time_ps} {} {crc:08x}\n", compact.len()));
             out.push_str(&compact);
         }
+        out.push_str(&format!("end {}\n", keys.len()));
+        (out, keys.len())
+    }
+
+    /// Writes `bytes` of the serialized snapshot to a fresh temp file
+    /// (fsynced) and, when `rename` is set, moves it into place and
+    /// fsyncs the directory. Split out so fault injection can produce a
+    /// torn, never-renamed temp — exactly what a crash mid-write leaves.
+    fn write_snapshot(path: &Path, text: &str, keep: usize, rename: bool) -> io::Result<()> {
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent)?;
             }
         }
-        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-        std::fs::write(&tmp, out)?;
+        let tmp = path.with_extension(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let mut file = std::fs::File::create(&tmp)?;
+        let written = file
+            .write_all(&text.as_bytes()[..keep.min(text.len())])
+            .and_then(|()| file.sync_all());
+        drop(file);
+        if written.is_err() || !rename {
+            if rename {
+                let _ = std::fs::remove_file(&tmp);
+            }
+            return written;
+        }
         let renamed = std::fs::rename(&tmp, path);
         if renamed.is_err() {
             let _ = std::fs::remove_file(&tmp);
+            return renamed;
         }
-        renamed.map(|()| keys.len())
+        // Durability of the rename itself: fsync the directory. Best
+        // effort — some filesystems refuse to sync a read-only dir
+        // handle, and the temp-file fsync already ordered the data.
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Ok(dir) = std::fs::File::open(parent) {
+                    let _ = dir.sync_all();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes every entry to one snapshot file — atomically (unique temp
+    /// file + fsync + rename + directory fsync), so a crash at any point
+    /// leaves either the previous snapshot or the new one, never a torn
+    /// file at the final path. Returns the number of entries written.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn save_to(&self, path: impl AsRef<Path>) -> io::Result<usize> {
+        let (text, count) = self.serialize();
+        Self::write_snapshot(path.as_ref(), &text, usize::MAX, true)?;
+        Ok(count)
+    }
+
+    /// Fault-injection hook: simulates a crash mid-checkpoint by writing
+    /// only the first half of the snapshot to a temp file and **never
+    /// renaming it** — the debris a real kill would leave. The snapshot
+    /// at `path` is untouched; the caller should treat the checkpoint as
+    /// failed. Used by `tacos chaos` to prove checkpoint atomicity.
+    pub fn save_interrupted_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let (text, _) = self.serialize();
+        Self::write_snapshot(path.as_ref(), &text, text.len() / 2, false)
     }
 
     /// Loads a snapshot written by [`WarmCache::save_to`].
     ///
+    /// A snapshot with a valid header but torn or corrupt entries does
+    /// **not** error: the valid prefix — every entry up to the first
+    /// record that is truncated, unparseable, or fails its CRC32 — is
+    /// salvaged and the [`LoadReport`] says so. A missing or mismatched
+    /// `end <count>` trailer likewise marks the load salvaged (the
+    /// writer never finished), while keeping everything that verified.
+    ///
     /// # Errors
     /// [`WarmCacheError::MatcherMismatch`] when the snapshot was written
-    /// by a different matcher revision, [`WarmCacheError::Malformed`] for
-    /// truncated/corrupted files, [`WarmCacheError::Io`] for filesystem
-    /// errors. All are readable one-liners; callers cold-start on any of
-    /// them.
-    pub fn load_from(path: impl AsRef<Path>) -> Result<WarmCache, WarmCacheError> {
+    /// by a different matcher revision, [`WarmCacheError::Malformed`]
+    /// when the *header* is unrecognizable (not a snapshot at all),
+    /// [`WarmCacheError::Io`] for filesystem errors. All are readable
+    /// one-liners; callers cold-start on any of them.
+    pub fn load_from(path: impl AsRef<Path>) -> Result<LoadReport, WarmCacheError> {
         let path = path.as_ref();
         let text =
             std::fs::read_to_string(path).map_err(|e| WarmCacheError::Io(path.to_path_buf(), e))?;
         let malformed = |what: String| WarmCacheError::Malformed(what);
-        fn next_line<'a>(rest: &mut &'a str, what: &str) -> Result<&'a str, WarmCacheError> {
-            let (line, after) = rest
-                .split_once('\n')
-                .ok_or_else(|| WarmCacheError::Malformed(format!("truncated before {what}")))?;
+        fn next_line<'a>(rest: &mut &'a str) -> Option<&'a str> {
+            let (line, after) = rest.split_once('\n')?;
             *rest = after;
-            Ok(line)
+            Some(line)
         }
 
         let mut rest = text.as_str();
-        let magic = next_line(&mut rest, "header")?;
+        let magic =
+            next_line(&mut rest).ok_or_else(|| malformed("truncated before header".into()))?;
         if magic != SNAPSHOT_MAGIC {
             return Err(malformed(format!(
                 "expected header '{SNAPSHOT_MAGIC}', found '{}'",
                 magic.chars().take(40).collect::<String>()
             )));
         }
-        let matcher_line = next_line(&mut rest, "matcher version")?;
+        let matcher_line = next_line(&mut rest)
+            .ok_or_else(|| malformed("truncated before matcher version".into()))?;
         let found: u64 = matcher_line
             .strip_prefix("matcher ")
             .and_then(|v| v.parse().ok())
@@ -230,54 +372,102 @@ impl WarmCache {
                 expected: MATCHER_VERSION,
             });
         }
-        let entries_line = next_line(&mut rest, "entry count")?;
-        let count: usize = entries_line
+        let entries_line =
+            next_line(&mut rest).ok_or_else(|| malformed("truncated before entry count".into()))?;
+        let expected: usize = entries_line
             .strip_prefix("entries ")
             .and_then(|v| v.parse().ok())
             .ok_or_else(|| malformed(format!("bad entries line '{entries_line}'")))?;
 
+        // Past this point nothing errors: the header proves this is one
+        // of our snapshots, so damage means salvage, not cold start.
         let cache = WarmCache::new();
-        for i in 0..count {
-            let header = next_line(&mut rest, &format!("entry {i} header"))?;
-            let mut parts = header.split(' ');
-            let (key, time_ps, len) = match (parts.next(), parts.next(), parts.next()) {
-                (Some(k), Some(t), Some(l)) if parts.next().is_none() => (
-                    k.to_string(),
-                    t.parse::<u64>()
-                        .map_err(|e| malformed(format!("entry {i} time '{t}': {e}")))?,
-                    l.parse::<usize>()
-                        .map_err(|e| malformed(format!("entry {i} length '{l}': {e}")))?,
-                ),
-                _ => return Err(malformed(format!("entry {i} header '{header}'"))),
-            };
-            if len > rest.len() {
-                return Err(malformed(format!(
-                    "entry {i} ('{key}') claims {len} bytes but only {} remain",
-                    rest.len()
-                )));
-            }
-            if !rest.is_char_boundary(len) {
-                return Err(malformed(format!("entry {i} ('{key}') splits a character")));
-            }
-            let (compact, after) = rest.split_at(len);
-            rest = after;
-            let algo = export::from_compact(compact)
-                .map_err(|e| malformed(format!("entry {i} ('{key}'): {e}")))?;
-            cache.insert(
-                key,
-                WarmEntry {
-                    time: Time::from_ps(time_ps),
-                    algo,
+        let mut loaded = 0usize;
+        let mut detail: Option<String> = None;
+        while loaded < expected {
+            let i = loaded;
+            // One entry: parse the header line, slice the compact text,
+            // verify the checksum. Any failure tears the file here; the
+            // prefix already inserted stays.
+            let torn = (|| -> Result<(String, u64, &str), String> {
+                let header =
+                    next_line(&mut rest).ok_or_else(|| format!("entry {i}: truncated header"))?;
+                let mut parts = header.split(' ');
+                let (key, time_ps, len, crc) =
+                    match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                        (Some(k), Some(t), Some(l), Some(c)) if parts.next().is_none() => (
+                            k.to_string(),
+                            t.parse::<u64>()
+                                .map_err(|e| format!("entry {i}: time '{t}': {e}"))?,
+                            l.parse::<usize>()
+                                .map_err(|e| format!("entry {i}: length '{l}': {e}"))?,
+                            u32::from_str_radix(c, 16)
+                                .map_err(|e| format!("entry {i}: crc '{c}': {e}"))?,
+                        ),
+                        _ => return Err(format!("entry {i}: bad header '{header}'")),
+                    };
+                if len > rest.len() {
+                    return Err(format!(
+                        "entry {i} ('{key}') claims {len} bytes but only {} remain",
+                        rest.len()
+                    ));
+                }
+                if !rest.is_char_boundary(len) {
+                    return Err(format!("entry {i} ('{key}') splits a character"));
+                }
+                let (compact, after) = rest.split_at(len);
+                if entry_crc(&key, time_ps, compact) != crc {
+                    return Err(format!("entry {i} ('{key}') failed its CRC32 check"));
+                }
+                rest = after;
+                Ok((key, time_ps, compact))
+            })();
+            match torn {
+                Ok((key, time_ps, compact)) => match export::from_compact(compact) {
+                    Ok(algo) => {
+                        cache.insert(
+                            key,
+                            WarmEntry {
+                                time: Time::from_ps(time_ps),
+                                algo,
+                            },
+                        );
+                        loaded += 1;
+                    }
+                    Err(e) => {
+                        detail = Some(format!("entry {i}: {e}"));
+                        break;
+                    }
                 },
-            );
+                Err(why) => {
+                    detail = Some(why);
+                    break;
+                }
+            }
         }
-        if !rest.is_empty() {
-            return Err(malformed(format!(
-                "{} trailing bytes after the last entry",
-                rest.len()
-            )));
+        let mut salvaged = detail.is_some();
+        if !salvaged {
+            // All declared entries verified; the trailer proves the
+            // writer finished and nothing was appended after it.
+            match next_line(&mut rest) {
+                Some(trailer) if trailer == format!("end {expected}") && rest.is_empty() => {}
+                Some(trailer) => {
+                    salvaged = true;
+                    detail = Some(format!("bad trailer '{trailer}'"));
+                }
+                None => {
+                    salvaged = true;
+                    detail = Some("missing 'end' trailer".into());
+                }
+            }
         }
-        Ok(cache)
+        Ok(LoadReport {
+            cache,
+            entries_expected: expected,
+            entries_loaded: loaded,
+            salvaged,
+            detail,
+        })
     }
 }
 
@@ -303,6 +493,13 @@ mod tests {
     }
 
     #[test]
+    fn crc32_matches_known_vectors() {
+        // The IEEE 802.3 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
     fn snapshot_round_trips() {
         let cache = WarmCache::new();
         let a = algo();
@@ -322,7 +519,11 @@ mod tests {
         );
         let path = temp("rt");
         assert_eq!(cache.save_to(&path).unwrap(), 2);
-        let back = WarmCache::load_from(&path).unwrap();
+        let report = WarmCache::load_from(&path).unwrap();
+        assert!(report.is_clean(), "{:?}", report.detail);
+        assert_eq!(report.entries_expected, 2);
+        assert_eq!(report.entries_loaded, 2);
+        let back = report.cache;
         assert_eq!(back.len(), 2);
         let entry = back.get("tacos-ag-0001").unwrap();
         assert_eq!(entry.time, Time::from_ps(1234));
@@ -336,7 +537,7 @@ mod tests {
     #[test]
     fn matcher_mismatch_is_a_readable_error_not_a_panic() {
         let path = temp("ver");
-        std::fs::write(&path, "tacos-warm-cache v1\nmatcher 1\nentries 0\n").unwrap();
+        std::fs::write(&path, "tacos-warm-cache v2\nmatcher 1\nentries 0\nend 0\n").unwrap();
         let err = WarmCache::load_from(&path).unwrap_err();
         assert!(matches!(
             err,
@@ -351,22 +552,21 @@ mod tests {
     }
 
     #[test]
-    fn corrupted_snapshots_are_readable_errors() {
+    fn unrecognizable_headers_are_readable_errors() {
         let path = temp("bad");
         for (tag, contents) in [
-            ("garbage", "not a snapshot at all".to_string()),
+            ("garbage", "not a snapshot at all\n".to_string()),
             ("empty", String::new()),
+            ("no-newline", "tacos-warm-cache v2".to_string()),
+            // The v1 format predates checksums; its entries cannot be
+            // verified, so it cold-starts like any foreign file.
             (
-                "truncated-entry",
-                format!("{SNAPSHOT_MAGIC}\nmatcher {MATCHER_VERSION}\nentries 1\nk 5 9999\nxx"),
+                "v1",
+                "tacos-warm-cache v1\nmatcher 2\nentries 0\n".to_string(),
             ),
             (
-                "bad-compact",
-                format!("{SNAPSHOT_MAGIC}\nmatcher {MATCHER_VERSION}\nentries 1\nk 5 4\nnope"),
-            ),
-            (
-                "trailing",
-                format!("{SNAPSHOT_MAGIC}\nmatcher {MATCHER_VERSION}\nentries 0\nleftover"),
+                "bad-entries-line",
+                format!("{SNAPSHOT_MAGIC}\nmatcher {MATCHER_VERSION}\nentries ??\n"),
             ),
         ] {
             std::fs::write(&path, contents).unwrap();
@@ -378,6 +578,117 @@ mod tests {
             assert!(!err.to_string().is_empty(), "{tag}");
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn damage_past_the_header_salvages_instead_of_erroring() {
+        let path = temp("salvage");
+        for (tag, contents, expect_loaded) in [
+            (
+                "truncated-entry",
+                format!(
+                    "{SNAPSHOT_MAGIC}\nmatcher {MATCHER_VERSION}\nentries 1\nk 5 9999 0badc0de\nxx"
+                ),
+                0,
+            ),
+            (
+                "bad-compact",
+                format!(
+                    "{SNAPSHOT_MAGIC}\nmatcher {MATCHER_VERSION}\nentries 1\nk 5 4 {:08x}\nnope",
+                    entry_crc("k", 5, "nope")
+                ),
+                0,
+            ),
+            (
+                "trailing",
+                format!("{SNAPSHOT_MAGIC}\nmatcher {MATCHER_VERSION}\nentries 0\nend 0\nleftover"),
+                0,
+            ),
+            (
+                "missing-trailer",
+                format!("{SNAPSHOT_MAGIC}\nmatcher {MATCHER_VERSION}\nentries 0\n"),
+                0,
+            ),
+        ] {
+            std::fs::write(&path, contents).unwrap();
+            let report = WarmCache::load_from(&path)
+                .unwrap_or_else(|e| panic!("{tag}: expected salvage, got error {e}"));
+            assert!(report.salvaged, "{tag}");
+            assert_eq!(report.entries_loaded, expect_loaded, "{tag}");
+            assert!(report.detail.is_some(), "{tag}");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn a_flipped_byte_in_an_entry_fails_its_crc_and_tears_there() {
+        let cache = WarmCache::new();
+        let a = algo();
+        for key in ["aaa", "bbb", "ccc"] {
+            cache.insert(
+                key.into(),
+                WarmEntry {
+                    time: Time::from_ps(7),
+                    algo: a.clone(),
+                },
+            );
+        }
+        let path = temp("flip");
+        cache.save_to(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one byte inside the middle entry's compact text: the
+        // header is 3 lines, entry records follow sorted (aaa, bbb, ccc).
+        let text = String::from_utf8(bytes.clone()).unwrap();
+        let bbb_header = text.find("\nbbb ").unwrap();
+        let flip_at = bbb_header + 40; // somewhere inside bbb's record
+        bytes[flip_at] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let report = WarmCache::load_from(&path).unwrap();
+        assert!(report.salvaged);
+        assert_eq!(report.entries_loaded, 1, "{:?}", report.detail);
+        assert!(report.cache.get("aaa").is_some());
+        assert!(report.cache.get("bbb").is_none());
+        assert!(report.cache.get("ccc").is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn an_interrupted_save_leaves_the_previous_snapshot_intact() {
+        let cache = WarmCache::new();
+        cache.insert(
+            "k1".into(),
+            WarmEntry {
+                time: Time::from_ps(1),
+                algo: algo(),
+            },
+        );
+        let dir = std::env::temp_dir().join(format!("tacos-warm-abort-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("warm.tacos-cache");
+        cache.save_to(&path).unwrap();
+        let before = std::fs::read(&path).unwrap();
+
+        // The interrupted save writes a torn temp and never renames.
+        cache.insert(
+            "k2".into(),
+            WarmEntry {
+                time: Time::from_ps(2),
+                algo: algo(),
+            },
+        );
+        cache.save_interrupted_to(&path).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), before, "snapshot mutated");
+        let report = WarmCache::load_from(&path).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.entries_loaded, 1);
+        // The torn temp is visible debris, never the final file.
+        let debris: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains("tmp."))
+            .collect();
+        assert_eq!(debris.len(), 1, "expected exactly one torn temp file");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -24,6 +24,7 @@ impl Json {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let value = p.value()?;
@@ -96,9 +97,16 @@ impl Json {
     }
 }
 
+/// Maximum container nesting. The parser is recursive descent, so
+/// unbounded `[[[[...` would otherwise translate attacker-controlled
+/// input length into stack depth; 256 is far beyond any report or
+/// protocol message the repo emits.
+const MAX_DEPTH: usize = 256;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -143,8 +151,21 @@ impl Parser<'_> {
                 "unexpected character '{}' at byte {}",
                 c as char, self.pos
             )),
-            None => Err("unexpected end of input".into()),
+            None => Err(format!("unexpected end of input at byte {}", self.pos)),
         }
+    }
+
+    /// Guards one level of container nesting; call [`Parser::descend`]
+    /// on entry to `array`/`object` and decrement on exit.
+    fn descend(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} levels at byte {}",
+                self.pos
+            ));
+        }
+        Ok(())
     }
 
     fn string(&mut self) -> Result<String, String> {
@@ -152,7 +173,7 @@ impl Parser<'_> {
         let mut out = String::new();
         loop {
             match self.peek() {
-                None => return Err("unterminated string".into()),
+                None => return Err(format!("unterminated string at byte {}", self.pos)),
                 Some(b'"') => {
                     self.pos += 1;
                     return Ok(out);
@@ -161,7 +182,7 @@ impl Parser<'_> {
                     self.pos += 1;
                     let esc = self
                         .peek()
-                        .ok_or_else(|| "unterminated escape".to_string())?;
+                        .ok_or_else(|| format!("unterminated escape at byte {}", self.pos))?;
                     self.pos += 1;
                     match esc {
                         b'"' => out.push('"'),
@@ -205,10 +226,9 @@ impl Parser<'_> {
                             } else {
                                 code
                             };
-                            out.push(
-                                char::from_u32(c)
-                                    .ok_or_else(|| format!("invalid codepoint U+{c:04X}"))?,
-                            );
+                            out.push(char::from_u32(c).ok_or_else(|| {
+                                format!("invalid codepoint U+{c:04X} at byte {}", self.pos)
+                            })?);
                         }
                         other => {
                             return Err(format!(
@@ -222,7 +242,7 @@ impl Parser<'_> {
                     // Consume one UTF-8 character (input is a &str, so
                     // boundaries are valid; find the char at this byte).
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| "invalid UTF-8".to_string())?;
+                        .map_err(|_| format!("invalid UTF-8 at byte {}", self.pos))?;
                     let c = rest.chars().next().expect("peeked a byte");
                     if (c as u32) < 0x20 {
                         return Err(format!("unescaped control character at byte {}", self.pos));
@@ -263,10 +283,12 @@ impl Parser<'_> {
 
     fn array(&mut self) -> Result<Json, String> {
         self.expect(b'[')?;
+        self.descend()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -277,6 +299,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
@@ -286,10 +309,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Json, String> {
         self.expect(b'{')?;
+        self.descend()?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(map));
         }
         loop {
@@ -305,6 +330,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(map));
                 }
                 _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),

@@ -1,0 +1,118 @@
+//! Fuzzing [`Json::parse`] with the offline proptest shim: whatever
+//! bytes arrive on the `tacos serve` wire, the parser must never panic,
+//! every error must carry a byte offset, and every accepted value must
+//! survive a round trip through the encoder.
+
+use proptest::prelude::*;
+use tacos_report::Json;
+
+/// A well-formed document the mutation strategy corrupts one byte at a
+/// time. ASCII-only so single-byte substitution cannot split a UTF-8
+/// sequence before the lossy conversion.
+const TEMPLATE: &str = r#"{"id":7,"ok":true,"bw":49.5,"tags":["a","b\n"],"nested":{"n":null,"u":18446744073709551615}}"#;
+
+/// The property every input must satisfy: no panic (enforced by the test
+/// harness), offsets on errors, and encoder round-trips on successes.
+fn check(input: &str) {
+    match Json::parse(input) {
+        Err(e) => {
+            assert!(!e.is_empty(), "empty error for {input:?}");
+            assert!(
+                e.contains("byte"),
+                "error without a byte offset for {input:?}: {e}"
+            );
+        }
+        Ok(v) => {
+            let encoded = v.to_string();
+            let reparsed = Json::parse(&encoded)
+                .unwrap_or_else(|e| panic!("encoder output failed to reparse for {input:?}: {e}"));
+            // Structural equality is too strict: "1." parses as Num(1.0),
+            // encodes as "1", and reparses as Uint(1) — same value, a
+            // canonicalized representation. (Non-finite numbers likewise
+            // encode as `null` by design.) The invariant is that encoding
+            // reaches a fixed point after one round trip.
+            assert_eq!(
+                reparsed.to_string(),
+                encoded,
+                "encoding is not a fixed point for {input:?}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        check(&String::from_utf8_lossy(&bytes));
+    }
+
+    #[test]
+    fn single_byte_mutations_of_valid_json_never_panic(
+        (index, byte) in (0..TEMPLATE.len(), any::<u8>())
+    ) {
+        let mut bytes = TEMPLATE.as_bytes().to_vec();
+        bytes[index] = byte;
+        check(&String::from_utf8_lossy(&bytes));
+    }
+
+    #[test]
+    fn json_punctuation_soup_never_panics(
+        chars in prop::collection::vec(
+            prop_oneof![
+                Just('{'), Just('}'), Just('['), Just(']'), Just(':'), Just(','),
+                Just('"'), Just('\\'), Just('-'), Just('+'), Just('.'), Just('e'),
+                Just('0'), Just('1'), Just('9'), Just('t'), Just('n'), Just('u'),
+                Just(' '), Just('\n'),
+            ],
+            0..48,
+        )
+    ) {
+        check(&chars.into_iter().collect::<String>());
+    }
+}
+
+#[test]
+fn nesting_is_bounded_not_a_stack_overflow() {
+    // A pathological open-bracket run must be a typed error, not a
+    // recursion crash.
+    let deep = "[".repeat(100_000);
+    let err = Json::parse(&deep).unwrap_err();
+    assert!(err.contains("nesting deeper"), "got: {err}");
+    assert!(err.contains("byte"), "got: {err}");
+
+    // Mixed containers hit the same limit.
+    let mixed = "[{\"k\":".repeat(50_000);
+    let err = Json::parse(&mixed).unwrap_err();
+    assert!(err.contains("nesting deeper"), "got: {err}");
+
+    // The limit itself is generous: 256 levels parse fine.
+    let ok = format!("{}null{}", "[".repeat(256), "]".repeat(256));
+    assert!(Json::parse(&ok).is_ok());
+    let too_deep = format!("{}null{}", "[".repeat(257), "]".repeat(257));
+    assert!(Json::parse(&too_deep).is_err());
+}
+
+#[test]
+fn every_handwritten_malformed_case_reports_an_offset() {
+    for bad in [
+        "",
+        "[",
+        "{\"a\"",
+        "\"unterminated",
+        "\"ends in escape\\",
+        "\"bad \\u00zz\"",
+        "\"\\ud800\\ud800\"",
+        "nul",
+        "[1,]extra",
+        "\u{7f}",
+    ] {
+        let err = Json::parse(bad).unwrap_err();
+        assert!(
+            err.contains("byte"),
+            "'{}' produced an offset-less error: {err}",
+            bad.escape_debug()
+        );
+    }
+}

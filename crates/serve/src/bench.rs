@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 use tacos_report::Json;
 use tacos_scenario::{expand, Evaluation, ScenarioPoint, ScenarioSpec};
 
-use crate::client::Client;
+use crate::client::{Client, RetryPolicy};
 
 /// Load-test settings (the `tacos serve-bench` flags).
 #[derive(Debug, Clone)]
@@ -25,6 +25,10 @@ pub struct BenchConfig {
     pub concurrency: Vec<usize>,
     /// Deadline attached to every replayed request, if any.
     pub deadline_ms: Option<u64>,
+    /// Retry budget for `rejected` responses (jittered exponential
+    /// backoff honoring the daemon's `retry_after_ms` hint); 0 records
+    /// rejections as final instead of replaying them.
+    pub retries: u32,
 }
 
 impl Default for BenchConfig {
@@ -33,6 +37,7 @@ impl Default for BenchConfig {
             addr: "127.0.0.1:7440".into(),
             concurrency: vec![1, 4],
             deadline_ms: None,
+            retries: 3,
         }
     }
 }
@@ -96,6 +101,9 @@ struct LevelTally {
     deadline: u64,
     errors: u64,
     io_errors: u64,
+    /// Requests that needed at least one retry before their final
+    /// response (whatever that response was).
+    retried: u64,
 }
 
 impl LevelTally {
@@ -108,10 +116,14 @@ impl LevelTally {
         self.deadline += other.deadline;
         self.errors += other.errors;
         self.io_errors += other.io_errors;
+        self.retried += other.retried;
     }
 
-    fn record(&mut self, response: &Json, latency_ms: f64) {
+    fn record(&mut self, response: &Json, latency_ms: f64, retries: u32) {
         self.latencies_ms.push(latency_ms);
+        if retries > 0 {
+            self.retried += 1;
+        }
         match response.get("status").and_then(Json::as_str) {
             Some("ok") => {
                 self.ok += 1;
@@ -139,7 +151,7 @@ fn percentile(sorted: &[f64], pct: f64) -> f64 {
 }
 
 /// Replays the trace at each configured concurrency level and returns
-/// the measurements as a JSON report (the `BENCH_PR6.json` shape).
+/// the measurements as a JSON report (the `BENCH_PR7.json` shape).
 pub fn run(spec: &ScenarioSpec, config: &BenchConfig) -> Result<Json, String> {
     let (lines, skipped) = build_trace(spec)?;
     if skipped > 0 {
@@ -170,15 +182,21 @@ pub fn run(spec: &ScenarioSpec, config: &BenchConfig) -> Result<Json, String> {
                     let mut client =
                         Client::connect_with_retry(&config.addr, Duration::from_secs(5))
                             .map_err(|e| format!("connect to {}: {e}", config.addr))?;
+                    let policy = RetryPolicy {
+                        max_retries: config.retries,
+                        ..RetryPolicy::default()
+                    };
                     let mut local = LevelTally::default();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(line) = lines.get(i) else { break };
                         let sent = Instant::now();
-                        match client.call(line) {
-                            Ok(response) => {
-                                local.record(&response, sent.elapsed().as_secs_f64() * 1e3)
-                            }
+                        match client.call_with_retry(line, &policy) {
+                            Ok(call) => local.record(
+                                &call.response,
+                                sent.elapsed().as_secs_f64() * 1e3,
+                                call.retries,
+                            ),
                             Err(_) => local.io_errors += 1,
                         }
                     }
@@ -219,6 +237,7 @@ pub fn run(spec: &ScenarioSpec, config: &BenchConfig) -> Result<Json, String> {
             ("rejected", tally.rejected.into()),
             ("deadline", tally.deadline.into()),
             ("errors", (tally.errors + tally.io_errors).into()),
+            ("retried", tally.retried.into()),
         ]));
     }
 

@@ -3,28 +3,42 @@
 //!
 //! Threading model (std only — no async runtime):
 //!
-//! * one **accept thread** polls a non-blocking [`TcpListener`] and
-//!   spawns a connection thread per client;
-//! * **connection threads** parse request lines, serve warm-cache hits
-//!   inline, and otherwise wait on a [`Flight`](tacos_core::Flight) —
-//!   one flight per cache key, so N concurrent identical requests cost
-//!   exactly one synthesis;
+//! * one **accept thread** polls a non-blocking [`TcpListener`], enforces
+//!   the connection cap (over-cap clients get one typed `rejected` line
+//!   with a retry hint), and spawns a connection thread per client;
+//! * **connection threads** parse request lines through a bounded line
+//!   reader (oversized lines get a typed `error` and the connection is
+//!   closed — a client cannot make the daemon buffer unbounded input),
+//!   serve warm-cache hits inline, and otherwise wait on a
+//!   [`Flight`](tacos_core::Flight) — one flight per cache key, so N
+//!   concurrent identical requests cost exactly one synthesis. Idle
+//!   connections past the timeout are closed with a typed `error`;
 //! * a **bounded worker pool** executes synthesis jobs. Admission is a
 //!   [`std::sync::mpsc::sync_channel`] of configurable depth: when it is
 //!   full the leader's `try_send` fails and every waiter on that flight
 //!   receives a typed `rejected` response instead of queueing unbounded
-//!   work.
+//!   work. A **supervisor thread** respawns workers killed by a
+//!   synthesis panic (the panic fails only its own flight) and counts
+//!   the restarts in `stats`;
+//! * an optional **checkpoint thread** persists the warm cache every
+//!   `--checkpoint-every` seconds through the same atomic
+//!   temp+fsync+rename path as shutdown, so a SIGKILL loses at most one
+//!   interval of entries.
 //!
 //! Every blocking wait is a timeout poll against the handle's stop flag,
 //! so `SIGINT` (via [`tacos_core::shutdown`]) or a `shutdown` op drains
 //! the daemon within ~100 ms and the warm cache is persisted on the way
 //! out.
+//!
+//! All of the failure paths above are exercised deterministically by
+//! [`crate::FaultPlan`] (the `--faults` flag) and asserted by
+//! `tacos chaos`.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -40,6 +54,7 @@ use tacos_scenario::{parse_pattern, parse_size, parse_topology, Mechanism};
 use tacos_sim::Simulator;
 use tacos_topology::{Time, Topology};
 
+use crate::faults::FaultPlan;
 use crate::protocol::{OkBody, Op, Request, Response, StatsBody};
 
 /// File name of the warm-cache snapshot inside `--cache-dir`.
@@ -50,6 +65,11 @@ const POLL: Duration = Duration::from_millis(25);
 
 /// Read timeout on client connections; bounds shutdown latency.
 const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Per-connection line buffers shrink back to this capacity after each
+/// request, so one large (but admissible) request doesn't pin its peak
+/// allocation for the life of the connection.
+const LINE_HIGH_WATER: usize = 16 * 1024;
 
 /// Daemon configuration (the `tacos serve` flags).
 #[derive(Debug, Clone)]
@@ -68,6 +88,22 @@ pub struct DaemonConfig {
     /// Default per-request deadline applied when a request does not
     /// carry its own `deadline_ms`.
     pub default_deadline_ms: Option<u64>,
+    /// Persist the warm cache at this interval (needs `cache_dir`);
+    /// `None` checkpoints only on `checkpoint` ops and shutdown.
+    pub checkpoint_every: Option<Duration>,
+    /// Maximum request-line length; longer lines get a typed `error`
+    /// and the connection is closed.
+    pub max_line_bytes: usize,
+    /// Close connections idle for this long; `None` never times out.
+    pub idle_timeout: Option<Duration>,
+    /// Maximum concurrent client connections; excess connections get
+    /// one typed `rejected` line and are closed.
+    pub max_connections: usize,
+    /// The `retry_after_ms` hint attached to `rejected` responses.
+    pub retry_after_ms: u64,
+    /// Deterministic fault-injection schedule (the `--faults` flag);
+    /// empty for a real daemon.
+    pub faults: FaultPlan,
     /// Suppress stderr notices (cache load/persist messages).
     pub quiet: bool,
 }
@@ -80,6 +116,12 @@ impl Default for DaemonConfig {
             queue_depth: 32,
             cache_dir: None,
             default_deadline_ms: None,
+            checkpoint_every: None,
+            max_line_bytes: 1 << 20,
+            idle_timeout: Some(Duration::from_secs(300)),
+            max_connections: 256,
+            retry_after_ms: 100,
+            faults: FaultPlan::none(),
             quiet: false,
         }
     }
@@ -99,8 +141,10 @@ enum FlightOutcome {
     Rejected(String),
 }
 
-/// One unit of work for the worker pool.
+/// One unit of work for the worker pool. `index` is the 1-based enqueue
+/// sequence number — the coordinate [`FaultPlan`] faults are keyed by.
 struct Job {
+    index: u64,
     key: String,
     topo: Topology,
     collective: Collective,
@@ -116,6 +160,18 @@ struct Counters {
     rejected: AtomicU64,
     deadline_expired: AtomicU64,
     errors: AtomicU64,
+    worker_restarts: AtomicU64,
+    checkpoints: AtomicU64,
+}
+
+/// Decrements a liveness counter when its scope ends — however the
+/// scope ends, including a panic unwinding through it.
+struct AliveGuard<'a>(&'a AtomicUsize);
+
+impl Drop for AliveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 struct ServerState {
@@ -125,9 +181,26 @@ struct ServerState {
     stop: AtomicBool,
     /// `None` once shutdown has begun and the channel is closed.
     jobs: Mutex<Option<mpsc::SyncSender<Job>>>,
+    /// Enqueue sequence for jobs (fault-plan coordinate).
+    job_seq: AtomicU64,
+    /// Accept sequence for connections (fault-plan coordinate).
+    conn_seq: AtomicU64,
+    /// Attempt sequence for checkpoints (fault-plan coordinate).
+    checkpoint_seq: AtomicU64,
+    /// Currently-running worker threads; the supervisor respawns up to
+    /// `target_workers`.
+    live_workers: AtomicUsize,
+    target_workers: usize,
+    /// Currently-open client connections (the `max_connections` gauge).
+    live_conns: AtomicUsize,
     queue_depth: usize,
     cache_dir: Option<PathBuf>,
     default_deadline_ms: Option<u64>,
+    max_line_bytes: usize,
+    idle_timeout: Option<Duration>,
+    max_connections: usize,
+    retry_after_ms: u64,
+    faults: FaultPlan,
     quiet: bool,
 }
 
@@ -146,11 +219,25 @@ impl ServerState {
         self.cache_dir.as_ref().map(|d| d.join(SNAPSHOT_FILE))
     }
 
+    /// One checkpoint attempt: persists the warm cache atomically, or —
+    /// when the fault plan aborts this attempt — tears the write halfway
+    /// through the temp file, proving the snapshot at the final path
+    /// survives untouched.
     fn persist(&self) -> io::Result<usize> {
-        match self.snapshot_path() {
-            Some(path) => self.warm.save_to(path),
-            None => Ok(0),
+        let Some(path) = self.snapshot_path() else {
+            return Ok(0);
+        };
+        let attempt = self.checkpoint_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.faults.checkpoint_aborts(attempt) {
+            self.warm.save_interrupted_to(&path)?;
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                format!("injected fault: checkpoint {attempt} aborted mid-write"),
+            ));
         }
+        let written = self.warm.save_to(path)?;
+        self.counters.checkpoints.fetch_add(1, Ordering::Relaxed);
+        Ok(written)
     }
 
     fn stats(&self) -> StatsBody {
@@ -163,6 +250,8 @@ impl ServerState {
             rejected: c.rejected.load(Ordering::Relaxed),
             deadline_expired: c.deadline_expired.load(Ordering::Relaxed),
             errors: c.errors.load(Ordering::Relaxed),
+            worker_restarts: c.worker_restarts.load(Ordering::Relaxed),
+            checkpoints: c.checkpoints.load(Ordering::Relaxed),
             warm_entries: self.warm.len() as u64,
         }
     }
@@ -177,18 +266,21 @@ pub struct DaemonHandle {
     state: Arc<ServerState>,
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
+    checkpointer: Option<JoinHandle<()>>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl Daemon {
     /// Binds the listen socket, loads any warm-cache snapshot, and
-    /// starts the accept loop and worker pool.
+    /// starts the accept loop, worker pool, worker supervisor, and (when
+    /// configured) the periodic checkpoint thread.
     ///
-    /// A snapshot written by a different matcher version — or a
-    /// corrupted one — is reported as a notice and ignored: the daemon
-    /// starts cold rather than refusing to start or serving stale
-    /// schedules.
+    /// A snapshot written by a different matcher version — or one that
+    /// is not a snapshot at all — is reported as a notice and ignored
+    /// (cold start). A *torn* snapshot with a valid header is salvaged:
+    /// the valid prefix of entries is loaded and a notice says how many.
     pub fn spawn(config: DaemonConfig) -> io::Result<DaemonHandle> {
         let warm = match &config.cache_dir {
             Some(dir) => {
@@ -196,15 +288,26 @@ impl Daemon {
                 let path = dir.join(SNAPSHOT_FILE);
                 if path.exists() {
                     match WarmCache::load_from(&path) {
-                        Ok(cache) => {
+                        Ok(report) => {
                             if !config.quiet {
-                                eprintln!(
-                                    "tacos serve: loaded {} cached algorithms from {}",
-                                    cache.len(),
-                                    path.display()
-                                );
+                                if report.salvaged {
+                                    eprintln!(
+                                        "tacos serve: salvaged {} of {} cached algorithms from \
+                                         torn snapshot {} ({})",
+                                        report.entries_loaded,
+                                        report.entries_expected,
+                                        path.display(),
+                                        report.detail.as_deref().unwrap_or("no detail"),
+                                    );
+                                } else {
+                                    eprintln!(
+                                        "tacos serve: loaded {} cached algorithms from {}",
+                                        report.entries_loaded,
+                                        path.display()
+                                    );
+                                }
                             }
-                            cache
+                            report.cache
                         }
                         Err(e) => {
                             if !config.quiet {
@@ -225,6 +328,7 @@ impl Daemon {
         let addr = listener.local_addr()?;
 
         let queue_depth = config.queue_depth.max(1);
+        let target_workers = config.workers.max(1);
         let (tx, rx) = mpsc::sync_channel::<Job>(queue_depth);
         let rx = Arc::new(Mutex::new(rx));
 
@@ -234,19 +338,49 @@ impl Daemon {
             counters: Counters::default(),
             stop: AtomicBool::new(false),
             jobs: Mutex::new(Some(tx)),
+            job_seq: AtomicU64::new(0),
+            conn_seq: AtomicU64::new(0),
+            checkpoint_seq: AtomicU64::new(0),
+            live_workers: AtomicUsize::new(0),
+            target_workers,
+            live_conns: AtomicUsize::new(0),
             queue_depth,
             cache_dir: config.cache_dir.clone(),
             default_deadline_ms: config.default_deadline_ms,
+            max_line_bytes: config.max_line_bytes.max(64),
+            idle_timeout: config.idle_timeout,
+            max_connections: config.max_connections.max(1),
+            retry_after_ms: config.retry_after_ms,
+            faults: config.faults.clone(),
             quiet: config.quiet,
         });
 
-        let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
-            .map(|_| {
+        let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(
+            (0..target_workers)
+                .map(|_| spawn_worker(&state, &rx))
+                .collect(),
+        ));
+
+        let supervisor = {
+            let state = Arc::clone(&state);
+            let rx = Arc::clone(&rx);
+            let workers = Arc::clone(&workers);
+            thread::spawn(move || supervisor_loop(&state, &rx, &workers))
+        };
+
+        let checkpointer = match (config.checkpoint_every, &config.cache_dir) {
+            (Some(every), Some(_)) => {
                 let state = Arc::clone(&state);
-                let rx = Arc::clone(&rx);
-                thread::spawn(move || worker_loop(&state, &rx))
-            })
-            .collect();
+                Some(thread::spawn(move || checkpoint_loop(&state, every)))
+            }
+            (Some(_), None) => {
+                if !config.quiet {
+                    eprintln!("tacos serve: --checkpoint-every needs --cache-dir; ignoring");
+                }
+                None
+            }
+            _ => None,
+        };
 
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept = {
@@ -259,6 +393,8 @@ impl Daemon {
             state,
             addr,
             accept: Some(accept),
+            supervisor: Some(supervisor),
+            checkpointer,
             workers,
             conns,
         })
@@ -283,9 +419,10 @@ impl DaemonHandle {
         self.state.stats()
     }
 
-    /// Stops the daemon: joins the accept loop, workers, and connection
-    /// threads, then persists the warm cache. Returns the number of
-    /// entries written (0 without a cache directory).
+    /// Stops the daemon: joins the accept loop, supervisor, workers,
+    /// checkpointer, and connection threads, then persists the warm
+    /// cache. Returns the number of entries written (0 without a cache
+    /// directory).
     pub fn stop(mut self) -> io::Result<usize> {
         self.state.stop.store(true, Ordering::Relaxed);
         // Closing the channel lets idle workers exit immediately.
@@ -293,8 +430,16 @@ impl DaemonHandle {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
-        for w in self.workers.drain(..) {
+        // The supervisor first, so nothing respawns while we drain.
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
+        }
+        let workers = std::mem::take(&mut *self.workers.lock().expect("no poisoned locks"));
+        for w in workers {
             let _ = w.join();
+        }
+        if let Some(checkpointer) = self.checkpointer.take() {
+            let _ = checkpointer.join();
         }
         let conns = std::mem::take(&mut *self.conns.lock().expect("no poisoned locks"));
         for c in conns {
@@ -309,6 +454,85 @@ impl DaemonHandle {
     }
 }
 
+fn spawn_worker(state: &Arc<ServerState>, rx: &Arc<Mutex<mpsc::Receiver<Job>>>) -> JoinHandle<()> {
+    // Counted before the thread exists so the supervisor never sees a
+    // just-spawned worker as missing.
+    state.live_workers.fetch_add(1, Ordering::Relaxed);
+    let state = Arc::clone(state);
+    let rx = Arc::clone(rx);
+    thread::spawn(move || {
+        let _alive = AliveGuard(&state.live_workers);
+        worker_loop(&state, &rx);
+    })
+}
+
+/// Keeps the worker pool at full strength: a synthesis panic kills its
+/// worker thread (deliberately — the replacement gets pristine scratch
+/// state), and this loop respawns it and counts the restart.
+fn supervisor_loop(
+    state: &Arc<ServerState>,
+    rx: &Arc<Mutex<mpsc::Receiver<Job>>>,
+    workers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        if state.stopping() {
+            return;
+        }
+        let live = state.live_workers.load(Ordering::Relaxed);
+        if live < state.target_workers {
+            let missing = state.target_workers - live;
+            state
+                .counters
+                .worker_restarts
+                .fetch_add(missing as u64, Ordering::Relaxed);
+            state.notice(&format!(
+                "worker died; respawning {missing} (pool target {})",
+                state.target_workers
+            ));
+            let mut guard = workers.lock().expect("no poisoned locks");
+            // Reap the corpses so the handle list tracks live threads.
+            let mut i = 0;
+            while i < guard.len() {
+                if guard[i].is_finished() {
+                    let _ = guard.swap_remove(i).join();
+                } else {
+                    i += 1;
+                }
+            }
+            for _ in 0..missing {
+                guard.push(spawn_worker(state, rx));
+            }
+        }
+        thread::sleep(POLL);
+    }
+}
+
+/// Persists the warm cache every `every`, sleeping in stop-checked
+/// slices so shutdown is never blocked on a checkpoint interval.
+fn checkpoint_loop(state: &Arc<ServerState>, every: Duration) {
+    loop {
+        let deadline = Instant::now() + every;
+        loop {
+            if state.stopping() {
+                return;
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            thread::sleep(left.min(POLL));
+        }
+        match state.persist() {
+            Ok(written) => {
+                if written > 0 {
+                    state.notice(&format!("checkpoint: persisted {written} entries"));
+                }
+            }
+            Err(e) => state.notice(&format!("checkpoint failed: {e}")),
+        }
+    }
+}
+
 fn accept_loop(
     listener: &TcpListener,
     state: &Arc<ServerState>,
@@ -319,9 +543,26 @@ fn accept_loop(
             return;
         }
         match listener.accept() {
-            Ok((stream, _)) => {
+            Ok((mut stream, _)) => {
+                let conn_index = state.conn_seq.fetch_add(1, Ordering::Relaxed) + 1;
+                if state.live_conns.load(Ordering::Relaxed) >= state.max_connections {
+                    state.counters.requests.fetch_add(1, Ordering::Relaxed);
+                    state.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    let response = Response::Rejected(
+                        None,
+                        state.retry_after_ms,
+                        format!(
+                            "connection limit reached ({} connections); retry later",
+                            state.max_connections
+                        ),
+                    );
+                    let _ = stream.write_all(response.line().as_bytes());
+                    let _ = stream.flush();
+                    continue; // dropping the stream closes it
+                }
+                state.live_conns.fetch_add(1, Ordering::Relaxed);
                 let state = Arc::clone(state);
-                let handle = thread::spawn(move || connection_loop(stream, &state));
+                let handle = thread::spawn(move || connection_loop(stream, &state, conn_index));
                 conns.lock().expect("no poisoned locks").push(handle);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL),
@@ -333,7 +574,100 @@ fn accept_loop(
     }
 }
 
-fn connection_loop(stream: TcpStream, state: &Arc<ServerState>) {
+/// What one bounded-line read attempt produced.
+enum ReadEvent {
+    /// A complete line (without its newline) is in the buffer.
+    Line,
+    /// The peer closed the connection.
+    Eof,
+    /// The read timed out with no complete line; check stop/idle state.
+    Idle,
+    /// The line exceeded the cap before its newline arrived.
+    TooLong,
+    /// Unrecoverable I/O error.
+    Failed,
+}
+
+/// Reads toward the next newline into `buf`, never holding more than
+/// `max` bytes — the fix for the unbounded `read_line` the daemon
+/// originally used, where one malicious line could grow the buffer
+/// without limit.
+fn read_bounded_line(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    max: usize,
+) -> ReadEvent {
+    let (found_newline, consumed) = {
+        let available = match reader.fill_buf() {
+            Ok([]) => {
+                // EOF; a final unterminated line still gets served.
+                return if buf.is_empty() {
+                    ReadEvent::Eof
+                } else {
+                    ReadEvent::Line
+                };
+            }
+            Ok(bytes) => bytes,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return ReadEvent::Idle;
+            }
+            Err(_) => return ReadEvent::Failed,
+        };
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                buf.extend_from_slice(&available[..pos]);
+                (true, pos + 1)
+            }
+            None => {
+                buf.extend_from_slice(available);
+                (false, available.len())
+            }
+        }
+    };
+    reader.consume(consumed);
+    if buf.len() > max {
+        return ReadEvent::TooLong;
+    }
+    if found_newline {
+        ReadEvent::Line
+    } else {
+        // Partial data: return to the caller instead of looping so the
+        // idle clock gets checked — a client trickling bytes forever
+        // must not starve the timeout. The caller re-enters with the
+        // same buffer, so nothing is lost; buffered bytes make the next
+        // fill_buf return immediately.
+        ReadEvent::Idle
+    }
+}
+
+/// After rejecting an oversized line, discard whatever the client is
+/// still sending (bounded by time and bytes) so the typed `error`
+/// response reaches it before the close — an immediate close while the
+/// peer is mid-send turns into a RST that discards our response.
+fn drain_rejected_line(reader: &mut BufReader<TcpStream>) {
+    const DRAIN_BUDGET_BYTES: usize = 64 << 20;
+    let deadline = Instant::now() + Duration::from_millis(250);
+    let mut drained = 0usize;
+    while Instant::now() < deadline && drained < DRAIN_BUDGET_BYTES {
+        let consumed = match reader.fill_buf() {
+            Ok([]) => return,
+            Ok(bytes) => bytes.len(),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        };
+        reader.consume(consumed);
+        drained += consumed;
+    }
+}
+
+fn connection_loop(stream: TcpStream, state: &Arc<ServerState>, conn_index: u64) {
+    let _alive = AliveGuard(&state.live_conns);
     if stream.set_read_timeout(Some(READ_POLL)).is_err() {
         return;
     }
@@ -341,33 +675,73 @@ fn connection_loop(stream: TcpStream, state: &Arc<ServerState>) {
         Ok(w) => w,
         Err(_) => return,
     };
+    let response_delay = state.faults.conn_delay(conn_index);
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    // One reusable buffer per connection, shrunk back to a high-water
+    // mark after each request so a single large request doesn't pin its
+    // peak allocation for the connection's lifetime.
+    let mut buf: Vec<u8> = Vec::new();
+    let mut last_request = Instant::now();
     loop {
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // client closed
-            Ok(_) => {
-                if line.trim().is_empty() {
-                    line.clear();
-                    continue;
-                }
-                let response = handle_line(state, line.trim());
-                line.clear();
-                if writer.write_all(response.line().as_bytes()).is_err() || writer.flush().is_err()
+        match read_bounded_line(&mut reader, &mut buf, state.max_line_bytes) {
+            ReadEvent::Line => {
                 {
-                    return;
+                    let line = String::from_utf8_lossy(&buf);
+                    let trimmed = line.trim();
+                    if !trimmed.is_empty() {
+                        let response = handle_line(state, trimmed);
+                        if let Some(delay) = response_delay {
+                            thread::sleep(delay);
+                        }
+                        if writer.write_all(response.line().as_bytes()).is_err()
+                            || writer.flush().is_err()
+                        {
+                            return;
+                        }
+                    }
                 }
+                buf.clear();
+                if buf.capacity() > LINE_HIGH_WATER {
+                    buf.shrink_to(LINE_HIGH_WATER);
+                }
+                last_request = Instant::now();
             }
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                // `read_line` keeps any partial line in `line`; just
-                // check the stop flag and keep reading.
+            ReadEvent::Idle => {
                 if state.stopping() {
                     return;
                 }
+                // Partial lines deliberately do not reset the clock: a
+                // client trickling bytes forever is exactly what the
+                // timeout is for.
+                if let Some(idle) = state.idle_timeout {
+                    if last_request.elapsed() >= idle {
+                        state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                        let response = Response::Error(
+                            None,
+                            format!("connection idle for {} s; closing", idle.as_secs().max(1)),
+                        );
+                        let _ = writer.write_all(response.line().as_bytes());
+                        let _ = writer.flush();
+                        return;
+                    }
+                }
             }
-            Err(_) => return,
+            ReadEvent::TooLong => {
+                state.counters.requests.fetch_add(1, Ordering::Relaxed);
+                state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                let response = Response::Error(
+                    None,
+                    format!(
+                        "request line exceeds {} bytes; closing connection",
+                        state.max_line_bytes
+                    ),
+                );
+                if writer.write_all(response.line().as_bytes()).is_ok() && writer.flush().is_ok() {
+                    drain_rejected_line(&mut reader);
+                }
+                return;
+            }
+            ReadEvent::Eof | ReadEvent::Failed => return,
         }
     }
 }
@@ -491,6 +865,7 @@ fn synthesize(state: &Arc<ServerState>, req: &Request) -> Result<Response, Strin
     let flight = match state.inflight.begin(&key) {
         FlightEntry::Leader(flight) => {
             let job = Job {
+                index: state.job_seq.fetch_add(1, Ordering::Relaxed) + 1,
                 key: key.clone(),
                 topo: topo.clone(),
                 collective,
@@ -584,7 +959,7 @@ fn synthesize(state: &Arc<ServerState>, req: &Request) -> Result<Response, Strin
         FlightOutcome::Failed(msg) => Err(msg),
         FlightOutcome::Rejected(msg) => {
             state.counters.rejected.fetch_add(1, Ordering::Relaxed);
-            Ok(Response::Rejected(req.id, msg))
+            Ok(Response::Rejected(req.id, state.retry_after_ms, msg))
         }
     }
 }
@@ -654,7 +1029,14 @@ fn worker_loop(state: &Arc<ServerState>, rx: &Arc<Mutex<mpsc::Receiver<Job>>>) {
             rx.try_recv()
         };
         match job {
-            Ok(job) => run_job(state, job, &mut scratch),
+            Ok(job) => {
+                if run_job(state, job, &mut scratch) {
+                    // The job panicked: this thread dies so its
+                    // replacement starts with pristine scratch state;
+                    // the supervisor respawns and counts it.
+                    return;
+                }
+            }
             Err(mpsc::TryRecvError::Empty) => {
                 if state.stopping() {
                     return;
@@ -666,15 +1048,34 @@ fn worker_loop(state: &Arc<ServerState>, rx: &Arc<Mutex<mpsc::Receiver<Job>>>) {
     }
 }
 
-fn run_job(state: &Arc<ServerState>, job: Job, scratch: &mut SynthesisScratch) {
+/// Runs one synthesis job; returns `true` when the job panicked and the
+/// worker thread should die (the flight is already completed either way
+/// — a panic fails only its own flight, never a waiter).
+fn run_job(state: &Arc<ServerState>, job: Job, scratch: &mut SynthesisScratch) -> bool {
     let Job {
+        index,
         key,
         topo,
         collective,
         mechanism,
     } = job;
+    let (stall, injected_panic) = state.faults.job_fault(index);
+    if let Some(stall) = stall {
+        // Stop-checked slices so an injected stall cannot hang shutdown.
+        let deadline = Instant::now() + stall;
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() || state.stopping() {
+                break;
+            }
+            thread::sleep(left.min(POLL));
+        }
+    }
     let started = Instant::now();
     let generated = catch_unwind(AssertUnwindSafe(|| {
+        if injected_panic {
+            panic!("injected fault: synthesis panic on job {index}");
+        }
         generate(&topo, &collective, &mechanism, scratch)
     }));
     let synthesis_ms = started.elapsed().as_secs_f64() * 1e3;
@@ -690,12 +1091,22 @@ fn run_job(state: &Arc<ServerState>, job: Job, scratch: &mut SynthesisScratch) {
                     synthesis_ms,
                 },
             );
+            false
         }
-        Ok(Err(msg)) => state.inflight.complete(&key, FlightOutcome::Failed(msg)),
-        Err(_) => state.inflight.complete(
-            &key,
-            FlightOutcome::Failed("synthesis panicked; see daemon stderr".into()),
-        ),
+        Ok(Err(msg)) => {
+            state.inflight.complete(&key, FlightOutcome::Failed(msg));
+            false
+        }
+        Err(_) => {
+            state.inflight.complete(
+                &key,
+                FlightOutcome::Failed(
+                    "synthesis panicked; the worker thread was restarted — see daemon stderr"
+                        .into(),
+                ),
+            );
+            true
+        }
     }
 }
 

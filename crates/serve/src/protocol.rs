@@ -220,6 +220,11 @@ pub struct StatsBody {
     pub deadline_expired: u64,
     /// Requests answered with an `error` status.
     pub errors: u64,
+    /// Worker threads respawned after a synthesis panic killed one.
+    pub worker_restarts: u64,
+    /// Warm-cache checkpoints completed (periodic + `checkpoint` ops +
+    /// the shutdown persist).
+    pub checkpoints: u64,
     /// Entries currently in the warm cache.
     pub warm_entries: u64,
 }
@@ -229,8 +234,9 @@ pub struct StatsBody {
 pub enum Response {
     /// Successful synthesize result.
     Ok(Option<u64>, OkBody),
-    /// Admission control refused the request (queue full).
-    Rejected(Option<u64>, String),
+    /// Admission control refused the request (queue full or connection
+    /// cap); carries a retry-after hint in milliseconds.
+    Rejected(Option<u64>, u64, String),
     /// The deadline expired; synthesis continues and will warm the cache.
     Deadline(Option<u64>, String),
     /// The request was malformed or the synthesis failed.
@@ -273,10 +279,11 @@ impl Response {
                 }
                 (*id, pairs)
             }
-            Response::Rejected(id, reason) => (
+            Response::Rejected(id, retry_after_ms, reason) => (
                 *id,
                 vec![
                     ("status", "rejected".into()),
+                    ("retry_after_ms", (*retry_after_ms).into()),
                     ("reason", reason.as_str().into()),
                 ],
             ),
@@ -305,6 +312,8 @@ impl Response {
                     ("rejected", s.rejected.into()),
                     ("deadline_expired", s.deadline_expired.into()),
                     ("errors", s.errors.into()),
+                    ("worker_restarts", s.worker_restarts.into()),
+                    ("checkpoints", s.checkpoints.into()),
                     ("warm_entries", s.warm_entries.into()),
                 ],
             ),
@@ -409,9 +418,10 @@ mod tests {
         assert_eq!(parsed.get("id").unwrap().as_u64(), Some(3));
         assert_eq!(parsed.get("cache_hit").unwrap().as_bool(), Some(true));
 
-        let rej = Response::Rejected(None, "queue full (depth 4)".into());
+        let rej = Response::Rejected(None, 100, "queue full (depth 4)".into());
         let parsed = Json::parse(rej.line().trim()).unwrap();
         assert_eq!(parsed.get("status").unwrap().as_str(), Some("rejected"));
+        assert_eq!(parsed.get("retry_after_ms").unwrap().as_u64(), Some(100));
         assert!(parsed.get("id").is_none());
     }
 }

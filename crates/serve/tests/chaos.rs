@@ -1,0 +1,36 @@
+//! The `tacos chaos` harness against a live daemon: the full invariant
+//! suite must pass deterministically for multiple seeds (CI runs more
+//! seeds through the CLI binary).
+
+use tacos_serve::{chaos, ChaosOptions};
+
+#[test]
+fn the_chaos_suite_passes_for_distinct_seeds() {
+    for seed in [1u64, 42] {
+        let report = chaos::run(&ChaosOptions { seed, quiet: true })
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(report.seed, seed);
+        assert!(
+            report.passed.len() >= 15,
+            "seed {seed}: expected the full check list, got {:?}",
+            report.passed
+        );
+        assert!(!report.plan.is_empty());
+    }
+}
+
+#[test]
+fn chaos_reports_are_deterministic_per_seed() {
+    let a = chaos::run(&ChaosOptions {
+        seed: 7,
+        quiet: true,
+    })
+    .expect("seed 7 passes");
+    let b = chaos::run(&ChaosOptions {
+        seed: 7,
+        quiet: true,
+    })
+    .expect("seed 7 passes again");
+    assert_eq!(a.plan, b.plan);
+    assert_eq!(a.passed, b.passed);
+}

@@ -1,0 +1,143 @@
+//! Overload-protection behaviors not covered by the chaos harness: the
+//! per-connection idle timeout (with its slowloris-resistant clock) and
+//! the request-line cap at a small, fast-to-test size.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use tacos_report::Json;
+use tacos_serve::{Client, Daemon, DaemonConfig};
+
+fn spawn(config: DaemonConfig) -> tacos_serve::DaemonHandle {
+    Daemon::spawn(DaemonConfig {
+        addr: "127.0.0.1:0".into(),
+        quiet: true,
+        ..config
+    })
+    .expect("daemon starts")
+}
+
+#[test]
+fn idle_connections_get_a_typed_timeout_then_close() {
+    let daemon = spawn(DaemonConfig {
+        workers: 1,
+        idle_timeout: Some(Duration::from_millis(300)),
+        ..DaemonConfig::default()
+    });
+
+    let stream = TcpStream::connect(daemon.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    // Say nothing: the daemon must eventually send a typed error naming
+    // the idle timeout, then close.
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let response = Json::parse(line.trim()).unwrap();
+    assert_eq!(
+        response.get("status").and_then(Json::as_str),
+        Some("error"),
+        "got: {line}"
+    );
+    let reason = response
+        .get("reason")
+        .and_then(Json::as_str)
+        .unwrap_or_default();
+    assert!(reason.contains("idle"), "got: {reason}");
+
+    line.clear();
+    let n = reader.read_line(&mut line).unwrap();
+    assert_eq!(n, 0, "connection must be closed after the timeout");
+    daemon.stop().unwrap();
+}
+
+#[test]
+fn activity_resets_the_idle_clock() {
+    let daemon = spawn(DaemonConfig {
+        workers: 1,
+        idle_timeout: Some(Duration::from_millis(600)),
+        ..DaemonConfig::default()
+    });
+
+    let mut client = Client::connect(daemon.addr()).unwrap();
+    // Three pings spaced at half the timeout keep the connection alive
+    // well past the raw timeout from connect.
+    for i in 0..3 {
+        std::thread::sleep(Duration::from_millis(300));
+        let response = client
+            .call(&format!("{{\"op\":\"ping\",\"id\":{i}}}"))
+            .unwrap();
+        assert_eq!(
+            response.get("status").and_then(Json::as_str),
+            Some("pong"),
+            "ping {i} after ~{}ms total",
+            300 * (i + 1)
+        );
+    }
+    daemon.stop().unwrap();
+}
+
+#[test]
+fn partial_lines_do_not_reset_the_idle_clock() {
+    // Slowloris: a client dribbling bytes without ever finishing a line
+    // must still be timed out — only *completed* requests reset the clock.
+    let daemon = spawn(DaemonConfig {
+        workers: 1,
+        idle_timeout: Some(Duration::from_millis(400)),
+        ..DaemonConfig::default()
+    });
+
+    let mut stream = TcpStream::connect(daemon.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let started = std::time::Instant::now();
+    let writer = std::thread::spawn(move || {
+        // One byte every 100ms, never a newline; stop after 2s.
+        for _ in 0..20 {
+            if stream.write_all(b"x").is_err() {
+                return;
+            }
+            let _ = stream.flush();
+            std::thread::sleep(Duration::from_millis(100));
+        }
+    });
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let elapsed = started.elapsed();
+    writer.join().unwrap();
+    let response = Json::parse(line.trim()).unwrap();
+    assert_eq!(
+        response.get("status").and_then(Json::as_str),
+        Some("error"),
+        "got: {line}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "dribbled bytes kept the connection alive for {elapsed:?}"
+    );
+    daemon.stop().unwrap();
+}
+
+#[test]
+fn a_small_line_cap_rejects_with_a_typed_error() {
+    let daemon = spawn(DaemonConfig {
+        workers: 1,
+        max_line_bytes: 128,
+        ..DaemonConfig::default()
+    });
+
+    let mut client = Client::connect(daemon.addr()).unwrap();
+    let oversized = format!("{{\"op\":\"ping\",\"pad\":\"{}\"}}", "y".repeat(200));
+    let response = client.call(&oversized).unwrap();
+    assert_eq!(response.get("status").and_then(Json::as_str), Some("error"));
+    let reason = response
+        .get("reason")
+        .and_then(Json::as_str)
+        .unwrap_or_default();
+    assert!(reason.contains("128"), "got: {reason}");
+
+    // A fresh connection still works: the cap is per-line, not global.
+    let mut fresh = Client::connect(daemon.addr()).unwrap();
+    let pong = fresh.call("{\"op\":\"ping\",\"id\":1}").unwrap();
+    assert_eq!(pong.get("status").and_then(Json::as_str), Some("pong"));
+    daemon.stop().unwrap();
+}
