@@ -75,6 +75,7 @@ usage: tacos [options]
        tacos serve [serve options]
        tacos serve-bench <file.toml> [serve-bench options]
        tacos chaos [--seed N] [--quiet]
+       tacos lint [--fix-baseline] [--stats] [--root DIR]
 
 single-point options:
   --topology SPEC    ring:N | fc:N | mesh:RxC | torus:XxY[xZ] | hypercube:XxYxZ |
@@ -142,7 +143,14 @@ serve-bench options (replay a scenario grid against a running daemon):
 chaos options (drive a private daemon through a seeded fault plan and
 assert its operational invariants; nonzero exit on any violation):
   --seed N           fault-plan seed (default 1); each seed is deterministic
-  --quiet            only print the final verdict";
+  --quiet            only print the final verdict
+
+lint options (repo-native static analysis: lock-order deadlock detection,
+panic-path audit, unsafe hygiene, design rules; nonzero exit on any
+finding not absorbed by lint.baseline):
+  --root DIR         workspace root to scan (default .)
+  --fix-baseline     rewrite lint.baseline from the current findings
+  --stats            also print the one-line lint-stats summary";
 
 fn run(args: &[String]) -> Result<(), CliError> {
     match args.first().map(String::as_str) {
@@ -150,6 +158,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         Some("serve") => return serve_command(&args[1..]),
         Some("serve-bench") => return serve_bench_command(&args[1..]),
         Some("chaos") => return chaos_command(&args[1..]),
+        Some("lint") => return lint_command(&args[1..]),
         _ => {}
     }
     // Legacy single-point mode: most failures are flag mistakes, so they
@@ -635,6 +644,49 @@ fn chaos_command(args: &[String]) -> Result<(), CliError> {
         report.plan
     );
     Ok(())
+}
+
+/// `tacos lint [--fix-baseline] [--stats] [--root DIR]`: run the
+/// repo-native static analyses. Exit is nonzero when any finding is not
+/// absorbed by `lint.baseline`, so CI can gate on it directly.
+fn lint_command(args: &[String]) -> Result<(), CliError> {
+    let mut root = std::path::PathBuf::from(".");
+    let mut fix = false;
+    let mut stats = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("missing value for --root".into()))?;
+                root = std::path::PathBuf::from(v);
+            }
+            "--fix-baseline" => fix = true,
+            "--stats" => stats = true,
+            other => return Err(CliError::Usage(format!("unknown lint argument '{other}'"))),
+        }
+    }
+    let opts = tacos_lint::Options::new(root);
+    if fix {
+        let n = tacos_lint::fix_baseline(&opts).map_err(CliError::Runtime)?;
+        println!("tacos lint: baseline rewritten with {n} grandfathered finding(s)");
+        return Ok(());
+    }
+    let outcome = tacos_lint::run(&opts).map_err(CliError::Runtime)?;
+    print!("{}", tacos_lint::render_report(&outcome));
+    if stats {
+        println!("{}", tacos_lint::render_stats(&outcome));
+    }
+    if outcome.findings.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError::Runtime(format!(
+            "{} lint finding(s) — fix them, add `// lint: allow(rule, \"reason\")` where \
+             justified, or (for pre-existing debt only) run `tacos lint --fix-baseline`",
+            outcome.findings.len()
+        )))
+    }
 }
 
 /// `tacos scenario diff <a.csv> <b.csv> [--tol T]`: column-aware compare

@@ -9,6 +9,11 @@
 //! granularity makes every member of the scanned set reachable as the
 //! first pick for some starting offset.
 
+//! These kernels decide *which* chunk a matcher probe picks, so their
+//! tie-breaking is part of the matching semantics fingerprinted by
+//! `MATCHER_VERSION` (tacos-core's cache module): changing scan order
+//! here requires bumping that constant.
+
 /// Picks the first set bit of `a & b`, scanning circularly from
 /// `start_bit`. Slices must have equal length.
 pub(crate) fn pick_and(a: &[u64], b: &[u64], start_bit: usize) -> Option<u32> {

@@ -11,6 +11,10 @@
 //!
 //! [`ChunkSet`] remains the public single-row type; [`ChunkMatrix::load_row`]
 //! and [`ChunkMatrix::row_to_set`] convert between the two.
+//!
+//! The row/probe semantics here sit under the matcher whose behavior is
+//! fingerprinted by `MATCHER_VERSION` (tacos-core's cache module) — a
+//! change to probe results requires bumping that constant.
 
 use crate::bits;
 use crate::chunk::{ChunkId, ChunkSet};

@@ -168,7 +168,19 @@ impl AlgorithmCache {
         let tmp = self
             .dir
             .join(format!("{key}.tmp.{}.{seq}", std::process::id()));
-        std::fs::write(&tmp, export::to_compact(algo))?;
+        let written = (|| {
+            use std::io::Write;
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(export::to_compact(algo).as_bytes())?;
+            // fsync before the rename: otherwise a crash can land the
+            // rename while the data blocks have not hit disk, leaving a
+            // durable *empty* cache entry in place of the old state.
+            file.sync_all()
+        })();
+        if let Err(e) = written {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
         let result = std::fs::rename(&tmp, self.path_for(key));
         if result.is_err() {
             let _ = std::fs::remove_file(&tmp);

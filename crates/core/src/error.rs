@@ -30,6 +30,10 @@ pub enum SynthesisError {
     Topology(TopologyError),
     /// An underlying collective-description error.
     Collective(CollectiveError),
+    /// An internal invariant failed. Surfaced as a typed error instead of
+    /// a panic so the serving path degrades per-request rather than
+    /// tearing down a worker (see the panic-path rule in `tacos lint`).
+    Internal(String),
 }
 
 impl fmt::Display for SynthesisError {
@@ -48,6 +52,7 @@ impl fmt::Display for SynthesisError {
                  (topology not strongly connected?)"
             ),
             SynthesisError::Topology(e) => write!(f, "topology error: {e}"),
+            SynthesisError::Internal(msg) => write!(f, "internal synthesis error: {msg}"),
             SynthesisError::Collective(e) => write!(f, "collective error: {e}"),
         }
     }

@@ -16,9 +16,17 @@
 //! in front). Waiters block on [`Flight::wait`] or give up after a
 //! deadline with [`Flight::wait_timeout`] — a waiter abandoning a flight
 //! does not cancel it.
+//!
+//! **Poisoning policy:** every lock here guards plain data (an `Option`
+//! result, a `HashMap` of handles) whose invariants hold between any two
+//! mutations, so a panicking peer cannot leave them torn. Acquisitions
+//! therefore recover the guard with
+//! `unwrap_or_else(PoisonError::into_inner)` instead of propagating the
+//! poison: one crashed worker must not take the whole registry down with
+//! it. `tacos lint` (panic rule) enforces this on the serving path.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Duration;
 
 /// The shared state of one in-progress flight.
@@ -42,12 +50,12 @@ impl<T> Clone for Flight<T> {
 impl<T: Clone> Flight<T> {
     /// Blocks until the flight's result is published, returning a clone.
     pub fn wait(&self) -> T {
-        let mut done = self.0.done.lock().expect("no poisoned locks");
+        let mut done = self.0.done.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(value) = done.as_ref() {
                 return value.clone();
             }
-            done = self.0.cv.wait(done).expect("no poisoned locks");
+            done = self.0.cv.wait(done).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
@@ -56,7 +64,7 @@ impl<T: Clone> Flight<T> {
     /// and its result still lands wherever completion publishes it.
     pub fn wait_timeout(&self, timeout: Duration) -> Option<T> {
         let deadline = std::time::Instant::now() + timeout;
-        let mut done = self.0.done.lock().expect("no poisoned locks");
+        let mut done = self.0.done.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(value) = done.as_ref() {
                 return Some(value.clone());
@@ -69,14 +77,18 @@ impl<T: Clone> Flight<T> {
                 .0
                 .cv
                 .wait_timeout(done, deadline - now)
-                .expect("no poisoned locks");
+                .unwrap_or_else(PoisonError::into_inner);
             done = guard;
         }
     }
 
     /// Whether the result has been published (non-blocking).
     pub fn is_done(&self) -> bool {
-        self.0.done.lock().expect("no poisoned locks").is_some()
+        self.0
+            .done
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_some()
     }
 }
 
@@ -121,7 +133,7 @@ impl<T: Clone> InFlightRegistry<T> {
     /// Joins the in-progress flight for `key`, or starts one: exactly one
     /// concurrent caller per key receives [`FlightEntry::Leader`].
     pub fn begin(&self, key: &str) -> FlightEntry<T> {
-        let mut inner = self.inner.lock().expect("no poisoned locks");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(flight) = inner.get(key) {
             return FlightEntry::Follower(flight.clone());
         }
@@ -140,16 +152,23 @@ impl<T: Clone> InFlightRegistry<T> {
     /// may already have been completed through another path, e.g. a
     /// leader publishing a rejection after its worker handoff failed).
     pub fn complete(&self, key: &str, value: T) {
-        let flight = self.inner.lock().expect("no poisoned locks").remove(key);
+        let flight = self
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(key);
         if let Some(flight) = flight {
-            *flight.0.done.lock().expect("no poisoned locks") = Some(value);
+            *flight.0.done.lock().unwrap_or_else(PoisonError::into_inner) = Some(value);
             flight.0.cv.notify_all();
         }
     }
 
     /// Number of in-progress flights.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("no poisoned locks").len()
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// `true` when nothing is in flight.

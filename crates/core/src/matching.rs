@@ -17,6 +17,12 @@
 //!
 //! Three structural choices keep [`MatchState::run_round`] off the heap:
 //!
+//! Matching semantics feed the persisted warm cache's fingerprint: any
+//! behavioral change here (pick order, tie-breaking, cost priority) must
+//! bump `MATCHER_VERSION` in `crate::cache` so stale snapshots are
+//! rejected rather than silently served. `tacos lint` enforces that this
+//! file at least mentions the constant.
+//!
 //! * **SoA chunk state** — `holds`, `needs`, and the relay `seen` sets
 //!   live as rows of one [`ChunkMatrix`], so a probe ANDs two slices of
 //!   the same flat buffer instead of chasing per-NPU `ChunkSet`

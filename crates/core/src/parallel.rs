@@ -6,7 +6,7 @@
 //! are distributed over `std::thread::scope` workers.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::thread;
 
 use tacos_collective::Collective;
@@ -58,7 +58,7 @@ pub(crate) fn synthesize_best_of(
                     let seed = base_seed.wrapping_add(i as u64);
                     match synth.synthesize_seeded_with(topo, collective, seed, &mut scratch) {
                         Ok(result) => {
-                            let mut guard = best.lock().expect("no poisoned locks");
+                            let mut guard = best.lock().unwrap_or_else(PoisonError::into_inner);
                             let better = guard.as_ref().is_none_or(|(best_i, b)| {
                                 (result.collective_time(), i) < (b.collective_time(), *best_i)
                             });
@@ -67,7 +67,7 @@ pub(crate) fn synthesize_best_of(
                             }
                         }
                         Err(e) => {
-                            let mut guard = error.lock().expect("no poisoned locks");
+                            let mut guard = error.lock().unwrap_or_else(PoisonError::into_inner);
                             guard.get_or_insert(e);
                             break;
                         }
@@ -77,14 +77,19 @@ pub(crate) fn synthesize_best_of(
         }
     });
 
-    if let Some(e) = error.into_inner().expect("no poisoned locks") {
+    if let Some(e) = error.into_inner().unwrap_or_else(PoisonError::into_inner) {
         return Err(e);
     }
-    Ok(best
-        .into_inner()
-        .expect("no poisoned locks")
-        .expect("at least one attempt ran")
-        .1)
+    let winner = best.into_inner().unwrap_or_else(PoisonError::into_inner);
+    match winner {
+        Some((_, result)) => Ok(result),
+        // `attempts` is clamped to >= 1 by SynthesizerConfig, and every
+        // attempt either records a result or records an error (handled
+        // above), so an empty `best` cannot be reached from safe callers.
+        None => Err(SynthesisError::Internal(
+            "best-of-N synthesis produced neither a result nor an error".into(),
+        )),
+    }
 }
 
 #[cfg(test)]

@@ -63,8 +63,14 @@ fn install_unix() {
     // the point of a forced exit). `signal(2)` suffices — no siginfo,
     // no masking — and keeps this std-only (libc is already linked by
     // std on Unix).
+    // SAFETY: the handler body is async-signal-safe — one relaxed atomic
+    // swap, and on the repeat-signal path `_exit`, which is on POSIX's
+    // async-signal-safe list and never returns. No allocation, no locks,
+    // no Rust runtime machinery runs in signal context.
     unsafe extern "C" fn handler(_sig: i32) {
         if on_signal() {
+            // SAFETY: `_exit(2)` matches this declared signature (takes an
+            // exit code, never returns) in every libc that std links.
             extern "C" {
                 fn _exit(code: i32) -> !;
             }
@@ -72,10 +78,16 @@ fn install_unix() {
         }
     }
     extern "C" {
+        // SAFETY: `signal(2)`'s ABI matches this declaration — int plus a
+        // `void (*)(int)` handler pointer, returning the previous handler
+        // as a word — in every libc that std links on Unix.
         fn signal(signum: i32, handler: unsafe extern "C" fn(i32)) -> usize;
     }
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
+    // SAFETY: `handler` is async-signal-safe (above) and stays valid for
+    // the process lifetime (a plain fn item); SIGINT/SIGTERM are valid
+    // signal numbers, so the calls cannot fault.
     unsafe {
         signal(SIGINT, handler);
         signal(SIGTERM, handler);

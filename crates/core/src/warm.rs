@@ -35,7 +35,7 @@ use std::collections::HashMap;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 
 use tacos_collective::algorithm::CollectiveAlgorithm;
 use tacos_collective::export;
@@ -172,7 +172,7 @@ impl WarmCache {
         let found = self
             .entries
             .read()
-            .expect("no poisoned locks")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(key)
             .cloned();
         match &found {
@@ -182,12 +182,16 @@ impl WarmCache {
         found
     }
 
-    /// Inserts (or replaces) an entry.
-    pub fn insert(&self, key: String, entry: WarmEntry) {
+    /// Inserts (or replaces) an entry, returning the shared handle so
+    /// callers can publish it without a second lookup (which could miss
+    /// under a future eviction policy).
+    pub fn insert(&self, key: String, entry: WarmEntry) -> Arc<WarmEntry> {
+        let entry = Arc::new(entry);
         self.entries
             .write()
-            .expect("no poisoned locks")
-            .insert(key, Arc::new(entry));
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(key, Arc::clone(&entry));
+        entry
     }
 
     /// The resident keys, sorted (snapshot order).
@@ -195,7 +199,7 @@ impl WarmCache {
         let mut keys: Vec<String> = self
             .entries
             .read()
-            .expect("no poisoned locks")
+            .unwrap_or_else(PoisonError::into_inner)
             .keys()
             .cloned()
             .collect();
@@ -205,7 +209,10 @@ impl WarmCache {
 
     /// Number of resident entries.
     pub fn len(&self) -> usize {
-        self.entries.read().expect("no poisoned locks").len()
+        self.entries
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// `true` when no entries are resident.
@@ -237,7 +244,7 @@ impl WarmCache {
     /// end <count>
     /// ```
     fn serialize(&self) -> (String, usize) {
-        let entries = self.entries.read().expect("no poisoned locks");
+        let entries = self.entries.read().unwrap_or_else(PoisonError::into_inner);
         // Deterministic order: restarts and tests see stable files.
         let mut keys: Vec<&String> = entries.keys().collect();
         keys.sort();
@@ -247,7 +254,7 @@ impl WarmCache {
         out.push_str(&format!("matcher {MATCHER_VERSION}\n"));
         out.push_str(&format!("entries {}\n", keys.len()));
         for key in &keys {
-            let entry = &entries[*key];
+            let entry = &entries[*key]; // lint: allow(panic, "keys listed from this map under the same read guard")
             let compact = export::to_compact(&entry.algo);
             let time_ps = entry.time.as_ps();
             let crc = entry_crc(key, time_ps, &compact);
@@ -275,7 +282,7 @@ impl WarmCache {
         ));
         let mut file = std::fs::File::create(&tmp)?;
         let written = file
-            .write_all(&text.as_bytes()[..keep.min(text.len())])
+            .write_all(&text.as_bytes()[..keep.min(text.len())]) // lint: allow(panic, "range is clamped to text.len() on this line")
             .and_then(|()| file.sync_all());
         drop(file);
         if written.is_err() || !rename {

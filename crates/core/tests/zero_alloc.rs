@@ -11,14 +11,27 @@
 //! result struct) touches the heap.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use tacos_collective::{Collective, CollectivePattern};
 use tacos_core::{SynthesisScratch, Synthesizer, SynthesizerConfig};
 use tacos_topology::{Bandwidth, ByteSize, LinkSpec, RingOrientation, Time, Topology};
 
-static COUNTING: AtomicBool = AtomicBool::new(false);
+thread_local! {
+    // Per-thread, so allocations from other harness threads (libtest
+    // spawns one per test and schedules them under load) can never leak
+    // into a counted window. Const-initialized: reading it from inside
+    // the allocator must not itself allocate.
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+fn counting() -> bool {
+    // `try_with` because threads allocate during TLS teardown, after
+    // this key may already be destroyed.
+    COUNTING.try_with(Cell::get).unwrap_or(false)
+}
 
 /// The counters are process-global, so the tests in this binary must not
 /// interleave: each takes this lock for its whole body.
@@ -26,20 +39,27 @@ static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 struct CountingAllocator;
 
+// SAFETY: pure pass-through to `System`, which upholds GlobalAlloc's
+// contract; the added atomic counter bumps neither allocate nor unwind.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: forwards the caller's layout to `System.alloc` unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
+        if counting() {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
         System.alloc(layout)
     }
 
+    // SAFETY: forwards the caller's ptr/layout pair, which the contract
+    // guarantees came from a matching `alloc` on this allocator.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: forwards the caller's ptr/layout/new_size to `System`
+    // unchanged, preserving the realloc contract.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
+        if counting() {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
         System.realloc(ptr, layout, new_size)
@@ -51,9 +71,9 @@ static ALLOCATOR: CountingAllocator = CountingAllocator;
 
 fn counted<T>(f: impl FnOnce() -> T) -> (T, u64) {
     ALLOCS.store(0, Ordering::SeqCst);
-    COUNTING.store(true, Ordering::SeqCst);
+    COUNTING.with(|c| c.set(true));
     let out = f();
-    COUNTING.store(false, Ordering::SeqCst);
+    COUNTING.with(|c| c.set(false));
     (out, ALLOCS.load(Ordering::SeqCst))
 }
 

@@ -1,0 +1,130 @@
+//! The count-ratcheted baseline: grandfathered findings live in a
+//! committed `lint.baseline`, keyed by `(rule, file, token)` with an
+//! allowed count. Findings within the budget are reported but pass;
+//! anything beyond it fails. Counts only ratchet *down* over time —
+//! `--fix-baseline` regenerates the file from what is actually present,
+//! so fixing a finding shrinks the budget and reintroducing it fails.
+//!
+//! Keying on `(rule, file, token)` instead of line numbers keeps the
+//! baseline stable across unrelated edits to the same file.
+
+use std::collections::BTreeMap;
+
+use crate::Finding;
+
+/// Parsed baseline: fingerprint -> allowed count.
+pub type Baseline = BTreeMap<(String, String, String), usize>;
+
+/// Parses `lint.baseline` text. Unparseable lines are ignored rather
+/// than fatal: a corrupted baseline then *tightens* the gate.
+pub fn parse(text: &str) -> Baseline {
+    let mut out = Baseline::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        let (Some(rule), Some(file), Some(token), Some(count)) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            continue;
+        };
+        let Ok(count) = count.parse::<usize>() else {
+            continue;
+        };
+        out.insert((rule.into(), file.into(), token.into()), count);
+    }
+    out
+}
+
+/// Renders a baseline for the given findings (used by `--fix-baseline`).
+pub fn render(findings: &[Finding]) -> String {
+    let mut counts = Baseline::new();
+    for f in findings {
+        *counts
+            .entry((f.rule.as_str().into(), f.file.clone(), f.token.clone()))
+            .or_insert(0) += 1;
+    }
+    let mut out = String::from(
+        "# tacos-lint baseline: grandfathered findings, keyed rule<TAB>file<TAB>token<TAB>count.\n\
+         # New findings always fail; regenerate with `tacos lint --fix-baseline` only to\n\
+         # ratchet counts down after fixing, never to admit new debt.\n",
+    );
+    for ((rule, file, token), count) in &counts {
+        out.push_str(&format!("{rule}\t{file}\t{token}\t{count}\n"));
+    }
+    out
+}
+
+/// Splits findings into (new, baselined_count) against a baseline.
+/// Within one fingerprint the findings with the lowest lines are the
+/// grandfathered ones — deterministic, and stable under appends.
+pub fn apply(findings: Vec<Finding>, baseline: &Baseline) -> (Vec<Finding>, usize) {
+    let mut used = Baseline::new();
+    let mut fresh = Vec::new();
+    let mut grandfathered = 0usize;
+    // Findings arrive sorted by (file, line, ..) from the caller.
+    for f in findings {
+        let key = (f.rule.as_str().to_string(), f.file.clone(), f.token.clone());
+        let budget = baseline.get(&key).copied().unwrap_or(0);
+        let u = used.entry(key).or_insert(0);
+        if *u < budget {
+            *u += 1;
+            grandfathered += 1;
+        } else {
+            fresh.push(f);
+        }
+    }
+    (fresh, grandfathered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rule;
+
+    fn finding(file: &str, line: u32, token: &str) -> Finding {
+        Finding {
+            rule: Rule::Panic,
+            file: file.into(),
+            line,
+            token: token.into(),
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_budget() {
+        let fs = vec![finding("a.rs", 1, "unwrap"), finding("a.rs", 9, "unwrap")];
+        let text = render(&fs);
+        let base = parse(&text);
+        assert_eq!(base.len(), 1);
+        assert_eq!(
+            base[&(
+                "panic".to_string(),
+                "a.rs".to_string(),
+                "unwrap".to_string()
+            )],
+            2
+        );
+        // Within budget: all grandfathered.
+        let (fresh, old) = apply(fs.clone(), &base);
+        assert!(fresh.is_empty());
+        assert_eq!(old, 2);
+        // One extra unwrap: the highest line fails.
+        let mut more = fs;
+        more.push(finding("a.rs", 20, "unwrap"));
+        let (fresh, old) = apply(more, &base);
+        assert_eq!(old, 2);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].line, 20);
+    }
+
+    #[test]
+    fn unknown_fingerprints_always_fail() {
+        let (fresh, old) = apply(vec![finding("b.rs", 3, "expect")], &Baseline::new());
+        assert_eq!(old, 0);
+        assert_eq!(fresh.len(), 1);
+    }
+}

@@ -1,0 +1,406 @@
+//! A deliberately small Rust lexer: enough syntax awareness that the
+//! analyses never mistake the inside of a string, char literal, or
+//! comment for code.
+//!
+//! The lexer does **not** try to be a parser. It produces a flat token
+//! stream (identifiers, punctuation, literals) with line numbers, plus a
+//! separate list of comments (which carry the `// SAFETY:` and
+//! `// lint: allow(...)` annotations the analyses look for). Higher
+//! layers pattern-match token windows — `.` `lock` `(` `)` — instead of
+//! building an AST, which keeps the whole analyzer dependency-free and
+//! reviewable.
+//!
+//! Handled: line and nested block comments, string literals with
+//! escapes, raw strings (`r"…"`, `r#"…"#`, any `#` depth), byte and
+//! byte-raw strings, char literals (incl. escapes), lifetimes (`'a` is
+//! not a char literal), numbers, and multi-byte UTF-8 content inside
+//! literals and comments.
+
+/// What a token is; the text is carried alongside in [`Tok::text`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `lock`, …).
+    Ident,
+    /// Single punctuation character (`.`, `(`, `{`, `;`, …).
+    Punct,
+    /// String literal of any flavor (text not preserved).
+    Str,
+    /// Char literal (`'a'`, `'\n'`).
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`) — distinct so it is never a char literal.
+    Lifetime,
+}
+
+/// One token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// The token class.
+    pub kind: TokKind,
+    /// Token text; empty for string literals (content is irrelevant to
+    /// every analysis and skipping it keeps memory flat).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// A comment with its line span (block comments may span lines).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub start_line: u32,
+    /// 1-based line the comment ends on.
+    pub end_line: u32,
+    /// Full comment text including the `//` or `/*` introducer.
+    pub text: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order (not interleaved with `toks`).
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and comments. Never fails: unterminated
+/// literals simply run to end of file (the analyses only ever
+/// under-match on malformed input, they cannot panic).
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = chars.len();
+
+    macro_rules! bump_line {
+        ($c:expr) => {
+            if $c == '\n' {
+                line += 1;
+            }
+        };
+    }
+
+    while i < n {
+        let c = chars[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            bump_line!(c);
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n {
+            if chars[i + 1] == '/' {
+                let start_line = line;
+                let mut text = String::new();
+                while i < n && chars[i] != '\n' {
+                    text.push(chars[i]);
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    start_line,
+                    end_line: start_line,
+                    text,
+                });
+                continue;
+            }
+            if chars[i + 1] == '*' {
+                let start_line = line;
+                let mut text = String::new();
+                let mut depth = 1usize;
+                text.push_str("/*");
+                i += 2;
+                while i < n && depth > 0 {
+                    if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                        depth += 1;
+                        text.push_str("/*");
+                        i += 2;
+                    } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                        depth -= 1;
+                        text.push_str("*/");
+                        i += 2;
+                    } else {
+                        bump_line!(chars[i]);
+                        text.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    start_line,
+                    end_line: line,
+                    text,
+                });
+                continue;
+            }
+        }
+        // Identifiers — with raw/byte string prefix detection: `r`, `b`,
+        // `br`, `rb` directly followed by a quote (or `#…"` for raw).
+        if is_ident_start(c) {
+            let start = i;
+            let tok_line = line;
+            while i < n && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            let is_str_prefix = matches!(text.as_str(), "r" | "b" | "br" | "rb");
+            if is_str_prefix && i < n && (chars[i] == '"' || chars[i] == '#') {
+                let raw = text.contains('r');
+                if raw {
+                    // Count the `#`s, expect `"`, then scan for `"` + #s.
+                    let mut hashes = 0usize;
+                    while i < n && chars[i] == '#' {
+                        hashes += 1;
+                        i += 1;
+                    }
+                    if i < n && chars[i] == '"' {
+                        i += 1;
+                        'raw: while i < n {
+                            if chars[i] == '"' {
+                                let mut j = i + 1;
+                                let mut seen = 0usize;
+                                while j < n && seen < hashes && chars[j] == '#' {
+                                    seen += 1;
+                                    j += 1;
+                                }
+                                if seen == hashes {
+                                    i = j;
+                                    break 'raw;
+                                }
+                            }
+                            bump_line!(chars[i]);
+                            i += 1;
+                        }
+                        out.toks.push(Tok {
+                            kind: TokKind::Str,
+                            text: String::new(),
+                            line: tok_line,
+                        });
+                        continue;
+                    }
+                    // `r#ident` raw identifier: fall through as ident.
+                    let mut raw_ident = text;
+                    for _ in 0..hashes {
+                        raw_ident.push('#');
+                    }
+                    while i < n && is_ident_continue(chars[i]) {
+                        raw_ident.push(chars[i]);
+                        i += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Ident,
+                        text: raw_ident,
+                        line: tok_line,
+                    });
+                    continue;
+                }
+                // b"…": ordinary escaped string body.
+                i += 1; // consume the quote
+                scan_escaped_string(&chars, &mut i, &mut line);
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line: tok_line,
+                });
+                continue;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line: tok_line,
+            });
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            let tok_line = line;
+            i += 1;
+            scan_escaped_string(&chars, &mut i, &mut line);
+            out.toks.push(Tok {
+                kind: TokKind::Str,
+                text: String::new(),
+                line: tok_line,
+            });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let tok_line = line;
+            if i + 1 < n && chars[i + 1] == '\\' {
+                // Escaped char literal: consume to the closing quote.
+                i += 2;
+                while i < n && chars[i] != '\'' {
+                    if chars[i] == '\\' && i + 1 < n {
+                        i += 1;
+                    }
+                    bump_line!(chars[i]);
+                    i += 1;
+                }
+                i += 1; // closing quote (or EOF)
+                out.toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line: tok_line,
+                });
+                continue;
+            }
+            if i + 2 < n && chars[i + 2] == '\'' {
+                // 'x' — a one-char literal (covers 'a', '{', even '_').
+                i += 3;
+                out.toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line: tok_line,
+                });
+                continue;
+            }
+            if i + 1 < n && is_ident_start(chars[i + 1]) {
+                // Lifetime: 'ident with no closing quote.
+                let start = i + 1;
+                i += 1;
+                while i < n && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: chars[start..i].iter().collect(),
+                    line: tok_line,
+                });
+                continue;
+            }
+            // Lone quote (malformed): emit as punct and move on.
+            out.toks.push(Tok {
+                kind: TokKind::Punct,
+                text: "'".into(),
+                line: tok_line,
+            });
+            i += 1;
+            continue;
+        }
+        // Numbers (incl. hex/float/underscores; suffixes eaten greedily).
+        if c.is_ascii_digit() {
+            let tok_line = line;
+            let start = i;
+            i += 1;
+            while i < n
+                && (is_ident_continue(chars[i])
+                    || chars[i] == '.' && i + 1 < n && chars[i + 1].is_ascii_digit())
+            {
+                i += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Num,
+                text: chars[start..i].iter().collect(),
+                line: tok_line,
+            });
+            continue;
+        }
+        // Everything else: single-char punctuation.
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Consumes an escaped string body starting *after* the opening quote,
+/// leaving `i` after the closing quote.
+fn scan_escaped_string(chars: &[char], i: &mut usize, line: &mut u32) {
+    let n = chars.len();
+    while *i < n {
+        match chars[*i] {
+            '"' => {
+                *i += 1;
+                return;
+            }
+            '\\' => {
+                *i += 1;
+                if *i < n {
+                    if chars[*i] == '\n' {
+                        *line += 1;
+                    }
+                    *i += 1;
+                }
+            }
+            c => {
+                if c == '\n' {
+                    *line += 1;
+                }
+                *i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_code() {
+        let lexed = lex("let a = \"x.lock()\"; // b.lock()\n/* c.lock() */ d.lock()");
+        let names = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect::<Vec<_>>();
+        assert_eq!(names, ["let", "a", "d", "lock"]);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("b.lock()"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_inner_quotes() {
+        let lexed = lex(r###"let x = r#"say "hi".lock()"#; y.read()"###);
+        let names = idents(r###"let x = r#"say "hi".lock()"#; y.read()"###);
+        assert_eq!(names, ["let", "x", "y", "read"]);
+        assert_eq!(
+            lexed.toks.iter().filter(|t| t.kind == TokKind::Str).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let names = idents("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert_eq!(names, ["fn", "f", "x", "str", "char"]);
+        let lexed = lex("'a: loop { break 'a; }");
+        assert_eq!(lexed.toks[0].kind, TokKind::Lifetime);
+    }
+
+    #[test]
+    fn escaped_chars_and_nested_block_comments() {
+        let names = idents("let q = '\\''; /* outer /* inner */ still */ tail");
+        assert_eq!(names, ["let", "q", "tail"]);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_constructs() {
+        let lexed = lex("a\n\"two\nlines\"\nb");
+        let b = lexed.toks.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 4);
+    }
+}

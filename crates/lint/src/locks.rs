@@ -1,0 +1,805 @@
+//! Lock-order deadlock detection over the serving crates.
+//!
+//! The analysis is name-based and deliberately conservative:
+//!
+//! 1. **Lock registry** — every `Mutex`/`RwLock`/`Condvar` the domain
+//!    declares, found at struct fields / statics / `fn` params (a `:`
+//!    followed by a type mentioning the lock type) and `let` bindings
+//!    initialized through `Mutex::new(..)` / `RwLock::new(..)`. A lock's
+//!    identity is its declared *name* — two locks sharing a field name
+//!    merge, which can only over-approximate (extra edges), never hide a
+//!    cycle.
+//! 2. **Acquisition sites** — `name.lock()`, `name.read()`,
+//!    `name.write()` with empty argument lists where `name` is a
+//!    registered lock. A `.lock()` on an *unregistered* ident receiver
+//!    is itself a finding: the registry must cover every acquisition for
+//!    the graph to mean anything.
+//! 3. **Hold spans** — a guard bound by a terminal `let` (the chain ends
+//!    at the acquisition, optionally through `unwrap`/`expect`/
+//!    `unwrap_or_else`) is held to the end of its enclosing block (or an
+//!    explicit `drop(guard)`); any other acquisition is a temporary held
+//!    to the end of its statement. Rust's actual drop rules are exactly
+//!    these two cases for the idioms this workspace uses.
+//! 4. **Nesting edges** — lock B acquired inside lock A's hold span adds
+//!    edge A→B; so does a *call* inside A's span to a function that
+//!    (transitively) acquires B. Calls resolve by bare name, only when
+//!    the name maps to exactly one analyzed function and is not a
+//!    common std method name (`insert`, `len`, `wait`, …) — ambiguous
+//!    names are skipped rather than guessed, so edges are
+//!    under-approximated but never fabricated.
+//! 5. **Cycles** — any cycle in the lock-order graph (including a
+//!    self-edge: re-acquiring a non-reentrant `std::sync` lock on the
+//!    same thread deadlocks) is reported with the acquisition chain of
+//!    every edge.
+//!
+//! `Condvar::wait` *releases* its mutex while blocked, so condvar waits
+//! are counted for coverage but add no edges.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Tok, TokKind};
+use crate::source::SourceFile;
+use crate::{Finding, Rule};
+
+/// Method names never resolved as intra-workspace calls: std-library
+/// methods (collections, sync primitives, iterators, I/O) that would
+/// otherwise alias analyzed functions and fabricate edges.
+const CALL_BLOCKLIST: &[&str] = &[
+    "new",
+    "default",
+    "clone",
+    "drop",
+    "lock",
+    "read",
+    "write",
+    "wait",
+    "wait_timeout",
+    "notify_all",
+    "notify_one",
+    "len",
+    "is_empty",
+    "insert",
+    "get",
+    "remove",
+    "push",
+    "pop",
+    "take",
+    "swap_remove",
+    "join",
+    "spawn",
+    "sleep",
+    "send",
+    "recv",
+    "try_send",
+    "try_recv",
+    "map",
+    "map_err",
+    "and_then",
+    "or_else",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_else",
+    "expect",
+    "ok",
+    "err",
+    "iter",
+    "into_iter",
+    "next",
+    "collect",
+    "parse",
+    "fmt",
+    "format",
+    "write_all",
+    "flush",
+    "to_string",
+    "from",
+    "into",
+    "as_ref",
+    "as_mut",
+    "as_str",
+    "clear",
+    "contains",
+    "keys",
+    "values",
+    "load",
+    "store",
+    "fetch_add",
+    "fetch_sub",
+    "min",
+    "max",
+    "clamp",
+    "extend",
+    "position",
+    "find",
+    "any",
+    "all",
+    "filter",
+    "count",
+    "sort",
+    "sort_by",
+    "elapsed",
+    "is_dir",
+    "is_file",
+    "exists",
+    "display",
+    "name",
+];
+
+/// What kind of primitive a registered name is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LockKind {
+    Lock,
+    Condvar,
+}
+
+/// One acquisition site with its computed hold span.
+#[derive(Debug, Clone)]
+struct Acq {
+    lock: String,
+    line: u32,
+    tok: usize,
+    hold_end: usize,
+}
+
+/// One resolvable call site inside a function body.
+#[derive(Debug, Clone)]
+struct Call {
+    tok: usize,
+    callee: usize, // index into the analysis's `fns`
+}
+
+/// A function in the analysis domain.
+struct FnInfo {
+    file_rel: String,
+    file: usize,
+    name: String,
+    body: (usize, usize),
+    acqs: Vec<Acq>,
+    calls: Vec<Call>,
+}
+
+/// A lock reached by calling a function, with the call path.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Reach {
+    lock: String,
+    via: Vec<String>,
+    site: String, // "file:line" of the eventual acquisition
+}
+
+/// A directed lock-order edge with a human-readable witness.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Edge {
+    from: String,
+    to: String,
+    witness: String,
+}
+
+/// Aggregate numbers for `--stats`.
+#[derive(Debug, Default, Clone)]
+pub struct LockStats {
+    /// Distinct lock names in the registry.
+    pub locks: usize,
+    /// Mutex/RwLock acquisition sites in the domain.
+    pub acquisitions: usize,
+    /// Condvar wait/notify sites (coverage only; no edges).
+    pub condvar_sites: usize,
+    /// Distinct edges in the lock-order graph.
+    pub edges: usize,
+}
+
+/// Runs the analysis over `files`, where `domain` selects the files
+/// (by index) whose locks and functions participate.
+pub fn analyze(files: &[SourceFile], domain: &[usize]) -> (Vec<Finding>, LockStats) {
+    let mut findings = Vec::new();
+    let mut stats = LockStats::default();
+
+    // 1. Lock registry over the whole domain.
+    let mut registry: BTreeMap<String, LockKind> = BTreeMap::new();
+    for &fi in domain {
+        register_locks(&files[fi], &mut registry);
+    }
+    stats.locks = registry.values().filter(|k| **k == LockKind::Lock).count();
+
+    // 2–3. Functions with their acquisitions (incl. hold spans).
+    let mut fns: Vec<FnInfo> = Vec::new();
+    let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for &fi in domain {
+        let f = &files[fi];
+        for func in &f.funcs {
+            let Some(body) = func.body else { continue };
+            fns.push(FnInfo {
+                file_rel: f.rel.clone(),
+                file: fi,
+                name: func.name.clone(),
+                body,
+                acqs: find_acquisitions(f, body, &registry, &mut findings, &mut stats),
+                calls: Vec::new(),
+            });
+            by_name
+                .entry(func.name.clone())
+                .or_default()
+                .push(fns.len() - 1);
+        }
+    }
+    // Calls resolve against the completed name index, so a second pass.
+    let call_lists: Vec<Vec<Call>> = fns
+        .iter()
+        .map(|info| find_calls(&files[info.file], info.body, &by_name))
+        .collect();
+    for (info, calls) in fns.iter_mut().zip(call_lists) {
+        info.calls = calls;
+    }
+
+    // 4. Transitive lock reach per function, then edges.
+    let mut reach_memo: Vec<Option<Vec<Reach>>> = vec![None; fns.len()];
+    for i in 0..fns.len() {
+        let mut stack = Vec::new();
+        reach(i, &fns, &mut reach_memo, &mut stack);
+    }
+    let mut edges: BTreeSet<Edge> = BTreeSet::new();
+    for info in &fns {
+        for a in &info.acqs {
+            // Direct nesting: another acquisition inside a's hold span.
+            for b in &info.acqs {
+                if b.tok > a.tok && b.tok <= a.hold_end {
+                    let witness = if a.lock == b.lock {
+                        // Same-lock re-acquisition while held: immediate
+                        // self-deadlock on std::sync primitives.
+                        format!(
+                            "{}:{} fn {} re-acquires `{}` while already held ({}:{})",
+                            info.file_rel, a.line, info.name, a.lock, info.file_rel, b.line
+                        )
+                    } else {
+                        format!(
+                            "{}:{} fn {} acquires `{}` then `{}` ({}:{})",
+                            info.file_rel, a.line, info.name, a.lock, b.lock, info.file_rel, b.line
+                        )
+                    };
+                    edges.insert(Edge {
+                        from: a.lock.clone(),
+                        to: b.lock.clone(),
+                        witness,
+                    });
+                }
+            }
+            // Call nesting: a call inside the span to a lock-reaching fn.
+            for c in &info.calls {
+                if c.tok > a.tok && c.tok <= a.hold_end {
+                    let reached = reach_memo[c.callee].clone().unwrap_or_default();
+                    for r in reached {
+                        let mut via = vec![fns_name(&fns, c.callee)];
+                        via.extend(r.via.iter().cloned());
+                        edges.insert(Edge {
+                            from: a.lock.clone(),
+                            to: r.lock.clone(),
+                            witness: format!(
+                                "{}:{} fn {} holds `{}` while calling {} which acquires `{}` ({})",
+                                info.file_rel,
+                                a.line,
+                                info.name,
+                                a.lock,
+                                via.join(" -> "),
+                                r.lock,
+                                r.site
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    stats.edges = {
+        let pairs: BTreeSet<(&str, &str)> = edges
+            .iter()
+            .map(|e| (e.from.as_str(), e.to.as_str()))
+            .collect();
+        pairs.len()
+    };
+
+    // 5. Cycles.
+    findings.extend(find_cycles(&edges));
+    (findings, stats)
+}
+
+fn fns_name(fns: &[FnInfo], i: usize) -> String {
+    fns[i].name.clone()
+}
+
+fn is_punct(t: &Tok, s: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == s
+}
+
+/// Registers lock names declared in one file.
+fn register_locks(f: &SourceFile, registry: &mut BTreeMap<String, LockKind>) {
+    let toks = &f.toks;
+    for i in 0..toks.len() {
+        // `name : … Mutex/RwLock/Condvar …` up to a delimiter — fields,
+        // params, statics, and struct-literal inits alike. A preceding
+        // `:` means `i` is a path segment, not a declared name.
+        if toks[i].kind == TokKind::Ident
+            && i + 1 < toks.len()
+            && is_punct(&toks[i + 1], ":")
+            && (i == 0 || !is_punct(&toks[i - 1], ":"))
+            // `::` lexes as two `:` puncts — `use std::sync::Mutex` must
+            // not register a lock named `std`.
+            && !(i + 2 < toks.len() && is_punct(&toks[i + 2], ":"))
+        {
+            let mut j = i + 2;
+            let mut steps = 0;
+            while j < toks.len() && steps < 24 {
+                let t = &toks[j];
+                if t.kind == TokKind::Punct
+                    && matches!(t.text.as_str(), "," | ";" | "{" | "}" | "=" | ")")
+                {
+                    break;
+                }
+                if t.kind == TokKind::Ident {
+                    match t.text.as_str() {
+                        "Mutex" | "RwLock" => {
+                            registry.insert(toks[i].text.clone(), LockKind::Lock);
+                            break;
+                        }
+                        "Condvar" => {
+                            registry.insert(toks[i].text.clone(), LockKind::Condvar);
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                j += 1;
+                steps += 1;
+            }
+        }
+        // `let [mut] name … = … Mutex::new( / RwLock::new( …` within the
+        // same statement.
+        if toks[i].kind == TokKind::Ident && toks[i].text == "let" {
+            let mut j = i + 1;
+            if j < toks.len() && toks[j].kind == TokKind::Ident && toks[j].text == "mut" {
+                j += 1;
+            }
+            if j >= toks.len() || toks[j].kind != TokKind::Ident {
+                continue;
+            }
+            let name = toks[j].text.clone();
+            let mut k = j + 1;
+            while k < toks.len() && !is_punct(&toks[k], ";") {
+                if toks[k].kind == TokKind::Ident
+                    && matches!(toks[k].text.as_str(), "Mutex" | "RwLock")
+                    && k + 2 < toks.len()
+                    && is_punct(&toks[k + 1], ":")
+                    && is_punct(&toks[k + 2], ":")
+                {
+                    registry.insert(name.clone(), LockKind::Lock);
+                    break;
+                }
+                k += 1;
+            }
+        }
+    }
+}
+
+/// Finds acquisition sites in `body` and computes their hold spans.
+fn find_acquisitions(
+    f: &SourceFile,
+    body: (usize, usize),
+    registry: &BTreeMap<String, LockKind>,
+    findings: &mut Vec<Finding>,
+    stats: &mut LockStats,
+) -> Vec<Acq> {
+    let toks = &f.toks;
+    let (start, end) = body;
+    let mut out = Vec::new();
+    let mut i = start;
+    while i + 4 <= end {
+        let recv_is_ident = toks[i].kind == TokKind::Ident;
+        let dot = is_punct(&toks[i + 1], ".");
+        let method = &toks[i + 2];
+        if recv_is_ident && dot && method.kind == TokKind::Ident {
+            let mname = method.text.as_str();
+            let empty_call = is_punct(&toks[i + 3], "(") && is_punct(&toks[i + 4], ")");
+            let registered = registry.get(&toks[i].text).copied();
+            if matches!(mname, "lock" | "read" | "write") && empty_call {
+                match registered {
+                    Some(LockKind::Lock) => {
+                        let hold_end = hold_span(f, i, end);
+                        out.push(Acq {
+                            lock: toks[i].text.clone(),
+                            line: toks[i].line,
+                            tok: i,
+                            hold_end,
+                        });
+                        stats.acquisitions += 1;
+                    }
+                    Some(LockKind::Condvar) => {}
+                    None if mname == "lock" && !f.in_test_code(toks[i].line) => {
+                        findings.push(Finding {
+                            rule: Rule::LockOrder,
+                            file: f.rel.clone(),
+                            line: toks[i].line,
+                            token: "unknown-lock".into(),
+                            message: format!(
+                                "`.lock()` on `{}`, which is not a registered Mutex — declare it \
+                                 where the analyzer can see the type so the lock-order graph \
+                                 stays complete",
+                                toks[i].text
+                            ),
+                        });
+                    }
+                    None => {}
+                }
+            } else if matches!(mname, "wait" | "wait_timeout" | "notify_all" | "notify_one")
+                && registered == Some(LockKind::Condvar)
+            {
+                stats.condvar_sites += 1;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Computes the last token index of the hold span for the acquisition
+/// whose receiver ident is at `i`.
+fn hold_span(f: &SourceFile, i: usize, body_end: usize) -> usize {
+    let toks = &f.toks;
+    let d = f.depth[i];
+    // Statement start: walk back over tokens at depth >= d, stopping
+    // after `;` at depth d (paren-balanced) or at the enclosing `{`.
+    let mut j = i;
+    let mut paren = 0i32;
+    while j > 0 {
+        let p = j - 1;
+        if f.depth[p] < d {
+            break;
+        }
+        let t = &toks[p];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                ")" => paren += 1,
+                "(" => paren -= 1,
+                ";" if f.depth[p] == d && paren == 0 => break,
+                _ => {}
+            }
+        }
+        j = p;
+    }
+    let stmt_start = j;
+
+    // Is this a terminal `let` binding? `let [mut] pat = recv.m()` with
+    // the chain ending at the acquisition (optionally through unwrap/
+    // expect/unwrap_or_else) followed by `;`.
+    let is_let = toks
+        .get(stmt_start)
+        .is_some_and(|t| t.kind == TokKind::Ident && t.text == "let");
+    let mut k = i + 5; // past `recv . m ( )`
+    loop {
+        if k + 2 < toks.len()
+            && is_punct(&toks[k], ".")
+            && toks[k + 1].kind == TokKind::Ident
+            && matches!(
+                toks[k + 1].text.as_str(),
+                "unwrap" | "expect" | "unwrap_or_else"
+            )
+            && is_punct(&toks[k + 2], "(")
+        {
+            let mut p = 1i32;
+            k += 3;
+            while k < toks.len() && p > 0 {
+                if is_punct(&toks[k], "(") {
+                    p += 1;
+                } else if is_punct(&toks[k], ")") {
+                    p -= 1;
+                }
+                k += 1;
+            }
+            continue;
+        }
+        break;
+    }
+    let terminal = k < toks.len() && is_punct(&toks[k], ";");
+
+    if is_let && terminal {
+        // Bound guard: held to the end of the enclosing block — or an
+        // explicit `drop(name)` of the bound identifier.
+        let mut name = None;
+        let mut p = stmt_start + 1;
+        while p < i {
+            if toks[p].kind == TokKind::Ident && toks[p].text != "mut" {
+                name = Some(toks[p].text.clone());
+                break;
+            }
+            p += 1;
+        }
+        let mut e = i;
+        while e < body_end && f.depth[e + 1] >= d {
+            e += 1;
+            if let Some(name) = &name {
+                if toks[e].kind == TokKind::Ident
+                    && toks[e].text == "drop"
+                    && e + 2 <= body_end
+                    && is_punct(&toks[e + 1], "(")
+                    && toks[e + 2].text == *name
+                {
+                    return e;
+                }
+            }
+        }
+        return e.min(body_end);
+    }
+
+    // Temporary: held to the end of the statement — the `;` (or a `,`
+    // separating match arms / initializers) at this depth and paren
+    // level, or the end of the enclosing block / argument list. Ending
+    // at an enclosing `)` or `,` slightly under-approximates (the
+    // temporary really lives to the end of the full statement), which
+    // can only miss edges, never invent them.
+    let mut paren = 0i32;
+    let mut e = i;
+    while e < body_end && f.depth[e + 1] >= d {
+        e += 1;
+        let t = &toks[e];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => paren += 1,
+                ")" | "]" => {
+                    if paren == 0 {
+                        return e;
+                    }
+                    paren -= 1;
+                }
+                ";" | "," if paren == 0 && f.depth[e] == d => return e,
+                _ => {}
+            }
+        }
+    }
+    e.min(body_end)
+}
+
+/// Finds resolvable call sites in a function body.
+fn find_calls(
+    f: &SourceFile,
+    body: (usize, usize),
+    by_name: &BTreeMap<String, Vec<usize>>,
+) -> Vec<Call> {
+    let toks = &f.toks;
+    let (start, end) = body;
+    let mut out = Vec::new();
+    for i in start..=end.min(toks.len().saturating_sub(1)) {
+        if toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        if i + 1 >= toks.len() || !is_punct(&toks[i + 1], "(") {
+            continue;
+        }
+        if i > 0 && toks[i - 1].kind == TokKind::Ident && toks[i - 1].text == "fn" {
+            continue; // definition, not a call
+        }
+        let name = toks[i].text.as_str();
+        if CALL_BLOCKLIST.contains(&name) {
+            continue;
+        }
+        let Some(candidates) = by_name.get(name) else {
+            continue;
+        };
+        if candidates.len() != 1 {
+            continue; // ambiguous: skip rather than guess
+        }
+        out.push(Call {
+            tok: i,
+            callee: candidates[0],
+        });
+    }
+    out
+}
+
+/// Transitive lock reach of function `i` (memoized, recursion-safe).
+fn reach(
+    i: usize,
+    fns: &[FnInfo],
+    memo: &mut Vec<Option<Vec<Reach>>>,
+    stack: &mut Vec<usize>,
+) -> Vec<Reach> {
+    if let Some(r) = &memo[i] {
+        return r.clone();
+    }
+    if stack.contains(&i) {
+        return Vec::new(); // recursion: already accounted upstream
+    }
+    stack.push(i);
+    let mut set: BTreeMap<String, Reach> = BTreeMap::new();
+    for a in &fns[i].acqs {
+        set.entry(a.lock.clone()).or_insert_with(|| Reach {
+            lock: a.lock.clone(),
+            via: Vec::new(),
+            site: format!("{}:{}", fns[i].file_rel, a.line),
+        });
+    }
+    let callees: Vec<usize> = fns[i].calls.iter().map(|c| c.callee).collect();
+    for callee in callees {
+        for r in reach(callee, fns, memo, stack) {
+            let mut via = vec![fns[callee].name.clone()];
+            via.extend(r.via.iter().cloned());
+            set.entry(r.lock.clone()).or_insert(Reach {
+                lock: r.lock,
+                via,
+                site: r.site,
+            });
+        }
+    }
+    stack.pop();
+    let out: Vec<Reach> = set.into_values().collect();
+    memo[i] = Some(out.clone());
+    out
+}
+
+/// Enumerates elementary cycles in the edge set and renders findings.
+fn find_cycles(edges: &BTreeSet<Edge>) -> Vec<Finding> {
+    // Adjacency with one witness per (from, to) — BTreeSet iteration
+    // order makes "first wins" deterministic.
+    let mut adj: BTreeMap<&str, BTreeMap<&str, &str>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(&e.from)
+            .or_default()
+            .entry(&e.to)
+            .or_insert(&e.witness);
+    }
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    let mut findings = Vec::new();
+    let mut seen: BTreeSet<Vec<String>> = BTreeSet::new();
+    // DFS from each node; only visiting nodes >= the start node roots
+    // each cycle at its smallest member, so it is found exactly once.
+    for &start in &nodes {
+        let mut path = vec![start];
+        dfs_cycles(start, start, &adj, &mut path, &mut seen, &mut findings);
+    }
+    findings
+}
+
+fn dfs_cycles<'a>(
+    start: &'a str,
+    at: &'a str,
+    adj: &BTreeMap<&'a str, BTreeMap<&'a str, &'a str>>,
+    path: &mut Vec<&'a str>,
+    seen: &mut BTreeSet<Vec<String>>,
+    findings: &mut Vec<Finding>,
+) {
+    if path.len() > 8 {
+        return; // lock chains deeper than this do not occur in practice
+    }
+    let Some(nexts) = adj.get(at) else { return };
+    for (&next, _) in nexts.iter() {
+        if next == start {
+            let sig: Vec<String> = path.iter().map(|s| s.to_string()).collect();
+            if seen.insert(sig.clone()) {
+                let mut chain = String::new();
+                let mut file = String::new();
+                let mut line = 0u32;
+                for w in 0..path.len() {
+                    let from = path[w];
+                    let to = if w + 1 < path.len() {
+                        path[w + 1]
+                    } else {
+                        start
+                    };
+                    let witness = adj
+                        .get(from)
+                        .and_then(|m| m.get(to))
+                        .copied()
+                        .unwrap_or("?");
+                    if w == 0 {
+                        // Witness leads with "file:line " — recover both
+                        // for the finding's location.
+                        if let Some((f, rest)) = witness.split_once(':') {
+                            file = f.to_string();
+                            line = rest
+                                .split_once(' ')
+                                .map(|(l, _)| l.parse().unwrap_or(0))
+                                .unwrap_or(0);
+                        }
+                    }
+                    chain.push_str(&format!("\n    [{from} -> {to}] {witness}"));
+                }
+                let cycle_name = format!("{} -> {}", sig.join(" -> "), start);
+                findings.push(Finding {
+                    rule: Rule::LockOrder,
+                    file,
+                    line,
+                    token: format!("cycle:{}", sig.join(">")),
+                    message: format!("potential deadlock: lock-order cycle {cycle_name}{chain}"),
+                });
+            }
+            continue;
+        }
+        if next < start || path.contains(&next) {
+            continue;
+        }
+        path.push(next);
+        dfs_cycles(start, next, adj, path, seen, findings);
+        path.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> (Vec<Finding>, LockStats) {
+        let f = SourceFile::parse("x.rs".into(), src.into());
+        analyze(&[f], &[0])
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let (findings, stats) = run("struct S { a: Mutex<u8>, b: Mutex<u8> }\n\
+             fn one(s: &S) { let a = s.a.lock().unwrap(); let b = s.b.lock().unwrap(); }\n\
+             fn two(s: &S) { let a = s.a.lock().unwrap(); let b = s.b.lock().unwrap(); }\n");
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(stats.locks, 2);
+        assert_eq!(stats.acquisitions, 4);
+        assert_eq!(stats.edges, 1);
+    }
+
+    #[test]
+    fn direct_cycle_is_found() {
+        let (findings, _) = run("struct S { a: Mutex<u8>, b: Mutex<u8> }\n\
+             fn one(s: &S) { let a = s.a.lock().unwrap(); let b = s.b.lock().unwrap(); }\n\
+             fn two(s: &S) { let b = s.b.lock().unwrap(); let a = s.a.lock().unwrap(); }\n");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("lock-order cycle a -> b -> a"));
+        assert!(findings[0].message.contains("x.rs:2"));
+        assert!(findings[0].message.contains("x.rs:3"));
+    }
+
+    #[test]
+    fn cycle_through_call_graph_is_found() {
+        let (findings, _) = run("struct S { a: Mutex<u8>, b: Mutex<u8> }\n\
+             fn helper(s: &S) { let a = s.a.lock().unwrap(); }\n\
+             fn one(s: &S) { let b = s.b.lock().unwrap(); helper(s); }\n\
+             fn two(s: &S) { let a = s.a.lock().unwrap(); let b = s.b.lock().unwrap(); }\n");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("helper"));
+    }
+
+    #[test]
+    fn temporary_guard_does_not_extend_past_statement() {
+        // `a` is a temporary dropped at the `;`, so no a->b edge exists.
+        let (findings, stats) = run("struct S { a: Mutex<u8>, b: Mutex<u8> }\n\
+             fn one(s: &S) { s.a.lock().unwrap().checked_add(1); let b = s.b.lock().unwrap(); }\n\
+             fn two(s: &S) { let b = s.b.lock().unwrap(); let a = s.a.lock().unwrap(); }\n");
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(stats.edges, 1); // only b -> a from fn two
+    }
+
+    #[test]
+    fn drop_ends_the_hold_span() {
+        let (findings, stats) = run("struct S { a: Mutex<u8>, b: Mutex<u8> }\n\
+             fn one(s: &S) { let a = s.a.lock().unwrap(); drop(a); let b = s.b.lock().unwrap(); }\n\
+             fn two(s: &S) { let b = s.b.lock().unwrap(); let a = s.a.lock().unwrap(); }\n");
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(stats.edges, 1);
+    }
+
+    #[test]
+    fn unknown_lock_receiver_is_flagged() {
+        let (findings, _) = run("fn f(x: &Foo) { x.lock().unwrap(); }\n");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].token, "unknown-lock");
+    }
+
+    #[test]
+    fn condvar_wait_adds_no_edges() {
+        let (findings, stats) = run("struct S { m: Mutex<u8>, cv: Condvar }\n\
+             fn w(s: &S) { let g = s.m.lock().unwrap(); let g = s.cv.wait(g).unwrap(); }\n");
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(stats.condvar_sites, 1);
+        assert_eq!(stats.edges, 0);
+    }
+
+    #[test]
+    fn self_reacquisition_is_a_cycle() {
+        let (findings, _) = run("struct S { a: Mutex<u8> }\n\
+             fn f(s: &S) { let g = s.a.lock().unwrap(); let h = s.a.lock().unwrap(); }\n");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("a -> a"));
+    }
+}

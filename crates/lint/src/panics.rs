@@ -1,0 +1,132 @@
+//! Panic-path audit for the designated serving modules.
+//!
+//! The serving path must degrade, not die: a panic in a connection
+//! handler or worker tears down state that other threads depend on. In
+//! the designated files, every construct that can panic at runtime —
+//! `.unwrap()`, `.expect(..)`, `panic!`, `unreachable!`, and `[..]`
+//! indexing — is a finding unless it sits inside `#[cfg(test)]` code or
+//! carries a same-line `// lint: allow(panic, "<reason>")`.
+//!
+//! Suppression is checked centrally in [`crate::run`], so this module
+//! only emits raw findings.
+
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::{Finding, Rule};
+
+/// Identifier-like tokens that legitimately precede a `[` without it
+/// being an indexing expression (slice patterns, mostly).
+const NON_INDEX_PREV: &[&str] = &["let", "mut", "ref", "return", "in", "else", "match", "box"];
+
+/// Audits one designated file.
+pub fn analyze(f: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let toks = &f.toks;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if f.in_test_code(t.line) {
+            continue;
+        }
+        // `.unwrap(` / `.expect(` — exact method names only, so
+        // `unwrap_or_else` and friends stay legal.
+        if t.kind == TokKind::Punct
+            && t.text == "."
+            && i + 2 < toks.len()
+            && toks[i + 1].kind == TokKind::Ident
+            && matches!(toks[i + 1].text.as_str(), "unwrap" | "expect")
+            && toks[i + 2].kind == TokKind::Punct
+            && toks[i + 2].text == "("
+        {
+            out.push(Finding {
+                rule: Rule::Panic,
+                file: f.rel.clone(),
+                line: toks[i + 1].line,
+                token: toks[i + 1].text.clone(),
+                message: format!(
+                    "`.{}(..)` on the serving path can panic — handle the error, use \
+                     `unwrap_or_else(PoisonError::into_inner)` for lock poisoning, or justify \
+                     with `// lint: allow(panic, \"..\")`",
+                    toks[i + 1].text
+                ),
+            });
+        }
+        // `panic!` / `unreachable!`.
+        if t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "panic" | "unreachable")
+            && i + 1 < toks.len()
+            && toks[i + 1].kind == TokKind::Punct
+            && toks[i + 1].text == "!"
+        {
+            out.push(Finding {
+                rule: Rule::Panic,
+                file: f.rel.clone(),
+                line: t.line,
+                token: format!("{}!", t.text),
+                message: format!(
+                    "`{}!` on the serving path aborts the worker — return a typed error or \
+                     justify with `// lint: allow(panic, \"..\")`",
+                    t.text
+                ),
+            });
+        }
+        // `expr[..]` indexing: a `[` directly after an expression tail
+        // (ident, `)`, or `]`). Attributes (`#[`), macros (`vec![`),
+        // array types/literals, and slice patterns all have a different
+        // preceding token.
+        if t.kind == TokKind::Punct && t.text == "[" && i > 0 {
+            let p = &toks[i - 1];
+            let expr_tail = (p.kind == TokKind::Ident
+                && !NON_INDEX_PREV.contains(&p.text.as_str()))
+                || (p.kind == TokKind::Punct && (p.text == ")" || p.text == "]"));
+            if expr_tail {
+                out.push(Finding {
+                    rule: Rule::Panic,
+                    file: f.rel.clone(),
+                    line: t.line,
+                    token: "index".into(),
+                    message: "`[..]` indexing on the serving path panics when out of bounds — \
+                              use `.get(..)` or justify with `// lint: allow(panic, \"..\")`"
+                        .into(),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        analyze(&SourceFile::parse("d.rs".into(), src.into()))
+    }
+
+    #[test]
+    fn unwrap_expect_panic_index_are_flagged() {
+        let f = run(
+            "fn f(v: &[u8]) {\n  v.first().unwrap();\n  v.first().expect(\"x\");\n  \
+             panic!(\"boom\");\n  unreachable!();\n  let x = v[0];\n}\n",
+        );
+        let tokens: Vec<&str> = f.iter().map(|x| x.token.as_str()).collect();
+        assert_eq!(
+            tokens,
+            ["unwrap", "expect", "panic!", "unreachable!", "index"]
+        );
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn non_panicking_lookalikes_are_clean() {
+        let f = run("fn f(v: &[u8]) {\n  v.first().unwrap_or(&0);\n  \
+             g().unwrap_or_else(std::sync::PoisonError::into_inner);\n  let a = [0u8; 4];\n  \
+             let w = vec![1];\n}\n#[derive(Debug)]\nstruct X;\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let f = run("#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -1,0 +1,98 @@
+//! Unsafe hygiene: every `unsafe` keyword — block, fn, impl, trait —
+//! must have a `// SAFETY:` comment adjacent to it: on the same line, or
+//! in the contiguous comment block directly above (no blank line in
+//! between), stating the invariant that makes the code sound. This
+//! applies to tests too: an unjustified `unsafe` in a test harness is
+//! still an unjustified `unsafe`.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::{Finding, Rule};
+
+/// Audits one file for `unsafe` without an adjacent SAFETY comment.
+pub fn analyze(f: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    // Every line any comment touches: a SAFETY block may be several `//`
+    // lines, each a separate comment — adjacency is what makes it one
+    // block.
+    let comment_lines: BTreeSet<u32> = f
+        .comments
+        .iter()
+        .flat_map(|c| c.start_line..=c.end_line)
+        .collect();
+    for t in &f.toks {
+        if t.kind != TokKind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        let line = t.line;
+        // Walk up through the contiguous comment block ending just above
+        // this line (if any).
+        let mut top = line;
+        while top > 1 && comment_lines.contains(&(top - 1)) {
+            top -= 1;
+        }
+        let documented = f
+            .comments
+            .iter()
+            .any(|c| c.text.contains("SAFETY") && c.start_line >= top && c.start_line <= line);
+        if !documented {
+            out.push(Finding {
+                rule: Rule::Unsafe,
+                file: f.rel.clone(),
+                line,
+                token: "unsafe".into(),
+                message: "`unsafe` without an adjacent `// SAFETY:` comment — state the \
+                          invariant that makes this sound"
+                    .into(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        analyze(&SourceFile::parse("u.rs".into(), src.into()))
+    }
+
+    #[test]
+    fn undocumented_unsafe_is_flagged() {
+        let f = run("fn f() {\n  unsafe { g() }\n}\nunsafe fn g() {}\n");
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].line, 2);
+        assert_eq!(f[1].line, 4);
+    }
+
+    #[test]
+    fn safety_comment_above_or_trailing_satisfies() {
+        let f = run(
+            "fn f() {\n  // SAFETY: g has no preconditions\n  unsafe { g() }\n}\n\
+             fn h() { unsafe { g() } } // SAFETY: same line\n\
+             // SAFETY: impl-level invariant\nunsafe impl Send for X {}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn multi_line_safety_block_counts_but_detached_does_not() {
+        // A tall block of `//` lines whose first line carries the SAFETY
+        // tag documents the `unsafe` directly below it...
+        let block = run(
+            "// SAFETY: the handler is async-signal-safe — one relaxed\n\
+             // atomic swap, then `_exit`, which POSIX lists as\n\
+             // async-signal-safe and which never returns. No allocation\n\
+             // and no locks run in signal context.\n\
+             unsafe extern \"C\" fn handler(_sig: i32) {}\n",
+        );
+        assert!(block.is_empty(), "{block:?}");
+        // ...but a blank line between the comment and the `unsafe`
+        // detaches it.
+        let far = run("// SAFETY: detached\n\nunsafe fn g() {}\n");
+        assert_eq!(far.len(), 1);
+    }
+}

@@ -1,0 +1,1 @@
+//! Fixture crate whose manifest violates the dependency policy.

@@ -1,0 +1,6 @@
+//! Broken fixture: a matcher-kernel file that never references the
+//! matcher fingerprint constant, so cache keys can go stale silently.
+
+pub fn probe(x: u64) -> u64 {
+    x.trailing_zeros() as u64
+}

@@ -1,0 +1,10 @@
+//! Broken fixture: publishes with `fs::rename` but never fsyncs the
+//! temporary, so a crash can publish an empty or truncated file.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+pub fn publish(tmp: &Path, dst: &Path) -> io::Result<()> {
+    fs::rename(tmp, dst)
+}

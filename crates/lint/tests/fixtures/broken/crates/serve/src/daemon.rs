@@ -1,0 +1,19 @@
+//! Broken fixture for the panic-path audit: a bare unwrap, an indexing
+//! site with a malformed suppression, and (negative case) an unwrap
+//! inside test code that must NOT be flagged.
+
+pub fn handle(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn index(xs: &[u32]) -> u32 {
+    xs[0] // lint: allow(panic)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::handle(Some(1)), 1);
+    }
+}

@@ -1,0 +1,42 @@
+//! Clean fixture: two locks always taken in the same order, a documented
+//! `unsafe`, and a durable rename.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn bump_both(&self) {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        drop(gb);
+        drop(ga);
+    }
+
+    pub fn also_forward(&self) {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        drop(gb);
+        drop(ga);
+    }
+}
+
+// SAFETY: a tall comment block whose tag sits several lines above the
+// `unsafe` token — the analyzer must treat the contiguous run of line
+// comments as one block, not require the tag within a fixed window.
+// The pointer is non-null by the caller's contract.
+pub unsafe fn peek(p: *const u8) -> u8 {
+    *p
+}
+
+pub fn publish(tmp: &Path, dst: &Path) -> io::Result<()> {
+    let file = fs::File::open(tmp)?;
+    file.sync_all()?;
+    fs::rename(tmp, dst)
+}

@@ -1,0 +1,9 @@
+//! Clean fixture for the matcher-kernel fingerprint rule: this file
+//! stands in for the real `warm.rs` and references `MATCHER_VERSION` as
+//! the design rule requires.
+
+pub const MATCHER_VERSION: u32 = 1;
+
+pub fn fingerprint() -> u32 {
+    MATCHER_VERSION
+}

@@ -1,0 +1,16 @@
+//! Clean fixture for the panic-path audit: the only panic site carries a
+//! well-formed suppression whose reason itself contains parentheses.
+
+pub fn first(xs: &[u32]) -> u32 {
+    let head = xs.first().copied();
+    head.unwrap() // lint: allow(panic, "fixture: head is Some by xs.first() check in caller")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

@@ -168,7 +168,7 @@ impl Client {
                 }
             }
         }
-        unreachable!("the loop returns on its final attempt");
+        unreachable!("the loop returns on its final attempt"); // lint: allow(panic, "loop structure returns on attempt == max; provable locally")
     }
 }
 
