@@ -127,6 +127,11 @@ serve options (synthesis-as-a-service daemon; line-delimited JSON over TCP):
                      typed 'rejected' with retry_after_ms (default 256)
   --retry-after-ms MS
                      backoff hint attached to rejected responses (default 100)
+  --warm-max-entries N
+                     cap on resident warm-cache entries; least-recently-used
+                     entries are evicted on insert (default 0 = unbounded)
+  --warm-max-bytes B cap on approximate warm-cache bytes, e.g. 64MB
+                     (default 0 = unbounded); caps also apply to reloads
   --faults SPEC      deterministic fault injection for chaos testing, e.g.
                      panic@3,stall@1:50,conn-delay@2:20,checkpoint-abort@2
   --quiet            suppress daemon notices on stderr
@@ -137,7 +142,7 @@ serve-bench options (replay a scenario grid against a running daemon):
   --deadline-ms MS   attach a deadline to every replayed request
   --retries N        retry budget per rejected request, with exponential
                      backoff honoring the daemon's retry_after_ms (default 3)
-  --output FILE      write the JSON report to FILE (default BENCH_PR7.json)
+  --output FILE      write the JSON report to FILE (default BENCH_PR9.json)
   --quick            replay the scenario's [quick] reduced grid
 
 chaos options (drive a private daemon through a seeded fault plan and
@@ -464,6 +469,16 @@ fn serve_command(args: &[String]) -> Result<(), CliError> {
                     .parse()
                     .map_err(|e| format!("bad --retry-after-ms: {e}"))?
             }
+            "--warm-max-entries" => {
+                config.warm_limits.max_entries = take("--warm-max-entries")?
+                    .parse()
+                    .map_err(|e| format!("bad --warm-max-entries: {e}"))?
+            }
+            "--warm-max-bytes" => {
+                config.warm_limits.max_bytes = parse_size(&take("--warm-max-bytes")?)
+                    .map_err(|e| format!("bad --warm-max-bytes: {e}"))?
+                    .as_u64()
+            }
             "--faults" => {
                 config.faults = tacos_serve::FaultPlan::parse(&take("--faults")?)
                     .map_err(|e| format!("bad --faults: {e}"))?
@@ -493,12 +508,13 @@ fn serve_command(args: &[String]) -> Result<(), CliError> {
     if !quiet {
         eprintln!(
             "tacos serve: stopped after {} requests ({} cache hits, {} synthesized, \
-             {} deduplicated, {} rejected, {} worker restarts, {} checkpoints)",
+             {} deduplicated, {} rejected, {} evicted, {} worker restarts, {} checkpoints)",
             stats.requests,
             stats.cache_hits,
             stats.synthesized,
             stats.deduplicated,
             stats.rejected,
+            stats.evictions,
             stats.worker_restarts,
             stats.checkpoints
         );
@@ -514,7 +530,7 @@ fn serve_bench_command(args: &[String]) -> Result<(), CliError> {
         .first()
         .ok_or_else(|| CliError::Usage("serve-bench needs a <file.toml> trace scenario".into()))?;
     let mut config = tacos_serve::BenchConfig::default();
-    let mut output = String::from("BENCH_PR7.json");
+    let mut output = String::from("BENCH_PR9.json");
     let mut quick = false;
     let mut it = args.iter().skip(1);
     while let Some(arg) = it.next() {
@@ -576,7 +592,7 @@ fn serve_bench_command(args: &[String]) -> Result<(), CliError> {
     let report = tacos_serve::bench::run(&spec, &config).map_err(CliError::Runtime)?;
     let mut t = Table::new(vec![
         "clients", "requests", "wall s", "req/s", "p50 ms", "p95 ms", "p99 ms", "ok", "hits",
-        "dedup", "rejected", "retried", "deadline", "errors",
+        "dedup", "rejected", "retried", "deadline", "errors", "warm", "evicted",
     ]);
     if let Some(levels) = report.get("levels").and_then(Json::as_array) {
         for level in levels {
@@ -602,6 +618,8 @@ fn serve_bench_command(args: &[String]) -> Result<(), CliError> {
                 cell("retried"),
                 cell("deadline"),
                 cell("errors"),
+                cell("warm_entries"),
+                cell("evictions"),
             ]);
         }
     }

@@ -56,4 +56,4 @@ pub use error::SynthesisError;
 pub use inflight::{Flight, FlightEntry, InFlightRegistry};
 pub use scratch::SynthesisScratch;
 pub use synthesis::{SynthesisResult, Synthesizer};
-pub use warm::{LoadReport, WarmCache, WarmCacheError, WarmEntry};
+pub use warm::{LoadReport, WarmCache, WarmCacheError, WarmEntry, WarmLimits};

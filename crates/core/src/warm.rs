@@ -1,5 +1,5 @@
 //! The in-memory warm store behind `tacos serve`, with crash-safe
-//! snapshot persistence.
+//! snapshot persistence and bounded residency.
 //!
 //! [`crate::AlgorithmCache`] is a directory of per-key `.tacos` files: a
 //! batch tool's cache, paying a filesystem read and a parse per lookup.
@@ -8,6 +8,29 @@
 //! ([`WarmCache`]), written out as **one** snapshot file on shutdown or
 //! checkpoint and reloaded wholesale on start ([`WarmCache::save_to`] /
 //! [`WarmCache::load_from`]).
+//!
+//! # Sharding and eviction
+//!
+//! The cache is split into N mutex-guarded shards (shard = FNV-1a
+//! fingerprint of the key, modulo N), so concurrent inserts from the
+//! worker pool contend on 1/N of the keyspace and a checkpoint
+//! serializes shard-by-shard instead of freezing the whole map.
+//!
+//! Residency is bounded by [`WarmLimits`]: a cap on entries and/or on
+//! approximate bytes (0 = unbounded, the original behavior). The global
+//! budget is split exactly across shards; when a shard exceeds its
+//! slice, `insert` evicts that shard's least-recently-used entries until
+//! it fits again. Recency is a global atomic tick stamped on every
+//! lookup and insert — no per-access list surgery, just a min-scan of
+//! the (small) shard on the rare evicting insert. Because per-shard
+//! budgets sum to the global cap, the resident totals can never exceed
+//! the configured limits, at the cost of eviction pressure landing a
+//! little unevenly when the key distribution does.
+//!
+//! Eviction drops the cache's *reference*; callers holding the
+//! [`Arc<WarmEntry>`] that [`WarmCache::insert`] returned (the
+//! single-flight leader publishing to its followers) keep serving their
+//! handle untouched.
 //!
 //! The snapshot header records [`crate::MATCHER_VERSION`]. Cache *keys*
 //! already fold the matcher version into their hash, so a stale entry
@@ -29,13 +52,16 @@
 //! entry-count trailer. [`WarmCache::load_from`] then **salvages the
 //! valid prefix** (every entry up to the first torn or corrupt record)
 //! rather than cold-starting, and reports what it kept in a
-//! [`LoadReport`].
+//! [`LoadReport`]. Snapshots contain exactly the resident set at
+//! serialization time — evicted entries are gone from disk too — and
+//! [`WarmCache::load_from_with_limits`] re-applies the caps on reload,
+//! so a restart under a smaller budget trims rather than overshoots.
 
 use std::collections::HashMap;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, PoisonError, RwLock};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use tacos_collective::algorithm::CollectiveAlgorithm;
 use tacos_collective::export;
@@ -52,6 +78,17 @@ const SNAPSHOT_MAGIC: &str = "tacos-warm-cache v2";
 /// client `checkpoint` op, shutdown) use distinct temp files.
 static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
+/// Shard count when entry limits don't force fewer (an entry cap below
+/// this becomes the shard count, so every shard's budget is ≥ 1).
+const DEFAULT_SHARDS: u64 = 16;
+
+/// Fixed per-entry overhead charged by [`WarmCache::approx_entry_bytes`]:
+/// map slot, `Arc` + bookkeeping, algorithm container.
+const ENTRY_OVERHEAD_BYTES: u64 = 128;
+
+/// Approximate in-memory size of one schedule transfer record.
+const TRANSFER_BYTES: u64 = 72;
+
 /// One warm entry: the schedule plus the completion time the daemon
 /// measured for it (planned time for syntheses, simulated time for
 /// baselines) — kept so a warm hit re-serves the time without
@@ -64,17 +101,75 @@ pub struct WarmEntry {
     pub algo: CollectiveAlgorithm,
 }
 
-/// A thread-safe in-memory algorithm cache with hit/lookup counters and
-/// single-file snapshot persistence.
+/// Residency bounds for a [`WarmCache`]. Zero means unbounded — the
+/// default, and the cache's original behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WarmLimits {
+    /// Maximum resident entries (0 = unbounded).
+    pub max_entries: u64,
+    /// Maximum approximate resident bytes, as estimated by
+    /// [`WarmCache::approx_entry_bytes`] (0 = unbounded).
+    pub max_bytes: u64,
+}
+
+impl WarmLimits {
+    /// `true` when neither cap is set.
+    pub fn is_unbounded(&self) -> bool {
+        self.max_entries == 0 && self.max_bytes == 0
+    }
+}
+
+/// One resident entry plus its eviction bookkeeping.
+#[derive(Debug)]
+struct Resident {
+    entry: Arc<WarmEntry>,
+    /// [`WarmCache::approx_entry_bytes`] at insert time.
+    bytes: u64,
+    /// Global recency tick at the last lookup or insert.
+    last_used: u64,
+}
+
+/// The mutable interior of one shard.
+#[derive(Debug, Default)]
+struct ShardSlab {
+    entries: HashMap<String, Resident>,
+    /// Sum of `bytes` over `entries`.
+    bytes: u64,
+}
+
+/// One shard: its slab behind a mutex plus its immutable budget slice.
+/// Budgets use `u64::MAX` (not 0) as the unbounded sentinel so the
+/// eviction loop is a plain comparison.
+#[derive(Debug)]
+struct WarmShard {
+    slab: Mutex<ShardSlab>,
+    max_entries: u64,
+    max_bytes: u64,
+}
+
+/// A thread-safe, sharded, size-bounded in-memory algorithm cache with
+/// hit/miss/eviction counters and single-file snapshot persistence.
 ///
 /// Keys are the same tagged structural fingerprints
 /// [`crate::AlgorithmCache`] uses (`key_with_tag` / `key_for_generator`),
 /// so the two layers agree on identity.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct WarmCache {
-    entries: RwLock<HashMap<String, Arc<WarmEntry>>>,
+    shards: Box<[WarmShard]>,
+    limits: WarmLimits,
+    /// Global recency clock; ticks on every lookup and insert.
+    clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    resident_entries: AtomicU64,
+    resident_bytes: AtomicU64,
+}
+
+impl Default for WarmCache {
+    fn default() -> Self {
+        WarmCache::new()
+    }
 }
 
 /// What [`WarmCache::load_from`] recovered from a snapshot.
@@ -86,6 +181,10 @@ pub struct LoadReport {
     pub entries_expected: usize,
     /// Entries actually loaded and checksum-verified.
     pub entries_loaded: usize,
+    /// Verified entries evicted again immediately because the cache's
+    /// [`WarmLimits`] are smaller than the snapshot (see
+    /// [`WarmCache::load_from_with_limits`]).
+    pub entries_evicted: usize,
     /// `true` when the snapshot was torn or corrupt past the header and
     /// only the valid prefix was kept (or its trailer was missing).
     pub salvaged: bool,
@@ -95,6 +194,8 @@ pub struct LoadReport {
 
 impl LoadReport {
     /// `true` when every declared entry loaded and the trailer verified.
+    /// Cap-trimming (`entries_evicted`) does not make a load unclean —
+    /// the snapshot itself was intact.
     pub fn is_clean(&self) -> bool {
         !self.salvaged
     }
@@ -161,20 +262,106 @@ fn entry_crc(key: &str, time_ps: u64, compact: &str) -> u32 {
     crc32(format!("{key} {time_ps} {compact}").as_bytes())
 }
 
+/// FNV-1a 64 over the key bytes — the shard selector. Stable across
+/// runs, so a key always lands on the same shard of a same-shaped cache.
+fn fingerprint(key: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in key.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Splits `total` across `n` shards so the slices sum to exactly
+/// `total`: the first `total % n` shards get one extra. 0 means
+/// unbounded and maps to the `u64::MAX` sentinel.
+fn shard_budget(total: u64, index: u64, n: u64) -> u64 {
+    if total == 0 {
+        u64::MAX
+    } else {
+        total / n + u64::from(index < total % n)
+    }
+}
+
 impl WarmCache {
-    /// An empty warm cache.
+    /// An empty, unbounded warm cache (the pre-eviction behavior).
     pub fn new() -> Self {
-        WarmCache::default()
+        WarmCache::with_limits(WarmLimits::default())
     }
 
-    /// Looks up a key, counting the lookup as a hit or miss.
+    /// An empty warm cache bounded by `limits`. An entry cap below
+    /// [`DEFAULT_SHARDS`] lowers the shard count to the cap so every
+    /// shard can hold at least one entry.
+    pub fn with_limits(limits: WarmLimits) -> Self {
+        let shards = if limits.max_entries == 0 {
+            DEFAULT_SHARDS
+        } else {
+            DEFAULT_SHARDS.min(limits.max_entries)
+        };
+        WarmCache::with_shards(limits, shards)
+    }
+
+    /// Constructor with an explicit shard count — private so production
+    /// shapes stay uniform, used by tests that need a single shard to
+    /// make global LRU order deterministic.
+    fn with_shards(limits: WarmLimits, shard_count: u64) -> Self {
+        let n = shard_count.max(1);
+        let shards: Vec<WarmShard> = (0..n)
+            .map(|i| WarmShard {
+                slab: Mutex::new(ShardSlab::default()),
+                max_entries: shard_budget(limits.max_entries, i, n),
+                max_bytes: shard_budget(limits.max_bytes, i, n),
+            })
+            .collect();
+        WarmCache {
+            shards: shards.into_boxed_slice(),
+            limits,
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            resident_entries: AtomicU64::new(0),
+            resident_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured residency bounds.
+    pub fn limits(&self) -> WarmLimits {
+        self.limits
+    }
+
+    /// Approximate in-memory footprint of one entry, charged against
+    /// [`WarmLimits::max_bytes`]: key text, fixed per-entry overhead,
+    /// and the schedule's transfer + dependency records. An estimate on
+    /// purpose — the budget needs to scale with schedule size, not
+    /// account for every allocator bucket.
+    pub fn approx_entry_bytes(key: &str, entry: &WarmEntry) -> u64 {
+        let transfers = entry.algo.transfers();
+        let deps: usize = transfers.iter().map(|t| t.deps().len()).sum();
+        key.len() as u64
+            + ENTRY_OVERHEAD_BYTES
+            + transfers.len() as u64 * TRANSFER_BYTES
+            + deps as u64 * 4
+    }
+
+    fn shard_for(&self, key: &str) -> &WarmShard {
+        let index = (fingerprint(key) % self.shards.len() as u64) as usize;
+        &self.shards[index] // lint: allow(panic, "fingerprint is reduced modulo the shard count")
+    }
+
+    /// Looks up a key, counting the lookup as a hit or miss and
+    /// refreshing the entry's recency on a hit.
     pub fn get(&self, key: &str) -> Option<Arc<WarmEntry>> {
-        let found = self
-            .entries
-            .read()
-            .unwrap_or_else(PoisonError::into_inner)
-            .get(key)
-            .cloned();
+        let now = self.clock.fetch_add(1, Ordering::Relaxed);
+        let shard = self.shard_for(key);
+        let found = {
+            let mut slab = shard.slab.lock().unwrap_or_else(PoisonError::into_inner);
+            slab.entries.get_mut(key).map(|resident| {
+                resident.last_used = now;
+                Arc::clone(&resident.entry)
+            })
+        };
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -183,36 +370,72 @@ impl WarmCache {
     }
 
     /// Inserts (or replaces) an entry, returning the shared handle so
-    /// callers can publish it without a second lookup (which could miss
-    /// under a future eviction policy).
+    /// callers can publish it without a second lookup — under eviction
+    /// that second lookup could genuinely miss, so single-flight leaders
+    /// must hand this handle to their followers.
+    ///
+    /// When the insert pushes the key's shard over its entry or byte
+    /// budget, least-recently-used entries are evicted until it fits. A
+    /// single entry larger than the whole byte budget is evicted
+    /// immediately (the cap is strict); the returned handle still serves
+    /// the in-flight requests that paid for it.
     pub fn insert(&self, key: String, entry: WarmEntry) -> Arc<WarmEntry> {
         let entry = Arc::new(entry);
-        self.entries
-            .write()
-            .unwrap_or_else(PoisonError::into_inner)
-            .insert(key, Arc::clone(&entry));
+        let bytes = WarmCache::approx_entry_bytes(&key, &entry);
+        let now = self.clock.fetch_add(1, Ordering::Relaxed);
+        let shard = self.shard_for(&key);
+        {
+            let mut slab = shard.slab.lock().unwrap_or_else(PoisonError::into_inner);
+            let replaced = slab.entries.insert(
+                key,
+                Resident {
+                    entry: Arc::clone(&entry),
+                    bytes,
+                    last_used: now,
+                },
+            );
+            slab.bytes += bytes;
+            if let Some(old) = replaced {
+                slab.bytes -= old.bytes;
+                self.resident_bytes.fetch_add(bytes, Ordering::Relaxed);
+                self.resident_bytes.fetch_sub(old.bytes, Ordering::Relaxed);
+            } else {
+                self.resident_entries.fetch_add(1, Ordering::Relaxed);
+                self.resident_bytes.fetch_add(bytes, Ordering::Relaxed);
+            }
+            while slab.entries.len() as u64 > shard.max_entries || slab.bytes > shard.max_bytes {
+                let victim = slab
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, resident)| resident.last_used)
+                    .map(|(k, _)| k.clone());
+                let Some(victim) = victim else { break };
+                if let Some(gone) = slab.entries.remove(&victim) {
+                    slab.bytes -= gone.bytes;
+                    self.resident_entries.fetch_sub(1, Ordering::Relaxed);
+                    self.resident_bytes.fetch_sub(gone.bytes, Ordering::Relaxed);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
         entry
     }
 
-    /// The resident keys, sorted (snapshot order).
+    /// The resident keys, sorted (snapshot order). Locks one shard at a
+    /// time — never the whole cache.
     pub fn keys(&self) -> Vec<String> {
-        let mut keys: Vec<String> = self
-            .entries
-            .read()
-            .unwrap_or_else(PoisonError::into_inner)
-            .keys()
-            .cloned()
-            .collect();
+        let mut keys: Vec<String> = Vec::with_capacity(self.len());
+        for shard in self.shards.iter() {
+            let slab = shard.slab.lock().unwrap_or_else(PoisonError::into_inner);
+            keys.extend(slab.entries.keys().cloned());
+        }
         keys.sort();
         keys
     }
 
     /// Number of resident entries.
     pub fn len(&self) -> usize {
-        self.entries
-            .read()
-            .unwrap_or_else(PoisonError::into_inner)
-            .len()
+        self.resident_entries.load(Ordering::Relaxed) as usize
     }
 
     /// `true` when no entries are resident.
@@ -230,7 +453,40 @@ impl WarmCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Serializes every entry into the snapshot text.
+    /// Entries evicted to stay under the configured [`WarmLimits`] so
+    /// far (including entries trimmed while reloading a snapshot).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Approximate bytes of the resident set, as charged against
+    /// [`WarmLimits::max_bytes`].
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Clones out the resident set shard-by-shard — each shard lock is
+    /// held only long enough to copy its key/handle pairs, so a
+    /// checkpoint never blocks writers on the other shards and never
+    /// holds any lock while serializing or touching the filesystem.
+    fn collect_sorted(&self) -> Vec<(String, Arc<WarmEntry>)> {
+        let mut resident: Vec<(String, Arc<WarmEntry>)> = Vec::with_capacity(self.len());
+        for shard in self.shards.iter() {
+            let slab = shard.slab.lock().unwrap_or_else(PoisonError::into_inner);
+            resident.extend(
+                slab.entries
+                    .iter()
+                    .map(|(key, r)| (key.clone(), Arc::clone(&r.entry))),
+            );
+        }
+        // Deterministic order: restarts and tests see stable files.
+        resident.sort_by(|a, b| a.0.cmp(&b.0));
+        resident
+    }
+
+    /// Serializes the resident set into the snapshot text. Entries
+    /// evicted before this call are absent — the snapshot is exactly
+    /// what is resident, never a log of everything ever inserted.
     ///
     /// Format, all text:
     ///
@@ -244,25 +500,21 @@ impl WarmCache {
     /// end <count>
     /// ```
     fn serialize(&self) -> (String, usize) {
-        let entries = self.entries.read().unwrap_or_else(PoisonError::into_inner);
-        // Deterministic order: restarts and tests see stable files.
-        let mut keys: Vec<&String> = entries.keys().collect();
-        keys.sort();
+        let resident = self.collect_sorted();
         let mut out = String::new();
         out.push_str(SNAPSHOT_MAGIC);
         out.push('\n');
         out.push_str(&format!("matcher {MATCHER_VERSION}\n"));
-        out.push_str(&format!("entries {}\n", keys.len()));
-        for key in &keys {
-            let entry = &entries[*key]; // lint: allow(panic, "keys listed from this map under the same read guard")
+        out.push_str(&format!("entries {}\n", resident.len()));
+        for (key, entry) in &resident {
             let compact = export::to_compact(&entry.algo);
             let time_ps = entry.time.as_ps();
             let crc = entry_crc(key, time_ps, &compact);
             out.push_str(&format!("{key} {time_ps} {} {crc:08x}\n", compact.len()));
             out.push_str(&compact);
         }
-        out.push_str(&format!("end {}\n", keys.len()));
-        (out, keys.len())
+        out.push_str(&format!("end {}\n", resident.len()));
+        (out, resident.len())
     }
 
     /// Writes `bytes` of the serialized snapshot to a fresh temp file
@@ -309,10 +561,11 @@ impl WarmCache {
         Ok(())
     }
 
-    /// Writes every entry to one snapshot file — atomically (unique temp
-    /// file + fsync + rename + directory fsync), so a crash at any point
-    /// leaves either the previous snapshot or the new one, never a torn
-    /// file at the final path. Returns the number of entries written.
+    /// Writes the resident set to one snapshot file — atomically (unique
+    /// temp file + fsync + rename + directory fsync), so a crash at any
+    /// point leaves either the previous snapshot or the new one, never a
+    /// torn file at the final path. Returns the number of entries
+    /// written.
     ///
     /// # Errors
     /// Propagates filesystem errors.
@@ -332,7 +585,17 @@ impl WarmCache {
         Self::write_snapshot(path.as_ref(), &text, text.len() / 2, false)
     }
 
-    /// Loads a snapshot written by [`WarmCache::save_to`].
+    /// [`WarmCache::load_from_with_limits`] with no caps — the loaded
+    /// cache is unbounded, exactly the pre-eviction behavior.
+    ///
+    /// # Errors
+    /// See [`WarmCache::load_from_with_limits`].
+    pub fn load_from(path: impl AsRef<Path>) -> Result<LoadReport, WarmCacheError> {
+        Self::load_from_with_limits(path, WarmLimits::default())
+    }
+
+    /// Loads a snapshot written by [`WarmCache::save_to`] into a cache
+    /// bounded by `limits`.
     ///
     /// A snapshot with a valid header but torn or corrupt entries does
     /// **not** error: the valid prefix — every entry up to the first
@@ -341,13 +604,21 @@ impl WarmCache {
     /// `end <count>` trailer likewise marks the load salvaged (the
     /// writer never finished), while keeping everything that verified.
     ///
+    /// A snapshot larger than `limits` loads clean but trims: every
+    /// entry is still verified (so damage detection is unchanged), the
+    /// caps evict the overflow as it inserts, and the report counts the
+    /// trimmed entries in `entries_evicted`.
+    ///
     /// # Errors
     /// [`WarmCacheError::MatcherMismatch`] when the snapshot was written
     /// by a different matcher revision, [`WarmCacheError::Malformed`]
     /// when the *header* is unrecognizable (not a snapshot at all),
     /// [`WarmCacheError::Io`] for filesystem errors. All are readable
     /// one-liners; callers cold-start on any of them.
-    pub fn load_from(path: impl AsRef<Path>) -> Result<LoadReport, WarmCacheError> {
+    pub fn load_from_with_limits(
+        path: impl AsRef<Path>,
+        limits: WarmLimits,
+    ) -> Result<LoadReport, WarmCacheError> {
         let path = path.as_ref();
         let text =
             std::fs::read_to_string(path).map_err(|e| WarmCacheError::Io(path.to_path_buf(), e))?;
@@ -388,7 +659,7 @@ impl WarmCache {
 
         // Past this point nothing errors: the header proves this is one
         // of our snapshots, so damage means salvage, not cold start.
-        let cache = WarmCache::new();
+        let cache = WarmCache::with_limits(limits);
         let mut loaded = 0usize;
         let mut detail: Option<String> = None;
         while loaded < expected {
@@ -468,10 +739,12 @@ impl WarmCache {
                 }
             }
         }
+        let entries_evicted = cache.evictions() as usize;
         Ok(LoadReport {
             cache,
             entries_expected: expected,
             entries_loaded: loaded,
+            entries_evicted,
             salvaged,
             detail,
         })
@@ -493,6 +766,13 @@ mod tests {
             .synthesize(&topo, &coll)
             .unwrap()
             .into_algorithm()
+    }
+
+    fn entry(ps: u64) -> WarmEntry {
+        WarmEntry {
+            time: Time::from_ps(ps),
+            algo: algo(),
+        }
     }
 
     fn temp(tag: &str) -> PathBuf {
@@ -530,6 +810,7 @@ mod tests {
         assert!(report.is_clean(), "{:?}", report.detail);
         assert_eq!(report.entries_expected, 2);
         assert_eq!(report.entries_loaded, 2);
+        assert_eq!(report.entries_evicted, 0);
         let back = report.cache;
         assert_eq!(back.len(), 2);
         let entry = back.get("tacos-ag-0001").unwrap();
@@ -538,6 +819,7 @@ mod tests {
         assert!(back.get("missing").is_none());
         assert_eq!(back.hits(), 1);
         assert_eq!(back.misses(), 1);
+        assert_eq!(back.evictions(), 0);
         let _ = std::fs::remove_file(&path);
     }
 
@@ -703,5 +985,148 @@ mod tests {
         let err = WarmCache::load_from("/nonexistent/warm.snap").unwrap_err();
         assert!(matches!(err, WarmCacheError::Io(..)));
         assert!(err.to_string().contains("/nonexistent/warm.snap"));
+    }
+
+    #[test]
+    fn an_entry_cap_bounds_residency_and_counts_evictions() {
+        let cache = WarmCache::with_limits(WarmLimits {
+            max_entries: 3,
+            max_bytes: 0,
+        });
+        for i in 0..10 {
+            cache.insert(format!("key-{i}"), entry(i));
+        }
+        assert!(cache.len() <= 3, "resident {} > cap 3", cache.len());
+        assert!(!cache.is_empty());
+        assert_eq!(cache.evictions(), 10 - cache.len() as u64);
+        assert_eq!(cache.keys().len(), cache.len());
+        // Unbounded counterpart keeps everything.
+        let unbounded = WarmCache::new();
+        for i in 0..10 {
+            unbounded.insert(format!("key-{i}"), entry(i));
+        }
+        assert_eq!(unbounded.len(), 10);
+        assert_eq!(unbounded.evictions(), 0);
+    }
+
+    #[test]
+    fn a_byte_cap_bounds_resident_bytes() {
+        let one = WarmCache::approx_entry_bytes("key-0", &entry(0));
+        assert!(one > ENTRY_OVERHEAD_BYTES, "estimate must count transfers");
+        // Room for two entries and change, one shard so LRU is global.
+        let cache = WarmCache::with_shards(
+            WarmLimits {
+                max_entries: 0,
+                max_bytes: one * 2 + one / 2,
+            },
+            1,
+        );
+        for i in 0..6 {
+            cache.insert(format!("key-{i}"), entry(i));
+            assert!(
+                cache.resident_bytes() <= one * 2 + one / 2,
+                "resident bytes {} exceed the cap after insert {i}",
+                cache.resident_bytes()
+            );
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 4);
+        // The survivors are the most recently inserted.
+        assert!(cache.get("key-5").is_some());
+        assert!(cache.get("key-4").is_some());
+        assert!(cache.get("key-0").is_none());
+    }
+
+    #[test]
+    fn eviction_is_least_recently_used() {
+        let cache = WarmCache::with_shards(
+            WarmLimits {
+                max_entries: 2,
+                max_bytes: 0,
+            },
+            1,
+        );
+        cache.insert("a".into(), entry(1));
+        cache.insert("b".into(), entry(2));
+        // Touch "a" so "b" becomes the LRU victim.
+        assert!(cache.get("a").is_some());
+        cache.insert("c".into(), entry(3));
+        assert!(cache.get("a").is_some(), "recently-used key was evicted");
+        assert!(cache.get("b").is_none(), "LRU key should have been evicted");
+        assert!(cache.get("c").is_some());
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn a_replacing_insert_does_not_grow_residency() {
+        let cache = WarmCache::with_shards(
+            WarmLimits {
+                max_entries: 2,
+                max_bytes: 0,
+            },
+            1,
+        );
+        cache.insert("a".into(), entry(1));
+        cache.insert("a".into(), entry(2));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.get("a").unwrap().time, Time::from_ps(2));
+        let one = WarmCache::approx_entry_bytes("a", &entry(2));
+        assert_eq!(cache.resident_bytes(), one);
+    }
+
+    #[test]
+    fn the_insert_handle_outlives_eviction() {
+        // The single-flight contract: a leader's returned Arc serves its
+        // followers even if the entry is evicted before they wake.
+        let cache = WarmCache::with_shards(
+            WarmLimits {
+                max_entries: 1,
+                max_bytes: 0,
+            },
+            1,
+        );
+        let handle = cache.insert("a".into(), entry(41));
+        cache.insert("b".into(), entry(42));
+        assert!(cache.get("a").is_none(), "a should have been evicted");
+        assert_eq!(handle.time, Time::from_ps(41), "the handle still serves");
+    }
+
+    #[test]
+    fn reload_respects_smaller_limits() {
+        let cache = WarmCache::new();
+        for i in 0..5 {
+            cache.insert(format!("key-{i}"), entry(i));
+        }
+        let path = temp("capped-reload");
+        assert_eq!(cache.save_to(&path).unwrap(), 5);
+        let report = WarmCache::load_from_with_limits(
+            &path,
+            WarmLimits {
+                max_entries: 2,
+                max_bytes: 0,
+            },
+        )
+        .unwrap();
+        assert!(report.is_clean(), "cap-trimming is not damage");
+        assert_eq!(report.entries_loaded, 5, "every entry is still verified");
+        assert!(report.cache.len() <= 2);
+        assert_eq!(report.entries_evicted, 5 - report.cache.len());
+        assert_eq!(report.cache.limits().max_entries, 2);
+        // A capped save writes only the resident set.
+        assert_eq!(report.cache.save_to(&path).unwrap(), report.cache.len());
+        let reread = WarmCache::load_from(&path).unwrap();
+        assert!(reread.is_clean());
+        assert_eq!(reread.entries_expected, report.cache.len());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shard_budgets_sum_exactly_to_the_caps() {
+        for (total, n) in [(7u64, 3u64), (16, 16), (5, 16), (1, 1), (100, 7)] {
+            let sum: u64 = (0..n).map(|i| shard_budget(total, i, n)).sum();
+            assert_eq!(sum, total, "total={total} n={n}");
+        }
+        assert_eq!(shard_budget(0, 0, 4), u64::MAX, "0 means unbounded");
     }
 }

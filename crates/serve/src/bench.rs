@@ -141,6 +141,14 @@ impl LevelTally {
     }
 }
 
+/// Sorts a latency sample for percentile extraction. `total_cmp`, not
+/// `partial_cmp().expect(..)`: a single NaN latency (a clock stepping
+/// backwards mid-measurement is enough to produce one) must not abort
+/// the whole bench run. NaNs sort last, past every finite sample.
+fn sort_latencies(latencies: &mut [f64]) {
+    latencies.sort_by(f64::total_cmp);
+}
+
 /// Nearest-rank percentile of an unsorted latency sample.
 fn percentile(sorted: &[f64], pct: f64) -> f64 {
     if sorted.is_empty() {
@@ -211,12 +219,10 @@ pub fn run(spec: &ScenarioSpec, config: &BenchConfig) -> Result<Json, String> {
         })?;
         let wall_s = started.elapsed().as_secs_f64();
         let mut tally = tally.into_inner().expect("no poisoned locks");
-        tally
-            .latencies_ms
-            .sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        sort_latencies(&mut tally.latencies_ms);
         let completed = tally.latencies_ms.len() as u64;
-        levels.push(Json::obj([
-            ("concurrency", (concurrency as u64).into()),
+        let mut level = vec![
+            ("concurrency", Json::from(concurrency as u64)),
             ("requests", completed.into()),
             ("wall_s", wall_s.into()),
             (
@@ -238,7 +244,15 @@ pub fn run(spec: &ScenarioSpec, config: &BenchConfig) -> Result<Json, String> {
             ("deadline", tally.deadline.into()),
             ("errors", (tally.errors + tally.io_errors).into()),
             ("retried", tally.retried.into()),
-        ]));
+        ];
+        // Warm-cache residency after this level, straight from the
+        // daemon: how full the cache is, how much it has evicted.
+        if let Some((warm_entries, evictions, resident_bytes)) = warm_stats(&config.addr) {
+            level.push(("warm_entries", warm_entries.into()));
+            level.push(("evictions", evictions.into()));
+            level.push(("resident_bytes", resident_bytes.into()));
+        }
+        levels.push(Json::obj(level));
     }
 
     Ok(Json::obj([
@@ -249,9 +263,32 @@ pub fn run(spec: &ScenarioSpec, config: &BenchConfig) -> Result<Json, String> {
     ]))
 }
 
+/// One `stats` round trip, distilled to the warm-cache gauges recorded
+/// per level. `None` (daemon unreachable, fields missing) simply omits
+/// the gauges — the latency numbers still stand on their own.
+fn warm_stats(addr: &str) -> Option<(u64, u64, u64)> {
+    let mut client = Client::connect(addr).ok()?;
+    let stats = client.stats().ok()?;
+    Some((
+        stats.get("warm_entries")?.as_u64()?,
+        stats.get("evictions")?.as_u64()?,
+        stats.get("resident_bytes")?.as_u64()?,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn nan_latencies_sort_instead_of_panicking() {
+        let mut sample = vec![3.0, f64::NAN, 1.0, 2.0];
+        sort_latencies(&mut sample);
+        assert_eq!(&sample[..3], &[1.0, 2.0, 3.0], "finite values stay sorted");
+        assert!(sample[3].is_nan(), "NaN sorts last");
+        // Percentiles over the finite prefix stay sane.
+        assert_eq!(percentile(&sample[..3], 50.0), 2.0);
+    }
 
     #[test]
     fn percentile_is_nearest_rank() {

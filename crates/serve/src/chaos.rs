@@ -27,6 +27,11 @@
 //!    rejected with `retry_after_ms` hints, and every request finishes
 //!    `ok` within a bounded retry budget; over-cap connections get one
 //!    typed `rejected` line and the slot frees when a connection closes.
+//! 6. **Bounded residency under eviction** — a trace larger than
+//!    `--warm-max-entries` keeps the resident set at the cap (visible as
+//!    `warm_entries`/`evictions`/`resident_bytes` in `stats`), evicted
+//!    keys re-synthesize to byte-identical deterministic schedules, and
+//!    a checkpoint under eviction snapshots exactly the resident set.
 
 use std::io::BufRead;
 use std::net::TcpStream;
@@ -34,7 +39,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
-use tacos_core::WarmCache;
+use tacos_core::{WarmCache, WarmLimits};
 use tacos_report::Json;
 
 use crate::client::{Client, RetryPolicy};
@@ -161,6 +166,7 @@ pub fn run(options: &ChaosOptions) -> Result<ChaosReport, String> {
         oversized_line_phase(&mut checks)?;
         overload_phase(&mut checks)?;
         connection_cap_phase(&mut checks)?;
+        eviction_phase(&dir, &mut checks)?;
         Ok(())
     })();
     let _ = std::fs::remove_dir_all(&dir);
@@ -486,6 +492,96 @@ fn overload_phase(checks: &mut Checks) -> Result<(), String> {
         stats.rejected >= 1 && total_retries >= 1,
         "the tiny queue rejected part of the burst and retries absorbed it",
         &(stats.rejected, total_retries),
+    )?;
+    daemon.stop().map_err(|e| format!("stop: {e}"))?;
+    Ok(())
+}
+
+/// Phase 6: a capped daemon under a trace larger than its budget —
+/// residency stays bounded, evicted keys re-synthesize to identical
+/// deterministic schedules, and checkpoints persist only the resident
+/// set.
+fn eviction_phase(dir: &Path, checks: &mut Checks) -> Result<(), String> {
+    let dir = dir.join("eviction");
+    let daemon = Daemon::spawn(DaemonConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        cache_dir: Some(dir.clone()),
+        warm_limits: WarmLimits {
+            max_entries: 3,
+            max_bytes: 0,
+        },
+        quiet: true,
+        ..DaemonConfig::default()
+    })
+    .map_err(|e| format!("spawn: {e}"))?;
+    let mut client = connect(&daemon.addr().to_string())?;
+
+    // A trace of 8 distinct keys against a 3-entry cap; remember each
+    // schedule's deterministic completion time.
+    let mut times = Vec::new();
+    for i in 1..=8u64 {
+        let response = call(&mut client, &synth_line(60 + i, 300 + i))?;
+        checks.ensure(
+            status(&response) == Some("ok") && echoed_id(&response) == Some(60 + i),
+            "a trace over the cap still answers every request ok",
+            &response,
+        )?;
+        times.push(response.get("collective_time_ps").and_then(Json::as_u64));
+    }
+    let stats = client.stats().map_err(|e| format!("stats: {e}"))?;
+    let warm_entries = stats
+        .get("warm_entries")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let evictions = stats.get("evictions").and_then(Json::as_u64).unwrap_or(0);
+    checks.ensure(
+        (1..=3).contains(&warm_entries)
+            && evictions == 8 - warm_entries
+            && stats.get("resident_bytes").and_then(Json::as_u64).is_some(),
+        "residency stays at the cap and evictions are counted on the wire",
+        &stats,
+    )?;
+
+    // Every evicted key re-synthesizes to the identical schedule: the
+    // synthesis is deterministic per seed, so the completion time must
+    // match the first pass exactly.
+    for i in 1..=8u64 {
+        let redo = call(&mut client, &synth_line(70 + i, 300 + i))?;
+        checks.ensure(
+            status(&redo) == Some("ok")
+                && redo.get("collective_time_ps").and_then(Json::as_u64) == times[(i - 1) as usize],
+            "an evicted key re-synthesizes to the identical deterministic schedule",
+            &redo,
+        )?;
+    }
+    let stats = client.stats().map_err(|e| format!("stats: {e}"))?;
+    let resident = stats
+        .get("warm_entries")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    checks.ensure(
+        (1..=3).contains(&resident)
+            && stats.get("evictions").and_then(Json::as_u64).unwrap_or(0) > evictions,
+        "re-serving the trace keeps residency bounded while evictions grow",
+        &stats,
+    )?;
+
+    // A checkpoint under eviction writes exactly the resident set, and
+    // it reloads clean.
+    let cp = call(&mut client, r#"{"id":90,"op":"checkpoint"}"#)?;
+    checks.ensure(
+        status(&cp) == Some("checkpointed")
+            && cp.get("entries").and_then(Json::as_u64) == Some(resident),
+        "a checkpoint under eviction persists only the resident set",
+        &(&cp, resident),
+    )?;
+    let report = WarmCache::load_from(dir.join(SNAPSHOT_FILE))
+        .map_err(|e| format!("snapshot after eviction: {e}"))?;
+    checks.ensure(
+        report.is_clean() && report.entries_loaded as u64 == resident,
+        "the under-eviction snapshot reloads clean with only resident entries",
+        &(report.entries_loaded, report.salvaged),
     )?;
     daemon.stop().map_err(|e| format!("stop: {e}"))?;
     Ok(())

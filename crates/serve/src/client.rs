@@ -127,6 +127,12 @@ impl Client {
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}")))
     }
 
+    /// One `stats` round trip: the daemon's counter snapshot (requests,
+    /// cache hits, warm-cache residency and evictions, ...) as JSON.
+    pub fn stats(&mut self) -> io::Result<Json> {
+        self.call(r#"{"op":"stats"}"#)
+    }
+
     /// Like [`Client::call`], but retries `rejected` responses with
     /// jittered exponential backoff honoring the daemon's
     /// `retry_after_ms` hint, and reconnects once per attempt on I/O

@@ -37,7 +37,7 @@
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::{self, JoinHandle};
@@ -48,7 +48,7 @@ use tacos_collective::algorithm::CollectiveAlgorithm;
 use tacos_collective::{export::to_compact, Collective};
 use tacos_core::{
     AlgorithmCache, FlightEntry, InFlightRegistry, SynthesisScratch, Synthesizer,
-    SynthesizerConfig, WarmCache, WarmEntry,
+    SynthesizerConfig, WarmCache, WarmEntry, WarmLimits,
 };
 use tacos_scenario::{parse_pattern, parse_size, parse_topology, Mechanism};
 use tacos_sim::Simulator;
@@ -104,6 +104,10 @@ pub struct DaemonConfig {
     /// Deterministic fault-injection schedule (the `--faults` flag);
     /// empty for a real daemon.
     pub faults: FaultPlan,
+    /// Warm-cache residency bounds (`--warm-max-entries` /
+    /// `--warm-max-bytes`); zero fields mean unbounded, the original
+    /// behavior. Applied to snapshot reloads too.
+    pub warm_limits: WarmLimits,
     /// Suppress stderr notices (cache load/persist messages).
     pub quiet: bool,
 }
@@ -122,6 +126,7 @@ impl Default for DaemonConfig {
             max_connections: 256,
             retry_after_ms: 100,
             faults: FaultPlan::none(),
+            warm_limits: WarmLimits::default(),
             quiet: false,
         }
     }
@@ -253,6 +258,8 @@ impl ServerState {
             worker_restarts: c.worker_restarts.load(Ordering::Relaxed),
             checkpoints: c.checkpoints.load(Ordering::Relaxed),
             warm_entries: self.warm.len() as u64,
+            evictions: self.warm.evictions(),
+            resident_bytes: self.warm.resident_bytes(),
         }
     }
 }
@@ -272,6 +279,31 @@ pub struct DaemonHandle {
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
+/// Removes `warm.tmp.*` checkpoint debris from `dir`, returning how
+/// many files went away. Snapshot writes go to a uniquely named temp
+/// file that is only renamed over [`SNAPSHOT_FILE`] on success — a
+/// crash (or an injected `checkpoint-abort`) mid-write leaves the torn
+/// temp behind forever. Sweeping at spawn time is safe: no workers are
+/// running yet, the live snapshot never matches the temp prefix, and
+/// any concurrent daemon on the same directory would be using fresh
+/// temp names of its own (pid + sequence).
+fn sweep_checkpoint_debris(dir: &Path) -> usize {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut swept = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else {
+            continue;
+        };
+        if name.starts_with("warm.tmp.") && std::fs::remove_file(entry.path()).is_ok() {
+            swept += 1;
+        }
+    }
+    swept
+}
+
 impl Daemon {
     /// Binds the listen socket, loads any warm-cache snapshot, and
     /// starts the accept loop, worker pool, worker supervisor, and (when
@@ -285,9 +317,16 @@ impl Daemon {
         let warm = match &config.cache_dir {
             Some(dir) => {
                 std::fs::create_dir_all(dir)?;
+                let swept = sweep_checkpoint_debris(dir);
+                if swept > 0 && !config.quiet {
+                    eprintln!(
+                        "tacos serve: removed {swept} stale checkpoint temp file(s) from {}",
+                        dir.display()
+                    );
+                }
                 let path = dir.join(SNAPSHOT_FILE);
                 if path.exists() {
-                    match WarmCache::load_from(&path) {
+                    match WarmCache::load_from_with_limits(&path, config.warm_limits) {
                         Ok(report) => {
                             if !config.quiet {
                                 if report.salvaged {
@@ -301,9 +340,17 @@ impl Daemon {
                                     );
                                 } else {
                                     eprintln!(
-                                        "tacos serve: loaded {} cached algorithms from {}",
+                                        "tacos serve: loaded {} cached algorithms from {}{}",
                                         report.entries_loaded,
-                                        path.display()
+                                        path.display(),
+                                        if report.entries_evicted > 0 {
+                                            format!(
+                                                " ({} trimmed to the cache caps)",
+                                                report.entries_evicted
+                                            )
+                                        } else {
+                                            String::new()
+                                        }
                                     );
                                 }
                             }
@@ -313,14 +360,14 @@ impl Daemon {
                             if !config.quiet {
                                 eprintln!("tacos serve: {e}");
                             }
-                            WarmCache::new()
+                            WarmCache::with_limits(config.warm_limits)
                         }
                     }
                 } else {
-                    WarmCache::new()
+                    WarmCache::with_limits(config.warm_limits)
                 }
             }
-            None => WarmCache::new(),
+            None => WarmCache::with_limits(config.warm_limits),
         };
 
         let listener = TcpListener::bind(&config.addr)?;

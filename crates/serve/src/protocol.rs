@@ -227,6 +227,11 @@ pub struct StatsBody {
     pub checkpoints: u64,
     /// Entries currently in the warm cache.
     pub warm_entries: u64,
+    /// Entries evicted to stay under the warm-cache caps so far
+    /// (including entries trimmed while reloading a snapshot).
+    pub evictions: u64,
+    /// Approximate bytes of the resident warm-cache set.
+    pub resident_bytes: u64,
 }
 
 /// One response line.
@@ -315,6 +320,8 @@ impl Response {
                     ("worker_restarts", s.worker_restarts.into()),
                     ("checkpoints", s.checkpoints.into()),
                     ("warm_entries", s.warm_entries.into()),
+                    ("evictions", s.evictions.into()),
+                    ("resident_bytes", s.resident_bytes.into()),
                 ],
             ),
             Response::Pong(id) => (*id, vec![("status", "pong".into())]),

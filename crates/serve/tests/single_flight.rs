@@ -4,8 +4,9 @@
 use std::sync::Barrier;
 use std::time::Duration;
 
+use tacos_core::WarmLimits;
 use tacos_report::Json;
-use tacos_serve::{Client, Daemon, DaemonConfig};
+use tacos_serve::{Client, Daemon, DaemonConfig, FaultPlan};
 
 const CLIENTS: usize = 8;
 
@@ -67,6 +68,70 @@ fn concurrent_identical_requests_run_one_synthesis() {
     let late = client.call(request).expect("response");
     assert_eq!(late.get("cache_hit").and_then(Json::as_bool), Some(true));
     assert_eq!(handle.stats().synthesized, 1);
+
+    handle.stop().expect("clean stop");
+}
+
+#[test]
+fn dedup_survives_a_capacity_one_cache() {
+    // A one-entry cache makes two concurrent keys evict each other the
+    // moment both publish — the worst case for dedup followers, who may
+    // wake after their key is already gone. They must still be served
+    // from the leader's handle: one synthesis per key, no reruns.
+    let handle = Daemon::spawn(DaemonConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        warm_limits: WarmLimits {
+            max_entries: 1,
+            max_bytes: 0,
+        },
+        // Stall both leaders long enough for every follower to pile on.
+        faults: FaultPlan::none().with_stall(1, 250).with_stall(2, 250),
+        quiet: true,
+        ..DaemonConfig::default()
+    })
+    .expect("daemon starts");
+    let addr = handle.addr().to_string();
+
+    let request_a = r#"{"topology":"mesh:3x3","collective":"all-gather","size":"4MB"}"#;
+    let request_b = r#"{"topology":"ring:4","collective":"all-gather","size":"4MB"}"#;
+
+    let barrier = Barrier::new(CLIENTS);
+    let responses: Vec<Json> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|i| {
+                let request = if i % 2 == 0 { request_a } else { request_b };
+                let addr = &addr;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut client =
+                        Client::connect_with_retry(addr, Duration::from_secs(5)).expect("connect");
+                    barrier.wait();
+                    client.call(request).expect("response")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert!(
+        responses
+            .iter()
+            .all(|r| r.get("status").and_then(Json::as_str) == Some("ok")),
+        "every client must be served despite eviction: {responses:?}"
+    );
+    let stats = handle.stats();
+    assert_eq!(
+        stats.synthesized, 2,
+        "one synthesis per distinct key, even though each publish evicts \
+         the other key: {stats:?}"
+    );
+    assert!(stats.warm_entries <= 1, "{stats:?}");
+    assert!(
+        stats.evictions >= 1,
+        "publishing two keys into a one-entry cache must evict: {stats:?}"
+    );
+    assert_eq!(stats.errors, 0, "{stats:?}");
 
     handle.stop().expect("clean stop");
 }

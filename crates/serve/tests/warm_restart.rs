@@ -5,6 +5,7 @@
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
+use tacos_core::{WarmCache, WarmLimits};
 use tacos_report::Json;
 use tacos_serve::{Client, Daemon, DaemonConfig, SNAPSHOT_FILE};
 
@@ -84,6 +85,75 @@ fn checkpoint_persists_without_stopping() {
     assert_eq!(response.get("entries").and_then(Json::as_u64), Some(1));
     assert!(cache_dir.join(SNAPSHOT_FILE).exists());
     daemon.stop().expect("clean stop");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn a_capped_restart_trims_the_snapshot_to_the_resident_set() {
+    let cache_dir = temp_dir("capped-restart");
+
+    // Warm three distinct keys unbounded; stop persists all three.
+    let unbounded = daemon_at(&cache_dir);
+    for seed in 1..=3u64 {
+        let request = format!(
+            r#"{{"topology":"mesh:2x2","collective":"all-gather","size":"1MB","seed":{seed}}}"#
+        );
+        let response = call(&unbounded, &request);
+        assert_eq!(response.get("status").and_then(Json::as_str), Some("ok"));
+    }
+    assert_eq!(unbounded.stop().expect("clean stop"), 3);
+
+    // Restart under a one-entry cap: the reload trims to the cap and
+    // counts the trimmed entries as evictions.
+    let capped = Daemon::spawn(DaemonConfig {
+        addr: "127.0.0.1:0".into(),
+        cache_dir: Some(cache_dir.clone()),
+        warm_limits: WarmLimits {
+            max_entries: 1,
+            max_bytes: 0,
+        },
+        quiet: true,
+        ..DaemonConfig::default()
+    })
+    .expect("daemon starts");
+    let stats = capped.stats();
+    assert_eq!(stats.warm_entries, 1, "{stats:?}");
+    assert_eq!(stats.evictions, 2, "reload must trim to the cap: {stats:?}");
+    assert!(stats.resident_bytes > 0, "{stats:?}");
+
+    // Stopping writes only the resident set, which reloads clean.
+    assert_eq!(capped.stop().expect("clean stop"), 1);
+    let report = WarmCache::load_from(cache_dir.join(SNAPSHOT_FILE)).expect("snapshot parses");
+    assert!(report.is_clean(), "{report:?}");
+    assert_eq!(report.entries_loaded, 1);
+    assert_eq!(report.cache.len(), 1);
+
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn startup_sweeps_stale_checkpoint_temp_files() {
+    let cache_dir = temp_dir("debris");
+    std::fs::create_dir_all(&cache_dir).unwrap();
+    // Debris a crashed checkpoint would leave behind: the atomic-rename
+    // temp files named warm.tmp.<pid>.<seq>.
+    for name in ["warm.tmp.1234.0", "warm.tmp.1234.7"] {
+        std::fs::write(cache_dir.join(name), "torn half-written snapshot").unwrap();
+    }
+
+    let daemon = daemon_at(&cache_dir);
+    call(&daemon, REQUEST);
+    daemon.stop().expect("clean stop");
+
+    let leftovers: Vec<String> = std::fs::read_dir(&cache_dir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|name| name.starts_with("warm.tmp."))
+        .collect();
+    assert!(leftovers.is_empty(), "debris must be swept: {leftovers:?}");
+    assert!(cache_dir.join(SNAPSHOT_FILE).exists());
+
     let _ = std::fs::remove_dir_all(&cache_dir);
 }
 
