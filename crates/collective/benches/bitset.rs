@@ -3,9 +3,14 @@
 //! start parameter is a circular *bit* offset (see PERF.md on the
 //! low-bit-bias fix); the matching core runs the same kernel over
 //! ChunkMatrix rows.
+//!
+//! The `matrix` group measures the multi-word AND kernels the matcher
+//! actually runs: the block-level `rows_intersect` pre-check on hit and
+//! miss rows, and the full `pick_intersection` when the pre-check fails
+//! (the dominant stale-probe case: one early-exiting linear pass).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use tacos_collective::{ChunkId, ChunkSet};
+use tacos_collective::{ChunkId, ChunkMatrix, ChunkSet};
 
 fn bench_bitset(c: &mut Criterion) {
     let mut group = c.benchmark_group("bitset");
@@ -33,5 +38,60 @@ fn bench_bitset(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_bitset);
+fn bench_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matrix");
+    for bits in [256usize, 4096, 65536] {
+        // Row 0 holds a sparse pattern; row 1 overlaps it (hit); row 2 is
+        // disjoint (miss — the early-exit pre-check must scan every
+        // block); row 3 intersects only in the final word (worst case for
+        // the blocked scan before resolution).
+        let mut m = ChunkMatrix::new(4, bits);
+        for i in (0..bits).step_by(7) {
+            m.insert(0, ChunkId::new(i as u32));
+        }
+        for i in (0..bits).step_by(11) {
+            m.insert(1, ChunkId::new(i as u32));
+        }
+        for i in (0..bits).step_by(7) {
+            m.insert(2, ChunkId::new(i as u32 + 1));
+        }
+        m.insert(3, ChunkId::new(bits as u32 - 2));
+        m.insert(0, ChunkId::new(bits as u32 - 2));
+        group.bench_with_input(
+            BenchmarkId::new("rows_intersect_hit", bits),
+            &bits,
+            |b, _| b.iter(|| m.rows_intersect(0, 1)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rows_intersect_miss", bits),
+            &bits,
+            |b, _| b.iter(|| m.rows_intersect(0, 2)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pick_intersection_miss", bits),
+            &bits,
+            |b, _| {
+                let mut start = 0usize;
+                b.iter(|| {
+                    start = start.wrapping_add(13);
+                    m.pick_intersection(0, 2, start)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pick_intersection_last_word", bits),
+            &bits,
+            |b, _| {
+                let mut start = 0usize;
+                b.iter(|| {
+                    start = start.wrapping_add(13);
+                    m.pick_intersection(0, 3, start)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bitset, bench_matrix);
 criterion_main!(benches);

@@ -41,6 +41,135 @@ impl fmt::Display for TransferId {
     }
 }
 
+/// A transfer's dependency list, inline up to two entries.
+///
+/// Dependency lists are overwhelmingly 0–2 entries long: a scheduled
+/// TACOS transfer depends on at most the transfer that delivered its
+/// chunk to the source, plus one barrier edge when All-Reduce stitching
+/// splices Reduce-Scatter finishers onto All-Gather starters. Storing
+/// those inline means the recording path allocates **per spilled list**
+/// (rare), not per transfer — the dominant allocation of large syntheses
+/// before this type existed. Longer lists (baseline generators with
+/// fan-in dependencies) spill to an ordinary heap vector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DepList {
+    /// Up to two dependencies, no heap.
+    Inline {
+        /// The entries; only `buf[..len]` is meaningful.
+        buf: [TransferId; 2],
+        /// Number of live entries (0..=2).
+        len: u8,
+    },
+    /// Three or more dependencies.
+    Spilled(Vec<TransferId>),
+}
+
+impl DepList {
+    /// The empty list.
+    pub const fn new() -> Self {
+        DepList::Inline {
+            buf: [TransferId::new(0); 2],
+            len: 0,
+        }
+    }
+
+    /// The dependencies as a slice.
+    pub fn as_slice(&self) -> &[TransferId] {
+        match self {
+            DepList::Inline { buf, len } => &buf[..*len as usize],
+            DepList::Spilled(v) => v,
+        }
+    }
+
+    /// Number of dependencies.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// `true` if there are no dependencies.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends a dependency, spilling to the heap on the third entry.
+    pub fn push(&mut self, id: TransferId) {
+        match self {
+            DepList::Inline { buf, len } => {
+                if (*len as usize) < buf.len() {
+                    buf[*len as usize] = id;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(4);
+                    v.extend_from_slice(&buf[..]);
+                    v.push(id);
+                    *self = DepList::Spilled(v);
+                }
+            }
+            DepList::Spilled(v) => v.push(id),
+        }
+    }
+}
+
+impl Default for DepList {
+    fn default() -> Self {
+        DepList::new()
+    }
+}
+
+impl From<Vec<TransferId>> for DepList {
+    fn from(v: Vec<TransferId>) -> Self {
+        match v[..] {
+            [] => DepList::new(),
+            [a] => DepList::Inline {
+                buf: [a, TransferId::new(0)],
+                len: 1,
+            },
+            [a, b] => DepList::Inline {
+                buf: [a, b],
+                len: 2,
+            },
+            _ => DepList::Spilled(v),
+        }
+    }
+}
+
+impl From<Option<TransferId>> for DepList {
+    fn from(dep: Option<TransferId>) -> Self {
+        let mut deps = DepList::new();
+        if let Some(id) = dep {
+            deps.push(id);
+        }
+        deps
+    }
+}
+
+impl From<&[TransferId]> for DepList {
+    fn from(ids: &[TransferId]) -> Self {
+        match *ids {
+            [] => DepList::new(),
+            [a] => DepList::Inline {
+                buf: [a, TransferId::new(0)],
+                len: 1,
+            },
+            [a, b] => DepList::Inline {
+                buf: [a, b],
+                len: 2,
+            },
+            _ => DepList::Spilled(ids.to_vec()),
+        }
+    }
+}
+
+impl<const N: usize> From<[TransferId; N]> for DepList {
+    fn from(ids: [TransferId; N]) -> Self {
+        let mut deps = DepList::new();
+        for id in ids {
+            deps.push(id);
+        }
+        deps
+    }
+}
+
 /// Whether a transfer copies data or combines it into the destination's
 /// accumulator (the red vs. blue arrows of paper Fig. 5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -65,11 +194,22 @@ pub struct Transfer {
     src: NpuId,
     dst: NpuId,
     kind: TransferKind,
-    link: Option<LinkId>,
-    start: Option<Time>,
-    duration: Option<Time>,
-    deps: Vec<TransferId>,
+    // Compact schedule encoding: `Option<Time>` costs 16 bytes per field
+    // and `Option<LinkId>` 8, but mesh-scale syntheses record tens of
+    // millions of transfers, so the unscheduled case is a sentinel
+    // instead (`u32::MAX` link / `u64::MAX` picoseconds — over 200 days,
+    // unreachable for a schedule). This keeps `Transfer` at 64 bytes
+    // (down from 88); the accessors below still speak `Option`.
+    link: u32,
+    start_ps: u64,
+    duration_ps: u64,
+    deps: DepList,
 }
+
+/// Sentinel for "no physical link chosen" in [`Transfer::link`].
+const NO_LINK_RAW: u32 = u32::MAX;
+/// Sentinel for "unscheduled" in [`Transfer::start`]/[`Transfer::duration`].
+const NO_TIME_PS: u64 = u64::MAX;
 
 impl Transfer {
     /// The first base chunk of the message.
@@ -106,22 +246,22 @@ impl Transfer {
     /// chose one (TACOS always does; baselines leave routing to the
     /// simulator).
     pub fn link(&self) -> Option<LinkId> {
-        self.link
+        (self.link != NO_LINK_RAW).then(|| LinkId::new(self.link))
     }
 
     /// Scheduled start time, if any.
     pub fn start(&self) -> Option<Time> {
-        self.start
+        (self.start_ps != NO_TIME_PS).then(|| Time::from_ps(self.start_ps))
     }
 
     /// Scheduled duration, if any.
     pub fn duration(&self) -> Option<Time> {
-        self.duration
+        (self.duration_ps != NO_TIME_PS).then(|| Time::from_ps(self.duration_ps))
     }
 
     /// Scheduled completion time, if scheduled.
     pub fn end(&self) -> Option<Time> {
-        match (self.start, self.duration) {
+        match (self.start(), self.duration()) {
             (Some(s), Some(d)) => Some(s + d),
             _ => None,
         }
@@ -129,7 +269,7 @@ impl Transfer {
 
     /// Transfers that must complete before this one may begin.
     pub fn deps(&self) -> &[TransferId] {
-        &self.deps
+        self.deps.as_slice()
     }
 }
 
@@ -208,7 +348,7 @@ impl CollectiveAlgorithm {
     pub fn is_fully_scheduled(&self) -> bool {
         self.transfers
             .iter()
-            .all(|t| t.start.is_some() && t.duration.is_some() && t.link.is_some())
+            .all(|t| t.start().is_some() && t.duration().is_some() && t.link().is_some())
     }
 
     /// Groups scheduled transfers per physical link, ordered by start time.
@@ -217,12 +357,12 @@ impl CollectiveAlgorithm {
     pub fn per_link_schedule(&self) -> HashMap<LinkId, Vec<TransferId>> {
         let mut map: HashMap<LinkId, Vec<TransferId>> = HashMap::new();
         for (i, t) in self.transfers.iter().enumerate() {
-            if let (Some(link), Some(_)) = (t.link, t.start) {
+            if let (Some(link), Some(_)) = (t.link(), t.start()) {
                 map.entry(link).or_default().push(TransferId::new(i as u32));
             }
         }
         for ids in map.values_mut() {
-            ids.sort_by_key(|id| self.transfers[id.index()].start);
+            ids.sort_by_key(|id| self.transfers[id.index()].start());
         }
         map
     }
@@ -239,7 +379,7 @@ impl CollectiveAlgorithm {
             let mut prev_id = None;
             for id in ids {
                 let t = &self.transfers[id.index()];
-                let start = t.start.expect("scheduled by construction");
+                let start = t.start().expect("scheduled by construction");
                 if start < prev_end {
                     return Err(format!(
                         "link {link}: transfer {id} starts at {start} before {} ends at {prev_end}",
@@ -262,8 +402,8 @@ impl CollectiveAlgorithm {
     /// Returns a human-readable description of the first violation.
     pub fn validate_causal(&self) -> Result<(), String> {
         for (i, t) in self.transfers.iter().enumerate() {
-            let Some(start) = t.start else { continue };
-            for &dep in &t.deps {
+            let Some(start) = t.start() else { continue };
+            for &dep in t.deps.as_slice() {
                 let dep_end = self.transfers[dep.index()]
                     .end()
                     .ok_or_else(|| format!("T{i} depends on unscheduled {dep}"))?;
@@ -281,7 +421,7 @@ impl CollectiveAlgorithm {
     /// (falling back to insertion order for unscheduled algorithms).
     pub fn chunk_path(&self, chunk: ChunkId) -> Vec<(NpuId, NpuId)> {
         let mut hops: Vec<&Transfer> = self.transfers.iter().filter(|t| t.chunk == chunk).collect();
-        hops.sort_by_key(|t| t.start.unwrap_or(Time::ZERO));
+        hops.sort_by_key(|t| t.start().unwrap_or(Time::ZERO));
         hops.iter().map(|t| (t.src, t.dst)).collect()
     }
 
@@ -304,7 +444,7 @@ impl CollectiveAlgorithm {
         let mut reversed: Vec<Transfer> = Vec::with_capacity(n);
         for old in (0..n).rev() {
             let t = &self.transfers[old];
-            let start = t.start.expect("time reversal requires a schedule");
+            let start = t.start().expect("time reversal requires a schedule");
             let end = t.end().expect("time reversal requires a schedule");
             reversed.push(Transfer {
                 chunk: t.chunk,
@@ -313,15 +453,15 @@ impl CollectiveAlgorithm {
                 dst: t.src,
                 kind: TransferKind::Reduce,
                 link: t.link,
-                start: Some(total - end),
-                duration: Some(end - start),
-                deps: Vec::new(),
+                start_ps: (total - end).as_ps(),
+                duration_ps: (end - start).as_ps(),
+                deps: DepList::new(),
             });
         }
         // Invert dependency edges: old "b depends on a" becomes "a' depends
         // on b'".
         for (old_b, t) in self.transfers.iter().enumerate() {
-            for &dep_a in &t.deps {
+            for &dep_a in t.deps.as_slice() {
                 let new_a = flip(dep_a.index());
                 let new_b = flip(old_b);
                 reversed[new_a.index()].deps.push(new_b);
@@ -394,6 +534,14 @@ impl AlgorithmBuilder {
         }
     }
 
+    /// Pre-allocates room for `additional` more transfers. Generators
+    /// that know the schedule size up front (or a lower bound, e.g. the
+    /// number of unsatisfied postconditions) reserve once instead of
+    /// growing the transfer list through repeated doubling.
+    pub fn reserve_transfers(&mut self, additional: usize) {
+        self.transfers.reserve(additional);
+    }
+
     /// Number of transfers pushed so far.
     pub fn len(&self) -> usize {
         self.transfers.len()
@@ -416,9 +564,9 @@ impl AlgorithmBuilder {
         src: NpuId,
         dst: NpuId,
         kind: TransferKind,
-        deps: Vec<TransferId>,
+        deps: impl Into<DepList>,
     ) -> TransferId {
-        self.push_transfer(chunk, 1, src, dst, kind, None, None, None, deps)
+        self.push_transfer(chunk, 1, src, dst, kind, None, None, None, deps.into())
     }
 
     /// Pushes a dependency-driven *aggregated* message of `count`
@@ -434,10 +582,10 @@ impl AlgorithmBuilder {
         src: NpuId,
         dst: NpuId,
         kind: TransferKind,
-        deps: Vec<TransferId>,
+        deps: impl Into<DepList>,
     ) -> TransferId {
         assert!(count > 0, "message must carry at least one chunk");
-        self.push_transfer(chunk, count, src, dst, kind, None, None, None, deps)
+        self.push_transfer(chunk, count, src, dst, kind, None, None, None, deps.into())
     }
 
     /// Pushes a dependency-driven message pinned to a specific physical
@@ -455,10 +603,20 @@ impl AlgorithmBuilder {
         dst: NpuId,
         kind: TransferKind,
         link: LinkId,
-        deps: Vec<TransferId>,
+        deps: impl Into<DepList>,
     ) -> TransferId {
         assert!(count > 0, "message must carry at least one chunk");
-        self.push_transfer(chunk, count, src, dst, kind, Some(link), None, None, deps)
+        self.push_transfer(
+            chunk,
+            count,
+            src,
+            dst,
+            kind,
+            Some(link),
+            None,
+            None,
+            deps.into(),
+        )
     }
 
     /// Pushes a fully scheduled transfer (TACOS output).
@@ -475,7 +633,7 @@ impl AlgorithmBuilder {
         link: LinkId,
         start: Time,
         duration: Time,
-        deps: Vec<TransferId>,
+        deps: impl Into<DepList>,
     ) -> TransferId {
         self.push_transfer(
             chunk,
@@ -486,7 +644,7 @@ impl AlgorithmBuilder {
             Some(link),
             Some(start),
             Some(duration),
-            deps,
+            deps.into(),
         )
     }
 
@@ -501,24 +659,30 @@ impl AlgorithmBuilder {
         link: Option<LinkId>,
         start: Option<Time>,
         duration: Option<Time>,
-        deps: Vec<TransferId>,
+        deps: DepList,
     ) -> TransferId {
         assert!(src.index() < self.num_npus, "src {src} out of range");
         assert!(dst.index() < self.num_npus, "dst {dst} out of range");
         assert_ne!(src, dst, "transfer endpoints must differ");
         let id = TransferId::new(self.transfers.len() as u32);
-        for dep in &deps {
+        for dep in deps.as_slice() {
             assert!(dep.index() < id.index(), "dependency {dep} not yet pushed");
         }
+        debug_assert!(
+            start.is_none_or(|t| t.as_ps() != NO_TIME_PS)
+                && duration.is_none_or(|t| t.as_ps() != NO_TIME_PS)
+                && link.is_none_or(|l| l.raw() != NO_LINK_RAW),
+            "schedule value collides with the unscheduled sentinel"
+        );
         self.transfers.push(Transfer {
             chunk,
             count,
             src,
             dst,
             kind,
-            link,
-            start,
-            duration,
+            link: link.map_or(NO_LINK_RAW, LinkId::raw),
+            start_ps: start.map_or(NO_TIME_PS, Time::as_ps),
+            duration_ps: duration.map_or(NO_TIME_PS, Time::as_ps),
             deps,
         });
         id
@@ -719,6 +883,40 @@ mod tests {
             NpuId::new(1),
             TransferKind::Copy,
             vec![],
+        );
+    }
+
+    #[test]
+    fn dep_list_inlines_up_to_two_and_spills_beyond() {
+        let mut deps = DepList::new();
+        assert!(deps.is_empty());
+        assert_eq!(deps.as_slice(), &[]);
+        deps.push(TransferId::new(7));
+        deps.push(TransferId::new(9));
+        assert!(matches!(deps, DepList::Inline { len: 2, .. }));
+        assert_eq!(deps.as_slice(), &[TransferId::new(7), TransferId::new(9)]);
+        deps.push(TransferId::new(11));
+        assert!(matches!(deps, DepList::Spilled(_)));
+        assert_eq!(deps.len(), 3);
+        assert_eq!(
+            deps.as_slice(),
+            &[TransferId::new(7), TransferId::new(9), TransferId::new(11)]
+        );
+
+        // Conversions match push-built lists at every length.
+        for n in 0..5u32 {
+            let ids: Vec<TransferId> = (0..n).map(TransferId::new).collect();
+            let from_vec = DepList::from(ids.clone());
+            assert_eq!(from_vec.as_slice(), &ids[..], "len {n}");
+        }
+        assert_eq!(
+            DepList::from(Some(TransferId::new(3))).as_slice(),
+            &[TransferId::new(3)]
+        );
+        assert!(DepList::from(None).is_empty());
+        assert_eq!(
+            DepList::from([TransferId::new(1), TransferId::new(2)]).len(),
+            2
         );
     }
 

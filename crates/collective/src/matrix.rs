@@ -32,8 +32,18 @@ use crate::chunk::{ChunkId, ChunkSet};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChunkMatrix {
     words: Vec<u64>,
+    /// One bit per word of each row, set iff the word is non-zero — kept
+    /// *exact* (cleared when a word empties) so the summary-guided
+    /// kernels return precisely what a full scan would while loading
+    /// only words populated on both sides of an AND. At mesh-benchmark
+    /// scale (16K chunks = 256 words per row) a whole row's summary is
+    /// four words, so a probe against a nearly-drained needs row costs a
+    /// handful of loads instead of 256.
+    summary: Vec<u64>,
     /// Words per row (`capacity.div_ceil(64)`).
     stride: usize,
+    /// Summary words per row (`stride.div_ceil(64)`).
+    sum_stride: usize,
     /// Chunks per row.
     capacity: usize,
     rows: usize,
@@ -50,9 +60,12 @@ impl ChunkMatrix {
     /// `0..capacity`.
     pub fn new(rows: usize, capacity: usize) -> Self {
         let stride = capacity.div_ceil(64);
+        let sum_stride = stride.div_ceil(64);
         ChunkMatrix {
             words: vec![0; rows * stride],
+            summary: vec![0; rows * sum_stride],
             stride,
+            sum_stride,
             capacity,
             rows,
         }
@@ -62,10 +75,13 @@ impl ChunkMatrix {
     /// allocation whenever it is large enough.
     pub fn reset(&mut self, rows: usize, capacity: usize) {
         self.stride = capacity.div_ceil(64);
+        self.sum_stride = self.stride.div_ceil(64);
         self.capacity = capacity;
         self.rows = rows;
         self.words.clear();
         self.words.resize(rows * self.stride, 0);
+        self.summary.clear();
+        self.summary.resize(rows * self.sum_stride, 0);
     }
 
     /// Number of rows.
@@ -92,6 +108,70 @@ impl ChunkMatrix {
         &mut self.words[r * self.stride..(r + 1) * self.stride]
     }
 
+    /// The block-summary words of row `r`.
+    fn sum_row(&self, r: usize) -> &[u64] {
+        &self.summary[r * self.sum_stride..(r + 1) * self.sum_stride]
+    }
+
+    /// Hints the cache lines a [`ChunkMatrix::pick_intersection`] of rows
+    /// `ra`/`rb` starting at `start_bit` will touch first: both rows'
+    /// summary words and the data words holding `start_bit`. Callers that
+    /// know the *next* probe while executing the current one issue this to
+    /// overlap the (hash-randomized, therefore cache-hostile) row fetches
+    /// with useful work. Purely a hint — no-op on non-x86_64 targets.
+    #[inline]
+    pub fn prefetch_probe(&self, ra: usize, rb: usize, start_bit: usize) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let word = (start_bit / 64).min(self.stride.saturating_sub(1));
+            // SAFETY: `_mm_prefetch` is a pure cache hint with no memory
+            // access semantics — it cannot fault even on a wild pointer.
+            // The offsets are in-bounds anyway: `ra`/`rb` are row indices
+            // (< rows), `word < stride`, and both vecs are sized
+            // rows*stride / rows*sum_stride.
+            unsafe {
+                _mm_prefetch(
+                    self.summary.as_ptr().add(ra * self.sum_stride) as *const i8,
+                    _MM_HINT_T0,
+                );
+                _mm_prefetch(
+                    self.summary.as_ptr().add(rb * self.sum_stride) as *const i8,
+                    _MM_HINT_T0,
+                );
+                _mm_prefetch(
+                    self.words.as_ptr().add(ra * self.stride + word) as *const i8,
+                    _MM_HINT_T0,
+                );
+                _mm_prefetch(
+                    self.words.as_ptr().add(rb * self.stride + word) as *const i8,
+                    _MM_HINT_T0,
+                );
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = (ra, rb, start_bit);
+        }
+    }
+
+    /// Recomputes row `r`'s word summary from its words.
+    fn rebuild_summary(&mut self, r: usize) {
+        for si in 0..self.sum_stride {
+            let mut s = 0u64;
+            for bit in 0..64 {
+                let w = si * 64 + bit;
+                if w >= self.stride {
+                    break;
+                }
+                if self.words[r * self.stride + w] != 0 {
+                    s |= 1 << bit;
+                }
+            }
+            self.summary[r * self.sum_stride + si] = s;
+        }
+    }
+
     /// Copies `set` into row `r`.
     ///
     /// # Panics
@@ -99,6 +179,7 @@ impl ChunkMatrix {
     pub fn load_row(&mut self, r: usize, set: &ChunkSet) {
         assert_eq!(set.capacity(), self.capacity, "capacity mismatch");
         self.row_mut(r).copy_from_slice(set.as_words());
+        self.rebuild_summary(r);
     }
 
     /// Extracts row `r` as an owned [`ChunkSet`].
@@ -116,6 +197,7 @@ impl ChunkMatrix {
         let word = &mut self.words[r * self.stride + w];
         let was = *word & (1 << b) != 0;
         *word |= 1 << b;
+        self.summary[r * self.sum_stride + w / 64] |= 1 << (w % 64);
         !was
     }
 
@@ -128,6 +210,10 @@ impl ChunkMatrix {
         let word = &mut self.words[r * self.stride + w];
         let was = *word & (1 << b) != 0;
         *word &= !(1 << b);
+        if was && *word == 0 {
+            // The word emptied: the summary stays exact.
+            self.summary[r * self.sum_stride + w / 64] &= !(1 << (w % 64));
+        }
         was
     }
 
@@ -153,6 +239,7 @@ impl ChunkMatrix {
             let s = self.words[src * self.stride + w];
             self.words[dst * self.stride + w] &= !s;
         }
+        self.rebuild_summary(dst);
     }
 
     /// Copies row `src` over row `dst`.
@@ -160,13 +247,54 @@ impl ChunkMatrix {
         for w in 0..self.stride {
             self.words[dst * self.stride + w] = self.words[src * self.stride + w];
         }
+        for s in 0..self.sum_stride {
+            self.summary[dst * self.sum_stride + s] = self.summary[src * self.sum_stride + s];
+        }
     }
 
     /// Picks one chunk from `row ra ∩ row rb`, scanning circularly from bit
     /// offset `start_bit` (same semantics as
     /// [`ChunkSet::pick_intersection`]).
+    ///
+    /// The scan is dispatched on the word summaries: ANDing the two
+    /// rows' summaries (a handful of words) counts the co-populated
+    /// words up front, so an intersection with no candidate words — the
+    /// common case for a matcher probe on a link with nothing new to
+    /// offer — returns without touching the rows at all. A sparse
+    /// candidate set (the late-game shape, where one NPU's needs row is
+    /// nearly drained) is scanned summary-guided, jumping straight
+    /// between candidate words; a dense one uses the blocked linear
+    /// kernels, which are cheaper per word. The picked chunk is
+    /// identical on every path.
     pub fn pick_intersection(&self, ra: usize, rb: usize, start_bit: usize) -> Option<ChunkId> {
-        bits::pick_and(self.row(ra), self.row(rb), start_bit).map(ChunkId::new)
+        let (a, b) = (self.row(ra), self.row(rb));
+        let (sa, sb) = (self.sum_row(ra), self.sum_row(rb));
+        let cand: u32 = sa.iter().zip(sb).map(|(&x, &y)| (x & y).count_ones()).sum();
+        if cand == 0 {
+            return None;
+        }
+        if cand as usize * 3 >= self.stride {
+            if !bits::any_and(a, b) {
+                return None;
+            }
+            bits::pick_and(a, b, start_bit).map(ChunkId::new)
+        } else {
+            bits::pick_and_summary(a, b, sa, sb, start_bit).map(ChunkId::new)
+        }
+    }
+
+    /// `true` if `row ra ∩ row rb` is non-empty (the pre-check alone).
+    pub fn rows_intersect(&self, ra: usize, rb: usize) -> bool {
+        let (sa, sb) = (self.sum_row(ra), self.sum_row(rb));
+        let cand: u32 = sa.iter().zip(sb).map(|(&x, &y)| (x & y).count_ones()).sum();
+        if cand == 0 {
+            return false;
+        }
+        if cand as usize * 3 >= self.stride {
+            bits::any_and(self.row(ra), self.row(rb))
+        } else {
+            bits::any_and_summary(self.row(ra), self.row(rb), sa, sb)
+        }
     }
 
     /// Picks one chunk from `row ra \ row minus` satisfying `pred`,
@@ -179,10 +307,22 @@ impl ChunkMatrix {
         start_bit: usize,
         mut pred: impl FnMut(ChunkId) -> bool,
     ) -> Option<ChunkId> {
-        bits::pick_diff_where(self.row(ra), self.row(minus), start_bit, |bit| {
-            pred(ChunkId::new(bit))
-        })
-        .map(ChunkId::new)
+        let sa = self.sum_row(ra);
+        let cand: u32 = sa.iter().map(|&x| x.count_ones()).sum();
+        if cand == 0 {
+            return None;
+        }
+        if cand as usize * 3 >= self.stride {
+            bits::pick_diff_where(self.row(ra), self.row(minus), start_bit, |bit| {
+                pred(ChunkId::new(bit))
+            })
+            .map(ChunkId::new)
+        } else {
+            bits::pick_diff_where_summary(self.row(ra), self.row(minus), sa, start_bit, |bit| {
+                pred(ChunkId::new(bit))
+            })
+            .map(ChunkId::new)
+        }
     }
 }
 
@@ -254,6 +394,67 @@ mod tests {
                 "start {start}"
             );
         }
+    }
+
+    /// Removals that empty a whole block must keep picks exact: the
+    /// summary has to stop advertising the block, and picks through a
+    /// matrix that has churned (insert → remove → reinsert, subtract,
+    /// copy) must still agree with `ChunkSet` at every start offset.
+    #[test]
+    fn summary_stays_exact_under_churn() {
+        let capacity = 600; // 10 words: two full blocks + a 2-word tail
+        let mut m = ChunkMatrix::new(2, capacity);
+        let mut a = ChunkSet::new(capacity);
+        let mut b = ChunkSet::new(capacity);
+        for i in (0..capacity).step_by(3) {
+            m.insert(0, ChunkId::new(i as u32));
+            a.insert(ChunkId::new(i as u32));
+            m.insert(1, ChunkId::new(i as u32));
+            b.insert(ChunkId::new(i as u32));
+        }
+        // Empty row 1's middle block entirely, plus the tail.
+        for i in 256..512 {
+            m.remove(1, ChunkId::new(i));
+            b.remove(ChunkId::new(i));
+        }
+        for i in 512..600 {
+            m.remove(1, ChunkId::new(i));
+            b.remove(ChunkId::new(i));
+        }
+        for start in 0..2 * capacity {
+            assert_eq!(
+                m.pick_intersection(0, 1, start),
+                a.pick_intersection(&b, start),
+                "start {start}"
+            );
+            assert_eq!(
+                m.pick_excluding_where(0, 1, start, |c| c.raw() % 2 == 0),
+                a.pick_excluding_where(&b, start, |c| c.raw() % 2 == 0),
+                "start {start}"
+            );
+        }
+        // Fully drained row: no intersection, and reinsertion revives it.
+        for i in 0..256 {
+            m.remove(1, ChunkId::new(i));
+        }
+        assert!(!m.rows_intersect(0, 1));
+        assert_eq!(m.pick_intersection(0, 1, 17), None);
+        m.insert(1, ChunkId::new(300));
+        assert!(m.rows_intersect(0, 1));
+        assert_eq!(m.pick_intersection(0, 1, 0), Some(ChunkId::new(300)));
+        // subtract_rows and copy_rows keep the summary exact too.
+        let mut c = ChunkMatrix::new(2, capacity);
+        for i in (0..capacity).step_by(5) {
+            c.insert(0, ChunkId::new(i as u32));
+        }
+        for i in (0..capacity).step_by(10) {
+            c.insert(1, ChunkId::new(i as u32));
+        }
+        c.subtract_rows(0, 1);
+        assert_eq!(c.pick_intersection(0, 1, 0), None);
+        c.copy_rows(0, 1);
+        assert_eq!(c.row_to_set(0), c.row_to_set(1));
+        assert!(c.rows_intersect(0, 1));
     }
 
     #[test]

@@ -5,7 +5,11 @@
 //!   postcondition on FullyConnected, isolating the probe loop.
 //! * `mesh_allgather` — the multi-round 2D-mesh shape the
 //!   `scenarios/bench_matching.toml` perf scenario scales up, exercising
-//!   span-local pruning and the free-link worklist.
+//!   the event-driven wake index; the `1024` point is the 32x32-mesh
+//!   scale the BENCH protocol measures end to end.
+//! * `round_protocol` — the event-driven round against the
+//!   scan-every-free-link reference oracle on the same problem: the
+//!   integer-factor gap is the wake index's win.
 //! * `scratch` — the same synthesis with a cold (per-call) vs reused
 //!   [`tacos_core::SynthesisScratch`], measuring what the arena saves.
 
@@ -47,14 +51,17 @@ fn bench_matching(c: &mut Criterion) {
             },
         );
     }
-    for side in [8usize, 16] {
+    // 32x32 (1024 NPUs) is the scale the event-driven claim is about;
+    // chunking drops to 1 there to keep a criterion sample affordable
+    // (the full-chunking end-to-end number is the scenario's job).
+    for (side, chunking) in [(8usize, 4usize), (16, 4), (32, 1)] {
         let n = side * side;
         let topo = Topology::mesh_2d(side, side, default_spec()).unwrap();
         let coll = Collective::with_chunking(
             CollectivePattern::AllGather,
             n,
-            4,
-            ByteSize::mb(4 * n as u64),
+            chunking,
+            ByteSize::mb((chunking * n) as u64),
         )
         .unwrap();
         group.bench_with_input(BenchmarkId::new("mesh_allgather", n), &n, |b, _| {
@@ -68,6 +75,40 @@ fn bench_matching(c: &mut Criterion) {
             })
         });
     }
+    group.finish();
+
+    // The event-driven round vs the scan-every-free-link oracle, same
+    // problem and seeds: byte-identical schedules, so the gap is purely
+    // the wake index (plus the oracle's per-probe ChunkSet extraction).
+    let mut group = c.benchmark_group("round_protocol");
+    group.sample_size(10);
+    let topo = Topology::mesh_2d(8, 8, default_spec()).unwrap();
+    let coll =
+        Collective::with_chunking(CollectivePattern::AllGather, 64, 4, ByteSize::mb(256)).unwrap();
+    group.bench_with_input(BenchmarkId::new("event_driven", 64), &64, |b, _| {
+        let synth = synth();
+        let mut scratch = SynthesisScratch::new();
+        b.iter(|| {
+            synth
+                .synthesize_with(&topo, &coll, &mut scratch)
+                .unwrap()
+                .num_transfers()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("reference_scan", 64), &64, |b, _| {
+        let synth = Synthesizer::new(
+            SynthesizerConfig::default()
+                .with_record_transfers(false)
+                .with_reference_matching(true),
+        );
+        let mut scratch = SynthesisScratch::new();
+        b.iter(|| {
+            synth
+                .synthesize_with(&topo, &coll, &mut scratch)
+                .unwrap()
+                .num_transfers()
+        })
+    });
     group.finish();
 
     let mut group = c.benchmark_group("scratch");

@@ -20,12 +20,15 @@ use crate::synthesis::Synthesizer;
 /// synthesis cache key: the same (topology, collective, seed) produces a
 /// different schedule across matcher revisions, so entries from older
 /// builds must not hit. 2 = PR 2's zero-allocation matching core.
+/// 3 = event-driven matching's round RNG protocol: a round draws one salt
+/// and sorts the worklist by salted hash instead of shuffling it, so
+/// seeded schedules differ from version 2 (see PERF.md).
 ///
 /// Public because persisted cache containers record it in their headers
 /// (see [`crate::WarmCache`]): a snapshot written by a different matcher
 /// revision is rejected wholesale at load with a readable error instead
 /// of being carried as unreachable dead weight.
-pub const MATCHER_VERSION: u64 = 2;
+pub const MATCHER_VERSION: u64 = 3;
 
 /// A directory of cached `.tacos` schedules.
 ///

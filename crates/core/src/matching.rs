@@ -13,9 +13,7 @@
 //! a word-wise bitset AND, which is what keeps end-to-end synthesis on the
 //! O(n²) trend of paper Fig. 19.
 //!
-//! # The allocation-free hot path
-//!
-//! Three structural choices keep [`MatchState::run_round`] off the heap:
+//! # The event-driven, allocation-free hot path
 //!
 //! Matching semantics feed the persisted warm cache's fingerprint: any
 //! behavioral change here (pick order, tie-breaking, cost priority) must
@@ -23,32 +21,44 @@
 //! rejected rather than silently served. `tacos lint` enforces that this
 //! file at least mentions the constant.
 //!
+//! Three structural choices keep [`MatchState::run_round`] off the heap
+//! *and* off the full link population:
+//!
 //! * **SoA chunk state** — `holds`, `needs`, and the relay `seen` sets
 //!   live as rows of one [`ChunkMatrix`], so a probe ANDs two slices of
 //!   the same flat buffer instead of chasing per-NPU `ChunkSet`
 //!   allocations.
-//! * **Free-link worklist** — the state maintains the set of
-//!   currently-free links incrementally (links leave when occupied,
-//!   re-enter on their arrival event) instead of scanning every link and
-//!   asking the TEN `is_free` per probe.
-//! * **Span-local probe pruning** — `holds(src)` only grows at arrival
-//!   events and `needs(dst)` / `seen(dst)` only shrink/grow monotonically
-//!   in ways that cannot create new candidates, so a link whose probe came
-//!   back empty stays empty until a chunk *arrives at its source*. Such
-//!   links are marked stale and skipped until an arrival at their source
-//!   NPU re-freshens them ([`MatchState::apply_arrival`]).
+//! * **Event-driven wake index** — every link is in exactly one of three
+//!   states: *awake* (in this round's worklist), *stale* (threaded onto
+//!   its source NPU's intrusive stale list), or *occupied* (in flight).
+//!   A round drains the awake list; each processed link either matches
+//!   (occupied — its own arrival wakes it) or probes empty (stale). An
+//!   arrival wakes its carrying link plus the destination NPU's entire
+//!   stale list — exactly the links whose probe result could have
+//!   changed. No per-round pass over the full link population exists.
+//! * **Span-local staleness** — the wake index is sound because
+//!   `holds(src)` only grows at arrival events and `needs(dst)` /
+//!   `seen(dst)` only shrink/grow monotonically in ways that cannot
+//!   create new candidates, so a link whose probe came back empty stays
+//!   empty until a chunk *arrives at its source*
+//!   ([`MatchState::apply_arrival`]).
 //!
-//! Pruned probes must not perturb the random stream (otherwise pruning
-//! would change schedules): a round draws one RNG salt and derives each
-//! link's probe offset by hashing the salt with the link id, so skipping a
-//! doomed probe consumes nothing. [`MatchState::run_round_reference`]
-//! keeps the straightforward scan-every-free-link form (probing through
-//! [`ChunkSet`], the pre-SoA representation) as an oracle: for any seed it
-//! must produce byte-identical schedules, which the determinism proptests
-//! assert.
+//! Skipping stale links must not perturb the random stream (otherwise
+//! the wake index would change schedules): a round draws exactly **one**
+//! RNG salt, orders its worklist by the salted per-link hash
+//! (`probe_hash`, with link cost as the leading key on heterogeneous
+//! prioritized fabrics), and derives each link's probe offset from the
+//! same hash. Because sorting preserves subset order, the awake list
+//! probes in the identical relative order the full free-link list would,
+//! and an absent (stale) link consumes nothing from the stream.
+//! [`MatchState::run_round_reference`] keeps the straightforward
+//! scan-every-free-link form (probing through [`ChunkSet`], the pre-SoA
+//! representation) as an oracle: for any seed it must produce
+//! byte-identical schedules, and it additionally asserts the wake-set
+//! invariant (awake == free ∧ non-stale) every round; the determinism
+//! proptests drive both.
 
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
 use rand::Rng;
 
 use tacos_collective::algorithm::{AlgorithmBuilder, TransferId, TransferKind};
@@ -58,6 +68,17 @@ use tacos_topology::{LinkId, NpuId, Topology};
 
 /// Sentinel for "chunk was initially held; no providing transfer".
 const NO_PROVIDER: u32 = u32::MAX;
+
+/// Sentinel link index terminating an intrusive stale list.
+const NO_LINK: u32 = u32::MAX;
+
+/// Sentinel for "this NPU is nobody's relay target" in
+/// [`RelayInfo::row_of`].
+const ROW_NONE: u32 = u32::MAX;
+
+/// Provisional mark used while counting distinct targets in
+/// [`RelayInfo::new`], before rows are assigned.
+const ROW_MARK: u32 = u32::MAX - 1;
 
 /// Derives a link's probe hash from the round salt without consuming
 /// per-probe RNG (SplitMix64-style mix). Pruned probes must not shift the
@@ -71,6 +92,16 @@ fn probe_hash(salt: u64, link: LinkId) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Platform-independent probe offset: reduces the 64-bit hash into the
+/// row's bit domain `[0, bits)` with a multiply-shift (Lemire's fastrange)
+/// instead of a hardware divide — this runs once per probed link per
+/// round, and 64-bit division is the single most expensive scalar op on
+/// the hot path. The u128 arithmetic is exact on 32- and 64-bit targets
+/// alike, so schedules stay platform-independent.
+fn probe_bit(hash: u64, bits: u64) -> u32 {
+    ((u128::from(hash) * u128::from(bits)) >> 64) as u32
+}
+
 /// Relay routing support for collectives with **sparse postconditions**
 /// (All-to-All, Gather, Scatter) — an extension beyond the paper, whose
 /// matching only moves chunks toward NPUs that want them and therefore
@@ -81,9 +112,16 @@ fn probe_hash(salt: u64, link: LinkId) -> u64 {
 pub(crate) struct RelayInfo {
     /// `target[chunk]` = the final destination NPU.
     target: Vec<u32>,
-    /// `dist[v][t]` = directed hop distance from `v` to `t` (`u16::MAX` if
-    /// unreachable), computed by reverse BFS from each distinct target.
-    dist: Vec<Vec<u16>>,
+    /// `row_of[npu]` = index of that NPU's row in `dist` when it is some
+    /// chunk's final destination, [`ROW_NONE`] otherwise. Rows exist only
+    /// for **distinct** targets: a Gather allocates one row, not `n`.
+    row_of: Vec<u32>,
+    /// Row-compact distance table in one contiguous buffer, one
+    /// `num_npus`-wide row per distinct target (ascending target id):
+    /// `dist[row * num_npus + v]` = directed hop distance from `v` to the
+    /// row's target (`u16::MAX` if unreachable), computed by reverse BFS.
+    dist: Vec<u16>,
+    num_npus: usize,
     /// Fingerprint of the topology the distances were computed on, so a
     /// cached `RelayInfo` is only reused for the identical network
     /// (best-of-N attempts re-synthesize the same problem).
@@ -101,35 +139,51 @@ pub(crate) fn topo_fingerprint(topo: &Topology) -> u64 {
 }
 
 impl RelayInfo {
-    /// Builds relay metadata from per-chunk destinations.
+    /// Builds relay metadata from per-chunk destinations. The distance
+    /// table is sized by the number of **distinct** targets, not `n²`: a
+    /// Gather fills one row; All-Gather-shaped patterns never get here at
+    /// all (dense postconditions synthesize without relay metadata).
     pub(crate) fn new(topo: &Topology, target: Vec<u32>) -> Self {
         let n = topo.num_npus();
-        // dist[v][t]: reverse BFS from every distinct target.
-        let mut dist = vec![vec![u16::MAX; n]; n];
-        let distinct: std::collections::BTreeSet<u32> = target.iter().copied().collect();
-        for &t in &distinct {
-            let row: Vec<u16> = {
-                let mut d = vec![u16::MAX; n];
-                d[t as usize] = 0;
-                let mut queue = std::collections::VecDeque::from([t as usize]);
-                while let Some(v) = queue.pop_front() {
-                    for &lid in topo.in_links(NpuId::new(v as u32)) {
-                        let u = topo.link(lid).src().index();
-                        if d[u] == u16::MAX {
-                            d[u] = d[v] + 1;
-                            queue.push_back(u);
-                        }
+        let mut row_of = vec![ROW_NONE; n];
+        let mut rows = 0usize;
+        for &t in &target {
+            if row_of[t as usize] == ROW_NONE {
+                row_of[t as usize] = ROW_MARK;
+                rows += 1;
+            }
+        }
+        // Assign rows in ascending target order (deterministic layout,
+        // shared by the scratch BFS cache key), then fill each row in
+        // place by reverse BFS from its target.
+        let mut dist = vec![u16::MAX; rows * n];
+        let mut queue = std::collections::VecDeque::new();
+        let mut row = 0usize;
+        for t in 0..n {
+            if row_of[t] != ROW_MARK {
+                continue;
+            }
+            row_of[t] = row as u32;
+            let d = &mut dist[row * n..(row + 1) * n];
+            d[t] = 0;
+            queue.clear();
+            queue.push_back(t);
+            while let Some(v) = queue.pop_front() {
+                for &lid in topo.in_links(NpuId::new(v as u32)) {
+                    let u = topo.link(lid).src().index();
+                    if d[u] == u16::MAX {
+                        d[u] = d[v] + 1;
+                        queue.push_back(u);
                     }
                 }
-                d
-            };
-            for v in 0..n {
-                dist[v][t as usize] = row[v];
             }
+            row += 1;
         }
         RelayInfo {
             target,
+            row_of,
             dist,
+            num_npus: n,
             topo_fingerprint: topo_fingerprint(topo),
         }
     }
@@ -141,8 +195,9 @@ impl RelayInfo {
     }
 
     fn moves_closer(&self, chunk: usize, src: NpuId, dst: NpuId) -> bool {
-        let t = self.target[chunk] as usize;
-        self.dist[dst.index()][t] < self.dist[src.index()][t]
+        let row = self.row_of[self.target[chunk] as usize] as usize;
+        let d = &self.dist[row * self.num_npus..(row + 1) * self.num_npus];
+        d[dst.index()] < d[src.index()]
     }
 }
 
@@ -168,8 +223,27 @@ pub(crate) struct MatchState {
     /// tracking is disabled.
     provider: Vec<u32>,
     unsatisfied: usize,
-    /// Links free at the TEN's current time (the worklist): occupied links
-    /// leave in `run_round`, arrivals re-add theirs in `apply_arrival`.
+    /// The event-driven worklist: links whose probe result could have
+    /// changed since they last probed empty. A round drains this list;
+    /// arrivals push re-freshened links back ([`MatchState::wake`]).
+    awake: Vec<LinkId>,
+    /// Membership flag per link, guaranteeing `awake` never holds
+    /// duplicates (a zero-cost link's arrival fires in the same span it
+    /// was occupied, and an arrival wakes both the carrying link and the
+    /// destination's stale list, which may overlap).
+    in_awake: Vec<bool>,
+    /// Head of each NPU's intrusive stale list ([`NO_LINK`] when empty):
+    /// the outgoing links of that NPU whose last probe came back empty.
+    /// An arrival at the NPU drains the whole list back into `awake` —
+    /// exactly the links the arrival could have re-enabled.
+    stale_head: Vec<u32>,
+    /// Intrusive list links: `stale_next[link]` = next stale link out of
+    /// the same source NPU ([`NO_LINK`] terminates).
+    stale_next: Vec<u32>,
+    /// Reference-mode (oracle) bookkeeping only — maintained when
+    /// `reference` is set, otherwise untouched after reset:
+    /// links free at the TEN's current time (occupied links leave at the
+    /// end-of-round sweep, arrivals re-add theirs).
     free: Vec<LinkId>,
     /// Worklist membership flag per link, guaranteeing `free` never holds
     /// duplicates. Membership cannot be inferred from `ten.is_free` alone:
@@ -178,10 +252,24 @@ pub(crate) struct MatchState {
     /// it.
     in_free: Vec<bool>,
     /// `false` once a link's probe came back empty: it cannot match again
-    /// until an arrival at its source grows `holds(src)`.
+    /// until an arrival at its source grows `holds(src)`. Redundant with
+    /// stale-list membership in the optimized path; the reference round
+    /// uses it to assert the wake-set invariant (`awake` == free ∧ fresh).
     fresh: Vec<bool>,
-    /// Scratch: this round's shuffled free-link order.
-    order: Vec<LinkId>,
+    /// `true` when the oracle free-list/fresh bookkeeping is maintained
+    /// and [`MatchState::run_round_reference`] may run. Kept off on the
+    /// hot path: without the end-of-round sweep the legacy `free` list
+    /// would accumulate duplicates unboundedly.
+    reference: bool,
+    /// Scratch: this round's sorted worklist, each link paired with its
+    /// probe start bit (derived from the same salted hash as the sort
+    /// key, so the probe loop never re-hashes).
+    order: Vec<(LinkId, u32)>,
+    /// Scratch: packed sort keys for the round order. The salted hash is
+    /// computed once per link and packed next to the tie-breaking raw id
+    /// (plus the link cost on heterogeneous fabrics), so the sort never
+    /// re-derives a key inside a comparison.
+    order_keys: Vec<u128>,
     /// Relay routing for sparse-postcondition patterns.
     relay: Option<RelayInfo>,
 }
@@ -195,12 +283,14 @@ impl MatchState {
         collective: &Collective,
         track_deps: bool,
         with_relay: bool,
+        reference: bool,
     ) {
         let n = topo.num_npus();
         let num_chunks = collective.num_chunks();
         self.num_npus = n;
         self.num_chunks = num_chunks;
         self.relay = None;
+        self.reference = reference;
         self.matrix
             .reset(if with_relay { 3 * n } else { 2 * n }, num_chunks);
         self.unsatisfied = 0;
@@ -216,15 +306,28 @@ impl MatchState {
         if track_deps {
             self.provider.resize(n * num_chunks, NO_PROVIDER);
         }
+        let links = topo.num_links();
+        // Every link starts awake with an empty stale list.
+        self.awake.clear();
+        self.awake.extend((0..links as u32).map(LinkId::new));
+        self.in_awake.clear();
+        self.in_awake.resize(links, true);
+        self.stale_head.clear();
+        self.stale_head.resize(n, NO_LINK);
+        self.stale_next.clear();
+        self.stale_next.resize(links, NO_LINK);
         self.free.clear();
-        self.free
-            .extend((0..topo.num_links() as u32).map(LinkId::new));
         self.in_free.clear();
-        self.in_free.resize(topo.num_links(), true);
         self.fresh.clear();
-        self.fresh.resize(topo.num_links(), true);
+        if reference {
+            self.free.extend((0..links as u32).map(LinkId::new));
+            self.in_free.resize(links, true);
+            self.fresh.resize(links, true);
+        }
         self.order.clear();
-        self.order.reserve(topo.num_links());
+        self.order.reserve(links);
+        self.order_keys.clear();
+        self.order_keys.reserve(links);
     }
 
     /// Test constructor from explicit per-NPU pre/postconditions.
@@ -255,6 +358,12 @@ impl MatchState {
         if track_deps {
             state.provider.resize(n * num_chunks, NO_PROVIDER);
         }
+        state.awake.extend((0..num_links as u32).map(LinkId::new));
+        state.in_awake.resize(num_links, true);
+        state.stale_head.resize(n, NO_LINK);
+        state.stale_next.resize(num_links, NO_LINK);
+        // Unit tests exercise both the optimized and the oracle round.
+        state.reference = true;
         state.free.extend((0..num_links as u32).map(LinkId::new));
         state.in_free.resize(num_links, true);
         state.fresh.resize(num_links, true);
@@ -315,44 +424,128 @@ impl MatchState {
 
     /// Registers a chunk arrival: the destination now *holds* the chunk and
     /// may forward it in subsequent time spans, the carrying link is free
-    /// again, and the destination's outgoing links may match anew.
+    /// again, and the destination's outgoing stale links may match anew.
+    ///
+    /// This is the event side of the wake index: the arrival wakes exactly
+    /// the carrying link (free again) plus the destination NPU's stale
+    /// list (`holds(dst)` grew, so their probes may be non-empty now).
+    /// Every other link's probe result is provably unchanged.
     pub(crate) fn apply_arrival(&mut self, topo: &Topology, arrival: &Arrival) {
         self.matrix.insert(arrival.dst.index(), arrival.chunk);
-        if !self.in_free[arrival.link.index()] {
-            self.in_free[arrival.link.index()] = true;
-            self.free.push(arrival.link);
-        }
-        // `holds(dst)` grew: links out of `dst` can probe non-empty again.
-        for &out in topo.out_links(arrival.dst) {
-            self.fresh[out.index()] = true;
+        self.wake(arrival.link);
+        self.drain_stale(arrival.dst);
+        if self.reference {
+            // Oracle bookkeeping: the scan-everything round re-derives
+            // what the wake index tracks incrementally.
+            if !self.in_free[arrival.link.index()] {
+                self.in_free[arrival.link.index()] = true;
+                self.free.push(arrival.link);
+            }
+            for &out in topo.out_links(arrival.dst) {
+                self.fresh[out.index()] = true;
+            }
         }
     }
 
-    /// Shuffles the free-link worklist into `self.order` and draws the
-    /// round's probe salt. Shared by the optimized and reference rounds so
-    /// both consume the identical RNG stream.
-    fn begin_round(&mut self, ten: &ExpandingTen, rng: &mut StdRng, prefer_cheap: bool) -> u64 {
+    /// Puts `link` on the next round's worklist (idempotent).
+    fn wake(&mut self, link: LinkId) {
+        if !self.in_awake[link.index()] {
+            self.in_awake[link.index()] = true;
+            self.awake.push(link);
+        }
+    }
+
+    /// Threads `link` onto its source NPU's stale list after an empty
+    /// probe. The link stays off the worklist until an arrival at `src`
+    /// drains the list.
+    fn push_stale(&mut self, link: LinkId, src: NpuId) {
+        self.stale_next[link.index()] = self.stale_head[src.index()];
+        self.stale_head[src.index()] = link.raw();
+    }
+
+    /// Wakes every stale link out of `npu` (an arrival there grew
+    /// `holds(npu)`, re-enabling exactly these probes).
+    fn drain_stale(&mut self, npu: NpuId) {
+        let mut head = self.stale_head[npu.index()];
+        self.stale_head[npu.index()] = NO_LINK;
+        while head != NO_LINK {
+            let link = LinkId::new(head);
+            head = self.stale_next[link.index()];
+            self.stale_next[link.index()] = NO_LINK;
+            self.wake(link);
+        }
+    }
+
+    /// Draws the round's probe salt and sorts the round's worklist (the
+    /// awake list, or the full free list in the oracle) into `self.order`.
+    /// Shared by the optimized and reference rounds so both consume the
+    /// identical RNG stream: exactly **one** draw per round, independent
+    /// of worklist size.
+    ///
+    /// Ordering by the salted per-link hash gives the paper's random
+    /// fairness across links; on heterogeneous fabrics with
+    /// prioritization, cheaper links go first with ties broken by the
+    /// same hash (§IV-F). The sort key is a total order (cost, salted
+    /// hash, link id), so the allocation-free unstable sort is
+    /// deterministic across sort-algorithm and toolchain changes — and,
+    /// critically, sorting preserves subset order: the awake list probes
+    /// in the identical relative order the full free list would, which is
+    /// what makes the wake index schedule-invisible.
+    fn begin_round(
+        &mut self,
+        ten: &ExpandingTen,
+        rng: &mut StdRng,
+        prefer_cheap: bool,
+        from_free: bool,
+    ) {
+        let salt: u64 = rng.gen();
+        let bits = (self.matrix.stride() * 64).max(1) as u64;
+        let source = if from_free { &self.free } else { &self.awake };
+        // Pack each link's sort key into one integer up front: the round
+        // sorts thousands of links every span, and a by-key sort would
+        // re-hash inside every comparison. Uniform fabrics order by
+        // `(hash, raw)` — `hash` in the high 64 bits, the tie-breaking
+        // raw id in the next 32, and the precomputed probe start bit
+        // riding in the low 32 (a pure function of the hash, so it never
+        // influences the order). Heterogeneous fabrics prepend the link
+        // cost and keep the hash's high 32 bits: `(cost, hash>>32, raw)`.
+        let mut keys = std::mem::take(&mut self.order_keys);
+        keys.clear();
         let mut order = std::mem::take(&mut self.order);
         order.clear();
-        order.extend_from_slice(&self.free);
-        // Random order maximizes fairness across links (the paper's random
-        // postcondition selection); on heterogeneous fabrics with
-        // prioritization, cheaper links go first with ties broken by the
-        // round-salted hash (§IV-F). The sort key is a total order
-        // (cost, salted hash, link id), so the allocation-free unstable
-        // sort is deterministic across sort-algorithm and toolchain
-        // changes, ties stay random round-to-round, and a pre-sort
-        // shuffle would be dead work — randomness comes from the salt.
-        let sort_by_cost = prefer_cheap && !ten.uniform_cost();
-        if !sort_by_cost {
-            order.shuffle(rng);
-        }
-        let salt: u64 = rng.gen();
-        if sort_by_cost {
-            order.sort_unstable_by_key(|&l| (ten.link_cost(l), probe_hash(salt, l), l.raw()));
+        if prefer_cheap && !ten.uniform_cost() {
+            keys.extend(source.iter().map(|&l| {
+                ((ten.link_cost(l).as_ps() as u128) << 64)
+                    | (((probe_hash(salt, l) >> 32) as u128) << 32)
+                    | l.raw() as u128
+            }));
+            keys.sort_unstable();
+            order.extend(keys.iter().map(|&k| {
+                let link = LinkId::new(k as u32);
+                (link, probe_bit(probe_hash(salt, link), bits))
+            }));
+        } else {
+            keys.extend(source.iter().map(|&l| {
+                let hash = probe_hash(salt, l);
+                ((hash as u128) << 64) | ((l.raw() as u128) << 32) | probe_bit(hash, bits) as u128
+            }));
+            keys.sort_unstable();
+            order.extend(
+                keys.iter()
+                    .map(|&k| (LinkId::new((k >> 32) as u32), k as u32)),
+            );
         }
         self.order = order;
-        salt
+        self.order_keys = keys;
+    }
+
+    /// Empties the awake list (links re-enter via [`MatchState::wake`]).
+    /// Called once per round after `self.order` snapshots the list.
+    fn clear_awake(&mut self) {
+        for &l in &self.awake {
+            self.in_awake[l.index()] = false;
+        }
+        self.awake.clear();
     }
 
     /// Records one link–chunk match: postcondition bookkeeping, TEN
@@ -370,9 +563,11 @@ impl MatchState {
         transfers_out: &mut u64,
     ) {
         let n = self.num_npus;
-        // The link leaves the worklist at the end-of-round sweep; its
-        // arrival event re-adds it.
-        self.in_free[link.index()] = false;
+        if self.reference {
+            // The link leaves the oracle free list at the end-of-round
+            // sweep; its arrival event re-adds it.
+            self.in_free[link.index()] = false;
+        }
         // Mark the postcondition satisfied and put the chunk in flight
         // (paper Fig. 8c).
         if self.matrix.remove(n + dst.index(), chunk) {
@@ -385,7 +580,8 @@ impl MatchState {
         let arrive = ten.occupy(link, chunk);
         *transfers_out += 1;
         if let Some(b) = builder.as_deref_mut() {
-            let deps: Vec<TransferId> = self.provider_of(src, chunk.index()).into_iter().collect();
+            // `Option<TransferId>` converts to an inline `DepList` — the
+            // recording path allocates nothing per transfer.
             let id = b.push_scheduled(
                 chunk,
                 src,
@@ -394,7 +590,7 @@ impl MatchState {
                 link,
                 start,
                 arrive - start,
-                deps,
+                self.provider_of(src, chunk.index()),
             );
             self.set_provider(dst, chunk.index(), id);
         }
@@ -407,9 +603,10 @@ impl MatchState {
     /// transfer whose dependency is the transfer that delivered the chunk
     /// to the source (empty for precondition chunks).
     ///
-    /// This is the zero-allocation form: with recording disabled it
-    /// touches the heap only through pre-reserved buffers (asserted by the
-    /// `zero_alloc` integration test).
+    /// This is the event-driven, zero-allocation form: the round iterates
+    /// only the awake links (see the module docs), and with recording
+    /// disabled it touches the heap only through pre-reserved buffers
+    /// (asserted by the `zero_alloc` integration test).
     pub(crate) fn run_round(
         &mut self,
         topo: &Topology,
@@ -419,19 +616,24 @@ impl MatchState {
         mut builder: Option<&mut AlgorithmBuilder>,
         transfers_out: &mut u64,
     ) -> usize {
-        let salt = self.begin_round(ten, rng, prefer_cheap_links);
+        self.begin_round(ten, rng, prefer_cheap_links, false);
+        self.clear_awake();
         let n = self.num_npus;
         let mut matches = 0;
         let order = std::mem::take(&mut self.order);
-        for &link in &order {
-            if !self.fresh[link.index()] {
-                // Span-local pruning: this link probed empty and nothing
-                // has arrived at its source since, so it cannot match.
-                continue;
+        for (i, &(link, start_bit)) in order.iter().enumerate() {
+            // The probe is latency-bound on cache misses into the chunk
+            // matrix (rows are picked by a salted hash, so the access
+            // pattern is deliberately random). Hint the next link's rows
+            // while this one's probe is in flight.
+            if let Some(&(next, next_bit)) = order.get(i + 1) {
+                let l = topo.link(next);
+                self.matrix
+                    .prefetch_probe(l.src().index(), n + l.dst().index(), next_bit as usize);
             }
             let l = topo.link(link);
             let (src, dst) = (l.src(), l.dst());
-            let start_bit = self.probe_bit(salt, link);
+            let start_bit = start_bit as usize;
             // Direct match first: a chunk the destination itself needs.
             let mut chunk = self
                 .matrix
@@ -449,22 +651,39 @@ impl MatchState {
                 }
             }
             let Some(chunk) = chunk else {
-                self.fresh[link.index()] = false;
+                // Empty probe: stale until an arrival at `src`. The link
+                // leaves the worklist entirely — no future round looks at
+                // it — and `apply_arrival` wakes it back.
+                if self.reference {
+                    self.fresh[link.index()] = false;
+                }
+                self.push_stale(link, src);
                 continue;
             };
+            // Matched: the link is occupied; its own arrival wakes it.
             self.commit_match(link, chunk, src, dst, ten, &mut builder, transfers_out);
             matches += 1;
         }
         self.order = order;
-        self.sweep_worklist();
+        if self.reference {
+            self.sweep_worklist();
+        }
         matches
     }
 
     /// The straightforward reference round: probes **every** free link
-    /// (no pruning) through per-row [`ChunkSet`] extractions — the pre-SoA
-    /// scan kept as a determinism oracle. Must produce byte-identical
-    /// matches to [`MatchState::run_round`] for any seed; the proptests
-    /// assert this.
+    /// (no wake index) through per-row [`ChunkSet`] extractions — the
+    /// pre-SoA scan kept as a determinism oracle. Must produce
+    /// byte-identical matches to [`MatchState::run_round`] for any seed;
+    /// the proptests assert this.
+    ///
+    /// Beyond the match sequence itself, the oracle asserts the two facts
+    /// the event-driven round's correctness rests on, every round:
+    ///
+    /// 1. **Wake-set invariant** — the incremental awake list equals
+    ///    `{free ∧ fresh}`, the set a full scan-and-skip pass would probe.
+    /// 2. **Span-local staleness** — a link whose last probe came back
+    ///    empty (and whose source saw no arrival since) never matches.
     pub(crate) fn run_round_reference(
         &mut self,
         topo: &Topology,
@@ -474,7 +693,11 @@ impl MatchState {
         mut builder: Option<&mut AlgorithmBuilder>,
         transfers_out: &mut u64,
     ) -> usize {
-        // Cross-check the incremental worklist against ground truth (the
+        assert!(
+            self.reference,
+            "reference round requires reset(.., reference = true)"
+        );
+        // Cross-check the incremental free list against ground truth (the
         // TEN's busy state) before using it: the oracle must not inherit
         // a hypothetical bookkeeping bug from the optimized path.
         {
@@ -487,14 +710,29 @@ impl MatchState {
             got.sort_unstable_by_key(|l| l.raw());
             assert_eq!(got, expected, "worklist diverged from TEN free state");
         }
-        let salt = self.begin_round(ten, rng, prefer_cheap_links);
+        // Wake-set invariant: the event-driven worklist is exactly the
+        // links a scan-and-skip pass over the free list would probe.
+        {
+            let mut expected: Vec<LinkId> = self
+                .free
+                .iter()
+                .copied()
+                .filter(|&l| self.fresh[l.index()])
+                .collect();
+            let mut got = self.awake.clone();
+            expected.sort_unstable_by_key(|l| l.raw());
+            got.sort_unstable_by_key(|l| l.raw());
+            assert_eq!(got, expected, "awake list diverged from free ∧ fresh");
+        }
+        self.begin_round(ten, rng, prefer_cheap_links, true);
+        self.clear_awake();
         let n = self.num_npus;
         let mut matches = 0;
         let order = std::mem::take(&mut self.order);
-        for &link in &order {
+        for &(link, start_bit) in &order {
             let l = topo.link(link);
             let (src, dst) = (l.src(), l.dst());
-            let start_bit = self.probe_bit(salt, link);
+            let start_bit = start_bit as usize;
             let holds = self.matrix.row_to_set(src.index());
             let needs = self.matrix.row_to_set(n + dst.index());
             let mut chunk = holds.pick_intersection(&needs, start_bit);
@@ -507,23 +745,25 @@ impl MatchState {
                 }
             }
             let Some(chunk) = chunk else {
+                // Mirror the wake-index transition, but only on the
+                // fresh→stale edge: an already-stale link is on its stale
+                // list and must not be threaded twice.
+                if self.fresh[link.index()] {
+                    self.fresh[link.index()] = false;
+                    self.push_stale(link, src);
+                }
                 continue;
             };
+            assert!(
+                self.fresh[link.index()],
+                "stale link matched — span-local staleness invariant violated"
+            );
             self.commit_match(link, chunk, src, dst, ten, &mut builder, transfers_out);
             matches += 1;
         }
         self.order = order;
         self.sweep_worklist();
         matches
-    }
-
-    /// Platform-independent probe offset: the 64-bit hash is reduced into
-    /// the row's bit domain *before* the `usize` cast, so 32- and 64-bit
-    /// targets pick identical chunks (the domain equals what the scan
-    /// kernels would reduce by anyway).
-    fn probe_bit(&self, salt: u64, link: LinkId) -> usize {
-        let bits = (self.matrix.stride() * 64).max(1) as u64;
-        (probe_hash(salt, link) % bits) as usize
     }
 
     /// End-of-round sweep: links occupied this round leave the worklist
@@ -673,6 +913,10 @@ mod tests {
             for arrival in ten.advance() {
                 state.apply_arrival(&topo, &arrival);
             }
+            assert!(
+                state.awake.len() <= topo.num_links(),
+                "awake list duplicated"
+            );
             assert!(state.free.len() <= topo.num_links(), "worklist duplicated");
         }
         assert_eq!(count, 12);

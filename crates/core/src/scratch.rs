@@ -1,13 +1,14 @@
 //! Reusable synthesis working memory.
 //!
 //! One synthesis attempt needs a matching state (the SoA chunk matrix,
-//! the free-link worklist, the shuffled round order, provider table), an
-//! expanding TEN (per-link costs, busy times, the arrival heap), and an
-//! arrival-event buffer. None of these depend on the seed — only on the
-//! topology/collective shape — so a best-of-N search or a scenario sweep
-//! re-allocating them per attempt spends a meaningful share of its time in
-//! the allocator. [`SynthesisScratch`] owns all of them and is rebuilt in
-//! place by each attempt.
+//! the event-driven wake index and its per-NPU stale lists, the sorted
+//! round order, provider table), an expanding TEN (per-link costs, busy
+//! times, the arrival heap), and an arrival-event buffer. None of these
+//! depend on the seed — only on the topology/collective shape — so a
+//! best-of-N search or a scenario sweep re-allocating them per attempt
+//! spends a meaningful share of its time in the allocator.
+//! [`SynthesisScratch`] owns all of them and is rebuilt in place by each
+//! attempt.
 //!
 //! Callers that run many syntheses hold one scratch per worker thread and
 //! pass it to [`crate::Synthesizer::synthesize_seeded_with`] (or
@@ -43,8 +44,11 @@ pub struct SynthesisScratch {
     pub(crate) ten: Option<ExpandingTen>,
     pub(crate) events: Vec<Arrival>,
     /// Relay metadata cached across attempts: rebuilding the per-target
-    /// BFS distance tables is the dominant per-attempt setup cost for
-    /// sparse-postcondition patterns, and attempts only differ by seed.
+    /// BFS distance rows (one flat row per distinct target) is the
+    /// dominant per-attempt setup cost for sparse-postcondition patterns,
+    /// and attempts only differ by seed, so the flattened table is keyed
+    /// by topology fingerprint + chunk-destination map and handed back
+    /// after each attempt.
     pub(crate) relay: Option<RelayInfo>,
 }
 

@@ -222,6 +222,7 @@ impl Synthesizer {
     ) -> Result<SynthesisResult, SynthesisError> {
         let mut rng = StdRng::seed_from_u64(seed);
         let record = self.config.record_transfers();
+        let reference = self.config.reference_matching();
         let targets = sparse_targets(collective);
         let SynthesisScratch {
             state,
@@ -229,7 +230,7 @@ impl Synthesizer {
             events,
             relay: relay_cache,
         } = scratch;
-        state.reset(topo, collective, record, targets.is_some());
+        state.reset(topo, collective, record, targets.is_some(), reference);
         // Sparse-postcondition patterns need relay routing through
         // disinterested intermediates (see matching::RelayInfo). The BFS
         // distance tables only depend on topology + targets, so best-of-N
@@ -249,14 +250,19 @@ impl Synthesizer {
             None => ten.insert(ExpandingTen::new(topo, collective.chunk_size())),
         };
         let mut builder = record.then(|| {
-            AlgorithmBuilder::new(
+            let mut b = AlgorithmBuilder::new(
                 name,
                 topo.num_npus(),
                 collective.chunk_size(),
                 collective.total_size(),
-            )
+            );
+            // Every unsatisfied postcondition needs at least one transfer
+            // (relay hops add more), so reserving here removes almost all
+            // of the transfer list's doubling-growth copies — at mesh
+            // scale the final list runs to hundreds of megabytes.
+            b.reserve_transfers(state.unsatisfied());
+            b
         });
-        let reference = self.config.reference_matching();
         let mut rounds = 0usize;
         let mut num_transfers = 0u64;
         loop {
@@ -438,7 +444,7 @@ impl Synthesizer {
                 t.link().expect("recorded algorithms are scheduled"),
                 t.start().expect("recorded algorithms are scheduled"),
                 t.duration().expect("recorded algorithms are scheduled"),
-                t.deps().to_vec(),
+                t.deps(),
             );
         }
         // Barrier dependencies: the All-Gather send of chunk `c` out of its
@@ -457,14 +463,15 @@ impl Synthesizer {
         // Phase 2: All-Gather, shifted by the Reduce-Scatter's duration.
         let offset = rs_algo.len() as u32;
         for t in ag_algo.transfers() {
-            let mut deps: Vec<TransferId> = t
-                .deps()
-                .iter()
-                .map(|d| TransferId::new(d.index() as u32 + offset))
-                .collect();
+            let mut deps = tacos_collective::algorithm::DepList::new();
+            for d in t.deps() {
+                deps.push(TransferId::new(d.index() as u32 + offset));
+            }
             if t.deps().is_empty() {
                 // Initial send out of the owner: wait for the reduction.
-                deps.extend(rs_finishers[t.chunk().index()].iter().copied());
+                for &f in &rs_finishers[t.chunk().index()] {
+                    deps.push(f);
+                }
             }
             b.push_scheduled(
                 t.chunk(),

@@ -1,13 +1,17 @@
 //! Matching-determinism property tests: over random topologies,
 //! collectives, and seeds, the optimized matcher (SoA `ChunkMatrix`
-//! probes, free-link worklist, span-local pruning) must emit exactly the
-//! same transfer sequence and collective time as the straightforward
-//! reference round (`SynthesizerConfig::with_reference_matching`), which
-//! probes every free link through the pre-SoA `ChunkSet` scan.
+//! probes, event-driven wake index) must emit exactly the same transfer
+//! sequence and collective time as the straightforward reference round
+//! (`SynthesizerConfig::with_reference_matching`), which probes every
+//! free link through the pre-SoA `ChunkSet` scan.
 //!
-//! This is the seed-for-seed parity guarantee of the zero-allocation
-//! refactor: pruning and the flat chunk matrix are pure optimizations,
-//! invisible in the output.
+//! This is the seed-for-seed parity guarantee of the event-driven
+//! refactor: the wake index and the flat chunk matrix are pure
+//! optimizations, invisible in the output. The reference round also
+//! asserts two internal invariants every round — the wake set equals
+//! `{free ∧ non-stale}` (exactly what a scan-and-skip pass would probe),
+//! and a stale link never matches — so every reference synthesis in these
+//! tests doubles as a per-arrival audit of the wake-index bookkeeping.
 
 use proptest::prelude::*;
 use tacos_collective::Collective;
@@ -98,6 +102,33 @@ proptest! {
         prop_assert_eq!(optimized.rounds(), reference.rounds());
         // Byte-identical transfer sequences, including dependency edges.
         prop_assert_eq!(optimized.algorithm(), reference.algorithm());
+    }
+
+    /// Wake-set invariant: after every arrival batch, the event-driven
+    /// worklist must contain exactly the links the reference scan would
+    /// find non-stale (free, and with an arrival at their source since
+    /// their last empty probe). The reference round asserts this — plus
+    /// "a stale link never matches" — before consuming its RNG, so a
+    /// reference-mode synthesis either upholds the invariant on every
+    /// round of every topology/pattern here or panics. Chunked patterns
+    /// make rounds where only a few links wake, which is where a
+    /// bookkeeping bug (a link lost off a stale list, a duplicate wake)
+    /// would surface.
+    #[test]
+    fn wake_set_matches_reference_scan_after_every_arrival(
+        topo_kind in 0usize..6,
+        pattern in 0usize..6,
+        chunks in 1usize..4,
+        hetero in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let topo = topology(topo_kind, hetero);
+        let coll = collective(pattern, topo.num_npus(), chunks);
+        let result = Synthesizer::new(
+            SynthesizerConfig::default().with_reference_matching(true),
+        )
+        .synthesize_seeded(&topo, &coll, seed);
+        prop_assert!(result.is_ok());
     }
 
     /// Scratch reuse is invisible: a warm scratch (previously used for a

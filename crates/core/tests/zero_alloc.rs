@@ -9,6 +9,11 @@
 //! counts mean the per-round / per-probe cost is exactly zero
 //! allocations; only per-synthesis setup (pre/postcondition sets, the
 //! result struct) touches the heap.
+//!
+//! The recording path gets the analogous bound: with recording enabled,
+//! dependency lists live inline in each transfer (no per-transfer heap),
+//! so allocations grow with the builder's amortized vec doublings —
+//! logarithmic in transfer count — not with transfers or rounds.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -125,6 +130,53 @@ fn run_round_makes_zero_per_round_allocations() {
         "allocation count must not scale with rounds: \
          {allocs_small} allocs over {rounds_small} rounds vs \
          {allocs_large} allocs over {rounds_large} rounds"
+    );
+}
+
+/// With transfer recording enabled, the only heap traffic beyond
+/// per-synthesis setup is the builder's amortized transfer-vec growth:
+/// dependency lists are stored inline in the `Transfer`, so scaling the
+/// same problem from ~224 to ~1792 recorded transfers (and ~8x the
+/// rounds) must add far fewer allocations than it adds transfers. Before
+/// the inline dep-list, every forwarded transfer allocated its one-entry
+/// deps `Vec`, which this bound catches.
+#[test]
+fn recording_path_allocations_do_not_scale_with_transfers() {
+    let _serial = SERIAL.lock().unwrap();
+    let spec = LinkSpec::new(Time::from_micros(0.5), Bandwidth::gbps(50.0));
+    let topo = Topology::ring(8, spec, RingOrientation::Unidirectional).unwrap();
+    let synth = Synthesizer::new(SynthesizerConfig::default()); // recording on
+
+    let measure = |chunks_per_npu: usize| -> (u64, u64) {
+        let coll = all_gather(8, chunks_per_npu);
+        let mut scratch = SynthesisScratch::new();
+        synth
+            .synthesize_seeded_with(&topo, &coll, 7, &mut scratch)
+            .unwrap();
+        let (result, allocs) = counted(|| {
+            synth
+                .synthesize_seeded_with(&topo, &coll, 7, &mut scratch)
+                .unwrap()
+        });
+        assert!(!result.algorithm().is_empty());
+        (result.num_transfers(), allocs)
+    };
+
+    let (t_small, a_small) = measure(4);
+    let (t_large, a_large) = measure(32);
+    assert!(
+        t_large >= t_small * 4,
+        "expected the 32-chunk synthesis to record many more transfers \
+         ({t_small} vs {t_large})"
+    );
+    let added_transfers = t_large - t_small;
+    let added_allocs = a_large.saturating_sub(a_small);
+    assert!(
+        added_allocs < added_transfers / 8,
+        "recording {added_transfers} extra transfers cost {added_allocs} \
+         extra allocations — the per-transfer recording path is \
+         allocating ({a_small} allocs @ {t_small} transfers, \
+         {a_large} allocs @ {t_large} transfers)"
     );
 }
 

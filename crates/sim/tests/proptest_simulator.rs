@@ -44,7 +44,7 @@ proptest! {
                 NpuId::new(i as u32),
                 NpuId::new((i + 1) as u32),
                 TransferKind::Copy,
-                dep.into_iter().collect(),
+                dep,
             );
             dep = Some(id);
         }

@@ -15,7 +15,7 @@
 //! steps of the materialized TEN, which is unit-tested below.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use tacos_collective::ChunkId;
 use tacos_topology::{ByteSize, LinkId, NpuId, Time, Topology};
@@ -63,8 +63,17 @@ pub struct ExpandingTen {
     // Reverse-ordered min-heap of (time, link). Chunk/src/dst are looked up
     // from `in_flight` on pop. Capacity is reserved for one in-flight chunk
     // per link (the congestion-freedom maximum), so `occupy` never
-    // reallocates mid-synthesis.
+    // reallocates mid-synthesis. Used on heterogeneous fabrics only —
+    // uniform-cost fabrics take the `fifo` fast path below.
     queue: BinaryHeap<Reverse<(Time, u32)>>,
+    // Uniform-cost fast path: with one shared link cost `c`, every occupy
+    // at time `t` arrives at `t + c`, and `now` is nondecreasing — so
+    // arrival times are nondecreasing in push order and a plain ring
+    // buffer pops them in correct time order with no heap sifting. Event
+    // order *within* one arrival column differs from the heap's, which is
+    // unobservable: holdings are sets and the matcher re-sorts its
+    // worklist every round (the determinism proptests pin this down).
+    fifo: VecDeque<(Time, u32)>,
     in_flight: Vec<Option<ChunkId>>,
     uniform_cost: bool,
 }
@@ -79,6 +88,7 @@ impl ExpandingTen {
             busy_until: Vec::new(),
             now: Time::ZERO,
             queue: BinaryHeap::new(),
+            fifo: VecDeque::new(),
             in_flight: Vec::new(),
             uniform_cost: true,
         };
@@ -103,12 +113,18 @@ impl ExpandingTen {
         self.busy_until.resize(links.len(), Time::ZERO);
         self.now = Time::ZERO;
         self.queue.clear();
+        self.fifo.clear();
+        self.uniform_cost = self.link_cost.windows(2).all(|w| w[0] == w[1]);
         // `reserve` ensures capacity >= len + additional; after `clear`
-        // the heap is empty, so this guarantees one slot per link.
-        self.queue.reserve(links.len());
+        // the queues are empty, so this guarantees one slot per link in
+        // whichever queue this topology uses.
+        if self.uniform_cost {
+            self.fifo.reserve(links.len());
+        } else {
+            self.queue.reserve(links.len());
+        }
         self.in_flight.clear();
         self.in_flight.resize(links.len(), None);
-        self.uniform_cost = self.link_cost.windows(2).all(|w| w[0] == w[1]);
     }
 
     /// The current synthesis time.
@@ -148,13 +164,17 @@ impl ExpandingTen {
         let arrive = self.now + self.link_cost[idx];
         self.busy_until[idx] = arrive;
         self.in_flight[idx] = Some(chunk);
-        self.queue.push(Reverse((arrive, link.raw())));
+        if self.uniform_cost {
+            self.fifo.push_back((arrive, link.raw()));
+        } else {
+            self.queue.push(Reverse((arrive, link.raw())));
+        }
         arrive
     }
 
     /// Number of chunks currently in flight.
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        self.queue.len() + self.fifo.len()
     }
 
     /// Advances time to the next arrival instant and returns every arrival
@@ -172,27 +192,45 @@ impl ExpandingTen {
     /// empty if nothing is in flight.
     pub fn advance_into(&mut self, out: &mut Vec<Arrival>) {
         out.clear();
-        let Some(&Reverse((t, _))) = self.queue.peek() else {
-            return;
-        };
-        self.now = t;
-        while let Some(&Reverse((time, link_raw))) = self.queue.peek() {
-            if time > t {
-                break;
+        if self.uniform_cost {
+            let Some(&(t, _)) = self.fifo.front() else {
+                return;
+            };
+            self.now = t;
+            while let Some(&(time, link_raw)) = self.fifo.front() {
+                if time > t {
+                    break;
+                }
+                self.fifo.pop_front();
+                self.push_arrival(out, time, link_raw);
             }
-            self.queue.pop();
-            let idx = link_raw as usize;
-            let chunk = self.in_flight[idx]
-                .take()
-                .expect("every queued arrival has an in-flight chunk");
-            out.push(Arrival {
-                time,
-                chunk,
-                link: LinkId::new(link_raw),
-                src: self.link_src[idx],
-                dst: self.link_dst[idx],
-            });
+        } else {
+            let Some(&Reverse((t, _))) = self.queue.peek() else {
+                return;
+            };
+            self.now = t;
+            while let Some(&Reverse((time, link_raw))) = self.queue.peek() {
+                if time > t {
+                    break;
+                }
+                self.queue.pop();
+                self.push_arrival(out, time, link_raw);
+            }
         }
+    }
+
+    fn push_arrival(&mut self, out: &mut Vec<Arrival>, time: Time, link_raw: u32) {
+        let idx = link_raw as usize;
+        let chunk = self.in_flight[idx]
+            .take()
+            .expect("every queued arrival has an in-flight chunk");
+        out.push(Arrival {
+            time,
+            chunk,
+            link: LinkId::new(link_raw),
+            src: self.link_src[idx],
+            dst: self.link_dst[idx],
+        });
     }
 }
 
